@@ -1,0 +1,111 @@
+//! Hardware budgets for the paper's deployment scenarios (Table IV).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A total hardware budget: the resources Definition 1 partitions across
+/// sub-accelerators.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HardwareResources {
+    /// Total processing elements (`N_PE`).
+    pub pes: u32,
+    /// Total global NoC bandwidth (`BW_G`), GB/s.
+    pub bandwidth_gbps: f64,
+    /// Shared global scratchpad capacity, bytes.
+    pub global_buffer_bytes: u64,
+}
+
+impl HardwareResources {
+    /// Creates a budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any resource is zero.
+    pub fn new(pes: u32, bandwidth_gbps: f64, global_buffer_bytes: u64) -> Self {
+        assert!(pes > 0, "PE budget must be positive");
+        assert!(bandwidth_gbps > 0.0, "bandwidth budget must be positive");
+        assert!(global_buffer_bytes > 0, "global buffer must be positive");
+        Self {
+            pes,
+            bandwidth_gbps,
+            global_buffer_bytes,
+        }
+    }
+}
+
+/// The three deployment scenarios of Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AcceleratorClass {
+    /// 1024 PEs, 16 GB/s, 4 MiB.
+    Edge,
+    /// 4096 PEs, 64 GB/s, 8 MiB.
+    Mobile,
+    /// 16384 PEs, 256 GB/s, 16 MiB.
+    Cloud,
+}
+
+impl AcceleratorClass {
+    /// All classes, smallest first.
+    pub const ALL: [AcceleratorClass; 3] = [
+        AcceleratorClass::Edge,
+        AcceleratorClass::Mobile,
+        AcceleratorClass::Cloud,
+    ];
+
+    /// The Table IV budget for this class.
+    pub fn resources(&self) -> HardwareResources {
+        const MIB: u64 = 1 << 20;
+        match self {
+            AcceleratorClass::Edge => HardwareResources::new(1024, 16.0, 4 * MIB),
+            AcceleratorClass::Mobile => HardwareResources::new(4096, 64.0, 8 * MIB),
+            AcceleratorClass::Cloud => HardwareResources::new(16384, 256.0, 16 * MIB),
+        }
+    }
+}
+
+impl fmt::Display for AcceleratorClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AcceleratorClass::Edge => f.write_str("edge"),
+            AcceleratorClass::Mobile => f.write_str("mobile"),
+            AcceleratorClass::Cloud => f.write_str("cloud"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_budgets() {
+        let edge = AcceleratorClass::Edge.resources();
+        assert_eq!(edge.pes, 1024);
+        assert_eq!(edge.bandwidth_gbps, 16.0);
+        assert_eq!(edge.global_buffer_bytes, 4 << 20);
+        let cloud = AcceleratorClass::Cloud.resources();
+        assert_eq!(cloud.pes, 16384);
+        assert_eq!(cloud.bandwidth_gbps, 256.0);
+    }
+
+    #[test]
+    fn classes_scale_monotonically() {
+        let mut last_pes = 0;
+        for class in AcceleratorClass::ALL {
+            let r = class.resources();
+            assert!(r.pes > last_pes);
+            last_pes = r.pes;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_pes_rejected() {
+        let _ = HardwareResources::new(0, 1.0, 1);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AcceleratorClass::Mobile.to_string(), "mobile");
+    }
+}

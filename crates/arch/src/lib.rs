@@ -1,0 +1,48 @@
+//! Accelerator taxonomy for the Herald HDA framework.
+//!
+//! This crate encodes the accelerator classes the paper evaluates
+//! (Fig. 3, Tables III and IV):
+//!
+//! * **FDA** — fixed dataflow accelerator: one monolithic array, one
+//!   dataflow ([`AcceleratorConfig::fda`]).
+//! * **SM-FDA** — scaled-out multi-FDA: several identical sub-accelerators
+//!   running the *same* dataflow with evenly split resources
+//!   ([`AcceleratorConfig::sm_fda`]).
+//! * **RDA** — reconfigurable dataflow accelerator (MAERI-style): one
+//!   monolithic array that adopts the best dataflow per layer, paying
+//!   reconfiguration hardware taxes ([`AcceleratorConfig::rda`]).
+//! * **HDA** — heterogeneous dataflow accelerator (this paper's proposal):
+//!   several sub-accelerators, each a different fixed dataflow, sharing the
+//!   global buffer and a hard-partitioned global NoC
+//!   ([`AcceleratorConfig::hda`], [`AcceleratorConfig::maelstrom`]).
+//!
+//! Hardware budgets for the edge / mobile / cloud scenarios of Table IV
+//! come from [`AcceleratorClass`].
+//!
+//! # Example
+//!
+//! ```
+//! use herald_arch::{AcceleratorClass, AcceleratorConfig, Partition};
+//! use herald_dataflow::DataflowStyle;
+//!
+//! let res = AcceleratorClass::Edge.resources();
+//! let maelstrom = AcceleratorConfig::maelstrom(
+//!     res,
+//!     Partition::new(vec![128, 896], vec![4.0, 12.0]).unwrap(),
+//! ).unwrap();
+//! assert_eq!(maelstrom.sub_accelerators().len(), 2);
+//! assert_eq!(maelstrom.total_pes(), 1024);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod classes;
+mod config;
+mod partition;
+mod subacc;
+
+pub use classes::{AcceleratorClass, HardwareResources};
+pub use config::{AcceleratorConfig, AcceleratorStyle, ConfigError};
+pub use partition::Partition;
+pub use subacc::SubAccelerator;

@@ -1,0 +1,149 @@
+//! A single sub-accelerator: one fixed- (or reconfigurable-) dataflow array.
+
+use herald_cost::{CostModel, LayerCost, Metric};
+use herald_dataflow::DataflowStyle;
+use herald_models::Layer;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One sub-accelerator of an accelerator configuration: a PE array with a
+/// dataflow style and a hard-partitioned share of the global NoC.
+///
+/// A monolithic FDA or RDA is simply a configuration with a single
+/// sub-accelerator holding all resources.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubAccelerator {
+    name: String,
+    style: DataflowStyle,
+    pes: u32,
+    bandwidth_gbps: f64,
+    reconfigurable: bool,
+}
+
+impl SubAccelerator {
+    /// Creates a fixed-dataflow sub-accelerator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pes` is zero or `bandwidth_gbps` is not positive.
+    pub fn fixed(
+        name: impl Into<String>,
+        style: DataflowStyle,
+        pes: u32,
+        bandwidth_gbps: f64,
+    ) -> Self {
+        assert!(pes > 0, "sub-accelerator needs PEs");
+        assert!(bandwidth_gbps > 0.0, "sub-accelerator needs bandwidth");
+        Self {
+            name: name.into(),
+            style,
+            pes,
+            bandwidth_gbps,
+            reconfigurable: false,
+        }
+    }
+
+    /// Creates a reconfigurable (MAERI-style) sub-accelerator that adopts
+    /// the best dataflow per layer at a reconfiguration cost.
+    pub fn reconfigurable(name: impl Into<String>, pes: u32, bandwidth_gbps: f64) -> Self {
+        let mut s = Self::fixed(name, DataflowStyle::Nvdla, pes, bandwidth_gbps);
+        s.reconfigurable = true;
+        s
+    }
+
+    /// The sub-accelerator's name (unique within its configuration).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The dataflow style (for reconfigurable arrays this is only the
+    /// default; each layer picks its own).
+    pub fn style(&self) -> DataflowStyle {
+        self.style
+    }
+
+    /// PE count.
+    pub fn pes(&self) -> u32 {
+        self.pes
+    }
+
+    /// Global-NoC bandwidth share, GB/s.
+    pub fn bandwidth_gbps(&self) -> f64 {
+        self.bandwidth_gbps
+    }
+
+    /// Whether this array reconfigures its dataflow per layer.
+    pub fn is_reconfigurable(&self) -> bool {
+        self.reconfigurable
+    }
+
+    /// The cost of running `layer` on this sub-accelerator: the fixed
+    /// style's cost, or the best style with reconfiguration taxes for
+    /// reconfigurable arrays.
+    pub fn layer_cost(&self, cost: &CostModel, layer: &Layer, metric: Metric) -> LayerCost {
+        if self.reconfigurable {
+            cost.evaluate_rda(layer, self.pes, self.bandwidth_gbps, metric)
+        } else {
+            cost.evaluate(layer, self.style, self.pes, self.bandwidth_gbps)
+        }
+    }
+}
+
+impl fmt::Display for SubAccelerator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}{}] {} PEs, {:.0} GB/s",
+            self.name,
+            if self.reconfigurable { "RDA:" } else { "" },
+            self.style,
+            self.pes,
+            self.bandwidth_gbps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use herald_models::{LayerDims, LayerOp};
+
+    fn layer() -> Layer {
+        Layer::new(
+            "l",
+            LayerOp::Conv2d,
+            LayerDims::conv(512, 512, 7, 7, 3, 3).with_pad(1),
+        )
+    }
+
+    #[test]
+    fn fixed_sub_uses_its_style() {
+        let cost = CostModel::default();
+        let sub = SubAccelerator::fixed("acc1", DataflowStyle::ShiDianNao, 1024, 16.0);
+        let c = sub.layer_cost(&cost, &layer(), Metric::Edp);
+        assert_eq!(c.style, DataflowStyle::ShiDianNao);
+        assert_eq!(c.energy.reconfig_j, 0.0);
+    }
+
+    #[test]
+    fn reconfigurable_sub_picks_best_style() {
+        let cost = CostModel::default();
+        let sub = SubAccelerator::reconfigurable("rda", 1024, 16.0);
+        // Deep-channel layer: the RDA should configure NVDLA-style.
+        let c = sub.layer_cost(&cost, &layer(), Metric::Edp);
+        assert_eq!(c.style, DataflowStyle::Nvdla);
+        assert!(c.energy.reconfig_j > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs PEs")]
+    fn zero_pes_rejected() {
+        let _ = SubAccelerator::fixed("x", DataflowStyle::Nvdla, 0, 1.0);
+    }
+
+    #[test]
+    fn display_marks_reconfigurable_arrays() {
+        let sub = SubAccelerator::reconfigurable("rda", 64, 1.0);
+        assert!(sub.to_string().contains("RDA:"));
+    }
+}

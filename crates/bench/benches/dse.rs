@@ -1,0 +1,84 @@
+//! Criterion benchmarks for the design-space exploration engine: full
+//! co-optimization sweeps at several granularities and search strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use herald_arch::AcceleratorClass;
+use herald_core::dse::{DseConfig, DseEngine, SearchStrategy};
+use herald_core::sched::SchedulerConfig;
+use herald_dataflow::DataflowStyle;
+use herald_workloads::single_model;
+
+fn bench_sweep_granularity(c: &mut Criterion) {
+    let workload = single_model(herald_models::zoo::mobilenet_v2(), 2);
+    let res = AcceleratorClass::Edge.resources();
+    let styles = [DataflowStyle::Nvdla, DataflowStyle::ShiDianNao];
+    let mut group = c.benchmark_group("dse_sweep");
+    group.sample_size(10);
+    for pe_steps in [4usize, 8, 16] {
+        let config = DseConfig {
+            pe_steps,
+            bw_steps: 2,
+            parallel: false,
+            scheduler: SchedulerConfig {
+                post_process: false,
+                ..Default::default()
+            },
+            ..DseConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("pe_steps_{pe_steps}")),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        DseEngine::new(*config).co_optimize(&workload, res, &styles),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_search_strategies(c: &mut Criterion) {
+    let workload = single_model(herald_models::zoo::mobilenet_v2(), 2);
+    let res = AcceleratorClass::Edge.resources();
+    let styles = [DataflowStyle::Nvdla, DataflowStyle::ShiDianNao];
+    let mut group = c.benchmark_group("dse_strategy");
+    group.sample_size(10);
+    let strategies = [
+        ("exhaustive", SearchStrategy::Exhaustive),
+        ("binary", SearchStrategy::BinarySampling),
+        (
+            "random8",
+            SearchStrategy::Random {
+                samples: 8,
+                seed: 7,
+            },
+        ),
+    ];
+    for (name, strategy) in strategies {
+        let config = DseConfig {
+            strategy,
+            pe_steps: 16,
+            bw_steps: 2,
+            parallel: false,
+            scheduler: SchedulerConfig {
+                post_process: false,
+                ..Default::default()
+            },
+            ..DseConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| {
+                std::hint::black_box(
+                    DseEngine::new(*config).co_optimize(&workload, res, &styles),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_granularity, bench_search_strategies);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion benchmarks for model-zoo construction and task-graph
+//! flattening — the fixed costs every experiment pays up front.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use herald_core::task::TaskGraph;
+use herald_models::zoo;
+
+fn bench_zoo_construction(c: &mut Criterion) {
+    c.bench_function("zoo_all_models", |b| {
+        b.iter(|| std::hint::black_box(zoo::all_models()))
+    });
+    c.bench_function("zoo_resnet50", |b| {
+        b.iter(|| std::hint::black_box(zoo::resnet50()))
+    });
+}
+
+fn bench_workload_flattening(c: &mut Criterion) {
+    let workload = herald_workloads::arvr_b();
+    c.bench_function("taskgraph_arvrb", |b| {
+        b.iter(|| std::hint::black_box(TaskGraph::new(&workload)))
+    });
+}
+
+criterion_group!(benches, bench_zoo_construction, bench_workload_flattening);
+criterion_main!(benches);

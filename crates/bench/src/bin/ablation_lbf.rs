@@ -1,0 +1,63 @@
+//! **Load-balance-factor ablation** (Sec. IV-D) — the paper exposes the
+//! "maximum allowed load-unbalancing factor" as a user knob. This binary
+//! sweeps it on Maelstrom: LbF → 1 forces strict balancing (layers bounce
+//! to non-preferred dataflows), LbF → ∞ disables the feedback entirely
+//! (pure dataflow preference, no parallelism under contention); the sweet
+//! spot sits in between.
+
+use herald_arch::{AcceleratorClass, AcceleratorConfig, Partition};
+use herald_bench::fast_mode;
+use herald_core::sched::{HeraldScheduler, Scheduler, SchedulerConfig};
+use herald_core::task::TaskGraph;
+use herald_cost::CostModel;
+
+fn main() {
+    let fast = fast_mode();
+    let workload = if fast {
+        herald_workloads::mlperf(1)
+    } else {
+        herald_workloads::arvr_a()
+    };
+    let graph = TaskGraph::new(&workload);
+    let res = AcceleratorClass::Mobile.resources();
+    let acc = AcceleratorConfig::maelstrom(
+        res,
+        Partition::even(2, res.pes, res.bandwidth_gbps),
+    )
+    .expect("even Maelstrom is valid");
+    let cost = CostModel::default();
+
+    println!(
+        "Load-balance factor sweep ({} on mobile Maelstrom, even partition)",
+        workload.name()
+    );
+    println!(
+        "{:>8} {:>12} {:>12} {:>14} {:>10} {:>10}",
+        "LbF", "latency (s)", "energy (J)", "EDP (J*s)", "util acc0", "util acc1"
+    );
+
+    let mut best: Option<(f64, f64)> = None;
+    for lbf in [1.05, 1.1, 1.25, 1.5, 2.0, 3.0, 5.0, 100.0] {
+        let cfg = SchedulerConfig {
+            load_balance_factor: lbf,
+            ..Default::default()
+        };
+        let report = HeraldScheduler::new(cfg)
+            .schedule_and_simulate(&graph, &acc, &cost)
+            .expect("herald schedules are legal");
+        println!(
+            "{:>8.2} {:>12.5} {:>12.5} {:>14.6} {:>9.0}% {:>9.0}%",
+            lbf,
+            report.total_latency_s(),
+            report.total_energy_j(),
+            report.edp(),
+            report.acc_utilization(0) * 100.0,
+            report.acc_utilization(1) * 100.0
+        );
+        if best.is_none_or(|(_, e)| report.edp() < e) {
+            best = Some((lbf, report.edp()));
+        }
+    }
+    let (lbf, edp) = best.expect("sweep is non-empty");
+    println!("\nbest LbF = {lbf} (EDP {edp:.6}); the default 1.5 targets this region");
+}

@@ -1,0 +1,56 @@
+//! **Fig. 2** — EDP of output-stationary (Shi-diannao), weight-stationary
+//! (NVDLA) and row-stationary (Eyeriss) style FDAs running ResNet50 and
+//! UNet, at the paper's iso-resource point: 256 PEs and 32 GB/s.
+//!
+//! Expected shape (paper): NVDLA best on ResNet50, worst-tier on UNet;
+//! the preference inverts between the two networks.
+
+use herald_cost::CostModel;
+use herald_dataflow::DataflowStyle;
+use herald_models::zoo;
+
+fn main() {
+    const PES: u32 = 256;
+    const BW: f64 = 32.0;
+    let cost = CostModel::default();
+
+    println!("Fig. 2: FDA EDP at {PES} PEs, {BW} GB/s");
+    for model in [zoo::resnet50(), zoo::unet()] {
+        println!("\n({}) {}", if model.name() == "Resnet50" { "a" } else { "b" }, model.name());
+        println!(
+            "{:<14} {:>12} {:>12} {:>14} {:>10}",
+            "style", "latency (s)", "energy (J)", "EDP (J*s)", "avg util"
+        );
+        let mut edps = Vec::new();
+        for style in DataflowStyle::ALL {
+            let mut lat = 0.0f64;
+            let mut energy = 0.0f64;
+            let mut util = 0.0f64;
+            for layer in model.layers() {
+                let c = cost.evaluate(layer, style, PES, BW);
+                lat += c.latency_s;
+                energy += c.energy_j();
+                util += c.utilization;
+            }
+            util /= model.num_layers() as f64;
+            println!(
+                "{:<14} {:>12.5} {:>12.5} {:>14.6} {:>9.1}%",
+                style.label(),
+                lat,
+                energy,
+                lat * energy,
+                util * 100.0
+            );
+            edps.push((style, lat * energy));
+        }
+        let best = edps
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite EDP"))
+            .expect("three styles");
+        println!("best: {}", best.0.label());
+    }
+    println!(
+        "\npaper shape: NVDLA wins Resnet50; NVDLA loses UNet to \
+         Shi-diannao-style output stationarity"
+    );
+}

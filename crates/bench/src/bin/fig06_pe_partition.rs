@@ -1,0 +1,82 @@
+//! **Fig. 6** — the impact of PE partitioning: EDP of a two-way
+//! NVDLA+Shi-diannao HDA (cloud class, AR/VR-A workload) as the PE split
+//! sweeps from all-NVDLA to all-Shi-diannao, with naive even bandwidth
+//! partitioning (128/128 GB/s).
+//!
+//! Expected shape (paper): the curve is non-trivial and the even 8K/8K
+//! split is ~17% worse than the best split.
+
+use herald_arch::{AcceleratorClass, AcceleratorConfig, Partition};
+use herald_bench::fast_mode;
+use herald_core::dse::{DseConfig, DseEngine};
+
+fn main() {
+    let fast = fast_mode();
+    let class = AcceleratorClass::Cloud;
+    let res = class.resources();
+    let workload = if fast {
+        herald_workloads::single_model(herald_models::zoo::unet(), 2)
+    } else {
+        herald_workloads::arvr_a()
+    };
+    let dse = DseEngine::new(DseConfig {
+        scheduler: herald_core::sched::SchedulerConfig {
+            post_process: !fast,
+            ..Default::default()
+        },
+        ..DseConfig::default()
+    });
+
+    // Naive bandwidth partitioning: 128/128 GB/s, PE split swept.
+    let steps = if fast { 8 } else { 16 };
+    let quantum = res.pes / steps;
+    println!(
+        "Fig. 6: PE partition sweep, {} on {} accelerator (BW fixed {}/{} GB/s)",
+        workload.name(),
+        class,
+        res.bandwidth_gbps / 2.0,
+        res.bandwidth_gbps / 2.0
+    );
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} {:>14}",
+        "NVDLA PEs", "Shi PEs", "latency (s)", "energy (J)", "EDP (J*s)"
+    );
+
+    let mut best: Option<(u32, f64)> = None;
+    let mut even_edp = None;
+    for i in 1..steps {
+        let nvdla = i * quantum;
+        let shi = res.pes - nvdla;
+        let partition = Partition::new(
+            vec![nvdla, shi],
+            vec![res.bandwidth_gbps / 2.0, res.bandwidth_gbps / 2.0],
+        )
+        .expect("valid partition");
+        let cfg = AcceleratorConfig::maelstrom(res, partition).expect("within budget");
+        let report = dse.evaluate_config(&workload, &cfg);
+        let edp = report.edp();
+        println!(
+            "{:>10} {:>10} {:>12.5} {:>12.5} {:>14.6}",
+            nvdla,
+            shi,
+            report.total_latency_s(),
+            report.total_energy_j(),
+            edp
+        );
+        if nvdla == shi {
+            even_edp = Some(edp);
+        }
+        if best.is_none_or(|(_, b)| edp < b) {
+            best = Some((nvdla, edp));
+        }
+    }
+
+    let (best_nvdla, best_edp) = best.expect("sweep is non-empty");
+    println!("\nbest PE split: {best_nvdla}/{} (EDP {best_edp:.6})", res.pes - best_nvdla);
+    if let Some(even) = even_edp {
+        println!(
+            "even 8K/8K split: EDP {even:.6} -> {:+.1}% vs best (paper: +17%)",
+            (even / best_edp - 1.0) * 100.0
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! **Fig. 13** — robustness to workload change after deployment: fix each
+//! Maelstrom design at the partition optimized for one workload, then run
+//! the *other* workloads on it with only the (compile-time) scheduler
+//! re-run. Compares against FDA, SM-FDA and RDA baselines, averaged over
+//! accelerator classes.
+//!
+//! Expected shape (paper): running a different workload than the one the
+//! HDA was optimized for costs only ~4% latency / ~0.1% energy on
+//! average; the fixed HDAs keep beating FDAs and keep their energy
+//! advantage over the RDA.
+
+use herald_arch::{AcceleratorClass, AcceleratorConfig};
+use herald_bench::{dse_config, fast_mode, gain_pct};
+use herald_core::dse::{DesignPoint, DseEngine};
+use herald_dataflow::DataflowStyle;
+use herald_workloads::MultiDnnWorkload;
+
+fn main() {
+    let fast = fast_mode();
+    let dse = DseEngine::new(dse_config(fast));
+    let classes: &[AcceleratorClass] = if fast {
+        &[AcceleratorClass::Edge]
+    } else {
+        &AcceleratorClass::ALL
+    };
+    let workloads: Vec<MultiDnnWorkload> = if fast {
+        vec![herald_workloads::mlperf(1), herald_workloads::arvr_a()]
+    } else {
+        herald_workloads::all_workloads()
+    };
+
+    println!("Fig. 13: workload-change study (HDA-X = Maelstrom optimized for workload X)");
+
+    // Optimize one Maelstrom per (workload, class).
+    let mut designs: Vec<Vec<DesignPoint>> = Vec::new(); // [workload][class]
+    for w in &workloads {
+        let mut per_class = Vec::new();
+        for &class in classes {
+            let outcome = dse.co_optimize(
+                w,
+                class.resources(),
+                &[DataflowStyle::Nvdla, DataflowStyle::ShiDianNao],
+            );
+            per_class.push(outcome.best().expect("non-empty sweep").clone());
+        }
+        designs.push(per_class);
+    }
+
+    // Cross matrix: run workload j on the design optimized for workload i.
+    println!(
+        "\n{:<10} {:<12} {:>14} {:>14}",
+        "design", "workload", "avg lat (s)", "avg energy (J)"
+    );
+    let mut self_lat = vec![0.0f64; workloads.len()];
+    let mut self_energy = vec![0.0f64; workloads.len()];
+    let mut cross_penalty_lat = Vec::new();
+    let mut cross_penalty_energy = Vec::new();
+
+    // First pass: the matched (diagonal) numbers.
+    for (i, w) in workloads.iter().enumerate() {
+        let lat: f64 = designs[i].iter().map(DesignPoint::latency_s).sum::<f64>()
+            / classes.len() as f64;
+        let energy: f64 = designs[i].iter().map(DesignPoint::energy_j).sum::<f64>()
+            / classes.len() as f64;
+        self_lat[i] = lat;
+        self_energy[i] = energy;
+        let _ = w;
+    }
+
+    for (i, _) in workloads.iter().enumerate() {
+        for (j, wj) in workloads.iter().enumerate() {
+            let (mut lat, mut energy) = (0.0f64, 0.0f64);
+            for (c, _) in classes.iter().enumerate() {
+                let report = dse.reschedule(wj, &designs[i][c]);
+                lat += report.total_latency_s();
+                energy += report.total_energy_j();
+            }
+            lat /= classes.len() as f64;
+            energy /= classes.len() as f64;
+            println!(
+                "HDA-{:<5} {:<12} {:>14.5} {:>14.5}{}",
+                short(&workloads[i]),
+                wj.name(),
+                lat,
+                energy,
+                if i == j { "   (matched)" } else { "" }
+            );
+            if i != j {
+                cross_penalty_lat.push(lat / self_lat[j] - 1.0);
+                cross_penalty_energy.push(energy / self_energy[j] - 1.0);
+            }
+        }
+    }
+
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "\naverage mismatch penalty: latency {:+.1}%, energy {:+.1}% \
+         (paper: +4.0% latency, +0.1% energy)",
+        avg(&cross_penalty_lat) * 100.0,
+        avg(&cross_penalty_energy) * 100.0
+    );
+
+    // Baseline comparison under workload change, averaged over all
+    // (design, workload, class) mismatched combinations.
+    let mut vs_fda_lat = Vec::new();
+    let mut vs_fda_energy = Vec::new();
+    let mut vs_rda_lat = Vec::new();
+    let mut vs_rda_energy = Vec::new();
+    for (i, _) in workloads.iter().enumerate() {
+        for (j, wj) in workloads.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            for (c, &class) in classes.iter().enumerate() {
+                let res = class.resources();
+                let hda = dse.reschedule(wj, &designs[i][c]);
+                let best_fda = DataflowStyle::ALL
+                    .into_iter()
+                    .map(|s| dse.evaluate_config(wj, &AcceleratorConfig::fda(s, res)))
+                    .min_by(|a, b| a.edp().partial_cmp(&b.edp()).expect("finite EDP"))
+                    .expect("three FDAs");
+                let rda = dse.evaluate_config(wj, &AcceleratorConfig::rda(res));
+                vs_fda_lat.push(gain_pct(best_fda.total_latency_s(), hda.total_latency_s()));
+                vs_fda_energy.push(gain_pct(best_fda.total_energy_j(), hda.total_energy_j()));
+                vs_rda_lat.push(gain_pct(rda.total_latency_s(), hda.total_latency_s()));
+                vs_rda_energy.push(gain_pct(rda.total_energy_j(), hda.total_energy_j()));
+            }
+        }
+    }
+    println!(
+        "fixed HDAs vs FDAs under workload change: latency {:+.1}%, energy {:+.1}% \
+         (paper: +30.0%, +6.5%)",
+        avg(&vs_fda_lat),
+        avg(&vs_fda_energy)
+    );
+    println!(
+        "fixed HDAs vs RDA under workload change: latency {:+.1}%, energy {:+.1}% \
+         (paper: -28.6%, +19.4%)",
+        avg(&vs_rda_lat),
+        avg(&vs_rda_energy)
+    );
+}
+
+fn short(w: &MultiDnnWorkload) -> String {
+    match w.name() {
+        "AR/VR-A" => "A".into(),
+        "AR/VR-B" => "B".into(),
+        n if n.starts_with("MLPerf") => "M".into(),
+        other => other.chars().take(3).collect(),
+    }
+}

@@ -1,0 +1,87 @@
+//! **Headline summary** (abstract / Sec. I / Sec. V-B) — Maelstrom's
+//! average gains across the three workloads and three accelerator classes:
+//!
+//! * vs the best fixed-dataflow accelerator: paper reports 65.3% lower
+//!   latency and 5.0% lower energy (73.6% lower EDP),
+//! * vs the homogeneous scaled-out multi-FDA: 63.1% / 4.1%,
+//! * vs the MAERI-style RDA: 20.7% *higher* latency but 22.0% lower
+//!   energy.
+
+use herald_arch::AcceleratorClass;
+use herald_bench::{best_of, dse_config, evaluate_suite, fast_mode, gain_pct};
+use herald_core::dse::DseEngine;
+
+fn main() {
+    let fast = fast_mode();
+    let dse = DseEngine::new(dse_config(fast));
+    let classes: &[AcceleratorClass] = if fast {
+        &[AcceleratorClass::Edge]
+    } else {
+        &AcceleratorClass::ALL
+    };
+    let workloads = if fast {
+        vec![herald_workloads::mlperf(1)]
+    } else {
+        herald_workloads::all_workloads()
+    };
+
+    let mut vs_fda = Aggregate::default();
+    let mut vs_smfda = Aggregate::default();
+    let mut vs_rda = Aggregate::default();
+
+    for workload in &workloads {
+        for &class in classes {
+            let (rows, _) = evaluate_suite(&dse, workload, class);
+            let hda = best_of(&rows, "HDA").expect("HDA rows present");
+            if let Some(fda) = best_of(&rows, "FDA") {
+                vs_fda.push(hda, fda);
+            }
+            if let Some(smfda) = best_of(&rows, "SM-FDA") {
+                vs_smfda.push(hda, smfda);
+            }
+            if let Some(rda) = best_of(&rows, "RDA") {
+                vs_rda.push(hda, rda);
+            }
+            println!(
+                "{} / {}: best HDA = {} (EDP {:.6})",
+                workload.name(),
+                class,
+                hda.label,
+                hda.edp()
+            );
+        }
+    }
+
+    println!("\nHeadline averages for the best HDA per scenario:");
+    vs_fda.print("vs best FDA", "paper: +65.3% latency, +5.0% energy");
+    vs_smfda.print("vs best SM-FDA", "paper: +63.1% latency, +4.1% energy");
+    vs_rda.print(
+        "vs RDA",
+        "paper: -20.7% latency (RDA faster), +22.0% energy",
+    );
+}
+
+#[derive(Default)]
+struct Aggregate {
+    lat: Vec<f64>,
+    energy: Vec<f64>,
+    edp: Vec<f64>,
+}
+
+impl Aggregate {
+    fn push(&mut self, ours: &herald_bench::EvalRow, base: &herald_bench::EvalRow) {
+        self.lat.push(gain_pct(base.latency_s, ours.latency_s));
+        self.energy.push(gain_pct(base.energy_j, ours.energy_j));
+        self.edp.push(gain_pct(base.edp(), ours.edp()));
+    }
+
+    fn print(&self, label: &str, paper: &str) {
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        println!(
+            "  {label:<16} latency {:+.1}%, energy {:+.1}%, EDP {:+.1}%   ({paper})",
+            avg(&self.lat),
+            avg(&self.energy),
+            avg(&self.edp)
+        );
+    }
+}

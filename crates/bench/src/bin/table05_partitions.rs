@@ -1,0 +1,71 @@
+//! **Table V** — Maelstrom's optimized hardware-resource partitions found
+//! by Herald: per (workload, accelerator-class) scenario, the best-EDP
+//! NVDLA/Shi-diannao split of bandwidth and PEs.
+//!
+//! Expected shape (paper): partitions are non-trivial (rarely even);
+//! NVDLA tends to receive more PEs overall (its channel parallelism suits
+//! more layers), Shi-diannao relatively more bandwidth per PE.
+
+use herald_arch::AcceleratorClass;
+use herald_bench::{dse_config, fast_mode};
+use herald_core::dse::DseEngine;
+use herald_dataflow::DataflowStyle;
+
+fn main() {
+    let fast = fast_mode();
+    let dse = DseEngine::new(dse_config(fast));
+    let classes: &[AcceleratorClass] = if fast {
+        &[AcceleratorClass::Edge]
+    } else {
+        &AcceleratorClass::ALL
+    };
+    let workloads = if fast {
+        vec![herald_workloads::mlperf(1)]
+    } else {
+        herald_workloads::all_workloads()
+    };
+
+    println!("Table V: Maelstrom optimized partitions (NVDLA / Shi-diannao)");
+    println!(
+        "{:<12} {:<8} {:>18} {:>18} {:>12}",
+        "workload", "class", "BW (GB/s)", "PEs", "EDP (J*s)"
+    );
+
+    let mut nvdla_pe_share = Vec::new();
+    let mut nvdla_bw_share = Vec::new();
+    for workload in &workloads {
+        for &class in classes {
+            let res = class.resources();
+            let outcome = dse.co_optimize(
+                workload,
+                res,
+                &[DataflowStyle::Nvdla, DataflowStyle::ShiDianNao],
+            );
+            let best = outcome.best().expect("non-empty sweep");
+            let pes = best.partition.pes();
+            let bw = best.partition.bandwidth_gbps();
+            println!(
+                "{:<12} {:<8} {:>8.0} / {:>7.0} {:>9} / {:>6} {:>12.6}",
+                workload.name(),
+                class.to_string(),
+                bw[0],
+                bw[1],
+                pes[0],
+                pes[1],
+                best.edp()
+            );
+            nvdla_pe_share.push(f64::from(pes[0]) / f64::from(res.pes));
+            nvdla_bw_share.push(bw[0] / res.bandwidth_gbps);
+        }
+    }
+
+    let avg_pe = nvdla_pe_share.iter().sum::<f64>() / nvdla_pe_share.len() as f64;
+    let avg_bw = nvdla_bw_share.iter().sum::<f64>() / nvdla_bw_share.len() as f64;
+    println!(
+        "\naverage NVDLA share: {:.0}% of PEs, {:.0}% of bandwidth \
+         (paper: NVDLA gets more PEs on average; Shi-diannao relatively \
+         more bandwidth)",
+        avg_pe * 100.0,
+        avg_bw * 100.0
+    );
+}

@@ -1,0 +1,71 @@
+//! **Table VI** — latency and energy gain of the best Maelstrom HDA
+//! against the best-EDP FDA and the RDA at batch sizes 1 and 8 on the
+//! MLPerf workload, across the three accelerator classes.
+//!
+//! Expected shape (paper): gains grow with batch size — more independent
+//! replicas mean more layer parallelism for the HDA to exploit — and at
+//! batch 8 the HDA beats the RDA in both latency and energy.
+
+use herald_arch::{AcceleratorClass, AcceleratorConfig};
+use herald_bench::{dse_config, fast_mode, gain_pct};
+use herald_core::dse::DseEngine;
+use herald_dataflow::DataflowStyle;
+
+fn main() {
+    let fast = fast_mode();
+    let dse = DseEngine::new(dse_config(fast));
+    let classes: &[AcceleratorClass] = if fast {
+        &[AcceleratorClass::Edge]
+    } else {
+        &AcceleratorClass::ALL
+    };
+    let batches: &[usize] = if fast { &[1] } else { &[1, 8] };
+
+    println!("Table VI: Maelstrom gains vs best-EDP FDA and RDA on MLPerf");
+    println!(
+        "{:<8} {:>6} {:>24} {:>24}",
+        "class", "batch", "latency gain (FDA/RDA)", "energy gain (FDA/RDA)"
+    );
+
+    for &class in classes {
+        let res = class.resources();
+        for &batch in batches {
+            let workload = herald_workloads::mlperf(batch);
+
+            // Best-EDP FDA.
+            let (fda_lat, fda_energy) = DataflowStyle::ALL
+                .into_iter()
+                .map(|s| {
+                    let r = dse.evaluate_config(&workload, &AcceleratorConfig::fda(s, res));
+                    (r.edp(), r.total_latency_s(), r.total_energy_j())
+                })
+                .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite EDP"))
+                .map(|(_, l, e)| (l, e))
+                .expect("three FDAs");
+
+            let rda = dse.evaluate_config(&workload, &AcceleratorConfig::rda(res));
+
+            let outcome = dse.co_optimize(
+                &workload,
+                res,
+                &[DataflowStyle::Nvdla, DataflowStyle::ShiDianNao],
+            );
+            let hda = outcome.best().expect("non-empty sweep");
+
+            println!(
+                "{:<8} {:>6} {:>11.1}% /{:>8.1}% {:>11.1}% /{:>8.1}%",
+                class.to_string(),
+                batch,
+                gain_pct(fda_lat, hda.latency_s()),
+                gain_pct(rda.total_latency_s(), hda.latency_s()),
+                gain_pct(fda_energy, hda.energy_j()),
+                gain_pct(rda.total_energy_j(), hda.energy_j()),
+            );
+        }
+    }
+    println!(
+        "\npaper shape: positive FDA gains everywhere; RDA latency gain \
+         negative at batch 1 (RDA faster) but positive at batch 8; energy \
+         gains vs RDA positive throughout"
+    );
+}

@@ -1,0 +1,53 @@
+//! **Table VII** — wall-clock time of Herald's scheduler per workload and
+//! sub-accelerator count.
+//!
+//! Expected shape (paper, i9-9880H laptop): seconds-scale per workload,
+//! growing with layer count and sub-accelerator count (AR/VR-A 2.89 s /
+//! 4.32 s, AR/VR-B 3.98 s / 10.74 s, MLPerf 1.61 s / 3.22 s for 2 / 3
+//! sub-accelerators; ~11 ms per layer per design point on average).
+
+use herald_arch::{AcceleratorClass, AcceleratorConfig, Partition};
+use herald_core::sched::{HeraldScheduler, Scheduler, SchedulerConfig};
+use herald_core::task::TaskGraph;
+use herald_cost::CostModel;
+use herald_dataflow::DataflowStyle;
+use std::time::Instant;
+
+fn main() {
+    let res = AcceleratorClass::Cloud.resources();
+    println!("Table VII: Herald scheduling wall-clock time (cloud class)");
+    println!(
+        "{:<12} {:>8} {:>16} {:>16} {:>16}",
+        "workload", "layers", "sub-accs", "sched time (s)", "ms per layer"
+    );
+
+    for workload in herald_workloads::all_workloads() {
+        let graph = TaskGraph::new(&workload);
+        for ways in [2usize, 3] {
+            let styles = &DataflowStyle::ALL[..ways];
+            let partition = Partition::even(ways, res.pes, res.bandwidth_gbps);
+            let acc = AcceleratorConfig::hda(styles, res, partition).expect("valid HDA");
+            // Fresh cost model per measurement: include cold cost-model
+            // queries, as the paper's per-design-point timing does.
+            let cost = CostModel::default();
+            let scheduler = HeraldScheduler::new(SchedulerConfig::default());
+            let t0 = Instant::now();
+            let schedule = scheduler.schedule(&graph, &acc, &cost);
+            let dt = t0.elapsed().as_secs_f64();
+            assert_eq!(
+                schedule.assignment().len(),
+                graph.len(),
+                "schedule must cover the workload"
+            );
+            println!(
+                "{:<12} {:>8} {:>16} {:>16.3} {:>16.3}",
+                workload.name(),
+                graph.len(),
+                ways,
+                dt,
+                dt * 1e3 / graph.len() as f64
+            );
+        }
+    }
+    println!("\npaper scale: 1.6-10.7 s per workload, ~11 ms per layer per design point");
+}

@@ -1,0 +1,229 @@
+//! Shared harness for the experiment binaries that regenerate every table
+//! and figure of the paper's evaluation (Section V).
+//!
+//! Each `src/bin/*` binary reproduces one artifact:
+//!
+//! | Binary | Paper artifact |
+//! |--------|----------------|
+//! | `table01_model_stats` | Table I (model heterogeneity) |
+//! | `fig02_fda_edp` | Fig. 2 (FDA EDP on ResNet50 / UNet) |
+//! | `fig05_layer_preference` | Fig. 5 (per-layer utilization + EDP) |
+//! | `fig06_pe_partition` | Fig. 6 (PE-partition sweep) |
+//! | `fig11_design_space` | Fig. 11 (9-plot design space) |
+//! | `fig12_single_dnn` | Fig. 12 (single-DNN batch-4 design space) |
+//! | `fig13_workload_change` | Fig. 13 (workload-change robustness) |
+//! | `table05_partitions` | Table V (Maelstrom optimized partitions) |
+//! | `table06_batch_size` | Table VI (batch-size gains vs FDA / RDA) |
+//! | `table07_sched_time` | Table VII (scheduling wall-clock time) |
+//! | `ablation_scheduler` | Sec. V-B scheduler-vs-greedy ablation |
+//! | `summary_headline` | Sec. V-B headline averages |
+//!
+//! Pass `--fast` to any binary for a coarse (seconds-scale) run; the
+//! default granularity reproduces the paper-scale sweeps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use herald_arch::{AcceleratorClass, AcceleratorConfig, HardwareResources};
+use herald_core::dse::{DseConfig, DseEngine, DseOutcome};
+use herald_core::exec::ExecutionReport;
+use herald_dataflow::DataflowStyle;
+use herald_workloads::MultiDnnWorkload;
+
+/// The four HDA style sets evaluated in Table III (the first is
+/// Maelstrom's).
+pub fn hda_style_sets() -> Vec<Vec<DataflowStyle>> {
+    vec![
+        vec![DataflowStyle::Nvdla, DataflowStyle::ShiDianNao],
+        vec![DataflowStyle::ShiDianNao, DataflowStyle::Eyeriss],
+        vec![DataflowStyle::Eyeriss, DataflowStyle::Nvdla],
+        vec![
+            DataflowStyle::Nvdla,
+            DataflowStyle::ShiDianNao,
+            DataflowStyle::Eyeriss,
+        ],
+    ]
+}
+
+/// Short display name for an HDA style set.
+pub fn style_set_name(styles: &[DataflowStyle]) -> String {
+    let names: Vec<&str> = styles.iter().map(DataflowStyle::label).collect();
+    names.join("+")
+}
+
+/// The three monolithic FDA baselines (Table III).
+pub fn fda_configs(res: HardwareResources) -> Vec<AcceleratorConfig> {
+    DataflowStyle::ALL
+        .into_iter()
+        .map(|s| AcceleratorConfig::fda(s, res))
+        .collect()
+}
+
+/// The three two-way scaled-out multi-FDA baselines (Table III).
+pub fn smfda_configs(res: HardwareResources) -> Vec<AcceleratorConfig> {
+    DataflowStyle::ALL
+        .into_iter()
+        .map(|s| AcceleratorConfig::sm_fda(s, 2, res).expect("2-way SM-FDA is valid"))
+        .collect()
+}
+
+/// Whether `--fast` was passed on the command line.
+pub fn fast_mode() -> bool {
+    std::env::args().any(|a| a == "--fast")
+}
+
+/// The DSE configuration used by the experiment binaries: paper-scale by
+/// default, coarse under `--fast`.
+pub fn dse_config(fast: bool) -> DseConfig {
+    if fast {
+        DseConfig::fast()
+    } else {
+        DseConfig::default()
+    }
+}
+
+/// One evaluated accelerator on one workload: a row of Fig. 11.
+#[derive(Debug, Clone)]
+pub struct EvalRow {
+    /// Accelerator label (e.g. `"FDA NVDLA"`, `"HDA NVDLA+Shi-diannao"`).
+    pub label: String,
+    /// Taxonomy group for Pareto bookkeeping.
+    pub group: &'static str,
+    /// Workload latency, seconds.
+    pub latency_s: f64,
+    /// Workload energy, joules.
+    pub energy_j: f64,
+}
+
+impl EvalRow {
+    /// EDP of this row.
+    pub fn edp(&self) -> f64 {
+        self.latency_s * self.energy_j
+    }
+
+    /// Builds a row from an execution report.
+    pub fn from_report(label: String, group: &'static str, r: &ExecutionReport) -> Self {
+        Self {
+            label,
+            group,
+            latency_s: r.total_latency_s(),
+            energy_j: r.total_energy_j(),
+        }
+    }
+}
+
+/// Evaluates the full Table III accelerator suite on one workload/class
+/// scenario: 3 FDAs, 3 SM-FDAs, the RDA, and the best DSE point of each of
+/// the four HDA style sets. Returns the rows plus the HDA design-point
+/// clouds (for scatter output).
+pub fn evaluate_suite(
+    dse: &DseEngine,
+    workload: &MultiDnnWorkload,
+    class: AcceleratorClass,
+) -> (Vec<EvalRow>, Vec<(String, DseOutcome)>) {
+    let res = class.resources();
+    let mut rows = Vec::new();
+
+    for cfg in fda_configs(res) {
+        let r = dse.evaluate_config(workload, &cfg);
+        rows.push(EvalRow::from_report(cfg.name().to_string(), "FDA", &r));
+    }
+    for cfg in smfda_configs(res) {
+        let r = dse.evaluate_config(workload, &cfg);
+        rows.push(EvalRow::from_report(cfg.name().to_string(), "SM-FDA", &r));
+    }
+    let rda = AcceleratorConfig::rda(res);
+    let r = dse.evaluate_config(workload, &rda);
+    rows.push(EvalRow::from_report(rda.name().to_string(), "RDA", &r));
+
+    let mut clouds = Vec::new();
+    for styles in hda_style_sets() {
+        let outcome = dse.co_optimize(workload, res, &styles);
+        if let Some(best) = outcome.best() {
+            rows.push(EvalRow {
+                label: format!("HDA {}", style_set_name(&styles)),
+                group: "HDA",
+                latency_s: best.latency_s(),
+                energy_j: best.energy_j(),
+            });
+        }
+        clouds.push((style_set_name(&styles), outcome));
+    }
+    (rows, clouds)
+}
+
+/// Best row of a group under EDP.
+pub fn best_of<'a>(rows: &'a [EvalRow], group: &str) -> Option<&'a EvalRow> {
+    rows.iter()
+        .filter(|r| r.group == group)
+        .min_by(|a, b| a.edp().partial_cmp(&b.edp()).expect("finite EDP"))
+}
+
+/// Percentage improvement of `ours` over `base` (positive = ours lower).
+pub fn gain_pct(base: f64, ours: f64) -> f64 {
+    (1.0 - ours / base) * 100.0
+}
+
+/// Prints a standard evaluation table for one scenario.
+pub fn print_rows(title: &str, rows: &[EvalRow]) {
+    println!("\n--- {title} ---");
+    println!(
+        "{:<34} {:>12} {:>12} {:>14}",
+        "accelerator", "latency (s)", "energy (J)", "EDP (J*s)"
+    );
+    for r in rows {
+        println!(
+            "{:<34} {:>12.5} {:>12.5} {:>14.6}",
+            r.label,
+            r.latency_s,
+            r.energy_j,
+            r.edp()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn style_sets_match_table3() {
+        let sets = hda_style_sets();
+        assert_eq!(sets.len(), 4);
+        assert_eq!(sets[0], vec![DataflowStyle::Nvdla, DataflowStyle::ShiDianNao]);
+        assert_eq!(sets[3].len(), 3);
+    }
+
+    #[test]
+    fn gain_pct_signs() {
+        assert!((gain_pct(2.0, 1.0) - 50.0).abs() < 1e-12);
+        assert!(gain_pct(1.0, 2.0) < 0.0);
+    }
+
+    #[test]
+    fn suite_baseline_counts() {
+        let res = AcceleratorClass::Edge.resources();
+        assert_eq!(fda_configs(res).len(), 3);
+        assert_eq!(smfda_configs(res).len(), 3);
+    }
+
+    #[test]
+    fn best_of_picks_min_edp() {
+        let rows = vec![
+            EvalRow {
+                label: "a".into(),
+                group: "FDA",
+                latency_s: 1.0,
+                energy_j: 1.0,
+            },
+            EvalRow {
+                label: "b".into(),
+                group: "FDA",
+                latency_s: 0.5,
+                energy_j: 1.0,
+            },
+        ];
+        assert_eq!(best_of(&rows, "FDA").unwrap().label, "b");
+        assert!(best_of(&rows, "HDA").is_none());
+    }
+}

@@ -1,0 +1,453 @@
+//! Hardware/schedule co-design space exploration (paper Sec. IV-C).
+
+mod partitions;
+
+use crate::exec::ExecutionReport;
+use crate::pareto::pareto_frontier;
+use crate::sched::{HeraldScheduler, Scheduler, SchedulerConfig};
+use crate::task::TaskGraph;
+use herald_arch::{AcceleratorConfig, HardwareResources, Partition};
+use herald_cost::{CostModel, Metric};
+use herald_dataflow::DataflowStyle;
+use herald_workloads::MultiDnnWorkload;
+use serde::{Deserialize, Serialize};
+
+pub use partitions::candidate_partitions;
+
+/// Partition-search strategy (Sec. IV-C: "the DSE algorithm, by default,
+/// performs an exhaustive search based on user-specified search
+/// granularity ... also supports binary sampling or random search").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SearchStrategy {
+    /// Full grid at the configured granularity.
+    Exhaustive,
+    /// Only splits at power-of-two fractions (1/2, 1/4, 3/4, ...).
+    BinarySampling,
+    /// Uniform random compositions.
+    Random {
+        /// Number of sampled partitions per bandwidth split.
+        samples: usize,
+        /// RNG seed (the DSE is deterministic given the seed).
+        seed: u64,
+    },
+}
+
+/// DSE tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DseConfig {
+    /// Partition-search strategy.
+    pub strategy: SearchStrategy,
+    /// PE-split granularity: the budget is divided into this many quanta.
+    pub pe_steps: usize,
+    /// Bandwidth-split granularity.
+    pub bw_steps: usize,
+    /// Metric optimized (and reported as "best").
+    pub metric: Metric,
+    /// Scheduler used to evaluate every candidate partition.
+    pub scheduler: SchedulerConfig,
+    /// Evaluate candidates on worker threads.
+    pub parallel: bool,
+}
+
+impl Default for DseConfig {
+    fn default() -> Self {
+        Self {
+            strategy: SearchStrategy::Exhaustive,
+            pe_steps: 8,
+            bw_steps: 4,
+            metric: Metric::Edp,
+            scheduler: SchedulerConfig::default(),
+            parallel: true,
+        }
+    }
+}
+
+impl DseConfig {
+    /// A coarse, fast configuration for examples and tests: a 4x2 grid
+    /// with post-processing disabled.
+    pub fn fast() -> Self {
+        Self {
+            pe_steps: 4,
+            bw_steps: 2,
+            scheduler: SchedulerConfig {
+                post_process: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+}
+
+/// One explored design: a partition and its scheduled execution.
+#[derive(Debug, Clone)]
+pub struct DesignPoint {
+    /// The hardware partition evaluated.
+    pub partition: Partition,
+    /// The accelerator configuration built from it.
+    pub config: AcceleratorConfig,
+    /// The scheduled execution report.
+    pub report: ExecutionReport,
+}
+
+impl DesignPoint {
+    /// Latency of this design, seconds.
+    pub fn latency_s(&self) -> f64 {
+        self.report.total_latency_s()
+    }
+
+    /// Energy of this design, joules.
+    pub fn energy_j(&self) -> f64 {
+        self.report.total_energy_j()
+    }
+
+    /// EDP of this design.
+    pub fn edp(&self) -> f64 {
+        self.report.edp()
+    }
+}
+
+/// The design-point cloud produced by a DSE run (one point per candidate
+/// partition — the dots of the paper's Figs. 6 and 11).
+#[derive(Debug, Clone)]
+pub struct DseOutcome {
+    /// All evaluated points.
+    pub points: Vec<DesignPoint>,
+    metric: Metric,
+}
+
+impl DseOutcome {
+    /// The best point under the DSE metric.
+    pub fn best(&self) -> Option<&DesignPoint> {
+        self.points.iter().min_by(|a, b| {
+            a.report
+                .score(self.metric)
+                .partial_cmp(&b.report.score(self.metric))
+                .expect("scores are finite")
+        })
+    }
+
+    /// The latency/energy Pareto-optimal points.
+    pub fn pareto(&self) -> Vec<&DesignPoint> {
+        let coords: Vec<(f64, f64)> = self
+            .points
+            .iter()
+            .map(|p| (p.latency_s(), p.energy_j()))
+            .collect();
+        pareto_frontier(&coords)
+            .into_iter()
+            .map(|i| &self.points[i])
+            .collect()
+    }
+}
+
+/// The Herald DSE engine: explores HDA architectures per Definition 1 by
+/// sweeping PE and bandwidth partitions and co-optimizing a layer schedule
+/// for each candidate.
+///
+/// # Example
+///
+/// ```
+/// use herald_arch::AcceleratorClass;
+/// use herald_core::dse::{DseConfig, DseEngine};
+/// use herald_dataflow::DataflowStyle;
+///
+/// let dse = DseEngine::new(DseConfig::fast());
+/// let workload = herald_workloads::single_model(herald_models::zoo::mobilenet_v2(), 2);
+/// let outcome = dse.co_optimize(
+///     &workload,
+///     AcceleratorClass::Edge.resources(),
+///     &[DataflowStyle::Nvdla, DataflowStyle::ShiDianNao],
+/// );
+/// assert!(!outcome.points.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DseEngine {
+    config: DseConfig,
+}
+
+impl DseEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: DseConfig) -> Self {
+        Self { config }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &DseConfig {
+        &self.config
+    }
+
+    /// Runs the full co-optimization: every candidate partition of
+    /// `resources` across one sub-accelerator per style is scheduled with
+    /// Herald's scheduler and reported as a design point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two styles are given (an HDA needs at least
+    /// two sub-accelerators; evaluate FDAs via
+    /// [`DseEngine::evaluate_config`]).
+    pub fn co_optimize(
+        &self,
+        workload: &MultiDnnWorkload,
+        resources: HardwareResources,
+        styles: &[DataflowStyle],
+    ) -> DseOutcome {
+        assert!(styles.len() >= 2, "an HDA needs at least two styles");
+        let graph = TaskGraph::new(workload);
+        let cost = CostModel::default();
+        let candidates = candidate_partitions(&self.config, resources, styles.len());
+
+        let evaluate = |partition: &Partition| -> Option<DesignPoint> {
+            let config = AcceleratorConfig::hda(styles, resources, partition.clone()).ok()?;
+            let report = HeraldScheduler::new(self.config.scheduler)
+                .schedule_and_simulate(&graph, &config, &cost)
+                .ok()?;
+            Some(DesignPoint {
+                partition: partition.clone(),
+                config,
+                report,
+            })
+        };
+
+        let points: Vec<DesignPoint> = if self.config.parallel {
+            let threads = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+                .min(candidates.len().max(1));
+            let chunk = candidates.len().div_ceil(threads.max(1)).max(1);
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = candidates
+                    .chunks(chunk)
+                    .map(|chunk| {
+                        scope.spawn(move |_| {
+                            chunk.iter().filter_map(evaluate).collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("DSE worker panicked"))
+                    .collect()
+            })
+            .expect("DSE scope panicked")
+        } else {
+            candidates.iter().filter_map(evaluate).collect()
+        };
+
+        DseOutcome {
+            points,
+            metric: self.config.metric,
+        }
+    }
+
+    /// Hierarchical refinement: runs [`DseEngine::co_optimize`], then for
+    /// `rounds` rounds evaluates progressively finer-grained neighbor
+    /// partitions around the incumbent best (halving the PE quantum each
+    /// round). This recovers most of a fine exhaustive sweep's quality at
+    /// a fraction of its cost — the practical use of the paper's
+    /// "user-specified search granularity".
+    pub fn co_optimize_refined(
+        &self,
+        workload: &MultiDnnWorkload,
+        resources: HardwareResources,
+        styles: &[DataflowStyle],
+        rounds: usize,
+    ) -> DseOutcome {
+        let mut outcome = self.co_optimize(workload, resources, styles);
+        let graph = TaskGraph::new(workload);
+        let cost = CostModel::default();
+        let mut quantum = (resources.pes / self.config.pe_steps as u32).max(1);
+        for _ in 0..rounds {
+            quantum = (quantum / 2).max(1);
+            let Some(best) = outcome.best() else { break };
+            let candidates = partitions::neighbor_partitions(&best.partition, quantum, resources);
+            let mut new_points = Vec::new();
+            for partition in candidates {
+                if outcome.points.iter().any(|p| p.partition == partition) {
+                    continue;
+                }
+                let Ok(config) = AcceleratorConfig::hda(styles, resources, partition.clone())
+                else {
+                    continue;
+                };
+                if let Ok(report) = HeraldScheduler::new(self.config.scheduler)
+                    .schedule_and_simulate(&graph, &config, &cost)
+                {
+                    new_points.push(DesignPoint {
+                        partition,
+                        config,
+                        report,
+                    });
+                }
+            }
+            if new_points.is_empty() {
+                break;
+            }
+            outcome.points.extend(new_points);
+        }
+        outcome
+    }
+
+    /// Evaluates a fixed accelerator configuration (FDA, SM-FDA, RDA, or a
+    /// pre-partitioned HDA) on a workload with Herald's scheduler.
+    pub fn evaluate_config(
+        &self,
+        workload: &MultiDnnWorkload,
+        config: &AcceleratorConfig,
+    ) -> ExecutionReport {
+        let graph = TaskGraph::new(workload);
+        let cost = CostModel::default();
+        HeraldScheduler::new(self.config.scheduler)
+            .schedule_and_simulate(&graph, config, &cost)
+            .expect("herald schedules are legal")
+    }
+
+    /// Re-schedules an existing design for a *different* workload (the
+    /// paper's workload-change study, Fig. 13: fix the hardware, rerun
+    /// only the compile-time scheduler).
+    pub fn reschedule(
+        &self,
+        workload: &MultiDnnWorkload,
+        point: &DesignPoint,
+    ) -> ExecutionReport {
+        self.evaluate_config(workload, &point.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use herald_arch::AcceleratorClass;
+    use herald_models::zoo;
+    use herald_workloads::{single_model, MultiDnnWorkload};
+
+    fn small_workload() -> MultiDnnWorkload {
+        MultiDnnWorkload::new("small")
+            .with_model(zoo::mobilenet_v2(), 1)
+            .with_model(zoo::mobilenet_v1(), 1)
+    }
+
+    fn styles() -> [DataflowStyle; 2] {
+        [DataflowStyle::Nvdla, DataflowStyle::ShiDianNao]
+    }
+
+    #[test]
+    fn co_optimize_produces_full_grid() {
+        let dse = DseEngine::new(DseConfig::fast());
+        let outcome = dse.co_optimize(
+            &small_workload(),
+            AcceleratorClass::Edge.resources(),
+            &styles(),
+        );
+        // 4 PE steps -> 3 splits, 2 BW steps -> 1 split.
+        assert_eq!(outcome.points.len(), 3);
+        assert!(outcome.best().is_some());
+    }
+
+    #[test]
+    fn partitions_conserve_resources() {
+        let res = AcceleratorClass::Edge.resources();
+        let dse = DseEngine::new(DseConfig::fast());
+        let outcome = dse.co_optimize(&small_workload(), res, &styles());
+        for p in &outcome.points {
+            assert_eq!(p.partition.total_pes(), res.pes);
+            assert!((p.partition.total_bandwidth_gbps() - res.bandwidth_gbps).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn best_point_minimizes_the_metric() {
+        let dse = DseEngine::new(DseConfig::fast());
+        let outcome = dse.co_optimize(
+            &small_workload(),
+            AcceleratorClass::Edge.resources(),
+            &styles(),
+        );
+        let best = outcome.best().unwrap().edp();
+        for p in &outcome.points {
+            assert!(p.edp() >= best - 1e-18);
+        }
+    }
+
+    #[test]
+    fn pareto_points_are_non_dominated() {
+        let dse = DseEngine::new(DseConfig::fast());
+        let outcome = dse.co_optimize(
+            &small_workload(),
+            AcceleratorClass::Edge.resources(),
+            &styles(),
+        );
+        let frontier = outcome.pareto();
+        assert!(!frontier.is_empty());
+        for f in &frontier {
+            for p in &outcome.points {
+                assert!(
+                    !(p.latency_s() < f.latency_s() && p.energy_j() < f.energy_j()),
+                    "frontier point dominated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_sweeps_agree() {
+        let mut cfg = DseConfig::fast();
+        cfg.parallel = false;
+        let serial = DseEngine::new(cfg).co_optimize(
+            &small_workload(),
+            AcceleratorClass::Edge.resources(),
+            &styles(),
+        );
+        let parallel = DseEngine::new(DseConfig::fast()).co_optimize(
+            &small_workload(),
+            AcceleratorClass::Edge.resources(),
+            &styles(),
+        );
+        assert_eq!(serial.points.len(), parallel.points.len());
+        let best_s = serial.best().unwrap().edp();
+        let best_p = parallel.best().unwrap().edp();
+        assert!((best_s - best_p).abs() < 1e-15);
+    }
+
+    #[test]
+    fn evaluate_config_covers_baselines() {
+        let dse = DseEngine::new(DseConfig::fast());
+        let res = AcceleratorClass::Edge.resources();
+        let w = single_model(zoo::mobilenet_v1(), 1);
+        for config in [
+            AcceleratorConfig::fda(DataflowStyle::Nvdla, res),
+            AcceleratorConfig::rda(res),
+            AcceleratorConfig::sm_fda(DataflowStyle::Nvdla, 2, res).unwrap(),
+        ] {
+            let report = dse.evaluate_config(&w, &config);
+            assert!(report.total_latency_s() > 0.0, "{}", config.name());
+        }
+    }
+
+    #[test]
+    fn refinement_never_worsens_the_best() {
+        let res = AcceleratorClass::Edge.resources();
+        let coarse = DseEngine::new(DseConfig::fast());
+        let base = coarse
+            .co_optimize(&small_workload(), res, &styles())
+            .best()
+            .unwrap()
+            .edp();
+        let refined = coarse
+            .co_optimize_refined(&small_workload(), res, &styles(), 2)
+            .best()
+            .unwrap()
+            .edp();
+        assert!(refined <= base + 1e-18);
+    }
+
+    #[test]
+    fn reschedule_keeps_hardware_fixed() {
+        let dse = DseEngine::new(DseConfig::fast());
+        let res = AcceleratorClass::Edge.resources();
+        let outcome = dse.co_optimize(&small_workload(), res, &styles());
+        let best = outcome.best().unwrap();
+        let other = single_model(zoo::mobilenet_v1(), 2);
+        let report = dse.reschedule(&other, best);
+        assert!(report.total_latency_s() > 0.0);
+    }
+}

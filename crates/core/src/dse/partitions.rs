@@ -1,0 +1,257 @@
+//! Candidate-partition enumeration for the DSE sweep.
+
+use crate::dse::{DseConfig, SearchStrategy};
+use herald_arch::{HardwareResources, Partition};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Enumerates the candidate [`Partition`]s the DSE evaluates for `ways`
+/// sub-accelerators, according to the configured strategy and granularity.
+///
+/// Every candidate conserves the budget exactly: PE quanta are
+/// `resources.pes / pe_steps` (remainder to the first sub-accelerator) and
+/// bandwidth quanta are `bandwidth / bw_steps`.
+pub fn candidate_partitions(
+    config: &DseConfig,
+    resources: HardwareResources,
+    ways: usize,
+) -> Vec<Partition> {
+    let pe_splits: Vec<Vec<u32>> = match config.strategy {
+        SearchStrategy::Exhaustive => compositions(config.pe_steps, ways),
+        SearchStrategy::BinarySampling => binary_compositions(config.pe_steps, ways),
+        SearchStrategy::Random { samples, seed } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..samples)
+                .map(|_| random_composition(config.pe_steps, ways, &mut rng))
+                .collect()
+        }
+    };
+    let bw_splits = compositions(config.bw_steps, ways);
+
+    let mut out = Vec::with_capacity(pe_splits.len() * bw_splits.len());
+    for pe in &pe_splits {
+        for bw in &bw_splits {
+            let pes = scale_pes(pe, config.pe_steps, resources.pes);
+            let bws = scale_bw(bw, config.bw_steps, resources.bandwidth_gbps);
+            if let Ok(p) = Partition::new(pes, bws) {
+                if !out.contains(&p) {
+                    out.push(p);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// All ways of writing `total` as an ordered sum of `ways` positive
+/// integers.
+fn compositions(total: usize, ways: usize) -> Vec<Vec<u32>> {
+    fn recurse(total: usize, ways: usize, prefix: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+        if ways == 1 {
+            if total >= 1 {
+                prefix.push(total as u32);
+                out.push(prefix.clone());
+                prefix.pop();
+            }
+            return;
+        }
+        for first in 1..=(total.saturating_sub(ways - 1)) {
+            prefix.push(first as u32);
+            recurse(total - first, ways - 1, prefix, out);
+            prefix.pop();
+        }
+    }
+    let mut out = Vec::new();
+    recurse(total, ways, &mut Vec::new(), &mut out);
+    out
+}
+
+/// Compositions restricted to power-of-two first parts (1, 2, 4, ...) —
+/// the paper's "binary sampling" that trades optimality for speed.
+fn binary_compositions(total: usize, ways: usize) -> Vec<Vec<u32>> {
+    compositions(total, ways)
+        .into_iter()
+        .filter(|c| c.iter().all(|&p| p.is_power_of_two()))
+        .collect()
+}
+
+/// A uniformly random composition of `total` into `ways` positive parts.
+fn random_composition(total: usize, ways: usize, rng: &mut StdRng) -> Vec<u32> {
+    // Stars-and-bars: choose ways-1 distinct cut points in 1..total.
+    let mut cuts: Vec<usize> = Vec::with_capacity(ways - 1);
+    while cuts.len() < ways - 1 {
+        let c = rng.gen_range(1..total);
+        if !cuts.contains(&c) {
+            cuts.push(c);
+        }
+    }
+    cuts.sort_unstable();
+    let mut parts = Vec::with_capacity(ways);
+    let mut prev = 0usize;
+    for &c in &cuts {
+        parts.push((c - prev) as u32);
+        prev = c;
+    }
+    parts.push((total - prev) as u32);
+    parts
+}
+
+/// Neighbor partitions of `base` for hierarchical refinement: every way
+/// pair `(i, j)` with `pe_quantum` PEs shifted from `i` to `j`, keeping
+/// bandwidth fixed, plus the symmetric bandwidth shifts of one-eighth of
+/// the budget with PEs fixed.
+pub(crate) fn neighbor_partitions(
+    base: &Partition,
+    pe_quantum: u32,
+    resources: HardwareResources,
+) -> Vec<Partition> {
+    let ways = base.ways();
+    let mut out = Vec::new();
+    for from in 0..ways {
+        for to in 0..ways {
+            if from == to || base.pes()[from] <= pe_quantum {
+                continue;
+            }
+            let mut pes = base.pes().to_vec();
+            pes[from] -= pe_quantum;
+            pes[to] += pe_quantum;
+            if let Ok(p) = Partition::new(pes, base.bandwidth_gbps().to_vec()) {
+                out.push(p);
+            }
+        }
+    }
+    let bw_quantum = resources.bandwidth_gbps / 8.0;
+    for from in 0..ways {
+        for to in 0..ways {
+            if from == to || base.bandwidth_gbps()[from] <= bw_quantum {
+                continue;
+            }
+            let mut bw = base.bandwidth_gbps().to_vec();
+            bw[from] -= bw_quantum;
+            bw[to] += bw_quantum;
+            if let Ok(p) = Partition::new(base.pes().to_vec(), bw) {
+                out.push(p);
+            }
+        }
+    }
+    out
+}
+
+fn scale_pes(split: &[u32], steps: usize, total: u32) -> Vec<u32> {
+    let quantum = total / steps as u32;
+    let mut pes: Vec<u32> = split.iter().map(|&s| s * quantum).collect();
+    let used: u32 = pes.iter().sum();
+    pes[0] += total - used;
+    pes
+}
+
+fn scale_bw(split: &[u32], steps: usize, total: f64) -> Vec<f64> {
+    split
+        .iter()
+        .map(|&s| total * f64::from(s) / steps as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::SchedulerConfig;
+    use herald_cost::Metric;
+
+    fn config(strategy: SearchStrategy, pe_steps: usize, bw_steps: usize) -> DseConfig {
+        DseConfig {
+            strategy,
+            pe_steps,
+            bw_steps,
+            metric: Metric::Edp,
+            scheduler: SchedulerConfig::default(),
+            parallel: false,
+        }
+    }
+
+    fn res() -> HardwareResources {
+        HardwareResources::new(1024, 16.0, 4 << 20)
+    }
+
+    #[test]
+    fn exhaustive_two_way_grid_size() {
+        let c = config(SearchStrategy::Exhaustive, 8, 4);
+        let parts = candidate_partitions(&c, res(), 2);
+        // 7 PE splits x 3 BW splits.
+        assert_eq!(parts.len(), 21);
+    }
+
+    #[test]
+    fn three_way_compositions_cover_the_simplex() {
+        let comps = compositions(6, 3);
+        // C(5,2) = 10 compositions of 6 into 3 positive parts.
+        assert_eq!(comps.len(), 10);
+        for c in comps {
+            assert_eq!(c.iter().sum::<u32>(), 6);
+            assert!(c.iter().all(|&p| p >= 1));
+        }
+    }
+
+    #[test]
+    fn partitions_conserve_totals_exactly() {
+        let c = config(SearchStrategy::Exhaustive, 8, 4);
+        for p in candidate_partitions(&c, res(), 3) {
+            assert_eq!(p.total_pes(), 1024);
+            assert!((p.total_bandwidth_gbps() - 16.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn binary_sampling_is_a_subset_of_exhaustive() {
+        let bin = config(SearchStrategy::BinarySampling, 8, 4);
+        let exh = config(SearchStrategy::Exhaustive, 8, 4);
+        let bins = candidate_partitions(&bin, res(), 2);
+        let exhs = candidate_partitions(&exh, res(), 2);
+        assert!(!bins.is_empty());
+        assert!(bins.len() < exhs.len());
+        for b in &bins {
+            assert!(exhs.contains(b));
+        }
+    }
+
+    #[test]
+    fn random_search_is_seed_deterministic() {
+        let c1 = config(SearchStrategy::Random { samples: 5, seed: 42 }, 16, 2);
+        let c2 = config(SearchStrategy::Random { samples: 5, seed: 42 }, 16, 2);
+        assert_eq!(
+            candidate_partitions(&c1, res(), 2),
+            candidate_partitions(&c2, res(), 2)
+        );
+    }
+
+    #[test]
+    fn neighbors_conserve_totals() {
+        let base = Partition::new(vec![512, 512], vec![8.0, 8.0]).unwrap();
+        let neighbors = neighbor_partitions(&base, 64, res());
+        assert!(!neighbors.is_empty());
+        for n in &neighbors {
+            assert_eq!(n.total_pes(), 1024);
+            assert!((n.total_bandwidth_gbps() - 16.0).abs() < 1e-9);
+            assert_ne!(n, &base);
+        }
+    }
+
+    #[test]
+    fn neighbors_never_zero_out_a_way() {
+        let base = Partition::new(vec![64, 960], vec![2.0, 14.0]).unwrap();
+        for n in neighbor_partitions(&base, 64, res()) {
+            assert!(n.pes().iter().all(|&p| p > 0));
+            assert!(n.bandwidth_gbps().iter().all(|&b| b > 0.0));
+        }
+    }
+
+    #[test]
+    fn quantum_remainder_lands_on_first_way() {
+        // 1000 PEs into 8 steps: quantum 125, no remainder; 1001 leaves 1.
+        let c = config(SearchStrategy::Exhaustive, 8, 2);
+        let r = HardwareResources::new(1001, 16.0, 1 << 20);
+        for p in candidate_partitions(&c, r, 2) {
+            assert_eq!(p.total_pes(), 1001);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! JSON import/export of schedules and reports — Herald's compiler-facing
+//! interface: the paper positions the scheduler as usable "by compilers as
+//! a scheduler by running (ii) at compile time", which requires schedules
+//! to leave the process.
+
+use crate::exec::{ExecutionReport, Schedule, SimError};
+use serde::{Deserialize, Serialize};
+
+/// A self-describing schedule artifact: the schedule plus the context
+/// needed to validate it on import.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleArtifact {
+    /// Name of the workload the schedule was built for.
+    pub workload: String,
+    /// Name of the accelerator configuration.
+    pub accelerator: String,
+    /// Number of tasks covered.
+    pub tasks: usize,
+    /// The schedule itself.
+    pub schedule: Schedule,
+}
+
+impl ScheduleArtifact {
+    /// Wraps a schedule with its provenance.
+    pub fn new(
+        workload: impl Into<String>,
+        accelerator: impl Into<String>,
+        schedule: Schedule,
+    ) -> Self {
+        Self {
+            workload: workload.into(),
+            accelerator: accelerator.into(),
+            tasks: schedule.assignment().len(),
+            schedule,
+        }
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `serde_json` errors (none are expected for this type).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Deserializes from JSON and re-validates the schedule structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExportError::Json`] on malformed JSON and
+    /// [`ExportError::Invalid`] when the embedded schedule is structurally
+    /// inconsistent (a task queued twice, a queue/assignment mismatch...).
+    pub fn from_json(json: &str) -> Result<Self, ExportError> {
+        let artifact: ScheduleArtifact = serde_json::from_str(json).map_err(ExportError::Json)?;
+        // Re-run the structural validation `Schedule::new` performs, since
+        // serde bypasses the constructor.
+        Schedule::new(
+            artifact.schedule.assignment().to_vec(),
+            artifact.schedule.order().to_vec(),
+        )
+        .map_err(ExportError::Invalid)?;
+        if artifact.tasks != artifact.schedule.assignment().len() {
+            return Err(ExportError::Invalid(SimError::InvalidSchedule(format!(
+                "artifact claims {} tasks but schedule covers {}",
+                artifact.tasks,
+                artifact.schedule.assignment().len()
+            ))));
+        }
+        Ok(artifact)
+    }
+}
+
+/// Errors importing a schedule artifact.
+#[derive(Debug)]
+pub enum ExportError {
+    /// Malformed JSON.
+    Json(serde_json::Error),
+    /// Structurally invalid schedule.
+    Invalid(SimError),
+}
+
+impl std::fmt::Display for ExportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExportError::Json(e) => write!(f, "malformed schedule JSON: {e}"),
+            ExportError::Invalid(e) => write!(f, "invalid schedule artifact: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExportError {}
+
+/// Serializes an execution report to pretty JSON (reports are outputs
+/// only; there is no import path).
+///
+/// # Errors
+///
+/// Propagates `serde_json` errors (none are expected for this type).
+pub fn report_to_json(report: &ExecutionReport) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{HeraldScheduler, Scheduler};
+    use crate::task::TaskGraph;
+    use herald_arch::{AcceleratorClass, AcceleratorConfig, Partition};
+    use herald_cost::CostModel;
+    use herald_models::zoo;
+    use herald_workloads::single_model;
+
+    fn artifact() -> (ScheduleArtifact, ExecutionReport) {
+        let w = single_model(zoo::mobilenet_v1(), 1);
+        let graph = TaskGraph::new(&w);
+        let acc = AcceleratorConfig::maelstrom(
+            AcceleratorClass::Edge.resources(),
+            Partition::even(2, 1024, 16.0),
+        )
+        .unwrap();
+        let cost = CostModel::default();
+        let schedule = HeraldScheduler::default().schedule(&graph, &acc, &cost);
+        let report = crate::exec::ScheduleSimulator::new(&graph, &acc, &cost)
+            .simulate(&schedule)
+            .unwrap();
+        (
+            ScheduleArtifact::new(w.name(), acc.name(), schedule),
+            report,
+        )
+    }
+
+    #[test]
+    fn schedule_round_trips_through_json() {
+        let (a, _) = artifact();
+        let json = a.to_json().unwrap();
+        let b = ScheduleArtifact::from_json(&json).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(matches!(
+            ScheduleArtifact::from_json("{not json"),
+            Err(ExportError::Json(_))
+        ));
+    }
+
+    #[test]
+    fn tampered_schedule_is_rejected() {
+        let (a, _) = artifact();
+        // Duplicate the first queued task: structurally invalid.
+        let json = a.to_json().unwrap();
+        let mut value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let order = value["schedule"]["order"][0].as_array().unwrap().clone();
+        value["schedule"]["order"][0][1] = order[0].clone();
+        let tampered = value.to_string();
+        assert!(matches!(
+            ScheduleArtifact::from_json(&tampered),
+            Err(ExportError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn task_count_mismatch_is_rejected() {
+        let (a, _) = artifact();
+        let mut value: serde_json::Value =
+            serde_json::from_str(&a.to_json().unwrap()).unwrap();
+        value["tasks"] = serde_json::json!(3);
+        assert!(matches!(
+            ScheduleArtifact::from_json(&value.to_string()),
+            Err(ExportError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn report_serializes_with_totals() {
+        let (_, report) = artifact();
+        let json = report_to_json(&report).unwrap();
+        assert!(json.contains("total_latency_s"));
+        assert!(json.contains("entries"));
+    }
+
+    #[test]
+    fn errors_are_displayable() {
+        let e = ExportError::Invalid(SimError::InvalidSchedule("x".into()));
+        assert!(e.to_string().contains("invalid"));
+    }
+}

@@ -1,0 +1,54 @@
+//! **Herald** — the hardware/schedule co-design space exploration framework
+//! for heterogeneous dataflow accelerators (HDAs), reproducing Sections III
+//! and IV of *"Heterogeneous Dataflow Accelerators for Multi-DNN
+//! Workloads"* (HPCA 2021).
+//!
+//! The crate is organized around the paper's pipeline (Fig. 10):
+//!
+//! 1. A [`task::TaskGraph`] flattens a multi-DNN workload into a
+//!    dependence-ordered task list (one task per MAC layer per model
+//!    replica).
+//! 2. A [`sched::Scheduler`] assigns every task to a sub-accelerator and
+//!    orders execution: [`sched::GreedyScheduler`] is the paper's baseline
+//!    (per-layer best fit, nothing else); [`sched::HeraldScheduler`]
+//!    implements the full Fig. 7-9 algorithm — dataflow-preference
+//!    assignment, load-balance feedback, depth-/breadth-first initial
+//!    ordering and idle-gap post-processing.
+//! 3. The [`exec::ScheduleSimulator`] replays a schedule against the
+//!    execution model of Sec. IV-A (layer-granularity, non-synchronized
+//!    sub-accelerators, double buffering, global-buffer memory constraint)
+//!    and produces an [`exec::ExecutionReport`].
+//! 4. The [`dse::DseEngine`] sweeps hardware partitionings (Definition 1)
+//!    and co-optimizes them with the scheduler, yielding the design-space
+//!    clouds of the paper's Figs. 6 and 11; [`pareto`] extracts frontiers.
+//!
+//! # Example
+//!
+//! ```
+//! use herald_arch::AcceleratorClass;
+//! use herald_core::dse::{DseConfig, DseEngine};
+//! use herald_dataflow::DataflowStyle;
+//!
+//! let workload = herald_workloads::single_model(herald_models::zoo::unet(), 2);
+//! let dse = DseEngine::new(DseConfig::fast());
+//! let outcome = dse.co_optimize(
+//!     &workload,
+//!     AcceleratorClass::Edge.resources(),
+//!     &[DataflowStyle::Nvdla, DataflowStyle::ShiDianNao],
+//! );
+//! let best = outcome.best().expect("non-empty design space");
+//! assert!(best.report.total_latency_s() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dse;
+pub mod exec;
+pub mod export;
+pub mod pareto;
+pub mod report;
+pub mod sched;
+pub mod task;
+
+pub use herald_cost::Metric;

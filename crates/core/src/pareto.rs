@@ -1,0 +1,71 @@
+//! Pareto-frontier extraction over (latency, energy) design points.
+
+/// Whether point `p` is dominated by point `q` (both coordinates no worse,
+/// at least one strictly better; minimization in both dimensions).
+pub fn dominates(q: (f64, f64), p: (f64, f64)) -> bool {
+    q.0 <= p.0 && q.1 <= p.1 && (q.0 < p.0 || q.1 < p.1)
+}
+
+/// Indices of the non-dominated points among `points`
+/// (minimizing both coordinates), in input order.
+///
+/// # Example
+///
+/// ```
+/// use herald_core::pareto::pareto_frontier;
+///
+/// let pts = [(1.0, 5.0), (2.0, 2.0), (3.0, 3.0), (5.0, 1.0)];
+/// assert_eq!(pareto_frontier(&pts), vec![0, 1, 3]);
+/// ```
+pub fn pareto_frontier(points: &[(f64, f64)]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| {
+            !points
+                .iter()
+                .enumerate()
+                .any(|(j, &q)| j != i && dominates(q, points[i]))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_point_is_frontier() {
+        assert_eq!(pareto_frontier(&[(1.0, 1.0)]), vec![0]);
+    }
+
+    #[test]
+    fn dominated_points_are_excluded() {
+        let pts = [(1.0, 1.0), (2.0, 2.0)];
+        assert_eq!(pareto_frontier(&pts), vec![0]);
+    }
+
+    #[test]
+    fn incomparable_points_all_survive() {
+        let pts = [(1.0, 3.0), (2.0, 2.0), (3.0, 1.0)];
+        assert_eq!(pareto_frontier(&pts), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn duplicates_survive_together() {
+        // Equal points do not dominate each other (no strict improvement).
+        let pts = [(1.0, 1.0), (1.0, 1.0)];
+        assert_eq!(pareto_frontier(&pts), vec![0, 1]);
+    }
+
+    #[test]
+    fn dominates_requires_strict_improvement() {
+        assert!(!dominates((1.0, 1.0), (1.0, 1.0)));
+        assert!(dominates((1.0, 1.0), (1.0, 2.0)));
+        assert!(dominates((0.5, 1.0), (1.0, 1.0)));
+        assert!(!dominates((0.5, 2.0), (1.0, 1.0)));
+    }
+
+    #[test]
+    fn empty_input_yields_empty_frontier() {
+        assert!(pareto_frontier(&[]).is_empty());
+    }
+}

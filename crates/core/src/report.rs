@@ -1,0 +1,242 @@
+//! Human- and machine-readable views of execution reports: ASCII Gantt
+//! charts, CSV export, per-model completion times and memory-occupancy
+//! timelines — the "Herald outputs" box of the paper's Fig. 10.
+
+use crate::exec::ExecutionReport;
+use crate::task::TaskGraph;
+
+/// Renders an ASCII Gantt chart of a report: one row per sub-accelerator,
+/// time bucketed into `width` columns; a filled cell means the
+/// sub-accelerator was busy for the majority of that bucket.
+///
+/// # Example
+///
+/// ```
+/// use herald_arch::{AcceleratorClass, AcceleratorConfig, Partition};
+/// use herald_core::report::gantt;
+/// use herald_core::sched::{HeraldScheduler, Scheduler};
+/// use herald_core::task::TaskGraph;
+/// use herald_cost::CostModel;
+///
+/// let graph = TaskGraph::new(&herald_workloads::single_model(
+///     herald_models::zoo::mobilenet_v1(), 2));
+/// let acc = AcceleratorConfig::maelstrom(
+///     AcceleratorClass::Edge.resources(), Partition::even(2, 1024, 16.0)).unwrap();
+/// let cost = CostModel::default();
+/// let report = HeraldScheduler::default()
+///     .schedule_and_simulate(&graph, &acc, &cost).unwrap();
+/// let chart = gantt(&report, 40);
+/// assert!(chart.contains("acc0-NVDLA"));
+/// ```
+pub fn gantt(report: &ExecutionReport, width: usize) -> String {
+    let width = width.max(1);
+    let total = report.total_latency_s();
+    if total <= 0.0 {
+        return String::from("(empty schedule)\n");
+    }
+    let bucket = total / width as f64;
+    let mut out = String::new();
+    for (i, acc) in report.per_acc().iter().enumerate() {
+        // Busy time accumulated per bucket.
+        let mut busy = vec![0.0f64; width];
+        for e in report.entries().iter().filter(|e| e.acc == i) {
+            let first = ((e.start_s / bucket) as usize).min(width - 1);
+            let last = ((e.finish_s / bucket) as usize).min(width - 1);
+            for (b, busy_b) in busy.iter_mut().enumerate().take(last + 1).skip(first) {
+                let lo = (b as f64) * bucket;
+                let hi = lo + bucket;
+                let overlap = (e.finish_s.min(hi) - e.start_s.max(lo)).max(0.0);
+                *busy_b += overlap;
+            }
+        }
+        let cells: String = busy
+            .iter()
+            .map(|&b| {
+                let frac = b / bucket;
+                if frac > 0.75 {
+                    '#'
+                } else if frac > 0.25 {
+                    '+'
+                } else if frac > 0.0 {
+                    '.'
+                } else {
+                    ' '
+                }
+            })
+            .collect();
+        out.push_str(&format!("{:<20} |{}|\n", acc.name, cells));
+    }
+    out.push_str(&format!(
+        "{:<20}  0{:>width$.4}s\n",
+        "",
+        total,
+        width = width
+    ));
+    out
+}
+
+/// Serializes a report timeline to CSV
+/// (`task,label,acc,style,start_s,finish_s,energy_j`), suitable for
+/// regenerating the paper's figures with any plotting tool.
+pub fn timeline_csv(graph: &TaskGraph, report: &ExecutionReport) -> String {
+    let mut out = String::from("task,label,acc,style,start_s,finish_s,energy_j\n");
+    for e in report.entries() {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{}\n",
+            e.task.0,
+            graph.label(e.task),
+            e.acc,
+            e.style,
+            e.start_s,
+            e.finish_s,
+            e.energy_j
+        ));
+    }
+    out
+}
+
+/// Completion time of each model replica: the finish of its last layer.
+/// This is the per-sub-task quality-of-service view (each AR/VR sub-task
+/// has its own deadline even though the chip optimizes the aggregate).
+pub fn instance_completion_times(graph: &TaskGraph, report: &ExecutionReport) -> Vec<(String, f64)> {
+    let mut completion = vec![0.0f64; graph.num_instances()];
+    for e in report.entries() {
+        let inst = graph.instance_of(e.task);
+        if e.finish_s > completion[inst] {
+            completion[inst] = e.finish_s;
+        }
+    }
+    (0..graph.num_instances())
+        .map(|i| {
+            (
+                graph.workload().instances()[i].label(),
+                completion[i],
+            )
+        })
+        .collect()
+}
+
+/// Global-buffer occupancy samples over time: `(time_s, bytes)` at every
+/// layer start/finish event, using the same staging policy as the
+/// scheduler. Useful for auditing the memory constraint visually.
+pub fn memory_timeline(
+    graph: &TaskGraph,
+    report: &ExecutionReport,
+    staging_cap_bytes: u64,
+    cost: &herald_cost::CostModel,
+    acc: &herald_arch::AcceleratorConfig,
+) -> Vec<(f64, u64)> {
+    // Rebuild per-entry occupancy from the cost model (deterministic).
+    let occ_of = |e: &crate::exec::ScheduleEntry| {
+        acc.sub_accelerators()[e.acc]
+            .layer_cost(cost, graph.layer(e.task), crate::Metric::Edp)
+            .buffer
+            .occupancy_bytes(staging_cap_bytes)
+    };
+    let mut events: Vec<(f64, i64)> = Vec::with_capacity(report.entries().len() * 2);
+    for e in report.entries() {
+        let occ = occ_of(e) as i64;
+        events.push((e.start_s, occ));
+        events.push((e.finish_s, -occ));
+    }
+    events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+    let mut current = 0i64;
+    let mut out = Vec::with_capacity(events.len());
+    for (t, delta) in events {
+        current += delta;
+        out.push((t, current.max(0) as u64));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{HeraldScheduler, Scheduler};
+    use herald_arch::{AcceleratorClass, AcceleratorConfig, Partition};
+    use herald_cost::CostModel;
+    use herald_models::zoo;
+    use herald_workloads::MultiDnnWorkload;
+
+    fn setup() -> (TaskGraph, AcceleratorConfig, CostModel, ExecutionReport) {
+        let w = MultiDnnWorkload::new("mix")
+            .with_model(zoo::mobilenet_v1(), 1)
+            .with_model(zoo::mobilenet_v2(), 1);
+        let graph = TaskGraph::new(&w);
+        let acc = AcceleratorConfig::maelstrom(
+            AcceleratorClass::Edge.resources(),
+            Partition::even(2, 1024, 16.0),
+        )
+        .unwrap();
+        let cost = CostModel::default();
+        let report = HeraldScheduler::default()
+            .schedule_and_simulate(&graph, &acc, &cost)
+            .unwrap();
+        (graph, acc, cost, report)
+    }
+
+    #[test]
+    fn gantt_has_one_row_per_subaccelerator_plus_axis() {
+        let (_, _, _, report) = setup();
+        let chart = gantt(&report, 60);
+        assert_eq!(chart.lines().count(), report.per_acc().len() + 1);
+        assert!(chart.contains('#') || chart.contains('+'));
+    }
+
+    #[test]
+    fn gantt_width_is_respected() {
+        let (_, _, _, report) = setup();
+        let chart = gantt(&report, 10);
+        let row = chart.lines().next().unwrap();
+        let bars = row.split('|').nth(1).unwrap();
+        assert_eq!(bars.chars().count(), 10);
+    }
+
+    #[test]
+    fn timeline_csv_has_header_and_all_rows() {
+        let (graph, _, _, report) = setup();
+        let csv = timeline_csv(&graph, &report);
+        assert_eq!(csv.lines().count(), graph.len() + 1);
+        assert!(csv.starts_with("task,label,acc,style"));
+        assert!(csv.contains("MobileNetV1#0/conv1"));
+    }
+
+    #[test]
+    fn instance_completions_cover_all_replicas() {
+        let (graph, _, _, report) = setup();
+        let completions = instance_completion_times(&graph, &report);
+        assert_eq!(completions.len(), 2);
+        for (label, t) in &completions {
+            assert!(*t > 0.0, "{label}");
+            assert!(*t <= report.total_latency_s() + 1e-12);
+        }
+        // The slowest replica defines the makespan.
+        let max = completions.iter().map(|(_, t)| *t).fold(0.0, f64::max);
+        assert!((max - report.total_latency_s()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_timeline_stays_under_budget_and_drains() {
+        let (graph, acc, cost, report) = setup();
+        let samples = memory_timeline(
+            &graph,
+            &report,
+            acc.global_buffer_bytes() / 4,
+            &cost,
+            &acc,
+        );
+        assert!(!samples.is_empty());
+        for (_, bytes) in &samples {
+            assert!(*bytes <= acc.global_buffer_bytes());
+        }
+        // Fully drained at the end.
+        assert_eq!(samples.last().unwrap().1, 0);
+    }
+
+    #[test]
+    fn empty_width_is_clamped() {
+        let (_, _, _, report) = setup();
+        let chart = gantt(&report, 0);
+        assert!(!chart.is_empty());
+    }
+}

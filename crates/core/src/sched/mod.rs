@@ -1,0 +1,106 @@
+//! Layer-execution schedulers (paper Sec. IV-D, Figs. 7-9).
+
+mod greedy;
+mod herald;
+mod postprocess;
+
+pub use greedy::GreedyScheduler;
+pub use herald::HeraldScheduler;
+pub use postprocess::post_process;
+
+pub use crate::exec::Schedule;
+use crate::exec::{ExecutionReport, ScheduleSimulator, SimError};
+use crate::task::TaskGraph;
+use herald_arch::AcceleratorConfig;
+use herald_cost::{CostModel, Metric};
+use serde::{Deserialize, Serialize};
+
+/// Initial layer-ordering heuristic (Sec. IV-D):
+///
+/// * **Depth-first** schedules all layers of one model before moving to
+///   the next — it exploits the linear dependence chain *within* models.
+/// * **Breadth-first** interleaves layers of different models — it
+///   exploits the independence *across* models and is the default (layer
+///   parallelism is what hides latency on an HDA).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum OrderingPolicy {
+    /// Finish one model's layers before starting the next.
+    DepthFirst,
+    /// Rotate across models after every scheduled layer.
+    #[default]
+    BreadthFirst,
+}
+
+/// Scheduler tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerConfig {
+    /// Metric minimized when choosing a layer's sub-accelerator.
+    pub metric: Metric,
+    /// Initial layer-ordering heuristic.
+    pub ordering: OrderingPolicy,
+    /// Maximum allowed load-unbalancing factor (`LbF` in Fig. 8): the
+    /// largest sub-accelerator completion time may not exceed `LbF` times
+    /// the completion time a candidate assignment would produce. Larger
+    /// values accept more imbalance in exchange for more first-choice
+    /// (dataflow-preferred) assignments.
+    pub load_balance_factor: f64,
+    /// Post-processing look-ahead depth (`LA` in Fig. 9): how many
+    /// queue positions ahead the idle-gap eliminator searches.
+    pub lookahead: usize,
+    /// Whether to run the Fig. 9 post-processing pass at all.
+    pub post_process: bool,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            metric: Metric::Edp,
+            ordering: OrderingPolicy::BreadthFirst,
+            load_balance_factor: 1.5,
+            lookahead: 8,
+            post_process: true,
+        }
+    }
+}
+
+/// A layer scheduler: maps a task graph onto an accelerator
+/// configuration's sub-accelerators.
+pub trait Scheduler {
+    /// Produces a complete, dependence-legal schedule.
+    fn schedule(
+        &self,
+        graph: &TaskGraph,
+        acc: &AcceleratorConfig,
+        cost: &CostModel,
+    ) -> Schedule;
+
+    /// Convenience: schedule and immediately replay, returning the report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the simulator; schedulers in this crate
+    /// construct legal schedules, so an error indicates a scheduler bug.
+    fn schedule_and_simulate(
+        &self,
+        graph: &TaskGraph,
+        acc: &AcceleratorConfig,
+        cost: &CostModel,
+    ) -> Result<ExecutionReport, SimError> {
+        let schedule = self.schedule(graph, acc, cost);
+        ScheduleSimulator::new(graph, acc, cost).simulate(&schedule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_paper_defaults() {
+        let c = SchedulerConfig::default();
+        assert_eq!(c.metric, Metric::Edp);
+        assert_eq!(c.ordering, OrderingPolicy::BreadthFirst);
+        assert!(c.post_process);
+        assert!(c.load_balance_factor > 1.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Flattened multi-DNN task graphs.
+
+use herald_models::{Layer, LayerId};
+use herald_workloads::MultiDnnWorkload;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a task (one MAC layer of one model replica) in a
+/// [`TaskGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId(pub usize);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// A dependence-ordered task list flattened from a multi-DNN workload.
+///
+/// Layers of different model replicas are independent (the property the
+/// Herald scheduler exploits for layer parallelism, Sec. III-B); layers
+/// within a replica keep their model's dependence edges.
+///
+/// # Example
+///
+/// ```
+/// use herald_core::task::TaskGraph;
+///
+/// let w = herald_workloads::single_model(herald_models::zoo::mobilenet_v2(), 2);
+/// let graph = TaskGraph::new(&w);
+/// assert_eq!(graph.len(), 2 * 53);
+/// // The two replicas are independent: the second replica's first layer
+/// // has no dependences.
+/// let second_start = graph.instance_tasks(1)[0];
+/// assert!(graph.deps(second_start).is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TaskGraph {
+    workload: MultiDnnWorkload,
+    /// Task index of the first layer of each instance.
+    offsets: Vec<usize>,
+    /// Per-task dependence lists (within-instance edges, remapped).
+    deps: Vec<Vec<TaskId>>,
+    total: usize,
+}
+
+impl TaskGraph {
+    /// Flattens a workload into a task graph.
+    pub fn new(workload: &MultiDnnWorkload) -> Self {
+        let mut offsets = Vec::with_capacity(workload.instances().len());
+        let mut deps: Vec<Vec<TaskId>> = Vec::with_capacity(workload.total_layers());
+        let mut next = 0usize;
+        for inst in workload.instances() {
+            offsets.push(next);
+            let model = inst.model();
+            for (lid, _) in model.iter() {
+                let d = model
+                    .predecessors(lid)
+                    .iter()
+                    .map(|p| TaskId(next + p.0))
+                    .collect();
+                deps.push(d);
+            }
+            next += model.num_layers();
+        }
+        Self {
+            workload: workload.clone(),
+            offsets,
+            deps,
+            total: next,
+        }
+    }
+
+    /// The workload this graph was built from.
+    pub fn workload(&self) -> &MultiDnnWorkload {
+        &self.workload
+    }
+
+    /// Total number of tasks.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Whether the graph has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of model replicas (independent dependence chains).
+    pub fn num_instances(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// The instance a task belongs to.
+    pub fn instance_of(&self, task: TaskId) -> usize {
+        match self.offsets.binary_search(&task.0) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        }
+    }
+
+    /// The tasks of one instance, in layer order.
+    pub fn instance_tasks(&self, instance: usize) -> Vec<TaskId> {
+        let start = self.offsets[instance];
+        let end = if instance + 1 < self.offsets.len() {
+            self.offsets[instance + 1]
+        } else {
+            self.total
+        };
+        (start..end).map(TaskId).collect()
+    }
+
+    /// The layer a task executes.
+    pub fn layer(&self, task: TaskId) -> &Layer {
+        let instance = self.instance_of(task);
+        let local = LayerId(task.0 - self.offsets[instance]);
+        self.workload.instances()[instance].model().layer(local)
+    }
+
+    /// The dependences of a task (always earlier tasks of the same
+    /// instance).
+    pub fn deps(&self, task: TaskId) -> &[TaskId] {
+        &self.deps[task.0]
+    }
+
+    /// A human-readable label, e.g. `"UNet#2/enc1_conv1"`.
+    pub fn label(&self, task: TaskId) -> String {
+        let instance = self.instance_of(task);
+        format!(
+            "{}/{}",
+            self.workload.instances()[instance].label(),
+            self.layer(task).name()
+        )
+    }
+
+    /// Iterates over all task ids in flattened (topological) order.
+    pub fn ids(&self) -> impl Iterator<Item = TaskId> {
+        (0..self.total).map(TaskId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use herald_models::zoo;
+    use herald_workloads::MultiDnnWorkload;
+
+    fn graph() -> TaskGraph {
+        let w = MultiDnnWorkload::new("w")
+            .with_model(zoo::mobilenet_v1(), 2)
+            .with_model(zoo::gnmt(), 1);
+        TaskGraph::new(&w)
+    }
+
+    #[test]
+    fn total_is_sum_of_instance_layers() {
+        assert_eq!(graph().len(), 28 * 2 + 35);
+    }
+
+    #[test]
+    fn instances_are_independent() {
+        let g = graph();
+        for inst in 0..g.num_instances() {
+            let first = g.instance_tasks(inst)[0];
+            assert!(g.deps(first).is_empty(), "instance {inst}");
+        }
+    }
+
+    #[test]
+    fn deps_stay_within_instance() {
+        let g = graph();
+        for t in g.ids() {
+            let inst = g.instance_of(t);
+            for &d in g.deps(t) {
+                assert_eq!(g.instance_of(d), inst);
+                assert!(d < t);
+            }
+        }
+    }
+
+    #[test]
+    fn instance_of_boundaries() {
+        let g = graph();
+        assert_eq!(g.instance_of(TaskId(0)), 0);
+        assert_eq!(g.instance_of(TaskId(27)), 0);
+        assert_eq!(g.instance_of(TaskId(28)), 1);
+        assert_eq!(g.instance_of(TaskId(56)), 2);
+    }
+
+    #[test]
+    fn labels_include_replica_and_layer() {
+        let g = graph();
+        assert_eq!(g.label(TaskId(28)), "MobileNetV1#1/conv1");
+    }
+
+    #[test]
+    fn layer_lookup_matches_model() {
+        let g = graph();
+        let t = g.instance_tasks(2)[0];
+        assert_eq!(g.layer(t).name(), "enc1_ih");
+    }
+}

@@ -1,0 +1,157 @@
+//! Buffer-requirement analysis for the scheduler's memory constraint.
+
+use herald_dataflow::{DataflowStyle, Dim, Mapping};
+use herald_models::Layer;
+use serde::{Deserialize, Serialize};
+
+/// Eyeriss filter-group staging depth (see `traffic::EYERISS_K_LOCAL`).
+const EYERISS_K_LOCAL: u64 = 16;
+
+/// The memory a layer occupies while executing: the double-buffered tile
+/// working set inside the sub-accelerator, plus the activation footprint it
+/// stages in the shared global buffer.
+///
+/// The Herald scheduler sums the [`BufferRequirement::occupancy_bytes`] of
+/// all concurrently running layers and defers layers that would overflow
+/// the global buffer (the paper's `mem_size_cond`, Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BufferRequirement {
+    /// Double-buffered tile working set (weights + input halo + output
+    /// strip), in bytes.
+    pub tile_bytes: u64,
+    /// Full input + output activation footprint, in bytes. Activations
+    /// larger than the global buffer stream through it, so the scheduler
+    /// caps this with its staging policy.
+    pub io_bytes: u64,
+    /// Full weight footprint, in bytes.
+    pub weight_bytes: u64,
+}
+
+impl BufferRequirement {
+    /// Derives the requirement of `layer` under `mapping`, with
+    /// `bytes_per_elem`-wide words.
+    pub fn for_mapping(layer: &Layer, mapping: &Mapping, bytes_per_elem: u64) -> Self {
+        let d = layer.dims();
+        let in_cols = u64::from(d.x + 2 * d.pad);
+        let (w_tile, i_tile, o_tile) = match mapping.style() {
+            // Weight-stationary: the full spatial weight tile is resident;
+            // a filter-height band of input rows per lane streams through;
+            // one output row per cell is staged.
+            DataflowStyle::Nvdla => {
+                let fc = u64::from(mapping.factor(Dim::C));
+                let fk = u64::from(mapping.factor(Dim::K));
+                let rs = u64::from(d.r) * u64::from(d.s);
+                (
+                    fk * fc * rs,
+                    fc * in_cols * u64::from(d.r),
+                    fk * u64::from(layer.out_x()),
+                )
+            }
+            // Output-stationary: one filter plane streams; the tile halo is
+            // staged; the psum tile lives in the PEs themselves, staged once
+            // on write-back.
+            DataflowStyle::ShiDianNao => {
+                let fy = u64::from(mapping.factor(Dim::Y));
+                let fx = u64::from(mapping.factor(Dim::X));
+                let stride = u64::from(d.stride);
+                let halo =
+                    ((fy - 1) * stride + u64::from(d.r)) * ((fx - 1) * stride + u64::from(d.s));
+                (u64::from(d.r) * u64::from(d.s), halo, fy * fx)
+            }
+            // Row-stationary: filter rows for the staged filter group,
+            // a filter-height band of input rows per fold, one output strip.
+            DataflowStyle::Eyeriss => {
+                let fr = u64::from(mapping.factor(Dim::R));
+                let fy = u64::from(mapping.factor(Dim::Y));
+                let fold = DataflowStyle::Eyeriss
+                    .parallel_dims()
+                    .iter()
+                    .find(|dim| !matches!(dim, Dim::R | Dim::Y))
+                    .map_or(1, |&dim| u64::from(mapping.factor(dim)));
+                (
+                    fr * fold * u64::from(d.s) * EYERISS_K_LOCAL,
+                    fr * fold * in_cols,
+                    fy * u64::from(layer.out_x()),
+                )
+            }
+        };
+        BufferRequirement {
+            tile_bytes: 2 * bytes_per_elem * (w_tile + i_tile + o_tile),
+            io_bytes: bytes_per_elem
+                * (layer.input_shape().elems() + layer.output_shape().elems()),
+            weight_bytes: bytes_per_elem * layer.weight_elems(),
+        }
+    }
+
+    /// The global-buffer occupancy the scheduler charges for this layer
+    /// while it runs: the tile working set plus the staged activation
+    /// footprint, the latter capped at `staging_cap_bytes` (activations
+    /// beyond the cap stream through DRAM, which the traffic model already
+    /// charges for).
+    pub fn occupancy_bytes(&self, staging_cap_bytes: u64) -> u64 {
+        self.tile_bytes + self.io_bytes.min(staging_cap_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use herald_dataflow::MappingBuilder;
+    use herald_models::{LayerDims, LayerOp};
+
+    fn layer() -> Layer {
+        Layer::new(
+            "l",
+            LayerOp::Conv2d,
+            LayerDims::conv(64, 32, 56, 56, 3, 3).with_pad(1),
+        )
+    }
+
+    #[test]
+    fn tile_bytes_are_positive_for_all_styles() {
+        for style in DataflowStyle::ALL {
+            let m = MappingBuilder::new(style, 1024).best(&layer());
+            let b = BufferRequirement::for_mapping(&layer(), &m, 2);
+            assert!(b.tile_bytes > 0, "{style}");
+        }
+    }
+
+    #[test]
+    fn tile_is_much_smaller_than_io_for_big_layers() {
+        // The whole point of tiling: the working set fits on-chip even when
+        // activations do not.
+        let big = Layer::new(
+            "enc1",
+            LayerOp::Conv2d,
+            LayerDims::conv(64, 64, 570, 570, 3, 3),
+        );
+        let m = MappingBuilder::new(DataflowStyle::ShiDianNao, 1024).best(&big);
+        let b = BufferRequirement::for_mapping(&big, &m, 2);
+        assert!(b.tile_bytes * 100 < b.io_bytes);
+    }
+
+    #[test]
+    fn occupancy_caps_streamed_activations() {
+        let m = MappingBuilder::new(DataflowStyle::ShiDianNao, 1024).best(&layer());
+        let b = BufferRequirement::for_mapping(&layer(), &m, 2);
+        let cap = 1024;
+        assert_eq!(b.occupancy_bytes(cap), b.tile_bytes + 1024);
+        assert_eq!(b.occupancy_bytes(u64::MAX), b.tile_bytes + b.io_bytes);
+    }
+
+    #[test]
+    fn weight_bytes_match_layer() {
+        let m = MappingBuilder::new(DataflowStyle::Nvdla, 256).best(&layer());
+        let b = BufferRequirement::for_mapping(&layer(), &m, 2);
+        assert_eq!(b.weight_bytes, layer().weight_elems() * 2);
+    }
+
+    #[test]
+    fn io_bytes_match_tensor_shapes() {
+        let m = MappingBuilder::new(DataflowStyle::Eyeriss, 256).best(&layer());
+        let b = BufferRequirement::for_mapping(&layer(), &m, 2);
+        let expected =
+            2 * (layer().input_shape().elems() + layer().output_shape().elems());
+        assert_eq!(b.io_bytes, expected);
+    }
+}

@@ -1,0 +1,169 @@
+//! Energy-per-action table and energy accounting.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Per-action energy table (picojoules), playing the role of the paper's
+/// 28 nm CAD characterization.
+///
+/// Default values follow the widely used Eyeriss/MAESTRO relative energy
+/// hierarchy, normalized to a 1 pJ MAC: register-file accesses cost about
+/// as much as a MAC, an on-chip NoC traversal twice as much, a
+/// multi-mebibyte global scratchpad twelve times (large SRAM arrays cost
+/// more per access than Eyeriss's 108 KB buffer), and LPDDR-class DRAM
+/// four hundred times. Only the *ratios* influence any conclusion
+/// reproduced from the paper; absolute joules are a substitution
+/// documented in `DESIGN.md`.
+///
+/// # Example
+///
+/// ```
+/// use herald_cost::EnergyModel;
+///
+/// let e = EnergyModel::default();
+/// assert!(e.dram_pj > 10.0 * e.gb_pj);
+/// assert!(e.gb_pj > e.noc_pj);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// One multiply-accumulate operation.
+    pub mac_pj: f64,
+    /// One register-file (PE-local) access.
+    pub rf_pj: f64,
+    /// One word injected on the intra-accelerator NoC.
+    pub noc_pj: f64,
+    /// One word read from / written to the shared global buffer.
+    pub gb_pj: f64,
+    /// One word read from / written to DRAM.
+    pub dram_pj: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self {
+            mac_pj: 1.0,
+            rf_pj: 0.96,
+            noc_pj: 2.0,
+            gb_pj: 12.0,
+            dram_pj: 400.0,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Effective energy of one MAC including its register-file activity
+    /// (two operand reads plus one accumulator update) — identical across
+    /// dataflow styles, so style differences come entirely from the memory
+    /// hierarchy, as in MAESTRO.
+    pub fn mac_with_rf_pj(&self) -> f64 {
+        self.mac_pj + 3.0 * self.rf_pj
+    }
+}
+
+/// Energy totals per hierarchy level for one layer execution, in joules.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// MAC + register-file energy.
+    pub compute_j: f64,
+    /// Intra-accelerator NoC delivery energy.
+    pub noc_j: f64,
+    /// Global-buffer access energy.
+    pub gb_j: f64,
+    /// DRAM access energy.
+    pub dram_j: f64,
+    /// Reconfiguration overhead energy (zero except on RDAs).
+    pub reconfig_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in joules.
+    pub fn total_j(&self) -> f64 {
+        self.compute_j + self.noc_j + self.gb_j + self.dram_j + self.reconfig_j
+    }
+
+    /// Element-wise sum of two breakdowns.
+    #[must_use]
+    pub fn plus(&self, other: &EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            compute_j: self.compute_j + other.compute_j,
+            noc_j: self.noc_j + other.noc_j,
+            gb_j: self.gb_j + other.gb_j,
+            dram_j: self.dram_j + other.dram_j,
+            reconfig_j: self.reconfig_j + other.reconfig_j,
+        }
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total {:.3e} J (compute {:.3e}, noc {:.3e}, gb {:.3e}, dram {:.3e}, reconfig {:.3e})",
+            self.total_j(),
+            self.compute_j,
+            self.noc_j,
+            self.gb_j,
+            self.dram_j,
+            self.reconfig_j
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_hierarchy_ordering() {
+        let e = EnergyModel::default();
+        assert!(e.rf_pj < e.noc_pj);
+        assert!(e.noc_pj < e.gb_pj);
+        assert!(e.gb_pj < e.dram_pj);
+    }
+
+    #[test]
+    fn mac_with_rf_includes_three_accesses() {
+        let e = EnergyModel {
+            mac_pj: 1.0,
+            rf_pj: 1.0,
+            noc_pj: 0.0,
+            gb_pj: 0.0,
+            dram_pj: 0.0,
+        };
+        assert_eq!(e.mac_with_rf_pj(), 4.0);
+    }
+
+    #[test]
+    fn breakdown_total_sums_components() {
+        let b = EnergyBreakdown {
+            compute_j: 1.0,
+            noc_j: 2.0,
+            gb_j: 3.0,
+            dram_j: 4.0,
+            reconfig_j: 5.0,
+        };
+        assert_eq!(b.total_j(), 15.0);
+    }
+
+    #[test]
+    fn plus_is_elementwise() {
+        let a = EnergyBreakdown {
+            compute_j: 1.0,
+            ..Default::default()
+        };
+        let b = EnergyBreakdown {
+            dram_j: 2.0,
+            ..Default::default()
+        };
+        let c = a.plus(&b);
+        assert_eq!(c.compute_j, 1.0);
+        assert_eq!(c.dram_j, 2.0);
+        assert_eq!(c.total_j(), 3.0);
+    }
+
+    #[test]
+    fn display_mentions_total() {
+        let b = EnergyBreakdown::default();
+        assert!(b.to_string().contains("total"));
+    }
+}

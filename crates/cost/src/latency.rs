@@ -1,0 +1,110 @@
+//! Latency assembly: roofline of compute and bandwidth-throttled traffic.
+
+use crate::TrafficCounts;
+use herald_dataflow::Mapping;
+use herald_models::Layer;
+
+/// Fixed per-layer overhead cycles: pipeline fill/drain plus layer launch
+/// control (tile descriptors, double-buffer priming). Also the hook where
+/// Herald's optional context-change penalty is charged (Sec. IV-A).
+pub(crate) const LAYER_OVERHEAD_CYCLES: u64 = 1000;
+
+/// Latency components of one layer execution, in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct LatencyParts {
+    /// Pure compute cycles (MACs through the spatially unrolled array).
+    pub compute_cycles: u64,
+    /// Cycles to move the global-buffer traffic at the allocated bandwidth.
+    pub traffic_cycles: u64,
+    /// Fixed overhead plus any reconfiguration penalty.
+    pub overhead_cycles: u64,
+}
+
+impl LatencyParts {
+    /// Steady-state double-buffered execution overlaps compute with data
+    /// movement (execution-model step 6, Sec. IV-A), so the layer runs at
+    /// the *maximum* of the two rates, plus fill/drain overhead.
+    pub fn total_cycles(&self) -> u64 {
+        self.compute_cycles.max(self.traffic_cycles) + self.overhead_cycles
+    }
+}
+
+/// Derives the latency parts of a layer under a mapping with
+/// `bandwidth_gbps` of global-NoC bandwidth and a `clock_ghz` clock.
+pub(crate) fn latency_parts(
+    layer: &Layer,
+    mapping: &Mapping,
+    traffic: &TrafficCounts,
+    bandwidth_gbps: f64,
+    clock_ghz: f64,
+    bytes_per_elem: u64,
+    extra_overhead_cycles: u64,
+) -> LatencyParts {
+    let compute_cycles = mapping.compute_cycles(layer);
+    let bytes = traffic.gb_total() * bytes_per_elem;
+    // Bytes per cycle delivered by this sub-accelerator's NoC allocation.
+    let bytes_per_cycle = bandwidth_gbps / clock_ghz;
+    let traffic_cycles = if bytes == 0 {
+        0
+    } else {
+        (bytes as f64 / bytes_per_cycle).ceil() as u64
+    };
+    LatencyParts {
+        compute_cycles,
+        traffic_cycles,
+        overhead_cycles: LAYER_OVERHEAD_CYCLES + extra_overhead_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use herald_dataflow::{DataflowStyle, MappingBuilder};
+    use herald_models::{Layer, LayerDims, LayerOp};
+
+    fn layer() -> Layer {
+        Layer::new(
+            "l",
+            LayerOp::Conv2d,
+            LayerDims::conv(64, 64, 56, 56, 3, 3).with_pad(1),
+        )
+    }
+
+    fn parts(bw: f64) -> LatencyParts {
+        let l = layer();
+        let m = MappingBuilder::new(DataflowStyle::Nvdla, 1024).best(&l);
+        let t = TrafficCounts::for_mapping(&l, &m);
+        latency_parts(&l, &m, &t, bw, 1.0, 2, 0)
+    }
+
+    #[test]
+    fn ample_bandwidth_makes_layers_compute_bound() {
+        let p = parts(1e6);
+        assert!(p.compute_cycles > p.traffic_cycles);
+        assert_eq!(p.total_cycles(), p.compute_cycles + LAYER_OVERHEAD_CYCLES);
+    }
+
+    #[test]
+    fn starved_bandwidth_makes_layers_memory_bound() {
+        let p = parts(0.01);
+        assert!(p.traffic_cycles > p.compute_cycles);
+        assert_eq!(p.total_cycles(), p.traffic_cycles + LAYER_OVERHEAD_CYCLES);
+    }
+
+    #[test]
+    fn halving_bandwidth_doubles_traffic_cycles() {
+        let fast = parts(32.0);
+        let slow = parts(16.0);
+        let ratio = slow.traffic_cycles as f64 / fast.traffic_cycles as f64;
+        assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn extra_overhead_is_added() {
+        let l = layer();
+        let m = MappingBuilder::new(DataflowStyle::Nvdla, 1024).best(&l);
+        let t = TrafficCounts::for_mapping(&l, &m);
+        let p = latency_parts(&l, &m, &t, 32.0, 1.0, 2, 500);
+        assert_eq!(p.overhead_cycles, LAYER_OVERHEAD_CYCLES + 500);
+    }
+}

@@ -1,0 +1,65 @@
+//! Optimization metrics selectable throughout Herald.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The scalar objective used to rank design points and layer assignments.
+///
+/// The paper's scheduler and DSE let the user select the metric
+/// (Sec. IV-D: "users can select the metric (e.g., EDP, energy, latency,
+/// and so on)"); EDP is the default everywhere, as in the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Metric {
+    /// Energy-delay product (J x s) — the paper's headline metric.
+    #[default]
+    Edp,
+    /// Total latency (seconds).
+    Latency,
+    /// Total energy (joules).
+    Energy,
+}
+
+impl Metric {
+    /// All metrics.
+    pub const ALL: [Metric; 3] = [Metric::Edp, Metric::Latency, Metric::Energy];
+
+    /// Extracts this metric from a `(latency_s, energy_j)` pair.
+    pub fn score(&self, latency_s: f64, energy_j: f64) -> f64 {
+        match self {
+            Metric::Edp => latency_s * energy_j,
+            Metric::Latency => latency_s,
+            Metric::Energy => energy_j,
+        }
+    }
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Metric::Edp => f.write_str("EDP"),
+            Metric::Latency => f.write_str("latency"),
+            Metric::Energy => f.write_str("energy"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edp_multiplies() {
+        assert_eq!(Metric::Edp.score(2.0, 3.0), 6.0);
+    }
+
+    #[test]
+    fn latency_and_energy_project() {
+        assert_eq!(Metric::Latency.score(2.0, 3.0), 2.0);
+        assert_eq!(Metric::Energy.score(2.0, 3.0), 3.0);
+    }
+
+    #[test]
+    fn default_is_edp() {
+        assert_eq!(Metric::default(), Metric::Edp);
+    }
+}

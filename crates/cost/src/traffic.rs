@@ -1,0 +1,425 @@
+//! Per-dataflow-style data-movement analysis.
+//!
+//! Each dataflow style induces a different reuse structure, which determines
+//! how many words cross each boundary of the memory hierarchy. This module
+//! derives, per layer execution:
+//!
+//! * `gb_*` — words crossing the global-buffer <-> sub-accelerator boundary
+//!   (the paper's partitioned *global NoC*; this traffic is throttled by the
+//!   sub-accelerator's bandwidth allocation and charged global-buffer
+//!   energy),
+//! * `local_noc_words` — operand deliveries inside the sub-accelerator
+//!   (charged NoC energy; never bandwidth-throttled, local interconnects are
+//!   provisioned for the array),
+//! * `dram_words` — compulsory off-chip traffic (charged DRAM energy).
+//!
+//! Traffic beyond the compulsory tensor sizes arises from **capacity
+//! misses**: a pass structure that revisits a tensor only re-reads it from
+//! the global buffer when the sub-accelerator's local buffer cannot retain
+//! it (`capacity_refetch`), and partial sums only round-trip to the global
+//! buffer when they overflow the accumulation buffer. This is the standard
+//! MAESTRO-style buffer analysis and is what makes, e.g., NVDLA pay for
+//! huge-activation layers (UNet) while staying cheap on late ResNet layers.
+
+use herald_dataflow::{DataflowStyle, Dim, Mapping};
+use herald_models::{Layer, LayerOp};
+use serde::{Deserialize, Serialize};
+
+/// Eyeriss stages partial sums and input rows in its scratchpad hierarchy
+/// so that a group of this many filters shares one input fetch pass.
+const EYERISS_K_LOCAL: u64 = 16;
+
+/// Local-buffer and accumulator capacities of a sub-accelerator, derived
+/// from its PE count by the cost model configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct LocalBuffers {
+    /// Operand staging buffer (NVDLA CBUF / Eyeriss GLB class), bytes.
+    pub local_bytes: u64,
+    /// Partial-sum accumulation buffer, bytes.
+    pub accum_bytes: u64,
+    /// Operand word width, bytes.
+    pub word_bytes: u64,
+}
+
+/// Number of times a tensor must be re-read from the global buffer given a
+/// pass structure that revisits it `passes` times: once if it fits in the
+/// local buffer, up to `passes` times if nothing can be retained.
+fn capacity_refetch(passes: u64, tensor_bytes: u64, buf_bytes: u64) -> u64 {
+    let misses = tensor_bytes.div_ceil(buf_bytes.max(1)).max(1);
+    misses.min(passes.max(1))
+}
+
+/// Word-granularity data-movement counts for one layer execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TrafficCounts {
+    /// Filter-weight words read from the global buffer.
+    pub gb_weight_reads: u64,
+    /// Input-activation words read from the global buffer.
+    pub gb_input_reads: u64,
+    /// Output/partial-sum words read or written at the global buffer.
+    pub gb_output_accesses: u64,
+    /// Operand words delivered over the sub-accelerator's local NoC.
+    pub local_noc_words: u64,
+    /// Words exchanged with DRAM (compulsory tensor traffic).
+    pub dram_words: u64,
+}
+
+impl TrafficCounts {
+    /// Total words crossing the global-buffer boundary — the traffic
+    /// throttled by the sub-accelerator's global-NoC bandwidth allocation.
+    pub fn gb_total(&self) -> u64 {
+        self.gb_weight_reads + self.gb_input_reads + self.gb_output_accesses
+    }
+
+    /// Derives the traffic of `layer` under `mapping` with default local
+    /// buffers (512 B/PE staging, 256 B/PE accumulation, 16-bit words).
+    pub fn for_mapping(layer: &Layer, mapping: &Mapping) -> Self {
+        let pes = u64::from(mapping.alloc_pes());
+        Self::for_mapping_with(
+            layer,
+            mapping,
+            LocalBuffers {
+                local_bytes: 512 * pes,
+                accum_bytes: 256 * pes,
+                word_bytes: 2,
+            },
+        )
+    }
+
+    pub(crate) fn for_mapping_with(layer: &Layer, mapping: &Mapping, bufs: LocalBuffers) -> Self {
+        let t = Tensors::of(layer);
+        let mut counts = match mapping.style() {
+            DataflowStyle::Nvdla => nvdla_traffic(layer, mapping, &t, bufs),
+            DataflowStyle::ShiDianNao => shi_traffic(layer, mapping, &t, bufs),
+            DataflowStyle::Eyeriss => eyeriss_traffic(layer, mapping, &t, bufs),
+        };
+        // Compulsory DRAM traffic: every tensor enters/leaves the chip once.
+        // Reuse beyond that is captured by the global buffer; layers whose
+        // global traffic exceeds GB capacity pay bandwidth (not extra DRAM
+        // energy), a deliberate simplification recorded in DESIGN.md.
+        counts.dram_words = t.weights + t.inputs + t.outputs;
+        counts
+    }
+}
+
+/// Tensor element counts of a layer.
+struct Tensors {
+    weights: u64,
+    inputs: u64,
+    outputs: u64,
+    macs: u64,
+}
+
+impl Tensors {
+    fn of(layer: &Layer) -> Self {
+        Self {
+            weights: layer.weight_elems(),
+            inputs: layer.input_shape().elems(),
+            outputs: layer.output_shape().elems(),
+            macs: layer.macs(),
+        }
+    }
+}
+
+/// NVDLA (weight-stationary, spatial `C x K` with an adder tree):
+///
+/// * **Weights** are loaded into PE register files once and stay resident
+///   while the full spatial extent streams past: `W` reads.
+/// * **Inputs** are revisited once per output-channel group
+///   (`ceil(K / f_k)` passes); the CBUF-class local buffer retains what it
+///   can, so the refetch factor is capacity-limited.
+/// * **Outputs** are spatially reduced across the `f_c` lanes into the
+///   accumulation buffer; when the per-group partial-sum tile
+///   (`f_k x Y' x X'`, psum-width words) overflows it, partial sums
+///   round-trip to the global buffer once per remaining input-channel step.
+/// * **Local NoC**: every input word is multicast to the `f_k` cells
+///   sharing it, and partial sums traverse the adder tree once per `f_c`
+///   group: `M/f_k + M/f_c` injections.
+fn nvdla_traffic(layer: &Layer, mapping: &Mapping, t: &Tensors, bufs: LocalBuffers) -> TrafficCounts {
+    let fc = u64::from(mapping.factor(Dim::C));
+    let fk = u64::from(mapping.factor(Dim::K));
+    let k_steps = u64::from(Dim::K.extent(layer)).div_ceil(fk);
+    let c_red = if layer.op().accumulates_across_channels() {
+        u64::from(layer.dims().c)
+    } else {
+        1
+    };
+    let c_steps = c_red.div_ceil(fc);
+
+    let in_bytes = t.inputs * bufs.word_bytes;
+    let in_refetch = capacity_refetch(k_steps, in_bytes, bufs.local_bytes);
+    // NVDLA raster-streams the input per K group with no output-stationary
+    // window reuse: when the CBUF-class buffer cannot even hold the
+    // R-row sliding window of all channels, each input row is re-fetched
+    // once per filter row it participates in.
+    let window_bytes = u64::from(layer.dims().r)
+        * u64::from(layer.dims().c)
+        * u64::from(layer.dims().x + 2 * layer.dims().pad)
+        * bufs.word_bytes;
+    let window_refetch = if in_bytes > bufs.local_bytes && window_bytes > bufs.local_bytes {
+        u64::from(layer.dims().r)
+    } else {
+        1
+    };
+    // Partial sums are kept at double width until committed.
+    let psum_tile_bytes =
+        fk * u64::from(layer.out_y()) * u64::from(layer.out_x()) * 2 * bufs.word_bytes;
+    let psum_spills = if psum_tile_bytes > bufs.accum_bytes {
+        2 * (c_steps - 1)
+    } else {
+        0
+    };
+    TrafficCounts {
+        gb_weight_reads: t.weights,
+        gb_input_reads: t.inputs * in_refetch * window_refetch,
+        gb_output_accesses: t.outputs * (1 + psum_spills),
+        local_noc_words: t.macs / fk + t.macs / fc,
+        dram_words: 0,
+    }
+}
+
+/// Shi-diannao (output-stationary, spatial `Y x X`):
+///
+/// * **Outputs** stay in PE accumulators until fully reduced: `O` writes,
+///   zero partial-sum re-reads — the style's signature energy win.
+/// * **Weights** are broadcast to the grid once per spatial output tile;
+///   the local buffer retains them across tiles when they fit
+///   (capacity-limited refetch).
+/// * **Inputs**: each tile fetches its halo (tile extent plus filter
+///   overlap) once per input channel plane; neighbor forwarding covers the
+///   intra-tile convolutional reuse.
+/// * **Local NoC**: weight broadcast amortizes over the active grid
+///   (`M / (f_y f_x)`) and each input word is forwarded into the `R x S`
+///   window reuse chain (`M / (R S)` injections).
+fn shi_traffic(layer: &Layer, mapping: &Mapping, t: &Tensors, bufs: LocalBuffers) -> TrafficCounts {
+    let fy = u64::from(mapping.factor(Dim::Y));
+    let fx = u64::from(mapping.factor(Dim::X));
+    let y_tiles = u64::from(Dim::Y.extent(layer)).div_ceil(fy);
+    let x_tiles = u64::from(Dim::X.extent(layer)).div_ceil(fx);
+    let tiles = y_tiles * x_tiles;
+    let d = layer.dims();
+    let stride = u64::from(d.stride);
+    let (eff_r, eff_s) = (
+        u64::from(Dim::R.extent(layer)),
+        u64::from(Dim::S.extent(layer)),
+    );
+    // Halo of one spatial tile in input coordinates.
+    let halo = ((fy - 1) * stride + eff_r) * ((fx - 1) * stride + eff_s);
+    let channel_planes = u64::from(d.c);
+    let rs = eff_r * eff_s;
+    let w_refetch = capacity_refetch(tiles, t.weights * bufs.word_bytes, bufs.local_bytes);
+    TrafficCounts {
+        gb_weight_reads: t.weights * w_refetch,
+        gb_input_reads: channel_planes * tiles * halo,
+        gb_output_accesses: t.outputs,
+        local_noc_words: t.macs / (fy * fx) + t.macs / rs,
+        dram_words: 0,
+    }
+}
+
+/// Eyeriss (row-stationary, spatial `R x fold x Y`):
+///
+/// * **Weights**: filter rows stay resident per PE for one output-row
+///   strip; the local buffer retains them across strips when they fit.
+/// * **Inputs**: input rows are multicast diagonally; the scratchpad
+///   hierarchy lets a group of [`EYERISS_K_LOCAL`] filters share one input
+///   pass, and the local buffer caps the refetch across passes.
+/// * **Outputs**: partial sums are reduced spatially across the `f_r` rows;
+///   the strip of psums round-trips to the global buffer once per remaining
+///   fold step when it overflows the accumulation buffer.
+/// * **Local NoC**: input rows amortize over the `f_r` diagonal reuse and
+///   weights over the row's sliding window: `M/f_r + M/S` injections.
+fn eyeriss_traffic(
+    layer: &Layer,
+    mapping: &Mapping,
+    t: &Tensors,
+    bufs: LocalBuffers,
+) -> TrafficCounts {
+    let fy = u64::from(mapping.factor(Dim::Y));
+    let fr = u64::from(mapping.factor(Dim::R));
+    let y_steps = u64::from(Dim::Y.extent(layer)).div_ceil(fy);
+    let depthwise = layer.op() == LayerOp::DepthwiseConv;
+    let k_passes = if depthwise {
+        1
+    } else {
+        u64::from(layer.dims().k).div_ceil(EYERISS_K_LOCAL)
+    };
+    let (fold_dim, c_red) = if depthwise {
+        (Dim::K, 1)
+    } else {
+        (Dim::C, u64::from(layer.dims().c))
+    };
+    let fold = u64::from(mapping.factor(fold_dim)).max(1);
+    let fold_steps = c_red.div_ceil(fold);
+    let s = u64::from(Dim::S.extent(layer));
+
+    let w_refetch = capacity_refetch(y_steps, t.weights * bufs.word_bytes, bufs.local_bytes);
+    let in_refetch = capacity_refetch(k_passes, t.inputs * bufs.word_bytes, bufs.local_bytes);
+    let psum_strip_bytes =
+        EYERISS_K_LOCAL * fy * u64::from(layer.out_x()) * 2 * bufs.word_bytes;
+    let psum_spills = if psum_strip_bytes > bufs.accum_bytes {
+        2 * (fold_steps - 1)
+    } else {
+        0
+    };
+    TrafficCounts {
+        gb_weight_reads: t.weights * w_refetch,
+        gb_input_reads: t.inputs * in_refetch,
+        gb_output_accesses: t.outputs * (1 + psum_spills),
+        local_noc_words: t.macs / fr + t.macs / s,
+        dram_words: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use herald_dataflow::MappingBuilder;
+    use herald_models::LayerDims;
+
+    fn conv(k: u32, c: u32, y: u32, r: u32) -> Layer {
+        Layer::new(
+            "l",
+            LayerOp::Conv2d,
+            LayerDims::conv(k, c, y, y, r, r).with_pad(r / 2),
+        )
+    }
+
+    fn traffic(layer: &Layer, style: DataflowStyle, pes: u32) -> TrafficCounts {
+        let m = MappingBuilder::new(style, pes).best(layer);
+        TrafficCounts::for_mapping(layer, &m)
+    }
+
+    #[test]
+    fn capacity_refetch_bounds() {
+        // Fits locally -> single fetch regardless of passes.
+        assert_eq!(capacity_refetch(100, 1000, 4096), 1);
+        // Never more refetches than passes.
+        assert_eq!(capacity_refetch(4, 1 << 30, 1024), 4);
+        // Partially fitting tensors land in between.
+        assert_eq!(capacity_refetch(100, 3000, 1024), 3);
+    }
+
+    #[test]
+    fn nvdla_reads_weights_once() {
+        let l = conv(512, 512, 7, 3);
+        let t = traffic(&l, DataflowStyle::Nvdla, 1024);
+        assert_eq!(t.gb_weight_reads, l.weight_elems());
+    }
+
+    #[test]
+    fn nvdla_small_inputs_fetch_once() {
+        // Late ResNet layer: 512x7x7 inputs (50 KB) fit in the local buffer,
+        // so K-group revisits are free.
+        let l = conv(512, 512, 7, 3);
+        let t = traffic(&l, DataflowStyle::Nvdla, 1024);
+        assert_eq!(t.gb_input_reads, l.input_shape().elems());
+    }
+
+    #[test]
+    fn nvdla_large_inputs_refetch_per_capacity() {
+        // UNet-scale activations blow the local buffer and are re-streamed.
+        let l = conv(64, 128, 388, 3);
+        let t = traffic(&l, DataflowStyle::Nvdla, 256);
+        assert!(t.gb_input_reads > 3 * l.input_shape().elems());
+    }
+
+    #[test]
+    fn nvdla_psum_spills_only_for_large_output_tiles() {
+        let small = conv(512, 512, 7, 3);
+        let big = conv(64, 128, 388, 3);
+        let ts = traffic(&small, DataflowStyle::Nvdla, 256);
+        let tb = traffic(&big, DataflowStyle::Nvdla, 256);
+        assert_eq!(ts.gb_output_accesses, small.output_shape().elems());
+        assert!(tb.gb_output_accesses > big.output_shape().elems());
+    }
+
+    #[test]
+    fn shi_writes_outputs_once() {
+        let l = conv(64, 64, 56, 3);
+        let t = traffic(&l, DataflowStyle::ShiDianNao, 1024);
+        assert_eq!(t.gb_output_accesses, l.output_shape().elems());
+    }
+
+    #[test]
+    fn shi_retains_small_weights_across_tiles() {
+        // Conv weights are tiny; they stay in the local buffer even though
+        // the 224x224 layer needs 49 spatial tiles.
+        let l = conv(64, 64, 224, 3);
+        let t = traffic(&l, DataflowStyle::ShiDianNao, 1024);
+        assert_eq!(t.gb_weight_reads, l.weight_elems());
+    }
+
+    #[test]
+    fn shi_restreams_huge_weights() {
+        // An FC-like layer with weights far beyond the local buffer.
+        let fc = Layer::new("fc", LayerOp::Fc, LayerDims::fc(4096, 4096));
+        let m = MappingBuilder::new(DataflowStyle::ShiDianNao, 64).best(&fc);
+        let t = TrafficCounts::for_mapping(&fc, &m);
+        // Only one spatial tile exists, so even huge weights stream once.
+        assert_eq!(t.gb_weight_reads, fc.weight_elems());
+    }
+
+    #[test]
+    fn dram_traffic_is_compulsory_tensor_sizes() {
+        let l = conv(64, 64, 56, 3);
+        for style in DataflowStyle::ALL {
+            let t = traffic(&l, style, 1024);
+            assert_eq!(
+                t.dram_words,
+                l.weight_elems() + l.input_shape().elems() + l.output_shape().elems(),
+                "{style}"
+            );
+        }
+    }
+
+    #[test]
+    fn depthwise_on_nvdla_has_single_channel_step() {
+        let dw = Layer::new(
+            "dw",
+            LayerOp::DepthwiseConv,
+            LayerDims::conv(96, 96, 56, 56, 3, 3).with_pad(1),
+        );
+        let t = traffic(&dw, DataflowStyle::Nvdla, 1024);
+        // No spatial channel accumulation and a small psum tile -> outputs
+        // written exactly once.
+        assert_eq!(t.gb_output_accesses, dw.output_shape().elems());
+    }
+
+    #[test]
+    fn eyeriss_amortizes_input_over_filter_groups() {
+        // Large inputs that exceed the local buffer get refetched per
+        // filter group, capacity-capped.
+        let l = conv(64, 64, 112, 3);
+        let t = traffic(&l, DataflowStyle::Eyeriss, 256);
+        let passes = 4; // K = 64 -> 4 groups of 16.
+        assert!(t.gb_input_reads <= l.input_shape().elems() * passes);
+        assert!(t.gb_input_reads >= l.input_shape().elems());
+    }
+
+    #[test]
+    fn gb_total_sums_components() {
+        let t = TrafficCounts {
+            gb_weight_reads: 1,
+            gb_input_reads: 2,
+            gb_output_accesses: 3,
+            local_noc_words: 100,
+            dram_words: 50,
+        };
+        assert_eq!(t.gb_total(), 6);
+    }
+
+    #[test]
+    fn upconv_traffic_is_finite_and_positive() {
+        let up = Layer::new(
+            "up",
+            LayerOp::TransposedConv,
+            LayerDims::conv(512, 1024, 28, 28, 2, 2).with_stride(2),
+        );
+        for style in DataflowStyle::ALL {
+            let t = traffic(&up, style, 1024);
+            assert!(t.gb_total() > 0, "{style}");
+            assert!(t.local_noc_words > 0, "{style}");
+        }
+    }
+}

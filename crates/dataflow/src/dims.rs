@@ -1,0 +1,123 @@
+//! The six convolution loop dimensions.
+
+use herald_models::Layer;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A convolution loop dimension, named as in the paper's Fig. 4 loop nests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Dim {
+    /// Output channels.
+    K,
+    /// Input channels.
+    C,
+    /// Output activation rows.
+    Y,
+    /// Output activation columns.
+    X,
+    /// Filter rows.
+    R,
+    /// Filter columns.
+    S,
+}
+
+impl Dim {
+    /// All six dimensions in canonical order.
+    pub const ALL: [Dim; 6] = [Dim::K, Dim::C, Dim::Y, Dim::X, Dim::R, Dim::S];
+
+    /// The *iteration extent* of this dimension for a layer. Spatial
+    /// dimensions use the **output** size (the loops of Fig. 4 iterate over
+    /// output pixels; input pixels are derived as `y + r`).
+    ///
+    /// For transposed convolutions the loops likewise iterate over the
+    /// up-scaled output, so the filter extents shrink to the *effective*
+    /// taps per output pixel (`R / stride`, at least 1) — this keeps the
+    /// product of all iteration extents equal to the layer's MAC count.
+    pub fn extent(&self, layer: &Layer) -> u32 {
+        let d = layer.dims();
+        let upconv = layer.op() == herald_models::LayerOp::TransposedConv;
+        match self {
+            Dim::K => d.k,
+            Dim::C => d.c,
+            Dim::Y => layer.out_y(),
+            Dim::X => layer.out_x(),
+            Dim::R if upconv => (d.r / d.stride).max(1),
+            Dim::R => d.r,
+            Dim::S if upconv => (d.s / d.stride).max(1),
+            Dim::S => d.s,
+        }
+    }
+
+    /// The dimensions a layer actually iterates over: all six, except that
+    /// depth-wise convolution has a single channel loop (its `K` and `C`
+    /// name the same dimension, so `C` is omitted).
+    pub fn iteration_dims(layer: &Layer) -> &'static [Dim] {
+        if layer.op() == herald_models::LayerOp::DepthwiseConv {
+            &[Dim::K, Dim::Y, Dim::X, Dim::R, Dim::S]
+        } else {
+            &Dim::ALL
+        }
+    }
+
+    /// Lower-case loop-variable name used in rendered loop nests.
+    pub fn var(&self) -> &'static str {
+        match self {
+            Dim::K => "k",
+            Dim::C => "c",
+            Dim::Y => "y",
+            Dim::X => "x",
+            Dim::R => "r",
+            Dim::S => "s",
+        }
+    }
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use herald_models::{LayerDims, LayerOp};
+
+    #[test]
+    fn extents_use_output_spatial_sizes() {
+        let layer = Layer::new(
+            "l",
+            LayerOp::Conv2d,
+            LayerDims::conv(16, 8, 10, 10, 3, 3).with_stride(2).with_pad(1),
+        );
+        assert_eq!(Dim::K.extent(&layer), 16);
+        assert_eq!(Dim::C.extent(&layer), 8);
+        assert_eq!(Dim::Y.extent(&layer), 5);
+        assert_eq!(Dim::X.extent(&layer), 5);
+        assert_eq!(Dim::R.extent(&layer), 3);
+    }
+
+    #[test]
+    fn upconv_extent_uses_upscaled_output() {
+        let layer = Layer::new(
+            "up",
+            LayerOp::TransposedConv,
+            LayerDims::conv(8, 16, 14, 14, 2, 2).with_stride(2),
+        );
+        assert_eq!(Dim::Y.extent(&layer), 28);
+    }
+
+    #[test]
+    fn all_lists_every_dim_once() {
+        let mut sorted = Dim::ALL.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6);
+    }
+
+    #[test]
+    fn var_names_are_lowercase_dims() {
+        assert_eq!(Dim::K.var(), "k");
+        assert_eq!(Dim::S.var(), "s");
+    }
+}

@@ -1,0 +1,51 @@
+//! Loop-nest dataflow and mapping representation for the Herald HDA
+//! framework.
+//!
+//! Terminology follows the paper (Sec. II-B):
+//!
+//! * A **dataflow** is a loop ordering plus a spatial-unrolling
+//!   (parallelization) strategy — *how* a DNN layer is computed, with loop
+//!   bounds left unfilled. The three evaluated styles are
+//!   [`DataflowStyle::Nvdla`] (weight-stationary, channel-parallel),
+//!   [`DataflowStyle::ShiDianNao`] (output-stationary, spatially parallel)
+//!   and [`DataflowStyle::Eyeriss`] (row-stationary).
+//! * A **mapping** is a dataflow instance with concrete loop bounds for one
+//!   layer on one accelerator: spatial unroll factors, PE utilization and
+//!   tile shapes. [`MappingBuilder`] searches the legal bound space for the
+//!   best factors a style allows on a given layer, reproducing the
+//!   per-layer dataflow preferences of the paper's Fig. 5.
+//!
+//! # Example
+//!
+//! ```
+//! use herald_dataflow::{DataflowStyle, MappingBuilder};
+//! use herald_models::{Layer, LayerDims, LayerOp};
+//!
+//! // A late classification layer: deep channels, tiny spatial extent.
+//! let layer = Layer::new(
+//!     "late",
+//!     LayerOp::Conv2d,
+//!     LayerDims::conv(512, 512, 7, 7, 3, 3).with_pad(1),
+//! );
+//! let nvdla = MappingBuilder::new(DataflowStyle::Nvdla, 256).best(&layer);
+//! let shi = MappingBuilder::new(DataflowStyle::ShiDianNao, 256).best(&layer);
+//! // Channel parallelism saturates all 256 PEs; output-pixel parallelism
+//! // can only use 7x7 = 49.
+//! assert_eq!(nvdla.active_pes(), 256);
+//! assert_eq!(shi.active_pes(), 49);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dims;
+mod loopnest;
+mod mapping;
+mod style;
+mod validate;
+
+pub use dims::Dim;
+pub use loopnest::{Loop, LoopKind, LoopNest};
+pub use mapping::{Mapping, MappingBuilder};
+pub use style::DataflowStyle;
+pub use validate::{validate_mapping, MappingError};

@@ -1,0 +1,178 @@
+//! Loop-nest rendering of dataflows, in the style of the paper's Fig. 4.
+
+use crate::Dim;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether a loop level executes sequentially or is unrolled across PEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LoopKind {
+    /// Sequential loop (`for` in Fig. 4).
+    Temporal,
+    /// Spatially unrolled loop (`pfor` in Fig. 4).
+    Spatial,
+}
+
+/// One level of a loop nest: a dimension iterated with a bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Loop {
+    dim: Dim,
+    bound: u32,
+    kind: LoopKind,
+}
+
+impl Loop {
+    /// Creates a loop level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn new(dim: Dim, bound: u32, kind: LoopKind) -> Self {
+        assert!(bound > 0, "loop bound must be positive");
+        Self { dim, bound, kind }
+    }
+
+    /// The iterated dimension.
+    pub fn dim(&self) -> Dim {
+        self.dim
+    }
+
+    /// The loop bound.
+    pub fn bound(&self) -> u32 {
+        self.bound
+    }
+
+    /// Temporal or spatial.
+    pub fn kind(&self) -> LoopKind {
+        self.kind
+    }
+}
+
+/// An ordered loop nest, outermost level first.
+///
+/// # Example
+///
+/// ```
+/// use herald_dataflow::{Dim, Loop, LoopKind, LoopNest};
+///
+/// let nest = LoopNest::new(vec![
+///     Loop::new(Dim::K, 4, LoopKind::Temporal),
+///     Loop::new(Dim::C, 64, LoopKind::Spatial),
+/// ]);
+/// assert_eq!(nest.iteration_count(), 256);
+/// let text = nest.to_string();
+/// assert!(text.contains("pfor(c0=0; c0<64; c0++)"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoopNest {
+    loops: Vec<Loop>,
+}
+
+impl LoopNest {
+    /// Creates a loop nest from levels ordered outermost-first.
+    pub fn new(loops: Vec<Loop>) -> Self {
+        Self { loops }
+    }
+
+    /// The loop levels, outermost first.
+    pub fn loops(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// Total number of innermost iterations: the product of all bounds.
+    pub fn iteration_count(&self) -> u64 {
+        self.loops.iter().map(|l| u64::from(l.bound)).product()
+    }
+
+    /// Number of spatially unrolled lanes: the product of spatial bounds.
+    pub fn spatial_lanes(&self) -> u64 {
+        self.loops
+            .iter()
+            .filter(|l| l.kind == LoopKind::Spatial)
+            .map(|l| u64::from(l.bound))
+            .product()
+    }
+}
+
+impl fmt::Display for LoopNest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Count occurrences per dim so repeated levels get distinct
+        // variable suffixes (k1, k0 ... as in Fig. 4).
+        let mut remaining: std::collections::HashMap<Dim, u32> = std::collections::HashMap::new();
+        for l in &self.loops {
+            *remaining.entry(l.dim).or_insert(0) += 1;
+        }
+        for (depth, l) in self.loops.iter().enumerate() {
+            let level = {
+                let r = remaining.get_mut(&l.dim).expect("counted above");
+                *r -= 1;
+                *r
+            };
+            let var = format!("{}{}", l.dim.var(), level);
+            let keyword = match l.kind {
+                LoopKind::Temporal => "for",
+                LoopKind::Spatial => "pfor",
+            };
+            writeln!(
+                f,
+                "{:indent$}{keyword}({var}=0; {var}<{bound}; {var}++)",
+                "",
+                indent = depth,
+                bound = l.bound,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nest() -> LoopNest {
+        LoopNest::new(vec![
+            Loop::new(Dim::K, 4, LoopKind::Temporal),
+            Loop::new(Dim::K, 16, LoopKind::Spatial),
+            Loop::new(Dim::C, 64, LoopKind::Spatial),
+            Loop::new(Dim::Y, 56, LoopKind::Temporal),
+        ])
+    }
+
+    #[test]
+    fn iteration_count_is_bound_product() {
+        assert_eq!(nest().iteration_count(), 4 * 16 * 64 * 56);
+    }
+
+    #[test]
+    fn spatial_lanes_counts_pfors_only() {
+        assert_eq!(nest().spatial_lanes(), 16 * 64);
+    }
+
+    #[test]
+    fn display_disambiguates_repeated_dims() {
+        let text = nest().to_string();
+        assert!(text.contains("for(k1=0; k1<4; k1++)"), "{text}");
+        assert!(text.contains("pfor(k0=0; k0<16; k0++)"), "{text}");
+    }
+
+    #[test]
+    fn display_indents_by_depth() {
+        let text = nest().to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[1].starts_with(' '));
+        assert!(lines[3].starts_with("   "));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bound_rejected() {
+        let _ = Loop::new(Dim::K, 0, LoopKind::Temporal);
+    }
+
+    #[test]
+    fn empty_nest_has_single_iteration() {
+        let n = LoopNest::new(vec![]);
+        assert_eq!(n.iteration_count(), 1);
+        assert_eq!(n.spatial_lanes(), 1);
+    }
+}

@@ -1,0 +1,379 @@
+//! Concrete mappings: a dataflow style instantiated for one layer on one
+//! PE array.
+
+use crate::{Dim, LoopKind, LoopNest, DataflowStyle};
+use herald_models::{Layer, LayerOp};
+use serde::{Deserialize, Serialize};
+
+/// NVDLA organises its MAC array as `ATOMIC_C`-wide input-channel lanes
+/// (spatially accumulated by an adder tree) replicated across output-channel
+/// cells. 64 is the NVDLA reference configuration.
+const NVDLA_ATOMIC_C: u32 = 64;
+
+/// Eyeriss organises its array as a fixed number of PE rows onto which
+/// filter rows (and folded channel groups) are mapped; columns carry output
+/// rows. 16 generalises the 12-row Eyeriss chip to power-of-two arrays.
+const EYERISS_ROWS: u32 = 16;
+
+/// A concrete mapping: the spatial unroll factors a [`DataflowStyle`]
+/// achieves for one layer on a PE array of a given size.
+///
+/// The factors are always clipped to the layer's dimension extents, so
+/// [`Mapping::active_pes`] divided by the allocated PE count is exactly the
+/// paper's *mapping utilization of compute units* (Fig. 5).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Mapping {
+    style: DataflowStyle,
+    alloc_pes: u32,
+    spatial: Vec<(Dim, u32)>,
+}
+
+impl Mapping {
+    /// The dataflow style this mapping instantiates.
+    pub fn style(&self) -> DataflowStyle {
+        self.style
+    }
+
+    /// PEs allocated to the (sub-)accelerator running this mapping.
+    pub fn alloc_pes(&self) -> u32 {
+        self.alloc_pes
+    }
+
+    /// The spatial unroll factors, `(dimension, factor)`, outermost first.
+    /// Factors are clipped to the layer's extents and their product never
+    /// exceeds [`Mapping::alloc_pes`].
+    pub fn spatial(&self) -> &[(Dim, u32)] {
+        &self.spatial
+    }
+
+    /// The unroll factor for a dimension (1 if the dimension is not
+    /// spatially mapped).
+    pub fn factor(&self, dim: Dim) -> u32 {
+        self.spatial
+            .iter()
+            .find(|(d, _)| *d == dim)
+            .map_or(1, |&(_, f)| f)
+    }
+
+    /// Number of PEs that actually receive work in a steady-state tile.
+    pub fn active_pes(&self) -> u32 {
+        self.spatial.iter().map(|&(_, f)| f).product()
+    }
+
+    /// Mapping utilization of compute units: active / allocated PEs.
+    pub fn utilization(&self) -> f64 {
+        f64::from(self.active_pes()) / f64::from(self.alloc_pes)
+    }
+
+    /// Number of sequential spatial steps needed to cover the layer:
+    /// the product of `ceil(extent / factor)` over spatially mapped dims.
+    /// Edge tiles are counted as full steps, exactly as a rigid loop nest
+    /// executes them.
+    pub fn spatial_steps(&self, layer: &Layer) -> u64 {
+        self.spatial
+            .iter()
+            .map(|&(d, f)| u64::from(d.extent(layer).div_ceil(f)))
+            .product()
+    }
+
+    /// Compute cycles for the layer under this mapping, assuming one MAC
+    /// per PE per cycle: the product of the unmapped dimensions' iteration
+    /// extents (temporal loops) times the number of spatial steps. Edge
+    /// tiles count as full steps, exactly as a rigid loop nest executes
+    /// them, so this is always at least `macs / active_pes`.
+    pub fn compute_cycles(&self, layer: &Layer) -> u64 {
+        let temporal_iters: u64 = Dim::iteration_dims(layer)
+            .iter()
+            .filter(|d| !self.spatial.iter().any(|&(sd, _)| sd == **d))
+            .map(|d| u64::from(d.extent(layer)))
+            .product();
+        temporal_iters * self.spatial_steps(layer)
+    }
+
+    /// Renders this mapping as a tiled loop nest in the style of the
+    /// paper's Fig. 4: an outer temporal loop per tiled spatial dimension,
+    /// `pfor` loops for the unrolls, then the remaining dimensions as inner
+    /// temporal loops.
+    pub fn loop_nest(&self, layer: &Layer) -> LoopNest {
+        let mut loops = Vec::new();
+        // Outer temporal tile loops for the spatially mapped dims.
+        for &(d, f) in &self.spatial {
+            let steps = d.extent(layer).div_ceil(f);
+            if steps > 1 {
+                loops.push(crate::Loop::new(d, steps, LoopKind::Temporal));
+            }
+        }
+        // Spatial (pfor) loops.
+        for &(d, f) in &self.spatial {
+            loops.push(crate::Loop::new(d, f, LoopKind::Spatial));
+        }
+        // Inner temporal loops over the dims not spatially mapped, in
+        // canonical order.
+        for &d in Dim::iteration_dims(layer) {
+            if !self.spatial.iter().any(|&(sd, _)| sd == d) {
+                let extent = d.extent(layer);
+                if extent > 1 {
+                    loops.push(crate::Loop::new(d, extent, LoopKind::Temporal));
+                }
+            }
+        }
+        LoopNest::new(loops)
+    }
+}
+
+/// Constructs the canonical [`Mapping`] of a [`DataflowStyle`] for a layer
+/// on an array of `pe_count` PEs.
+///
+/// The builder encodes the *fixed geometry* of each accelerator style —
+/// what makes a fixed-dataflow accelerator fixed:
+///
+/// * **NVDLA**: `min(64, PEs)` input-channel lanes (the adder-tree width) x
+///   `PEs / lanes` output-channel cells. Layers with fewer than 64 input
+///   channels strand lanes; depth-wise layers (no cross-channel
+///   accumulation) can use only a single lane.
+/// * **Shi-diannao**: a near-square `py x px` grid over output pixels.
+///   Layers with small output activations strand most of the grid.
+/// * **Eyeriss**: 16 PE rows carrying filter rows (folding channel groups
+///   into leftover rows, as the Eyeriss chip does for small filters) and
+///   `PEs / 16` columns carrying output rows.
+///
+/// # Example
+///
+/// ```
+/// use herald_dataflow::{DataflowStyle, MappingBuilder};
+/// use herald_models::{Layer, LayerDims, LayerOp};
+///
+/// // Depth-wise layer: NVDLA's adder tree is useless, Shi-diannao thrives.
+/// let dw = Layer::new(
+///     "dw",
+///     LayerOp::DepthwiseConv,
+///     LayerDims::conv(96, 96, 56, 56, 3, 3).with_pad(1),
+/// );
+/// let nvdla = MappingBuilder::new(DataflowStyle::Nvdla, 1024).best(&dw);
+/// let shi = MappingBuilder::new(DataflowStyle::ShiDianNao, 1024).best(&dw);
+/// assert!(nvdla.utilization() < 0.05);
+/// assert!(shi.utilization() > 0.9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MappingBuilder {
+    style: DataflowStyle,
+    pe_count: u32,
+}
+
+impl MappingBuilder {
+    /// Creates a mapper for `style` on an array of `pe_count` PEs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe_count` is zero.
+    pub fn new(style: DataflowStyle, pe_count: u32) -> Self {
+        assert!(pe_count > 0, "PE count must be positive");
+        Self {
+            style,
+            pe_count,
+        }
+    }
+
+    /// The style this mapper instantiates.
+    pub fn style(&self) -> DataflowStyle {
+        self.style
+    }
+
+    /// The PE array size.
+    pub fn pe_count(&self) -> u32 {
+        self.pe_count
+    }
+
+    /// Builds the canonical mapping of the style for `layer`.
+    pub fn best(&self, layer: &Layer) -> Mapping {
+        let spatial = match self.style {
+            DataflowStyle::Nvdla => self.nvdla_factors(layer),
+            DataflowStyle::ShiDianNao => self.shi_factors(layer),
+            DataflowStyle::Eyeriss => self.eyeriss_factors(layer),
+        };
+        let mapping = Mapping {
+            style: self.style,
+            alloc_pes: self.pe_count,
+            spatial,
+        };
+        debug_assert!(crate::validate_mapping(&mapping, layer).is_ok());
+        mapping
+    }
+
+    fn nvdla_factors(&self, layer: &Layer) -> Vec<(Dim, u32)> {
+        let lanes = NVDLA_ATOMIC_C.min(self.pe_count);
+        let cells = (self.pe_count / lanes).max(1);
+        // The adder tree spatially accumulates across input channels, which
+        // depth-wise convolution cannot exploit: only one lane is usable.
+        let usable_c = if layer.op().accumulates_across_channels() {
+            layer.dims().c
+        } else {
+            1
+        };
+        let fc = usable_c.min(lanes);
+        let fk = layer.dims().k.min(cells);
+        vec![(Dim::C, fc), (Dim::K, fk)]
+    }
+
+    fn shi_factors(&self, layer: &Layer) -> Vec<(Dim, u32)> {
+        let py_geom = (f64::from(self.pe_count).sqrt().floor() as u32).max(1);
+        let px_geom = (self.pe_count / py_geom).max(1);
+        let fy = Dim::Y.extent(layer).min(py_geom);
+        let fx = Dim::X.extent(layer).min(px_geom);
+        vec![(Dim::Y, fy), (Dim::X, fx)]
+    }
+
+    fn eyeriss_factors(&self, layer: &Layer) -> Vec<(Dim, u32)> {
+        let rows = EYERISS_ROWS.min(self.pe_count);
+        let cols = (self.pe_count / rows).max(1);
+        let fr = Dim::R.extent(layer).min(rows);
+        // Leftover rows fold extra channel groups (filter planes of other
+        // input channels; output channels for depth-wise layers, which have
+        // no channel reduction to fold).
+        let fold_dim = if layer.op() == LayerOp::DepthwiseConv {
+            Dim::K
+        } else {
+            Dim::C
+        };
+        let fold = fold_dim.extent(layer).min((rows / fr).max(1));
+        let fy = Dim::Y.extent(layer).min(cols);
+        vec![(Dim::R, fr), (fold_dim, fold), (Dim::Y, fy)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use herald_models::LayerDims;
+
+    fn conv(k: u32, c: u32, y: u32, r: u32) -> Layer {
+        Layer::new(
+            "l",
+            LayerOp::Conv2d,
+            LayerDims::conv(k, c, y, y, r, r).with_pad(r / 2),
+        )
+    }
+
+    #[test]
+    fn nvdla_saturates_on_deep_channels() {
+        let m = MappingBuilder::new(DataflowStyle::Nvdla, 1024).best(&conv(512, 512, 7, 3));
+        assert_eq!(m.active_pes(), 1024);
+        assert_eq!(m.utilization(), 1.0);
+    }
+
+    #[test]
+    fn nvdla_starves_on_shallow_channels() {
+        // First layer: C = 3 uses 3 of 64 lanes.
+        let m = MappingBuilder::new(DataflowStyle::Nvdla, 1024).best(&conv(64, 3, 224, 7));
+        assert_eq!(m.factor(Dim::C), 3);
+        assert!(m.utilization() < 0.05);
+    }
+
+    #[test]
+    fn shi_saturates_on_large_activations() {
+        let m = MappingBuilder::new(DataflowStyle::ShiDianNao, 1024).best(&conv(64, 3, 224, 7));
+        assert_eq!(m.active_pes(), 1024);
+    }
+
+    #[test]
+    fn shi_starves_on_small_activations() {
+        let m = MappingBuilder::new(DataflowStyle::ShiDianNao, 1024).best(&conv(512, 512, 7, 3));
+        assert_eq!(m.active_pes(), 49);
+        assert!(m.utilization() < 0.05);
+    }
+
+    #[test]
+    fn eyeriss_is_midway_on_both_extremes() {
+        let early = MappingBuilder::new(DataflowStyle::Eyeriss, 1024).best(&conv(64, 3, 224, 7));
+        let late = MappingBuilder::new(DataflowStyle::Eyeriss, 1024).best(&conv(512, 512, 7, 3));
+        assert!(early.utilization() > 0.5, "early {}", early.utilization());
+        assert!(late.utilization() > 0.05, "late {}", late.utilization());
+        assert!(late.utilization() < 0.5, "late {}", late.utilization());
+    }
+
+    #[test]
+    fn depthwise_kills_nvdla_lanes() {
+        let dw = Layer::new(
+            "dw",
+            LayerOp::DepthwiseConv,
+            LayerDims::conv(96, 96, 56, 56, 3, 3).with_pad(1),
+        );
+        let m = MappingBuilder::new(DataflowStyle::Nvdla, 1024).best(&dw);
+        assert_eq!(m.factor(Dim::C), 1);
+        assert_eq!(m.factor(Dim::K), 16);
+    }
+
+    #[test]
+    fn compute_cycles_exact_for_perfect_fit() {
+        // 64x64 conv on a 64-lane NVDLA: C fully unrolled, K over 16 cells.
+        let layer = conv(64, 64, 8, 3);
+        let m = MappingBuilder::new(DataflowStyle::Nvdla, 1024).best(&layer);
+        // fc = 64, fk = 16 -> 4 K-steps; temporal = Y'X'RS = 8*8*9.
+        assert_eq!(m.compute_cycles(&layer), 4 * 8 * 8 * 9);
+    }
+
+    #[test]
+    fn compute_cycles_counts_edge_tiles_fully() {
+        // Y' = 10 on an 8-wide grid -> 2 steps even though the second is
+        // only a quarter full.
+        let layer = conv(1, 1, 10, 1);
+        let m = Mapping {
+            style: DataflowStyle::ShiDianNao,
+            alloc_pes: 64,
+            spatial: vec![(Dim::Y, 8), (Dim::X, 8)],
+        };
+        assert_eq!(m.spatial_steps(&layer), 4);
+        assert_eq!(m.compute_cycles(&layer), 4);
+    }
+
+    #[test]
+    fn tiny_pe_arrays_degenerate_gracefully() {
+        let layer = conv(16, 16, 16, 3);
+        for style in DataflowStyle::ALL {
+            let m = MappingBuilder::new(style, 1).best(&layer);
+            assert_eq!(m.active_pes(), 1, "{style}");
+            assert_eq!(m.compute_cycles(&layer), layer.macs(), "{style}");
+        }
+    }
+
+    #[test]
+    fn active_pes_never_exceed_allocation() {
+        let layers = [
+            conv(64, 3, 224, 7),
+            conv(2048, 512, 7, 1),
+            conv(16, 16, 4, 3),
+        ];
+        for layer in &layers {
+            for style in DataflowStyle::ALL {
+                for pes in [1u32, 7, 64, 100, 1024, 16384] {
+                    let m = MappingBuilder::new(style, pes).best(layer);
+                    assert!(
+                        m.active_pes() <= pes,
+                        "{style} {pes} -> {}",
+                        m.active_pes()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn loop_nest_covers_all_macs() {
+        let layer = conv(32, 16, 14, 3);
+        for style in DataflowStyle::ALL {
+            let m = MappingBuilder::new(style, 256).best(&layer);
+            let nest = m.loop_nest(&layer);
+            // The product of all loop bounds must be >= total MACs (edge
+            // tiles may overcount, never undercount).
+            assert!(nest.iteration_count() >= layer.macs(), "{style}");
+        }
+    }
+
+    #[test]
+    fn fc_layers_prefer_nvdla_by_orders_of_magnitude() {
+        let fc = Layer::new("fc", LayerOp::Fc, LayerDims::fc(1000, 2048));
+        let nvdla = MappingBuilder::new(DataflowStyle::Nvdla, 1024).best(&fc);
+        let shi = MappingBuilder::new(DataflowStyle::ShiDianNao, 1024).best(&fc);
+        assert!(nvdla.active_pes() >= 64 * shi.active_pes());
+    }
+}

@@ -1,0 +1,136 @@
+//! The dataflow styles evaluated by the paper.
+
+use crate::Dim;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dataflow style: the loop-ordering / spatial-unrolling strategy of a
+/// published accelerator (paper Table III).
+///
+/// Each style fixes *which* dimensions are parallelized across PEs and
+/// *which* operand stays stationary in the PE register file; the concrete
+/// unroll factors are chosen per layer by [`crate::MappingBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DataflowStyle {
+    /// NVDLA-style: weight-stationary, parallelises input and output
+    /// channels (`pfor k0`, `pfor c0` in Fig. 4a) with a spatial adder tree
+    /// accumulating partial sums across input channels. Excels on
+    /// deep-channel CONV2D and FC; starves on shallow-channel and
+    /// depth-wise layers.
+    Nvdla,
+    /// Shi-diannao-style: output-stationary, parallelises output rows and
+    /// columns (`pfor y0`, `pfor x0` in Fig. 4b) with temporal partial-sum
+    /// accumulation inside each PE. Excels on large-activation
+    /// shallow-channel layers (segmentation encoders, depth-wise convs).
+    ShiDianNao,
+    /// Eyeriss-style: row-stationary, parallelises output rows and filter
+    /// rows (1-D convolution primitives per PE) and folds surplus PEs over
+    /// output channels. A middle ground between the two extremes.
+    Eyeriss,
+}
+
+impl DataflowStyle {
+    /// The three styles evaluated in the paper, in Table III order.
+    pub const ALL: [DataflowStyle; 3] = [
+        DataflowStyle::Nvdla,
+        DataflowStyle::ShiDianNao,
+        DataflowStyle::Eyeriss,
+    ];
+
+    /// The dimensions this style unrolls spatially across PEs, outermost
+    /// first.
+    pub fn parallel_dims(&self) -> &'static [Dim] {
+        match self {
+            DataflowStyle::Nvdla => &[Dim::K, Dim::C],
+            DataflowStyle::ShiDianNao => &[Dim::Y, Dim::X],
+            DataflowStyle::Eyeriss => &[Dim::Y, Dim::R, Dim::K],
+        }
+    }
+
+    /// Whether the style performs *spatial* accumulation of partial sums
+    /// across input channels (an adder tree, as in NVDLA). Spatial
+    /// accumulation is unusable for operators that do not reduce across
+    /// channels (depth-wise convolution), which is exactly why such layers
+    /// starve channel-parallel dataflows.
+    pub fn spatial_channel_accumulation(&self) -> bool {
+        matches!(self, DataflowStyle::Nvdla)
+    }
+
+    /// Which operand stays stationary in each PE's register file.
+    pub fn stationary(&self) -> Stationary {
+        match self {
+            DataflowStyle::Nvdla => Stationary::Weight,
+            DataflowStyle::ShiDianNao => Stationary::Output,
+            DataflowStyle::Eyeriss => Stationary::Row,
+        }
+    }
+
+    /// Short human-readable name used in reports and plots.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DataflowStyle::Nvdla => "NVDLA",
+            DataflowStyle::ShiDianNao => "Shi-diannao",
+            DataflowStyle::Eyeriss => "Eyeriss",
+        }
+    }
+}
+
+impl fmt::Display for DataflowStyle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The operand a dataflow style keeps stationary in PE register files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Stationary {
+    /// Filter weights resident per PE (NVDLA).
+    Weight,
+    /// Output partial sums resident per PE (Shi-diannao).
+    Output,
+    /// 1-D row primitives resident per PE (Eyeriss).
+    Row,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_dims_are_distinct_across_styles() {
+        // The paper picks these styles *because* their parallel dims differ;
+        // NVDLA and Shi-diannao must share no parallel dimension.
+        let nvdla = DataflowStyle::Nvdla.parallel_dims();
+        let shi = DataflowStyle::ShiDianNao.parallel_dims();
+        assert!(nvdla.iter().all(|d| !shi.contains(d)));
+    }
+
+    #[test]
+    fn only_nvdla_accumulates_spatially() {
+        assert!(DataflowStyle::Nvdla.spatial_channel_accumulation());
+        assert!(!DataflowStyle::ShiDianNao.spatial_channel_accumulation());
+        assert!(!DataflowStyle::Eyeriss.spatial_channel_accumulation());
+    }
+
+    #[test]
+    fn labels_match_paper_names() {
+        assert_eq!(DataflowStyle::Nvdla.to_string(), "NVDLA");
+        assert_eq!(DataflowStyle::ShiDianNao.to_string(), "Shi-diannao");
+        assert_eq!(DataflowStyle::Eyeriss.to_string(), "Eyeriss");
+    }
+
+    #[test]
+    fn all_contains_three_unique_styles() {
+        let mut v = DataflowStyle::ALL.to_vec();
+        v.sort();
+        v.dedup();
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn stationary_operands() {
+        assert_eq!(DataflowStyle::Nvdla.stationary(), Stationary::Weight);
+        assert_eq!(DataflowStyle::ShiDianNao.stationary(), Stationary::Output);
+        assert_eq!(DataflowStyle::Eyeriss.stationary(), Stationary::Row);
+    }
+}

@@ -1,0 +1,149 @@
+//! Mapping legality checks.
+
+use crate::{Dim, Mapping};
+use herald_models::Layer;
+use std::error::Error;
+use std::fmt;
+
+/// A mapping legality violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MappingError {
+    /// A spatial factor was zero.
+    ZeroFactor(Dim),
+    /// A spatial factor exceeded the layer's dimension extent.
+    FactorExceedsExtent {
+        /// Offending dimension.
+        dim: Dim,
+        /// The factor requested.
+        factor: u32,
+        /// The layer's extent for the dimension.
+        extent: u32,
+    },
+    /// The product of spatial factors exceeded the allocated PE count.
+    TooManyActivePes {
+        /// Product of the spatial factors.
+        active: u64,
+        /// Allocated PEs.
+        alloc: u32,
+    },
+    /// A dimension appeared twice in the spatial unroll list.
+    DuplicateDim(Dim),
+    /// The mapping spatially accumulates across input channels for an
+    /// operator with no cross-channel reduction (depth-wise convolution).
+    IllegalChannelAccumulation,
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::ZeroFactor(d) => write!(f, "spatial factor for {d} is zero"),
+            MappingError::FactorExceedsExtent { dim, factor, extent } => write!(
+                f,
+                "spatial factor {factor} for {dim} exceeds layer extent {extent}"
+            ),
+            MappingError::TooManyActivePes { active, alloc } => {
+                write!(f, "{active} active PEs exceed the {alloc} allocated")
+            }
+            MappingError::DuplicateDim(d) => write!(f, "dimension {d} unrolled twice"),
+            MappingError::IllegalChannelAccumulation => write!(
+                f,
+                "spatial input-channel accumulation is illegal for depth-wise convolution"
+            ),
+        }
+    }
+}
+
+impl Error for MappingError {}
+
+/// Checks that a mapping is legal for a layer: positive factors within the
+/// dimension extents, no duplicate dimensions, the active-PE product within
+/// the allocation, and no spatial channel accumulation on depth-wise
+/// layers.
+///
+/// Mappings produced by [`crate::MappingBuilder`] are legal by
+/// construction; this function exists for externally constructed or
+/// deserialized mappings and as the oracle for property tests.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn validate_mapping(mapping: &Mapping, layer: &Layer) -> Result<(), MappingError> {
+    let mut seen = Vec::new();
+    let mut active: u64 = 1;
+    for &(dim, factor) in mapping.spatial() {
+        if factor == 0 {
+            return Err(MappingError::ZeroFactor(dim));
+        }
+        if seen.contains(&dim) {
+            return Err(MappingError::DuplicateDim(dim));
+        }
+        seen.push(dim);
+        let extent = dim.extent(layer);
+        if factor > extent {
+            return Err(MappingError::FactorExceedsExtent { dim, factor, extent });
+        }
+        active *= u64::from(factor);
+    }
+    if active > u64::from(mapping.alloc_pes()) {
+        return Err(MappingError::TooManyActivePes {
+            active,
+            alloc: mapping.alloc_pes(),
+        });
+    }
+    if !layer.op().accumulates_across_channels() && mapping.factor(Dim::C) > 1 {
+        return Err(MappingError::IllegalChannelAccumulation);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DataflowStyle, MappingBuilder};
+    use herald_models::{LayerDims, LayerOp};
+
+    fn layer() -> Layer {
+        Layer::new(
+            "l",
+            LayerOp::Conv2d,
+            LayerDims::conv(64, 32, 28, 28, 3, 3).with_pad(1),
+        )
+    }
+
+    #[test]
+    fn builder_mappings_are_legal() {
+        for style in DataflowStyle::ALL {
+            for pes in [1u32, 64, 500, 4096] {
+                let m = MappingBuilder::new(style, pes).best(&layer());
+                assert_eq!(validate_mapping(&m, &layer()), Ok(()), "{style} {pes}");
+            }
+        }
+    }
+
+    #[test]
+    fn depthwise_mappings_are_legal_for_all_styles() {
+        let dw = Layer::new(
+            "dw",
+            LayerOp::DepthwiseConv,
+            LayerDims::conv(64, 64, 28, 28, 3, 3).with_pad(1),
+        );
+        for style in DataflowStyle::ALL {
+            let m = MappingBuilder::new(style, 1024).best(&dw);
+            assert_eq!(validate_mapping(&m, &dw), Ok(()), "{style}");
+        }
+    }
+
+    #[test]
+    fn errors_are_displayable() {
+        let e = MappingError::FactorExceedsExtent {
+            dim: Dim::C,
+            factor: 64,
+            extent: 32,
+        };
+        assert!(e.to_string().contains("exceeds"));
+        assert!(MappingError::ZeroFactor(Dim::K).to_string().contains("zero"));
+        assert!(MappingError::IllegalChannelAccumulation
+            .to_string()
+            .contains("depth-wise"));
+    }
+}

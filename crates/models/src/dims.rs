@@ -1,0 +1,245 @@
+//! Convolution-loop dimensions (`K`, `C`, `Y`, `X`, `R`, `S`) shared by the
+//! whole Herald stack.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The seven loop dimensions of a convolution-family layer, following the
+/// naming of the paper's Fig. 4 loop nests:
+///
+/// * `k` — output channels,
+/// * `c` — input channels,
+/// * `y`/`x` — input activation rows/columns (*unpadded*),
+/// * `r`/`s` — filter rows/columns,
+/// * `stride` — spatial stride (down-scale for conv, up-scale for
+///   transposed conv),
+/// * `pad` — symmetric zero padding applied to each spatial border.
+///
+/// Output spatial sizes are derived via standard convolution arithmetic by
+/// [`LayerDims::out_y`] / [`LayerDims::out_x`]; transposed convolutions must
+/// use [`LayerDims::up_out_y`] / [`LayerDims::up_out_x`] instead.
+///
+/// # Example
+///
+/// ```
+/// use herald_models::LayerDims;
+///
+/// // ResNet-50 conv1: 7x7/2 on a padded 224x224x3 input, 64 filters.
+/// let d = LayerDims::conv(64, 3, 224, 224, 7, 7).with_stride(2).with_pad(3);
+/// assert_eq!(d.out_y(), 112);
+/// assert_eq!(d.out_x(), 112);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LayerDims {
+    /// Output channels (`K`).
+    pub k: u32,
+    /// Input channels (`C`).
+    pub c: u32,
+    /// Input activation rows (`Y`).
+    pub y: u32,
+    /// Input activation columns (`X`).
+    pub x: u32,
+    /// Filter rows (`R`).
+    pub r: u32,
+    /// Filter columns (`S`).
+    pub s: u32,
+    /// Spatial stride.
+    pub stride: u32,
+    /// Symmetric zero padding on each spatial border.
+    pub pad: u32,
+}
+
+impl LayerDims {
+    /// Creates convolution dimensions with stride 1 and no padding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of `k`, `c`, `y`, `x`, `r`, `s` is zero, or if the
+    /// filter does not fit inside the (unpadded) input.
+    pub fn conv(k: u32, c: u32, y: u32, x: u32, r: u32, s: u32) -> Self {
+        assert!(
+            k > 0 && c > 0 && y > 0 && x > 0 && r > 0 && s > 0,
+            "layer dimensions must be positive: k={k} c={c} y={y} x={x} r={r} s={s}"
+        );
+        Self {
+            k,
+            c,
+            y,
+            x,
+            r,
+            s,
+            stride: 1,
+            pad: 0,
+        }
+    }
+
+    /// Creates fully-connected dimensions: a `k x c` weight matrix applied to
+    /// a length-`c` vector (all spatial dims are 1).
+    pub fn fc(k: u32, c: u32) -> Self {
+        Self::conv(k, c, 1, 1, 1, 1)
+    }
+
+    /// Creates GEMM-style dimensions: a `k x c` weight matrix applied to
+    /// `m` independent column vectors (e.g. RNN timesteps). Encoded as a
+    /// point-wise convolution over an `m x 1` spatial extent.
+    pub fn gemm(k: u32, c: u32, m: u32) -> Self {
+        Self::conv(k, c, m, 1, 1, 1)
+    }
+
+    /// Sets the spatial stride (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    #[must_use]
+    pub fn with_stride(mut self, stride: u32) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        self.stride = stride;
+        self
+    }
+
+    /// Sets the symmetric padding (builder style).
+    #[must_use]
+    pub fn with_pad(mut self, pad: u32) -> Self {
+        self.pad = pad;
+        self
+    }
+
+    /// Output rows for a regular (down-scaling) convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the filter does not fit in the padded input
+    /// (`y + 2*pad < r`).
+    pub fn out_y(&self) -> u32 {
+        let padded = self.y + 2 * self.pad;
+        assert!(
+            padded >= self.r,
+            "filter rows {} exceed padded input rows {}",
+            self.r,
+            padded
+        );
+        (padded - self.r) / self.stride + 1
+    }
+
+    /// Output columns for a regular (down-scaling) convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the filter does not fit in the padded input
+    /// (`x + 2*pad < s`).
+    pub fn out_x(&self) -> u32 {
+        let padded = self.x + 2 * self.pad;
+        assert!(
+            padded >= self.s,
+            "filter columns {} exceed padded input columns {}",
+            self.s,
+            padded
+        );
+        (padded - self.s) / self.stride + 1
+    }
+
+    /// Output rows for a transposed (up-scaling) convolution: `y * stride`.
+    pub fn up_out_y(&self) -> u32 {
+        self.y * self.stride
+    }
+
+    /// Output columns for a transposed (up-scaling) convolution.
+    pub fn up_out_x(&self) -> u32 {
+        self.x * self.stride
+    }
+
+    /// The channel-activation size ratio used by the paper's Table I as a
+    /// one-number abstraction of layer shape: input channels divided by
+    /// input activation rows (`C / Y`).
+    pub fn channel_activation_ratio(&self) -> f64 {
+        f64::from(self.c) / f64::from(self.y)
+    }
+}
+
+impl fmt::Display for LayerDims {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "K{} C{} Y{} X{} R{} S{} /{} +{}",
+            self.k, self.c, self.y, self.x, self.r, self.s, self.stride, self.pad
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_arithmetic_same_padding() {
+        // 3x3/1 pad 1 keeps spatial size.
+        let d = LayerDims::conv(64, 64, 56, 56, 3, 3).with_pad(1);
+        assert_eq!(d.out_y(), 56);
+        assert_eq!(d.out_x(), 56);
+    }
+
+    #[test]
+    fn conv_arithmetic_valid_padding() {
+        // UNet-style 3x3 valid conv shrinks by 2.
+        let d = LayerDims::conv(64, 1, 572, 572, 3, 3);
+        assert_eq!(d.out_y(), 570);
+    }
+
+    #[test]
+    fn conv_arithmetic_strided() {
+        let d = LayerDims::conv(64, 3, 224, 224, 7, 7).with_stride(2).with_pad(3);
+        assert_eq!(d.out_y(), 112);
+    }
+
+    #[test]
+    fn fc_is_all_ones_spatial() {
+        let d = LayerDims::fc(1000, 2048);
+        assert_eq!((d.y, d.x, d.r, d.s), (1, 1, 1, 1));
+        assert_eq!(d.out_y(), 1);
+    }
+
+    #[test]
+    fn gemm_folds_timesteps_into_rows() {
+        let d = LayerDims::gemm(4096, 1024, 25);
+        assert_eq!(d.out_y(), 25);
+        assert_eq!(d.out_x(), 1);
+    }
+
+    #[test]
+    fn upconv_doubles_spatial() {
+        let d = LayerDims::conv(512, 1024, 28, 28, 2, 2).with_stride(2);
+        assert_eq!(d.up_out_y(), 56);
+        assert_eq!(d.up_out_x(), 56);
+    }
+
+    #[test]
+    fn channel_activation_ratio_matches_table1_examples() {
+        // ResNet-50 conv1: 3 / 224 = 0.0134 (Table I min for Resnet50).
+        let conv1 = LayerDims::conv(64, 3, 224, 224, 7, 7).with_stride(2).with_pad(3);
+        assert!((conv1.channel_activation_ratio() - 0.0134).abs() < 1e-3);
+        // UNet first conv: 1 / 572 = 0.0017 (Table I min for UNet).
+        let unet1 = LayerDims::conv(64, 1, 572, 572, 3, 3);
+        assert!((unet1.channel_activation_ratio() - 0.00175).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_channel_rejected() {
+        let _ = LayerDims::conv(0, 3, 224, 224, 3, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed padded input")]
+    fn oversized_filter_rejected() {
+        let _ = LayerDims::conv(8, 8, 2, 2, 5, 5).out_y();
+    }
+
+    #[test]
+    fn padding_can_rescue_small_inputs() {
+        // A 3x3 filter on a 1x1 input is legal with pad 1 (SSD's smallest
+        // pyramid level does exactly this).
+        let d = LayerDims::conv(128, 128, 1, 1, 3, 3).with_pad(1);
+        assert_eq!(d.out_y(), 1);
+    }
+}

@@ -1,0 +1,279 @@
+//! Layer operators and the [`Layer`] compute node.
+
+use crate::{LayerDims, TensorShape};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The MAC-layer operator taxonomy of the paper's Table I.
+///
+/// Skip connections and concatenations are *graph* features (extra
+/// dependence edges / channel-merging inputs) rather than MAC operators, so
+/// they are represented on [`crate::DnnModel`] edges, not here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerOp {
+    /// Standard 2-D convolution (`CONV2D`): accumulates across input
+    /// channels and the `R x S` filter window.
+    Conv2d,
+    /// Point-wise (1x1) convolution (`PWCONV`).
+    PointwiseConv,
+    /// Depth-wise convolution (`DWCONV`): each input channel convolved with
+    /// its own filter; **no accumulation across input channels**. This is
+    /// the operator that starves channel-parallel dataflows such as NVDLA's.
+    DepthwiseConv,
+    /// Fully-connected / GEMM layer (`FC`). Spatial extents may be larger
+    /// than 1 to fold RNN timesteps or flattened batches into the GEMM.
+    Fc,
+    /// Transposed / up-scale convolution (`UPCONV`), used by segmentation
+    /// decoders (UNet) and depth-estimation decoders.
+    TransposedConv,
+}
+
+impl LayerOp {
+    /// Whether the operator accumulates partial sums across input channels.
+    ///
+    /// Depth-wise convolution does not; this constrains the legal mappings a
+    /// channel-parallel dataflow can construct (paper Sec. II-B).
+    pub fn accumulates_across_channels(&self) -> bool {
+        !matches!(self, LayerOp::DepthwiseConv)
+    }
+
+    /// Short uppercase mnemonic as used in the paper's tables.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            LayerOp::Conv2d => "CONV2D",
+            LayerOp::PointwiseConv => "PWCONV",
+            LayerOp::DepthwiseConv => "DWCONV",
+            LayerOp::Fc => "FC",
+            LayerOp::TransposedConv => "UPCONV",
+        }
+    }
+}
+
+impl fmt::Display for LayerOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A single MAC layer of a DNN: an operator plus its loop dimensions.
+///
+/// # Example
+///
+/// ```
+/// use herald_models::{Layer, LayerDims, LayerOp};
+///
+/// let l = Layer::new("conv1", LayerOp::Conv2d,
+///                    LayerDims::conv(64, 3, 224, 224, 7, 7).with_stride(2).with_pad(3));
+/// assert_eq!(l.macs(), 64 * 3 * 112 * 112 * 7 * 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Layer {
+    name: String,
+    op: LayerOp,
+    dims: LayerDims,
+}
+
+impl Layer {
+    /// Creates a layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is [`LayerOp::DepthwiseConv`] and `k != c` (depth-wise
+    /// convolution with channel multiplier 1 must preserve the channel
+    /// count), or if `op` is [`LayerOp::Fc`] with a non-unit filter.
+    pub fn new(name: impl Into<String>, op: LayerOp, dims: LayerDims) -> Self {
+        if op == LayerOp::DepthwiseConv {
+            assert_eq!(
+                dims.k, dims.c,
+                "depth-wise convolution must have k == c (got k={} c={})",
+                dims.k, dims.c
+            );
+        }
+        if op == LayerOp::Fc {
+            assert_eq!(
+                (dims.r, dims.s),
+                (1, 1),
+                "FC layers must have a 1x1 filter"
+            );
+        }
+        if op == LayerOp::PointwiseConv {
+            assert_eq!(
+                (dims.r, dims.s),
+                (1, 1),
+                "point-wise convolution must have a 1x1 filter"
+            );
+        }
+        Self {
+            name: name.into(),
+            op,
+            dims,
+        }
+    }
+
+    /// The layer's name (unique within its model by construction via
+    /// [`crate::ModelBuilder`]).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layer operator.
+    pub fn op(&self) -> LayerOp {
+        self.op
+    }
+
+    /// The layer's loop dimensions.
+    pub fn dims(&self) -> &LayerDims {
+        &self.dims
+    }
+
+    /// Output activation rows, respecting the operator's scaling direction.
+    pub fn out_y(&self) -> u32 {
+        match self.op {
+            LayerOp::TransposedConv => self.dims.up_out_y(),
+            _ => self.dims.out_y(),
+        }
+    }
+
+    /// Output activation columns, respecting the operator's scaling
+    /// direction.
+    pub fn out_x(&self) -> u32 {
+        match self.op {
+            LayerOp::TransposedConv => self.dims.up_out_x(),
+            _ => self.dims.out_x(),
+        }
+    }
+
+    /// Total multiply-accumulate operations performed by this layer.
+    ///
+    /// * Depth-wise convolution performs `C * Y' * X' * R * S` MACs (no
+    ///   cross-channel reduction).
+    /// * Transposed convolution is counted input-centrically: each input
+    ///   pixel scatters into an `R x S` output window, giving
+    ///   `K * C * Y * X * R * S` MACs.
+    /// * All other operators perform `K * C * Y' * X' * R * S` MACs.
+    pub fn macs(&self) -> u64 {
+        let d = &self.dims;
+        let rs = u64::from(d.r) * u64::from(d.s);
+        match self.op {
+            LayerOp::DepthwiseConv => {
+                u64::from(d.c) * u64::from(self.out_y()) * u64::from(self.out_x()) * rs
+            }
+            LayerOp::TransposedConv => {
+                u64::from(d.k) * u64::from(d.c) * u64::from(d.y) * u64::from(d.x) * rs
+            }
+            _ => {
+                u64::from(d.k)
+                    * u64::from(d.c)
+                    * u64::from(self.out_y())
+                    * u64::from(self.out_x())
+                    * rs
+            }
+        }
+    }
+
+    /// Shape of the input activation tensor (batch 1).
+    pub fn input_shape(&self) -> TensorShape {
+        TensorShape::new(1, self.dims.c, self.dims.y, self.dims.x)
+    }
+
+    /// Shape of the output activation tensor (batch 1).
+    pub fn output_shape(&self) -> TensorShape {
+        TensorShape::new(1, self.dims.k, self.out_y(), self.out_x())
+    }
+
+    /// Channel-activation size ratio of this layer (paper Table I): input
+    /// channels divided by the *larger* of the input and output spatial
+    /// rows. For ordinary convolutions this is `C / Y`; for up-scaling
+    /// convolutions the output side is larger and is used instead, matching
+    /// how the paper computes the statistic for segmentation decoders.
+    pub fn channel_activation_ratio(&self) -> f64 {
+        f64::from(self.dims.c) / f64::from(self.dims.y.max(self.out_y()))
+    }
+
+    /// Number of filter weight elements.
+    ///
+    /// Depth-wise convolution stores one `R x S` filter per channel; all
+    /// other operators store `K * C` filters.
+    pub fn weight_elems(&self) -> u64 {
+        let d = &self.dims;
+        let rs = u64::from(d.r) * u64::from(d.s);
+        match self.op {
+            LayerOp::DepthwiseConv => u64::from(d.c) * rs,
+            _ => u64::from(d.k) * u64::from(d.c) * rs,
+        }
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] {}", self.name, self.op, self.dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv(k: u32, c: u32, y: u32, r: u32) -> LayerDims {
+        LayerDims::conv(k, c, y, y, r, r).with_pad(r / 2)
+    }
+
+    #[test]
+    fn conv2d_mac_count() {
+        let l = Layer::new("c", LayerOp::Conv2d, conv(16, 8, 10, 3));
+        // Same-padded: out 10x10.
+        assert_eq!(l.macs(), 16 * 8 * 10 * 10 * 9);
+    }
+
+    #[test]
+    fn depthwise_macs_skip_channel_reduction() {
+        let l = Layer::new("dw", LayerOp::DepthwiseConv, conv(8, 8, 10, 3));
+        assert_eq!(l.macs(), 8 * 10 * 10 * 9);
+    }
+
+    #[test]
+    fn fc_macs_are_weight_count() {
+        let l = Layer::new("fc", LayerOp::Fc, LayerDims::fc(1000, 2048));
+        assert_eq!(l.macs(), 1000 * 2048);
+        assert_eq!(l.weight_elems(), 1000 * 2048);
+    }
+
+    #[test]
+    fn upconv_counts_input_centric_macs() {
+        let d = LayerDims::conv(512, 1024, 28, 28, 2, 2).with_stride(2);
+        let l = Layer::new("up", LayerOp::TransposedConv, d);
+        assert_eq!(l.macs(), 512 * 1024 * 28 * 28 * 4);
+        assert_eq!(l.output_shape().h, 56);
+    }
+
+    #[test]
+    fn depthwise_weight_count_is_per_channel() {
+        let l = Layer::new("dw", LayerOp::DepthwiseConv, conv(32, 32, 10, 3));
+        assert_eq!(l.weight_elems(), 32 * 9);
+    }
+
+    #[test]
+    fn gemm_fc_reuses_weights_across_rows() {
+        let l = Layer::new("lstm", LayerOp::Fc, LayerDims::gemm(4096, 1024, 25));
+        assert_eq!(l.macs(), 4096 * 1024 * 25);
+        assert_eq!(l.weight_elems(), 4096 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "k == c")]
+    fn depthwise_channel_mismatch_rejected() {
+        let _ = Layer::new("dw", LayerOp::DepthwiseConv, conv(16, 8, 10, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "1x1 filter")]
+    fn fc_with_filter_rejected() {
+        let _ = Layer::new("fc", LayerOp::Fc, LayerDims::conv(8, 8, 4, 4, 3, 3));
+    }
+
+    #[test]
+    fn accumulation_flag() {
+        assert!(LayerOp::Conv2d.accumulates_across_channels());
+        assert!(!LayerOp::DepthwiseConv.accumulates_across_channels());
+    }
+}

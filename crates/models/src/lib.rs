@@ -1,0 +1,46 @@
+//! DNN model intermediate representation and model zoo for the Herald
+//! heterogeneous-dataflow-accelerator (HDA) framework.
+//!
+//! This crate provides the *workload side* of the reproduction of
+//! "Heterogeneous Dataflow Accelerators for Multi-DNN Workloads" (HPCA 2021):
+//!
+//! * [`TensorShape`] / [`LayerDims`] — tensor and convolution-loop dimensions
+//!   (`K`, `C`, `Y`, `X`, `R`, `S`, stride, padding) used by every layer.
+//! * [`LayerOp`] / [`Layer`] — the operator taxonomy of the paper's Table I
+//!   (CONV2D, point-wise, depth-wise, FC, up-scale/transposed convolution).
+//! * [`DnnModel`] / [`ModelBuilder`] — a dependence-ordered layer graph with
+//!   skip connections and concatenation edges.
+//! * [`zoo`] — the exact networks used by the paper's evaluation workloads:
+//!   ResNet-50, MobileNetV1/V2, UNet, BR-Q HandposeNet, Focal-Length
+//!   DepthNet, SSD-ResNet34, SSD-MobileNetV1 and GNMT.
+//! * [`ModelStats`] — per-model heterogeneity statistics (channel-activation
+//!   size ratio, operator sets) reproducing the paper's Table I.
+//!
+//! # Example
+//!
+//! ```
+//! use herald_models::{zoo, ModelStats};
+//!
+//! let resnet = zoo::resnet50();
+//! let stats = ModelStats::for_model(&resnet);
+//! assert_eq!(resnet.name(), "Resnet50");
+//! // ResNet-50 has 54 MAC layers (49 convs + 4 projections + 1 FC).
+//! assert_eq!(resnet.num_layers(), 54);
+//! assert!(stats.max_channel_activation_ratio > 100.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dims;
+mod graph;
+mod layer;
+mod stats;
+mod tensor;
+pub mod zoo;
+
+pub use dims::LayerDims;
+pub use graph::{DnnModel, LayerId, ModelBuilder, ModelError};
+pub use layer::{Layer, LayerOp};
+pub use stats::ModelStats;
+pub use tensor::TensorShape;

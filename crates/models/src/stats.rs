@@ -1,0 +1,185 @@
+//! Per-model heterogeneity statistics (reproduces the paper's Table I).
+
+use crate::{DnnModel, LayerOp};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Shape/operator heterogeneity statistics for one model, mirroring the
+/// columns of the paper's Table I.
+///
+/// The channel-activation size ratio of a layer is its input channel count
+/// divided by its input activation rows (`C / Y`) — the paper's one-number
+/// abstraction of layer shape. Classification networks span tiny (first
+/// layer) to huge (late FC) ratios; segmentation networks stay flat.
+///
+/// # Example
+///
+/// ```
+/// use herald_models::{zoo, ModelStats};
+///
+/// let stats = ModelStats::for_model(&zoo::unet());
+/// // Table I reports UNet min 0.002 and max ~34.1.
+/// assert!(stats.min_channel_activation_ratio < 0.01);
+/// assert!(stats.max_channel_activation_ratio > 30.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelStats {
+    /// Model name.
+    pub model: String,
+    /// Number of MAC layers.
+    pub num_layers: usize,
+    /// Total MAC operations over all layers.
+    pub total_macs: u64,
+    /// Total filter weight elements over all layers.
+    pub total_weights: u64,
+    /// Minimum `C / Y` over layers.
+    pub min_channel_activation_ratio: f64,
+    /// Median `C / Y` over layers.
+    pub median_channel_activation_ratio: f64,
+    /// Maximum `C / Y` over layers.
+    pub max_channel_activation_ratio: f64,
+    /// The set of operators the model uses.
+    pub ops: BTreeSet<LayerOp>,
+}
+
+impl ModelStats {
+    /// Computes statistics for a model.
+    pub fn for_model(model: &DnnModel) -> Self {
+        let mut ratios: Vec<f64> = model
+            .layers()
+            .iter()
+            .map(|l| l.channel_activation_ratio())
+            .collect();
+        ratios.sort_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
+        let median = if ratios.is_empty() {
+            0.0
+        } else if ratios.len() % 2 == 1 {
+            ratios[ratios.len() / 2]
+        } else {
+            (ratios[ratios.len() / 2 - 1] + ratios[ratios.len() / 2]) / 2.0
+        };
+        Self {
+            model: model.name().to_string(),
+            num_layers: model.num_layers(),
+            total_macs: model.total_macs(),
+            total_weights: model.total_weight_elems(),
+            min_channel_activation_ratio: ratios.first().copied().unwrap_or(0.0),
+            median_channel_activation_ratio: median,
+            max_channel_activation_ratio: ratios.last().copied().unwrap_or(0.0),
+            ops: model.layers().iter().map(|l| l.op()).collect(),
+        }
+    }
+
+    /// Ratio between the largest and smallest channel-activation ratio —
+    /// the paper quotes up to `315076x` across AR/VR models.
+    pub fn ratio_spread(&self) -> f64 {
+        if self.min_channel_activation_ratio == 0.0 {
+            f64::INFINITY
+        } else {
+            self.max_channel_activation_ratio / self.min_channel_activation_ratio
+        }
+    }
+}
+
+impl fmt::Display for ModelStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ops: Vec<&str> = self.ops.iter().map(|o| o.mnemonic()).collect();
+        write!(
+            f,
+            "{}: {} layers, ratio min {:.3} / median {:.3} / max {:.3}, ops {{{}}}",
+            self.model,
+            self.num_layers,
+            self.min_channel_activation_ratio,
+            self.median_channel_activation_ratio,
+            self.max_channel_activation_ratio,
+            ops.join(", ")
+        )
+    }
+}
+
+// `BTreeSet<LayerOp>` needs `Ord` on `LayerOp`; derive an order that simply
+// follows declaration order (it has no semantic meaning).
+impl Ord for LayerOp {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        fn rank(op: &LayerOp) -> u8 {
+            match op {
+                LayerOp::Conv2d => 0,
+                LayerOp::PointwiseConv => 1,
+                LayerOp::DepthwiseConv => 2,
+                LayerOp::Fc => 3,
+                LayerOp::TransposedConv => 4,
+            }
+        }
+        rank(self).cmp(&rank(other))
+    }
+}
+
+impl PartialOrd for LayerOp {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LayerDims, ModelBuilder};
+
+    fn tiny_model() -> DnnModel {
+        ModelBuilder::new("tiny")
+            .chain(
+                "a",
+                LayerOp::Conv2d,
+                LayerDims::conv(8, 2, 16, 16, 3, 3).with_pad(1),
+            )
+            .chain(
+                "b",
+                LayerOp::Conv2d,
+                LayerDims::conv(16, 8, 16, 16, 3, 3).with_pad(1),
+            )
+            .chain("fc", LayerOp::Fc, LayerDims::fc(10, 16))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn min_median_max_ordering() {
+        let s = ModelStats::for_model(&tiny_model());
+        assert!(s.min_channel_activation_ratio <= s.median_channel_activation_ratio);
+        assert!(s.median_channel_activation_ratio <= s.max_channel_activation_ratio);
+        // FC layer: ratio 16/1 = 16.
+        assert_eq!(s.max_channel_activation_ratio, 16.0);
+        // First conv: 2/16 = 0.125.
+        assert_eq!(s.min_channel_activation_ratio, 0.125);
+    }
+
+    #[test]
+    fn op_set_collected() {
+        let s = ModelStats::for_model(&tiny_model());
+        assert!(s.ops.contains(&LayerOp::Conv2d));
+        assert!(s.ops.contains(&LayerOp::Fc));
+        assert!(!s.ops.contains(&LayerOp::DepthwiseConv));
+    }
+
+    #[test]
+    fn spread_is_max_over_min() {
+        let s = ModelStats::for_model(&tiny_model());
+        assert!((s.ratio_spread() - 16.0 / 0.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn odd_and_even_median() {
+        let s = ModelStats::for_model(&tiny_model());
+        // 3 layers -> middle element (8/16 = 0.5).
+        assert_eq!(s.median_channel_activation_ratio, 0.5);
+    }
+
+    #[test]
+    fn display_mentions_ops() {
+        let s = ModelStats::for_model(&tiny_model());
+        let text = s.to_string();
+        assert!(text.contains("CONV2D"));
+        assert!(text.contains("FC"));
+    }
+}

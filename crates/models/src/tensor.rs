@@ -1,0 +1,101 @@
+//! Tensor shape description for activations and filter weights.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Shape of a (dense) 4-D tensor in `N x C x H x W` layout.
+///
+/// `N` is the batch dimension; Herald workloads replicate models per batch at
+/// the workload level, so `n` is almost always `1` inside a model, but the
+/// type supports arbitrary batches for single-DNN batch studies (paper
+/// Fig. 12 / Table VI).
+///
+/// # Example
+///
+/// ```
+/// use herald_models::TensorShape;
+///
+/// let act = TensorShape::new(1, 64, 56, 56);
+/// assert_eq!(act.elems(), 64 * 56 * 56);
+/// assert_eq!(act.to_string(), "1x64x56x56");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorShape {
+    /// Batch size.
+    pub n: u32,
+    /// Channel count.
+    pub c: u32,
+    /// Height (rows).
+    pub h: u32,
+    /// Width (columns).
+    pub w: u32,
+}
+
+impl TensorShape {
+    /// Creates a new tensor shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero; zero-sized tensors are never
+    /// meaningful in this IR.
+    pub fn new(n: u32, c: u32, h: u32, w: u32) -> Self {
+        assert!(
+            n > 0 && c > 0 && h > 0 && w > 0,
+            "tensor dimensions must be positive, got {n}x{c}x{h}x{w}"
+        );
+        Self { n, c, h, w }
+    }
+
+    /// Total number of elements in the tensor.
+    pub fn elems(&self) -> u64 {
+        u64::from(self.n) * u64::from(self.c) * u64::from(self.h) * u64::from(self.w)
+    }
+
+    /// Size in bytes assuming `bytes_per_elem`-wide elements (e.g. 2 for
+    /// fp16/int16 as commonly assumed by MAESTRO-style models).
+    pub fn bytes(&self, bytes_per_elem: u64) -> u64 {
+        self.elems() * bytes_per_elem
+    }
+}
+
+impl fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}x{}", self.n, self.c, self.h, self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elems_multiplies_all_dims() {
+        let t = TensorShape::new(2, 3, 4, 5);
+        assert_eq!(t.elems(), 120);
+    }
+
+    #[test]
+    fn bytes_scales_by_width() {
+        let t = TensorShape::new(1, 16, 8, 8);
+        assert_eq!(t.bytes(2), 16 * 8 * 8 * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_dim_rejected() {
+        let _ = TensorShape::new(1, 0, 8, 8);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let t = TensorShape::new(1, 1280, 7, 7);
+        assert_eq!(t.to_string(), "1x1280x7x7");
+    }
+
+    #[test]
+    fn large_tensor_does_not_overflow() {
+        // GNMT-scale projection tensors must not overflow u64 element math.
+        let t = TensorShape::new(8, 32_000, 1024, 1);
+        assert_eq!(t.elems(), 8 * 32_000 * 1024);
+    }
+}

@@ -1,0 +1,125 @@
+//! Focal-Length DepthNet — single-image depth estimation with focal-length
+//! embedding (He, Wang, Hu, IEEE TIP 2018), used by the paper's AR/VR-B
+//! workload.
+//!
+//! The cited network is a VGG-16-style encoder followed by two 4096-wide
+//! fully-connected layers (the paper's text singles out "FC layer 2" with
+//! 4096x4096 = 16.8M channel parallelism) and an up-convolutional decoder
+//! that restores a dense depth map. Table I lists its operators as CONV2D,
+//! FC and UPCONV with ratio min 0.013 and max 4096 — both reproduced here.
+
+use crate::{DnnModel, LayerDims, LayerOp, ModelBuilder};
+
+/// Focal-Length DepthNet: 13-conv VGG-16 encoder on 224x224x3, two
+/// 4096-wide FCs, an FC re-projection to a 7x7x128 map, and a 4-level
+/// up-convolutional decoder producing a 112x112 depth map. 25 MAC layers.
+///
+/// # Example
+///
+/// ```
+/// use herald_models::zoo::focal_depthnet;
+/// let m = focal_depthnet();
+/// assert_eq!(m.num_layers(), 25);
+/// ```
+pub fn focal_depthnet() -> DnnModel {
+    let mut b = ModelBuilder::new("Focal DepthNet");
+
+    // VGG-16 encoder: (channels, convs-in-block, input spatial).
+    let blocks: [(u32, usize, u32); 5] = [
+        (64, 2, 224),
+        (128, 2, 112),
+        (256, 3, 56),
+        (512, 3, 28),
+        (512, 3, 14),
+    ];
+    let mut in_ch = 3u32;
+    for (bi, (ch, convs, y)) in blocks.into_iter().enumerate() {
+        for ci in 0..convs {
+            b = b.chain(
+                format!("conv{}_{}", bi + 1, ci + 1),
+                LayerOp::Conv2d,
+                LayerDims::conv(ch, in_ch, y, y, 3, 3).with_pad(1),
+            );
+            in_ch = ch;
+        }
+        // 2x2 max-pool between blocks (not a MAC layer).
+    }
+
+    // FC head. fc1 is encoded as a 7x7 valid conv over the pooled 7x7x512
+    // map (the FC-as-conv form used throughout the zoo); fc2 is the paper's
+    // "FC layer 2" with 4096x4096 weights.
+    b = b.chain("fc1", LayerOp::Conv2d, LayerDims::conv(4096, 512, 7, 7, 7, 7));
+    b = b.chain("fc2", LayerOp::Fc, LayerDims::fc(4096, 4096));
+    // Re-projection to a coarse spatial map for the decoder (7x7x128).
+    b = b.chain("fc3", LayerOp::Fc, LayerDims::fc(6272, 4096));
+
+    // Up-convolutional decoder: 7 -> 14 -> 28 -> 56 -> 112, with a 3x3
+    // refinement conv after each up-conv.
+    let mut y = 7u32;
+    let mut ch = 128u32;
+    for level in 1..=4u32 {
+        let out = ch / 2;
+        b = b.chain(
+            format!("up{level}"),
+            LayerOp::TransposedConv,
+            LayerDims::conv(out, ch, y, y, 2, 2).with_stride(2),
+        );
+        y *= 2;
+        b = b.chain(
+            format!("dec{level}_conv"),
+            LayerOp::Conv2d,
+            LayerDims::conv(out, out, y, y, 3, 3).with_pad(1),
+        );
+        ch = out;
+    }
+    // Final depth regression head.
+    b = b.chain("depth_head", LayerOp::PointwiseConv, LayerDims::conv(1, 8, 112, 112, 1, 1));
+
+    b.build().expect("focal_depthnet definition is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LayerOp, ModelStats};
+
+    #[test]
+    fn layer_count() {
+        // 13 encoder + 3 FC + 4 x 2 decoder + 1 head = 25.
+        assert_eq!(focal_depthnet().num_layers(), 25);
+    }
+
+    #[test]
+    fn table1_ratios() {
+        let s = ModelStats::for_model(&focal_depthnet());
+        // Table I: min 0.013 (3/224), max 4096 (fc2 / fc3 read 4096-wide).
+        assert!((s.min_channel_activation_ratio - 3.0 / 224.0).abs() < 1e-6);
+        assert_eq!(s.max_channel_activation_ratio, 4096.0);
+    }
+
+    #[test]
+    fn fc2_has_paper_quoted_channel_parallelism() {
+        // The paper: "maximum channel parallelism in the workload is 16.8M
+        // (FC layer 2, Focal Length DepthNet)" = 4096 x 4096.
+        let m = focal_depthnet();
+        let fc2 = m.layer(m.layer_id("fc2").unwrap());
+        assert_eq!(u64::from(fc2.dims().k) * u64::from(fc2.dims().c), 16_777_216);
+    }
+
+    #[test]
+    fn ops_match_table1() {
+        let s = ModelStats::for_model(&focal_depthnet());
+        assert!(s.ops.contains(&LayerOp::Conv2d));
+        assert!(s.ops.contains(&LayerOp::Fc));
+        assert!(s.ops.contains(&LayerOp::TransposedConv));
+        assert!(!s.ops.contains(&LayerOp::DepthwiseConv));
+    }
+
+    #[test]
+    fn decoder_restores_112() {
+        let m = focal_depthnet();
+        let head = m.layer(m.layer_id("depth_head").unwrap());
+        assert_eq!(head.out_y(), 112);
+        assert_eq!(head.dims().k, 1);
+    }
+}

@@ -1,0 +1,116 @@
+//! GNMT — Google's 8-layer LSTM sequence-to-sequence translation model, the
+//! RNN member of the MLPerf inference suite used by the paper's MLPerf
+//! workload.
+//!
+//! An analytical dense-tensor cost model consumes GEMM shapes, so each LSTM
+//! layer is encoded as its two gate GEMMs (input-to-hidden and
+//! hidden-to-hidden, `4H x H` each) with the sequence length folded into
+//! the GEMM row dimension — the standard batched-inference formulation.
+//! Attention contributes two `H x H` GEMMs and decoding ends with the
+//! `V x H` vocabulary projection.
+
+use crate::{DnnModel, LayerDims, LayerOp, ModelBuilder};
+
+/// Hidden width of GNMT.
+const HIDDEN: u32 = 1024;
+/// Gate GEMM output width (four LSTM gates).
+const GATES: u32 = 4 * HIDDEN;
+/// Average decoded sequence length folded into the GEMM row dimension.
+const SEQ_LEN: u32 = 25;
+/// Target vocabulary size of the MLPerf GNMT reference.
+const VOCAB: u32 = 32_000;
+
+/// GNMT: 8 encoder LSTM layers, 8 decoder LSTM layers (two gate GEMMs
+/// each), 2 attention GEMMs and the vocabulary projection — 35 FC/GEMM
+/// layers with extreme channel-activation ratios (no spatial dimension at
+/// all), the polar opposite of UNet in the workload mix.
+///
+/// # Example
+///
+/// ```
+/// use herald_models::zoo::gnmt;
+/// let m = gnmt();
+/// assert_eq!(m.num_layers(), 35);
+/// ```
+pub fn gnmt() -> DnnModel {
+    let mut b = ModelBuilder::new("GNMT");
+
+    for i in 1..=8u32 {
+        b = b.chain(
+            format!("enc{i}_ih"),
+            LayerOp::Fc,
+            LayerDims::gemm(GATES, HIDDEN, SEQ_LEN),
+        );
+        b = b.chain(
+            format!("enc{i}_hh"),
+            LayerOp::Fc,
+            LayerDims::gemm(GATES, HIDDEN, SEQ_LEN),
+        );
+    }
+
+    // Attention: score and context projections.
+    b = b.chain("attn_query", LayerOp::Fc, LayerDims::gemm(HIDDEN, HIDDEN, SEQ_LEN));
+    b = b.chain("attn_context", LayerOp::Fc, LayerDims::gemm(HIDDEN, HIDDEN, SEQ_LEN));
+
+    for i in 1..=8u32 {
+        // Decoder layer 1 consumes [embedding; attention context].
+        let in_width = if i == 1 { 2 * HIDDEN } else { HIDDEN };
+        b = b.chain(
+            format!("dec{i}_ih"),
+            LayerOp::Fc,
+            LayerDims::gemm(GATES, in_width, SEQ_LEN),
+        );
+        b = b.chain(
+            format!("dec{i}_hh"),
+            LayerOp::Fc,
+            LayerDims::gemm(GATES, HIDDEN, SEQ_LEN),
+        );
+    }
+
+    b = b.chain("vocab_proj", LayerOp::Fc, LayerDims::gemm(VOCAB, HIDDEN, SEQ_LEN));
+    b.build().expect("gnmt definition is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelStats;
+
+    #[test]
+    fn layer_count() {
+        // 16 encoder + 2 attention + 16 decoder + 1 projection = 35.
+        assert_eq!(gnmt().num_layers(), 35);
+    }
+
+    #[test]
+    fn all_layers_are_gemms() {
+        for l in gnmt().layers() {
+            assert_eq!(l.op(), crate::LayerOp::Fc, "{}", l.name());
+            assert_eq!((l.dims().r, l.dims().s), (1, 1));
+        }
+    }
+
+    #[test]
+    fn gate_gemm_shape() {
+        let m = gnmt();
+        let l = m.layer(m.layer_id("enc1_ih").unwrap());
+        assert_eq!((l.dims().k, l.dims().c, l.dims().y), (4096, 1024, 25));
+        // Weights reused across all 25 timesteps.
+        assert_eq!(l.macs(), 4096 * 1024 * 25);
+    }
+
+    #[test]
+    fn vocab_projection_dominates_macs() {
+        let m = gnmt();
+        let proj = m.layer(m.layer_id("vocab_proj").unwrap());
+        assert!(proj.macs() > m.total_macs() / 10);
+    }
+
+    #[test]
+    fn ratios_are_channel_heavy() {
+        let s = ModelStats::for_model(&gnmt());
+        // GEMM rows fold the sequence, so C/Y = 1024/25 ~ 41 everywhere.
+        assert!(s.min_channel_activation_ratio > 30.0);
+        assert!(s.max_channel_activation_ratio < 100.0);
+    }
+}

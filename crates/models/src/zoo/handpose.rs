@@ -1,0 +1,120 @@
+//! BR-Q HandposeNet — the branched global-to-local hand-pose regression
+//! network of Madadi et al. (arXiv:1705.09606), as used by the paper's
+//! AR/VR-B workload.
+//!
+//! The cited work describes a convolutional trunk on a depth image followed
+//! by a tree of per-finger fully-connected branches. The exact layer table
+//! is not published; this encoding follows the described structure and
+//! matches the paper's Table I statistics (ratio min ~0.016, median and max
+//! 1024, ops CONV2D + FC).
+
+use crate::{DnnModel, LayerDims, LayerOp, ModelBuilder};
+
+/// BR-Q HandposeNet: a 5-conv trunk on a 192x192x3 input, a convolutional
+/// global-feature layer, and six branches (five fingers + palm) of
+/// 1024-wide FC pairs with per-branch joint-regression heads. 24 MAC layers.
+///
+/// # Example
+///
+/// ```
+/// use herald_models::zoo::brq_handpose;
+/// let m = brq_handpose();
+/// assert_eq!(m.num_layers(), 24);
+/// ```
+pub fn brq_handpose() -> DnnModel {
+    let mut b = ModelBuilder::new("BR-Q Handpose");
+
+    // Convolutional trunk: stride-2 convs halve the resolution each step.
+    let trunk: [(u32, u32, u32, u32); 5] = [
+        // (out channels, in channels, input y, filter)
+        (32, 3, 192, 5),
+        (64, 32, 96, 3),
+        (128, 64, 48, 3),
+        (256, 128, 24, 3),
+        (512, 256, 12, 3),
+    ];
+    for (i, (k, c, y, f)) in trunk.into_iter().enumerate() {
+        b = b.chain(
+            format!("conv{}", i + 1),
+            LayerOp::Conv2d,
+            LayerDims::conv(k, c, y, y, f, f)
+                .with_stride(2)
+                .with_pad(f / 2),
+        );
+    }
+
+    // Global feature: a 6x6 valid conv collapsing the 6x6x512 map into a
+    // 1024-wide vector (the FC-as-conv encoding keeps Table I's max ratio at
+    // the 1024-wide branch FCs rather than an artificial 18432).
+    b = b.chain(
+        "global_fc",
+        LayerOp::Conv2d,
+        LayerDims::conv(1024, 512, 6, 6, 6, 6),
+    );
+    let global = b.last_id().expect("global_fc added");
+
+    // Six branches x (fc1 -> fc2 -> joints).
+    for branch in ["thumb", "index", "middle", "ring", "pinky", "palm"] {
+        b = b.layer_with_deps(
+            format!("{branch}_fc1"),
+            LayerOp::Fc,
+            LayerDims::fc(1024, 1024),
+            &[global],
+        );
+        b = b.chain(format!("{branch}_fc2"), LayerOp::Fc, LayerDims::fc(1024, 1024));
+        // 4 joints x 3 coordinates per branch.
+        b = b.chain(format!("{branch}_joints"), LayerOp::Fc, LayerDims::fc(12, 1024));
+    }
+
+    b.build().expect("brq_handpose definition is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LayerOp, ModelStats};
+
+    #[test]
+    fn layer_count() {
+        // 5 trunk + 1 global + 6 x 3 branch layers = 24.
+        assert_eq!(brq_handpose().num_layers(), 24);
+    }
+
+    #[test]
+    fn table1_ratios() {
+        let s = ModelStats::for_model(&brq_handpose());
+        // Table I: min 0.016 (3/192), median 1024, max 1024.
+        assert!((s.min_channel_activation_ratio - 3.0 / 192.0).abs() < 1e-6);
+        assert_eq!(s.median_channel_activation_ratio, 1024.0);
+        assert_eq!(s.max_channel_activation_ratio, 1024.0);
+    }
+
+    #[test]
+    fn ops_are_conv_and_fc_only() {
+        let s = ModelStats::for_model(&brq_handpose());
+        assert!(s.ops.contains(&LayerOp::Conv2d));
+        assert!(s.ops.contains(&LayerOp::Fc));
+        assert!(!s.ops.contains(&LayerOp::DepthwiseConv));
+        assert!(!s.ops.contains(&LayerOp::TransposedConv));
+    }
+
+    #[test]
+    fn branches_are_parallel() {
+        let m = brq_handpose();
+        // Every branch fc1 depends only on the shared global feature, so
+        // branches can be scheduled in parallel on different
+        // sub-accelerators.
+        let global = m.layer_id("global_fc").unwrap();
+        for branch in ["thumb", "index", "middle", "ring", "pinky", "palm"] {
+            let fc1 = m.layer_id(&format!("{branch}_fc1")).unwrap();
+            assert_eq!(m.predecessors(fc1), &[global]);
+        }
+    }
+
+    #[test]
+    fn trunk_halves_resolution_each_conv() {
+        let m = brq_handpose();
+        let c5 = m.layer(m.layer_id("conv5").unwrap());
+        assert_eq!(c5.out_y(), 6);
+    }
+}

@@ -1,0 +1,255 @@
+//! MobileNetV1 [Howard et al.] and MobileNetV2 [Sandler et al., CVPR 2018].
+
+use crate::{DnnModel, LayerDims, LayerId, LayerOp, ModelBuilder};
+
+/// MobileNetV1 for 224x224x3 classification: a 3x3/2 stem followed by 13
+/// depth-wise-separable blocks (depth-wise 3x3 + point-wise 1x1) and a
+/// 1024->1000 FC. 28 MAC layers total.
+///
+/// # Example
+///
+/// ```
+/// use herald_models::zoo::mobilenet_v1;
+/// assert_eq!(mobilenet_v1().num_layers(), 28);
+/// ```
+pub fn mobilenet_v1() -> DnnModel {
+    build_mobilenet_v1("MobileNetV1", 224, true)
+        .0
+        .build()
+        .expect("mobilenet_v1 definition is valid")
+}
+
+/// Shared MobileNetV1 body so the SSD variant can reuse it. Returns the
+/// builder, the id of the final feature producer, its channel count and its
+/// spatial size. `with_classifier` appends the 1024->1000 FC.
+pub(crate) fn build_mobilenet_v1(
+    name: &str,
+    input_y: u32,
+    with_classifier: bool,
+) -> (ModelBuilder, LayerId, u32, u32) {
+    let mut b = ModelBuilder::new(name).chain(
+        "conv1",
+        LayerOp::Conv2d,
+        LayerDims::conv(32, 3, input_y, input_y, 3, 3)
+            .with_stride(2)
+            .with_pad(1),
+    );
+    let mut y = input_y / 2;
+    let mut in_ch = 32u32;
+
+    // (output channels of the point-wise conv, depth-wise stride)
+    let blocks: [(u32, u32); 13] = [
+        (64, 1),
+        (128, 2),
+        (128, 1),
+        (256, 2),
+        (256, 1),
+        (512, 2),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (1024, 2),
+        (1024, 1),
+    ];
+    for (i, (out, stride)) in blocks.into_iter().enumerate() {
+        let n = i + 1;
+        b = b.chain(
+            format!("dw{n}"),
+            LayerOp::DepthwiseConv,
+            LayerDims::conv(in_ch, in_ch, y, y, 3, 3)
+                .with_stride(stride)
+                .with_pad(1),
+        );
+        y = y.div_ceil(stride);
+        b = b.chain(
+            format!("pw{n}"),
+            LayerOp::PointwiseConv,
+            LayerDims::conv(out, in_ch, y, y, 1, 1),
+        );
+        in_ch = out;
+    }
+    let feat = b.last_id().expect("blocks added");
+    if with_classifier {
+        // Global average pool then FC.
+        b = b.chain("fc", LayerOp::Fc, LayerDims::fc(1000, 1024));
+    }
+    (b, feat, in_ch, y)
+}
+
+/// MobileNetV2 for 224x224x3 classification: stem, 17 inverted-residual
+/// bottlenecks (expand point-wise, depth-wise 3x3, linear point-wise), the
+/// 1x1/1280 head and the 1280->1000 FC. 53 MAC layers total.
+///
+/// Residual skips (stride-1 blocks with matching channels) become extra
+/// dependence edges on the consumer of the block output.
+///
+/// # Example
+///
+/// ```
+/// use herald_models::zoo::mobilenet_v2;
+/// let m = mobilenet_v2();
+/// assert_eq!(m.num_layers(), 53);
+/// ```
+pub fn mobilenet_v2() -> DnnModel {
+    let mut b = ModelBuilder::new("MobileNetV2").chain(
+        "conv1",
+        LayerOp::Conv2d,
+        LayerDims::conv(32, 3, 224, 224, 3, 3)
+            .with_stride(2)
+            .with_pad(1),
+    );
+    let mut y = 112u32;
+    let mut in_ch = 32u32;
+    // Producers of the current block-input tensor (block output + optional
+    // residual source).
+    let mut block_deps: Vec<LayerId> = vec![b.last_id().expect("conv1 added")];
+
+    // (expansion t, output channels c, repeats n, first stride s) — the
+    // MobileNetV2 paper's Table 2.
+    let cfg: [(u32, u32, usize, u32); 7] = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+
+    let mut idx = 0usize;
+    for (t, out, repeats, first_stride) in cfg {
+        for rep in 0..repeats {
+            idx += 1;
+            let stride = if rep == 0 { first_stride } else { 1 };
+            let mid = in_ch * t;
+            let has_residual = stride == 1 && in_ch == out;
+            let input_deps = block_deps.clone();
+
+            // Expansion point-wise conv (omitted when t == 1).
+            if t != 1 {
+                b = b.layer_with_deps(
+                    format!("b{idx}_expand"),
+                    LayerOp::PointwiseConv,
+                    LayerDims::conv(mid, in_ch, y, y, 1, 1),
+                    &input_deps,
+                );
+            }
+            // Depth-wise 3x3.
+            let dw_dims = LayerDims::conv(mid, mid, y, y, 3, 3)
+                .with_stride(stride)
+                .with_pad(1);
+            b = if t != 1 {
+                b.chain(format!("b{idx}_dw"), LayerOp::DepthwiseConv, dw_dims)
+            } else {
+                b.layer_with_deps(format!("b{idx}_dw"), LayerOp::DepthwiseConv, dw_dims, &input_deps)
+            };
+            y = y.div_ceil(stride);
+            // Linear projection point-wise conv.
+            b = b.chain(
+                format!("b{idx}_project"),
+                LayerOp::PointwiseConv,
+                LayerDims::conv(out, mid, y, y, 1, 1),
+            );
+            let main = b.last_id().expect("project added");
+
+            // Residual add: consumer depends on main and on the block input
+            // producers (identity shortcut has no layer of its own).
+            block_deps = if has_residual {
+                let mut deps = vec![main];
+                deps.extend(input_deps);
+                deps
+            } else {
+                vec![main]
+            };
+            in_ch = out;
+        }
+    }
+
+    // 1x1 head to 1280 channels, global pool, FC.
+    b = b.layer_with_deps(
+        "conv_head",
+        LayerOp::PointwiseConv,
+        LayerDims::conv(1280, 320, 7, 7, 1, 1),
+        &block_deps,
+    );
+    b = b.chain("fc", LayerOp::Fc, LayerDims::fc(1000, 1280));
+    b.build().expect("mobilenet_v2 definition is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LayerOp, ModelStats};
+
+    #[test]
+    fn v1_layer_count() {
+        // 1 stem + 13 x 2 separable + 1 FC = 28.
+        assert_eq!(mobilenet_v1().num_layers(), 28);
+    }
+
+    #[test]
+    fn v1_macs_in_expected_range() {
+        // MobileNetV1 is ~0.57 GMACs.
+        let macs = mobilenet_v1().total_macs() as f64;
+        assert!((4.0e8..7.0e8).contains(&macs), "got {macs}");
+    }
+
+    #[test]
+    fn v2_layer_count() {
+        // 1 stem + (2 + 16 x 3) blocks + head + FC = 53.
+        assert_eq!(mobilenet_v2().num_layers(), 53);
+    }
+
+    #[test]
+    fn v2_macs_in_expected_range() {
+        // MobileNetV2 is ~0.3 GMACs.
+        let macs = mobilenet_v2().total_macs() as f64;
+        assert!((2.0e8..4.5e8).contains(&macs), "got {macs}");
+    }
+
+    #[test]
+    fn v2_table1_max_ratio() {
+        let s = ModelStats::for_model(&mobilenet_v2());
+        // Table I: max 1280 (head output consumed by FC at 1x1).
+        assert!((s.max_channel_activation_ratio - 1280.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn v2_uses_all_three_conv_flavours() {
+        let s = ModelStats::for_model(&mobilenet_v2());
+        assert!(s.ops.contains(&LayerOp::Conv2d));
+        assert!(s.ops.contains(&LayerOp::PointwiseConv));
+        assert!(s.ops.contains(&LayerOp::DepthwiseConv));
+    }
+
+    #[test]
+    fn v2_residual_block_has_extra_dep() {
+        let m = mobilenet_v2();
+        // Block 3 (24 -> 24, stride 1) has a residual; block 4's expand
+        // depends on both b3_project and b2_project.
+        let expand = m.layer_id("b4_expand").unwrap();
+        let deps = m.predecessors(expand);
+        assert!(deps.contains(&m.layer_id("b3_project").unwrap()));
+        assert!(deps.contains(&m.layer_id("b2_project").unwrap()));
+    }
+
+    #[test]
+    fn v2_depthwise_layers_have_matching_channels() {
+        let m = mobilenet_v2();
+        for layer in m.layers() {
+            if layer.op() == LayerOp::DepthwiseConv {
+                assert_eq!(layer.dims().k, layer.dims().c, "{}", layer.name());
+            }
+        }
+    }
+
+    #[test]
+    fn v1_final_spatial_is_7() {
+        let m = mobilenet_v1();
+        let pw13 = m.layer(m.layer_id("pw13").unwrap());
+        assert_eq!(pw13.out_y(), 7);
+        assert_eq!(pw13.dims().k, 1024);
+    }
+}

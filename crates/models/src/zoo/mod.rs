@@ -1,0 +1,119 @@
+//! Model zoo: the DNNs used by the paper's evaluation workloads
+//! (Tables I and II).
+//!
+//! All models encode the *layer shapes and operators* of the cited
+//! networks — the only information an analytical accelerator cost model
+//! consumes. Non-MAC glue (pooling, activations, element-wise adds) is
+//! folded into the surrounding layer shapes; skip connections and
+//! concatenations appear as extra dependence edges.
+//!
+//! | Constructor | Network | Paper role |
+//! |-------------|---------|-----------|
+//! | [`resnet50`] | ResNet-50 | object classification (AR/VR, MLPerf) |
+//! | [`mobilenet_v2`] | MobileNetV2 | object detection (AR/VR) |
+//! | [`mobilenet_v1`] | MobileNetV1 | MLPerf classification |
+//! | [`unet`] | UNet | hand tracking / segmentation (AR/VR) |
+//! | [`brq_handpose`] | BR-Q HandposeNet | hand pose estimation (AR/VR-B) |
+//! | [`focal_depthnet`] | Focal-Length DepthNet | depth estimation (AR/VR-B) |
+//! | [`ssd_resnet34`] | SSD-ResNet34 (1200x1200) | MLPerf detection (large) |
+//! | [`ssd_mobilenet_v1`] | SSD-MobileNetV1 (300x300) | MLPerf detection (small) |
+//! | [`gnmt`] | GNMT (8-layer LSTM seq2seq) | MLPerf translation |
+
+mod depthnet;
+mod gnmt;
+mod handpose;
+mod mobilenet;
+mod resnet;
+mod ssd;
+mod unet;
+
+pub use depthnet::focal_depthnet;
+pub use gnmt::gnmt;
+pub use handpose::brq_handpose;
+pub use mobilenet::{mobilenet_v1, mobilenet_v2};
+pub use resnet::{resnet34_backbone, resnet50};
+pub use ssd::{ssd_mobilenet_v1, ssd_resnet34};
+pub use unet::unet;
+
+/// All zoo models, for exhaustive tests and the Table I reproduction.
+pub fn all_models() -> Vec<crate::DnnModel> {
+    vec![
+        resnet50(),
+        mobilenet_v2(),
+        mobilenet_v1(),
+        unet(),
+        brq_handpose(),
+        focal_depthnet(),
+        ssd_resnet34(),
+        ssd_mobilenet_v1(),
+        gnmt(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelStats;
+
+    #[test]
+    fn all_models_build_and_are_nonempty() {
+        for m in all_models() {
+            assert!(m.num_layers() > 0, "{} is empty", m.name());
+            assert!(m.total_macs() > 0, "{} has zero MACs", m.name());
+        }
+    }
+
+    #[test]
+    fn all_models_have_unique_names() {
+        let models = all_models();
+        let mut names: Vec<&str> = models.iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), models.len());
+    }
+
+    #[test]
+    fn dependences_point_backwards() {
+        for m in all_models() {
+            for (id, _) in m.iter() {
+                for &p in m.predecessors(id) {
+                    assert!(p < id, "{}: {:?} depends on later {:?}", m.name(), id, p);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_nonfirst_layer_has_a_predecessor() {
+        // All zoo networks are connected graphs: only the entry layer may
+        // have no dependence.
+        for m in all_models() {
+            for (id, layer) in m.iter() {
+                if id.0 > 0 {
+                    assert!(
+                        !m.predecessors(id).is_empty(),
+                        "{}: layer {} ({}) is disconnected",
+                        m.name(),
+                        id,
+                        layer.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table1_ratio_spread_is_extreme() {
+        // The paper quotes a 315076x spread across AR/VR models; across our
+        // zoo the spread must likewise be >= 5 orders of magnitude.
+        let models = [resnet50(), mobilenet_v2(), unet(), brq_handpose(), focal_depthnet()];
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        for m in &models {
+            let s = ModelStats::for_model(m);
+            min = min.min(s.min_channel_activation_ratio);
+            max = max.max(s.max_channel_activation_ratio);
+        }
+        assert!(max / min > 1e5, "spread {} too small", max / min);
+    }
+}

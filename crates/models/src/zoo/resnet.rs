@@ -1,0 +1,244 @@
+//! ResNet-50 [He et al., CVPR 2016] and the ResNet-34 backbone used by
+//! MLPerf's SSD-large detector.
+
+use crate::{DnnModel, LayerDims, LayerId, LayerOp, ModelBuilder};
+
+/// ResNet-50 for 224x224x3 ImageNet classification.
+///
+/// 54 MAC layers: `conv1`, 16 bottleneck blocks (3 convs each), 4 projection
+/// shortcuts (one per stage) and the final 2048->1000 FC. Element-wise
+/// residual adds become dependence edges: the first layer after each block
+/// depends on the block's last convolution *and* the projection shortcut
+/// when one exists (identity shortcuts are covered transitively through the
+/// main path).
+///
+/// # Example
+///
+/// ```
+/// use herald_models::zoo::resnet50;
+/// let m = resnet50();
+/// assert_eq!(m.num_layers(), 54);
+/// // Final FC consumes the 2048-channel stage-5 output.
+/// let fc = m.layer(m.layer_id("fc").unwrap());
+/// assert_eq!((fc.dims().k, fc.dims().c), (1000, 2048));
+/// ```
+pub fn resnet50() -> DnnModel {
+    let mut b = ModelBuilder::new("Resnet50").chain(
+        "conv1",
+        LayerOp::Conv2d,
+        LayerDims::conv(64, 3, 224, 224, 7, 7)
+            .with_stride(2)
+            .with_pad(3),
+    );
+    // Max-pool 3x3/2 reduces 112 -> 56 before stage 2 (pooling itself is not
+    // a MAC layer).
+    let mut block_deps: Vec<LayerId> = vec![b.last_id().expect("conv1 added")];
+    let mut in_ch = 64u32;
+    let mut y = 56u32;
+
+    // (stage index, mid channels, out channels, blocks, first-block stride)
+    let stages: [(u32, u32, u32, usize, u32); 4] = [
+        (2, 64, 256, 3, 1),
+        (3, 128, 512, 4, 2),
+        (4, 256, 1024, 6, 2),
+        (5, 512, 2048, 3, 2),
+    ];
+
+    for (stage, mid, out, blocks, first_stride) in stages {
+        for block in 0..blocks {
+            let stride = if block == 0 { first_stride } else { 1 };
+            let y_out = y / stride;
+            let prefix = format!("res{stage}{}", (b'a' + block as u8) as char);
+
+            // 1x1 reduce: consumes the previous residual-add output, i.e.
+            // depends on every producer feeding that add.
+            b = b.layer_with_deps(
+                format!("{prefix}_pw1"),
+                LayerOp::PointwiseConv,
+                LayerDims::conv(mid, in_ch, y, y, 1, 1),
+                &block_deps,
+            );
+            // 3x3 spatial (carries the stride).
+            b = b.chain(
+                format!("{prefix}_conv"),
+                LayerOp::Conv2d,
+                LayerDims::conv(mid, mid, y, y, 3, 3)
+                    .with_stride(stride)
+                    .with_pad(1),
+            );
+            // 1x1 expand.
+            b = b.chain(
+                format!("{prefix}_pw2"),
+                LayerOp::PointwiseConv,
+                LayerDims::conv(out, mid, y_out, y_out, 1, 1),
+            );
+            let main = b.last_id().expect("pw2 added");
+
+            // Projection shortcut on the first block of each stage; identity
+            // shortcuts need no extra edge because the main path already
+            // depends on the block input transitively.
+            block_deps = if block == 0 {
+                b = b.layer_with_deps(
+                    format!("{prefix}_proj"),
+                    LayerOp::PointwiseConv,
+                    LayerDims::conv(out, in_ch, y, y, 1, 1).with_stride(stride),
+                    &block_deps,
+                );
+                vec![main, b.last_id().expect("proj added")]
+            } else {
+                vec![main]
+            };
+            in_ch = out;
+            y = y_out;
+        }
+    }
+
+    // Global average pool 7x7 -> 1x1 (not a MAC layer), then FC.
+    b = b.layer_with_deps("fc", LayerOp::Fc, LayerDims::fc(1000, 2048), &block_deps);
+    b.build().expect("resnet50 definition is valid")
+}
+
+/// The ResNet-34 backbone stem (basic blocks, two 3x3 convs each) at a given
+/// input resolution, used by [`crate::zoo::ssd_resnet34`].
+///
+/// Returns the builder positioned after the stage-3 output together with the
+/// current feature-map metadata `(producers, channels, spatial)`.
+pub(crate) fn resnet34_stem(input_y: u32) -> (ModelBuilder, Vec<LayerId>, u32, u32) {
+    let mut b = ModelBuilder::new("SSD-Resnet34").chain(
+        "conv1",
+        LayerOp::Conv2d,
+        LayerDims::conv(64, 3, input_y, input_y, 7, 7)
+            .with_stride(2)
+            .with_pad(3),
+    );
+    let mut block_deps: Vec<LayerId> = vec![b.last_id().expect("conv1 added")];
+    // Max-pool /2.
+    let mut y = input_y / 4;
+    let mut in_ch = 64u32;
+
+    // (stage, channels, blocks, first stride). MLPerf SSD-R34 keeps stages
+    // 1-3 of the backbone (stage 4 is replaced by detection layers).
+    let stages: [(u32, u32, usize, u32); 3] = [(1, 64, 3, 1), (2, 128, 4, 2), (3, 256, 6, 2)];
+    for (stage, ch, blocks, first_stride) in stages {
+        for block in 0..blocks {
+            let stride = if block == 0 { first_stride } else { 1 };
+            let y_out = y / stride;
+            let prefix = format!("s{stage}b{block}");
+            b = b.layer_with_deps(
+                format!("{prefix}_conv1"),
+                LayerOp::Conv2d,
+                LayerDims::conv(ch, in_ch, y, y, 3, 3)
+                    .with_stride(stride)
+                    .with_pad(1),
+                &block_deps,
+            );
+            b = b.chain(
+                format!("{prefix}_conv2"),
+                LayerOp::Conv2d,
+                LayerDims::conv(ch, ch, y_out, y_out, 3, 3).with_pad(1),
+            );
+            let main = b.last_id().expect("conv2 added");
+            block_deps = if block == 0 && (stride != 1 || in_ch != ch) {
+                b = b.layer_with_deps(
+                    format!("{prefix}_proj"),
+                    LayerOp::PointwiseConv,
+                    LayerDims::conv(ch, in_ch, y, y, 1, 1).with_stride(stride),
+                    &block_deps,
+                );
+                vec![main, b.last_id().expect("proj added")]
+            } else {
+                vec![main]
+            };
+            in_ch = ch;
+            y = y_out;
+        }
+    }
+    (b, block_deps, in_ch, y)
+}
+
+/// Standalone ResNet-34 backbone model (useful for tests and custom
+/// workloads; the paper itself uses it only inside SSD).
+pub fn resnet34_backbone() -> DnnModel {
+    let (b, _, _, _) = resnet34_stem(224);
+    let model = b.build().expect("resnet34 definition is valid");
+    rename(model, "Resnet34")
+}
+
+fn rename(model: DnnModel, name: &str) -> DnnModel {
+    // DnnModel is immutable by design; rebuild with the new name.
+    let mut b = ModelBuilder::new(name);
+    for (id, layer) in model.iter() {
+        b = b.layer_with_deps(layer.name(), layer.op(), *layer.dims(), model.predecessors(id));
+    }
+    b.build().expect("renamed model preserves validity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelStats;
+
+    #[test]
+    fn resnet50_layer_count() {
+        // 1 conv1 + 16 blocks x 3 + 4 projections + 1 FC = 54.
+        assert_eq!(resnet50().num_layers(), 54);
+    }
+
+    #[test]
+    fn resnet50_mac_count_in_expected_range() {
+        // ResNet-50 is ~4.1 GMACs at 224x224.
+        let macs = resnet50().total_macs() as f64;
+        assert!((3.5e9..4.5e9).contains(&macs), "got {macs}");
+    }
+
+    #[test]
+    fn resnet50_table1_min_ratio() {
+        let s = ModelStats::for_model(&resnet50());
+        // Table I: min 0.013 (= 3 / 224 at conv1).
+        assert!((s.min_channel_activation_ratio - 0.0134).abs() < 1e-3);
+    }
+
+    #[test]
+    fn resnet50_final_spatial_is_7() {
+        let m = resnet50();
+        let last_conv = m.layer(m.layer_id("res5c_pw2").unwrap());
+        assert_eq!(last_conv.out_y(), 7);
+        assert_eq!(last_conv.dims().k, 2048);
+    }
+
+    #[test]
+    fn resnet50_stage_strides() {
+        let m = resnet50();
+        let s3 = m.layer(m.layer_id("res3a_conv").unwrap());
+        assert_eq!(s3.dims().stride, 2);
+        assert_eq!(s3.out_y(), 28);
+    }
+
+    #[test]
+    fn resnet50_projection_feeds_next_block() {
+        let m = resnet50();
+        // res3a has a projection; res3b_pw1 must depend on both res3a_pw2
+        // and res3a_proj.
+        let pw1 = m.layer_id("res3b_pw1").unwrap();
+        let deps = m.predecessors(pw1);
+        assert_eq!(deps.len(), 2);
+        assert!(deps.contains(&m.layer_id("res3a_pw2").unwrap()));
+        assert!(deps.contains(&m.layer_id("res3a_proj").unwrap()));
+    }
+
+    #[test]
+    fn resnet34_backbone_builds() {
+        let m = resnet34_backbone();
+        // 1 + (3+4+6) x 2 + 2 projections = 29.
+        assert_eq!(m.num_layers(), 29);
+    }
+
+    #[test]
+    fn resnet34_projection_consumes_block_input() {
+        let m = resnet34_backbone();
+        let proj = m.layer_id("s2b0_proj").unwrap();
+        // Projection reads the stage-1 output, i.e. depends on s1b2_conv2.
+        let deps = m.predecessors(proj);
+        assert_eq!(deps, &[m.layer_id("s1b2_conv2").unwrap()]);
+    }
+}

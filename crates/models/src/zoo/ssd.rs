@@ -1,0 +1,176 @@
+//! MLPerf inference detection models: SSD-ResNet34 (1200x1200, "SSD-large")
+//! and SSD-MobileNetV1 (300x300, "SSD-small") [Mattson et al., MLPerf].
+
+use super::mobilenet::build_mobilenet_v1;
+use super::resnet::resnet34_stem;
+use crate::{DnnModel, LayerDims, LayerId, LayerOp, ModelBuilder};
+
+/// Number of detection feature maps in both SSD variants.
+const NUM_FEATURE_MAPS: usize = 6;
+
+/// Appends the SSD extra feature layers and detection heads shared by both
+/// variants.
+///
+/// `maps` describes the pyramid: `(producer, channels, spatial)` for the
+/// backbone output followed by `(channels, spatial)` plans for the extra
+/// layers (each built as a 1x1 squeeze + strided 3x3 conv). `classes` is 81
+/// for COCO; `anchors` the per-cell anchor count.
+fn append_ssd_head(
+    mut b: ModelBuilder,
+    backbone_out: LayerId,
+    backbone_ch: u32,
+    backbone_y: u32,
+    extras: &[(u32, u32)],
+    classes: u32,
+    anchors: u32,
+) -> ModelBuilder {
+    let mut maps: Vec<(LayerId, u32, u32)> = vec![(backbone_out, backbone_ch, backbone_y)];
+    let mut prev = backbone_out;
+    let mut in_ch = backbone_ch;
+    let mut y = backbone_y;
+
+    for (i, &(ch, y_out)) in extras.iter().enumerate() {
+        let n = i + 1;
+        // 1x1 squeeze to half the target channels.
+        b = b.layer_with_deps(
+            format!("extra{n}_pw"),
+            LayerOp::PointwiseConv,
+            LayerDims::conv(ch / 2, in_ch, y, y, 1, 1),
+            &[prev],
+        );
+        // Strided 3x3 expansion producing the next pyramid level. The
+        // stride is whatever ratio the MLPerf reference uses between
+        // adjacent maps; encode it via explicit output spatial size.
+        let stride = y.div_ceil(y_out).max(1);
+        b = b.chain(
+            format!("extra{n}_conv"),
+            LayerOp::Conv2d,
+            LayerDims::conv(ch, ch / 2, y, y, 3, 3)
+                .with_stride(stride)
+                .with_pad(1),
+        );
+        prev = b.last_id().expect("extra conv added");
+        in_ch = ch;
+        y = y_out;
+        maps.push((prev, ch, y));
+    }
+    debug_assert_eq!(maps.len(), NUM_FEATURE_MAPS);
+
+    // Detection heads: one localization (4 coords) and one classification
+    // (`classes`) 3x3 conv per pyramid level.
+    for (i, &(src, ch, y)) in maps.iter().enumerate() {
+        b = b.layer_with_deps(
+            format!("loc{i}"),
+            LayerOp::Conv2d,
+            LayerDims::conv(4 * anchors, ch, y, y, 3, 3).with_pad(1),
+            &[src],
+        );
+        b = b.layer_with_deps(
+            format!("cls{i}"),
+            LayerOp::Conv2d,
+            LayerDims::conv(classes * anchors, ch, y, y, 3, 3).with_pad(1),
+            &[src],
+        );
+    }
+    b
+}
+
+/// SSD-ResNet34 at 1200x1200 (MLPerf "SSD-large"): ResNet-34 stages 1-3 as
+/// the backbone (output 256x75x75), five extra feature levels down to 3x3,
+/// and per-level localization/classification heads. 51 MAC layers.
+///
+/// # Example
+///
+/// ```
+/// use herald_models::zoo::ssd_resnet34;
+/// let m = ssd_resnet34();
+/// assert_eq!(m.num_layers(), 51);
+/// ```
+pub fn ssd_resnet34() -> DnnModel {
+    let (b, backbone_deps, ch, y) = resnet34_stem(1200);
+    debug_assert_eq!((ch, y), (256, 75));
+    let backbone_out = *backbone_deps.first().expect("backbone has output");
+    // Pyramid: 75 -> 38 -> 19 -> 10 -> 5 -> 3.
+    let extras: [(u32, u32); 5] = [(512, 38), (512, 19), (256, 10), (256, 5), (256, 3)];
+    let b = append_ssd_head(b, backbone_out, ch, y, &extras, 81, 4);
+    b.build().expect("ssd_resnet34 definition is valid")
+}
+
+/// SSD-MobileNetV1 at 300x300 (MLPerf "SSD-small"): MobileNetV1 backbone
+/// (output 1024x10x10) plus five extra levels down to 1x1 and per-level
+/// heads. 49 MAC layers.
+///
+/// # Example
+///
+/// ```
+/// use herald_models::zoo::ssd_mobilenet_v1;
+/// let m = ssd_mobilenet_v1();
+/// assert_eq!(m.num_layers(), 49);
+/// ```
+pub fn ssd_mobilenet_v1() -> DnnModel {
+    let (b, feat, ch, y) = build_mobilenet_v1("SSD-MobileNetV1", 300, false);
+    debug_assert_eq!((ch, y), (1024, 10));
+    // Pyramid: 10 -> 5 -> 3 -> 2 -> 1 (plus the 19x19 level MLPerf taps from
+    // inside the backbone; we approximate with the five post-backbone maps
+    // plus the backbone output itself to keep six levels).
+    let extras: [(u32, u32); 5] = [(512, 5), (256, 3), (256, 2), (128, 1), (128, 1)];
+    let b = append_ssd_head(b, feat, ch, y, &extras, 91, 3);
+    b.build().expect("ssd_mobilenet_v1 definition is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelStats;
+
+    #[test]
+    fn ssd_resnet34_layer_count() {
+        // 29 backbone + 5 x 2 extras + 6 x 2 heads = 51.
+        assert_eq!(ssd_resnet34().num_layers(), 51);
+    }
+
+    #[test]
+    fn ssd_mobilenet_layer_count() {
+        // 27 backbone (no FC) + 5 x 2 extras + 6 x 2 heads = 49... the
+        // MobileNet body is 1 stem + 26 separable layers = 27.
+        assert_eq!(ssd_mobilenet_v1().num_layers(), 49);
+    }
+
+    #[test]
+    fn ssd_resnet34_is_large() {
+        // SSD-large at 1200x1200 is ~100 GMACs — by far the heaviest MLPerf
+        // member, which is what stresses the schedulers.
+        let macs = ssd_resnet34().total_macs() as f64;
+        assert!(macs > 5.0e10, "got {macs}");
+    }
+
+    #[test]
+    fn heads_fan_out_from_shared_maps() {
+        let m = ssd_resnet34();
+        let loc0 = m.layer_id("loc0").unwrap();
+        let cls0 = m.layer_id("cls0").unwrap();
+        // Both heads of level 0 read the backbone output.
+        assert_eq!(m.predecessors(loc0), m.predecessors(cls0));
+    }
+
+    #[test]
+    fn pyramid_spatial_sizes_decrease() {
+        let m = ssd_resnet34();
+        let mut last = u32::MAX;
+        for i in 1..=5 {
+            let conv = m.layer(m.layer_id(&format!("extra{i}_conv")).unwrap());
+            assert!(conv.out_y() <= last);
+            last = conv.out_y();
+        }
+        assert_eq!(last, 3);
+    }
+
+    #[test]
+    fn stats_are_finite() {
+        for m in [ssd_resnet34(), ssd_mobilenet_v1()] {
+            let s = ModelStats::for_model(&m);
+            assert!(s.max_channel_activation_ratio.is_finite());
+            assert!(s.min_channel_activation_ratio > 0.0);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! UNet [Ronneberger et al., MICCAI 2015] — the original valid-padding
+//! 572x572 biomedical segmentation network, used by the paper for hand
+//! tracking.
+
+use crate::{DnnModel, LayerDims, LayerId, LayerOp, ModelBuilder};
+
+/// UNet: 4-level contracting path, 1024-channel bottleneck, 4-level
+/// expanding path with 2x2 up-convolutions and skip concatenations, and a
+/// final 1x1 conv to 2 classes. 23 MAC layers (18 convs, 4 up-convs, 1
+/// point-wise head).
+///
+/// All convolutions are *valid* (unpadded), so spatial sizes follow the
+/// original paper exactly: 572 -> 570 -> 568 -> (pool) 284 ... down to the
+/// 28x28 bottleneck, then back up to the 388x388 output. Concatenations
+/// appear as two-predecessor dependence edges on the first conv after each
+/// up-convolution.
+///
+/// # Example
+///
+/// ```
+/// use herald_models::zoo::unet;
+/// let m = unet();
+/// assert_eq!(m.num_layers(), 23);
+/// // The decoder's first conv after upconv4 concatenates the level-4 skip.
+/// let cat = m.layer_id("dec4_conv1").unwrap();
+/// assert_eq!(m.predecessors(cat).len(), 2);
+/// ```
+pub fn unet() -> DnnModel {
+    let mut b = ModelBuilder::new("UNet");
+
+    // --- Contracting path -------------------------------------------------
+    // Level channel plan: 64, 128, 256, 512 with two valid 3x3 convs per
+    // level, then 2x2 max-pool (not a MAC layer).
+    let mut y = 572u32;
+    let mut in_ch = 1u32;
+    // Skip producers: the second conv of each encoder level.
+    let mut skips: Vec<(LayerId, u32, u32)> = Vec::new();
+
+    for (level, ch) in [(1u32, 64u32), (2, 128), (3, 256), (4, 512)] {
+        b = b.chain(
+            format!("enc{level}_conv1"),
+            LayerOp::Conv2d,
+            LayerDims::conv(ch, in_ch, y, y, 3, 3),
+        );
+        y -= 2;
+        b = b.chain(
+            format!("enc{level}_conv2"),
+            LayerOp::Conv2d,
+            LayerDims::conv(ch, ch, y, y, 3, 3),
+        );
+        y -= 2;
+        skips.push((b.last_id().expect("enc conv2 added"), ch, y));
+        // Max-pool 2x2.
+        y /= 2;
+        in_ch = ch;
+    }
+
+    // --- Bottleneck --------------------------------------------------------
+    b = b.chain(
+        "bottleneck_conv1",
+        LayerOp::Conv2d,
+        LayerDims::conv(1024, 512, y, y, 3, 3),
+    );
+    y -= 2;
+    b = b.chain(
+        "bottleneck_conv2",
+        LayerOp::Conv2d,
+        LayerDims::conv(1024, 1024, y, y, 3, 3),
+    );
+    y -= 2;
+    let mut up_in = 1024u32;
+
+    // --- Expanding path ----------------------------------------------------
+    for (level, ch) in [(4u32, 512u32), (3, 256), (2, 128), (1, 64)] {
+        // 2x2 up-convolution doubles the spatial size and halves channels.
+        b = b.chain(
+            format!("dec{level}_upconv"),
+            LayerOp::TransposedConv,
+            LayerDims::conv(ch, up_in, y, y, 2, 2).with_stride(2),
+        );
+        y *= 2;
+        let up_id = b.last_id().expect("upconv added");
+        // Concatenate the (cropped) encoder skip: the next conv depends on
+        // both the up-conv and the skip producer, and reads 2*ch channels.
+        let (skip_id, skip_ch, _skip_y) = skips[(level - 1) as usize];
+        debug_assert_eq!(skip_ch, ch);
+        b = b.layer_with_deps(
+            format!("dec{level}_conv1"),
+            LayerOp::Conv2d,
+            LayerDims::conv(ch, 2 * ch, y, y, 3, 3),
+            &[up_id, skip_id],
+        );
+        y -= 2;
+        b = b.chain(
+            format!("dec{level}_conv2"),
+            LayerOp::Conv2d,
+            LayerDims::conv(ch, ch, y, y, 3, 3),
+        );
+        y -= 2;
+        up_in = ch;
+    }
+
+    // --- 1x1 segmentation head ---------------------------------------------
+    b = b.chain(
+        "head",
+        LayerOp::PointwiseConv,
+        LayerDims::conv(2, 64, y, y, 1, 1),
+    );
+    b.build().expect("unet definition is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelStats;
+
+    #[test]
+    fn layer_count() {
+        assert_eq!(unet().num_layers(), 23);
+    }
+
+    #[test]
+    fn output_is_388x388x2() {
+        let m = unet();
+        let head = m.layer(m.layer_id("head").unwrap());
+        assert_eq!(head.out_y(), 388);
+        assert_eq!(head.dims().k, 2);
+    }
+
+    #[test]
+    fn bottleneck_matches_paper() {
+        let m = unet();
+        let bn = m.layer(m.layer_id("bottleneck_conv2").unwrap());
+        // Table I max ratio 34.133 = 1024 channels / 30 rows.
+        assert_eq!(bn.dims().c, 1024);
+        assert_eq!(bn.dims().y, 30);
+        let s = ModelStats::for_model(&m);
+        assert!((s.max_channel_activation_ratio - 1024.0 / 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn table1_min_ratio() {
+        let s = ModelStats::for_model(&unet());
+        // Table I: min 0.002 (1 / 572).
+        assert!((s.min_channel_activation_ratio - 1.0 / 572.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn concat_edges_reach_encoder() {
+        let m = unet();
+        let dec1 = m.layer_id("dec1_conv1").unwrap();
+        let deps = m.predecessors(dec1);
+        assert!(deps.contains(&m.layer_id("enc1_conv2").unwrap()));
+        assert!(deps.contains(&m.layer_id("dec1_upconv").unwrap()));
+    }
+
+    #[test]
+    fn upconvs_double_spatial() {
+        let m = unet();
+        let up = m.layer(m.layer_id("dec4_upconv").unwrap());
+        assert_eq!(up.out_y(), 2 * up.dims().y);
+    }
+
+    #[test]
+    fn decoder_convs_read_concatenated_channels() {
+        let m = unet();
+        let c = m.layer(m.layer_id("dec3_conv1").unwrap());
+        assert_eq!(c.dims().c, 512); // 256 up-conv + 256 skip.
+        assert_eq!(c.dims().k, 256);
+    }
+
+    #[test]
+    fn total_macs_dominated_by_decoder() {
+        // UNet at 572x572 is tens of GMACs; sanity-check the magnitude.
+        let macs = unet().total_macs() as f64;
+        assert!((2.0e10..2.0e11).contains(&macs), "got {macs}");
+    }
+}

@@ -1,0 +1,77 @@
+//! End-to-end reproduction of the paper's headline flow on one scenario:
+//! co-optimize a Maelstrom HDA for the AR/VR-B workload on a mobile-class
+//! budget, then compare against the best FDA and the MAERI-style RDA.
+//!
+//! ```sh
+//! cargo run --release --example arvr_maelstrom
+//! ```
+
+use herald::prelude::*;
+use herald_arch::AcceleratorConfig;
+
+fn main() {
+    let workload = herald::workloads::arvr_b();
+    let class = AcceleratorClass::Mobile;
+    let resources = class.resources();
+    println!("workload: {workload}");
+    println!(
+        "budget: {} PEs, {} GB/s, {} MiB global buffer ({class})",
+        resources.pes,
+        resources.bandwidth_gbps,
+        resources.global_buffer_bytes >> 20
+    );
+
+    // Hardware/schedule co-optimization (Sec. IV): sweep NVDLA/Shi-diannao
+    // partitions, schedule each candidate, keep the EDP-best design.
+    let dse = DseEngine::new(DseConfig::default());
+    let outcome = dse.co_optimize(
+        &workload,
+        resources,
+        &[DataflowStyle::Nvdla, DataflowStyle::ShiDianNao],
+    );
+    let best = outcome.best().expect("non-empty design space");
+    println!(
+        "\nMaelstrom (co-optimized): partition {} -> {}",
+        best.partition, best.report
+    );
+
+    // Baselines.
+    let mut best_fda: Option<(String, f64, f64)> = None;
+    for style in DataflowStyle::ALL {
+        let cfg = AcceleratorConfig::fda(style, resources);
+        let r = dse.evaluate_config(&workload, &cfg);
+        println!("{:<18} {r}", cfg.name());
+        if best_fda
+            .as_ref()
+            .is_none_or(|(_, _, edp)| r.edp() < *edp)
+        {
+            best_fda = Some((cfg.name().to_string(), r.total_latency_s(), r.edp()));
+        }
+    }
+    let rda = dse.evaluate_config(&workload, &AcceleratorConfig::rda(resources));
+    println!("{:<18} {rda}", "RDA-MAERI");
+
+    let (fda_name, fda_lat, fda_edp) = best_fda.expect("three FDAs");
+    println!(
+        "\nMaelstrom vs best FDA ({fda_name}): latency {:+.1}%, EDP {:+.1}%",
+        (1.0 - best.latency_s() / fda_lat) * 100.0,
+        (1.0 - best.edp() / fda_edp) * 100.0,
+    );
+    println!(
+        "Maelstrom vs RDA: latency {:+.1}%, energy {:+.1}% \
+         (paper: RDA wins latency, HDA wins energy)",
+        (1.0 - best.latency_s() / rda.total_latency_s()) * 100.0,
+        (1.0 - best.energy_j() / rda.total_energy_j()) * 100.0,
+    );
+
+    // The Pareto frontier of the explored partitions.
+    println!("\nPareto-optimal Maelstrom partitions:");
+    for p in outcome.pareto() {
+        println!(
+            "  {}  lat {:.5}s  energy {:.5}J",
+            p.partition,
+            p.latency_s(),
+            p.energy_j()
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Bring your own network: define a custom DNN with [`ModelBuilder`],
+//! combine it with zoo models into a workload, and explore three-way HDA
+//! designs with random-search DSE.
+//!
+//! ```sh
+//! cargo run --release --example custom_hda_dse
+//! ```
+
+use herald::prelude::*;
+use herald_core::dse::SearchStrategy;
+use herald_models::{zoo, LayerDims};
+use herald_workloads::MultiDnnWorkload;
+
+/// A toy super-resolution network: shallow-channel, huge-activation layers
+/// ending in a transposed-conv upscaler — segmentation-like shape that
+/// favours output-stationary dataflows.
+fn upscaler() -> DnnModel {
+    ModelBuilder::new("ToyUpscaler")
+        .chain("conv1", LayerOp::Conv2d, LayerDims::conv(32, 3, 256, 256, 3, 3).with_pad(1))
+        .chain("conv2", LayerOp::Conv2d, LayerDims::conv(32, 32, 256, 256, 3, 3).with_pad(1))
+        .chain("conv3", LayerOp::Conv2d, LayerDims::conv(64, 32, 256, 256, 3, 3).with_pad(1))
+        .chain(
+            "up1",
+            LayerOp::TransposedConv,
+            LayerDims::conv(32, 64, 256, 256, 2, 2).with_stride(2),
+        )
+        .chain("head", LayerOp::PointwiseConv, LayerDims::conv(3, 32, 512, 512, 1, 1))
+        .build()
+        .expect("valid model")
+}
+
+fn main() {
+    let custom = upscaler();
+    println!(
+        "custom model: {} ({} layers, {:.2} GMACs)",
+        custom.name(),
+        custom.num_layers(),
+        custom.total_macs() as f64 / 1e9
+    );
+
+    // Mix the custom network with a classifier and a language model to
+    // maximize layer heterogeneity.
+    let workload = MultiDnnWorkload::new("custom-mix")
+        .with_model(custom, 2)
+        .with_model(zoo::resnet50(), 1)
+        .with_model(zoo::gnmt(), 1);
+    println!("workload: {workload}");
+
+    // Random-search DSE over a 3-way HDA (all three dataflow styles).
+    let config = DseConfig {
+        strategy: SearchStrategy::Random {
+            samples: 24,
+            seed: 2021,
+        },
+        pe_steps: 16,
+        bw_steps: 4,
+        ..DseConfig::default()
+    };
+    let dse = DseEngine::new(config);
+    let outcome = dse.co_optimize(
+        &workload,
+        AcceleratorClass::Mobile.resources(),
+        &[
+            DataflowStyle::Nvdla,
+            DataflowStyle::ShiDianNao,
+            DataflowStyle::Eyeriss,
+        ],
+    );
+
+    println!("\nexplored {} random 3-way partitions", outcome.points.len());
+    let best = outcome.best().expect("non-empty design space");
+    println!("best: {} -> {}", best.partition, best.report);
+
+    println!("\ntop 5 by EDP:");
+    let mut ranked: Vec<_> = outcome.points.iter().collect();
+    ranked.sort_by(|a, b| a.edp().partial_cmp(&b.edp()).expect("finite EDP"));
+    for p in ranked.iter().take(5) {
+        println!(
+            "  {}  lat {:.5}s  energy {:.5}J  EDP {:.6}",
+            p.partition,
+            p.latency_s(),
+            p.energy_j(),
+            p.edp()
+        );
+    }
+
+    // Which sub-accelerator ran how much?
+    println!("\nbest design utilization:");
+    for (i, acc) in best.report.per_acc().iter().enumerate() {
+        println!(
+            "  {}: {} layers, {:.0}% busy",
+            acc.name,
+            acc.layers,
+            best.report.acc_utilization(i) * 100.0
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Inspect how each dataflow style maps a layer: Fig. 4-style loop nests,
+//! mapping utilization, and the resulting cost breakdown.
+//!
+//! ```sh
+//! cargo run --release --example loop_nest_explorer
+//! ```
+
+use herald::prelude::*;
+use herald_models::LayerDims;
+
+fn main() {
+    let layers = [
+        Layer::new(
+            "early_conv",
+            LayerOp::Conv2d,
+            LayerDims::conv(64, 3, 112, 112, 3, 3).with_pad(1),
+        ),
+        Layer::new(
+            "late_conv",
+            LayerOp::Conv2d,
+            LayerDims::conv(512, 512, 7, 7, 3, 3).with_pad(1),
+        ),
+        Layer::new(
+            "depthwise",
+            LayerOp::DepthwiseConv,
+            LayerDims::conv(96, 96, 56, 56, 3, 3).with_pad(1),
+        ),
+    ];
+
+    let cost = CostModel::default();
+    const PES: u32 = 1024;
+    const BW: f64 = 16.0;
+
+    for layer in &layers {
+        println!("==============================================");
+        println!("{layer}");
+        for style in DataflowStyle::ALL {
+            let mapping = MappingBuilder::new(style, PES).best(layer);
+            let c = cost.evaluate(layer, style, PES, BW);
+            println!(
+                "\n--- {style} ({} active / {} PEs = {:.1}% utilization) ---",
+                mapping.active_pes(),
+                PES,
+                mapping.utilization() * 100.0
+            );
+            print!("{}", mapping.loop_nest(layer));
+            println!(
+                "latency {:.3e} s (compute {} / traffic {} cycles), energy: {}",
+                c.latency_s, c.compute_cycles, c.traffic_cycles, c.energy
+            );
+        }
+        let (best, _) = cost.best_style(layer, PES, BW, Metric::Edp);
+        println!("\n=> EDP-preferred dataflow: {best}\n");
+    }
+}

@@ -1,0 +1,71 @@
+//! Quickstart: schedule a two-model workload on a Maelstrom-style HDA and
+//! inspect the result.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use herald::prelude::*;
+use herald_arch::Partition;
+use herald_core::task::TaskGraph;
+use herald_models::zoo;
+use herald_workloads::MultiDnnWorkload;
+
+fn main() {
+    // 1. A multi-DNN workload: one classifier, two detector replicas.
+    let workload = MultiDnnWorkload::new("quickstart")
+        .with_model(zoo::resnet50(), 1)
+        .with_model(zoo::mobilenet_v2(), 2);
+    println!("workload: {workload}");
+
+    // 2. An edge-class Maelstrom: NVDLA-style + Shi-diannao-style
+    //    sub-accelerators with the paper's Table V edge partition.
+    let resources = AcceleratorClass::Edge.resources();
+    let maelstrom = herald_arch::AcceleratorConfig::maelstrom(
+        resources,
+        Partition::new(vec![128, 896], vec![4.0, 12.0]).expect("valid split"),
+    )
+    .expect("within budget");
+    println!("accelerator: {maelstrom}");
+
+    // 3. Schedule with Herald's scheduler and replay on the execution
+    //    model.
+    let graph = TaskGraph::new(&workload);
+    let cost = CostModel::default();
+    let report = HeraldScheduler::new(SchedulerConfig::default())
+        .schedule_and_simulate(&graph, &maelstrom, &cost)
+        .expect("herald schedules are legal");
+
+    println!("\nresult: {report}");
+    for (i, acc) in report.per_acc().iter().enumerate() {
+        println!(
+            "  {}: {} layers, busy {:.4}s ({:.0}% of makespan), {:.4} J",
+            acc.name,
+            acc.layers,
+            acc.busy_s,
+            report.acc_utilization(i) * 100.0,
+            acc.energy_j
+        );
+    }
+
+    // 4. Peek at the first scheduled layers.
+    println!("\nfirst five timeline entries:");
+    for e in report.entries().iter().take(5) {
+        println!(
+            "  {:>9.6}s - {:>9.6}s  acc{}  {:<28} [{}]",
+            e.start_s,
+            e.finish_s,
+            e.acc,
+            graph.label(e.task),
+            e.style
+        );
+    }
+
+    // 5. The whole schedule at a glance, plus per-model completion times.
+    println!("\nGantt ('#' busy, '+' partial, '.' trace):");
+    print!("{}", herald_core::report::gantt(&report, 64));
+    println!("per-model completion:");
+    for (label, t) in herald_core::report::instance_completion_times(&graph, &report) {
+        println!("  {label:<18} {t:.5}s");
+    }
+}

@@ -1,0 +1,55 @@
+//! # Herald — Heterogeneous Dataflow Accelerators for Multi-DNN Workloads
+//!
+//! An umbrella crate re-exporting the entire Herald reproduction stack.
+//! See the individual crates for details:
+//!
+//! * [`models`] — DNN intermediate representation and model zoo
+//! * [`dataflow`] — loop-nest dataflow / mapping representation
+//! * [`cost`] — MAESTRO-style analytical latency/energy cost model
+//! * [`arch`] — accelerator taxonomy (FDA, SM-FDA, RDA, HDA)
+//! * [`core`] — the Herald framework: execution model, schedulers, DSE
+//! * [`workloads`] — the paper's multi-DNN evaluation workloads
+//!
+//! # Quickstart
+//!
+//! ```
+//! use herald::prelude::*;
+//!
+//! // Build the AR/VR-A workload on an edge-class Maelstrom HDA and
+//! // co-optimize partitioning + schedule with Herald.
+//! let workload = herald::workloads::arvr_a();
+//! let class = AcceleratorClass::Edge;
+//! let styles = vec![DataflowStyle::Nvdla, DataflowStyle::ShiDianNao];
+//! let dse = DseEngine::new(DseConfig::fast());
+//! let outcome = dse.co_optimize(&workload, class.resources(), &styles);
+//! let best = outcome.best().expect("non-empty design space");
+//! assert!(best.report.total_latency_s() > 0.0);
+//! ```
+
+pub use herald_arch as arch;
+pub use herald_core as core;
+pub use herald_cost as cost;
+pub use herald_dataflow as dataflow;
+pub use herald_models as models;
+pub use herald_workloads as workloads;
+
+/// Commonly used items, re-exported for ergonomic downstream use.
+pub mod prelude {
+    pub use herald_arch::{
+        AcceleratorClass, AcceleratorConfig, AcceleratorStyle, HardwareResources, Partition,
+        SubAccelerator,
+    };
+    pub use herald_core::{
+        dse::{DseConfig, DseEngine, DseOutcome, SearchStrategy},
+        exec::{ExecutionReport, ScheduleSimulator},
+        sched::{
+            GreedyScheduler, HeraldScheduler, OrderingPolicy, Schedule, Scheduler,
+            SchedulerConfig,
+        },
+        Metric,
+    };
+    pub use herald_cost::{CostModel, CostQuery, EnergyModel, LayerCost};
+    pub use herald_dataflow::{DataflowStyle, Mapping, MappingBuilder};
+    pub use herald_models::{DnnModel, Layer, LayerOp, ModelBuilder, TensorShape};
+    pub use herald_workloads::{MultiDnnWorkload, WorkloadInstance};
+}

@@ -1,0 +1,240 @@
+//! Cross-crate integration tests: the paper's qualitative claims, asserted
+//! end-to-end through the public API.
+
+use herald::prelude::*;
+use herald_arch::{AcceleratorConfig, Partition};
+use herald_core::dse::SearchStrategy;
+use herald_core::task::TaskGraph;
+use herald_models::zoo;
+use herald_workloads::MultiDnnWorkload;
+
+fn mixed_workload() -> MultiDnnWorkload {
+    MultiDnnWorkload::new("mix")
+        .with_model(zoo::resnet50(), 1)
+        .with_model(zoo::mobilenet_v2(), 2)
+}
+
+/// Fig. 2: the dataflow preference inverts between ResNet50 and UNet.
+#[test]
+fn fig2_fda_preference_inversion() {
+    let cost = CostModel::default();
+    let edp = |model: &DnnModel, style| {
+        let (mut lat, mut energy) = (0.0f64, 0.0f64);
+        for layer in model.layers() {
+            let c = cost.evaluate(layer, style, 256, 32.0);
+            lat += c.latency_s;
+            energy += c.energy_j();
+        }
+        lat * energy
+    };
+    let resnet = zoo::resnet50();
+    let unet = zoo::unet();
+    assert!(edp(&resnet, DataflowStyle::Nvdla) < edp(&resnet, DataflowStyle::ShiDianNao));
+    assert!(edp(&unet, DataflowStyle::ShiDianNao) < edp(&unet, DataflowStyle::Nvdla));
+}
+
+/// Sec. III-B: an HDA overlaps layers of different models; its makespan
+/// beats the serial busy-time sum substantially.
+#[test]
+fn hda_exploits_layer_parallelism() {
+    let graph = TaskGraph::new(&mixed_workload());
+    let acc = AcceleratorConfig::maelstrom(
+        AcceleratorClass::Edge.resources(),
+        Partition::even(2, 1024, 16.0),
+    )
+    .unwrap();
+    let cost = CostModel::default();
+    let report = HeraldScheduler::default()
+        .schedule_and_simulate(&graph, &acc, &cost)
+        .unwrap();
+    let busy: f64 = report.per_acc().iter().map(|a| a.busy_s).sum();
+    assert!(report.total_latency_s() < 0.85 * busy);
+}
+
+/// Sec. V-B: the best HDA improves EDP over every FDA on a heterogeneous
+/// multi-DNN workload (mobile class, where parallelism has headroom).
+#[test]
+fn hda_beats_all_fdas_on_mobile() {
+    let workload = mixed_workload();
+    let res = AcceleratorClass::Mobile.resources();
+    let dse = DseEngine::new(DseConfig::fast());
+    let best_hda = dse
+        .co_optimize(
+            &workload,
+            res,
+            &[DataflowStyle::Nvdla, DataflowStyle::ShiDianNao],
+        )
+        .best()
+        .expect("non-empty design space")
+        .edp();
+    for style in DataflowStyle::ALL {
+        let fda = dse.evaluate_config(&workload, &AcceleratorConfig::fda(style, res));
+        assert!(
+            best_hda < fda.edp(),
+            "{style}: HDA {best_hda} vs FDA {}",
+            fda.edp()
+        );
+    }
+}
+
+/// Sec. V-B: RDA wins latency, HDA wins energy — both Pareto-optimal.
+#[test]
+fn rda_hda_tradeoff() {
+    let workload = mixed_workload();
+    let res = AcceleratorClass::Mobile.resources();
+    let dse = DseEngine::new(DseConfig::fast());
+    let rda = dse.evaluate_config(&workload, &AcceleratorConfig::rda(res));
+    let outcome = dse.co_optimize(
+        &workload,
+        res,
+        &[DataflowStyle::Nvdla, DataflowStyle::ShiDianNao],
+    );
+    let hda = outcome.best().expect("non-empty design space");
+    assert!(rda.total_latency_s() < hda.latency_s(), "RDA should win latency");
+    assert!(
+        hda.energy_j() < rda.total_energy_j(),
+        "HDA should win energy: {} vs {}",
+        hda.energy_j(),
+        rda.total_energy_j()
+    );
+}
+
+/// Fig. 6: the even PE split is not optimal.
+#[test]
+fn even_partition_is_suboptimal() {
+    let workload = mixed_workload();
+    let res = AcceleratorClass::Edge.resources();
+    let dse = DseEngine::new(DseConfig::default());
+    let outcome = dse.co_optimize(
+        &workload,
+        res,
+        &[DataflowStyle::Nvdla, DataflowStyle::ShiDianNao],
+    );
+    let best = outcome.best().expect("non-empty design space");
+    let even = dse.evaluate_config(
+        &workload,
+        &AcceleratorConfig::maelstrom(res, Partition::even(2, res.pes, res.bandwidth_gbps))
+            .unwrap(),
+    );
+    assert!(
+        best.edp() < even.edp(),
+        "best {} vs even {}",
+        best.edp(),
+        even.edp()
+    );
+}
+
+/// Table III: SM-FDA (same dataflow twice) never beats the best HDA —
+/// heterogeneity, not just replication, is what pays.
+#[test]
+fn smfda_is_dominated_by_hda() {
+    let workload = mixed_workload();
+    let res = AcceleratorClass::Mobile.resources();
+    let dse = DseEngine::new(DseConfig::fast());
+    let hda = dse
+        .co_optimize(
+            &workload,
+            res,
+            &[DataflowStyle::Nvdla, DataflowStyle::ShiDianNao],
+        )
+        .best()
+        .expect("non-empty design space")
+        .edp();
+    for style in DataflowStyle::ALL {
+        let sm = dse.evaluate_config(
+            &workload,
+            &AcceleratorConfig::sm_fda(style, 2, res).unwrap(),
+        );
+        assert!(hda < sm.edp(), "{style}: HDA {hda} vs SM-FDA {}", sm.edp());
+    }
+}
+
+/// Sec. V-B scheduler ablation: Herald's scheduler beats the greedy
+/// baseline on a heterogeneous workload.
+#[test]
+fn herald_scheduler_beats_greedy() {
+    let graph = TaskGraph::new(&mixed_workload());
+    let acc = AcceleratorConfig::maelstrom(
+        AcceleratorClass::Edge.resources(),
+        Partition::even(2, 1024, 16.0),
+    )
+    .unwrap();
+    let cost = CostModel::default();
+    let herald = HeraldScheduler::default()
+        .schedule_and_simulate(&graph, &acc, &cost)
+        .unwrap();
+    let greedy = GreedyScheduler::default()
+        .schedule_and_simulate(&graph, &acc, &cost)
+        .unwrap();
+    assert!(herald.edp() < greedy.edp());
+}
+
+/// Fig. 13: rescheduling a foreign workload on a fixed design works and
+/// stays within sane bounds of the matched design.
+#[test]
+fn workload_change_is_graceful() {
+    let res = AcceleratorClass::Edge.resources();
+    let dse = DseEngine::new(DseConfig::fast());
+    let a = mixed_workload();
+    let b = MultiDnnWorkload::new("other")
+        .with_model(zoo::mobilenet_v1(), 2)
+        .with_model(zoo::gnmt(), 1);
+    let design_a = dse
+        .co_optimize(&a, res, &[DataflowStyle::Nvdla, DataflowStyle::ShiDianNao])
+        .best()
+        .expect("non-empty design space")
+        .clone();
+    let matched_b = dse
+        .co_optimize(&b, res, &[DataflowStyle::Nvdla, DataflowStyle::ShiDianNao])
+        .best()
+        .expect("non-empty design space")
+        .edp();
+    let mismatched_b = dse.reschedule(&b, &design_a);
+    // Running B on A's hardware costs something, but not an order of
+    // magnitude (paper: ~4% latency, ~0.1% energy).
+    assert!(mismatched_b.edp() < 3.0 * matched_b);
+}
+
+/// The three search strategies all find valid designs, and exhaustive is
+/// at least as good as its binary subset.
+#[test]
+fn search_strategies_are_consistent() {
+    let workload = herald_workloads::single_model(zoo::mobilenet_v2(), 2);
+    let res = AcceleratorClass::Edge.resources();
+    let styles = [DataflowStyle::Nvdla, DataflowStyle::ShiDianNao];
+    let run = |strategy| {
+        let cfg = DseConfig {
+            strategy,
+            pe_steps: 8,
+            bw_steps: 2,
+            ..DseConfig::fast()
+        };
+        DseEngine::new(cfg)
+            .co_optimize(&workload, res, &styles)
+            .best()
+            .expect("non-empty design space")
+            .edp()
+    };
+    let exhaustive = run(SearchStrategy::Exhaustive);
+    let binary = run(SearchStrategy::BinarySampling);
+    let random = run(SearchStrategy::Random { samples: 6, seed: 3 });
+    assert!(exhaustive <= binary + 1e-15);
+    assert!(random.is_finite() && binary.is_finite());
+}
+
+/// Umbrella-crate prelude round trip: everything needed for the README
+/// example is exported.
+#[test]
+fn prelude_supports_readme_flow() {
+    let workload = herald::workloads::mlperf(1);
+    let graph = TaskGraph::new(&workload);
+    assert_eq!(graph.len(), workload.total_layers());
+    let acc = AcceleratorConfig::fda(DataflowStyle::Eyeriss, AcceleratorClass::Edge.resources());
+    let report = ScheduleSimulator::new(&graph, &acc, &CostModel::default())
+        .simulate(
+            &HeraldScheduler::default().schedule(&graph, &acc, &CostModel::default()),
+        )
+        .unwrap();
+    assert!(report.total_latency_s() > 0.0);
+    assert!(report.score(Metric::Edp) > 0.0);
+}

@@ -1,0 +1,160 @@
+//! Property-based tests over the schedulers and execution model: for
+//! random workload mixes, partitions and scheduler settings, schedules are
+//! complete, dependence-legal and memory-bounded.
+
+use herald::prelude::*;
+use herald_arch::{AcceleratorConfig, Partition};
+use herald_core::task::TaskGraph;
+use herald_models::zoo;
+use herald_workloads::MultiDnnWorkload;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Small random multi-DNN workloads mixed from the cheaper zoo members.
+fn arb_workload() -> impl Strategy<Value = MultiDnnWorkload> {
+    (1usize..=2, 1usize..=2, 0usize..=1).prop_map(|(mn1, mn2, gnmt)| {
+        let mut w = MultiDnnWorkload::new("prop")
+            .with_model(zoo::mobilenet_v1(), mn1)
+            .with_model(zoo::mobilenet_v2(), mn2);
+        if gnmt > 0 {
+            w = w.with_model(zoo::gnmt(), gnmt);
+        }
+        w
+    })
+}
+
+/// Random legal 2-way partitions of the edge budget.
+fn arb_partition() -> impl Strategy<Value = Partition> {
+    (1u32..=7, 1u32..=3).prop_map(|(pe_eighths, bw_quarters)| {
+        let pes = 1024 * pe_eighths / 8;
+        let bw = 16.0 * f64::from(bw_quarters) / 4.0;
+        Partition::new(vec![pes, 1024 - pes], vec![bw, 16.0 - bw]).expect("legal partition")
+    })
+}
+
+fn arb_scheduler_config() -> impl Strategy<Value = SchedulerConfig> {
+    (
+        prop_oneof![Just(Metric::Edp), Just(Metric::Latency), Just(Metric::Energy)],
+        prop_oneof![Just(OrderingPolicy::BreadthFirst), Just(OrderingPolicy::DepthFirst)],
+        1.05f64..3.0,
+        0usize..16,
+        any::<bool>(),
+    )
+        .prop_map(|(metric, ordering, lbf, lookahead, post)| SchedulerConfig {
+            metric,
+            ordering,
+            load_balance_factor: lbf,
+            lookahead,
+            post_process: post,
+        })
+}
+
+/// Checks the two hard invariants of a report against its graph:
+/// (1) every producer finishes before its consumer starts,
+/// (2) no sub-accelerator runs two layers at once.
+fn assert_report_legal(graph: &TaskGraph, report: &herald_core::exec::ExecutionReport) {
+    let mut finish: HashMap<_, f64> = HashMap::new();
+    for e in report.entries() {
+        finish.insert(e.task, e.finish_s);
+    }
+    for e in report.entries() {
+        for d in graph.deps(e.task) {
+            assert!(
+                finish[d] <= e.start_s + 1e-9,
+                "{d} finishes after {} starts",
+                e.task
+            );
+        }
+    }
+    let ways = report.per_acc().len();
+    for a in 0..ways {
+        let mut on_acc: Vec<_> = report
+            .entries()
+            .iter()
+            .filter(|e| e.acc == a)
+            .collect();
+        on_acc.sort_by(|x, y| x.start_s.partial_cmp(&y.start_s).expect("finite"));
+        for pair in on_acc.windows(2) {
+            assert!(
+                pair[1].start_s >= pair[0].finish_s - 1e-9,
+                "overlap on acc{a}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Herald schedules are complete, dependence-legal, serialized per
+    /// sub-accelerator and within the memory budget — for any workload,
+    /// partition and scheduler configuration.
+    #[test]
+    fn herald_schedules_are_legal(
+        workload in arb_workload(),
+        partition in arb_partition(),
+        cfg in arb_scheduler_config(),
+    ) {
+        let graph = TaskGraph::new(&workload);
+        let res = AcceleratorClass::Edge.resources();
+        let acc = AcceleratorConfig::maelstrom(res, partition).expect("legal partition");
+        let cost = CostModel::default();
+        let report = HeraldScheduler::new(cfg)
+            .schedule_and_simulate(&graph, &acc, &cost)
+            .expect("herald schedules are legal");
+        prop_assert_eq!(report.entries().len(), graph.len());
+        assert_report_legal(&graph, &report);
+        prop_assert!(report.peak_memory_bytes() <= acc.global_buffer_bytes());
+    }
+
+    /// The greedy baseline is likewise always simulatable.
+    #[test]
+    fn greedy_schedules_are_legal(workload in arb_workload(), partition in arb_partition()) {
+        let graph = TaskGraph::new(&workload);
+        let res = AcceleratorClass::Edge.resources();
+        let acc = AcceleratorConfig::maelstrom(res, partition).expect("legal partition");
+        let cost = CostModel::default();
+        let report = GreedyScheduler::default()
+            .schedule_and_simulate(&graph, &acc, &cost)
+            .expect("greedy schedules are legal");
+        prop_assert_eq!(report.entries().len(), graph.len());
+        assert_report_legal(&graph, &report);
+    }
+
+    /// Total energy is assignment-driven only: identical schedules replayed
+    /// twice give identical reports (simulator determinism).
+    #[test]
+    fn simulation_is_deterministic(workload in arb_workload(), partition in arb_partition()) {
+        let graph = TaskGraph::new(&workload);
+        let res = AcceleratorClass::Edge.resources();
+        let acc = AcceleratorConfig::maelstrom(res, partition).expect("legal partition");
+        let cost = CostModel::default();
+        let schedule = HeraldScheduler::default().schedule(&graph, &acc, &cost);
+        let sim = herald_core::exec::ScheduleSimulator::new(&graph, &acc, &cost);
+        let a = sim.simulate(&schedule).expect("legal");
+        let b = sim.simulate(&schedule).expect("legal");
+        prop_assert_eq!(a, b);
+    }
+
+    /// Makespan dominates every sub-accelerator's busy time, and total
+    /// energy equals the sum over entries.
+    #[test]
+    fn report_accounting_is_consistent(workload in arb_workload()) {
+        let graph = TaskGraph::new(&workload);
+        let res = AcceleratorClass::Edge.resources();
+        let acc = AcceleratorConfig::maelstrom(
+            res,
+            Partition::even(2, res.pes, res.bandwidth_gbps),
+        ).expect("even partition");
+        let cost = CostModel::default();
+        let report = HeraldScheduler::default()
+            .schedule_and_simulate(&graph, &acc, &cost)
+            .expect("legal");
+        for (i, a) in report.per_acc().iter().enumerate() {
+            prop_assert!(a.busy_s <= report.total_latency_s() + 1e-12);
+            prop_assert!(report.acc_utilization(i) <= 1.0 + 1e-9);
+        }
+        let entry_sum: f64 = report.entries().iter().map(|e| e.energy_j).sum();
+        prop_assert!((entry_sum - report.total_energy_j()).abs() < 1e-9 * entry_sum.max(1.0));
+    }
+}

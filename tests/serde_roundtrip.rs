@@ -1,0 +1,103 @@
+//! Serialization round trips for every public data structure a downstream
+//! tool would persist: configs, models, workloads, mappings, costs,
+//! schedules and reports.
+
+use herald::prelude::*;
+use herald_arch::{AcceleratorConfig, Partition};
+use herald_core::exec::ScheduleSimulator;
+use herald_core::task::TaskGraph;
+use herald_models::{zoo, LayerDims};
+use herald_workloads::MultiDnnWorkload;
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serializes");
+    serde_json::from_str(&json).expect("deserializes")
+}
+
+#[test]
+fn layer_dims_and_layers_roundtrip() {
+    let dims = LayerDims::conv(64, 3, 224, 224, 7, 7).with_stride(2).with_pad(3);
+    assert_eq!(roundtrip(&dims), dims);
+    let layer = Layer::new("conv1", LayerOp::Conv2d, dims);
+    assert_eq!(roundtrip(&layer), layer);
+}
+
+#[test]
+fn models_roundtrip_with_dependences() {
+    let model = zoo::resnet50();
+    let back: DnnModel = roundtrip(&model);
+    assert_eq!(back, model);
+    // Dependence structure survives.
+    let fc = back.layer_id("fc").unwrap();
+    assert!(!back.predecessors(fc).is_empty());
+}
+
+#[test]
+fn workloads_roundtrip() {
+    let w = MultiDnnWorkload::new("w")
+        .with_model(zoo::mobilenet_v1(), 2)
+        .with_model(zoo::gnmt(), 1);
+    let back: MultiDnnWorkload = roundtrip(&w);
+    assert_eq!(back.total_layers(), w.total_layers());
+    assert_eq!(back.model_mix(), w.model_mix());
+}
+
+#[test]
+fn accelerator_configs_roundtrip() {
+    let res = AcceleratorClass::Mobile.resources();
+    for cfg in [
+        AcceleratorConfig::fda(DataflowStyle::Eyeriss, res),
+        AcceleratorConfig::rda(res),
+        AcceleratorConfig::sm_fda(DataflowStyle::Nvdla, 2, res).unwrap(),
+        AcceleratorConfig::maelstrom(res, Partition::even(2, res.pes, res.bandwidth_gbps))
+            .unwrap(),
+    ] {
+        assert_eq!(roundtrip(&cfg), cfg);
+    }
+}
+
+#[test]
+fn mappings_and_costs_roundtrip() {
+    let layer = Layer::new(
+        "l",
+        LayerOp::Conv2d,
+        LayerDims::conv(64, 64, 56, 56, 3, 3).with_pad(1),
+    );
+    let mapping = MappingBuilder::new(DataflowStyle::Eyeriss, 1024).best(&layer);
+    assert_eq!(roundtrip(&mapping), mapping);
+    let cost = CostModel::default().evaluate(&layer, DataflowStyle::Eyeriss, 1024, 16.0);
+    assert_eq!(roundtrip(&cost), cost);
+}
+
+#[test]
+fn schedules_and_reports_roundtrip() {
+    let w = herald_workloads::single_model(zoo::mobilenet_v1(), 1);
+    let graph = TaskGraph::new(&w);
+    let acc = AcceleratorConfig::maelstrom(
+        AcceleratorClass::Edge.resources(),
+        Partition::even(2, 1024, 16.0),
+    )
+    .unwrap();
+    let cost = CostModel::default();
+    let schedule = HeraldScheduler::default().schedule(&graph, &acc, &cost);
+    assert_eq!(roundtrip(&schedule), schedule);
+    let report = ScheduleSimulator::new(&graph, &acc, &cost)
+        .simulate(&schedule)
+        .unwrap();
+    let back = roundtrip(&report);
+    assert_eq!(back, report);
+    assert_eq!(back.total_latency_s(), report.total_latency_s());
+}
+
+#[test]
+fn scheduler_and_dse_configs_roundtrip() {
+    let sc = SchedulerConfig::default();
+    let back: SchedulerConfig = roundtrip(&sc);
+    assert_eq!(back, sc);
+    let dc = DseConfig::default();
+    let back: DseConfig = roundtrip(&dc);
+    assert_eq!(back, dc);
+}
