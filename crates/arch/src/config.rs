@@ -338,11 +338,7 @@ mod tests {
     fn hda_rejects_width_mismatch() {
         let p = Partition::new(vec![512, 256, 256], vec![4.0, 4.0, 8.0]).unwrap();
         assert!(matches!(
-            AcceleratorConfig::hda(
-                &[DataflowStyle::Nvdla, DataflowStyle::ShiDianNao],
-                res(),
-                p
-            ),
+            AcceleratorConfig::hda(&[DataflowStyle::Nvdla, DataflowStyle::ShiDianNao], res(), p),
             Err(ConfigError::PartitionMismatch { .. })
         ));
     }

@@ -62,10 +62,7 @@ impl Partition {
     /// Panics if `ways` is zero or exceeds `total_pes`.
     pub fn even(ways: usize, total_pes: u32, total_bw: f64) -> Self {
         assert!(ways > 0, "need at least one way");
-        assert!(
-            ways as u32 <= total_pes,
-            "more sub-accelerators than PEs"
-        );
+        assert!(ways as u32 <= total_pes, "more sub-accelerators than PEs");
         let base = total_pes / ways as u32;
         let mut pes = vec![base; ways];
         pes[0] += total_pes - base * ways as u32;

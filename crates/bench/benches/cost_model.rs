@@ -1,10 +1,11 @@
-//! Criterion benchmarks for the analytical cost model: single-layer query
-//! latency (cold and cached) across dataflow styles and network layers.
+//! Benchmarks for the analytical cost model: single-layer query latency
+//! (cold and cached) across dataflow styles and network layers, on the
+//! local `herald_bench::harness` (criterion is unavailable offline).
 //!
 //! These feed the Table VII discussion — scheduler speed is dominated by
 //! cost-model queries, so their throughput bounds DSE throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use herald_bench::harness::Bencher;
 use herald_cost::{CostModel, Metric};
 use herald_dataflow::DataflowStyle;
 use herald_models::{zoo, Layer, LayerDims, LayerOp};
@@ -16,7 +17,9 @@ fn representative_layers() -> Vec<(&'static str, Layer)> {
             Layer::new(
                 "early",
                 LayerOp::Conv2d,
-                LayerDims::conv(64, 3, 224, 224, 7, 7).with_stride(2).with_pad(3),
+                LayerDims::conv(64, 3, 224, 224, 7, 7)
+                    .with_stride(2)
+                    .with_pad(3),
             ),
         ),
         (
@@ -35,67 +38,50 @@ fn representative_layers() -> Vec<(&'static str, Layer)> {
                 LayerDims::conv(96, 96, 56, 56, 3, 3).with_pad(1),
             ),
         ),
-        ("fc", Layer::new("fc", LayerOp::Fc, LayerDims::fc(1000, 2048))),
+        (
+            "fc",
+            Layer::new("fc", LayerOp::Fc, LayerDims::fc(1000, 2048)),
+        ),
     ]
 }
 
-fn bench_cold_queries(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cost_cold_query");
+fn main() {
+    let mut group = Bencher::group("cost_cold_query");
     for (name, layer) in representative_layers() {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &layer, |b, layer| {
-            b.iter(|| {
-                // Fresh model per iteration: measures the full analytical
-                // evaluation, not the cache.
-                let model = CostModel::default();
-                std::hint::black_box(model.evaluate(
-                    layer,
-                    DataflowStyle::Nvdla,
-                    1024,
-                    16.0,
-                ))
-            })
+        group.bench(name, || {
+            // Fresh model per iteration: measures the full analytical
+            // evaluation, not the cache.
+            let model = CostModel::default();
+            model.evaluate(&layer, DataflowStyle::Nvdla, 1024, 16.0)
         });
     }
     group.finish();
-}
 
-fn bench_cached_queries(c: &mut Criterion) {
+    let mut group = Bencher::group("cost_cached_query");
     let model = CostModel::default();
     let layer = representative_layers().remove(1).1;
     // Warm the cache.
     let _ = model.evaluate(&layer, DataflowStyle::Nvdla, 1024, 16.0);
-    c.bench_function("cost_cached_query", |b| {
-        b.iter(|| {
-            std::hint::black_box(model.evaluate(&layer, DataflowStyle::Nvdla, 1024, 16.0))
-        })
+    group.bench("late_conv", || {
+        model.evaluate(&layer, DataflowStyle::Nvdla, 1024, 16.0)
     });
-}
+    group.finish();
 
-fn bench_best_style(c: &mut Criterion) {
+    let mut group = Bencher::group("cost_best_style");
     let model = CostModel::default();
     let resnet = zoo::resnet50();
-    c.bench_function("cost_best_style_resnet50", |b| {
-        b.iter(|| {
-            for layer in resnet.layers() {
-                std::hint::black_box(model.best_style(layer, 1024, 16.0, Metric::Edp));
-            }
-        })
+    group.bench("resnet50", || {
+        for layer in resnet.layers() {
+            std::hint::black_box(model.best_style(layer, 1024, 16.0, Metric::Edp));
+        }
     });
-}
+    group.finish();
 
-fn bench_rda_selection(c: &mut Criterion) {
+    let mut group = Bencher::group("cost_rda_query");
     let model = CostModel::default();
     let layer = representative_layers().remove(0).1;
-    c.bench_function("cost_rda_query", |b| {
-        b.iter(|| std::hint::black_box(model.evaluate_rda(&layer, 1024, 16.0, Metric::Edp)))
+    group.bench("early_conv", || {
+        model.evaluate_rda(&layer, 1024, 16.0, Metric::Edp)
     });
+    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_cold_queries,
-    bench_cached_queries,
-    bench_best_style,
-    bench_rda_selection
-);
-criterion_main!(benches);

@@ -1,51 +1,46 @@
-//! Criterion benchmarks for the design-space exploration engine: full
-//! co-optimization sweeps at several granularities and search strategies.
+//! Benchmarks for the design-space exploration engine: full
+//! co-optimization sweeps at several granularities and search strategies,
+//! on the local `herald_bench::harness` (criterion is unavailable
+//! offline). The sweeps run through the `Experiment` facade, so facade
+//! overhead is part of what is measured.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use herald_arch::AcceleratorClass;
-use herald_core::dse::{DseConfig, DseEngine, SearchStrategy};
-use herald_core::sched::SchedulerConfig;
-use herald_dataflow::DataflowStyle;
+use herald::prelude::*;
+use herald_bench::harness::Bencher;
 use herald_workloads::single_model;
 
-fn bench_sweep_granularity(c: &mut Criterion) {
-    let workload = single_model(herald_models::zoo::mobilenet_v2(), 2);
-    let res = AcceleratorClass::Edge.resources();
-    let styles = [DataflowStyle::Nvdla, DataflowStyle::ShiDianNao];
-    let mut group = c.benchmark_group("dse_sweep");
-    group.sample_size(10);
-    for pe_steps in [4usize, 8, 16] {
-        let config = DseConfig {
-            pe_steps,
-            bw_steps: 2,
-            parallel: false,
-            scheduler: SchedulerConfig {
-                post_process: false,
-                ..Default::default()
-            },
-            ..DseConfig::default()
-        };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("pe_steps_{pe_steps}")),
-            &config,
-            |b, config| {
-                b.iter(|| {
-                    std::hint::black_box(
-                        DseEngine::new(*config).co_optimize(&workload, res, &styles),
-                    )
-                })
-            },
-        );
+fn config(pe_steps: usize, strategy: SearchStrategy) -> DseConfig {
+    DseConfig {
+        strategy,
+        pe_steps,
+        bw_steps: 2,
+        parallel: false,
+        scheduler: SchedulerConfig {
+            post_process: false,
+            ..Default::default()
+        },
+        ..DseConfig::default()
     }
-    group.finish();
 }
 
-fn bench_search_strategies(c: &mut Criterion) {
+fn main() {
     let workload = single_model(herald_models::zoo::mobilenet_v2(), 2);
-    let res = AcceleratorClass::Edge.resources();
     let styles = [DataflowStyle::Nvdla, DataflowStyle::ShiDianNao];
-    let mut group = c.benchmark_group("dse_strategy");
-    group.sample_size(10);
+
+    let mut group = Bencher::group("dse_sweep");
+    for pe_steps in [4usize, 8, 16] {
+        let cfg = config(pe_steps, SearchStrategy::Exhaustive);
+        group.bench(&format!("pe_steps_{pe_steps}"), || {
+            Experiment::new(workload.clone())
+                .on(AcceleratorClass::Edge)
+                .with_styles(styles)
+                .dse_config(cfg)
+                .run()
+                .expect("bench sweep succeeds")
+        });
+    }
+    group.finish();
+
+    let mut group = Bencher::group("dse_strategy");
     let strategies = [
         ("exhaustive", SearchStrategy::Exhaustive),
         ("binary", SearchStrategy::BinarySampling),
@@ -58,27 +53,15 @@ fn bench_search_strategies(c: &mut Criterion) {
         ),
     ];
     for (name, strategy) in strategies {
-        let config = DseConfig {
-            strategy,
-            pe_steps: 16,
-            bw_steps: 2,
-            parallel: false,
-            scheduler: SchedulerConfig {
-                post_process: false,
-                ..Default::default()
-            },
-            ..DseConfig::default()
-        };
-        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
-            b.iter(|| {
-                std::hint::black_box(
-                    DseEngine::new(*config).co_optimize(&workload, res, &styles),
-                )
-            })
+        let cfg = config(16, strategy);
+        group.bench(name, || {
+            Experiment::new(workload.clone())
+                .on(AcceleratorClass::Edge)
+                .with_styles(styles)
+                .dse_config(cfg)
+                .run()
+                .expect("bench sweep succeeds")
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_sweep_granularity, bench_search_strategies);
-criterion_main!(benches);

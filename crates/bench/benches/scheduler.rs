@@ -1,9 +1,10 @@
-//! Criterion benchmarks for the schedulers — the machine-readable
-//! counterpart of Table VII (scheduling time per workload and
-//! sub-accelerator count).
+//! Benchmarks for the schedulers — the machine-readable counterpart of
+//! Table VII (scheduling time per workload and sub-accelerator count), on
+//! the local `herald_bench::harness` (criterion is unavailable offline).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use herald_arch::{AcceleratorClass, AcceleratorConfig, Partition};
+use herald_bench::harness::Bencher;
+use herald_core::exec::ScheduleSimulator;
 use herald_core::sched::{GreedyScheduler, HeraldScheduler, Scheduler, SchedulerConfig};
 use herald_core::task::TaskGraph;
 use herald_cost::CostModel;
@@ -19,9 +20,8 @@ fn hda(ways: usize) -> AcceleratorConfig {
     .expect("valid HDA")
 }
 
-fn bench_herald_scheduler(c: &mut Criterion) {
-    let mut group = c.benchmark_group("herald_schedule");
-    group.sample_size(20);
+fn main() {
+    let mut group = Bencher::group("herald_schedule");
     for workload in herald_workloads::all_workloads() {
         let graph = TaskGraph::new(&workload);
         for ways in [2usize, 3] {
@@ -30,31 +30,25 @@ fn bench_herald_scheduler(c: &mut Criterion) {
             // Warm the cost cache so the benchmark isolates scheduling.
             let _ = HeraldScheduler::default().schedule(&graph, &acc, &cost);
             let id = format!("{}_{}way", workload.name().replace('/', "-"), ways);
-            group.bench_with_input(BenchmarkId::from_parameter(id), &acc, |b, acc| {
-                b.iter(|| {
-                    std::hint::black_box(
-                        HeraldScheduler::default().schedule(&graph, acc, &cost),
-                    )
-                })
+            group.bench(&id, || {
+                HeraldScheduler::default().schedule(&graph, &acc, &cost)
             });
         }
     }
     group.finish();
-}
 
-fn bench_greedy_scheduler(c: &mut Criterion) {
+    let mut group = Bencher::group("greedy_schedule");
     let workload = herald_workloads::mlperf(1);
     let graph = TaskGraph::new(&workload);
     let acc = hda(2);
     let cost = CostModel::default();
     let _ = GreedyScheduler::default().schedule(&graph, &acc, &cost);
-    c.bench_function("greedy_schedule_mlperf_2way", |b| {
-        b.iter(|| std::hint::black_box(GreedyScheduler::default().schedule(&graph, &acc, &cost)))
+    group.bench("mlperf_2way", || {
+        GreedyScheduler::default().schedule(&graph, &acc, &cost)
     });
-}
+    group.finish();
 
-fn bench_simulator(c: &mut Criterion) {
-    use herald_core::exec::ScheduleSimulator;
+    let mut group = Bencher::group("simulate");
     let workload = herald_workloads::arvr_a();
     let graph = TaskGraph::new(&workload);
     let acc = hda(2);
@@ -64,21 +58,10 @@ fn bench_simulator(c: &mut Criterion) {
         ..Default::default()
     })
     .schedule(&graph, &acc, &cost);
-    c.bench_function("simulate_arvra_2way", |b| {
-        b.iter(|| {
-            std::hint::black_box(
-                ScheduleSimulator::new(&graph, &acc, &cost)
-                    .simulate(&schedule)
-                    .expect("legal schedule"),
-            )
-        })
+    group.bench("arvra_2way", || {
+        ScheduleSimulator::new(&graph, &acc, &cost)
+            .simulate(&schedule)
+            .expect("legal schedule")
     });
+    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_herald_scheduler,
-    bench_greedy_scheduler,
-    bench_simulator
-);
-criterion_main!(benches);

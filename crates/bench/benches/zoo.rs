@@ -1,25 +1,19 @@
-//! Criterion benchmarks for model-zoo construction and task-graph
-//! flattening — the fixed costs every experiment pays up front.
+//! Benchmarks for model-zoo construction and task-graph flattening — the
+//! fixed costs every experiment pays up front — on the local
+//! `herald_bench::harness` (criterion is unavailable offline).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use herald_bench::harness::Bencher;
 use herald_core::task::TaskGraph;
 use herald_models::zoo;
 
-fn bench_zoo_construction(c: &mut Criterion) {
-    c.bench_function("zoo_all_models", |b| {
-        b.iter(|| std::hint::black_box(zoo::all_models()))
-    });
-    c.bench_function("zoo_resnet50", |b| {
-        b.iter(|| std::hint::black_box(zoo::resnet50()))
-    });
-}
+fn main() {
+    let mut group = Bencher::group("zoo");
+    group.bench("all_models", zoo::all_models);
+    group.bench("resnet50", zoo::resnet50);
+    group.finish();
 
-fn bench_workload_flattening(c: &mut Criterion) {
+    let mut group = Bencher::group("taskgraph");
     let workload = herald_workloads::arvr_b();
-    c.bench_function("taskgraph_arvrb", |b| {
-        b.iter(|| std::hint::black_box(TaskGraph::new(&workload)))
-    });
+    group.bench("arvrb", || TaskGraph::new(&workload));
+    group.finish();
 }
-
-criterion_group!(benches, bench_zoo_construction, bench_workload_flattening);
-criterion_main!(benches);

@@ -6,20 +6,18 @@
 //! wall-clock cost per strategy/granularity, plus the hierarchical
 //! refinement pass.
 
+use herald::prelude::*;
 use herald_arch::AcceleratorClass;
 use herald_bench::fast_mode;
-use herald_core::dse::{DseConfig, DseEngine, SearchStrategy};
-use herald_dataflow::DataflowStyle;
 use std::time::Instant;
 
-fn main() {
+fn main() -> Result<(), HeraldError> {
     let fast = fast_mode();
     let workload = if fast {
         herald_workloads::mlperf(1)
     } else {
         herald_workloads::arvr_a()
     };
-    let res = AcceleratorClass::Mobile.resources();
     let styles = [DataflowStyle::Nvdla, DataflowStyle::ShiDianNao];
 
     println!(
@@ -40,10 +38,7 @@ fn main() {
                 ..DseConfig::default()
             },
         ),
-        (
-            "exhaustive pe_steps=8".into(),
-            DseConfig::default(),
-        ),
+        ("exhaustive pe_steps=8".into(), DseConfig::default()),
         (
             "exhaustive pe_steps=16".into(),
             DseConfig {
@@ -62,7 +57,10 @@ fn main() {
         (
             "random 8 samples (16)".into(),
             DseConfig {
-                strategy: SearchStrategy::Random { samples: 8, seed: 11 },
+                strategy: SearchStrategy::Random {
+                    samples: 8,
+                    seed: 11,
+                },
                 pe_steps: 16,
                 ..DseConfig::default()
             },
@@ -71,14 +69,18 @@ fn main() {
 
     for (name, config) in runs {
         let t0 = Instant::now();
-        let outcome = DseEngine::new(config).co_optimize(&workload, res, &styles);
+        let outcome = Experiment::new(workload.clone())
+            .on(AcceleratorClass::Mobile)
+            .with_styles(styles)
+            .dse_config(config)
+            .run()?;
         let dt = t0.elapsed().as_secs_f64();
-        let best = outcome.best().expect("non-empty design space").edp();
+        let best = outcome.edp();
         reference_best = reference_best.min(best);
         println!(
             "{:<28} {:>8} {:>14.6} {:>12.3}",
             name,
-            outcome.points.len(),
+            outcome.points().len(),
             best,
             dt
         );
@@ -86,17 +88,21 @@ fn main() {
 
     // Hierarchical refinement on the coarse grid.
     let t0 = Instant::now();
-    let refined = DseEngine::new(DseConfig {
-        pe_steps: 4,
-        ..DseConfig::default()
-    })
-    .co_optimize_refined(&workload, res, &styles, 3);
+    let refined = Experiment::new(workload)
+        .on(AcceleratorClass::Mobile)
+        .with_styles(styles)
+        .dse_config(DseConfig {
+            pe_steps: 4,
+            ..DseConfig::default()
+        })
+        .refined(3)
+        .run()?;
     let dt = t0.elapsed().as_secs_f64();
-    let best = refined.best().expect("non-empty design space").edp();
+    let best = refined.edp();
     println!(
         "{:<28} {:>8} {:>14.6} {:>12.3}",
         "coarse(4) + 3 refine rounds",
-        refined.points.len(),
+        refined.points().len(),
         best,
         dt
     );
@@ -105,4 +111,5 @@ fn main() {
          {:+.1}% of it at a fraction of the evaluations",
         (best / reference_best - 1.0) * 100.0
     );
+    Ok(())
 }

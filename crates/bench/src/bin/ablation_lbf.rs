@@ -5,27 +5,18 @@
 //! (pure dataflow preference, no parallelism under contention); the sweet
 //! spot sits in between.
 
-use herald_arch::{AcceleratorClass, AcceleratorConfig, Partition};
+use herald::prelude::*;
 use herald_bench::fast_mode;
-use herald_core::sched::{HeraldScheduler, Scheduler, SchedulerConfig};
-use herald_core::task::TaskGraph;
-use herald_cost::CostModel;
 
-fn main() {
+fn main() -> Result<(), HeraldError> {
     let fast = fast_mode();
     let workload = if fast {
         herald_workloads::mlperf(1)
     } else {
         herald_workloads::arvr_a()
     };
-    let graph = TaskGraph::new(&workload);
     let res = AcceleratorClass::Mobile.resources();
-    let acc = AcceleratorConfig::maelstrom(
-        res,
-        Partition::even(2, res.pes, res.bandwidth_gbps),
-    )
-    .expect("even Maelstrom is valid");
-    let cost = CostModel::default();
+    let acc = AcceleratorConfig::maelstrom(res, Partition::even(2, res.pes, res.bandwidth_gbps))?;
 
     println!(
         "Load-balance factor sweep ({} on mobile Maelstrom, even partition)",
@@ -38,13 +29,14 @@ fn main() {
 
     let mut best: Option<(f64, f64)> = None;
     for lbf in [1.05, 1.1, 1.25, 1.5, 2.0, 3.0, 5.0, 100.0] {
-        let cfg = SchedulerConfig {
-            load_balance_factor: lbf,
-            ..Default::default()
-        };
-        let report = HeraldScheduler::new(cfg)
-            .schedule_and_simulate(&graph, &acc, &cost)
-            .expect("herald schedules are legal");
+        let outcome = Experiment::new(workload.clone())
+            .on_accelerator(acc.clone())
+            .scheduler(SchedulerConfig {
+                load_balance_factor: lbf,
+                ..Default::default()
+            })
+            .run()?;
+        let report = outcome.report();
         println!(
             "{:>8.2} {:>12.5} {:>12.5} {:>14.6} {:>9.0}% {:>9.0}%",
             lbf,
@@ -58,6 +50,9 @@ fn main() {
             best = Some((lbf, report.edp()));
         }
     }
-    let (lbf, edp) = best.expect("sweep is non-empty");
+    let Some((lbf, edp)) = best else {
+        unreachable!("the LbF sweep list is non-empty");
+    };
     println!("\nbest LbF = {lbf} (EDP {edp:.6}); the default 1.5 targets this region");
+    Ok(())
 }

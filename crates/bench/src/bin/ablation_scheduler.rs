@@ -1,20 +1,17 @@
 //! **Scheduler ablation** (Sec. V-B, "Efficacy of Scheduling Algorithm") —
 //! Herald's scheduler vs the per-layer greedy baseline on Maelstrom, plus
 //! ablations of the individual scheduler features (load balancing,
-//! ordering policy, post-processing).
+//! ordering policy, post-processing). The greedy baseline has no facade
+//! presence, so this binary drives the scheduler trait directly.
 //!
 //! Expected shape (paper): Herald's scheduler finds schedules with ~24.1%
 //! less EDP than the greedy scheduler on average.
 
-use herald_arch::{AcceleratorClass, AcceleratorConfig, Partition};
+use herald::prelude::*;
 use herald_bench::fast_mode;
-use herald_core::sched::{
-    GreedyScheduler, HeraldScheduler, OrderingPolicy, Scheduler, SchedulerConfig,
-};
 use herald_core::task::TaskGraph;
-use herald_cost::CostModel;
 
-fn main() {
+fn main() -> Result<(), HeraldError> {
     let fast = fast_mode();
     let classes = if fast {
         vec![AcceleratorClass::Edge]
@@ -38,31 +35,22 @@ fn main() {
         let graph = TaskGraph::new(workload);
         for &class in &classes {
             let res = class.resources();
-            let acc = AcceleratorConfig::maelstrom(
-                res,
-                Partition::even(2, res.pes, res.bandwidth_gbps),
-            )
-            .expect("even Maelstrom is valid");
+            let acc =
+                AcceleratorConfig::maelstrom(res, Partition::even(2, res.pes, res.bandwidth_gbps))?;
             let cost = CostModel::default();
 
-            let greedy = GreedyScheduler::default()
-                .schedule_and_simulate(&graph, &acc, &cost)
-                .expect("greedy schedules are legal");
-            let herald = HeraldScheduler::default()
-                .schedule_and_simulate(&graph, &acc, &cost)
-                .expect("herald schedules are legal");
+            let greedy = GreedyScheduler::default().schedule_and_simulate(&graph, &acc, &cost)?;
+            let herald = HeraldScheduler::default().schedule_and_simulate(&graph, &acc, &cost)?;
             let no_pp = HeraldScheduler::new(SchedulerConfig {
                 post_process: false,
                 ..Default::default()
             })
-            .schedule_and_simulate(&graph, &acc, &cost)
-            .expect("herald schedules are legal");
+            .schedule_and_simulate(&graph, &acc, &cost)?;
             let depth = HeraldScheduler::new(SchedulerConfig {
                 ordering: OrderingPolicy::DepthFirst,
                 ..Default::default()
             })
-            .schedule_and_simulate(&graph, &acc, &cost)
-            .expect("herald schedules are legal");
+            .schedule_and_simulate(&graph, &acc, &cost)?;
 
             let gain = (1.0 - herald.edp() / greedy.edp()) * 100.0;
             gains.push(gain);
@@ -79,7 +67,6 @@ fn main() {
         }
     }
     let avg = gains.iter().sum::<f64>() / gains.len() as f64;
-    println!(
-        "\naverage Herald-vs-greedy EDP improvement: {avg:.1}% (paper: 24.1%)"
-    );
+    println!("\naverage Herald-vs-greedy EDP improvement: {avg:.1}% (paper: 24.1%)");
+    Ok(())
 }

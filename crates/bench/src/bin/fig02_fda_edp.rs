@@ -16,7 +16,11 @@ fn main() {
 
     println!("Fig. 2: FDA EDP at {PES} PEs, {BW} GB/s");
     for model in [zoo::resnet50(), zoo::unet()] {
-        println!("\n({}) {}", if model.name() == "Resnet50" { "a" } else { "b" }, model.name());
+        println!(
+            "\n({}) {}",
+            if model.name() == "Resnet50" { "a" } else { "b" },
+            model.name()
+        );
         println!(
             "{:<14} {:>12} {:>12} {:>14} {:>10}",
             "style", "latency (s)", "energy (J)", "EDP (J*s)", "avg util"

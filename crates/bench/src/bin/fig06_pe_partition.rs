@@ -6,11 +6,10 @@
 //! Expected shape (paper): the curve is non-trivial and the even 8K/8K
 //! split is ~17% worse than the best split.
 
-use herald_arch::{AcceleratorClass, AcceleratorConfig, Partition};
+use herald::prelude::*;
 use herald_bench::fast_mode;
-use herald_core::dse::{DseConfig, DseEngine};
 
-fn main() {
+fn main() -> Result<(), HeraldError> {
     let fast = fast_mode();
     let class = AcceleratorClass::Cloud;
     let res = class.resources();
@@ -19,13 +18,10 @@ fn main() {
     } else {
         herald_workloads::arvr_a()
     };
-    let dse = DseEngine::new(DseConfig {
-        scheduler: herald_core::sched::SchedulerConfig {
-            post_process: !fast,
-            ..Default::default()
-        },
-        ..DseConfig::default()
-    });
+    let scheduler = SchedulerConfig {
+        post_process: !fast,
+        ..Default::default()
+    };
 
     // Naive bandwidth partitioning: 128/128 GB/s, PE split swept.
     let steps = if fast { 8 } else { 16 };
@@ -51,9 +47,13 @@ fn main() {
             vec![nvdla, shi],
             vec![res.bandwidth_gbps / 2.0, res.bandwidth_gbps / 2.0],
         )
-        .expect("valid partition");
-        let cfg = AcceleratorConfig::maelstrom(res, partition).expect("within budget");
-        let report = dse.evaluate_config(&workload, &cfg);
+        .map_err(|reason| HeraldError::InvalidResources { reason })?;
+        let cfg = AcceleratorConfig::maelstrom(res, partition)?;
+        let outcome = Experiment::new(workload.clone())
+            .on_accelerator(cfg)
+            .scheduler(scheduler)
+            .run()?;
+        let report = outcome.report();
         let edp = report.edp();
         println!(
             "{:>10} {:>10} {:>12.5} {:>12.5} {:>14.6}",
@@ -71,12 +71,18 @@ fn main() {
         }
     }
 
-    let (best_nvdla, best_edp) = best.expect("sweep is non-empty");
-    println!("\nbest PE split: {best_nvdla}/{} (EDP {best_edp:.6})", res.pes - best_nvdla);
+    let Some((best_nvdla, best_edp)) = best else {
+        unreachable!("the PE sweep has at least one step");
+    };
+    println!(
+        "\nbest PE split: {best_nvdla}/{} (EDP {best_edp:.6})",
+        res.pes - best_nvdla
+    );
     if let Some(even) = even_edp {
         println!(
             "even 8K/8K split: EDP {even:.6} -> {:+.1}% vs best (paper: +17%)",
             (even / best_edp - 1.0) * 100.0
         );
     }
+    Ok(())
 }

@@ -7,11 +7,8 @@
 //! latency-energy Pareto frontier; FDA and SM-FDA points do not; the best
 //! HDA is the NVDLA+Shi-diannao pairing (Maelstrom).
 
-use herald_arch::AcceleratorClass;
-use herald_bench::{
-    best_of, dse_config, evaluate_suite, fast_mode, print_rows, EvalRow,
-};
-use herald_core::dse::DseEngine;
+use herald::prelude::*;
+use herald_bench::{best_of, evaluate_suite, fast_mode, print_rows};
 use herald_core::pareto::pareto_frontier;
 use herald_workloads::MultiDnnWorkload;
 
@@ -23,9 +20,8 @@ fn scenario_workloads(fast: bool) -> Vec<MultiDnnWorkload> {
     }
 }
 
-fn main() {
+fn main() -> Result<(), HeraldError> {
     let fast = fast_mode();
-    let dse = DseEngine::new(dse_config(fast));
     let classes: &[AcceleratorClass] = if fast {
         &[AcceleratorClass::Edge]
     } else {
@@ -35,32 +31,30 @@ fn main() {
     let mut hda_edp_gains = Vec::new();
     for workload in scenario_workloads(fast) {
         for &class in classes {
-            let (rows, clouds) = evaluate_suite(&dse, &workload, class);
-            print_rows(&format!("{} on {} accelerator", workload.name(), class), &rows);
+            let (rows, clouds) = evaluate_suite(&workload, class, fast)?;
+            print_rows(
+                &format!("{} on {} accelerator", workload.name(), class),
+                &rows,
+            );
 
             // Pareto membership per group.
-            let coords: Vec<(f64, f64)> =
-                rows.iter().map(|r| (r.latency_s, r.energy_j)).collect();
+            let coords: Vec<(f64, f64)> = rows.iter().map(|r| (r.latency_s, r.energy_j)).collect();
             let frontier = pareto_frontier(&coords);
-            let on_frontier: Vec<&str> = frontier
-                .iter()
-                .map(|&i| rows[i].label.as_str())
-                .collect();
+            let on_frontier: Vec<&str> = frontier.iter().map(|&i| rows[i].label.as_str()).collect();
             println!("Pareto frontier: {}", on_frontier.join(", "));
 
             // Scatter clouds for the HDA partitions (the figure's dots).
             for (name, outcome) in &clouds {
-                let best = outcome.best().expect("non-empty cloud");
+                let best = outcome.best();
                 println!(
                     "  HDA {name}: {} points, best partition {} (EDP {:.6})",
-                    outcome.points.len(),
+                    outcome.points().len(),
                     best.partition,
                     best.edp()
                 );
             }
 
-            if let (Some(best_fda), Some(best_hda)) =
-                (best_of(&rows, "FDA"), best_of(&rows, "HDA"))
+            if let (Some(best_fda), Some(best_hda)) = (best_of(&rows, "FDA"), best_of(&rows, "HDA"))
             {
                 let gain = (1.0 - best_hda.edp() / best_fda.edp()) * 100.0;
                 println!(
@@ -80,5 +74,5 @@ fn main() {
              (paper: 73.6% across its case studies)"
         );
     }
-    let _ = EvalRow::edp; // keep the helper linked in fast builds
+    Ok(())
 }

@@ -7,24 +7,24 @@
 //! EDP (paper: 26.4% for UNet, 48.1% for ResNet50); the RDA is faster but
 //! hungrier.
 
-use herald_arch::{AcceleratorClass, AcceleratorConfig};
-use herald_bench::{dse_config, fast_mode};
-use herald_core::dse::DseEngine;
-use herald_dataflow::DataflowStyle;
+use herald::prelude::*;
+use herald_bench::{evaluate_fixed, fast_mode, search_hda};
 use herald_models::zoo;
 use herald_workloads::single_model;
 
-fn main() {
+fn main() -> Result<(), HeraldError> {
     let fast = fast_mode();
     let class = AcceleratorClass::Cloud;
     let res = class.resources();
-    let dse = DseEngine::new(dse_config(fast));
     let batch = if fast { 2 } else { 4 };
 
     for model in [zoo::unet(), zoo::resnet50()] {
         let name = model.name().to_string();
         let workload = single_model(model, batch);
-        println!("\n=== {} (batch {batch}) on {} accelerator ===", name, class);
+        println!(
+            "\n=== {} (batch {batch}) on {} accelerator ===",
+            name, class
+        );
         println!(
             "{:<26} {:>12} {:>12} {:>14}",
             "design", "latency (s)", "energy (J)", "EDP (J*s)"
@@ -33,35 +33,36 @@ fn main() {
         let mut best_fda: Option<(String, f64)> = None;
         for style in DataflowStyle::ALL {
             let cfg = AcceleratorConfig::fda(style, res);
-            let r = dse.evaluate_config(&workload, &cfg);
+            let cfg_name = cfg.name().to_string();
+            let r = evaluate_fixed(&workload, cfg, fast)?;
             println!(
                 "{:<26} {:>12.5} {:>12.5} {:>14.6}",
-                cfg.name(),
-                r.total_latency_s(),
-                r.total_energy_j(),
+                cfg_name,
+                r.latency_s(),
+                r.energy_j(),
                 r.edp()
             );
             if best_fda.as_ref().is_none_or(|(_, e)| r.edp() < *e) {
-                best_fda = Some((cfg.name().to_string(), r.edp()));
+                best_fda = Some((cfg_name, r.edp()));
             }
         }
 
-        let rda = AcceleratorConfig::rda(res);
-        let rda_report = dse.evaluate_config(&workload, &rda);
+        let rda = evaluate_fixed(&workload, AcceleratorConfig::rda(res), fast)?;
         println!(
             "{:<26} {:>12.5} {:>12.5} {:>14.6}",
-            rda.name(),
-            rda_report.total_latency_s(),
-            rda_report.total_energy_j(),
-            rda_report.edp()
+            rda.accelerator,
+            rda.latency_s(),
+            rda.energy_j(),
+            rda.edp()
         );
 
-        let outcome = dse.co_optimize(
+        let outcome = search_hda(
             &workload,
-            res,
+            class,
             &[DataflowStyle::Nvdla, DataflowStyle::ShiDianNao],
-        );
-        let best = outcome.best().expect("non-empty sweep");
+            fast,
+        )?;
+        let best = outcome.best();
         println!(
             "{:<26} {:>12.5} {:>12.5} {:>14.6}   <- partition {}",
             "Maelstrom (best)",
@@ -71,7 +72,9 @@ fn main() {
             best.partition
         );
 
-        let (fda_name, fda_edp) = best_fda.expect("three FDAs evaluated");
+        let Some((fda_name, fda_edp)) = best_fda else {
+            unreachable!("DataflowStyle::ALL is non-empty");
+        };
         println!(
             "Maelstrom vs best monolithic ({fda_name}): {:+.1}% EDP \
              (paper: +26.4% UNet, +48.1% Resnet50)",
@@ -80,8 +83,9 @@ fn main() {
         println!(
             "RDA vs Maelstrom: lat {:+.1}%, energy {:+.1}% \
              (paper: RDA ~22-29% faster, ~12-16% hungrier)",
-            (1.0 - rda_report.total_latency_s() / best.latency_s()) * 100.0,
-            (1.0 - rda_report.total_energy_j() / best.energy_j()) * 100.0
+            (1.0 - rda.latency_s() / best.latency_s()) * 100.0,
+            (1.0 - rda.energy_j() / best.energy_j()) * 100.0
         );
     }
+    Ok(())
 }

@@ -9,15 +9,13 @@
 //! average; the fixed HDAs keep beating FDAs and keep their energy
 //! advantage over the RDA.
 
-use herald_arch::{AcceleratorClass, AcceleratorConfig};
-use herald_bench::{dse_config, fast_mode, gain_pct};
-use herald_core::dse::{DesignPoint, DseEngine};
-use herald_dataflow::DataflowStyle;
+use herald::prelude::*;
+use herald_bench::{evaluate_fixed, fast_mode, gain_pct, search_hda};
+use herald_core::dse::DesignPoint;
 use herald_workloads::MultiDnnWorkload;
 
-fn main() {
+fn main() -> Result<(), HeraldError> {
     let fast = fast_mode();
-    let dse = DseEngine::new(dse_config(fast));
     let classes: &[AcceleratorClass] = if fast {
         &[AcceleratorClass::Edge]
     } else {
@@ -36,15 +34,22 @@ fn main() {
     for w in &workloads {
         let mut per_class = Vec::new();
         for &class in classes {
-            let outcome = dse.co_optimize(
+            let outcome = search_hda(
                 w,
-                class.resources(),
+                class,
                 &[DataflowStyle::Nvdla, DataflowStyle::ShiDianNao],
-            );
-            per_class.push(outcome.best().expect("non-empty sweep").clone());
+                fast,
+            )?;
+            per_class.push(outcome.best().clone());
         }
         designs.push(per_class);
     }
+
+    // Re-running workload j on design i's fixed hardware is a fixed-target
+    // experiment on that design's configuration.
+    let reschedule = |wj: &MultiDnnWorkload, design: &DesignPoint| -> Result<_, HeraldError> {
+        evaluate_fixed(wj, design.config.clone(), fast)
+    };
 
     // Cross matrix: run workload j on the design optimized for workload i.
     println!(
@@ -57,23 +62,20 @@ fn main() {
     let mut cross_penalty_energy = Vec::new();
 
     // First pass: the matched (diagonal) numbers.
-    for (i, w) in workloads.iter().enumerate() {
-        let lat: f64 = designs[i].iter().map(DesignPoint::latency_s).sum::<f64>()
-            / classes.len() as f64;
-        let energy: f64 = designs[i].iter().map(DesignPoint::energy_j).sum::<f64>()
-            / classes.len() as f64;
-        self_lat[i] = lat;
-        self_energy[i] = energy;
-        let _ = w;
+    for (i, _) in workloads.iter().enumerate() {
+        self_lat[i] =
+            designs[i].iter().map(DesignPoint::latency_s).sum::<f64>() / classes.len() as f64;
+        self_energy[i] =
+            designs[i].iter().map(DesignPoint::energy_j).sum::<f64>() / classes.len() as f64;
     }
 
     for (i, _) in workloads.iter().enumerate() {
         for (j, wj) in workloads.iter().enumerate() {
             let (mut lat, mut energy) = (0.0f64, 0.0f64);
             for (c, _) in classes.iter().enumerate() {
-                let report = dse.reschedule(wj, &designs[i][c]);
-                lat += report.total_latency_s();
-                energy += report.total_energy_j();
+                let outcome = reschedule(wj, &designs[i][c])?;
+                lat += outcome.latency_s();
+                energy += outcome.energy_j();
             }
             lat /= classes.len() as f64;
             energy /= classes.len() as f64;
@@ -113,17 +115,22 @@ fn main() {
             }
             for (c, &class) in classes.iter().enumerate() {
                 let res = class.resources();
-                let hda = dse.reschedule(wj, &designs[i][c]);
-                let best_fda = DataflowStyle::ALL
-                    .into_iter()
-                    .map(|s| dse.evaluate_config(wj, &AcceleratorConfig::fda(s, res)))
-                    .min_by(|a, b| a.edp().partial_cmp(&b.edp()).expect("finite EDP"))
-                    .expect("three FDAs");
-                let rda = dse.evaluate_config(wj, &AcceleratorConfig::rda(res));
-                vs_fda_lat.push(gain_pct(best_fda.total_latency_s(), hda.total_latency_s()));
-                vs_fda_energy.push(gain_pct(best_fda.total_energy_j(), hda.total_energy_j()));
-                vs_rda_lat.push(gain_pct(rda.total_latency_s(), hda.total_latency_s()));
-                vs_rda_energy.push(gain_pct(rda.total_energy_j(), hda.total_energy_j()));
+                let hda = reschedule(wj, &designs[i][c])?;
+                let mut best_fda: Option<ExperimentOutcome> = None;
+                for s in DataflowStyle::ALL {
+                    let fda = evaluate_fixed(wj, AcceleratorConfig::fda(s, res), fast)?;
+                    if best_fda.as_ref().is_none_or(|b| fda.edp() < b.edp()) {
+                        best_fda = Some(fda);
+                    }
+                }
+                let Some(best_fda) = best_fda else {
+                    unreachable!("DataflowStyle::ALL is non-empty");
+                };
+                let rda = evaluate_fixed(wj, AcceleratorConfig::rda(res), fast)?;
+                vs_fda_lat.push(gain_pct(best_fda.latency_s(), hda.latency_s()));
+                vs_fda_energy.push(gain_pct(best_fda.energy_j(), hda.energy_j()));
+                vs_rda_lat.push(gain_pct(rda.latency_s(), hda.latency_s()));
+                vs_rda_energy.push(gain_pct(rda.energy_j(), hda.energy_j()));
             }
         }
     }
@@ -139,6 +146,7 @@ fn main() {
         avg(&vs_rda_lat),
         avg(&vs_rda_energy)
     );
+    Ok(())
 }
 
 fn short(w: &MultiDnnWorkload) -> String {

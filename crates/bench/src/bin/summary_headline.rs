@@ -6,14 +6,17 @@
 //! * vs the homogeneous scaled-out multi-FDA: 63.1% / 4.1%,
 //! * vs the MAERI-style RDA: 20.7% *higher* latency but 22.0% lower
 //!   energy.
+//!
+//! Pass `--json` to emit a machine-readable record (per-scenario bests,
+//! headline averages, wall-clock) for baseline tracking across PRs.
 
-use herald_arch::AcceleratorClass;
-use herald_bench::{best_of, dse_config, evaluate_suite, fast_mode, gain_pct};
-use herald_core::dse::DseEngine;
+use herald::prelude::*;
+use herald_bench::{best_of, evaluate_suite, fast_mode};
+use std::time::Instant;
 
-fn main() {
+fn main() -> Result<(), HeraldError> {
     let fast = fast_mode();
-    let dse = DseEngine::new(dse_config(fast));
+    let json_mode = std::env::args().any(|a| a == "--json");
     let classes: &[AcceleratorClass] = if fast {
         &[AcceleratorClass::Edge]
     } else {
@@ -28,11 +31,17 @@ fn main() {
     let mut vs_fda = Aggregate::default();
     let mut vs_smfda = Aggregate::default();
     let mut vs_rda = Aggregate::default();
+    let mut scenarios = Vec::new();
+    let t0 = Instant::now();
 
     for workload in &workloads {
         for &class in classes {
-            let (rows, _) = evaluate_suite(&dse, workload, class);
-            let hda = best_of(&rows, "HDA").expect("HDA rows present");
+            let (rows, _) = evaluate_suite(workload, class, fast)?;
+            let Some(hda) = best_of(&rows, "HDA") else {
+                return Err(HeraldError::EmptySearch {
+                    workload: workload.name().to_string(),
+                });
+            };
             if let Some(fda) = best_of(&rows, "FDA") {
                 vs_fda.push(hda, fda);
             }
@@ -42,23 +51,51 @@ fn main() {
             if let Some(rda) = best_of(&rows, "RDA") {
                 vs_rda.push(hda, rda);
             }
-            println!(
-                "{} / {}: best HDA = {} (EDP {:.6})",
-                workload.name(),
-                class,
-                hda.label,
-                hda.edp()
-            );
+            if !json_mode {
+                println!(
+                    "{} / {}: best HDA = {} (EDP {:.6})",
+                    workload.name(),
+                    class,
+                    hda.label,
+                    hda.edp()
+                );
+            }
+            scenarios.push(serde_json::json!({
+                "workload": workload.name(),
+                "class": class.to_string(),
+                "best_hda": hda.label,
+                "latency_s": hda.latency_s,
+                "energy_j": hda.energy_j,
+                "edp": hda.edp(),
+            }));
         }
     }
+    let wall_s = t0.elapsed().as_secs_f64();
 
-    println!("\nHeadline averages for the best HDA per scenario:");
-    vs_fda.print("vs best FDA", "paper: +65.3% latency, +5.0% energy");
-    vs_smfda.print("vs best SM-FDA", "paper: +63.1% latency, +4.1% energy");
-    vs_rda.print(
-        "vs RDA",
-        "paper: -20.7% latency (RDA faster), +22.0% energy",
-    );
+    if json_mode {
+        let record = serde_json::json!({
+            "bench": "summary_headline",
+            "fast": fast,
+            "wall_clock_s": wall_s,
+            "scenarios": serde_json::Value::Seq(scenarios),
+            "headline": serde_json::json!({
+                "vs_best_fda": vs_fda.to_value(),
+                "vs_best_smfda": vs_smfda.to_value(),
+                "vs_rda": vs_rda.to_value(),
+            }),
+        });
+        println!("{}", record.to_json_pretty());
+    } else {
+        println!("\nHeadline averages for the best HDA per scenario:");
+        vs_fda.print("vs best FDA", "paper: +65.3% latency, +5.0% energy");
+        vs_smfda.print("vs best SM-FDA", "paper: +63.1% latency, +4.1% energy");
+        vs_rda.print(
+            "vs RDA",
+            "paper: -20.7% latency (RDA faster), +22.0% energy",
+        );
+        println!("(wall clock: {wall_s:.1}s)");
+    }
+    Ok(())
 }
 
 #[derive(Default)]
@@ -70,18 +107,32 @@ struct Aggregate {
 
 impl Aggregate {
     fn push(&mut self, ours: &herald_bench::EvalRow, base: &herald_bench::EvalRow) {
-        self.lat.push(gain_pct(base.latency_s, ours.latency_s));
-        self.energy.push(gain_pct(base.energy_j, ours.energy_j));
-        self.edp.push(gain_pct(base.edp(), ours.edp()));
+        self.lat
+            .push(herald_bench::gain_pct(base.latency_s, ours.latency_s));
+        self.energy
+            .push(herald_bench::gain_pct(base.energy_j, ours.energy_j));
+        self.edp
+            .push(herald_bench::gain_pct(base.edp(), ours.edp()));
+    }
+
+    fn avg(v: &[f64]) -> f64 {
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    }
+
+    fn to_value(&self) -> serde_json::Value {
+        serde_json::json!({
+            "latency_gain_pct": Self::avg(&self.lat),
+            "energy_gain_pct": Self::avg(&self.energy),
+            "edp_gain_pct": Self::avg(&self.edp),
+        })
     }
 
     fn print(&self, label: &str, paper: &str) {
-        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
         println!(
             "  {label:<16} latency {:+.1}%, energy {:+.1}%, EDP {:+.1}%   ({paper})",
-            avg(&self.lat),
-            avg(&self.energy),
-            avg(&self.edp)
+            Self::avg(&self.lat),
+            Self::avg(&self.energy),
+            Self::avg(&self.edp)
         );
     }
 }

@@ -6,14 +6,11 @@
 //! NVDLA tends to receive more PEs overall (its channel parallelism suits
 //! more layers), Shi-diannao relatively more bandwidth per PE.
 
-use herald_arch::AcceleratorClass;
-use herald_bench::{dse_config, fast_mode};
-use herald_core::dse::DseEngine;
-use herald_dataflow::DataflowStyle;
+use herald::prelude::*;
+use herald_bench::{fast_mode, search_hda};
 
-fn main() {
+fn main() -> Result<(), HeraldError> {
     let fast = fast_mode();
-    let dse = DseEngine::new(dse_config(fast));
     let classes: &[AcceleratorClass] = if fast {
         &[AcceleratorClass::Edge]
     } else {
@@ -36,12 +33,13 @@ fn main() {
     for workload in &workloads {
         for &class in classes {
             let res = class.resources();
-            let outcome = dse.co_optimize(
+            let outcome = search_hda(
                 workload,
-                res,
+                class,
                 &[DataflowStyle::Nvdla, DataflowStyle::ShiDianNao],
-            );
-            let best = outcome.best().expect("non-empty sweep");
+                fast,
+            )?;
+            let best = outcome.best();
             let pes = best.partition.pes();
             let bw = best.partition.bandwidth_gbps();
             println!(
@@ -68,4 +66,5 @@ fn main() {
         avg_pe * 100.0,
         avg_bw * 100.0
     );
+    Ok(())
 }

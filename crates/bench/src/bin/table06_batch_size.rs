@@ -6,14 +6,11 @@
 //! replicas mean more layer parallelism for the HDA to exploit — and at
 //! batch 8 the HDA beats the RDA in both latency and energy.
 
-use herald_arch::{AcceleratorClass, AcceleratorConfig};
-use herald_bench::{dse_config, fast_mode, gain_pct};
-use herald_core::dse::DseEngine;
-use herald_dataflow::DataflowStyle;
+use herald::prelude::*;
+use herald_bench::{evaluate_fixed, fast_mode, gain_pct, search_hda};
 
-fn main() {
+fn main() -> Result<(), HeraldError> {
     let fast = fast_mode();
-    let dse = DseEngine::new(dse_config(fast));
     let classes: &[AcceleratorClass] = if fast {
         &[AcceleratorClass::Edge]
     } else {
@@ -33,33 +30,34 @@ fn main() {
             let workload = herald_workloads::mlperf(batch);
 
             // Best-EDP FDA.
-            let (fda_lat, fda_energy) = DataflowStyle::ALL
-                .into_iter()
-                .map(|s| {
-                    let r = dse.evaluate_config(&workload, &AcceleratorConfig::fda(s, res));
-                    (r.edp(), r.total_latency_s(), r.total_energy_j())
-                })
-                .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite EDP"))
-                .map(|(_, l, e)| (l, e))
-                .expect("three FDAs");
+            let mut best_fda: Option<ExperimentOutcome> = None;
+            for s in DataflowStyle::ALL {
+                let fda = evaluate_fixed(&workload, AcceleratorConfig::fda(s, res), fast)?;
+                if best_fda.as_ref().is_none_or(|b| fda.edp() < b.edp()) {
+                    best_fda = Some(fda);
+                }
+            }
+            let Some(best_fda) = best_fda else {
+                unreachable!("DataflowStyle::ALL is non-empty");
+            };
 
-            let rda = dse.evaluate_config(&workload, &AcceleratorConfig::rda(res));
+            let rda = evaluate_fixed(&workload, AcceleratorConfig::rda(res), fast)?;
 
-            let outcome = dse.co_optimize(
+            let hda = search_hda(
                 &workload,
-                res,
+                class,
                 &[DataflowStyle::Nvdla, DataflowStyle::ShiDianNao],
-            );
-            let hda = outcome.best().expect("non-empty sweep");
+                fast,
+            )?;
 
             println!(
                 "{:<8} {:>6} {:>11.1}% /{:>8.1}% {:>11.1}% /{:>8.1}%",
                 class.to_string(),
                 batch,
-                gain_pct(fda_lat, hda.latency_s()),
-                gain_pct(rda.total_latency_s(), hda.latency_s()),
-                gain_pct(fda_energy, hda.energy_j()),
-                gain_pct(rda.total_energy_j(), hda.energy_j()),
+                gain_pct(best_fda.latency_s(), hda.latency_s()),
+                gain_pct(rda.latency_s(), hda.latency_s()),
+                gain_pct(best_fda.energy_j(), hda.energy_j()),
+                gain_pct(rda.energy_j(), hda.energy_j()),
             );
         }
     }
@@ -68,4 +66,5 @@ fn main() {
          negative at batch 1 (RDA faster) but positive at batch 8; energy \
          gains vs RDA positive throughout"
     );
+    Ok(())
 }

@@ -1,0 +1,147 @@
+//! A minimal wall-clock benchmark harness.
+//!
+//! The build environment cannot fetch `criterion`, so the `benches/`
+//! targets (declared with `harness = false`) drive this instead: warm-up,
+//! a fixed-duration measurement loop, and median-of-samples reporting.
+//! It is intentionally simple — no outlier rejection, no HTML — but its
+//! JSON lines make run-to-run comparison scriptable.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock spend per benchmark measurement phase.
+const MEASURE_FOR: Duration = Duration::from_millis(500);
+/// Warm-up spend before measuring.
+const WARMUP_FOR: Duration = Duration::from_millis(100);
+
+/// One benchmark's aggregated timing.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark id (`group/name`).
+    pub id: String,
+    /// Median iteration time, nanoseconds.
+    pub median_ns: f64,
+    /// Minimum iteration time, nanoseconds.
+    pub min_ns: f64,
+    /// Iterations measured.
+    pub iters: u64,
+}
+
+impl Measurement {
+    fn print(&self) {
+        println!(
+            "{:<44} median {:>12}  min {:>12}  ({} iters)",
+            self.id,
+            human_ns(self.median_ns),
+            human_ns(self.min_ns),
+            self.iters
+        );
+    }
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// A named group of benchmarks, mirroring criterion's `BenchmarkGroup`.
+pub struct Bencher {
+    group: String,
+    results: Vec<Measurement>,
+}
+
+impl Bencher {
+    /// Starts a group; prints a header.
+    pub fn group(name: impl Into<String>) -> Self {
+        let group = name.into();
+        println!("\n== bench group: {group} ==");
+        Self {
+            group,
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `f`, keeping its return value alive like `black_box`.
+    ///
+    /// Iterations are batched per sample so that fast (sub-microsecond)
+    /// workloads are not dominated by `Instant::now()` overhead: the
+    /// warm-up calibrates a batch size targeting ~50us per sample, and
+    /// each recorded sample is the batch time divided by the batch size.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        // Warm-up doubles as calibration.
+        let mut warm_iters: u64 = 0;
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP_FOR {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let warm_ns = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        const TARGET_SAMPLE_NS: f64 = 50_000.0;
+        let batch = ((TARGET_SAMPLE_NS / warm_ns.max(1.0)) as u64).clamp(1, 1_000_000);
+
+        // Measure batches until the budget is spent; each sample is a
+        // per-iteration estimate.
+        let mut samples_ns: Vec<f64> = Vec::new();
+        let mut iters: u64 = 0;
+        let measure_until = Instant::now() + MEASURE_FOR;
+        while Instant::now() < measure_until {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            samples_ns.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+            iters += batch;
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        let median_ns = samples_ns[samples_ns.len() / 2];
+        let min_ns = samples_ns[0];
+        let m = Measurement {
+            id: format!("{}/{name}", self.group),
+            median_ns,
+            min_ns,
+            iters,
+        };
+        m.print();
+        self.results.push(m);
+    }
+
+    /// Finishes the group, emitting one JSON line per measurement for
+    /// scripted comparison.
+    pub fn finish(self) {
+        for m in &self.results {
+            println!(
+                "{{\"bench\":\"{}\",\"median_ns\":{:.0},\"min_ns\":{:.0},\"iters\":{}}}",
+                m.id, m.median_ns, m.min_ns, m.iters
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_something() {
+        let mut b = Bencher::group("test");
+        b.bench("noop-ish", || (0..100u64).sum::<u64>());
+        assert_eq!(b.results.len(), 1);
+        assert!(b.results[0].iters > 0);
+        assert!(b.results[0].median_ns >= b.results[0].min_ns);
+        b.finish();
+    }
+
+    #[test]
+    fn human_units_scale() {
+        assert!(human_ns(5.0).ends_with("ns"));
+        assert!(human_ns(5.0e3).ends_with("us"));
+        assert!(human_ns(5.0e6).ends_with("ms"));
+        assert!(human_ns(5.0e9).ends_with(" s"));
+    }
+}

@@ -1,6 +1,10 @@
 //! Shared harness for the experiment binaries that regenerate every table
 //! and figure of the paper's evaluation (Section V).
 //!
+//! All evaluation flows go through the [`herald::Experiment`] facade, so
+//! the binaries exercise exactly the API downstream users see and every
+//! failure surfaces as a typed [`HeraldError`] instead of a panic.
+//!
 //! Each `src/bin/*` binary reproduces one artifact:
 //!
 //! | Binary | Paper artifact |
@@ -24,8 +28,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+
+use herald::{Experiment, ExperimentOutcome, HeraldError};
 use herald_arch::{AcceleratorClass, AcceleratorConfig, HardwareResources};
-use herald_core::dse::{DseConfig, DseEngine, DseOutcome};
 use herald_core::exec::ExecutionReport;
 use herald_dataflow::DataflowStyle;
 use herald_workloads::MultiDnnWorkload;
@@ -60,10 +66,15 @@ pub fn fda_configs(res: HardwareResources) -> Vec<AcceleratorConfig> {
 }
 
 /// The three two-way scaled-out multi-FDA baselines (Table III).
-pub fn smfda_configs(res: HardwareResources) -> Vec<AcceleratorConfig> {
+///
+/// # Errors
+///
+/// Propagates [`HeraldError::Config`]; two-way SM-FDAs are always valid,
+/// so an error indicates an arch-crate bug.
+pub fn smfda_configs(res: HardwareResources) -> Result<Vec<AcceleratorConfig>, HeraldError> {
     DataflowStyle::ALL
         .into_iter()
-        .map(|s| AcceleratorConfig::sm_fda(s, 2, res).expect("2-way SM-FDA is valid"))
+        .map(|s| Ok(AcceleratorConfig::sm_fda(s, 2, res)?))
         .collect()
 }
 
@@ -72,14 +83,46 @@ pub fn fast_mode() -> bool {
     std::env::args().any(|a| a == "--fast")
 }
 
-/// The DSE configuration used by the experiment binaries: paper-scale by
-/// default, coarse under `--fast`.
-pub fn dse_config(fast: bool) -> DseConfig {
+/// A facade builder preconfigured for the experiment binaries:
+/// paper-scale by default, coarse under `--fast`.
+pub fn experiment(workload: &MultiDnnWorkload, fast: bool) -> Experiment {
+    let exp = Experiment::new(workload.clone());
     if fast {
-        DseConfig::fast()
+        exp.fast()
     } else {
-        DseConfig::default()
+        exp
     }
+}
+
+/// Evaluates one fixed accelerator on one workload through the facade.
+///
+/// # Errors
+///
+/// Propagates any [`HeraldError`] from [`Experiment::run`].
+pub fn evaluate_fixed(
+    workload: &MultiDnnWorkload,
+    config: AcceleratorConfig,
+    fast: bool,
+) -> Result<ExperimentOutcome, HeraldError> {
+    experiment(workload, fast).on_accelerator(config).run()
+}
+
+/// Searches HDA partitions of `styles` on a class budget through the
+/// facade.
+///
+/// # Errors
+///
+/// Propagates any [`HeraldError`] from [`Experiment::run`].
+pub fn search_hda(
+    workload: &MultiDnnWorkload,
+    class: AcceleratorClass,
+    styles: &[DataflowStyle],
+    fast: bool,
+) -> Result<ExperimentOutcome, HeraldError> {
+    experiment(workload, fast)
+        .on(class)
+        .with_styles(styles.iter().copied())
+        .run()
 }
 
 /// One evaluated accelerator on one workload: a row of Fig. 11.
@@ -112,44 +155,61 @@ impl EvalRow {
     }
 }
 
+/// The labelled HDA design-point clouds of one suite evaluation (for
+/// scatter output).
+pub type HdaClouds = Vec<(String, ExperimentOutcome)>;
+
 /// Evaluates the full Table III accelerator suite on one workload/class
 /// scenario: 3 FDAs, 3 SM-FDAs, the RDA, and the best DSE point of each of
-/// the four HDA style sets. Returns the rows plus the HDA design-point
-/// clouds (for scatter output).
+/// the four HDA style sets. Returns the rows plus the HDA experiment
+/// outcomes (for scatter output).
+///
+/// # Errors
+///
+/// Propagates any [`HeraldError`] from the underlying experiments.
 pub fn evaluate_suite(
-    dse: &DseEngine,
     workload: &MultiDnnWorkload,
     class: AcceleratorClass,
-) -> (Vec<EvalRow>, Vec<(String, DseOutcome)>) {
+    fast: bool,
+) -> Result<(Vec<EvalRow>, HdaClouds), HeraldError> {
     let res = class.resources();
     let mut rows = Vec::new();
 
     for cfg in fda_configs(res) {
-        let r = dse.evaluate_config(workload, &cfg);
-        rows.push(EvalRow::from_report(cfg.name().to_string(), "FDA", &r));
+        let name = cfg.name().to_string();
+        let outcome = evaluate_fixed(workload, cfg, fast)?;
+        rows.push(EvalRow::from_report(name, "FDA", outcome.report()));
     }
-    for cfg in smfda_configs(res) {
-        let r = dse.evaluate_config(workload, &cfg);
-        rows.push(EvalRow::from_report(cfg.name().to_string(), "SM-FDA", &r));
+    for cfg in smfda_configs(res)? {
+        let name = cfg.name().to_string();
+        let outcome = evaluate_fixed(workload, cfg, fast)?;
+        rows.push(EvalRow::from_report(name, "SM-FDA", outcome.report()));
     }
     let rda = AcceleratorConfig::rda(res);
-    let r = dse.evaluate_config(workload, &rda);
-    rows.push(EvalRow::from_report(rda.name().to_string(), "RDA", &r));
+    let name = rda.name().to_string();
+    let outcome = evaluate_fixed(workload, rda, fast)?;
+    rows.push(EvalRow::from_report(name, "RDA", outcome.report()));
 
     let mut clouds = Vec::new();
     for styles in hda_style_sets() {
-        let outcome = dse.co_optimize(workload, res, &styles);
-        if let Some(best) = outcome.best() {
-            rows.push(EvalRow {
-                label: format!("HDA {}", style_set_name(&styles)),
-                group: "HDA",
-                latency_s: best.latency_s(),
-                energy_j: best.energy_j(),
-            });
+        match search_hda(workload, class, &styles, fast) {
+            Ok(outcome) => {
+                rows.push(EvalRow {
+                    label: format!("HDA {}", style_set_name(&styles)),
+                    group: "HDA",
+                    latency_s: outcome.latency_s(),
+                    energy_j: outcome.energy_j(),
+                });
+                clouds.push((style_set_name(&styles), outcome));
+            }
+            // A too-coarse granularity can leave a wide style set with no
+            // feasible partition (e.g. 2 bandwidth quanta over 3 ways in
+            // `--fast` mode); skip the set like the evaluation always has.
+            Err(HeraldError::EmptySearch { .. }) => {}
+            Err(e) => return Err(e),
         }
-        clouds.push((style_set_name(&styles), outcome));
     }
-    (rows, clouds)
+    Ok((rows, clouds))
 }
 
 /// Best row of a group under EDP.
@@ -190,7 +250,10 @@ mod tests {
     fn style_sets_match_table3() {
         let sets = hda_style_sets();
         assert_eq!(sets.len(), 4);
-        assert_eq!(sets[0], vec![DataflowStyle::Nvdla, DataflowStyle::ShiDianNao]);
+        assert_eq!(
+            sets[0],
+            vec![DataflowStyle::Nvdla, DataflowStyle::ShiDianNao]
+        );
         assert_eq!(sets[3].len(), 3);
     }
 
@@ -204,7 +267,17 @@ mod tests {
     fn suite_baseline_counts() {
         let res = AcceleratorClass::Edge.resources();
         assert_eq!(fda_configs(res).len(), 3);
-        assert_eq!(smfda_configs(res).len(), 3);
+        assert_eq!(smfda_configs(res).expect("valid SM-FDAs").len(), 3);
+    }
+
+    #[test]
+    fn facade_helpers_agree_on_fixed_configs() {
+        let w = herald_workloads::single_model(herald_models::zoo::mobilenet_v1(), 1);
+        let res = AcceleratorClass::Edge.resources();
+        let outcome = evaluate_fixed(&w, AcceleratorConfig::fda(DataflowStyle::Nvdla, res), true)
+            .expect("fixed evaluation succeeds");
+        assert_eq!(outcome.points().len(), 1);
+        assert!(outcome.latency_s() > 0.0);
     }
 
     #[test]

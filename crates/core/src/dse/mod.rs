@@ -2,6 +2,7 @@
 
 mod partitions;
 
+use crate::error::HeraldError;
 use crate::exec::ExecutionReport;
 use crate::pareto::pareto_frontier;
 use crate::sched::{HeraldScheduler, Scheduler, SchedulerConfig};
@@ -79,7 +80,7 @@ impl DseConfig {
 }
 
 /// One explored design: a partition and its scheduled execution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DesignPoint {
     /// The hardware partition evaluated.
     pub partition: Partition,
@@ -108,7 +109,7 @@ impl DesignPoint {
 
 /// The design-point cloud produced by a DSE run (one point per candidate
 /// partition — the dots of the paper's Figs. 6 and 11).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DseOutcome {
     /// All evaluated points.
     pub points: Vec<DesignPoint>,
@@ -144,21 +145,28 @@ impl DseOutcome {
 /// sweeping PE and bandwidth partitions and co-optimizing a layer schedule
 /// for each candidate.
 ///
+/// Prefer driving it through the `herald::Experiment` facade; the engine
+/// remains public for tools that need the raw sweep.
+///
 /// # Example
 ///
 /// ```
 /// use herald_arch::AcceleratorClass;
 /// use herald_core::dse::{DseConfig, DseEngine};
+/// use herald_core::error::HeraldError;
 /// use herald_dataflow::DataflowStyle;
 ///
+/// # fn main() -> Result<(), HeraldError> {
 /// let dse = DseEngine::new(DseConfig::fast());
 /// let workload = herald_workloads::single_model(herald_models::zoo::mobilenet_v2(), 2);
 /// let outcome = dse.co_optimize(
 ///     &workload,
 ///     AcceleratorClass::Edge.resources(),
 ///     &[DataflowStyle::Nvdla, DataflowStyle::ShiDianNao],
-/// );
+/// )?;
 /// assert!(!outcome.points.is_empty());
+/// # Ok(())
+/// # }
 /// ```
 #[derive(Debug, Clone)]
 pub struct DseEngine {
@@ -180,18 +188,20 @@ impl DseEngine {
     /// `resources` across one sub-accelerator per style is scheduled with
     /// Herald's scheduler and reported as a design point.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if fewer than two styles are given (an HDA needs at least
-    /// two sub-accelerators; evaluate FDAs via
-    /// [`DseEngine::evaluate_config`]).
+    /// Returns [`HeraldError::TooFewStyles`] if fewer than two styles are
+    /// given (an HDA needs at least two sub-accelerators; evaluate FDAs
+    /// via [`DseEngine::evaluate_config`]).
     pub fn co_optimize(
         &self,
         workload: &MultiDnnWorkload,
         resources: HardwareResources,
         styles: &[DataflowStyle],
-    ) -> DseOutcome {
-        assert!(styles.len() >= 2, "an HDA needs at least two styles");
+    ) -> Result<DseOutcome, HeraldError> {
+        if styles.len() < 2 {
+            return Err(HeraldError::TooFewStyles { got: styles.len() });
+        }
         let graph = TaskGraph::new(workload);
         let cost = CostModel::default();
         let candidates = candidate_partitions(&self.config, resources, styles.len());
@@ -214,13 +224,12 @@ impl DseEngine {
                 .unwrap_or(4)
                 .min(candidates.len().max(1));
             let chunk = candidates.len().div_ceil(threads.max(1)).max(1);
-            crossbeam::thread::scope(|scope| {
+            let evaluate = &evaluate;
+            std::thread::scope(|scope| {
                 let handles: Vec<_> = candidates
                     .chunks(chunk)
                     .map(|chunk| {
-                        scope.spawn(move |_| {
-                            chunk.iter().filter_map(evaluate).collect::<Vec<_>>()
-                        })
+                        scope.spawn(move || chunk.iter().filter_map(evaluate).collect::<Vec<_>>())
                     })
                     .collect();
                 handles
@@ -228,15 +237,14 @@ impl DseEngine {
                     .flat_map(|h| h.join().expect("DSE worker panicked"))
                     .collect()
             })
-            .expect("DSE scope panicked")
         } else {
             candidates.iter().filter_map(evaluate).collect()
         };
 
-        DseOutcome {
+        Ok(DseOutcome {
             points,
             metric: self.config.metric,
-        }
+        })
     }
 
     /// Hierarchical refinement: runs [`DseEngine::co_optimize`], then for
@@ -245,14 +253,18 @@ impl DseEngine {
     /// round). This recovers most of a fine exhaustive sweep's quality at
     /// a fraction of its cost — the practical use of the paper's
     /// "user-specified search granularity".
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DseEngine::co_optimize`].
     pub fn co_optimize_refined(
         &self,
         workload: &MultiDnnWorkload,
         resources: HardwareResources,
         styles: &[DataflowStyle],
         rounds: usize,
-    ) -> DseOutcome {
-        let mut outcome = self.co_optimize(workload, resources, styles);
+    ) -> Result<DseOutcome, HeraldError> {
+        let mut outcome = self.co_optimize(workload, resources, styles)?;
         let graph = TaskGraph::new(workload);
         let cost = CostModel::default();
         let mut quantum = (resources.pes / self.config.pe_steps as u32).max(1);
@@ -284,31 +296,40 @@ impl DseEngine {
             }
             outcome.points.extend(new_points);
         }
-        outcome
+        Ok(outcome)
     }
 
     /// Evaluates a fixed accelerator configuration (FDA, SM-FDA, RDA, or a
     /// pre-partitioned HDA) on a workload with Herald's scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HeraldError::Simulation`] if the produced schedule
+    /// cannot be replayed; schedulers in this crate construct legal
+    /// schedules, so an error indicates a scheduler bug.
     pub fn evaluate_config(
         &self,
         workload: &MultiDnnWorkload,
         config: &AcceleratorConfig,
-    ) -> ExecutionReport {
+    ) -> Result<ExecutionReport, HeraldError> {
         let graph = TaskGraph::new(workload);
         let cost = CostModel::default();
-        HeraldScheduler::new(self.config.scheduler)
-            .schedule_and_simulate(&graph, config, &cost)
-            .expect("herald schedules are legal")
+        Ok(HeraldScheduler::new(self.config.scheduler)
+            .schedule_and_simulate(&graph, config, &cost)?)
     }
 
     /// Re-schedules an existing design for a *different* workload (the
     /// paper's workload-change study, Fig. 13: fix the hardware, rerun
     /// only the compile-time scheduler).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DseEngine::evaluate_config`].
     pub fn reschedule(
         &self,
         workload: &MultiDnnWorkload,
         point: &DesignPoint,
-    ) -> ExecutionReport {
+    ) -> Result<ExecutionReport, HeraldError> {
         self.evaluate_config(workload, &point.config)
     }
 }
@@ -333,21 +354,36 @@ mod tests {
     #[test]
     fn co_optimize_produces_full_grid() {
         let dse = DseEngine::new(DseConfig::fast());
-        let outcome = dse.co_optimize(
-            &small_workload(),
-            AcceleratorClass::Edge.resources(),
-            &styles(),
-        );
+        let outcome = dse
+            .co_optimize(
+                &small_workload(),
+                AcceleratorClass::Edge.resources(),
+                &styles(),
+            )
+            .unwrap();
         // 4 PE steps -> 3 splits, 2 BW steps -> 1 split.
         assert_eq!(outcome.points.len(), 3);
         assert!(outcome.best().is_some());
     }
 
     #[test]
+    fn single_style_search_is_a_typed_error() {
+        let dse = DseEngine::new(DseConfig::fast());
+        let err = dse
+            .co_optimize(
+                &small_workload(),
+                AcceleratorClass::Edge.resources(),
+                &[DataflowStyle::Nvdla],
+            )
+            .unwrap_err();
+        assert_eq!(err, HeraldError::TooFewStyles { got: 1 });
+    }
+
+    #[test]
     fn partitions_conserve_resources() {
         let res = AcceleratorClass::Edge.resources();
         let dse = DseEngine::new(DseConfig::fast());
-        let outcome = dse.co_optimize(&small_workload(), res, &styles());
+        let outcome = dse.co_optimize(&small_workload(), res, &styles()).unwrap();
         for p in &outcome.points {
             assert_eq!(p.partition.total_pes(), res.pes);
             assert!((p.partition.total_bandwidth_gbps() - res.bandwidth_gbps).abs() < 1e-9);
@@ -357,11 +393,13 @@ mod tests {
     #[test]
     fn best_point_minimizes_the_metric() {
         let dse = DseEngine::new(DseConfig::fast());
-        let outcome = dse.co_optimize(
-            &small_workload(),
-            AcceleratorClass::Edge.resources(),
-            &styles(),
-        );
+        let outcome = dse
+            .co_optimize(
+                &small_workload(),
+                AcceleratorClass::Edge.resources(),
+                &styles(),
+            )
+            .unwrap();
         let best = outcome.best().unwrap().edp();
         for p in &outcome.points {
             assert!(p.edp() >= best - 1e-18);
@@ -371,11 +409,13 @@ mod tests {
     #[test]
     fn pareto_points_are_non_dominated() {
         let dse = DseEngine::new(DseConfig::fast());
-        let outcome = dse.co_optimize(
-            &small_workload(),
-            AcceleratorClass::Edge.resources(),
-            &styles(),
-        );
+        let outcome = dse
+            .co_optimize(
+                &small_workload(),
+                AcceleratorClass::Edge.resources(),
+                &styles(),
+            )
+            .unwrap();
         let frontier = outcome.pareto();
         assert!(!frontier.is_empty());
         for f in &frontier {
@@ -392,16 +432,20 @@ mod tests {
     fn serial_and_parallel_sweeps_agree() {
         let mut cfg = DseConfig::fast();
         cfg.parallel = false;
-        let serial = DseEngine::new(cfg).co_optimize(
-            &small_workload(),
-            AcceleratorClass::Edge.resources(),
-            &styles(),
-        );
-        let parallel = DseEngine::new(DseConfig::fast()).co_optimize(
-            &small_workload(),
-            AcceleratorClass::Edge.resources(),
-            &styles(),
-        );
+        let serial = DseEngine::new(cfg)
+            .co_optimize(
+                &small_workload(),
+                AcceleratorClass::Edge.resources(),
+                &styles(),
+            )
+            .unwrap();
+        let parallel = DseEngine::new(DseConfig::fast())
+            .co_optimize(
+                &small_workload(),
+                AcceleratorClass::Edge.resources(),
+                &styles(),
+            )
+            .unwrap();
         assert_eq!(serial.points.len(), parallel.points.len());
         let best_s = serial.best().unwrap().edp();
         let best_p = parallel.best().unwrap().edp();
@@ -418,7 +462,7 @@ mod tests {
             AcceleratorConfig::rda(res),
             AcceleratorConfig::sm_fda(DataflowStyle::Nvdla, 2, res).unwrap(),
         ] {
-            let report = dse.evaluate_config(&w, &config);
+            let report = dse.evaluate_config(&w, &config).unwrap();
             assert!(report.total_latency_s() > 0.0, "{}", config.name());
         }
     }
@@ -429,11 +473,13 @@ mod tests {
         let coarse = DseEngine::new(DseConfig::fast());
         let base = coarse
             .co_optimize(&small_workload(), res, &styles())
+            .unwrap()
             .best()
             .unwrap()
             .edp();
         let refined = coarse
             .co_optimize_refined(&small_workload(), res, &styles(), 2)
+            .unwrap()
             .best()
             .unwrap()
             .edp();
@@ -444,10 +490,10 @@ mod tests {
     fn reschedule_keeps_hardware_fixed() {
         let dse = DseEngine::new(DseConfig::fast());
         let res = AcceleratorClass::Edge.resources();
-        let outcome = dse.co_optimize(&small_workload(), res, &styles());
+        let outcome = dse.co_optimize(&small_workload(), res, &styles()).unwrap();
         let best = outcome.best().unwrap();
         let other = single_model(zoo::mobilenet_v1(), 2);
-        let report = dse.reschedule(&other, best);
+        let report = dse.reschedule(&other, best).unwrap();
         assert!(report.total_latency_s() > 0.0);
     }
 }

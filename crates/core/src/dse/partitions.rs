@@ -1,9 +1,8 @@
 //! Candidate-partition enumeration for the DSE sweep.
 
 use crate::dse::{DseConfig, SearchStrategy};
+use crate::rng::SplitMix64;
 use herald_arch::{HardwareResources, Partition};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Enumerates the candidate [`Partition`]s the DSE evaluates for `ways`
 /// sub-accelerators, according to the configured strategy and granularity.
@@ -20,10 +19,19 @@ pub fn candidate_partitions(
         SearchStrategy::Exhaustive => compositions(config.pe_steps, ways),
         SearchStrategy::BinarySampling => binary_compositions(config.pe_steps, ways),
         SearchStrategy::Random { samples, seed } => {
-            let mut rng = StdRng::seed_from_u64(seed);
-            (0..samples)
-                .map(|_| random_composition(config.pe_steps, ways, &mut rng))
-                .collect()
+            // Fewer quanta than ways admits no composition with positive
+            // parts; an empty candidate list (-> EmptySearch upstream)
+            // matches what the exhaustive strategies produce, and keeps
+            // the stars-and-bars sampler from spinning forever looking
+            // for cut points that do not exist.
+            if config.pe_steps < ways {
+                Vec::new()
+            } else {
+                let mut rng = SplitMix64::seed_from_u64(seed);
+                (0..samples)
+                    .map(|_| random_composition(config.pe_steps, ways, &mut rng))
+                    .collect()
+            }
         }
     };
     let bw_splits = compositions(config.bw_steps, ways);
@@ -76,11 +84,11 @@ fn binary_compositions(total: usize, ways: usize) -> Vec<Vec<u32>> {
 }
 
 /// A uniformly random composition of `total` into `ways` positive parts.
-fn random_composition(total: usize, ways: usize, rng: &mut StdRng) -> Vec<u32> {
+fn random_composition(total: usize, ways: usize, rng: &mut SplitMix64) -> Vec<u32> {
     // Stars-and-bars: choose ways-1 distinct cut points in 1..total.
     let mut cuts: Vec<usize> = Vec::with_capacity(ways - 1);
     while cuts.len() < ways - 1 {
-        let c = rng.gen_range(1..total);
+        let c = rng.gen_range(1, total);
         if !cuts.contains(&c) {
             cuts.push(c);
         }
@@ -215,9 +223,41 @@ mod tests {
     }
 
     #[test]
+    fn random_search_with_too_few_quanta_is_empty_not_hung() {
+        // pe_steps < ways cannot be composed into positive parts; the
+        // sampler must return no candidates (like the exhaustive
+        // strategies) instead of looping forever.
+        let c = config(
+            SearchStrategy::Random {
+                samples: 4,
+                seed: 1,
+            },
+            2,
+            2,
+        );
+        assert!(candidate_partitions(&c, res(), 3).is_empty());
+        let exhaustive = config(SearchStrategy::Exhaustive, 2, 2);
+        assert!(candidate_partitions(&exhaustive, res(), 3).is_empty());
+    }
+
+    #[test]
     fn random_search_is_seed_deterministic() {
-        let c1 = config(SearchStrategy::Random { samples: 5, seed: 42 }, 16, 2);
-        let c2 = config(SearchStrategy::Random { samples: 5, seed: 42 }, 16, 2);
+        let c1 = config(
+            SearchStrategy::Random {
+                samples: 5,
+                seed: 42,
+            },
+            16,
+            2,
+        );
+        let c2 = config(
+            SearchStrategy::Random {
+                samples: 5,
+                seed: 42,
+            },
+            16,
+            2,
+        );
         assert_eq!(
             candidate_partitions(&c1, res(), 2),
             candidate_partitions(&c2, res(), 2)

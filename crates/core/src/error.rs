@@ -1,0 +1,150 @@
+//! The workspace-wide error hierarchy.
+//!
+//! Every fallible entry point of the Herald pipeline — experiment
+//! validation, accelerator construction, scheduling, simulation, export —
+//! surfaces as a [`HeraldError`], so downstream code handles one type
+//! with `?` instead of panicking through `expect` chains.
+
+use crate::exec::SimError;
+use herald_arch::ConfigError;
+use std::error::Error;
+use std::fmt;
+
+/// Any failure produced by the Herald pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HeraldError {
+    /// The workload contains no layers to schedule.
+    EmptyWorkload {
+        /// Name of the offending workload.
+        workload: String,
+    },
+    /// The hardware budget is degenerate (zero PEs, non-positive
+    /// bandwidth, or an empty global buffer).
+    InvalidResources {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// An HDA search needs at least two dataflow styles.
+    TooFewStyles {
+        /// Styles actually provided.
+        got: usize,
+    },
+    /// The design-space sweep produced no feasible design point.
+    EmptySearch {
+        /// Name of the workload searched.
+        workload: String,
+    },
+    /// Accelerator construction was rejected.
+    Config(ConfigError),
+    /// Schedule validation or simulation failed.
+    Simulation(SimError),
+    /// A schedule or report could not be (de)serialized.
+    Serialization(String),
+}
+
+impl fmt::Display for HeraldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeraldError::EmptyWorkload { workload } => {
+                write!(f, "workload {workload:?} contains no layers")
+            }
+            HeraldError::InvalidResources { reason } => {
+                write!(f, "invalid hardware resources: {reason}")
+            }
+            HeraldError::TooFewStyles { got } => {
+                write!(
+                    f,
+                    "an HDA search needs at least two dataflow styles, got {got}"
+                )
+            }
+            HeraldError::EmptySearch { workload } => {
+                write!(
+                    f,
+                    "no feasible design point found for workload {workload:?}"
+                )
+            }
+            HeraldError::Config(e) => write!(f, "accelerator configuration rejected: {e}"),
+            HeraldError::Simulation(e) => write!(f, "schedule simulation failed: {e}"),
+            HeraldError::Serialization(msg) => write!(f, "serialization failed: {msg}"),
+        }
+    }
+}
+
+impl Error for HeraldError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HeraldError::Config(e) => Some(e),
+            HeraldError::Simulation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for HeraldError {
+    fn from(e: ConfigError) -> Self {
+        HeraldError::Config(e)
+    }
+}
+
+impl From<SimError> for HeraldError {
+    fn from(e: SimError) -> Self {
+        HeraldError::Simulation(e)
+    }
+}
+
+impl From<serde_json::Error> for HeraldError {
+    fn from(e: serde_json::Error) -> Self {
+        HeraldError::Serialization(e.to_string())
+    }
+}
+
+impl From<crate::export::ExportError> for HeraldError {
+    fn from(e: crate::export::ExportError) -> Self {
+        match e {
+            crate::export::ExportError::Json(j) => HeraldError::Serialization(j.to_string()),
+            crate::export::ExportError::Invalid(s) => HeraldError::Simulation(s),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::ExportError;
+
+    #[test]
+    fn config_errors_convert() {
+        let e: HeraldError = ConfigError::TooFewSubAccelerators.into();
+        assert_eq!(e, HeraldError::Config(ConfigError::TooFewSubAccelerators));
+        assert!(e.to_string().contains("configuration rejected"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn sim_errors_convert() {
+        let e: HeraldError = SimError::InvalidSchedule("T0 queued twice".into()).into();
+        assert!(matches!(e, HeraldError::Simulation(_)));
+        assert!(e.to_string().contains("T0 queued twice"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn export_errors_fold_into_the_hierarchy() {
+        let json: HeraldError = ExportError::Json(serde_json::Error::custom("bad json")).into();
+        assert!(matches!(json, HeraldError::Serialization(_)));
+        let invalid: HeraldError =
+            ExportError::Invalid(SimError::InvalidSchedule("gap".into())).into();
+        assert!(matches!(invalid, HeraldError::Simulation(_)));
+    }
+
+    #[test]
+    fn validation_errors_render_their_context() {
+        let e = HeraldError::EmptyWorkload {
+            workload: "arvr-a".into(),
+        };
+        assert!(e.to_string().contains("arvr-a"));
+        let e = HeraldError::TooFewStyles { got: 1 };
+        assert!(e.to_string().contains("got 1"));
+        assert!(e.source().is_none());
+    }
+}

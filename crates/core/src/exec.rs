@@ -494,12 +494,9 @@ mod tests {
         // One replica per sub-accelerator: the makespan must be far below
         // the serial sum (layer parallelism across models, Sec. III-B).
         let g = graph();
-        let acc = AcceleratorConfig::sm_fda(
-            DataflowStyle::Nvdla,
-            2,
-            AcceleratorClass::Edge.resources(),
-        )
-        .unwrap();
+        let acc =
+            AcceleratorConfig::sm_fda(DataflowStyle::Nvdla, 2, AcceleratorClass::Edge.resources())
+                .unwrap();
         let cost = CostModel::default();
         let mut assignment = vec![0usize; g.len()];
         for t in g.instance_tasks(1) {
@@ -517,12 +514,9 @@ mod tests {
     #[test]
     fn dependences_serialize_within_a_replica() {
         let g = TaskGraph::new(&single_model(zoo::mobilenet_v1(), 1));
-        let acc = AcceleratorConfig::sm_fda(
-            DataflowStyle::Nvdla,
-            2,
-            AcceleratorClass::Edge.resources(),
-        )
-        .unwrap();
+        let acc =
+            AcceleratorConfig::sm_fda(DataflowStyle::Nvdla, 2, AcceleratorClass::Edge.resources())
+                .unwrap();
         let cost = CostModel::default();
         // Alternate layers across the two sub-accelerators: the linear
         // dependence chain forces strictly sequential execution.

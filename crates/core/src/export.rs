@@ -164,8 +164,7 @@ mod tests {
     #[test]
     fn task_count_mismatch_is_rejected() {
         let (a, _) = artifact();
-        let mut value: serde_json::Value =
-            serde_json::from_str(&a.to_json().unwrap()).unwrap();
+        let mut value: serde_json::Value = serde_json::from_str(&a.to_json().unwrap()).unwrap();
         value["tasks"] = serde_json::json!(3);
         assert!(matches!(
             ScheduleArtifact::from_json(&value.to_string()),

@@ -22,33 +22,47 @@
 //!    and co-optimizes them with the scheduler, yielding the design-space
 //!    clouds of the paper's Figs. 6 and 11; [`pareto`] extracts frontiers.
 //!
+//! Every fallible stage reports a typed [`error::HeraldError`]; the
+//! ergonomic entry point is the `herald::Experiment` facade in the
+//! umbrella crate, which validates inputs and drives this pipeline.
+//!
 //! # Example
 //!
 //! ```
 //! use herald_arch::AcceleratorClass;
 //! use herald_core::dse::{DseConfig, DseEngine};
+//! use herald_core::error::HeraldError;
 //! use herald_dataflow::DataflowStyle;
 //!
+//! # fn main() -> Result<(), HeraldError> {
 //! let workload = herald_workloads::single_model(herald_models::zoo::unet(), 2);
 //! let dse = DseEngine::new(DseConfig::fast());
 //! let outcome = dse.co_optimize(
 //!     &workload,
 //!     AcceleratorClass::Edge.resources(),
 //!     &[DataflowStyle::Nvdla, DataflowStyle::ShiDianNao],
-//! );
-//! let best = outcome.best().expect("non-empty design space");
+//! )?;
+//! let best = outcome.best().ok_or(HeraldError::EmptySearch {
+//!     workload: "unet".into(),
+//! })?;
 //! assert!(best.report.total_latency_s() > 0.0);
+//! # Ok(())
+//! # }
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dse;
+pub mod error;
 pub mod exec;
 pub mod export;
 pub mod pareto;
 pub mod report;
+pub mod rng;
 pub mod sched;
 pub mod task;
+
+pub use error::HeraldError;
 
 pub use herald_cost::Metric;

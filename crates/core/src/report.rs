@@ -98,7 +98,10 @@ pub fn timeline_csv(graph: &TaskGraph, report: &ExecutionReport) -> String {
 /// Completion time of each model replica: the finish of its last layer.
 /// This is the per-sub-task quality-of-service view (each AR/VR sub-task
 /// has its own deadline even though the chip optimizes the aggregate).
-pub fn instance_completion_times(graph: &TaskGraph, report: &ExecutionReport) -> Vec<(String, f64)> {
+pub fn instance_completion_times(
+    graph: &TaskGraph,
+    report: &ExecutionReport,
+) -> Vec<(String, f64)> {
     let mut completion = vec![0.0f64; graph.num_instances()];
     for e in report.entries() {
         let inst = graph.instance_of(e.task);
@@ -107,12 +110,7 @@ pub fn instance_completion_times(graph: &TaskGraph, report: &ExecutionReport) ->
         }
     }
     (0..graph.num_instances())
-        .map(|i| {
-            (
-                graph.workload().instances()[i].label(),
-                completion[i],
-            )
-        })
+        .map(|i| (graph.workload().instances()[i].label(), completion[i]))
         .collect()
 }
 
@@ -218,13 +216,7 @@ mod tests {
     #[test]
     fn memory_timeline_stays_under_budget_and_drains() {
         let (graph, acc, cost, report) = setup();
-        let samples = memory_timeline(
-            &graph,
-            &report,
-            acc.global_buffer_bytes() / 4,
-            &cost,
-            &acc,
-        );
+        let samples = memory_timeline(&graph, &report, acc.global_buffer_bytes() / 4, &cost, &acc);
         assert!(!samples.is_empty());
         for (_, bytes) in &samples {
             assert!(*bytes <= acc.global_buffer_bytes());

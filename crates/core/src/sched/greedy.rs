@@ -56,12 +56,7 @@ impl Default for GreedyScheduler {
 }
 
 impl Scheduler for GreedyScheduler {
-    fn schedule(
-        &self,
-        graph: &TaskGraph,
-        acc: &AcceleratorConfig,
-        cost: &CostModel,
-    ) -> Schedule {
+    fn schedule(&self, graph: &TaskGraph, acc: &AcceleratorConfig, cost: &CostModel) -> Schedule {
         let ways = acc.sub_accelerators().len();
         let mut assignment = vec![0usize; graph.len()];
         let mut order: Vec<Vec<crate::task::TaskId>> = vec![Vec::new(); ways];
@@ -132,10 +127,7 @@ mod tests {
             .unwrap();
         assert_eq!(schedule.assignment()[conv1.0], 1);
         assert_eq!(schedule.assignment()[late.0], 0);
-        assert_eq!(
-            acc.sub_accelerators()[1].style(),
-            DataflowStyle::ShiDianNao
-        );
+        assert_eq!(acc.sub_accelerators()[1].style(), DataflowStyle::ShiDianNao);
     }
 
     #[test]

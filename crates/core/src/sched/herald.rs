@@ -137,9 +137,7 @@ impl HeraldScheduler {
                 // Rank sub-accelerators by the per-layer metric (dataflow
                 // preference).
                 let costs: Vec<LayerCost> = (0..ways)
-                    .map(|a| {
-                        acc.sub_accelerators()[a].layer_cost(cost, graph.layer(t), cfg.metric)
-                    })
+                    .map(|a| acc.sub_accelerators()[a].layer_cost(cost, graph.layer(t), cfg.metric))
                     .collect();
                 let mut ranked: Vec<usize> = (0..ways).collect();
                 ranked.sort_by(|&a, &b| {

@@ -67,12 +67,7 @@ impl Default for SchedulerConfig {
 /// configuration's sub-accelerators.
 pub trait Scheduler {
     /// Produces a complete, dependence-legal schedule.
-    fn schedule(
-        &self,
-        graph: &TaskGraph,
-        acc: &AcceleratorConfig,
-        cost: &CostModel,
-    ) -> Schedule;
+    fn schedule(&self, graph: &TaskGraph, acc: &AcceleratorConfig, cost: &CostModel) -> Schedule;
 
     /// Convenience: schedule and immediately replay, returning the report.
     ///

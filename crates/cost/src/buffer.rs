@@ -77,8 +77,7 @@ impl BufferRequirement {
         };
         BufferRequirement {
             tile_bytes: 2 * bytes_per_elem * (w_tile + i_tile + o_tile),
-            io_bytes: bytes_per_elem
-                * (layer.input_shape().elems() + layer.output_shape().elems()),
+            io_bytes: bytes_per_elem * (layer.input_shape().elems() + layer.output_shape().elems()),
             weight_bytes: bytes_per_elem * layer.weight_elems(),
         }
     }
@@ -150,8 +149,7 @@ mod tests {
     fn io_bytes_match_tensor_shapes() {
         let m = MappingBuilder::new(DataflowStyle::Eyeriss, 256).best(&layer());
         let b = BufferRequirement::for_mapping(&layer(), &m, 2);
-        let expected =
-            2 * (layer().input_shape().elems() + layer().output_shape().elems());
+        let expected = 2 * (layer().input_shape().elems() + layer().output_shape().elems());
         assert_eq!(b.io_bytes, expected);
     }
 }

@@ -4,9 +4,9 @@ use crate::latency::{latency_parts, LatencyParts};
 use crate::{BufferRequirement, EnergyBreakdown, EnergyModel, Metric, TrafficCounts};
 use herald_dataflow::{DataflowStyle, Mapping, MappingBuilder};
 use herald_models::{Layer, LayerDims, LayerOp};
-use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::RwLock;
 
 /// Tunable parameters of the cost model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -164,7 +164,10 @@ impl CostModel {
 
     /// Number of distinct queries answered so far (cache size).
     pub fn cached_queries(&self) -> usize {
-        self.cache.read().len()
+        self.cache
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 
     /// Evaluates a layer on a fixed-dataflow (sub-)accelerator.
@@ -188,11 +191,19 @@ impl CostModel {
             q.bandwidth_gbps.to_bits(),
             q.reconfigurable,
         );
-        if let Some(hit) = self.cache.read().get(&key) {
+        if let Some(hit) = self
+            .cache
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key)
+        {
             return hit.clone();
         }
         let cost = self.compute(layer, q);
-        self.cache.write().insert(key, cost.clone());
+        self.cache
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(key, cost.clone());
         cost
     }
 
@@ -513,7 +524,9 @@ mod tests {
         let strided = Layer::new(
             "s2",
             LayerOp::Conv2d,
-            LayerDims::conv(64, 64, 56, 56, 3, 3).with_stride(2).with_pad(1),
+            LayerDims::conv(64, 64, 56, 56, 3, 3)
+                .with_stride(2)
+                .with_pad(1),
         );
         let cd = m.evaluate(&dense, DataflowStyle::ShiDianNao, 1024, 16.0);
         let cs = m.evaluate(&strided, DataflowStyle::ShiDianNao, 1024, 16.0);
@@ -526,10 +539,7 @@ mod tests {
         let m = model();
         let c = m.evaluate(&conv(256, 256, 28, 3), DataflowStyle::Nvdla, 1024, 1.0);
         assert!(c.traffic_cycles > c.compute_cycles);
-        assert_eq!(
-            c.total_cycles,
-            c.traffic_cycles + c.overhead_cycles
-        );
+        assert_eq!(c.total_cycles, c.traffic_cycles + c.overhead_cycles);
     }
 
     #[test]

@@ -135,7 +135,12 @@ impl Tensors {
 /// * **Local NoC**: every input word is multicast to the `f_k` cells
 ///   sharing it, and partial sums traverse the adder tree once per `f_c`
 ///   group: `M/f_k + M/f_c` injections.
-fn nvdla_traffic(layer: &Layer, mapping: &Mapping, t: &Tensors, bufs: LocalBuffers) -> TrafficCounts {
+fn nvdla_traffic(
+    layer: &Layer,
+    mapping: &Mapping,
+    t: &Tensors,
+    bufs: LocalBuffers,
+) -> TrafficCounts {
     let fc = u64::from(mapping.factor(Dim::C));
     let fk = u64::from(mapping.factor(Dim::K));
     let k_steps = u64::from(Dim::K.extent(layer)).div_ceil(fk);
@@ -255,8 +260,7 @@ fn eyeriss_traffic(
 
     let w_refetch = capacity_refetch(y_steps, t.weights * bufs.word_bytes, bufs.local_bytes);
     let in_refetch = capacity_refetch(k_passes, t.inputs * bufs.word_bytes, bufs.local_bytes);
-    let psum_strip_bytes =
-        EYERISS_K_LOCAL * fy * u64::from(layer.out_x()) * 2 * bufs.word_bytes;
+    let psum_strip_bytes = EYERISS_K_LOCAL * fy * u64::from(layer.out_x()) * 2 * bufs.word_bytes;
     let psum_spills = if psum_strip_bytes > bufs.accum_bytes {
         2 * (fold_steps - 1)
     } else {

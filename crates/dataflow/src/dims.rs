@@ -88,7 +88,9 @@ mod tests {
         let layer = Layer::new(
             "l",
             LayerOp::Conv2d,
-            LayerDims::conv(16, 8, 10, 10, 3, 3).with_stride(2).with_pad(1),
+            LayerDims::conv(16, 8, 10, 10, 3, 3)
+                .with_stride(2)
+                .with_pad(1),
         );
         assert_eq!(Dim::K.extent(&layer), 16);
         assert_eq!(Dim::C.extent(&layer), 8);

@@ -1,7 +1,7 @@
 //! Concrete mappings: a dataflow style instantiated for one layer on one
 //! PE array.
 
-use crate::{Dim, LoopKind, LoopNest, DataflowStyle};
+use crate::{DataflowStyle, Dim, LoopKind, LoopNest};
 use herald_models::{Layer, LayerOp};
 use serde::{Deserialize, Serialize};
 
@@ -168,10 +168,7 @@ impl MappingBuilder {
     /// Panics if `pe_count` is zero.
     pub fn new(style: DataflowStyle, pe_count: u32) -> Self {
         assert!(pe_count > 0, "PE count must be positive");
-        Self {
-            style,
-            pe_count,
-        }
+        Self { style, pe_count }
     }
 
     /// The style this mapper instantiates.
@@ -347,11 +344,7 @@ mod tests {
             for style in DataflowStyle::ALL {
                 for pes in [1u32, 7, 64, 100, 1024, 16384] {
                     let m = MappingBuilder::new(style, pes).best(layer);
-                    assert!(
-                        m.active_pes() <= pes,
-                        "{style} {pes} -> {}",
-                        m.active_pes()
-                    );
+                    assert!(m.active_pes() <= pes, "{style} {pes} -> {}", m.active_pes());
                 }
             }
         }

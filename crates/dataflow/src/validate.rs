@@ -37,7 +37,11 @@ impl fmt::Display for MappingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MappingError::ZeroFactor(d) => write!(f, "spatial factor for {d} is zero"),
-            MappingError::FactorExceedsExtent { dim, factor, extent } => write!(
+            MappingError::FactorExceedsExtent {
+                dim,
+                factor,
+                extent,
+            } => write!(
                 f,
                 "spatial factor {factor} for {dim} exceeds layer extent {extent}"
             ),
@@ -80,7 +84,11 @@ pub fn validate_mapping(mapping: &Mapping, layer: &Layer) -> Result<(), MappingE
         seen.push(dim);
         let extent = dim.extent(layer);
         if factor > extent {
-            return Err(MappingError::FactorExceedsExtent { dim, factor, extent });
+            return Err(MappingError::FactorExceedsExtent {
+                dim,
+                factor,
+                extent,
+            });
         }
         active *= u64::from(factor);
     }
@@ -141,7 +149,9 @@ mod tests {
             extent: 32,
         };
         assert!(e.to_string().contains("exceeds"));
-        assert!(MappingError::ZeroFactor(Dim::K).to_string().contains("zero"));
+        assert!(MappingError::ZeroFactor(Dim::K)
+            .to_string()
+            .contains("zero"));
         assert!(MappingError::IllegalChannelAccumulation
             .to_string()
             .contains("depth-wise"));

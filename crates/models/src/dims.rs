@@ -188,7 +188,9 @@ mod tests {
 
     #[test]
     fn conv_arithmetic_strided() {
-        let d = LayerDims::conv(64, 3, 224, 224, 7, 7).with_stride(2).with_pad(3);
+        let d = LayerDims::conv(64, 3, 224, 224, 7, 7)
+            .with_stride(2)
+            .with_pad(3);
         assert_eq!(d.out_y(), 112);
     }
 
@@ -216,7 +218,9 @@ mod tests {
     #[test]
     fn channel_activation_ratio_matches_table1_examples() {
         // ResNet-50 conv1: 3 / 224 = 0.0134 (Table I min for Resnet50).
-        let conv1 = LayerDims::conv(64, 3, 224, 224, 7, 7).with_stride(2).with_pad(3);
+        let conv1 = LayerDims::conv(64, 3, 224, 224, 7, 7)
+            .with_stride(2)
+            .with_pad(3);
         assert!((conv1.channel_activation_ratio() - 0.0134).abs() < 1e-3);
         // UNet first conv: 1 / 572 = 0.0017 (Table I min for UNet).
         let unet1 = LayerDims::conv(64, 1, 572, 572, 3, 3);

@@ -309,7 +309,10 @@ mod tests {
 
     #[test]
     fn empty_model_rejected() {
-        assert_eq!(ModelBuilder::new("m").build().unwrap_err(), ModelError::Empty);
+        assert_eq!(
+            ModelBuilder::new("m").build().unwrap_err(),
+            ModelError::Empty
+        );
     }
 
     #[test]
@@ -330,7 +333,10 @@ mod tests {
             .chain("b", LayerOp::Conv2d, dims())
             .build()
             .unwrap();
-        assert_eq!(m.total_macs(), m.layer(LayerId(0)).macs() + m.layer(LayerId(1)).macs());
+        assert_eq!(
+            m.total_macs(),
+            m.layer(LayerId(0)).macs() + m.layer(LayerId(1)).macs()
+        );
         assert!(m.total_weight_elems() > 0);
     }
 

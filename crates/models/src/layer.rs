@@ -90,11 +90,7 @@ impl Layer {
             );
         }
         if op == LayerOp::Fc {
-            assert_eq!(
-                (dims.r, dims.s),
-                (1, 1),
-                "FC layers must have a 1x1 filter"
-            );
+            assert_eq!((dims.r, dims.s), (1, 1), "FC layers must have a 1x1 filter");
         }
         if op == LayerOp::PointwiseConv {
             assert_eq!(

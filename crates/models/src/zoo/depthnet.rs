@@ -48,7 +48,11 @@ pub fn focal_depthnet() -> DnnModel {
     // FC head. fc1 is encoded as a 7x7 valid conv over the pooled 7x7x512
     // map (the FC-as-conv form used throughout the zoo); fc2 is the paper's
     // "FC layer 2" with 4096x4096 weights.
-    b = b.chain("fc1", LayerOp::Conv2d, LayerDims::conv(4096, 512, 7, 7, 7, 7));
+    b = b.chain(
+        "fc1",
+        LayerOp::Conv2d,
+        LayerDims::conv(4096, 512, 7, 7, 7, 7),
+    );
     b = b.chain("fc2", LayerOp::Fc, LayerDims::fc(4096, 4096));
     // Re-projection to a coarse spatial map for the decoder (7x7x128).
     b = b.chain("fc3", LayerOp::Fc, LayerDims::fc(6272, 4096));
@@ -73,7 +77,11 @@ pub fn focal_depthnet() -> DnnModel {
         ch = out;
     }
     // Final depth regression head.
-    b = b.chain("depth_head", LayerOp::PointwiseConv, LayerDims::conv(1, 8, 112, 112, 1, 1));
+    b = b.chain(
+        "depth_head",
+        LayerOp::PointwiseConv,
+        LayerDims::conv(1, 8, 112, 112, 1, 1),
+    );
 
     b.build().expect("focal_depthnet definition is valid")
 }
@@ -103,7 +111,10 @@ mod tests {
         // (FC layer 2, Focal Length DepthNet)" = 4096 x 4096.
         let m = focal_depthnet();
         let fc2 = m.layer(m.layer_id("fc2").unwrap());
-        assert_eq!(u64::from(fc2.dims().k) * u64::from(fc2.dims().c), 16_777_216);
+        assert_eq!(
+            u64::from(fc2.dims().k) * u64::from(fc2.dims().c),
+            16_777_216
+        );
     }
 
     #[test]

@@ -49,8 +49,16 @@ pub fn gnmt() -> DnnModel {
     }
 
     // Attention: score and context projections.
-    b = b.chain("attn_query", LayerOp::Fc, LayerDims::gemm(HIDDEN, HIDDEN, SEQ_LEN));
-    b = b.chain("attn_context", LayerOp::Fc, LayerDims::gemm(HIDDEN, HIDDEN, SEQ_LEN));
+    b = b.chain(
+        "attn_query",
+        LayerOp::Fc,
+        LayerDims::gemm(HIDDEN, HIDDEN, SEQ_LEN),
+    );
+    b = b.chain(
+        "attn_context",
+        LayerOp::Fc,
+        LayerDims::gemm(HIDDEN, HIDDEN, SEQ_LEN),
+    );
 
     for i in 1..=8u32 {
         // Decoder layer 1 consumes [embedding; attention context].
@@ -67,7 +75,11 @@ pub fn gnmt() -> DnnModel {
         );
     }
 
-    b = b.chain("vocab_proj", LayerOp::Fc, LayerDims::gemm(VOCAB, HIDDEN, SEQ_LEN));
+    b = b.chain(
+        "vocab_proj",
+        LayerOp::Fc,
+        LayerDims::gemm(VOCAB, HIDDEN, SEQ_LEN),
+    );
     b.build().expect("gnmt definition is valid")
 }
 

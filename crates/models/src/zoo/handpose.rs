@@ -61,9 +61,17 @@ pub fn brq_handpose() -> DnnModel {
             LayerDims::fc(1024, 1024),
             &[global],
         );
-        b = b.chain(format!("{branch}_fc2"), LayerOp::Fc, LayerDims::fc(1024, 1024));
+        b = b.chain(
+            format!("{branch}_fc2"),
+            LayerOp::Fc,
+            LayerDims::fc(1024, 1024),
+        );
         // 4 joints x 3 coordinates per branch.
-        b = b.chain(format!("{branch}_joints"), LayerOp::Fc, LayerDims::fc(12, 1024));
+        b = b.chain(
+            format!("{branch}_joints"),
+            LayerOp::Fc,
+            LayerDims::fc(12, 1024),
+        );
     }
 
     b.build().expect("brq_handpose definition is valid")

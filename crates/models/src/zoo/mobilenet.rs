@@ -143,7 +143,12 @@ pub fn mobilenet_v2() -> DnnModel {
             b = if t != 1 {
                 b.chain(format!("b{idx}_dw"), LayerOp::DepthwiseConv, dw_dims)
             } else {
-                b.layer_with_deps(format!("b{idx}_dw"), LayerOp::DepthwiseConv, dw_dims, &input_deps)
+                b.layer_with_deps(
+                    format!("b{idx}_dw"),
+                    LayerOp::DepthwiseConv,
+                    dw_dims,
+                    &input_deps,
+                )
             };
             y = y.div_ceil(stride);
             // Linear projection point-wise conv.

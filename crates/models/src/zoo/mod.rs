@@ -106,7 +106,13 @@ mod tests {
     fn table1_ratio_spread_is_extreme() {
         // The paper quotes a 315076x spread across AR/VR models; across our
         // zoo the spread must likewise be >= 5 orders of magnitude.
-        let models = [resnet50(), mobilenet_v2(), unet(), brq_handpose(), focal_depthnet()];
+        let models = [
+            resnet50(),
+            mobilenet_v2(),
+            unet(),
+            brq_handpose(),
+            focal_depthnet(),
+        ];
         let mut min = f64::INFINITY;
         let mut max = 0.0f64;
         for m in &models {

@@ -168,7 +168,12 @@ fn rename(model: DnnModel, name: &str) -> DnnModel {
     // DnnModel is immutable by design; rebuild with the new name.
     let mut b = ModelBuilder::new(name);
     for (id, layer) in model.iter() {
-        b = b.layer_with_deps(layer.name(), layer.op(), *layer.dims(), model.predecessors(id));
+        b = b.layer_with_deps(
+            layer.name(),
+            layer.op(),
+            *layer.dims(),
+            model.predecessors(id),
+        );
     }
     b.build().expect("renamed model preserves validity")
 }

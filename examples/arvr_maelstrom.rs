@@ -1,15 +1,15 @@
 //! End-to-end reproduction of the paper's headline flow on one scenario:
 //! co-optimize a Maelstrom HDA for the AR/VR-B workload on a mobile-class
-//! budget, then compare against the best FDA and the MAERI-style RDA.
+//! budget, then compare against the best FDA and the MAERI-style RDA —
+//! all through the [`Experiment`] facade.
 //!
 //! ```sh
 //! cargo run --release --example arvr_maelstrom
 //! ```
 
 use herald::prelude::*;
-use herald_arch::AcceleratorConfig;
 
-fn main() {
+fn main() -> Result<(), HeraldError> {
     let workload = herald::workloads::arvr_b();
     let class = AcceleratorClass::Mobile;
     let resources = class.resources();
@@ -23,50 +23,52 @@ fn main() {
 
     // Hardware/schedule co-optimization (Sec. IV): sweep NVDLA/Shi-diannao
     // partitions, schedule each candidate, keep the EDP-best design.
-    let dse = DseEngine::new(DseConfig::default());
-    let outcome = dse.co_optimize(
-        &workload,
-        resources,
-        &[DataflowStyle::Nvdla, DataflowStyle::ShiDianNao],
-    );
-    let best = outcome.best().expect("non-empty design space");
+    let maelstrom = Experiment::new(workload.clone())
+        .on(class)
+        .with_styles([DataflowStyle::Nvdla, DataflowStyle::ShiDianNao])
+        .run()?;
     println!(
         "\nMaelstrom (co-optimized): partition {} -> {}",
-        best.partition, best.report
+        maelstrom.best().partition,
+        maelstrom.report()
     );
 
-    // Baselines.
+    // Baselines, each a fixed-target experiment.
     let mut best_fda: Option<(String, f64, f64)> = None;
     for style in DataflowStyle::ALL {
         let cfg = AcceleratorConfig::fda(style, resources);
-        let r = dse.evaluate_config(&workload, &cfg);
-        println!("{:<18} {r}", cfg.name());
-        if best_fda
-            .as_ref()
-            .is_none_or(|(_, _, edp)| r.edp() < *edp)
-        {
-            best_fda = Some((cfg.name().to_string(), r.total_latency_s(), r.edp()));
+        let name = cfg.name().to_string();
+        let r = Experiment::new(workload.clone())
+            .on_accelerator(cfg)
+            .run()?;
+        println!("{:<18} {}", name, r.report());
+        if best_fda.as_ref().is_none_or(|(_, _, edp)| r.edp() < *edp) {
+            best_fda = Some((name, r.latency_s(), r.edp()));
         }
     }
-    let rda = dse.evaluate_config(&workload, &AcceleratorConfig::rda(resources));
-    println!("{:<18} {rda}", "RDA-MAERI");
+    let rda = Experiment::new(workload)
+        .on_accelerator(AcceleratorConfig::rda(resources))
+        .run()?;
+    println!("{:<18} {}", "RDA-MAERI", rda.report());
 
-    let (fda_name, fda_lat, fda_edp) = best_fda.expect("three FDAs");
+    let Some((fda_name, fda_lat, fda_edp)) = best_fda else {
+        unreachable!("DataflowStyle::ALL is non-empty");
+    };
     println!(
         "\nMaelstrom vs best FDA ({fda_name}): latency {:+.1}%, EDP {:+.1}%",
-        (1.0 - best.latency_s() / fda_lat) * 100.0,
-        (1.0 - best.edp() / fda_edp) * 100.0,
+        (1.0 - maelstrom.latency_s() / fda_lat) * 100.0,
+        (1.0 - maelstrom.edp() / fda_edp) * 100.0,
     );
     println!(
         "Maelstrom vs RDA: latency {:+.1}%, energy {:+.1}% \
          (paper: RDA wins latency, HDA wins energy)",
-        (1.0 - best.latency_s() / rda.total_latency_s()) * 100.0,
-        (1.0 - best.energy_j() / rda.total_energy_j()) * 100.0,
+        (1.0 - maelstrom.latency_s() / rda.latency_s()) * 100.0,
+        (1.0 - maelstrom.energy_j() / rda.energy_j()) * 100.0,
     );
 
     // The Pareto frontier of the explored partitions.
     println!("\nPareto-optimal Maelstrom partitions:");
-    for p in outcome.pareto() {
+    for p in maelstrom.pareto() {
         println!(
             "  {}  lat {:.5}s  energy {:.5}J",
             p.partition,
@@ -74,4 +76,5 @@ fn main() {
             p.energy_j()
         );
     }
+    Ok(())
 }

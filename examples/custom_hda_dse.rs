@@ -1,13 +1,12 @@
 //! Bring your own network: define a custom DNN with [`ModelBuilder`],
 //! combine it with zoo models into a workload, and explore three-way HDA
-//! designs with random-search DSE.
+//! designs with random-search DSE through the [`Experiment`] facade.
 //!
 //! ```sh
 //! cargo run --release --example custom_hda_dse
 //! ```
 
 use herald::prelude::*;
-use herald_core::dse::SearchStrategy;
 use herald_models::{zoo, LayerDims};
 use herald_workloads::MultiDnnWorkload;
 
@@ -16,20 +15,36 @@ use herald_workloads::MultiDnnWorkload;
 /// favours output-stationary dataflows.
 fn upscaler() -> DnnModel {
     ModelBuilder::new("ToyUpscaler")
-        .chain("conv1", LayerOp::Conv2d, LayerDims::conv(32, 3, 256, 256, 3, 3).with_pad(1))
-        .chain("conv2", LayerOp::Conv2d, LayerDims::conv(32, 32, 256, 256, 3, 3).with_pad(1))
-        .chain("conv3", LayerOp::Conv2d, LayerDims::conv(64, 32, 256, 256, 3, 3).with_pad(1))
+        .chain(
+            "conv1",
+            LayerOp::Conv2d,
+            LayerDims::conv(32, 3, 256, 256, 3, 3).with_pad(1),
+        )
+        .chain(
+            "conv2",
+            LayerOp::Conv2d,
+            LayerDims::conv(32, 32, 256, 256, 3, 3).with_pad(1),
+        )
+        .chain(
+            "conv3",
+            LayerOp::Conv2d,
+            LayerDims::conv(64, 32, 256, 256, 3, 3).with_pad(1),
+        )
         .chain(
             "up1",
             LayerOp::TransposedConv,
             LayerDims::conv(32, 64, 256, 256, 2, 2).with_stride(2),
         )
-        .chain("head", LayerOp::PointwiseConv, LayerDims::conv(3, 32, 512, 512, 1, 1))
+        .chain(
+            "head",
+            LayerOp::PointwiseConv,
+            LayerDims::conv(3, 32, 512, 512, 1, 1),
+        )
         .build()
         .expect("valid model")
 }
 
-fn main() {
+fn main() -> Result<(), HeraldError> {
     let custom = upscaler();
     println!(
         "custom model: {} ({} layers, {:.2} GMACs)",
@@ -47,32 +62,29 @@ fn main() {
     println!("workload: {workload}");
 
     // Random-search DSE over a 3-way HDA (all three dataflow styles).
-    let config = DseConfig {
-        strategy: SearchStrategy::Random {
-            samples: 24,
-            seed: 2021,
-        },
-        pe_steps: 16,
-        bw_steps: 4,
-        ..DseConfig::default()
-    };
-    let dse = DseEngine::new(config);
-    let outcome = dse.co_optimize(
-        &workload,
-        AcceleratorClass::Mobile.resources(),
-        &[
+    let outcome = Experiment::new(workload)
+        .on(AcceleratorClass::Mobile)
+        .with_styles([
             DataflowStyle::Nvdla,
             DataflowStyle::ShiDianNao,
             DataflowStyle::Eyeriss,
-        ],
-    );
+        ])
+        .strategy(SearchStrategy::Random {
+            samples: 24,
+            seed: 2021,
+        })
+        .granularity(16, 4)
+        .run()?;
 
-    println!("\nexplored {} random 3-way partitions", outcome.points.len());
-    let best = outcome.best().expect("non-empty design space");
+    println!(
+        "\nexplored {} random 3-way partitions",
+        outcome.points().len()
+    );
+    let best = outcome.best();
     println!("best: {} -> {}", best.partition, best.report);
 
     println!("\ntop 5 by EDP:");
-    let mut ranked: Vec<_> = outcome.points.iter().collect();
+    let mut ranked: Vec<_> = outcome.points().iter().collect();
     ranked.sort_by(|a, b| a.edp().partial_cmp(&b.edp()).expect("finite EDP"));
     for p in ranked.iter().take(5) {
         println!(
@@ -94,4 +106,5 @@ fn main() {
             best.report.acc_utilization(i) * 100.0
         );
     }
+    Ok(())
 }

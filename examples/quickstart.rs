@@ -1,17 +1,16 @@
-//! Quickstart: schedule a two-model workload on a Maelstrom-style HDA and
-//! inspect the result.
+//! Quickstart: evaluate a two-model workload on a Maelstrom-style HDA
+//! through the [`Experiment`] facade and inspect the result.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
 use herald::prelude::*;
-use herald_arch::Partition;
 use herald_core::task::TaskGraph;
 use herald_models::zoo;
 use herald_workloads::MultiDnnWorkload;
 
-fn main() {
+fn main() -> Result<(), HeraldError> {
     // 1. A multi-DNN workload: one classifier, two detector replicas.
     let workload = MultiDnnWorkload::new("quickstart")
         .with_model(zoo::resnet50(), 1)
@@ -21,20 +20,18 @@ fn main() {
     // 2. An edge-class Maelstrom: NVDLA-style + Shi-diannao-style
     //    sub-accelerators with the paper's Table V edge partition.
     let resources = AcceleratorClass::Edge.resources();
-    let maelstrom = herald_arch::AcceleratorConfig::maelstrom(
+    let maelstrom = AcceleratorConfig::maelstrom(
         resources,
-        Partition::new(vec![128, 896], vec![4.0, 12.0]).expect("valid split"),
-    )
-    .expect("within budget");
+        Partition::new(vec![128, 896], vec![4.0, 12.0])
+            .map_err(|reason| HeraldError::InvalidResources { reason })?,
+    )?;
     println!("accelerator: {maelstrom}");
 
-    // 3. Schedule with Herald's scheduler and replay on the execution
-    //    model.
+    // 3. One experiment: schedule with Herald's scheduler and replay on
+    //    the execution model. The graph is only rebuilt for labelling.
     let graph = TaskGraph::new(&workload);
-    let cost = CostModel::default();
-    let report = HeraldScheduler::new(SchedulerConfig::default())
-        .schedule_and_simulate(&graph, &maelstrom, &cost)
-        .expect("herald schedules are legal");
+    let outcome = Experiment::new(workload).on_accelerator(maelstrom).run()?;
+    let report = outcome.report();
 
     println!("\nresult: {report}");
     for (i, acc) in report.per_acc().iter().enumerate() {
@@ -63,9 +60,10 @@ fn main() {
 
     // 5. The whole schedule at a glance, plus per-model completion times.
     println!("\nGantt ('#' busy, '+' partial, '.' trace):");
-    print!("{}", herald_core::report::gantt(&report, 64));
+    print!("{}", herald_core::report::gantt(report, 64));
     println!("per-model completion:");
-    for (label, t) in herald_core::report::instance_completion_times(&graph, &report) {
+    for (label, t) in herald_core::report::instance_completion_times(&graph, report) {
         println!("  {label:<18} {t:.5}s");
     }
+    Ok(())
 }

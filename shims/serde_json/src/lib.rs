@@ -1,0 +1,124 @@
+//! Offline stand-in for `serde_json` (see `shims/README.md`).
+//!
+//! Renders and parses the shim `serde` crate's [`Value`] tree as JSON,
+//! mirroring the subset of the real crate's API the Herald workspace
+//! uses: [`to_string`], [`to_string_pretty`], [`from_str`], [`Value`]
+//! with `Index`/`IndexMut`, and the [`json!`] macro.
+
+pub use serde::Value;
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// JSON (de)serialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Wraps a message, like `serde_json::Error::custom`.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Self::custom(e.to_string())
+    }
+}
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+///
+/// Infallible for the shim's value model; the `Result` mirrors the real
+/// crate's signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json())
+}
+
+/// Serializes a value to pretty (two-space indented) JSON.
+///
+/// # Errors
+///
+/// Infallible for the shim's value model; the `Result` mirrors the real
+/// crate's signature.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json_pretty())
+}
+
+/// Deserializes a value from JSON text.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on malformed JSON or shape mismatches.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = Value::parse_json(text)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Builds a [`Value`] from literals and expressions — a subset of the
+/// real macro. Values are Rust expressions (anything `Serialize`); nest
+/// objects with explicit inner `json!({...})` calls.
+#[macro_export]
+macro_rules! json {
+    (null) => {
+        $crate::Value::Null
+    };
+    ([$($elem:expr),* $(,)?]) => {
+        $crate::Value::Seq(vec![$($crate::to_value(&$elem)),*])
+    };
+    ({$($key:literal : $val:expr),* $(,)?}) => {
+        $crate::Value::Map(vec![$((String::from($key), $crate::to_value(&$val))),*])
+    };
+    ($other:expr) => {
+        $crate::to_value(&$other)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_derived_values() {
+        let v: Vec<(String, u32)> = vec![("a".into(), 1), ("b".into(), 2)];
+        let json = to_string(&v).unwrap();
+        let back: Vec<(String, u32)> = from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn json_macro_covers_literals() {
+        assert_eq!(json!(3), Value::UInt(3));
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(
+            json!([1, 2]),
+            Value::Seq(vec![Value::UInt(1), Value::UInt(2)])
+        );
+        assert_eq!(
+            json!({"k": 1}),
+            Value::Map(vec![("k".into(), Value::UInt(1))])
+        );
+    }
+
+    #[test]
+    fn malformed_json_errors() {
+        assert!(from_str::<u32>("{oops").is_err());
+    }
+}

@@ -1,0 +1,617 @@
+//! The [`Experiment`] facade: one validated, fallible entry point for
+//! the whole Herald pipeline.
+//!
+//! The seed exposed three separate entry points — `DseEngine` for
+//! co-optimization, `Scheduler::schedule_and_simulate` for fixed designs,
+//! and `ScheduleSimulator` for replay — each with its own panic paths.
+//! `Experiment` unifies them behind a builder: describe the workload, the
+//! hardware target (a class budget to search over, or a fixed
+//! accelerator to evaluate), and the search knobs, then call
+//! [`Experiment::run`] for a typed `Result`.
+//!
+//! ```
+//! use herald::prelude::*;
+//!
+//! # fn main() -> Result<(), HeraldError> {
+//! let outcome = Experiment::new(herald::workloads::arvr_a())
+//!     .on(AcceleratorClass::Edge)
+//!     .with_styles([DataflowStyle::Nvdla, DataflowStyle::ShiDianNao])
+//!     .fast()
+//!     .run()?;
+//! assert!(outcome.best().latency_s() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+use herald_arch::{AcceleratorClass, AcceleratorConfig, HardwareResources, Partition};
+use herald_core::dse::{DesignPoint, DseConfig, DseEngine, SearchStrategy};
+use herald_core::error::HeraldError;
+use herald_core::sched::SchedulerConfig;
+use herald_cost::Metric;
+use herald_dataflow::DataflowStyle;
+use herald_workloads::MultiDnnWorkload;
+use serde::Serialize;
+
+/// A builder describing one Herald experiment end to end.
+///
+/// Construct with [`Experiment::new`], chain configuration, finish with
+/// [`Experiment::run`]. All validation happens in `run`, which returns a
+/// [`HeraldError`] instead of panicking on bad input.
+///
+/// The target is whichever kind of call came last: `.on_accelerator`
+/// switches to fixed-target evaluation, while `.on` / `.with_resources`
+/// / `.with_styles` switch (back) to a partition search. Search settings
+/// accumulate — switching to a fixed target and back never discards a
+/// previously configured budget or style set.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    workload: MultiDnnWorkload,
+    resources: Option<HardwareResources>,
+    styles: Vec<DataflowStyle>,
+    fixed: Option<AcceleratorConfig>,
+    dse: DseConfig,
+    metric: Option<Metric>,
+    fast: bool,
+    scheduler_explicit: bool,
+    refine_rounds: usize,
+}
+
+impl Experiment {
+    /// Starts an experiment on a workload.
+    pub fn new(workload: MultiDnnWorkload) -> Self {
+        Self {
+            workload,
+            resources: None,
+            styles: Vec::new(),
+            fixed: None,
+            dse: DseConfig::default(),
+            metric: None,
+            fast: false,
+            scheduler_explicit: false,
+            refine_rounds: 0,
+        }
+    }
+
+    /// Targets one of the paper's accelerator classes (edge / mobile /
+    /// cloud resource budgets).
+    #[must_use]
+    pub fn on(self, class: AcceleratorClass) -> Self {
+        self.with_resources(class.resources())
+    }
+
+    /// Targets an explicit resource budget (and switches back to search
+    /// mode if a fixed accelerator was set).
+    #[must_use]
+    pub fn with_resources(mut self, resources: HardwareResources) -> Self {
+        self.resources = Some(resources);
+        self.fixed = None;
+        self
+    }
+
+    /// Sets the dataflow styles of the HDA search (one sub-accelerator
+    /// per style; at least two are required). Switches back to search
+    /// mode if a fixed accelerator was set.
+    #[must_use]
+    pub fn with_styles(mut self, styles: impl IntoIterator<Item = DataflowStyle>) -> Self {
+        self.styles = styles.into_iter().collect();
+        self.fixed = None;
+        self
+    }
+
+    /// Evaluates a fixed accelerator (FDA, SM-FDA, RDA, or a
+    /// pre-partitioned HDA) instead of searching partitions.
+    #[must_use]
+    pub fn on_accelerator(mut self, config: AcceleratorConfig) -> Self {
+        self.fixed = Some(config);
+        self
+    }
+
+    /// Sets the partition-search strategy.
+    #[must_use]
+    pub fn strategy(mut self, strategy: SearchStrategy) -> Self {
+        self.dse.strategy = strategy;
+        self
+    }
+
+    /// Sets the optimization metric for both the DSE ranking and the
+    /// per-candidate scheduler. Applied when `run` is called, so it wins
+    /// over metrics embedded in [`Experiment::scheduler`] /
+    /// [`Experiment::dse_config`] regardless of call order — the two can
+    /// never silently desync.
+    #[must_use]
+    pub fn metric(mut self, metric: Metric) -> Self {
+        self.metric = Some(metric);
+        self
+    }
+
+    /// Overrides the scheduler configuration. An explicit scheduler is
+    /// respected verbatim — [`Experiment::fast`] will not override its
+    /// post-processing choice, in either call order.
+    #[must_use]
+    pub fn scheduler(mut self, scheduler: SchedulerConfig) -> Self {
+        self.dse.scheduler = scheduler;
+        self.scheduler_explicit = true;
+        self
+    }
+
+    /// Overrides the full DSE configuration (granularity, parallelism,
+    /// strategy, scheduler) in one call. Like [`Experiment::scheduler`],
+    /// the embedded scheduler is treated as explicit.
+    #[must_use]
+    pub fn dse_config(mut self, config: DseConfig) -> Self {
+        self.dse = config;
+        self.scheduler_explicit = true;
+        self
+    }
+
+    /// Sets the PE / bandwidth split granularity of the sweep.
+    #[must_use]
+    pub fn granularity(mut self, pe_steps: usize, bw_steps: usize) -> Self {
+        self.dse.pe_steps = pe_steps;
+        self.dse.bw_steps = bw_steps;
+        self
+    }
+
+    /// Switches to the coarse, seconds-scale preset
+    /// ([`DseConfig::fast`]), keeping the configured strategy and metric.
+    /// The granularity is applied immediately (a later
+    /// [`Experiment::granularity`] call still wins); the preset's
+    /// post-processing shortcut is applied at `run` and yields to any
+    /// explicitly configured scheduler, regardless of call order.
+    #[must_use]
+    pub fn fast(mut self) -> Self {
+        let fast = DseConfig::fast();
+        self.dse.pe_steps = fast.pe_steps;
+        self.dse.bw_steps = fast.bw_steps;
+        self.fast = true;
+        self
+    }
+
+    /// Enables hierarchical refinement around the incumbent best for
+    /// `rounds` rounds after the main sweep.
+    #[must_use]
+    pub fn refined(mut self, rounds: usize) -> Self {
+        self.refine_rounds = rounds;
+        self
+    }
+
+    /// Validates the description and runs the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// * [`HeraldError::EmptyWorkload`] — the workload has no layers;
+    /// * [`HeraldError::InvalidResources`] — zero PEs, non-positive
+    ///   bandwidth, empty global buffer, or no target specified;
+    /// * [`HeraldError::TooFewStyles`] — an HDA search with fewer than
+    ///   two dataflow styles;
+    /// * [`HeraldError::EmptySearch`] — no candidate partition produced a
+    ///   feasible design;
+    /// * [`HeraldError::Simulation`] — a schedule failed to replay
+    ///   (indicates a scheduler bug).
+    pub fn run(mut self) -> Result<ExperimentOutcome, HeraldError> {
+        if self.workload.total_layers() == 0 {
+            return Err(HeraldError::EmptyWorkload {
+                workload: self.workload.name().to_string(),
+            });
+        }
+        if self.fast && !self.scheduler_explicit {
+            self.dse.scheduler.post_process = DseConfig::fast().scheduler.post_process;
+        }
+        if let Some(metric) = self.metric {
+            self.dse.metric = metric;
+            self.dse.scheduler.metric = metric;
+        }
+        let engine = DseEngine::new(self.dse);
+        if let Some(config) = self.fixed {
+            let report = engine.evaluate_config(&self.workload, &config)?;
+            let partition = partition_of(&config)?;
+            let point = DesignPoint {
+                partition,
+                config,
+                report,
+            };
+            return Ok(ExperimentOutcome {
+                workload: self.workload.name().to_string(),
+                accelerator: point.config.name().to_string(),
+                metric: self.dse.metric,
+                best_index: 0,
+                points: vec![point],
+            });
+        }
+        let resources = self
+            .resources
+            .ok_or_else(|| HeraldError::InvalidResources {
+                reason: "no accelerator class or resource budget specified \
+                     (call .on(...) or .with_resources(...))"
+                    .to_string(),
+            })?;
+        validate_resources(resources)?;
+        let outcome = if self.refine_rounds > 0 {
+            engine.co_optimize_refined(
+                &self.workload,
+                resources,
+                &self.styles,
+                self.refine_rounds,
+            )?
+        } else {
+            engine.co_optimize(&self.workload, resources, &self.styles)?
+        };
+        let best_index = best_index(&outcome.points, self.dse.metric).ok_or_else(|| {
+            HeraldError::EmptySearch {
+                workload: self.workload.name().to_string(),
+            }
+        })?;
+        Ok(ExperimentOutcome {
+            workload: self.workload.name().to_string(),
+            accelerator: outcome.points[best_index].config.name().to_string(),
+            metric: self.dse.metric,
+            best_index,
+            points: outcome.points,
+        })
+    }
+}
+
+fn validate_resources(res: HardwareResources) -> Result<(), HeraldError> {
+    if res.pes == 0 {
+        return Err(HeraldError::InvalidResources {
+            reason: "zero processing elements".to_string(),
+        });
+    }
+    if res.bandwidth_gbps <= 0.0 {
+        return Err(HeraldError::InvalidResources {
+            reason: format!("non-positive bandwidth ({} GB/s)", res.bandwidth_gbps),
+        });
+    }
+    if res.global_buffer_bytes == 0 {
+        return Err(HeraldError::InvalidResources {
+            reason: "empty global buffer".to_string(),
+        });
+    }
+    Ok(())
+}
+
+/// Reconstructs the resource partition implied by a fixed configuration's
+/// sub-accelerators, so fixed evaluations and searches share the
+/// [`DesignPoint`] shape.
+fn partition_of(config: &AcceleratorConfig) -> Result<Partition, HeraldError> {
+    let pes: Vec<u32> = config.sub_accelerators().iter().map(|s| s.pes()).collect();
+    let bw: Vec<f64> = config
+        .sub_accelerators()
+        .iter()
+        .map(|s| s.bandwidth_gbps())
+        .collect();
+    Partition::new(pes, bw).map_err(|msg| HeraldError::InvalidResources { reason: msg })
+}
+
+fn best_index(points: &[DesignPoint], metric: Metric) -> Option<usize> {
+    points
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            a.report
+                .score(metric)
+                .partial_cmp(&b.report.score(metric))
+                .expect("scores are finite")
+        })
+        .map(|(i, _)| i)
+}
+
+/// The result of a run [`Experiment`]: the winning design plus the full
+/// explored cloud, serializable for artifact pipelines.
+///
+/// The design cloud is only reachable through accessors, and
+/// deserialization validates the winner invariant (non-empty cloud,
+/// in-range winner index), so [`ExperimentOutcome::best`] is total: no
+/// reachable state makes it panic.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ExperimentOutcome {
+    /// Name of the workload evaluated.
+    pub workload: String,
+    /// Name of the winning accelerator configuration.
+    pub accelerator: String,
+    /// Metric the winner minimizes.
+    pub metric: Metric,
+    best_index: usize,
+    points: Vec<DesignPoint>,
+}
+
+// Hand-written so that *every* deserialization path — `from_json` and
+// direct `serde_json::from_str` alike — enforces the winner invariant
+// the accessors rely on. Mirrors the field layout the derive would use.
+impl serde::Deserialize for ExperimentOutcome {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        const TY: &str = "ExperimentOutcome";
+        let entries = serde::shim::entries(v, TY)?;
+        let field = |name| serde::shim::field(entries, name, TY);
+        let outcome = ExperimentOutcome {
+            workload: serde::Deserialize::from_value(field("workload")?)?,
+            accelerator: serde::Deserialize::from_value(field("accelerator")?)?,
+            metric: serde::Deserialize::from_value(field("metric")?)?,
+            best_index: serde::Deserialize::from_value(field("best_index")?)?,
+            points: serde::Deserialize::from_value(field("points")?)?,
+        };
+        if outcome.points.is_empty() {
+            return Err(serde::DeError::custom("outcome has no design points"));
+        }
+        if outcome.best_index >= outcome.points().len() {
+            return Err(serde::DeError::custom(format!(
+                "best index {} out of range ({} points)",
+                outcome.best_index,
+                outcome.points().len()
+            )));
+        }
+        Ok(outcome)
+    }
+}
+
+impl ExperimentOutcome {
+    /// The winning design point.
+    pub fn best(&self) -> &DesignPoint {
+        &self.points[self.best_index]
+    }
+
+    /// Every evaluated design point (a single entry for fixed-target
+    /// experiments; the whole sweep cloud for searches).
+    pub fn points(&self) -> &[DesignPoint] {
+        &self.points
+    }
+
+    /// The winning design's execution report.
+    pub fn report(&self) -> &herald_core::exec::ExecutionReport {
+        &self.best().report
+    }
+
+    /// Winning latency, seconds.
+    pub fn latency_s(&self) -> f64 {
+        self.best().latency_s()
+    }
+
+    /// Winning energy, joules.
+    pub fn energy_j(&self) -> f64 {
+        self.best().energy_j()
+    }
+
+    /// Winning energy-delay product, J*s.
+    pub fn edp(&self) -> f64 {
+        self.best().edp()
+    }
+
+    /// The latency/energy Pareto frontier of the explored cloud.
+    pub fn pareto(&self) -> Vec<&DesignPoint> {
+        let coords: Vec<(f64, f64)> = self
+            .points
+            .iter()
+            .map(|p| (p.latency_s(), p.energy_j()))
+            .collect();
+        herald_core::pareto::pareto_frontier(&coords)
+            .into_iter()
+            .map(|i| &self.points[i])
+            .collect()
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HeraldError::Serialization`] (not expected for this
+    /// type).
+    pub fn to_json(&self) -> Result<String, HeraldError> {
+        Ok(serde_json::to_string_pretty(self)?)
+    }
+
+    /// Deserializes from JSON. The winner invariant (non-empty cloud,
+    /// in-range index) is enforced by the `Deserialize` impl itself, so
+    /// direct `serde_json::from_str` is equally safe.
+    ///
+    /// # Errors
+    ///
+    /// [`HeraldError::Serialization`] on malformed JSON or an empty /
+    /// inconsistent design cloud.
+    pub fn from_json(json: &str) -> Result<Self, HeraldError> {
+        Ok(serde_json::from_str(json)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use herald_models::zoo;
+
+    fn workload() -> MultiDnnWorkload {
+        herald_workloads::single_model(zoo::mobilenet_v1(), 2)
+    }
+
+    fn styles() -> [DataflowStyle; 2] {
+        [DataflowStyle::Nvdla, DataflowStyle::ShiDianNao]
+    }
+
+    #[test]
+    fn search_finds_a_best_design() {
+        let outcome = Experiment::new(workload())
+            .on(AcceleratorClass::Edge)
+            .with_styles(styles())
+            .fast()
+            .run()
+            .unwrap();
+        assert!(outcome.latency_s() > 0.0);
+        assert!(outcome.points().len() > 1);
+        assert!(outcome.pareto().contains(&outcome.best()));
+    }
+
+    #[test]
+    fn fixed_target_evaluates_one_point() {
+        let outcome = Experiment::new(workload())
+            .on_accelerator(AcceleratorConfig::fda(
+                DataflowStyle::Nvdla,
+                AcceleratorClass::Edge.resources(),
+            ))
+            .run()
+            .unwrap();
+        assert_eq!(outcome.points().len(), 1);
+        assert_eq!(outcome.accelerator, "FDA-NVDLA");
+    }
+
+    #[test]
+    fn empty_workload_is_rejected() {
+        let err = Experiment::new(MultiDnnWorkload::new("empty"))
+            .on(AcceleratorClass::Edge)
+            .with_styles(styles())
+            .run()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            HeraldError::EmptyWorkload {
+                workload: "empty".into()
+            }
+        );
+    }
+
+    #[test]
+    fn target_switches_preserve_search_settings() {
+        // Switching to a fixed target and back must not discard the
+        // previously configured budget or styles, in either order.
+        let outcome = Experiment::new(workload())
+            .on(AcceleratorClass::Edge)
+            .on_accelerator(AcceleratorConfig::rda(AcceleratorClass::Edge.resources()))
+            .with_styles(styles())
+            .fast()
+            .run()
+            .unwrap();
+        assert!(outcome.points().len() > 1, "search ran, not the fixed RDA");
+
+        let outcome = Experiment::new(workload())
+            .with_styles(styles())
+            .on_accelerator(AcceleratorConfig::rda(AcceleratorClass::Edge.resources()))
+            .on(AcceleratorClass::Edge)
+            .fast()
+            .run()
+            .unwrap();
+        assert!(outcome.points().len() > 1);
+    }
+
+    #[test]
+    fn direct_deserialization_enforces_winner_invariant() {
+        // `serde_json::from_str` must be as safe as `from_json`: a
+        // tampered best_index cannot produce an outcome whose accessors
+        // panic.
+        let outcome = Experiment::new(workload())
+            .on(AcceleratorClass::Edge)
+            .with_styles(styles())
+            .fast()
+            .run()
+            .unwrap();
+        let json = outcome.to_json().unwrap();
+        let mut value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        value["best_index"] = serde_json::json!(999);
+        assert!(serde_json::from_str::<ExperimentOutcome>(&value.to_string()).is_err());
+        let back: ExperimentOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.best(), outcome.best());
+    }
+
+    #[test]
+    fn fast_preset_yields_to_explicit_scheduler_in_any_order() {
+        let explicit = SchedulerConfig {
+            post_process: true,
+            lookahead: 4,
+            ..Default::default()
+        };
+        let run = |exp: Experiment| {
+            exp.on(AcceleratorClass::Edge)
+                .with_styles(styles())
+                .run()
+                .unwrap()
+        };
+        // The pipeline is deterministic, so order-independence is
+        // observable as identical outcomes.
+        let scheduler_then_fast = run(Experiment::new(workload()).scheduler(explicit).fast());
+        let fast_then_scheduler = run(Experiment::new(workload()).fast().scheduler(explicit));
+        assert_eq!(scheduler_then_fast, fast_then_scheduler);
+    }
+
+    #[test]
+    fn missing_target_is_rejected() {
+        let err = Experiment::new(workload())
+            .with_styles(styles())
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, HeraldError::InvalidResources { .. }));
+    }
+
+    #[test]
+    fn zero_pes_are_rejected() {
+        // `HardwareResources::new` panics on zero budgets, so a degenerate
+        // budget can only arrive through a struct literal (e.g. built from
+        // deserialized config) — the facade must still reject it as a
+        // typed error.
+        let degenerate = HardwareResources {
+            pes: 0,
+            bandwidth_gbps: 16.0,
+            global_buffer_bytes: 4 << 20,
+        };
+        let err = Experiment::new(workload())
+            .with_resources(degenerate)
+            .with_styles(styles())
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, HeraldError::InvalidResources { .. }));
+    }
+
+    #[test]
+    fn no_styles_are_rejected() {
+        let err = Experiment::new(workload())
+            .on(AcceleratorClass::Edge)
+            .run()
+            .unwrap_err();
+        assert_eq!(err, HeraldError::TooFewStyles { got: 0 });
+    }
+
+    #[test]
+    fn metric_propagates_to_scheduler_regardless_of_call_order() {
+        // `.metric()` is applied at run(), so a later `.scheduler()` /
+        // `.dse_config()` cannot silently revert the scheduler's metric.
+        let latency = Experiment::new(workload())
+            .on(AcceleratorClass::Edge)
+            .with_styles(styles())
+            .metric(Metric::Latency)
+            .scheduler(SchedulerConfig {
+                post_process: false,
+                ..Default::default()
+            })
+            .fast()
+            .run()
+            .unwrap();
+        assert_eq!(latency.metric, Metric::Latency);
+        // The latency-ranked winner minimizes latency over the cloud.
+        for p in latency.points() {
+            assert!(p.latency_s() >= latency.latency_s() - 1e-18);
+        }
+    }
+
+    #[test]
+    fn outcome_round_trips_through_json() {
+        let outcome = Experiment::new(workload())
+            .on(AcceleratorClass::Edge)
+            .with_styles(styles())
+            .fast()
+            .run()
+            .unwrap();
+        let json = outcome.to_json().unwrap();
+        let back = ExperimentOutcome::from_json(&json).unwrap();
+        assert_eq!(back, outcome);
+        assert_eq!(back.best(), outcome.best());
+    }
+
+    #[test]
+    fn tampered_outcome_json_is_rejected() {
+        assert!(matches!(
+            ExperimentOutcome::from_json("{not json"),
+            Err(HeraldError::Serialization(_))
+        ));
+        let empty =
+            r#"{"workload":"w","accelerator":"a","metric":"Edp","best_index":0,"points":[]}"#;
+        assert!(matches!(
+            ExperimentOutcome::from_json(empty),
+            Err(HeraldError::Serialization(_))
+        ));
+    }
+}

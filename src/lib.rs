@@ -10,21 +10,32 @@
 //! * [`core`] — the Herald framework: execution model, schedulers, DSE
 //! * [`workloads`] — the paper's multi-DNN evaluation workloads
 //!
+//! The documented entry point is the [`Experiment`] builder: describe a
+//! workload, a hardware target and the search knobs, and `run()` returns
+//! a typed `Result` — no panicking paths on the happy path.
+//!
 //! # Quickstart
 //!
 //! ```
 //! use herald::prelude::*;
 //!
-//! // Build the AR/VR-A workload on an edge-class Maelstrom HDA and
-//! // co-optimize partitioning + schedule with Herald.
-//! let workload = herald::workloads::arvr_a();
-//! let class = AcceleratorClass::Edge;
-//! let styles = vec![DataflowStyle::Nvdla, DataflowStyle::ShiDianNao];
-//! let dse = DseEngine::new(DseConfig::fast());
-//! let outcome = dse.co_optimize(&workload, class.resources(), &styles);
-//! let best = outcome.best().expect("non-empty design space");
-//! assert!(best.report.total_latency_s() > 0.0);
+//! # fn main() -> Result<(), HeraldError> {
+//! // Co-optimize partitioning + schedule for the AR/VR-A workload on an
+//! // edge-class Maelstrom HDA.
+//! let outcome = Experiment::new(herald::workloads::arvr_a())
+//!     .on(AcceleratorClass::Edge)
+//!     .with_styles([DataflowStyle::Nvdla, DataflowStyle::ShiDianNao])
+//!     .strategy(SearchStrategy::Exhaustive)
+//!     .fast()
+//!     .run()?;
+//! println!("best design: {} -> {}", outcome.best().partition, outcome.report());
+//! assert!(outcome.latency_s() > 0.0);
+//! # Ok(())
+//! # }
 //! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use herald_arch as arch;
 pub use herald_core as core;
@@ -33,18 +44,24 @@ pub use herald_dataflow as dataflow;
 pub use herald_models as models;
 pub use herald_workloads as workloads;
 
+mod experiment;
+
+pub use experiment::{Experiment, ExperimentOutcome};
+pub use herald_core::error::HeraldError;
+
 /// Commonly used items, re-exported for ergonomic downstream use.
 pub mod prelude {
+    pub use crate::experiment::{Experiment, ExperimentOutcome};
     pub use herald_arch::{
         AcceleratorClass, AcceleratorConfig, AcceleratorStyle, HardwareResources, Partition,
         SubAccelerator,
     };
     pub use herald_core::{
         dse::{DseConfig, DseEngine, DseOutcome, SearchStrategy},
+        error::HeraldError,
         exec::{ExecutionReport, ScheduleSimulator},
         sched::{
-            GreedyScheduler, HeraldScheduler, OrderingPolicy, Schedule, Scheduler,
-            SchedulerConfig,
+            GreedyScheduler, HeraldScheduler, OrderingPolicy, Schedule, Scheduler, SchedulerConfig,
         },
         Metric,
     };

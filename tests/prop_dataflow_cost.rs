@@ -1,153 +1,187 @@
-//! Property-based tests over the dataflow and cost substrates: for random
-//! layer shapes and PE budgets, mappings are legal and costs respect the
-//! model's invariants.
+//! Property-style tests over the dataflow and cost substrates: for
+//! seeded-random layer shapes and PE budgets, mappings are legal and
+//! costs respect the model's invariants.
+//!
+//! The build environment cannot fetch `proptest`, so cases are generated
+//! deterministically from the same SplitMix64 PRNG the DSE uses.
 
 use herald::prelude::*;
+use herald_core::rng::SplitMix64;
 use herald_dataflow::validate_mapping;
 use herald_models::LayerDims;
-use proptest::prelude::*;
+
+const CASES: usize = 128;
 
 /// Random-but-plausible convolution layers (dimensions in realistic DNN
 /// ranges, filters that fit the input).
-fn arb_conv_layer() -> impl Strategy<Value = Layer> {
-    (
-        1u32..=512,        // k
-        1u32..=512,        // c
-        7u32..=128,        // y = x
-        prop_oneof![Just(1u32), Just(3), Just(5), Just(7)], // r = s
-        1u32..=2,          // stride
+fn gen_conv_layer(rng: &mut SplitMix64) -> Layer {
+    let k = rng.gen_range(1, 513) as u32;
+    let c = rng.gen_range(1, 513) as u32;
+    let y = rng.gen_range(7, 129) as u32;
+    let r = [1u32, 3, 5, 7][rng.gen_range(0, 4)];
+    let stride = rng.gen_range(1, 3) as u32;
+    Layer::new(
+        "prop",
+        LayerOp::Conv2d,
+        LayerDims::conv(k, c, y, y, r, r)
+            .with_stride(stride)
+            .with_pad(r / 2),
     )
-        .prop_map(|(k, c, y, r, stride)| {
-            Layer::new(
-                "prop",
-                LayerOp::Conv2d,
-                LayerDims::conv(k, c, y, y, r, r)
-                    .with_stride(stride)
-                    .with_pad(r / 2),
-            )
-        })
 }
 
 /// Random depth-wise layers (k == c).
-fn arb_depthwise_layer() -> impl Strategy<Value = Layer> {
-    (1u32..=512, 7u32..=128, prop_oneof![Just(3u32), Just(5)]).prop_map(|(c, y, r)| {
-        Layer::new(
-            "dw",
-            LayerOp::DepthwiseConv,
-            LayerDims::conv(c, c, y, y, r, r).with_pad(r / 2),
-        )
-    })
+fn gen_depthwise_layer(rng: &mut SplitMix64) -> Layer {
+    let c = rng.gen_range(1, 513) as u32;
+    let y = rng.gen_range(7, 129) as u32;
+    let r = [3u32, 5][rng.gen_range(0, 2)];
+    Layer::new(
+        "dw",
+        LayerOp::DepthwiseConv,
+        LayerDims::conv(c, c, y, y, r, r).with_pad(r / 2),
+    )
 }
 
 /// Random PE budgets, including awkward non-powers-of-two.
-fn arb_pes() -> impl Strategy<Value = u32> {
-    prop_oneof![
-        1u32..=64,
-        Just(100u32),
-        Just(256u32),
-        Just(896u32),
-        Just(1024u32),
-        Just(12032u32),
-    ]
+fn gen_pes(rng: &mut SplitMix64) -> u32 {
+    match rng.gen_range(0, 6) {
+        0 => rng.gen_range(1, 65) as u32,
+        1 => 100,
+        2 => 256,
+        3 => 896,
+        4 => 1024,
+        _ => 12032,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Every mapping the builder produces is legal.
-    #[test]
-    fn mappings_are_always_legal(layer in arb_conv_layer(), pes in arb_pes()) {
+/// Every mapping the builder produces is legal.
+#[test]
+fn mappings_are_always_legal() {
+    let mut rng = SplitMix64::seed_from_u64(0xDF_0001);
+    for _ in 0..CASES {
+        let layer = gen_conv_layer(&mut rng);
+        let pes = gen_pes(&mut rng);
         for style in DataflowStyle::ALL {
             let m = MappingBuilder::new(style, pes).best(&layer);
-            prop_assert_eq!(validate_mapping(&m, &layer), Ok(()));
+            assert_eq!(validate_mapping(&m, &layer), Ok(()), "{style} {pes} PEs");
         }
     }
+}
 
-    /// Depth-wise layers never get spatial channel accumulation.
-    #[test]
-    fn depthwise_mappings_are_legal(layer in arb_depthwise_layer(), pes in arb_pes()) {
+/// Depth-wise layers never get spatial channel accumulation.
+#[test]
+fn depthwise_mappings_are_legal() {
+    let mut rng = SplitMix64::seed_from_u64(0xDF_0002);
+    for _ in 0..CASES {
+        let layer = gen_depthwise_layer(&mut rng);
+        let pes = gen_pes(&mut rng);
         for style in DataflowStyle::ALL {
             let m = MappingBuilder::new(style, pes).best(&layer);
-            prop_assert_eq!(validate_mapping(&m, &layer), Ok(()));
+            assert_eq!(validate_mapping(&m, &layer), Ok(()), "{style} {pes} PEs");
         }
     }
+}
 
-    /// Compute cycles are bounded below by the ideal (MACs / PEs) and above
-    /// by fully serial execution.
-    #[test]
-    fn compute_cycles_within_roofline(layer in arb_conv_layer(), pes in arb_pes()) {
+/// Compute cycles are bounded below by the ideal (MACs / PEs) and above
+/// by fully serial execution.
+#[test]
+fn compute_cycles_within_roofline() {
+    let mut rng = SplitMix64::seed_from_u64(0xDF_0003);
+    for _ in 0..CASES {
+        let layer = gen_conv_layer(&mut rng);
+        let pes = gen_pes(&mut rng);
         for style in DataflowStyle::ALL {
             let m = MappingBuilder::new(style, pes).best(&layer);
             let cycles = m.compute_cycles(&layer);
             let ideal = layer.macs().div_ceil(u64::from(pes));
-            prop_assert!(cycles >= ideal, "{style}: {cycles} < ideal {ideal}");
-            prop_assert!(cycles <= layer.macs(), "{style}: {cycles} > serial");
+            assert!(cycles >= ideal, "{style}: {cycles} < ideal {ideal}");
+            assert!(cycles <= layer.macs(), "{style}: {cycles} > serial");
         }
     }
+}
 
-    /// Utilization is a fraction and active PEs never exceed the budget.
-    #[test]
-    fn utilization_is_bounded(layer in arb_conv_layer(), pes in arb_pes()) {
+/// Utilization is a fraction and active PEs never exceed the budget.
+#[test]
+fn utilization_is_bounded() {
+    let mut rng = SplitMix64::seed_from_u64(0xDF_0004);
+    for _ in 0..CASES {
+        let layer = gen_conv_layer(&mut rng);
+        let pes = gen_pes(&mut rng);
         for style in DataflowStyle::ALL {
             let m = MappingBuilder::new(style, pes).best(&layer);
-            prop_assert!(m.active_pes() >= 1);
-            prop_assert!(m.active_pes() <= pes);
-            prop_assert!(m.utilization() > 0.0 && m.utilization() <= 1.0);
+            assert!(m.active_pes() >= 1);
+            assert!(m.active_pes() <= pes);
+            assert!(m.utilization() > 0.0 && m.utilization() <= 1.0);
         }
     }
+}
 
-    /// Costs are finite and positive; EDP factorizes.
-    #[test]
-    fn costs_are_finite_and_positive(layer in arb_conv_layer(), pes in arb_pes()) {
-        let model = CostModel::default();
+/// Costs are finite and positive; EDP factorizes.
+#[test]
+fn costs_are_finite_and_positive() {
+    let mut rng = SplitMix64::seed_from_u64(0xDF_0005);
+    let model = CostModel::default();
+    for _ in 0..CASES {
+        let layer = gen_conv_layer(&mut rng);
+        let pes = gen_pes(&mut rng);
         for style in DataflowStyle::ALL {
             let c = model.evaluate(&layer, style, pes, 16.0);
-            prop_assert!(c.latency_s.is_finite() && c.latency_s > 0.0);
-            prop_assert!(c.energy_j().is_finite() && c.energy_j() > 0.0);
-            prop_assert!((c.edp() - c.latency_s * c.energy_j()).abs() < 1e-12 * c.edp().max(1.0));
+            assert!(c.latency_s.is_finite() && c.latency_s > 0.0);
+            assert!(c.energy_j().is_finite() && c.energy_j() > 0.0);
+            assert!((c.edp() - c.latency_s * c.energy_j()).abs() < 1e-12 * c.edp().max(1.0));
         }
     }
+}
 
-    /// More bandwidth never increases latency and never changes energy.
-    #[test]
-    fn bandwidth_monotonicity(layer in arb_conv_layer(), pes in arb_pes()) {
-        let model = CostModel::default();
+/// More bandwidth never increases latency and never changes energy.
+#[test]
+fn bandwidth_monotonicity() {
+    let mut rng = SplitMix64::seed_from_u64(0xDF_0006);
+    let model = CostModel::default();
+    for _ in 0..CASES {
+        let layer = gen_conv_layer(&mut rng);
+        let pes = gen_pes(&mut rng);
         for style in DataflowStyle::ALL {
             let slow = model.evaluate(&layer, style, pes, 8.0);
             let fastc = model.evaluate(&layer, style, pes, 64.0);
-            prop_assert!(fastc.latency_s <= slow.latency_s + 1e-15);
-            prop_assert!((fastc.energy_j() - slow.energy_j()).abs() < 1e-18 + 1e-9 * slow.energy_j());
+            assert!(fastc.latency_s <= slow.latency_s + 1e-15);
+            assert!((fastc.energy_j() - slow.energy_j()).abs() < 1e-18 + 1e-9 * slow.energy_j());
         }
     }
+}
 
-    /// Global-buffer traffic covers at least the compulsory weight and
-    /// output volumes (every weight and output element is touched once;
-    /// strided layers may legitimately skip input pixels).
-    #[test]
-    fn traffic_covers_compulsory(layer in arb_conv_layer(), pes in arb_pes()) {
-        let model = CostModel::default();
+/// Global-buffer traffic covers at least the compulsory weight and
+/// output volumes (every weight and output element is touched once;
+/// strided layers may legitimately skip input pixels).
+#[test]
+fn traffic_covers_compulsory() {
+    let mut rng = SplitMix64::seed_from_u64(0xDF_0007);
+    let model = CostModel::default();
+    for _ in 0..CASES {
+        let layer = gen_conv_layer(&mut rng);
+        let pes = gen_pes(&mut rng);
         let compulsory = layer.weight_elems() + layer.output_shape().elems();
-        let dram = layer.weight_elems()
-            + layer.input_shape().elems()
-            + layer.output_shape().elems();
+        let dram =
+            layer.weight_elems() + layer.input_shape().elems() + layer.output_shape().elems();
         for style in DataflowStyle::ALL {
             let c = model.evaluate(&layer, style, pes, 16.0);
-            prop_assert!(c.traffic.gb_total() >= compulsory, "{style}");
-            prop_assert_eq!(c.traffic.dram_words, dram);
+            assert!(c.traffic.gb_total() >= compulsory, "{style}");
+            assert_eq!(c.traffic.dram_words, dram);
         }
     }
+}
 
-    /// The RDA query is never worse than the best FDA style by more than
-    /// its reconfiguration overheads, and never better than physics: its
-    /// latency at least matches the best style's compute bound.
-    #[test]
-    fn rda_is_best_style_plus_taxes(layer in arb_conv_layer()) {
-        let model = CostModel::default();
+/// The RDA query is never better than physics and pays its taxes: when
+/// it lands on the best fixed style, it consumes strictly more energy.
+#[test]
+fn rda_is_best_style_plus_taxes() {
+    let mut rng = SplitMix64::seed_from_u64(0xDF_0008);
+    let model = CostModel::default();
+    for _ in 0..CASES {
+        let layer = gen_conv_layer(&mut rng);
         let rda = model.evaluate_rda(&layer, 1024, 16.0, Metric::Edp);
         let (_, best_fixed) = model.best_style(&layer, 1024, 16.0, Metric::Edp);
-        // Same style choice implies RDA pays strictly more energy.
         if rda.style == best_fixed.style {
-            prop_assert!(rda.energy_j() > best_fixed.energy_j());
+            assert!(rda.energy_j() > best_fixed.energy_j());
         }
     }
 }

@@ -1,58 +1,62 @@
-//! Property-based tests over the schedulers and execution model: for
-//! random workload mixes, partitions and scheduler settings, schedules are
-//! complete, dependence-legal and memory-bounded.
+//! Property-style tests over the schedulers and execution model: for
+//! seeded-random workload mixes, partitions and scheduler settings,
+//! schedules are complete, dependence-legal and memory-bounded.
+//!
+//! The build environment cannot fetch `proptest`, so cases are generated
+//! deterministically from the same SplitMix64 PRNG the DSE uses — every
+//! run exercises the identical case set, which also makes failures
+//! trivially reproducible.
 
 use herald::prelude::*;
-use herald_arch::{AcceleratorConfig, Partition};
+use herald_core::rng::SplitMix64;
 use herald_core::task::TaskGraph;
 use herald_models::zoo;
 use herald_workloads::MultiDnnWorkload;
-use proptest::prelude::*;
 use std::collections::HashMap;
 
+const CASES: usize = 24;
+
 /// Small random multi-DNN workloads mixed from the cheaper zoo members.
-fn arb_workload() -> impl Strategy<Value = MultiDnnWorkload> {
-    (1usize..=2, 1usize..=2, 0usize..=1).prop_map(|(mn1, mn2, gnmt)| {
-        let mut w = MultiDnnWorkload::new("prop")
-            .with_model(zoo::mobilenet_v1(), mn1)
-            .with_model(zoo::mobilenet_v2(), mn2);
-        if gnmt > 0 {
-            w = w.with_model(zoo::gnmt(), gnmt);
-        }
-        w
-    })
+fn gen_workload(rng: &mut SplitMix64) -> MultiDnnWorkload {
+    let mn1 = rng.gen_range(1, 3);
+    let mn2 = rng.gen_range(1, 3);
+    let gnmt = rng.gen_range(0, 2);
+    let mut w = MultiDnnWorkload::new("prop")
+        .with_model(zoo::mobilenet_v1(), mn1)
+        .with_model(zoo::mobilenet_v2(), mn2);
+    if gnmt > 0 {
+        w = w.with_model(zoo::gnmt(), gnmt);
+    }
+    w
 }
 
 /// Random legal 2-way partitions of the edge budget.
-fn arb_partition() -> impl Strategy<Value = Partition> {
-    (1u32..=7, 1u32..=3).prop_map(|(pe_eighths, bw_quarters)| {
-        let pes = 1024 * pe_eighths / 8;
-        let bw = 16.0 * f64::from(bw_quarters) / 4.0;
-        Partition::new(vec![pes, 1024 - pes], vec![bw, 16.0 - bw]).expect("legal partition")
-    })
+fn gen_partition(rng: &mut SplitMix64) -> Partition {
+    let pe_eighths = rng.gen_range(1, 8) as u32;
+    let bw_quarters = rng.gen_range(1, 4) as u32;
+    let pes = 1024 * pe_eighths / 8;
+    let bw = 16.0 * f64::from(bw_quarters) / 4.0;
+    Partition::new(vec![pes, 1024 - pes], vec![bw, 16.0 - bw]).expect("legal partition")
 }
 
-fn arb_scheduler_config() -> impl Strategy<Value = SchedulerConfig> {
-    (
-        prop_oneof![Just(Metric::Edp), Just(Metric::Latency), Just(Metric::Energy)],
-        prop_oneof![Just(OrderingPolicy::BreadthFirst), Just(OrderingPolicy::DepthFirst)],
-        1.05f64..3.0,
-        0usize..16,
-        any::<bool>(),
-    )
-        .prop_map(|(metric, ordering, lbf, lookahead, post)| SchedulerConfig {
-            metric,
-            ordering,
-            load_balance_factor: lbf,
-            lookahead,
-            post_process: post,
-        })
+fn gen_scheduler_config(rng: &mut SplitMix64) -> SchedulerConfig {
+    let metric = [Metric::Edp, Metric::Latency, Metric::Energy][rng.gen_range(0, 3)];
+    let ordering = [OrderingPolicy::BreadthFirst, OrderingPolicy::DepthFirst][rng.gen_range(0, 2)];
+    // Uniform in [1.05, 3.0).
+    let lbf = 1.05 + (rng.gen_range(0, 1_000_000) as f64 / 1_000_000.0) * 1.95;
+    SchedulerConfig {
+        metric,
+        ordering,
+        load_balance_factor: lbf,
+        lookahead: rng.gen_range(0, 16),
+        post_process: rng.gen_range(0, 2) == 1,
+    }
 }
 
 /// Checks the two hard invariants of a report against its graph:
 /// (1) every producer finishes before its consumer starts,
 /// (2) no sub-accelerator runs two layers at once.
-fn assert_report_legal(graph: &TaskGraph, report: &herald_core::exec::ExecutionReport) {
+fn assert_report_legal(graph: &TaskGraph, report: &ExecutionReport) {
     let mut finish: HashMap<_, f64> = HashMap::new();
     for e in report.entries() {
         finish.insert(e.task, e.finish_s);
@@ -68,11 +72,7 @@ fn assert_report_legal(graph: &TaskGraph, report: &herald_core::exec::ExecutionR
     }
     let ways = report.per_acc().len();
     for a in 0..ways {
-        let mut on_acc: Vec<_> = report
-            .entries()
-            .iter()
-            .filter(|e| e.acc == a)
-            .collect();
+        let mut on_acc: Vec<_> = report.entries().iter().filter(|e| e.acc == a).collect();
         on_acc.sort_by(|x, y| x.start_s.partial_cmp(&y.start_s).expect("finite"));
         for pair in on_acc.windows(2) {
             assert!(
@@ -83,18 +83,16 @@ fn assert_report_legal(graph: &TaskGraph, report: &herald_core::exec::ExecutionR
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Herald schedules are complete, dependence-legal, serialized per
-    /// sub-accelerator and within the memory budget — for any workload,
-    /// partition and scheduler configuration.
-    #[test]
-    fn herald_schedules_are_legal(
-        workload in arb_workload(),
-        partition in arb_partition(),
-        cfg in arb_scheduler_config(),
-    ) {
+/// Herald schedules are complete, dependence-legal, serialized per
+/// sub-accelerator and within the memory budget — for any workload,
+/// partition and scheduler configuration.
+#[test]
+fn herald_schedules_are_legal() {
+    let mut rng = SplitMix64::seed_from_u64(0x5EED_0001);
+    for case in 0..CASES {
+        let workload = gen_workload(&mut rng);
+        let partition = gen_partition(&mut rng);
+        let cfg = gen_scheduler_config(&mut rng);
         let graph = TaskGraph::new(&workload);
         let res = AcceleratorClass::Edge.resources();
         let acc = AcceleratorConfig::maelstrom(res, partition).expect("legal partition");
@@ -102,14 +100,19 @@ proptest! {
         let report = HeraldScheduler::new(cfg)
             .schedule_and_simulate(&graph, &acc, &cost)
             .expect("herald schedules are legal");
-        prop_assert_eq!(report.entries().len(), graph.len());
+        assert_eq!(report.entries().len(), graph.len(), "case {case}: {cfg:?}");
         assert_report_legal(&graph, &report);
-        prop_assert!(report.peak_memory_bytes() <= acc.global_buffer_bytes());
+        assert!(report.peak_memory_bytes() <= acc.global_buffer_bytes());
     }
+}
 
-    /// The greedy baseline is likewise always simulatable.
-    #[test]
-    fn greedy_schedules_are_legal(workload in arb_workload(), partition in arb_partition()) {
+/// The greedy baseline is likewise always simulatable.
+#[test]
+fn greedy_schedules_are_legal() {
+    let mut rng = SplitMix64::seed_from_u64(0x5EED_0002);
+    for case in 0..CASES {
+        let workload = gen_workload(&mut rng);
+        let partition = gen_partition(&mut rng);
         let graph = TaskGraph::new(&workload);
         let res = AcceleratorClass::Edge.resources();
         let acc = AcceleratorConfig::maelstrom(res, partition).expect("legal partition");
@@ -117,44 +120,52 @@ proptest! {
         let report = GreedyScheduler::default()
             .schedule_and_simulate(&graph, &acc, &cost)
             .expect("greedy schedules are legal");
-        prop_assert_eq!(report.entries().len(), graph.len());
+        assert_eq!(report.entries().len(), graph.len(), "case {case}");
         assert_report_legal(&graph, &report);
     }
+}
 
-    /// Total energy is assignment-driven only: identical schedules replayed
-    /// twice give identical reports (simulator determinism).
-    #[test]
-    fn simulation_is_deterministic(workload in arb_workload(), partition in arb_partition()) {
+/// Identical schedules replayed twice give identical reports (simulator
+/// determinism).
+#[test]
+fn simulation_is_deterministic() {
+    let mut rng = SplitMix64::seed_from_u64(0x5EED_0003);
+    for _ in 0..CASES {
+        let workload = gen_workload(&mut rng);
+        let partition = gen_partition(&mut rng);
         let graph = TaskGraph::new(&workload);
         let res = AcceleratorClass::Edge.resources();
         let acc = AcceleratorConfig::maelstrom(res, partition).expect("legal partition");
         let cost = CostModel::default();
         let schedule = HeraldScheduler::default().schedule(&graph, &acc, &cost);
-        let sim = herald_core::exec::ScheduleSimulator::new(&graph, &acc, &cost);
+        let sim = ScheduleSimulator::new(&graph, &acc, &cost);
         let a = sim.simulate(&schedule).expect("legal");
         let b = sim.simulate(&schedule).expect("legal");
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    /// Makespan dominates every sub-accelerator's busy time, and total
-    /// energy equals the sum over entries.
-    #[test]
-    fn report_accounting_is_consistent(workload in arb_workload()) {
+/// Makespan dominates every sub-accelerator's busy time, and total
+/// energy equals the sum over entries.
+#[test]
+fn report_accounting_is_consistent() {
+    let mut rng = SplitMix64::seed_from_u64(0x5EED_0004);
+    for _ in 0..CASES {
+        let workload = gen_workload(&mut rng);
         let graph = TaskGraph::new(&workload);
         let res = AcceleratorClass::Edge.resources();
-        let acc = AcceleratorConfig::maelstrom(
-            res,
-            Partition::even(2, res.pes, res.bandwidth_gbps),
-        ).expect("even partition");
+        let acc =
+            AcceleratorConfig::maelstrom(res, Partition::even(2, res.pes, res.bandwidth_gbps))
+                .expect("even partition");
         let cost = CostModel::default();
         let report = HeraldScheduler::default()
             .schedule_and_simulate(&graph, &acc, &cost)
             .expect("legal");
         for (i, a) in report.per_acc().iter().enumerate() {
-            prop_assert!(a.busy_s <= report.total_latency_s() + 1e-12);
-            prop_assert!(report.acc_utilization(i) <= 1.0 + 1e-9);
+            assert!(a.busy_s <= report.total_latency_s() + 1e-12);
+            assert!(report.acc_utilization(i) <= 1.0 + 1e-9);
         }
         let entry_sum: f64 = report.entries().iter().map(|e| e.energy_j).sum();
-        prop_assert!((entry_sum - report.total_energy_j()).abs() < 1e-9 * entry_sum.max(1.0));
+        assert!((entry_sum - report.total_energy_j()).abs() < 1e-9 * entry_sum.max(1.0));
     }
 }

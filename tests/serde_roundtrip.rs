@@ -19,7 +19,9 @@ where
 
 #[test]
 fn layer_dims_and_layers_roundtrip() {
-    let dims = LayerDims::conv(64, 3, 224, 224, 7, 7).with_stride(2).with_pad(3);
+    let dims = LayerDims::conv(64, 3, 224, 224, 7, 7)
+        .with_stride(2)
+        .with_pad(3);
     assert_eq!(roundtrip(&dims), dims);
     let layer = Layer::new("conv1", LayerOp::Conv2d, dims);
     assert_eq!(roundtrip(&layer), layer);
@@ -52,8 +54,7 @@ fn accelerator_configs_roundtrip() {
         AcceleratorConfig::fda(DataflowStyle::Eyeriss, res),
         AcceleratorConfig::rda(res),
         AcceleratorConfig::sm_fda(DataflowStyle::Nvdla, 2, res).unwrap(),
-        AcceleratorConfig::maelstrom(res, Partition::even(2, res.pes, res.bandwidth_gbps))
-            .unwrap(),
+        AcceleratorConfig::maelstrom(res, Partition::even(2, res.pes, res.bandwidth_gbps)).unwrap(),
     ] {
         assert_eq!(roundtrip(&cfg), cfg);
     }
