@@ -131,7 +131,7 @@ impl AcceleratorConfig {
     }
 
     /// A scaled-out multi-FDA: `ways` copies of the same dataflow on an
-    /// even split (the paper's SM-FDA baseline [24]).
+    /// even split (the paper's SM-FDA baseline, their reference 24).
     ///
     /// # Errors
     ///

@@ -49,7 +49,7 @@ fn main() {
         }
         let best = edps
             .iter()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite EDP"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .expect("three styles");
         println!("best: {}", best.0.label());
     }

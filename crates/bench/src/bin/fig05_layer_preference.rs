@@ -66,7 +66,7 @@ fn main() {
         }
         let winner = results
             .iter()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite EDP"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .expect("two styles")
             .0;
         println!("preferred: {}", winner.label());

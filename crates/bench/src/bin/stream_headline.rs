@@ -1,0 +1,167 @@
+//! **Streaming headline** — the event-driven scenario suite: AR/VR-A and
+//! AR/VR-B as continuous frame streams at the Table II rate ratios,
+//! scaled so the searched HDA runs near 75% load, compared against the
+//! best FDA on the *same trace*. Reports throughput, p50/p95/p99 frame
+//! latency, deadline-miss rate and per-accelerator utilization.
+//!
+//! Pass `--json` to emit a machine-readable record (per-scenario streams,
+//! headline aggregates, wall-clock) for baseline tracking across PRs.
+
+use herald::prelude::*;
+use herald_bench::{fast_mode, stream_fixed, utilization_fps_scale};
+use herald_workloads::Scenario;
+use std::time::Instant;
+
+fn main() -> Result<(), HeraldError> {
+    let fast = fast_mode();
+    let json_mode = std::env::args().any(|a| a == "--json");
+    let classes: &[AcceleratorClass] = if fast {
+        &[AcceleratorClass::Edge]
+    } else {
+        &AcceleratorClass::ALL
+    };
+    let frames_target: f64 = if fast { 60.0 } else { 120.0 };
+    let styles = [DataflowStyle::Nvdla, DataflowStyle::ShiDianNao];
+
+    let mut scenarios_json = Vec::new();
+    let t0 = Instant::now();
+
+    for &class in classes {
+        for kind in ["AR/VR-A", "AR/VR-B"] {
+            // Unit-scale scenario: rates in Table II ratios, 1 fps quantum.
+            let unit = build(kind, 1.0, 1.0);
+
+            // Search the HDA partition for the scenario's design workload.
+            let exp = Experiment::new(unit.design_workload())
+                .on(class)
+                .with_styles(styles);
+            let exp = if fast { exp.fast() } else { exp };
+            let search = exp.run()?;
+            let config = search.best().config.clone();
+
+            // Scale rates to ~75% load on the winner; size the horizon
+            // for a fixed frame budget so runtimes stay flat across
+            // classes.
+            let scale = utilization_fps_scale(&unit, &config, 0.75, fast)?;
+            let unit_rate: f64 = unit.streams().iter().map(|s| s.arrival().mean_fps()).sum();
+            let horizon = frames_target / (unit_rate * scale);
+            let scenario = build(kind, scale, horizon);
+
+            let hda = stream_fixed(&scenario, config, fast)?;
+            // Best FDA on the same trace: lowest streamed p95 frame
+            // latency across all three styles.
+            let mut best_fda: Option<StreamOutcome> = None;
+            for style in DataflowStyle::ALL {
+                let fda = stream_fixed(
+                    &scenario,
+                    AcceleratorConfig::fda(style, class.resources()),
+                    fast,
+                )?;
+                let better = match &best_fda {
+                    Some(b) => {
+                        fda.report().latency_percentile(0.95) < b.report().latency_percentile(0.95)
+                    }
+                    None => true,
+                };
+                if better {
+                    best_fda = Some(fda);
+                }
+            }
+            let Some(fda) = best_fda else {
+                unreachable!("DataflowStyle::ALL is non-empty");
+            };
+
+            if !json_mode {
+                println!(
+                    "\n--- {kind} / {class}: {} streams, fps scale {scale:.3}, \
+                     horizon {horizon:.2} s ---",
+                    scenario.streams().len()
+                );
+                for (label, outcome) in [("HDA", &hda), ("best FDA", &fda)] {
+                    let r = outcome.report();
+                    println!(
+                        "{label:<9} ({}): {} frames, {:.2} fps, miss {:.1}%, \
+                         energy {:.3} J",
+                        outcome.accelerator,
+                        r.frames().len(),
+                        r.throughput_fps(),
+                        r.deadline_miss_rate() * 100.0,
+                        r.total_energy_j()
+                    );
+                    println!(
+                        "  {:<16} {:>7} {:>10} {:>10} {:>10} {:>10} {:>7}",
+                        "stream", "frames", "p50 (s)", "p95 (s)", "p99 (s)", "fps", "miss"
+                    );
+                    for s in r.stream_stats() {
+                        println!(
+                            "  {:<16} {:>7} {:>10.4} {:>10.4} {:>10.4} {:>10.2} {:>6.1}%",
+                            s.name,
+                            s.frames,
+                            s.p50_latency_s,
+                            s.p95_latency_s,
+                            s.p99_latency_s,
+                            s.throughput_fps,
+                            s.deadline_miss_rate * 100.0
+                        );
+                    }
+                    let util: Vec<String> = (0..r.per_acc().len())
+                        .map(|a| {
+                            format!(
+                                "{} {:.0}%",
+                                r.per_acc()[a].name,
+                                r.acc_utilization(a) * 100.0
+                            )
+                        })
+                        .collect();
+                    println!("  utilization: {}", util.join(", "));
+                }
+            }
+
+            let row = |o: &StreamOutcome| {
+                let r = o.report();
+                serde_json::json!({
+                    "accelerator": o.accelerator.clone(),
+                    "frames": r.frames().len(),
+                    "throughput_fps": r.throughput_fps(),
+                    "p50_latency_s": r.latency_percentile(0.50),
+                    "p95_latency_s": r.latency_percentile(0.95),
+                    "p99_latency_s": r.latency_percentile(0.99),
+                    "deadline_miss_rate": r.deadline_miss_rate(),
+                    "energy_j": r.total_energy_j(),
+                    "peak_memory_bytes": r.peak_memory_bytes(),
+                    "scheduler_invocations": r.scheduler_invocations(),
+                })
+            };
+            scenarios_json.push(serde_json::json!({
+                "scenario": kind,
+                "class": class.to_string(),
+                "fps_scale": scale,
+                "horizon_s": horizon,
+                "hda": row(&hda),
+                "best_fda": row(&fda),
+            }));
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    if json_mode {
+        let record = serde_json::json!({
+            "bench": "stream_headline",
+            "fast": fast,
+            "wall_clock_s": wall_s,
+            "scenarios": serde_json::Value::Seq(scenarios_json),
+        });
+        println!("{}", record.to_json_pretty());
+    } else {
+        println!("\n(wall clock: {wall_s:.1}s)");
+    }
+    Ok(())
+}
+
+/// The rated AR/VR scenario of the given kind.
+fn build(kind: &str, fps_scale: f64, horizon_s: f64) -> Scenario {
+    match kind {
+        "AR/VR-A" => herald_workloads::arvr_a_stream(fps_scale, horizon_s),
+        _ => herald_workloads::arvr_b_stream(fps_scale, horizon_s),
+    }
+}

@@ -98,7 +98,7 @@ impl Bencher {
             samples_ns.push(t0.elapsed().as_nanos() as f64 / batch as f64);
             iters += batch;
         }
-        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        samples_ns.sort_by(f64::total_cmp);
         let median_ns = samples_ns[samples_ns.len() / 2];
         let min_ns = samples_ns[0];
         let m = Measurement {

@@ -30,11 +30,11 @@
 
 pub mod harness;
 
-use herald::{Experiment, ExperimentOutcome, HeraldError};
+use herald::{Experiment, ExperimentOutcome, HeraldError, StreamOutcome};
 use herald_arch::{AcceleratorClass, AcceleratorConfig, HardwareResources};
 use herald_core::exec::ExecutionReport;
 use herald_dataflow::DataflowStyle;
-use herald_workloads::MultiDnnWorkload;
+use herald_workloads::{MultiDnnWorkload, Scenario};
 
 /// The four HDA style sets evaluated in Table III (the first is
 /// Maelstrom's).
@@ -123,6 +123,51 @@ pub fn search_hda(
         .on(class)
         .with_styles(styles.iter().copied())
         .run()
+}
+
+/// Streams a scenario on one fixed accelerator through the facade.
+///
+/// # Errors
+///
+/// Propagates any [`HeraldError`] from [`Experiment::scenario`].
+pub fn stream_fixed(
+    scenario: &Scenario,
+    config: AcceleratorConfig,
+    fast: bool,
+) -> Result<StreamOutcome, HeraldError> {
+    let exp = Experiment::new(scenario.design_workload());
+    let exp = if fast { exp.fast() } else { exp };
+    exp.on_accelerator(config).scenario(scenario)
+}
+
+/// The fps scale at which a unit-scale rated scenario loads `config` to
+/// roughly `target_util` of its serial service capacity: each stream's
+/// single-frame latency is measured on the fixed hardware, weighted by
+/// its unit-scale rate, and the total is scaled to the target.
+///
+/// # Errors
+///
+/// Propagates any [`HeraldError`] from the per-stream evaluations.
+pub fn utilization_fps_scale(
+    unit_scenario: &Scenario,
+    config: &AcceleratorConfig,
+    target_util: f64,
+    fast: bool,
+) -> Result<f64, HeraldError> {
+    let mut unit_load = 0.0f64;
+    for stream in unit_scenario.streams() {
+        let lat = evaluate_fixed(stream.workload(), config.clone(), fast)?.latency_s();
+        unit_load += stream.arrival().mean_fps() * lat;
+    }
+    if unit_load <= 0.0 {
+        return Err(HeraldError::Scenario {
+            reason: format!(
+                "scenario {:?} has zero aggregate load",
+                unit_scenario.name()
+            ),
+        });
+    }
+    Ok(target_util / unit_load)
 }
 
 /// One evaluated accelerator on one workload: a row of Fig. 11.
@@ -216,7 +261,7 @@ pub fn evaluate_suite(
 pub fn best_of<'a>(rows: &'a [EvalRow], group: &str) -> Option<&'a EvalRow> {
     rows.iter()
         .filter(|r| r.group == group)
-        .min_by(|a, b| a.edp().partial_cmp(&b.edp()).expect("finite EDP"))
+        .min_by(|a, b| a.edp().total_cmp(&b.edp()))
 }
 
 /// Percentage improvement of `ours` over `base` (positive = ours lower).

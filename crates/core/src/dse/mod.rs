@@ -122,8 +122,7 @@ impl DseOutcome {
         self.points.iter().min_by(|a, b| {
             a.report
                 .score(self.metric)
-                .partial_cmp(&b.report.score(self.metric))
-                .expect("scores are finite")
+                .total_cmp(&b.report.score(self.metric))
         })
     }
 

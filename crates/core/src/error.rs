@@ -34,6 +34,12 @@ pub enum HeraldError {
         /// Name of the workload searched.
         workload: String,
     },
+    /// A streaming scenario is degenerate (no streams, non-positive
+    /// horizon, rate or deadline, or an empty workload).
+    Scenario {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
     /// Accelerator construction was rejected.
     Config(ConfigError),
     /// Schedule validation or simulation failed.
@@ -62,6 +68,9 @@ impl fmt::Display for HeraldError {
                     f,
                     "no feasible design point found for workload {workload:?}"
                 )
+            }
+            HeraldError::Scenario { reason } => {
+                write!(f, "invalid streaming scenario: {reason}")
             }
             HeraldError::Config(e) => write!(f, "accelerator configuration rejected: {e}"),
             HeraldError::Simulation(e) => write!(f, "schedule simulation failed: {e}"),
@@ -145,6 +154,15 @@ mod tests {
         assert!(e.to_string().contains("arvr-a"));
         let e = HeraldError::TooFewStyles { got: 1 };
         assert!(e.to_string().contains("got 1"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn scenario_errors_render_their_reason() {
+        let e = HeraldError::Scenario {
+            reason: "no streams".into(),
+        };
+        assert!(e.to_string().contains("no streams"));
         assert!(e.source().is_none());
     }
 }

@@ -1,6 +1,13 @@
 //! The HDA execution model: schedule replay with dependence and memory
 //! constraints (paper Sec. IV-A).
+//!
+//! Since the streaming refactor, the actual commit loop lives in the
+//! shared event core ([`crate::sim`]); [`ScheduleSimulator::simulate`] is
+//! a thin single-frame wrapper over it, so one-shot replay and streaming
+//! scenarios share one implementation of dependence ordering and the
+//! memory-feasibility rule.
 
+use crate::sim::core::{EventCore, GraphRef, ScheduleRef, STAGING_FRACTION};
 use crate::task::{TaskGraph, TaskId};
 use herald_arch::AcceleratorConfig;
 use herald_cost::{CostModel, EnergyBreakdown, LayerCost, Metric};
@@ -8,6 +15,8 @@ use herald_dataflow::DataflowStyle;
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
+
+pub(crate) use crate::sim::core::earliest_memory_feasible;
 
 /// A complete layer-execution schedule: which sub-accelerator runs each
 /// task, and in what order each sub-accelerator's queue executes.
@@ -56,16 +65,19 @@ impl Schedule {
     }
 
     /// The sub-accelerator index each task is assigned to.
+    #[must_use]
     pub fn assignment(&self) -> &[usize] {
         &self.assignment
     }
 
     /// The per-sub-accelerator execution queues.
+    #[must_use]
     pub fn order(&self) -> &[Vec<TaskId>] {
         &self.order
     }
 
     /// Number of sub-accelerators this schedule targets.
+    #[must_use]
     pub fn ways(&self) -> usize {
         self.order.len()
     }
@@ -141,47 +153,73 @@ pub struct ExecutionReport {
 }
 
 impl ExecutionReport {
+    /// Assembles a report from the event core's accumulated state.
+    pub(crate) fn from_parts(
+        entries: Vec<ScheduleEntry>,
+        per_acc: Vec<AccSummary>,
+        energy: EnergyBreakdown,
+        total_latency_s: f64,
+        peak_memory_bytes: u64,
+    ) -> Self {
+        Self {
+            entries,
+            per_acc,
+            energy,
+            total_latency_s,
+            peak_memory_bytes,
+        }
+    }
+
     /// The timeline, sorted by start time.
+    #[must_use]
     pub fn entries(&self) -> &[ScheduleEntry] {
         &self.entries
     }
 
     /// Per-sub-accelerator summaries.
+    #[must_use]
     pub fn per_acc(&self) -> &[AccSummary] {
         &self.per_acc
     }
 
     /// Workload makespan in seconds.
+    #[must_use]
     pub fn total_latency_s(&self) -> f64 {
         self.total_latency_s
     }
 
     /// Total energy in joules.
+    #[must_use]
     pub fn total_energy_j(&self) -> f64 {
         self.energy.total_j()
     }
 
     /// Energy breakdown across hierarchy levels.
+    #[must_use]
     pub fn energy(&self) -> &EnergyBreakdown {
         &self.energy
     }
 
     /// Energy-delay product, J*s.
+    #[must_use]
     pub fn edp(&self) -> f64 {
         self.total_latency_s * self.total_energy_j()
     }
 
     /// The report under a metric.
+    #[must_use]
     pub fn score(&self, metric: Metric) -> f64 {
         metric.score(self.total_latency_s, self.total_energy_j())
     }
 
     /// Peak simultaneous global-buffer occupancy observed, bytes.
+    #[must_use]
     pub fn peak_memory_bytes(&self) -> u64 {
         self.peak_memory_bytes
     }
 
     /// Temporal utilization of a sub-accelerator: busy time over makespan.
+    #[must_use]
     pub fn acc_utilization(&self, acc: usize) -> f64 {
         if self.total_latency_s == 0.0 {
             0.0
@@ -203,11 +241,6 @@ impl fmt::Display for ExecutionReport {
         )
     }
 }
-
-/// The fraction of the global buffer available for staging one layer's
-/// activations; the remainder is shared headroom for concurrently running
-/// layers and prefetch double-buffering.
-const STAGING_FRACTION: u64 = 4;
 
 /// Replays a [`Schedule`] against the execution model of Sec. IV-A:
 /// sub-accelerators run their queues in order, each layer starting as soon
@@ -276,7 +309,8 @@ impl<'a> ScheduleSimulator<'a> {
         self.acc.global_buffer_bytes() / STAGING_FRACTION
     }
 
-    /// Replays the schedule.
+    /// Replays the schedule as a single frame arriving at `t = 0` on the
+    /// shared event core.
     ///
     /// # Errors
     ///
@@ -284,162 +318,14 @@ impl<'a> ScheduleSimulator<'a> {
     /// the graph/accelerator, [`SimError::Deadlock`] if the queue order is
     /// circularly blocked.
     pub fn simulate(&self, schedule: &Schedule) -> Result<ExecutionReport, SimError> {
-        if schedule.assignment().len() != self.graph.len() {
-            return Err(SimError::InvalidSchedule(format!(
-                "schedule covers {} tasks, graph has {}",
-                schedule.assignment().len(),
-                self.graph.len()
-            )));
-        }
-        if schedule.ways() != self.acc.sub_accelerators().len() {
-            return Err(SimError::InvalidSchedule(format!(
-                "schedule has {} queues, accelerator has {} sub-accelerators",
-                schedule.ways(),
-                self.acc.sub_accelerators().len()
-            )));
-        }
-
-        let ways = schedule.ways();
-        let gb = self.acc.global_buffer_bytes();
-        let staging_cap = self.staging_cap();
-
-        let mut head = vec![0usize; ways];
-        let mut acc_free = vec![0.0f64; ways];
-        let mut finish: Vec<Option<f64>> = vec![None; self.graph.len()];
-        // Committed intervals: (start, finish, occupancy_bytes).
-        let mut intervals: Vec<(f64, f64, u64)> = Vec::with_capacity(self.graph.len());
-        let mut entries: Vec<ScheduleEntry> = Vec::with_capacity(self.graph.len());
-        let mut per_acc: Vec<AccSummary> = self
-            .acc
-            .sub_accelerators()
-            .iter()
-            .map(|s| AccSummary {
-                name: s.name().to_string(),
-                layers: 0,
-                busy_s: 0.0,
-                finish_s: 0.0,
-                energy_j: 0.0,
-            })
-            .collect();
-        let mut energy = EnergyBreakdown::default();
-        let mut peak_mem = 0u64;
-        let mut remaining: usize = self.graph.len();
-
-        while remaining > 0 {
-            // Find, among ready queue heads, the one that can start
-            // earliest; commit exactly that one (earliest-start-first keeps
-            // the replay deterministic and event-ordered).
-            let mut best: Option<(f64, usize, TaskId, LayerCost)> = None;
-            for a in 0..ways {
-                let queue = &schedule.order()[a];
-                if head[a] >= queue.len() {
-                    continue;
-                }
-                let t = queue[head[a]];
-                // All dependences must already be committed.
-                let mut ready = acc_free[a];
-                let mut blocked = false;
-                for &d in self.graph.deps(t) {
-                    match finish[d.0] {
-                        Some(fin) => ready = ready.max(fin),
-                        None => {
-                            blocked = true;
-                            break;
-                        }
-                    }
-                }
-                if blocked {
-                    continue;
-                }
-                let cost = self.task_cost(t, a);
-                let occ = cost.buffer.occupancy_bytes(staging_cap);
-                let start = earliest_memory_feasible(ready, occ, gb, &intervals);
-                match &best {
-                    Some((s, _, _, _)) if *s <= start => {}
-                    _ => best = Some((start, a, t, cost)),
-                }
-            }
-
-            let Some((start, a, t, cost)) = best else {
-                // Every queue head is blocked on an uncommitted dependence.
-                let stuck = (0..ways)
-                    .find_map(|a| schedule.order()[a].get(head[a]))
-                    .copied()
-                    .expect("remaining > 0 implies a queue head exists");
-                return Err(SimError::Deadlock { task: stuck });
-            };
-
-            let dur = cost.latency_s;
-            let fin = start + dur;
-            let occ = cost.buffer.occupancy_bytes(staging_cap);
-            intervals.push((start, fin, occ));
-            peak_mem = peak_mem.max(occupancy_at(start, &intervals));
-            finish[t.0] = Some(fin);
-            acc_free[a] = fin;
-            head[a] += 1;
-            remaining -= 1;
-
-            per_acc[a].layers += 1;
-            per_acc[a].busy_s += dur;
-            per_acc[a].finish_s = fin;
-            per_acc[a].energy_j += cost.energy.total_j();
-            energy = energy.plus(&cost.energy);
-            entries.push(ScheduleEntry {
-                task: t,
-                acc: a,
-                start_s: start,
-                finish_s: fin,
-                style: cost.style,
-                energy_j: cost.energy.total_j(),
-            });
-        }
-
-        entries.sort_by(|a, b| a.start_s.partial_cmp(&b.start_s).expect("finite times"));
-        let total_latency_s = per_acc.iter().map(|s| s.finish_s).fold(0.0, f64::max);
-        Ok(ExecutionReport {
-            entries,
-            per_acc,
-            energy,
-            total_latency_s,
-            peak_memory_bytes: peak_mem,
-        })
-    }
-}
-
-/// Occupancy of the global buffer at time `t` given committed intervals.
-pub(crate) fn occupancy_at(t: f64, intervals: &[(f64, f64, u64)]) -> u64 {
-    intervals
-        .iter()
-        .filter(|(s, f, _)| *s <= t && t < *f)
-        .map(|(_, _, occ)| occ)
-        .sum()
-}
-
-/// The earliest time `>= ready` at which `occ` extra bytes fit under the
-/// global-buffer capacity, stepping across interval finish events.
-pub(crate) fn earliest_memory_feasible(
-    ready: f64,
-    occ: u64,
-    gb: u64,
-    intervals: &[(f64, f64, u64)],
-) -> f64 {
-    let mut t = ready;
-    loop {
-        if occupancy_at(t, intervals) + occ <= gb {
-            return t;
-        }
-        // Advance to the next finish event after t; if none exists the
-        // buffer can never free up, so admit at once (a single layer's
-        // occupancy is capped below the buffer size by construction).
-        let next = intervals
-            .iter()
-            .map(|(_, f, _)| *f)
-            .filter(|f| *f > t)
-            .fold(f64::INFINITY, f64::min);
-        if next.is_infinite() {
-            return t;
-        }
-        t = next;
+        let mut core = EventCore::new(self.acc, self.cost, self.metric);
+        core.admit(
+            GraphRef::Borrowed(self.graph),
+            ScheduleRef::Borrowed(schedule),
+            0.0,
+        )?;
+        core.run_until(f64::INFINITY)?;
+        Ok(core.into_single_report())
     }
 }
 

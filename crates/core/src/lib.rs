@@ -17,7 +17,11 @@
 //! 3. The [`exec::ScheduleSimulator`] replays a schedule against the
 //!    execution model of Sec. IV-A (layer-granularity, non-synchronized
 //!    sub-accelerators, double buffering, global-buffer memory constraint)
-//!    and produces an [`exec::ExecutionReport`].
+//!    and produces an [`exec::ExecutionReport`]. It is a single-frame
+//!    wrapper over the event-driven core in [`sim`], whose
+//!    [`sim::StreamSimulator`] runs whole streaming scenarios (arrival
+//!    processes, deadlines, mid-stream workload swaps) and reports
+//!    streaming metrics in a [`sim::StreamReport`].
 //! 4. The [`dse::DseEngine`] sweeps hardware partitionings (Definition 1)
 //!    and co-optimizes them with the scheduler, yielding the design-space
 //!    clouds of the paper's Figs. 6 and 11; [`pareto`] extracts frontiers.
@@ -61,6 +65,7 @@ pub mod pareto;
 pub mod report;
 pub mod rng;
 pub mod sched;
+pub mod sim;
 pub mod task;
 
 pub use error::HeraldError;

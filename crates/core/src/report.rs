@@ -137,7 +137,7 @@ pub fn memory_timeline(
         events.push((e.start_s, occ));
         events.push((e.finish_s, -occ));
     }
-    events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+    events.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut current = 0i64;
     let mut out = Vec::with_capacity(events.len());
     for (t, delta) in events {

@@ -70,7 +70,7 @@ impl Scheduler for GreedyScheduler {
                     let cb = acc.sub_accelerators()[b]
                         .layer_cost(cost, layer, self.metric)
                         .score(self.metric);
-                    ca.partial_cmp(&cb).expect("scores are finite")
+                    ca.total_cmp(&cb)
                 })
                 .expect("at least one sub-accelerator");
             assignment[t.0] = best;

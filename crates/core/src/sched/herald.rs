@@ -143,8 +143,7 @@ impl HeraldScheduler {
                 ranked.sort_by(|&a, &b| {
                     costs[a]
                         .score(cfg.metric)
-                        .partial_cmp(&costs[b].score(cfg.metric))
-                        .expect("scores are finite")
+                        .total_cmp(&costs[b].score(cfg.metric))
                 });
                 let preferred = ranked[0];
 
@@ -166,7 +165,7 @@ impl HeraldScheduler {
                     candidates.sort_by(|&a, &b| {
                         let fa = now.max(acc_free[a]) + costs[a].latency_s;
                         let fb = now.max(acc_free[b]) + costs[b].latency_s;
-                        fa.partial_cmp(&fb).expect("finite times")
+                        fa.total_cmp(&fb)
                     });
                 }
 

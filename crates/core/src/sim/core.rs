@@ -1,0 +1,596 @@
+//! The shared event core: a virtual-clock commit loop over the frames
+//! currently in flight.
+//!
+//! Both the one-shot [`crate::exec::ScheduleSimulator`] and the streaming
+//! [`crate::sim::StreamSimulator`] drive this machine, so the execution
+//! model of Sec. IV-A — dependence ordering, sub-accelerator queues and
+//! the global-buffer memory constraint — exists exactly once. A *frame*
+//! is one admitted (task graph, schedule) pair with an arrival time; the
+//! core repeatedly commits, among all ready queue heads of all in-flight
+//! frames, the task that can start earliest. Because a newly committed
+//! task can only delay (never advance) the start of any other candidate,
+//! commits happen in non-decreasing start order: the loop *is* the event
+//! queue, with layer completions as events and the last committed start
+//! as the virtual clock.
+
+use crate::exec::{AccSummary, ExecutionReport, Schedule, ScheduleEntry, SimError};
+use crate::task::{TaskGraph, TaskId};
+use herald_arch::AcceleratorConfig;
+use herald_cost::{CostModel, EnergyBreakdown, LayerCost, Metric};
+use std::sync::Arc;
+
+/// The fraction of the global buffer available for staging one layer's
+/// activations; the remainder is shared headroom for concurrently running
+/// layers and prefetch double-buffering.
+pub(crate) const STAGING_FRACTION: u64 = 4;
+
+/// A frame's task graph: borrowed for the one-shot wrapper (no clone on
+/// the DSE hot path), shared for streaming frames that reuse one graph
+/// per workload version.
+pub(crate) enum GraphRef<'a> {
+    /// Borrowed from the caller (single-frame replay).
+    Borrowed(&'a TaskGraph),
+    /// Shared ownership across frames of one stream.
+    Shared(Arc<TaskGraph>),
+}
+
+impl GraphRef<'_> {
+    fn get(&self) -> &TaskGraph {
+        match self {
+            GraphRef::Borrowed(g) => g,
+            GraphRef::Shared(g) => g,
+        }
+    }
+}
+
+/// A frame's schedule, mirroring [`GraphRef`]'s ownership split.
+pub(crate) enum ScheduleRef<'a> {
+    /// Borrowed from the caller (single-frame replay).
+    Borrowed(&'a Schedule),
+    /// Owned (computed online at frame arrival).
+    Owned(Schedule),
+}
+
+impl ScheduleRef<'_> {
+    fn get(&self) -> &Schedule {
+        match self {
+            ScheduleRef::Borrowed(s) => s,
+            ScheduleRef::Owned(s) => s,
+        }
+    }
+}
+
+/// One frame in flight.
+struct FrameState<'a> {
+    graph: GraphRef<'a>,
+    schedule: ScheduleRef<'a>,
+    arrival_s: f64,
+    /// Per-sub-accelerator queue positions.
+    head: Vec<usize>,
+    /// Committed finish time per task.
+    finish: Vec<Option<f64>>,
+    remaining: usize,
+    entries: Vec<ScheduleEntry>,
+    energy: EnergyBreakdown,
+}
+
+/// The finished timeline of one frame, extracted with
+/// [`EventCore::take_frame`].
+pub(crate) struct FrameResult {
+    /// Arrival time of the frame, seconds.
+    pub arrival_s: f64,
+    /// Finish time of the frame's last task (equals `arrival_s` for an
+    /// empty frame).
+    pub finish_s: f64,
+    /// The frame's committed timeline, sorted by start time.
+    pub entries: Vec<ScheduleEntry>,
+    /// Energy of the frame's tasks.
+    pub energy: EnergyBreakdown,
+}
+
+/// The event-driven simulation core shared by one-shot replay and
+/// streaming scenarios.
+pub(crate) struct EventCore<'a> {
+    acc: &'a AcceleratorConfig,
+    cost: &'a CostModel,
+    metric: Metric,
+    acc_free: Vec<f64>,
+    /// Committed intervals: (start, finish, occupancy_bytes).
+    intervals: Vec<(f64, f64, u64)>,
+    frames: Vec<Option<FrameState<'a>>>,
+    per_acc: Vec<AccSummary>,
+    energy: EnergyBreakdown,
+    peak_mem: u64,
+}
+
+impl<'a> EventCore<'a> {
+    pub(crate) fn new(acc: &'a AcceleratorConfig, cost: &'a CostModel, metric: Metric) -> Self {
+        let per_acc = acc
+            .sub_accelerators()
+            .iter()
+            .map(|s| AccSummary {
+                name: s.name().to_string(),
+                layers: 0,
+                busy_s: 0.0,
+                finish_s: 0.0,
+                energy_j: 0.0,
+            })
+            .collect();
+        Self {
+            acc,
+            cost,
+            metric,
+            acc_free: vec![0.0; acc.sub_accelerators().len()],
+            intervals: Vec::new(),
+            frames: Vec::new(),
+            per_acc,
+            energy: EnergyBreakdown::default(),
+            peak_mem: 0,
+        }
+    }
+
+    /// Staging cap per layer: the global-buffer share one layer may pin.
+    fn staging_cap(&self) -> u64 {
+        self.acc.global_buffer_bytes() / STAGING_FRACTION
+    }
+
+    /// Admits a frame at `arrival_s`, validating that the schedule's shape
+    /// matches the graph and accelerator. Returns the frame handle.
+    pub(crate) fn admit(
+        &mut self,
+        graph: GraphRef<'a>,
+        schedule: ScheduleRef<'a>,
+        arrival_s: f64,
+    ) -> Result<usize, SimError> {
+        let g = graph.get();
+        let s = schedule.get();
+        if s.assignment().len() != g.len() {
+            return Err(SimError::InvalidSchedule(format!(
+                "schedule covers {} tasks, graph has {}",
+                s.assignment().len(),
+                g.len()
+            )));
+        }
+        if s.ways() != self.acc.sub_accelerators().len() {
+            return Err(SimError::InvalidSchedule(format!(
+                "schedule has {} queues, accelerator has {} sub-accelerators",
+                s.ways(),
+                self.acc.sub_accelerators().len()
+            )));
+        }
+        let remaining = g.len();
+        let ways = s.ways();
+        let finish = vec![None; g.len()];
+        self.frames.push(Some(FrameState {
+            graph,
+            schedule,
+            arrival_s,
+            head: vec![0; ways],
+            finish,
+            remaining,
+            entries: Vec::with_capacity(remaining),
+            energy: EnergyBreakdown::default(),
+        }));
+        Ok(self.frames.len() - 1)
+    }
+
+    /// Tasks not yet committed across all in-flight frames.
+    fn total_remaining(&self) -> usize {
+        self.frames.iter().flatten().map(|f| f.remaining).sum()
+    }
+
+    /// The best next commit: the ready queue head with the earliest
+    /// feasible start, scanning frames in admission order and
+    /// sub-accelerators in index order (first-found wins ties, which keeps
+    /// the loop deterministic and, for a single frame, byte-identical to
+    /// the historical replay order).
+    fn select_best(&self) -> Option<(f64, usize, usize, TaskId, LayerCost)> {
+        let gb = self.acc.global_buffer_bytes();
+        let staging_cap = self.staging_cap();
+        let mut best: Option<(f64, usize, usize, TaskId, LayerCost)> = None;
+        for (fi, frame) in self.frames.iter().enumerate() {
+            let Some(frame) = frame else { continue };
+            if frame.remaining == 0 {
+                continue;
+            }
+            let graph = frame.graph.get();
+            let schedule = frame.schedule.get();
+            for (a, queue) in schedule.order().iter().enumerate() {
+                if frame.head[a] >= queue.len() {
+                    continue;
+                }
+                let t = queue[frame.head[a]];
+                // All dependences must already be committed.
+                let mut ready = frame.arrival_s.max(self.acc_free[a]);
+                let mut blocked = false;
+                for &d in graph.deps(t) {
+                    match frame.finish[d.0] {
+                        Some(fin) => ready = ready.max(fin),
+                        None => {
+                            blocked = true;
+                            break;
+                        }
+                    }
+                }
+                if blocked {
+                    continue;
+                }
+                let cost = self.acc.sub_accelerators()[a].layer_cost(
+                    self.cost,
+                    graph.layer(t),
+                    self.metric,
+                );
+                let occ = cost.buffer.occupancy_bytes(staging_cap);
+                let start = earliest_memory_feasible(ready, occ, gb, &self.intervals);
+                match &best {
+                    Some((s, _, _, _, _)) if *s <= start => {}
+                    _ => best = Some((start, fi, a, t, cost)),
+                }
+            }
+        }
+        best
+    }
+
+    /// Commits tasks in event order until every admitted frame completes
+    /// or the next commit would start after `limit` (which is then left
+    /// uncommitted so the caller can admit arrivals first).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] when uncommitted tasks remain but every
+    /// queue head waits on a task queued behind another blocked head.
+    /// Dependences never cross frames, so pending arrivals cannot resolve
+    /// the cycle and the error is definitive.
+    pub(crate) fn run_until(&mut self, limit: f64) -> Result<(), SimError> {
+        while self.total_remaining() > 0 {
+            let Some((start, fi, a, t, cost)) = self.select_best() else {
+                let stuck = self
+                    .frames
+                    .iter()
+                    .flatten()
+                    .find_map(|f| {
+                        f.schedule
+                            .get()
+                            .order()
+                            .iter()
+                            .zip(&f.head)
+                            .find_map(|(queue, &h)| queue.get(h))
+                    })
+                    .copied()
+                    .expect("remaining > 0 implies a queue head exists");
+                return Err(SimError::Deadlock { task: stuck });
+            };
+            if start > limit {
+                return Ok(());
+            }
+            self.commit(start, fi, a, t, &cost);
+        }
+        Ok(())
+    }
+
+    fn commit(&mut self, start: f64, fi: usize, a: usize, t: TaskId, cost: &LayerCost) {
+        let staging_cap = self.staging_cap();
+        let dur = cost.latency_s;
+        let fin = start + dur;
+        let occ = cost.buffer.occupancy_bytes(staging_cap);
+        self.intervals.push((start, fin, occ));
+        self.peak_mem = self.peak_mem.max(occupancy_at(start, &self.intervals));
+        self.acc_free[a] = fin;
+
+        let frame = self.frames[fi]
+            .as_mut()
+            .expect("commit targets an in-flight frame");
+        frame.finish[t.0] = Some(fin);
+        frame.head[a] += 1;
+        frame.remaining -= 1;
+        frame.energy = frame.energy.plus(&cost.energy);
+        frame.entries.push(ScheduleEntry {
+            task: t,
+            acc: a,
+            start_s: start,
+            finish_s: fin,
+            style: cost.style,
+            energy_j: cost.energy.total_j(),
+        });
+
+        self.per_acc[a].layers += 1;
+        self.per_acc[a].busy_s += dur;
+        self.per_acc[a].finish_s = fin;
+        self.per_acc[a].energy_j += cost.energy.total_j();
+        self.energy = self.energy.plus(&cost.energy);
+    }
+
+    /// Whether a frame has committed all of its tasks.
+    pub(crate) fn frame_done(&self, frame: usize) -> bool {
+        self.frames[frame].as_ref().is_none_or(|f| f.remaining == 0)
+    }
+
+    /// Extracts a completed frame's timeline, freeing its state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is unknown, already taken, or incomplete.
+    pub(crate) fn take_frame(&mut self, frame: usize) -> FrameResult {
+        let f = self.frames[frame].take().expect("frame taken twice");
+        assert_eq!(f.remaining, 0, "frame still has uncommitted tasks");
+        let mut entries = f.entries;
+        entries.sort_by(|a, b| a.start_s.total_cmp(&b.start_s));
+        let finish_s = entries
+            .iter()
+            .map(|e| e.finish_s)
+            .fold(f.arrival_s, f64::max);
+        FrameResult {
+            arrival_s: f.arrival_s,
+            finish_s,
+            entries,
+            energy: f.energy,
+        }
+    }
+
+    /// Drops committed memory intervals that can no longer influence any
+    /// future feasibility query. Every candidate's probed start is at
+    /// least its frame's arrival, and every frame the caller will still
+    /// admit arrives at or after `now` (the caller's current event
+    /// time), so intervals finishing at or before
+    /// `min(now, earliest incomplete arrival)` are dead weight — pruning
+    /// them is exact, not an approximation. `now` also keeps intervals
+    /// of still-*running* layers alive when every admitted frame happens
+    /// to be fully committed.
+    pub(crate) fn prune_intervals(&mut self, now: f64) {
+        let cut = self
+            .frames
+            .iter()
+            .flatten()
+            .filter(|f| f.remaining > 0)
+            .map(|f| f.arrival_s)
+            .fold(now, f64::min);
+        self.intervals.retain(|(_, f, _)| *f > cut);
+    }
+
+    /// Global-buffer peak occupancy observed so far, bytes.
+    pub(crate) fn peak_memory_bytes(&self) -> u64 {
+        self.peak_mem
+    }
+
+    /// Per-sub-accelerator summaries accumulated so far.
+    pub(crate) fn per_acc(&self) -> &[AccSummary] {
+        &self.per_acc
+    }
+
+    /// Energy accumulated so far.
+    pub(crate) fn energy(&self) -> &EnergyBreakdown {
+        &self.energy
+    }
+
+    /// Finishes a single-frame replay: consumes the core and produces the
+    /// classic [`ExecutionReport`] for its only admitted frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more or fewer than one frame was admitted.
+    pub(crate) fn into_single_report(mut self) -> ExecutionReport {
+        assert_eq!(self.frames.len(), 1, "single-frame report needs one frame");
+        let frame = self.take_frame(0);
+        let total_latency_s = self.per_acc.iter().map(|s| s.finish_s).fold(0.0, f64::max);
+        ExecutionReport::from_parts(
+            frame.entries,
+            self.per_acc,
+            self.energy,
+            total_latency_s,
+            self.peak_mem,
+        )
+    }
+}
+
+/// Occupancy of the global buffer at time `t` given committed intervals.
+pub(crate) fn occupancy_at(t: f64, intervals: &[(f64, f64, u64)]) -> u64 {
+    intervals
+        .iter()
+        .filter(|(s, f, _)| *s <= t && t < *f)
+        .map(|(_, _, occ)| occ)
+        .sum()
+}
+
+/// The earliest time `>= ready` at which `occ` extra bytes fit under the
+/// global-buffer capacity, stepping across interval finish events.
+pub(crate) fn earliest_memory_feasible(
+    ready: f64,
+    occ: u64,
+    gb: u64,
+    intervals: &[(f64, f64, u64)],
+) -> f64 {
+    let mut t = ready;
+    loop {
+        if occupancy_at(t, intervals) + occ <= gb {
+            return t;
+        }
+        // Advance to the next finish event after t; if none exists the
+        // buffer can never free up, so admit at once (a single layer's
+        // occupancy is capped below the buffer size by construction).
+        let next = intervals
+            .iter()
+            .map(|(_, f, _)| *f)
+            .filter(|f| *f > t)
+            .fold(f64::INFINITY, f64::min);
+        if next.is_infinite() {
+            return t;
+        }
+        t = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    /// Seeded random interval sets for property-style checks.
+    fn random_intervals(rng: &mut SplitMix64, n: usize, gb: u64) -> Vec<(f64, f64, u64)> {
+        (0..n)
+            .map(|_| {
+                let start = rng.gen_range(0, 1000) as f64 / 100.0;
+                let dur = (rng.gen_range(1, 300) as f64) / 100.0;
+                let occ = rng.gen_range(1, (gb / 2) as usize) as u64;
+                (start, start + dur, occ)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn occupancy_at_matches_brute_force_and_boundaries() {
+        let mut rng = SplitMix64::seed_from_u64(11);
+        for _ in 0..50 {
+            let gb = 1 << 16;
+            let intervals = random_intervals(&mut rng, 8, gb);
+            for &(s, f, _) in &intervals {
+                // Half-open semantics: occupied at start, free at finish.
+                let at_start: u64 = intervals
+                    .iter()
+                    .filter(|(a, b, _)| *a <= s && s < *b)
+                    .map(|(_, _, o)| o)
+                    .sum();
+                assert_eq!(occupancy_at(s, &intervals), at_start);
+                let at_finish = occupancy_at(f, &intervals);
+                let without_self: u64 = intervals
+                    .iter()
+                    .filter(|(a, b, _)| *a <= f && f < *b)
+                    .map(|(_, _, o)| o)
+                    .sum();
+                assert_eq!(at_finish, without_self);
+            }
+        }
+    }
+
+    #[test]
+    fn feasible_start_never_precedes_ready() {
+        let mut rng = SplitMix64::seed_from_u64(42);
+        for _ in 0..200 {
+            let gb = 1 << 14;
+            let intervals = random_intervals(&mut rng, 12, gb);
+            let ready = rng.gen_range(0, 1500) as f64 / 100.0;
+            let occ = rng.gen_range(0, gb as usize + 1) as u64;
+            let t = earliest_memory_feasible(ready, occ, gb, &intervals);
+            assert!(t >= ready, "start {t} before ready {ready}");
+        }
+    }
+
+    #[test]
+    fn feasible_start_respects_capacity_or_exhausts_events() {
+        let mut rng = SplitMix64::seed_from_u64(7);
+        for _ in 0..200 {
+            let gb = 1 << 14;
+            let intervals = random_intervals(&mut rng, 12, gb);
+            let ready = rng.gen_range(0, 1500) as f64 / 100.0;
+            let occ = rng.gen_range(0, gb as usize + 1) as u64;
+            let t = earliest_memory_feasible(ready, occ, gb, &intervals);
+            let fits = occupancy_at(t, &intervals) + occ <= gb;
+            let no_more_events = intervals.iter().all(|(_, f, _)| *f <= t);
+            assert!(
+                fits || no_more_events,
+                "infeasible start {t} with pending finish events"
+            );
+        }
+    }
+
+    #[test]
+    fn feasible_start_is_minimal_across_finish_events() {
+        // Every earlier candidate instant (the ready time and each finish
+        // event before the returned start) must be infeasible.
+        let mut rng = SplitMix64::seed_from_u64(1234);
+        for _ in 0..200 {
+            let gb = 1 << 14;
+            let intervals = random_intervals(&mut rng, 10, gb);
+            let ready = rng.gen_range(0, 1200) as f64 / 100.0;
+            let occ = rng.gen_range(1, gb as usize) as u64;
+            let t = earliest_memory_feasible(ready, occ, gb, &intervals);
+            let mut candidates: Vec<f64> = intervals
+                .iter()
+                .map(|(_, f, _)| *f)
+                .filter(|f| *f >= ready && *f < t)
+                .collect();
+            if t > ready {
+                candidates.push(ready);
+            }
+            for c in candidates {
+                assert!(
+                    occupancy_at(c, &intervals) + occ > gb,
+                    "earlier instant {c} was feasible but {t} returned"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_keeps_running_intervals_when_all_frames_committed() {
+        // Regression: a fully *committed* frame can still have layers
+        // executing past the caller's current time; their memory
+        // intervals must survive pruning so a later-admitted frame sees
+        // the occupancy.
+        use crate::exec::Schedule;
+        use crate::task::TaskGraph;
+        use herald_arch::{AcceleratorClass, AcceleratorConfig};
+        use herald_dataflow::DataflowStyle;
+
+        let graph = TaskGraph::new(&herald_workloads::single_model(
+            herald_models::zoo::mobilenet_v1(),
+            1,
+        ));
+        let acc = AcceleratorConfig::fda(DataflowStyle::Nvdla, AcceleratorClass::Edge.resources());
+        let cost = CostModel::default();
+        let schedule = Schedule::new(vec![0; graph.len()], vec![graph.ids().collect()]).unwrap();
+        let mut core = EventCore::new(&acc, &cost, Metric::Edp);
+        core.admit(
+            GraphRef::Borrowed(&graph),
+            ScheduleRef::Borrowed(&schedule),
+            0.0,
+        )
+        .unwrap();
+        core.run_until(f64::INFINITY).unwrap();
+        let n = core.intervals.len();
+        assert!(n > 0);
+        let last_finish = core
+            .intervals
+            .iter()
+            .map(|(_, f, _)| *f)
+            .fold(0.0, f64::max);
+        // All frames are committed, but at `now` before the last finish
+        // those intervals are still live: they must be retained.
+        core.prune_intervals(last_finish / 2.0);
+        assert!(
+            core.intervals
+                .iter()
+                .all(|(_, f, _)| *f > last_finish / 2.0),
+            "only dead intervals pruned"
+        );
+        assert!(!core.intervals.is_empty());
+        // Past the last finish everything is prunable.
+        core.prune_intervals(last_finish + 1.0);
+        assert!(core.intervals.is_empty());
+    }
+
+    #[test]
+    fn pruning_preserves_feasibility_answers() {
+        // Dropping intervals that finish at or before a cut must not
+        // change any query at or after the cut.
+        let mut rng = SplitMix64::seed_from_u64(99);
+        for _ in 0..100 {
+            let gb = 1 << 14;
+            let intervals = random_intervals(&mut rng, 12, gb);
+            let cut = rng.gen_range(0, 1200) as f64 / 100.0;
+            let pruned: Vec<_> = intervals
+                .iter()
+                .copied()
+                .filter(|(_, f, _)| *f > cut)
+                .collect();
+            for k in 0..10 {
+                let t = cut + k as f64 / 3.0;
+                assert_eq!(occupancy_at(t, &intervals), occupancy_at(t, &pruned));
+                let occ = rng.gen_range(1, gb as usize) as u64;
+                assert_eq!(
+                    earliest_memory_feasible(t, occ, gb, &intervals),
+                    earliest_memory_feasible(t, occ, gb, &pruned)
+                );
+            }
+        }
+    }
+}

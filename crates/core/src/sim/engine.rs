@@ -1,0 +1,607 @@
+//! The streaming scenario driver: turns a [`Scenario`] into a timed event
+//! trace (frame arrivals, workload swaps) and pushes it through the
+//! shared [`EventCore`], invoking the compile-time [`Scheduler`] online
+//! at every frame arrival and at every workload-change event.
+
+use crate::error::HeraldError;
+use crate::rng::SplitMix64;
+use crate::sched::Scheduler;
+use crate::sim::core::{EventCore, GraphRef, ScheduleRef};
+use crate::sim::report::{BusySpan, FrameRecord, StreamReport, SwapRecord};
+use crate::task::TaskGraph;
+use herald_arch::AcceleratorConfig;
+use herald_cost::{CostModel, Metric};
+use herald_workloads::{ArrivalProcess, Scenario};
+use std::sync::Arc;
+
+/// An event-driven streaming simulator over one accelerator.
+///
+/// Where [`crate::exec::ScheduleSimulator`] replays one pre-built schedule
+/// for one frame, this simulator consumes a whole [`Scenario`]: it
+/// generates frame arrivals per stream, instantiates a task graph per
+/// frame, asks the scheduler for a fresh schedule *online* at each
+/// arrival (and at each workload swap, modeling the runtime recompiling
+/// when the deployed workload changes), and lets the shared event core
+/// interleave all in-flight frames under the Sec. IV-A execution model.
+///
+/// # Example
+///
+/// ```
+/// use herald_arch::{AcceleratorClass, AcceleratorConfig};
+/// use herald_core::sched::HeraldScheduler;
+/// use herald_core::sim::StreamSimulator;
+/// use herald_cost::CostModel;
+/// use herald_dataflow::DataflowStyle;
+/// use herald_workloads::{Scenario, StreamSpec};
+///
+/// let workload = herald_workloads::single_model(herald_models::zoo::mobilenet_v1(), 1);
+/// let scenario = Scenario::new("demo", 0.05)
+///     .stream(StreamSpec::periodic("cam", workload, 60.0).with_deadline(0.1));
+/// let acc = AcceleratorConfig::fda(
+///     DataflowStyle::Nvdla, AcceleratorClass::Edge.resources());
+/// let cost = CostModel::default();
+/// let report = StreamSimulator::new(&acc, &cost)
+///     .simulate(&HeraldScheduler::default(), &scenario)
+///     .unwrap();
+/// assert_eq!(report.frames().len(), 3); // arrivals at 0, 1/60, 2/60
+/// ```
+#[derive(Debug)]
+pub struct StreamSimulator<'a> {
+    acc: &'a AcceleratorConfig,
+    cost: &'a CostModel,
+    metric: Metric,
+}
+
+/// One generated event of the trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    /// A workload swap (processed before a same-instant arrival so the
+    /// arrival already sees the new workload).
+    Swap { swap_index: usize },
+    /// A frame arrival.
+    Arrival { seq: usize },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    t: f64,
+    stream: usize,
+    kind: EventKind,
+}
+
+impl Event {
+    /// Deterministic total order: time, then swaps before arrivals, then
+    /// stream index.
+    fn key(&self) -> (f64, u8, usize) {
+        let kind_rank = match self.kind {
+            EventKind::Swap { .. } => 0,
+            EventKind::Arrival { .. } => 1,
+        };
+        (self.t, kind_rank, self.stream)
+    }
+}
+
+/// Per-stream mutable state while the trace plays out.
+struct StreamState {
+    graph: Arc<TaskGraph>,
+    workload_name: String,
+    deadline_s: Option<f64>,
+    /// A schedule eagerly compiled at a workload-change event, consumed
+    /// by the first arrival of the new workload (the scheduler is
+    /// deterministic, so this is exactly what that arrival would have
+    /// computed).
+    recompiled: Option<crate::sched::Schedule>,
+}
+
+/// Metadata of an admitted frame, joined with the core's timeline once
+/// the frame completes.
+struct PendingFrame {
+    handle: usize,
+    stream: usize,
+    seq: usize,
+    workload: String,
+    deadline_s: Option<f64>,
+}
+
+impl<'a> StreamSimulator<'a> {
+    /// Creates a streaming simulator with the default (EDP) metric for
+    /// reconfigurable-array style selection.
+    pub fn new(acc: &'a AcceleratorConfig, cost: &'a CostModel) -> Self {
+        Self {
+            acc,
+            cost,
+            metric: Metric::Edp,
+        }
+    }
+
+    /// Overrides the metric used when a reconfigurable sub-accelerator
+    /// picks its per-layer dataflow.
+    #[must_use]
+    pub fn with_metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Runs the scenario to completion: every frame arriving before the
+    /// horizon is simulated until its last layer finishes.
+    ///
+    /// Given equal inputs the result is bit-for-bit reproducible: arrival
+    /// sampling is seeded, the event order is total, and the core commits
+    /// deterministically.
+    ///
+    /// # Errors
+    ///
+    /// * [`HeraldError::Scenario`] — degenerate scenario (no streams,
+    ///   non-positive horizon / rate / deadline, or an empty workload);
+    /// * [`HeraldError::Simulation`] — the scheduler produced a schedule
+    ///   the event core rejects (indicates a scheduler bug).
+    pub fn simulate<S: Scheduler>(
+        &self,
+        scheduler: &S,
+        scenario: &Scenario,
+    ) -> Result<StreamReport, HeraldError> {
+        validate(scenario)?;
+        let mut events = build_trace(scenario);
+        events.sort_by(|a, b| {
+            let (ta, ka, sa) = a.key();
+            let (tb, kb, sb) = b.key();
+            ta.total_cmp(&tb).then(ka.cmp(&kb)).then(sa.cmp(&sb))
+        });
+
+        let mut streams: Vec<StreamState> = scenario
+            .streams()
+            .iter()
+            .map(|s| StreamState {
+                graph: Arc::new(TaskGraph::new(s.workload())),
+                workload_name: s.workload().name().to_string(),
+                deadline_s: s.deadline_s(),
+                recompiled: None,
+            })
+            .collect();
+
+        let mut core = EventCore::new(self.acc, self.cost, self.metric);
+        let mut pending: Vec<PendingFrame> = Vec::new();
+        let mut frames: Vec<FrameRecord> = Vec::new();
+        let mut busy_spans: Vec<BusySpan> = Vec::new();
+        let mut swaps: Vec<SwapRecord> = Vec::new();
+        let mut scheduler_invocations = 0usize;
+        let mut makespan = scenario.horizon_s();
+
+        let harvest = |core: &mut EventCore<'_>,
+                       pending: &mut Vec<PendingFrame>,
+                       frames: &mut Vec<FrameRecord>,
+                       busy_spans: &mut Vec<BusySpan>,
+                       makespan: &mut f64| {
+            pending.retain(|p| {
+                if !core.frame_done(p.handle) {
+                    return true;
+                }
+                let done = core.take_frame(p.handle);
+                *makespan = makespan.max(done.finish_s);
+                let latency_s = done.finish_s - done.arrival_s;
+                frames.push(FrameRecord {
+                    stream: p.stream,
+                    seq: p.seq,
+                    workload: p.workload.clone(),
+                    arrival_s: done.arrival_s,
+                    finish_s: done.finish_s,
+                    latency_s,
+                    deadline_s: p.deadline_s,
+                    missed: p.deadline_s.is_some_and(|d| latency_s > d),
+                    energy_j: done.energy.total_j(),
+                });
+                busy_spans.extend(done.entries.iter().map(|e| BusySpan {
+                    acc: e.acc,
+                    start_s: e.start_s,
+                    finish_s: e.finish_s,
+                }));
+                false
+            });
+        };
+
+        for event in events {
+            core.run_until(event.t).map_err(HeraldError::Simulation)?;
+            harvest(
+                &mut core,
+                &mut pending,
+                &mut frames,
+                &mut busy_spans,
+                &mut makespan,
+            );
+            core.prune_intervals(event.t);
+            let stream = &mut streams[event.stream];
+            match event.kind {
+                EventKind::Arrival { seq } => {
+                    // The online scheduling decision for this frame: use
+                    // the schedule recompiled at a preceding workload
+                    // swap if one is waiting, otherwise schedule fresh.
+                    let schedule = match stream.recompiled.take() {
+                        Some(schedule) => schedule,
+                        None => {
+                            scheduler_invocations += 1;
+                            scheduler.schedule(&stream.graph, self.acc, self.cost)
+                        }
+                    };
+                    let handle = core
+                        .admit(
+                            GraphRef::Shared(Arc::clone(&stream.graph)),
+                            ScheduleRef::Owned(schedule),
+                            event.t,
+                        )
+                        .map_err(HeraldError::Simulation)?;
+                    pending.push(PendingFrame {
+                        handle,
+                        stream: event.stream,
+                        seq,
+                        workload: stream.workload_name.clone(),
+                        deadline_s: stream.deadline_s,
+                    });
+                }
+                EventKind::Swap { swap_index } => {
+                    let swap = &scenario.streams()[event.stream].swaps()[swap_index];
+                    let graph = Arc::new(TaskGraph::new(&swap.workload));
+                    // Recompile eagerly at the change event; the first
+                    // arrival of the new workload consumes this schedule
+                    // (the scheduler is deterministic, so it is exactly
+                    // what that arrival would compute). Later arrivals
+                    // reschedule against the new graph as usual.
+                    stream.recompiled = Some(scheduler.schedule(&graph, self.acc, self.cost));
+                    scheduler_invocations += 1;
+                    swaps.push(SwapRecord {
+                        stream: event.stream,
+                        at_s: event.t,
+                        from: stream.workload_name.clone(),
+                        to: swap.workload.name().to_string(),
+                    });
+                    stream.graph = graph;
+                    stream.workload_name = swap.workload.name().to_string();
+                }
+            }
+        }
+        core.run_until(f64::INFINITY)
+            .map_err(HeraldError::Simulation)?;
+        harvest(
+            &mut core,
+            &mut pending,
+            &mut frames,
+            &mut busy_spans,
+            &mut makespan,
+        );
+        debug_assert!(pending.is_empty(), "all frames complete after drain");
+
+        frames.sort_by(|a, b| {
+            a.arrival_s
+                .total_cmp(&b.arrival_s)
+                .then(a.stream.cmp(&b.stream))
+                .then(a.seq.cmp(&b.seq))
+        });
+        busy_spans.sort_by(|a, b| a.start_s.total_cmp(&b.start_s).then(a.acc.cmp(&b.acc)));
+
+        Ok(StreamReport::new(
+            scenario.name().to_string(),
+            scenario
+                .streams()
+                .iter()
+                .map(|s| s.name().to_string())
+                .collect(),
+            scenario.horizon_s(),
+            makespan,
+            frames,
+            swaps,
+            core.per_acc().to_vec(),
+            *core.energy(),
+            core.peak_memory_bytes(),
+            scheduler_invocations,
+            busy_spans,
+        ))
+    }
+}
+
+fn validate(scenario: &Scenario) -> Result<(), HeraldError> {
+    let fail = |reason: String| Err(HeraldError::Scenario { reason });
+    if scenario.streams().is_empty() {
+        return fail(format!("scenario {:?} has no streams", scenario.name()));
+    }
+    if !(scenario.horizon_s() > 0.0 && scenario.horizon_s().is_finite()) {
+        return fail(format!(
+            "scenario {:?} horizon must be positive and finite, got {}",
+            scenario.name(),
+            scenario.horizon_s()
+        ));
+    }
+    for s in scenario.streams() {
+        if s.workload().total_layers() == 0 {
+            return fail(format!("stream {:?} has an empty workload", s.name()));
+        }
+        let rate = s.arrival().mean_fps();
+        match s.arrival() {
+            ArrivalProcess::OneShot => {}
+            _ if rate > 0.0 && rate.is_finite() => {}
+            _ => {
+                return fail(format!(
+                    "stream {:?} rate must be positive and finite, got {rate}",
+                    s.name()
+                ))
+            }
+        }
+        if let Some(d) = s.deadline_s() {
+            if !(d > 0.0 && d.is_finite()) {
+                return fail(format!(
+                    "stream {:?} deadline must be positive and finite, got {d}",
+                    s.name()
+                ));
+            }
+        }
+        for swap in s.swaps() {
+            if swap.workload.total_layers() == 0 {
+                return fail(format!(
+                    "stream {:?} swaps to an empty workload at {} s",
+                    s.name(),
+                    swap.at_s
+                ));
+            }
+            if !(swap.at_s >= 0.0 && swap.at_s.is_finite()) {
+                return fail(format!(
+                    "stream {:?} swap time must be non-negative and finite, got {}",
+                    s.name(),
+                    swap.at_s
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Generates the full event trace: every arrival in `[0, horizon)` per
+/// stream plus every swap event.
+fn build_trace(scenario: &Scenario) -> Vec<Event> {
+    let horizon = scenario.horizon_s();
+    let mut events = Vec::new();
+    for (si, stream) in scenario.streams().iter().enumerate() {
+        match *stream.arrival() {
+            ArrivalProcess::Periodic { fps } => {
+                let mut seq = 0usize;
+                loop {
+                    let t = seq as f64 / fps;
+                    if t >= horizon {
+                        break;
+                    }
+                    events.push(Event {
+                        t,
+                        stream: si,
+                        kind: EventKind::Arrival { seq },
+                    });
+                    seq += 1;
+                }
+            }
+            ArrivalProcess::Poisson { mean_fps, seed } => {
+                let mut rng = SplitMix64::seed_from_u64(seed);
+                let mut t = 0.0f64;
+                let mut seq = 0usize;
+                loop {
+                    t += exponential_gap(&mut rng, mean_fps);
+                    if t >= horizon {
+                        break;
+                    }
+                    events.push(Event {
+                        t,
+                        stream: si,
+                        kind: EventKind::Arrival { seq },
+                    });
+                    seq += 1;
+                }
+            }
+            ArrivalProcess::OneShot => {
+                events.push(Event {
+                    t: 0.0,
+                    stream: si,
+                    kind: EventKind::Arrival { seq: 0 },
+                });
+            }
+        }
+        for (swap_index, swap) in stream.swaps().iter().enumerate() {
+            if swap.at_s < horizon {
+                events.push(Event {
+                    t: swap.at_s,
+                    stream: si,
+                    kind: EventKind::Swap { swap_index },
+                });
+            }
+        }
+    }
+    events
+}
+
+/// A deterministic exponential inter-arrival gap with mean `1 / rate`.
+fn exponential_gap(rng: &mut SplitMix64, rate: f64) -> f64 {
+    // 53 uniform bits mapped into (0, 1]: ln is finite and the stream is
+    // identical for identical seeds.
+    let u = ((rng.next_u64() >> 11) as f64 + 1.0) / 9_007_199_254_740_992.0;
+    -u.ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::HeraldScheduler;
+    use herald_arch::AcceleratorClass;
+    use herald_dataflow::DataflowStyle;
+    use herald_models::zoo;
+    use herald_workloads::{single_model, StreamSpec};
+
+    fn acc() -> AcceleratorConfig {
+        AcceleratorConfig::fda(DataflowStyle::Nvdla, AcceleratorClass::Edge.resources())
+    }
+
+    fn tiny_workload() -> herald_workloads::MultiDnnWorkload {
+        single_model(zoo::mobilenet_v1(), 1)
+    }
+
+    #[test]
+    fn periodic_arrivals_count_matches_rate_and_horizon() {
+        let scenario =
+            Scenario::new("s", 0.1).stream(StreamSpec::periodic("cam", tiny_workload(), 50.0));
+        let cost = CostModel::default();
+        let report = StreamSimulator::new(&acc(), &cost)
+            .simulate(&HeraldScheduler::default(), &scenario)
+            .unwrap();
+        assert_eq!(report.frames().len(), 5); // t = 0, 0.02, ..., 0.08
+        assert_eq!(report.scheduler_invocations(), 5);
+        // Frames arrive in order and latencies are positive.
+        for w in report.frames().windows(2) {
+            assert!(w[1].arrival_s >= w[0].arrival_s);
+        }
+        assert!(report.frames().iter().all(|f| f.latency_s > 0.0));
+    }
+
+    #[test]
+    fn overload_queues_frames_and_grows_latency() {
+        // Frame period far below the service time: each frame waits on
+        // the previous, so latency grows monotonically.
+        let scenario = Scenario::new("overload", 0.02)
+            .stream(StreamSpec::periodic("cam", tiny_workload(), 200.0).with_deadline(0.005));
+        let cost = CostModel::default();
+        let report = StreamSimulator::new(&acc(), &cost)
+            .simulate(&HeraldScheduler::default(), &scenario)
+            .unwrap();
+        assert!(report.frames().len() >= 3);
+        for w in report.frames().windows(2) {
+            assert!(w[1].latency_s > w[0].latency_s - 1e-12);
+        }
+        assert!(report.makespan_s() > scenario.horizon_s());
+    }
+
+    #[test]
+    fn one_shot_stream_runs_exactly_one_frame() {
+        let scenario = Scenario::new("one", 1.0).stream(StreamSpec::one_shot("s", tiny_workload()));
+        let cost = CostModel::default();
+        let report = StreamSimulator::new(&acc(), &cost)
+            .simulate(&HeraldScheduler::default(), &scenario)
+            .unwrap();
+        assert_eq!(report.frames().len(), 1);
+        assert_eq!(report.frames()[0].arrival_s, 0.0);
+    }
+
+    #[test]
+    fn poisson_streams_are_seed_deterministic() {
+        let make = |seed| {
+            Scenario::new("p", 0.2).stream(StreamSpec::poisson("s", tiny_workload(), 40.0, seed))
+        };
+        let cost = CostModel::default();
+        let acc = acc();
+        let sim = StreamSimulator::new(&acc, &cost);
+        let sched = HeraldScheduler::default();
+        let a = sim.simulate(&sched, &make(1)).unwrap();
+        let b = sim.simulate(&sched, &make(1)).unwrap();
+        assert_eq!(a, b);
+        let c = sim.simulate(&sched, &make(2)).unwrap();
+        let arrivals =
+            |r: &StreamReport| r.frames().iter().map(|f| f.arrival_s).collect::<Vec<_>>();
+        assert_ne!(arrivals(&a), arrivals(&c));
+    }
+
+    #[test]
+    fn swap_changes_frame_workloads_and_is_recorded() {
+        let before = tiny_workload();
+        let after = single_model(zoo::mobilenet_v2(), 1);
+        let scenario = Scenario::new("swap", 0.04)
+            .stream(StreamSpec::periodic("s", before, 100.0).swap_at(0.02, after));
+        let cost = CostModel::default();
+        let report = StreamSimulator::new(&acc(), &cost)
+            .simulate(&HeraldScheduler::default(), &scenario)
+            .unwrap();
+        assert_eq!(report.swaps().len(), 1);
+        assert_eq!(report.swaps()[0].from, "MobileNetV1-b1");
+        assert_eq!(report.swaps()[0].to, "MobileNetV2-b1");
+        let pre: Vec<&str> = report
+            .frames()
+            .iter()
+            .filter(|f| f.arrival_s < 0.02)
+            .map(|f| f.workload.as_str())
+            .collect();
+        let post: Vec<&str> = report
+            .frames()
+            .iter()
+            .filter(|f| f.arrival_s >= 0.02)
+            .map(|f| f.workload.as_str())
+            .collect();
+        assert!(pre.iter().all(|w| *w == "MobileNetV1-b1"));
+        assert!(post.iter().all(|w| *w == "MobileNetV2-b1"));
+        assert!(!post.is_empty());
+        // One invocation per scheduling decision: every arrival plus the
+        // eager recompile at the swap, minus the first post-swap arrival
+        // which consumes the recompiled schedule.
+        assert_eq!(report.scheduler_invocations(), report.frames().len());
+    }
+
+    #[test]
+    fn degenerate_scenarios_are_typed_errors() {
+        let cost = CostModel::default();
+        let acc = acc();
+        let sim = StreamSimulator::new(&acc, &cost);
+        let sched = HeraldScheduler::default();
+        let empty = Scenario::new("empty", 1.0);
+        assert!(matches!(
+            sim.simulate(&sched, &empty),
+            Err(HeraldError::Scenario { .. })
+        ));
+        let zero_rate =
+            Scenario::new("zr", 1.0).stream(StreamSpec::periodic("s", tiny_workload(), 0.0));
+        assert!(matches!(
+            sim.simulate(&sched, &zero_rate),
+            Err(HeraldError::Scenario { .. })
+        ));
+        let bad_horizon =
+            Scenario::new("bh", 0.0).stream(StreamSpec::one_shot("s", tiny_workload()));
+        assert!(matches!(
+            sim.simulate(&sched, &bad_horizon),
+            Err(HeraldError::Scenario { .. })
+        ));
+        let empty_workload = Scenario::new("ew", 1.0).stream(StreamSpec::one_shot(
+            "s",
+            herald_workloads::MultiDnnWorkload::new("none"),
+        ));
+        assert!(matches!(
+            sim.simulate(&sched, &empty_workload),
+            Err(HeraldError::Scenario { .. })
+        ));
+    }
+
+    #[test]
+    fn deadlines_split_hit_and_miss() {
+        let cost = CostModel::default();
+        let acc = acc();
+        let sim = StreamSimulator::new(&acc, &cost);
+        let sched = HeraldScheduler::default();
+        // Absurdly tight deadline: everything misses.
+        let tight = Scenario::new("tight", 0.02)
+            .stream(StreamSpec::periodic("s", tiny_workload(), 100.0).with_deadline(1e-9));
+        let r = sim.simulate(&sched, &tight).unwrap();
+        assert!((r.deadline_miss_rate() - 1.0).abs() < 1e-12);
+        // Generous deadline at a sustainable rate: nothing misses.
+        let loose = Scenario::new("loose", 0.02)
+            .stream(StreamSpec::periodic("s", tiny_workload(), 100.0).with_deadline(1e9));
+        let r = sim.simulate(&sched, &loose).unwrap();
+        assert_eq!(r.deadline_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn utilization_and_spans_are_consistent() {
+        let scenario =
+            Scenario::new("u", 0.02).stream(StreamSpec::periodic("s", tiny_workload(), 100.0));
+        let cost = CostModel::default();
+        let report = StreamSimulator::new(&acc(), &cost)
+            .simulate(&HeraldScheduler::default(), &scenario)
+            .unwrap();
+        // Busy time from spans equals the per-acc summary.
+        let span_busy: f64 = report.frames().iter().map(|_| 0.0).sum::<f64>()
+            + report
+                .utilization_timeline(report.makespan_s())
+                .iter()
+                .map(|s| s.per_acc[0] * report.makespan_s())
+                .sum::<f64>();
+        assert!((span_busy - report.per_acc()[0].busy_s).abs() < 1e-9);
+        assert!(report.acc_utilization(0) > 0.0);
+        assert!(report.acc_utilization(0) <= 1.0 + 1e-12);
+    }
+}

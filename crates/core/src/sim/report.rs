@@ -1,0 +1,489 @@
+//! Streaming metrics: per-frame latency records, percentile summaries,
+//! deadline-miss rates and per-accelerator utilization over time.
+
+use crate::exec::AccSummary;
+use herald_cost::EnergyBreakdown;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One completed frame of a stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameRecord {
+    /// Index of the stream in [`StreamReport::stream_names`].
+    pub stream: usize,
+    /// Frame sequence number within its stream (0-based).
+    pub seq: usize,
+    /// Name of the workload this frame instantiated (changes across
+    /// workload swaps).
+    pub workload: String,
+    /// Arrival time, seconds.
+    pub arrival_s: f64,
+    /// Completion time of the frame's last layer, seconds.
+    pub finish_s: f64,
+    /// End-to-end frame latency (`finish_s - arrival_s`), seconds.
+    pub latency_s: f64,
+    /// The stream's per-frame deadline, if any.
+    pub deadline_s: Option<f64>,
+    /// Whether the frame finished after its deadline.
+    pub missed: bool,
+    /// Energy of the frame's layers, joules.
+    pub energy_j: f64,
+}
+
+/// A workload swap that occurred during the simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwapRecord {
+    /// Index of the stream in [`StreamReport::stream_names`].
+    pub stream: usize,
+    /// Virtual time of the swap, seconds.
+    pub at_s: f64,
+    /// Workload name before the swap.
+    pub from: String,
+    /// Workload name after the swap.
+    pub to: String,
+}
+
+/// One busy interval of one sub-accelerator (the raw material of the
+/// utilization-over-time view).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BusySpan {
+    /// Sub-accelerator index.
+    pub acc: usize,
+    /// Start of the busy interval, seconds.
+    pub start_s: f64,
+    /// End of the busy interval, seconds.
+    pub finish_s: f64,
+}
+
+/// Aggregated statistics of one stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamStats {
+    /// Stream name.
+    pub name: String,
+    /// Frames completed.
+    pub frames: usize,
+    /// Completed frames per second of makespan.
+    pub throughput_fps: f64,
+    /// Mean frame latency, seconds.
+    pub mean_latency_s: f64,
+    /// Median (p50) frame latency, seconds.
+    pub p50_latency_s: f64,
+    /// 95th-percentile frame latency, seconds.
+    pub p95_latency_s: f64,
+    /// 99th-percentile frame latency, seconds.
+    pub p99_latency_s: f64,
+    /// Fraction of deadline-carrying frames that missed (0 when the
+    /// stream has no deadline).
+    pub deadline_miss_rate: f64,
+}
+
+/// One sample of the utilization-over-time view.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationSample {
+    /// Window start, seconds.
+    pub t_s: f64,
+    /// Busy fraction of each sub-accelerator within the window.
+    pub per_acc: Vec<f64>,
+}
+
+/// The outcome of an event-driven streaming simulation: every completed
+/// frame, the swap history, and chip-level aggregates. All derived
+/// metrics (percentiles, miss rates, utilization) are computed from the
+/// recorded frames, so the report is self-contained and serializable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamReport {
+    scenario: String,
+    stream_names: Vec<String>,
+    horizon_s: f64,
+    makespan_s: f64,
+    frames: Vec<FrameRecord>,
+    swaps: Vec<SwapRecord>,
+    per_acc: Vec<AccSummary>,
+    energy: EnergyBreakdown,
+    peak_memory_bytes: u64,
+    scheduler_invocations: usize,
+    busy_spans: Vec<BusySpan>,
+}
+
+impl StreamReport {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        scenario: String,
+        stream_names: Vec<String>,
+        horizon_s: f64,
+        makespan_s: f64,
+        frames: Vec<FrameRecord>,
+        swaps: Vec<SwapRecord>,
+        per_acc: Vec<AccSummary>,
+        energy: EnergyBreakdown,
+        peak_memory_bytes: u64,
+        scheduler_invocations: usize,
+        busy_spans: Vec<BusySpan>,
+    ) -> Self {
+        Self {
+            scenario,
+            stream_names,
+            horizon_s,
+            makespan_s,
+            frames,
+            swaps,
+            per_acc,
+            energy,
+            peak_memory_bytes,
+            scheduler_invocations,
+            busy_spans,
+        }
+    }
+
+    /// Name of the simulated scenario.
+    #[must_use]
+    pub fn scenario(&self) -> &str {
+        &self.scenario
+    }
+
+    /// Stream names, indexed by [`FrameRecord::stream`].
+    #[must_use]
+    pub fn stream_names(&self) -> &[String] {
+        &self.stream_names
+    }
+
+    /// The scenario's arrival horizon, seconds.
+    #[must_use]
+    pub fn horizon_s(&self) -> f64 {
+        self.horizon_s
+    }
+
+    /// Completion time of the last frame (at least the horizon), seconds.
+    #[must_use]
+    pub fn makespan_s(&self) -> f64 {
+        self.makespan_s
+    }
+
+    /// Every completed frame, in arrival order.
+    #[must_use]
+    pub fn frames(&self) -> &[FrameRecord] {
+        &self.frames
+    }
+
+    /// The workload swaps that occurred.
+    #[must_use]
+    pub fn swaps(&self) -> &[SwapRecord] {
+        &self.swaps
+    }
+
+    /// Per-sub-accelerator summaries over the whole run.
+    #[must_use]
+    pub fn per_acc(&self) -> &[AccSummary] {
+        &self.per_acc
+    }
+
+    /// Energy breakdown over the whole run.
+    #[must_use]
+    pub fn energy(&self) -> &EnergyBreakdown {
+        &self.energy
+    }
+
+    /// Total energy over the whole run, joules.
+    #[must_use]
+    pub fn total_energy_j(&self) -> f64 {
+        self.energy.total_j()
+    }
+
+    /// Peak simultaneous global-buffer occupancy, bytes.
+    #[must_use]
+    pub fn peak_memory_bytes(&self) -> u64 {
+        self.peak_memory_bytes
+    }
+
+    /// Raw per-sub-accelerator busy intervals across all frames, sorted
+    /// by start time (the material behind
+    /// [`StreamReport::utilization_timeline`]).
+    #[must_use]
+    pub fn busy_spans(&self) -> &[BusySpan] {
+        &self.busy_spans
+    }
+
+    /// How many times the online scheduler actually ran: once per frame
+    /// arrival and once per workload swap (the eager recompile at a swap
+    /// event serves the first arrival of the new workload, which
+    /// therefore does not schedule again).
+    #[must_use]
+    pub fn scheduler_invocations(&self) -> usize {
+        self.scheduler_invocations
+    }
+
+    /// Aggregate throughput: completed frames per second of makespan.
+    #[must_use]
+    pub fn throughput_fps(&self) -> f64 {
+        if self.makespan_s <= 0.0 {
+            0.0
+        } else {
+            self.frames.len() as f64 / self.makespan_s
+        }
+    }
+
+    /// Temporal utilization of a sub-accelerator over the makespan.
+    #[must_use]
+    pub fn acc_utilization(&self, acc: usize) -> f64 {
+        if self.makespan_s <= 0.0 {
+            0.0
+        } else {
+            self.per_acc[acc].busy_s / self.makespan_s
+        }
+    }
+
+    /// A latency percentile over all frames (nearest-rank; `q` in
+    /// `[0, 1]`). Returns 0 for an empty report.
+    #[must_use]
+    pub fn latency_percentile(&self, q: f64) -> f64 {
+        percentile(self.frames.iter().map(|f| f.latency_s), q)
+    }
+
+    /// Deadline-miss rate over all frames that carry a deadline (0 when
+    /// none do).
+    #[must_use]
+    pub fn deadline_miss_rate(&self) -> f64 {
+        miss_rate(self.frames.iter())
+    }
+
+    /// Deadline-miss rate over frames arriving in `[t0, t1)` — the window
+    /// view that exposes transients around workload-change events.
+    #[must_use]
+    pub fn miss_rate_between(&self, t0: f64, t1: f64) -> f64 {
+        miss_rate(
+            self.frames
+                .iter()
+                .filter(|f| f.arrival_s >= t0 && f.arrival_s < t1),
+        )
+    }
+
+    /// Mean frame latency over frames arriving in `[t0, t1)` (0 when the
+    /// window is empty).
+    #[must_use]
+    pub fn mean_latency_between(&self, t0: f64, t1: f64) -> f64 {
+        let lats: Vec<f64> = self
+            .frames
+            .iter()
+            .filter(|f| f.arrival_s >= t0 && f.arrival_s < t1)
+            .map(|f| f.latency_s)
+            .collect();
+        if lats.is_empty() {
+            0.0
+        } else {
+            lats.iter().sum::<f64>() / lats.len() as f64
+        }
+    }
+
+    /// Per-stream aggregate statistics.
+    #[must_use]
+    pub fn stream_stats(&self) -> Vec<StreamStats> {
+        (0..self.stream_names.len())
+            .map(|i| {
+                let frames: Vec<&FrameRecord> =
+                    self.frames.iter().filter(|f| f.stream == i).collect();
+                let lats = || frames.iter().map(|f| f.latency_s);
+                let mean = if frames.is_empty() {
+                    0.0
+                } else {
+                    lats().sum::<f64>() / frames.len() as f64
+                };
+                StreamStats {
+                    name: self.stream_names[i].clone(),
+                    frames: frames.len(),
+                    throughput_fps: if self.makespan_s <= 0.0 {
+                        0.0
+                    } else {
+                        frames.len() as f64 / self.makespan_s
+                    },
+                    mean_latency_s: mean,
+                    p50_latency_s: percentile(lats(), 0.50),
+                    p95_latency_s: percentile(lats(), 0.95),
+                    p99_latency_s: percentile(lats(), 0.99),
+                    deadline_miss_rate: miss_rate(frames.iter().copied()),
+                }
+            })
+            .collect()
+    }
+
+    /// Per-accelerator busy fraction per time window of `window_s`
+    /// seconds, from 0 to the makespan — the utilization-over-time view.
+    #[must_use]
+    pub fn utilization_timeline(&self, window_s: f64) -> Vec<UtilizationSample> {
+        let ways = self.per_acc.len();
+        if window_s <= 0.0 || self.makespan_s <= 0.0 {
+            return Vec::new();
+        }
+        let windows = (self.makespan_s / window_s).ceil() as usize;
+        let mut busy = vec![vec![0.0f64; ways]; windows];
+        for span in &self.busy_spans {
+            let first = ((span.start_s / window_s) as usize).min(windows - 1);
+            let last = ((span.finish_s / window_s) as usize).min(windows - 1);
+            for (w, row) in busy.iter_mut().enumerate().take(last + 1).skip(first) {
+                let lo = w as f64 * window_s;
+                let hi = lo + window_s;
+                let overlap = (span.finish_s.min(hi) - span.start_s.max(lo)).max(0.0);
+                row[span.acc] += overlap;
+            }
+        }
+        busy.into_iter()
+            .enumerate()
+            .map(|(w, row)| UtilizationSample {
+                t_s: w as f64 * window_s,
+                per_acc: row.into_iter().map(|b| b / window_s).collect(),
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for StreamReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} frames in {:.3} s ({:.1} fps), p95 latency {:.4} s, \
+             miss rate {:.1}%, energy {:.4} J",
+            self.scenario,
+            self.frames.len(),
+            self.makespan_s,
+            self.throughput_fps(),
+            self.latency_percentile(0.95),
+            self.deadline_miss_rate() * 100.0,
+            self.total_energy_j()
+        )
+    }
+}
+
+/// Nearest-rank percentile of an iterator of samples (`q` clamped to
+/// `[0, 1]`; 0 for an empty iterator).
+fn percentile(samples: impl Iterator<Item = f64>, q: f64) -> f64 {
+    let mut v: Vec<f64> = samples.collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_by(f64::total_cmp);
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len());
+    v[rank - 1]
+}
+
+/// Miss rate over deadline-carrying frames (0 when none carry one).
+fn miss_rate<'a>(frames: impl Iterator<Item = &'a FrameRecord>) -> f64 {
+    let (mut with_deadline, mut missed) = (0usize, 0usize);
+    for f in frames {
+        if f.deadline_s.is_some() {
+            with_deadline += 1;
+            if f.missed {
+                missed += 1;
+            }
+        }
+    }
+    if with_deadline == 0 {
+        0.0
+    } else {
+        missed as f64 / with_deadline as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(stream: usize, arrival: f64, latency: f64, deadline: Option<f64>) -> FrameRecord {
+        FrameRecord {
+            stream,
+            seq: 0,
+            workload: "w".into(),
+            arrival_s: arrival,
+            finish_s: arrival + latency,
+            latency_s: latency,
+            deadline_s: deadline,
+            missed: deadline.is_some_and(|d| latency > d),
+            energy_j: 1.0,
+        }
+    }
+
+    fn report(frames: Vec<FrameRecord>) -> StreamReport {
+        StreamReport::new(
+            "test".into(),
+            vec!["s0".into(), "s1".into()],
+            1.0,
+            2.0,
+            frames,
+            Vec::new(),
+            vec![AccSummary {
+                name: "acc0".into(),
+                layers: 0,
+                busy_s: 1.0,
+                finish_s: 2.0,
+                energy_j: 0.0,
+            }],
+            EnergyBreakdown::default(),
+            0,
+            0,
+            vec![BusySpan {
+                acc: 0,
+                start_s: 0.0,
+                finish_s: 1.0,
+            }],
+        )
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let frames: Vec<FrameRecord> = (1..=100)
+            .map(|i| frame(0, i as f64, i as f64 / 100.0, None))
+            .collect();
+        let r = report(frames);
+        assert!((r.latency_percentile(0.50) - 0.50).abs() < 1e-12);
+        assert!((r.latency_percentile(0.95) - 0.95).abs() < 1e-12);
+        assert!((r.latency_percentile(0.99) - 0.99).abs() < 1e-12);
+        assert!((r.latency_percentile(1.0) - 1.00).abs() < 1e-12);
+        assert!((r.latency_percentile(0.0) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miss_rates_ignore_deadline_free_frames() {
+        let r = report(vec![
+            frame(0, 0.0, 0.5, Some(0.4)), // missed
+            frame(0, 0.5, 0.3, Some(0.4)), // met
+            frame(1, 0.7, 9.0, None),      // no deadline
+        ]);
+        assert!((r.deadline_miss_rate() - 0.5).abs() < 1e-12);
+        assert!((r.miss_rate_between(0.0, 0.4) - 1.0).abs() < 1e-12);
+        assert_eq!(r.miss_rate_between(0.6, 2.0), 0.0);
+    }
+
+    #[test]
+    fn stream_stats_split_by_stream() {
+        let r = report(vec![
+            frame(0, 0.0, 0.2, Some(1.0)),
+            frame(0, 0.5, 0.4, Some(1.0)),
+            frame(1, 0.1, 0.9, None),
+        ]);
+        let stats = r.stream_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].frames, 2);
+        assert!((stats[0].mean_latency_s - 0.3).abs() < 1e-12);
+        assert_eq!(stats[1].frames, 1);
+        assert!((stats[1].p99_latency_s - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_timeline_covers_makespan() {
+        let r = report(vec![frame(0, 0.0, 0.5, None)]);
+        let timeline = r.utilization_timeline(0.5);
+        assert_eq!(timeline.len(), 4); // makespan 2.0 / window 0.5
+        assert!((timeline[0].per_acc[0] - 1.0).abs() < 1e-12); // busy span [0,1)
+        assert!((timeline[1].per_acc[0] - 1.0).abs() < 1e-12);
+        assert_eq!(timeline[3].per_acc[0], 0.0);
+        assert!((r.acc_utilization(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_metrics_are_zero() {
+        let r = report(Vec::new());
+        assert_eq!(r.latency_percentile(0.95), 0.0);
+        assert_eq!(r.deadline_miss_rate(), 0.0);
+        assert_eq!(r.mean_latency_between(0.0, 1.0), 0.0);
+        assert!(r.throughput_fps() > 0.0 || r.frames().is_empty());
+    }
+}

@@ -241,11 +241,7 @@ impl CostModel {
                     },
                 )
             })
-            .min_by(|a, b| {
-                a.score(metric)
-                    .partial_cmp(&b.score(metric))
-                    .expect("scores are finite")
-            })
+            .min_by(|a, b| a.score(metric).total_cmp(&b.score(metric)))
             .expect("at least one style")
     }
 
@@ -261,11 +257,7 @@ impl CostModel {
         DataflowStyle::ALL
             .into_iter()
             .map(|style| (style, self.evaluate(layer, style, pes, bandwidth_gbps)))
-            .min_by(|a, b| {
-                a.1.score(metric)
-                    .partial_cmp(&b.1.score(metric))
-                    .expect("scores are finite")
-            })
+            .min_by(|a, b| a.1.score(metric).total_cmp(&b.1.score(metric)))
             .expect("at least one style")
     }
 

@@ -51,7 +51,7 @@ impl ModelStats {
             .iter()
             .map(|l| l.channel_activation_ratio())
             .collect();
-        ratios.sort_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
+        ratios.sort_by(f64::total_cmp);
         let median = if ratios.is_empty() {
             0.0
         } else if ratios.len() % 2 == 1 {

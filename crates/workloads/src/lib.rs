@@ -23,6 +23,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod scenario;
+
+pub use scenario::{
+    arvr_a_stream, arvr_b_stream, workload_change_trace, ArrivalProcess, Scenario, StreamSpec,
+    WorkloadSwap,
+};
+
 use herald_models::{zoo, DnnModel};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -33,7 +40,7 @@ use std::sync::Arc;
 /// Replicas of the same model share the underlying [`DnnModel`] via
 /// reference counting; the instance label distinguishes them in schedules
 /// and reports.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorkloadInstance {
     model: Arc<DnnModel>,
     replica: usize,
@@ -67,7 +74,7 @@ impl fmt::Display for WorkloadInstance {
 /// Build custom workloads with [`MultiDnnWorkload::new`] +
 /// [`MultiDnnWorkload::with_model`], or use the paper's Table II workloads
 /// ([`arvr_a`], [`arvr_b`], [`mlperf`]).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MultiDnnWorkload {
     name: String,
     instances: Vec<WorkloadInstance>,
@@ -97,6 +104,16 @@ impl MultiDnnWorkload {
                 replica,
             });
         }
+        self
+    }
+
+    /// Appends every replica of another workload (builder style). Replica
+    /// indices are kept as-is, so merged workloads may repeat labels such
+    /// as `"Resnet50#0"`; labels are cosmetic and schedules key on task
+    /// ids.
+    #[must_use]
+    pub fn with_workload(mut self, other: &MultiDnnWorkload) -> Self {
+        self.instances.extend(other.instances.iter().cloned());
         self
     }
 

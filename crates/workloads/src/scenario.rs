@@ -1,0 +1,394 @@
+//! Streaming multi-tenant scenarios: workload streams with arrival
+//! processes, per-stream deadlines and mid-stream workload swaps.
+//!
+//! The paper evaluates HDAs on AR/VR pipelines that process *streams* of
+//! frames at real-time rates (Table II models "different target processing
+//! rates of each sub-task" via replica counts) and studies robustness to a
+//! workload change after deployment (Fig. 13). A [`Scenario`] captures
+//! that operating regime as data: one [`StreamSpec`] per tenant, each with
+//! an [`ArrivalProcess`] (periodic frame rate, Poisson bursts, or a single
+//! one-shot frame), an optional per-frame deadline, and a list of
+//! [`WorkloadSwap`] events that change the stream's workload mid-run.
+//!
+//! Scenarios are pure descriptions — the event-driven simulator that
+//! consumes them lives in `herald-core::sim`.
+//!
+//! # Example
+//!
+//! ```
+//! use herald_workloads::{Scenario, StreamSpec};
+//!
+//! let scenario = Scenario::new("demo", 1.0)
+//!     .stream(
+//!         StreamSpec::periodic(
+//!             "cam",
+//!             herald_workloads::single_model(herald_models::zoo::mobilenet_v1(), 1),
+//!             30.0,
+//!         )
+//!         .with_deadline(1.0 / 30.0),
+//!     );
+//! assert_eq!(scenario.streams().len(), 1);
+//! ```
+
+use crate::{single_model, MultiDnnWorkload};
+use herald_models::zoo;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How frames of one stream arrive over virtual time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// A frame every `1 / fps` seconds, starting at `t = 0`.
+    Periodic {
+        /// Frame rate in frames per second (must be positive).
+        fps: f64,
+    },
+    /// Memoryless bursts: exponential inter-arrival gaps with the given
+    /// mean rate, sampled deterministically from `seed`.
+    Poisson {
+        /// Mean frame rate in frames per second (must be positive).
+        mean_fps: f64,
+        /// Seed of the deterministic gap sampler; equal seeds give equal
+        /// arrival times.
+        seed: u64,
+    },
+    /// A single frame at `t = 0` (the classic one-shot experiment).
+    OneShot,
+}
+
+impl ArrivalProcess {
+    /// The mean arrival rate in frames per second (0 for one-shot).
+    #[must_use]
+    pub fn mean_fps(&self) -> f64 {
+        match self {
+            ArrivalProcess::Periodic { fps } => *fps,
+            ArrivalProcess::Poisson { mean_fps, .. } => *mean_fps,
+            ArrivalProcess::OneShot => 0.0,
+        }
+    }
+}
+
+/// A scheduled mid-stream workload change (the Fig. 13 study as a stream
+/// event rather than two stitched one-shot runs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSwap {
+    /// Virtual time of the swap, seconds.
+    pub at_s: f64,
+    /// The workload that frames arriving after `at_s` instantiate.
+    pub workload: MultiDnnWorkload,
+}
+
+/// One tenant of a scenario: a named stream of frames, each frame being
+/// one inference of the stream's current workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamSpec {
+    name: String,
+    workload: MultiDnnWorkload,
+    arrival: ArrivalProcess,
+    deadline_s: Option<f64>,
+    swaps: Vec<WorkloadSwap>,
+}
+
+impl StreamSpec {
+    /// A stream with an arbitrary arrival process.
+    pub fn new(
+        name: impl Into<String>,
+        workload: MultiDnnWorkload,
+        arrival: ArrivalProcess,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            workload,
+            arrival,
+            deadline_s: None,
+            swaps: Vec::new(),
+        }
+    }
+
+    /// A periodic stream at `fps` frames per second.
+    pub fn periodic(name: impl Into<String>, workload: MultiDnnWorkload, fps: f64) -> Self {
+        Self::new(name, workload, ArrivalProcess::Periodic { fps })
+    }
+
+    /// A Poisson stream with mean rate `mean_fps`, sampled from `seed`.
+    pub fn poisson(
+        name: impl Into<String>,
+        workload: MultiDnnWorkload,
+        mean_fps: f64,
+        seed: u64,
+    ) -> Self {
+        Self::new(name, workload, ArrivalProcess::Poisson { mean_fps, seed })
+    }
+
+    /// A single frame at `t = 0`.
+    pub fn one_shot(name: impl Into<String>, workload: MultiDnnWorkload) -> Self {
+        Self::new(name, workload, ArrivalProcess::OneShot)
+    }
+
+    /// Sets the per-frame deadline: a frame misses if its completion lags
+    /// its arrival by more than `deadline_s`.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline_s: f64) -> Self {
+        self.deadline_s = Some(deadline_s);
+        self
+    }
+
+    /// Adds a workload swap at `at_s` (kept sorted by time).
+    #[must_use]
+    pub fn swap_at(mut self, at_s: f64, workload: MultiDnnWorkload) -> Self {
+        self.swaps.push(WorkloadSwap { at_s, workload });
+        self.swaps.sort_by(|a, b| a.at_s.total_cmp(&b.at_s));
+        self
+    }
+
+    /// The stream name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The workload each frame instantiates before any swap.
+    #[must_use]
+    pub fn workload(&self) -> &MultiDnnWorkload {
+        &self.workload
+    }
+
+    /// The arrival process.
+    #[must_use]
+    pub fn arrival(&self) -> &ArrivalProcess {
+        &self.arrival
+    }
+
+    /// The per-frame deadline, if any.
+    #[must_use]
+    pub fn deadline_s(&self) -> Option<f64> {
+        self.deadline_s
+    }
+
+    /// The scheduled workload swaps, sorted by time.
+    #[must_use]
+    pub fn swaps(&self) -> &[WorkloadSwap] {
+        &self.swaps
+    }
+}
+
+/// A complete streaming scenario: a named set of concurrent streams
+/// simulated over a fixed arrival horizon.
+///
+/// Frames arriving before `horizon_s` always run to completion, so the
+/// simulated makespan may exceed the horizon when the chip is overloaded.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    name: String,
+    horizon_s: f64,
+    streams: Vec<StreamSpec>,
+}
+
+impl Scenario {
+    /// An empty scenario generating arrivals in `[0, horizon_s)`.
+    pub fn new(name: impl Into<String>, horizon_s: f64) -> Self {
+        Self {
+            name: name.into(),
+            horizon_s,
+            streams: Vec::new(),
+        }
+    }
+
+    /// Adds a stream (builder style).
+    #[must_use]
+    pub fn stream(mut self, stream: StreamSpec) -> Self {
+        self.streams.push(stream);
+        self
+    }
+
+    /// The scenario name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The arrival horizon, seconds.
+    #[must_use]
+    pub fn horizon_s(&self) -> f64 {
+        self.horizon_s
+    }
+
+    /// The streams.
+    #[must_use]
+    pub fn streams(&self) -> &[StreamSpec] {
+        &self.streams
+    }
+
+    /// The aggregate *design* workload: every stream's initial workload
+    /// merged into one multi-DNN workload. This is what a hardware search
+    /// optimizes when an experiment targets a class budget rather than a
+    /// fixed accelerator — the streaming analogue of Table II's frames.
+    #[must_use]
+    pub fn design_workload(&self) -> MultiDnnWorkload {
+        let mut merged = MultiDnnWorkload::new(self.name.clone());
+        for s in &self.streams {
+            merged = merged.with_workload(s.workload());
+        }
+        merged
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let streams: Vec<String> = self
+            .streams
+            .iter()
+            .map(|s| format!("{} @ {:.1} fps", s.name(), s.arrival().mean_fps()))
+            .collect();
+        write!(
+            f,
+            "{} [{}] over {:.2}s",
+            self.name,
+            streams.join(", "),
+            self.horizon_s
+        )
+    }
+}
+
+/// The paper's relative per-sub-task processing rates, expressed as the
+/// Table II replica counts: a model assigned `batch` replicas streams at
+/// `batch x fps_scale` frames per second, each frame being one inference
+/// of a single replica. Deadlines equal the frame period (a frame must
+/// finish before the next one of its stream arrives).
+fn rated_stream(
+    name: &str,
+    model: herald_models::DnnModel,
+    batch: usize,
+    fps_scale: f64,
+) -> StreamSpec {
+    let fps = batch as f64 * fps_scale;
+    StreamSpec::periodic(name, single_model(model, 1), fps).with_deadline(1.0 / fps)
+}
+
+/// Table II **AR/VR-A** as a streaming scenario: Resnet50 at `2 x
+/// fps_scale`, UNet at `4 x fps_scale` and MobileNetV2 at `4 x fps_scale`
+/// frames per second over `horizon_s` seconds. `fps_scale = 7.5` gives the
+/// paper-rate 15/30/30 fps mix; smaller scales model the same rate ratios
+/// on smaller accelerator classes.
+#[must_use]
+pub fn arvr_a_stream(fps_scale: f64, horizon_s: f64) -> Scenario {
+    Scenario::new("AR/VR-A-stream", horizon_s)
+        .stream(rated_stream("resnet50", zoo::resnet50(), 2, fps_scale))
+        .stream(rated_stream("unet", zoo::unet(), 4, fps_scale))
+        .stream(rated_stream(
+            "mobilenet_v2",
+            zoo::mobilenet_v2(),
+            4,
+            fps_scale,
+        ))
+}
+
+/// Table II **AR/VR-B** as a streaming scenario (same rate convention as
+/// [`arvr_a_stream`]).
+#[must_use]
+pub fn arvr_b_stream(fps_scale: f64, horizon_s: f64) -> Scenario {
+    Scenario::new("AR/VR-B-stream", horizon_s)
+        .stream(rated_stream("resnet50", zoo::resnet50(), 2, fps_scale))
+        .stream(rated_stream("unet", zoo::unet(), 2, fps_scale))
+        .stream(rated_stream(
+            "mobilenet_v2",
+            zoo::mobilenet_v2(),
+            4,
+            fps_scale,
+        ))
+        .stream(rated_stream("handpose", zoo::brq_handpose(), 2, fps_scale))
+        .stream(rated_stream(
+            "depthnet",
+            zoo::focal_depthnet(),
+            2,
+            fps_scale,
+        ))
+}
+
+/// The Fig. 13 workload-change study as one continuous trace: a single
+/// periodic stream of full multi-DNN frames that starts as AR/VR-A and
+/// swaps to AR/VR-B at `horizon_s / 2`. The deadline applies to every
+/// frame, so the deadline-miss transient around the swap is directly
+/// observable from the stream report.
+#[must_use]
+pub fn workload_change_trace(fps: f64, deadline_s: f64, horizon_s: f64) -> Scenario {
+    Scenario::new("workload-change", horizon_s).stream(
+        StreamSpec::periodic("arvr", crate::arvr_a(), fps)
+            .with_deadline(deadline_s)
+            .swap_at(horizon_s / 2.0, crate::arvr_b()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_collects_streams_and_swaps() {
+        let s = workload_change_trace(2.0, 0.6, 4.0);
+        assert_eq!(s.streams().len(), 1);
+        let stream = &s.streams()[0];
+        assert_eq!(stream.swaps().len(), 1);
+        assert!((stream.swaps()[0].at_s - 2.0).abs() < 1e-12);
+        assert_eq!(stream.swaps()[0].workload.name(), "AR/VR-B");
+        assert_eq!(stream.deadline_s(), Some(0.6));
+    }
+
+    #[test]
+    fn swaps_stay_sorted() {
+        let w = single_model(zoo::mobilenet_v1(), 1);
+        let s = StreamSpec::periodic("s", w.clone(), 1.0)
+            .swap_at(3.0, w.clone())
+            .swap_at(1.0, w.clone())
+            .swap_at(2.0, w);
+        let times: Vec<f64> = s.swaps().iter().map(|x| x.at_s).collect();
+        assert_eq!(times, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn arvr_scenarios_keep_table2_rate_ratios() {
+        let a = arvr_a_stream(1.0, 2.0);
+        let rates: Vec<f64> = a.streams().iter().map(|s| s.arrival().mean_fps()).collect();
+        assert_eq!(rates, vec![2.0, 4.0, 4.0]);
+        let b = arvr_b_stream(2.0, 2.0);
+        assert_eq!(b.streams().len(), 5);
+        assert!((b.streams()[2].arrival().mean_fps() - 8.0).abs() < 1e-12);
+        // Deadlines equal the frame period.
+        for s in a.streams().iter().chain(b.streams()) {
+            assert!((s.deadline_s().unwrap() - 1.0 / s.arrival().mean_fps()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn design_workload_merges_all_streams() {
+        let a = arvr_a_stream(1.0, 2.0);
+        let w = a.design_workload();
+        assert_eq!(w.name(), "AR/VR-A-stream");
+        assert_eq!(w.instances().len(), 3); // one single-replica workload per stream
+        let change = workload_change_trace(1.0, 1.0, 2.0);
+        // The design workload is the *initial* workload (AR/VR-A).
+        assert_eq!(
+            change.design_workload().total_layers(),
+            crate::arvr_a().total_layers()
+        );
+    }
+
+    #[test]
+    fn one_shot_has_zero_mean_rate() {
+        assert_eq!(ArrivalProcess::OneShot.mean_fps(), 0.0);
+    }
+
+    #[test]
+    fn scenario_round_trips_through_json() {
+        let s = arvr_a_stream(1.0, 0.5);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn display_summarizes_streams() {
+        let text = arvr_a_stream(7.5, 1.0).to_string();
+        assert!(text.contains("resnet50 @ 15.0 fps"), "{text}");
+    }
+}

@@ -85,7 +85,7 @@ fn main() -> Result<(), HeraldError> {
 
     println!("\ntop 5 by EDP:");
     let mut ranked: Vec<_> = outcome.points().iter().collect();
-    ranked.sort_by(|a, b| a.edp().partial_cmp(&b.edp()).expect("finite EDP"));
+    ranked.sort_by(|a, b| a.edp().total_cmp(&b.edp()));
     for p in ranked.iter().take(5) {
         println!(
             "  {}  lat {:.5}s  energy {:.5}J  EDP {:.6}",

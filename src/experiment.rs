@@ -26,10 +26,11 @@
 use herald_arch::{AcceleratorClass, AcceleratorConfig, HardwareResources, Partition};
 use herald_core::dse::{DesignPoint, DseConfig, DseEngine, SearchStrategy};
 use herald_core::error::HeraldError;
-use herald_core::sched::SchedulerConfig;
-use herald_cost::Metric;
+use herald_core::sched::{HeraldScheduler, SchedulerConfig};
+use herald_core::sim::{StreamReport, StreamSimulator};
+use herald_cost::{CostModel, Metric};
 use herald_dataflow::DataflowStyle;
-use herald_workloads::MultiDnnWorkload;
+use herald_workloads::{MultiDnnWorkload, Scenario};
 use serde::Serialize;
 
 /// A builder describing one Herald experiment end to end.
@@ -249,6 +250,70 @@ impl Experiment {
             points: outcome.points,
         })
     }
+
+    /// Runs a streaming [`Scenario`] on the event-driven simulation core
+    /// instead of a one-shot frame.
+    ///
+    /// The hardware target follows the builder exactly like
+    /// [`Experiment::run`]: a fixed accelerator is streamed directly,
+    /// while a class budget plus styles first searches partitions against
+    /// the scenario's aggregate design workload
+    /// ([`Scenario::design_workload`] — the streaming analogue of a
+    /// Table II frame) and streams on the winner. The workload passed to
+    /// [`Experiment::new`] is not used here; frames come from the
+    /// scenario's streams.
+    ///
+    /// The scheduler configured on the builder is invoked *online* at
+    /// every frame arrival and at every workload-change event.
+    ///
+    /// # Errors
+    ///
+    /// * [`HeraldError::Scenario`] — degenerate scenario description;
+    /// * the same validation and search errors as [`Experiment::run`]
+    ///   when a partition search is requested;
+    /// * [`HeraldError::Simulation`] — a schedule failed to replay
+    ///   (indicates a scheduler bug).
+    pub fn scenario(mut self, scenario: &Scenario) -> Result<StreamOutcome, HeraldError> {
+        if self.fast && !self.scheduler_explicit {
+            self.dse.scheduler.post_process = DseConfig::fast().scheduler.post_process;
+        }
+        if let Some(metric) = self.metric {
+            self.dse.metric = metric;
+            self.dse.scheduler.metric = metric;
+        }
+        let config = match self.fixed.take() {
+            Some(config) => config,
+            None => {
+                // Delegate the search to the one-shot pipeline on the
+                // scenario's aggregate design workload, so every search
+                // knob (strategy, granularity, refinement rounds) behaves
+                // exactly as it does for `run`.
+                let design = scenario.design_workload();
+                if design.total_layers() == 0 {
+                    return Err(HeraldError::Scenario {
+                        reason: format!(
+                            "scenario {:?} has no layers to design for",
+                            scenario.name()
+                        ),
+                    });
+                }
+                let mut search = self.clone();
+                search.workload = design;
+                search.run()?.best().config.clone()
+            }
+        };
+        let cost = CostModel::default();
+        let scheduler = HeraldScheduler::new(self.dse.scheduler);
+        let report = StreamSimulator::new(&config, &cost)
+            .with_metric(self.dse.metric)
+            .simulate(&scheduler, scenario)?;
+        Ok(StreamOutcome {
+            scenario: scenario.name().to_string(),
+            accelerator: config.name().to_string(),
+            metric: self.dse.metric,
+            report,
+        })
+    }
 }
 
 fn validate_resources(res: HardwareResources) -> Result<(), HeraldError> {
@@ -287,13 +352,53 @@ fn best_index(points: &[DesignPoint], metric: Metric) -> Option<usize> {
     points
         .iter()
         .enumerate()
-        .min_by(|(_, a), (_, b)| {
-            a.report
-                .score(metric)
-                .partial_cmp(&b.report.score(metric))
-                .expect("scores are finite")
-        })
+        .min_by(|(_, a), (_, b)| a.report.score(metric).total_cmp(&b.report.score(metric)))
         .map(|(i, _)| i)
+}
+
+/// The result of a streaming [`Experiment::scenario`] run: the chosen
+/// accelerator plus the full [`StreamReport`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StreamOutcome {
+    /// Name of the scenario simulated.
+    pub scenario: String,
+    /// Name of the accelerator streamed on (the search winner, or the
+    /// fixed target).
+    pub accelerator: String,
+    /// Metric the search minimized / the scheduler optimized.
+    pub metric: Metric,
+    report: StreamReport,
+}
+
+impl StreamOutcome {
+    /// The streaming report: frames, percentiles, miss rates, swaps,
+    /// utilization.
+    #[must_use]
+    pub fn report(&self) -> &StreamReport {
+        &self.report
+    }
+
+    /// Aggregate throughput, frames per second of makespan.
+    #[must_use]
+    pub fn throughput_fps(&self) -> f64 {
+        self.report.throughput_fps()
+    }
+
+    /// Deadline-miss rate over all deadline-carrying frames.
+    #[must_use]
+    pub fn deadline_miss_rate(&self) -> f64 {
+        self.report.deadline_miss_rate()
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HeraldError::Serialization`] (not expected for this
+    /// type).
+    pub fn to_json(&self) -> Result<String, HeraldError> {
+        Ok(serde_json::to_string_pretty(self)?)
+    }
 }
 
 /// The result of a run [`Experiment`]: the winning design plus the full

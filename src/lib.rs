@@ -33,6 +33,41 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Streaming scenarios
+//!
+//! [`Experiment::scenario`] runs a continuous multi-tenant frame stream
+//! on the event-driven simulation core instead of a one-shot frame: each
+//! [`Scenario`](herald_workloads::Scenario) stream has an arrival
+//! process, an optional per-frame deadline, and may swap workloads
+//! mid-run; the scheduler re-runs online at every arrival and swap. The
+//! resulting [`core::sim::StreamReport`] carries throughput, p50/p95/p99
+//! frame latency, deadline-miss rates (including windowed transient
+//! views) and per-accelerator utilization over time.
+//!
+//! ```
+//! use herald::prelude::*;
+//!
+//! # fn main() -> Result<(), HeraldError> {
+//! let scenario = Scenario::new("camera", 0.1).stream(
+//!     StreamSpec::periodic(
+//!         "cam",
+//!         herald::workloads::single_model(herald::models::zoo::mobilenet_v1(), 1),
+//!         30.0,
+//!     )
+//!     .with_deadline(1.0 / 30.0),
+//! );
+//! let outcome = Experiment::new(scenario.design_workload())
+//!     .on_accelerator(AcceleratorConfig::fda(
+//!         DataflowStyle::Nvdla,
+//!         AcceleratorClass::Edge.resources(),
+//!     ))
+//!     .scenario(&scenario)?;
+//! assert_eq!(outcome.report().frames().len(), 3);
+//! assert!(outcome.throughput_fps() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,12 +81,12 @@ pub use herald_workloads as workloads;
 
 mod experiment;
 
-pub use experiment::{Experiment, ExperimentOutcome};
+pub use experiment::{Experiment, ExperimentOutcome, StreamOutcome};
 pub use herald_core::error::HeraldError;
 
 /// Commonly used items, re-exported for ergonomic downstream use.
 pub mod prelude {
-    pub use crate::experiment::{Experiment, ExperimentOutcome};
+    pub use crate::experiment::{Experiment, ExperimentOutcome, StreamOutcome};
     pub use herald_arch::{
         AcceleratorClass, AcceleratorConfig, AcceleratorStyle, HardwareResources, Partition,
         SubAccelerator,
@@ -63,10 +98,13 @@ pub mod prelude {
         sched::{
             GreedyScheduler, HeraldScheduler, OrderingPolicy, Schedule, Scheduler, SchedulerConfig,
         },
+        sim::{FrameRecord, StreamReport, StreamSimulator, StreamStats, SwapRecord},
         Metric,
     };
     pub use herald_cost::{CostModel, CostQuery, EnergyModel, LayerCost};
     pub use herald_dataflow::{DataflowStyle, Mapping, MappingBuilder};
     pub use herald_models::{DnnModel, Layer, LayerOp, ModelBuilder, TensorShape};
-    pub use herald_workloads::{MultiDnnWorkload, WorkloadInstance};
+    pub use herald_workloads::{
+        ArrivalProcess, MultiDnnWorkload, Scenario, StreamSpec, WorkloadInstance, WorkloadSwap,
+    };
 }

@@ -73,7 +73,7 @@ fn assert_report_legal(graph: &TaskGraph, report: &ExecutionReport) {
     let ways = report.per_acc().len();
     for a in 0..ways {
         let mut on_acc: Vec<_> = report.entries().iter().filter(|e| e.acc == a).collect();
-        on_acc.sort_by(|x, y| x.start_s.partial_cmp(&y.start_s).expect("finite"));
+        on_acc.sort_by(|x, y| x.start_s.total_cmp(&y.start_s));
         for pair in on_acc.windows(2) {
             assert!(
                 pair[1].start_s >= pair[0].finish_s - 1e-9,
@@ -167,5 +167,68 @@ fn report_accounting_is_consistent() {
         }
         let entry_sum: f64 = report.entries().iter().map(|e| e.energy_j).sum();
         assert!((entry_sum - report.total_energy_j()).abs() < 1e-9 * entry_sum.max(1.0));
+    }
+}
+
+/// Streaming scenarios obey the same hard invariants across frames: no
+/// sub-accelerator ever runs two layers at once (checked on the global
+/// busy-span timeline), memory stays within the global buffer, every
+/// frame's latency is non-negative, and the whole simulation is
+/// deterministic.
+#[test]
+fn streaming_scenarios_are_legal_and_deterministic() {
+    let mut rng = SplitMix64::seed_from_u64(0x5EED_0005);
+    for case in 0..8 {
+        let partition = gen_partition(&mut rng);
+        let res = AcceleratorClass::Edge.resources();
+        let acc = AcceleratorConfig::maelstrom(res, partition).expect("legal partition");
+        let models = [zoo::mobilenet_v1, zoo::mobilenet_v2, zoo::gnmt];
+        let n_streams = rng.gen_range(1, 4);
+        let mut scenario = Scenario::new(format!("prop-{case}"), 0.05);
+        for s in 0..n_streams {
+            let workload =
+                herald::workloads::single_model(models[rng.gen_range(0, models.len())](), 1);
+            let fps = rng.gen_range(20, 200) as f64;
+            let mut spec = StreamSpec::periodic(format!("s{s}"), workload, fps)
+                .with_deadline(rng.gen_range(1, 100) as f64 / 1000.0);
+            if rng.gen_range(0, 2) == 1 {
+                let other =
+                    herald::workloads::single_model(models[rng.gen_range(0, models.len())](), 1);
+                spec = spec.swap_at(0.025, other);
+            }
+            scenario = scenario.stream(spec);
+        }
+        let run = || {
+            Experiment::new(scenario.design_workload())
+                .on_accelerator(acc.clone())
+                .scenario(&scenario)
+                .expect("streaming succeeds")
+        };
+        let outcome = run();
+        let report = outcome.report();
+        assert!(!report.frames().is_empty(), "case {case}");
+        assert!(report.peak_memory_bytes() <= acc.global_buffer_bytes());
+        for f in report.frames() {
+            assert!(f.latency_s >= 0.0);
+            assert!(f.finish_s >= f.arrival_s);
+        }
+        // Per-accelerator busy spans never overlap, across all frames.
+        let ways = report.per_acc().len();
+        for a in 0..ways {
+            let mut spans: Vec<(f64, f64)> = report
+                .busy_spans()
+                .iter()
+                .filter(|s| s.acc == a)
+                .map(|s| (s.start_s, s.finish_s))
+                .collect();
+            spans.sort_by(|x, y| x.0.total_cmp(&y.0));
+            for pair in spans.windows(2) {
+                assert!(
+                    pair[1].0 >= pair[0].1 - 1e-9,
+                    "case {case}: overlap on acc{a}"
+                );
+            }
+        }
+        assert_eq!(outcome, run(), "case {case}: nondeterministic");
     }
 }

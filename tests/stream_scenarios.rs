@@ -1,0 +1,184 @@
+//! End-to-end tests of the event-driven streaming core through the
+//! public facade: single-frame equivalence with the one-shot path,
+//! determinism, swap handling and scenario validation.
+
+use herald::prelude::*;
+
+fn tiny_workload() -> MultiDnnWorkload {
+    herald::workloads::single_model(herald::models::zoo::mobilenet_v1(), 1)
+}
+
+fn edge_fda() -> AcceleratorConfig {
+    AcceleratorConfig::fda(DataflowStyle::Nvdla, AcceleratorClass::Edge.resources())
+}
+
+#[test]
+fn one_shot_scenario_is_bit_identical_to_single_frame_run() {
+    // The one-shot `Experiment::run` and a one-frame scenario share the
+    // event core and the scheduler configuration, so the frame's latency
+    // and energy must equal the execution report's to the last bit.
+    let workload = tiny_workload();
+    let run = Experiment::new(workload.clone())
+        .on_accelerator(edge_fda())
+        .run()
+        .unwrap();
+    let scenario =
+        Scenario::new("one-shot", 1.0).stream(StreamSpec::one_shot("frame", workload.clone()));
+    let stream = Experiment::new(workload)
+        .on_accelerator(edge_fda())
+        .scenario(&scenario)
+        .unwrap();
+    let frames = stream.report().frames();
+    assert_eq!(frames.len(), 1);
+    assert_eq!(frames[0].latency_s, run.latency_s());
+    assert_eq!(frames[0].energy_j, run.energy_j());
+    assert_eq!(
+        stream.report().peak_memory_bytes(),
+        run.report().peak_memory_bytes()
+    );
+    assert_eq!(
+        stream.report().per_acc()[0].busy_s,
+        run.report().per_acc()[0].busy_s
+    );
+}
+
+#[test]
+fn scenarios_are_deterministic_across_runs() {
+    // Same scenario (periodic + seeded Poisson + swap) twice through the
+    // facade: identical StreamReports, field for field.
+    let scenario = Scenario::new("determinism", 0.1)
+        .stream(
+            StreamSpec::periodic("cam", tiny_workload(), 50.0)
+                .with_deadline(0.05)
+                .swap_at(
+                    0.05,
+                    herald::workloads::single_model(herald::models::zoo::mobilenet_v2(), 1),
+                ),
+        )
+        .stream(StreamSpec::poisson(
+            "burst",
+            herald::workloads::single_model(herald::models::zoo::gnmt(), 1),
+            20.0,
+            42,
+        ));
+    let run = || {
+        Experiment::new(scenario.design_workload())
+            .on_accelerator(edge_fda())
+            .scenario(&scenario)
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+    assert_eq!(a.to_json().unwrap(), b.to_json().unwrap());
+}
+
+#[test]
+fn search_mode_streams_on_the_dse_winner() {
+    let scenario = herald::workloads::arvr_a_stream(0.05, 0.4);
+    let outcome = Experiment::new(scenario.design_workload())
+        .on(AcceleratorClass::Edge)
+        .with_styles([DataflowStyle::Nvdla, DataflowStyle::ShiDianNao])
+        .fast()
+        .scenario(&scenario)
+        .unwrap();
+    assert!(outcome.accelerator.starts_with("HDA"));
+    assert_eq!(outcome.scenario, "AR/VR-A-stream");
+    let report = outcome.report();
+    // Every stream fires at least its t = 0 frame.
+    assert!(report.frames().len() >= 3);
+    assert!(report.throughput_fps() > 0.0);
+    assert_eq!(report.stream_names().len(), 3);
+    // Scheduler ran online once per arrival (no swaps here).
+    assert_eq!(report.scheduler_invocations(), report.frames().len());
+    let json = outcome.to_json().unwrap();
+    assert!(json.contains("\"scenario\""));
+    assert!(json.contains("frames"));
+}
+
+#[test]
+fn swap_transient_is_observable_from_one_simulation() {
+    // A stream that swaps from a light to a heavy workload mid-run: the
+    // report carries both workload names and the windowed miss-rate view
+    // around the swap, all from a single continuous simulation.
+    // On NVDLA this cost model makes depthwise-heavy MobileNetV1 far
+    // more expensive than ResNet50, so the stream swaps ResNet50 ->
+    // MobileNetV1.
+    let heavy = tiny_workload();
+    let light = herald::workloads::single_model(herald::models::zoo::resnet50(), 1);
+    // Calibrate the stream off the light workload's measured service
+    // time: sustainable rate and a deadline the light phase always meets
+    // but the much heavier frames cannot.
+    let lat_light = Experiment::new(light.clone())
+        .on_accelerator(edge_fda())
+        .run()
+        .unwrap()
+        .latency_s();
+    let period = 1.25 * lat_light;
+    let swap_at = 4.0 * period;
+    let scenario = Scenario::new("transient", 8.0 * period).stream(
+        StreamSpec::periodic("s", light, 1.0 / period)
+            .with_deadline(2.0 * lat_light)
+            .swap_at(swap_at, heavy),
+    );
+    let outcome = Experiment::new(scenario.design_workload())
+        .on_accelerator(edge_fda())
+        .scenario(&scenario)
+        .unwrap();
+    let report = outcome.report();
+    assert_eq!(report.swaps().len(), 1);
+    let names: Vec<&str> = report
+        .frames()
+        .iter()
+        .map(|f| f.workload.as_str())
+        .collect();
+    assert!(names.contains(&"Resnet50-b1"));
+    assert!(names.contains(&"MobileNetV1-b1"));
+    // The heavy phase misses more than the light phase.
+    let pre = report.miss_rate_between(0.0, swap_at);
+    let post = report.miss_rate_between(swap_at, report.makespan_s());
+    assert!(
+        post > pre,
+        "expected a miss transient after the swap: pre {pre}, post {post}"
+    );
+}
+
+#[test]
+fn degenerate_scenarios_surface_typed_errors() {
+    let empty = Scenario::new("empty", 1.0);
+    let err = Experiment::new(tiny_workload())
+        .on_accelerator(edge_fda())
+        .scenario(&empty)
+        .unwrap_err();
+    assert!(matches!(err, HeraldError::Scenario { .. }));
+    // Search mode without a target budget is the familiar resources error.
+    let ok_scenario = Scenario::new("ok", 0.1).stream(StreamSpec::one_shot("s", tiny_workload()));
+    let err = Experiment::new(tiny_workload())
+        .with_styles([DataflowStyle::Nvdla, DataflowStyle::ShiDianNao])
+        .scenario(&ok_scenario)
+        .unwrap_err();
+    assert!(matches!(err, HeraldError::InvalidResources { .. }));
+}
+
+#[test]
+fn deadline_accounting_matches_frame_records() {
+    let scenario = Scenario::new("deadlines", 0.05)
+        .stream(StreamSpec::periodic("s", tiny_workload(), 100.0).with_deadline(0.004));
+    let outcome = Experiment::new(scenario.design_workload())
+        .on_accelerator(edge_fda())
+        .scenario(&scenario)
+        .unwrap();
+    let report = outcome.report();
+    let misses = report.frames().iter().filter(|f| f.missed).count();
+    let carrying = report
+        .frames()
+        .iter()
+        .filter(|f| f.deadline_s.is_some())
+        .count();
+    assert!(carrying > 0);
+    assert!((report.deadline_miss_rate() - misses as f64 / carrying as f64).abs() < 1e-12);
+    for f in report.frames() {
+        assert_eq!(f.missed, f.latency_s > f.deadline_s.unwrap());
+        assert!((f.latency_s - (f.finish_s - f.arrival_s)).abs() < 1e-15);
+    }
+}
