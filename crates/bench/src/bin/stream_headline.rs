@@ -2,13 +2,19 @@
 //! AR/VR-B as continuous frame streams at the Table II rate ratios,
 //! scaled so the searched HDA runs near 75% load, compared against the
 //! best FDA on the *same trace*. Reports throughput, p50/p95/p99 frame
-//! latency, deadline-miss rate and per-accelerator utilization.
+//! latency, deadline-miss rate and per-accelerator utilization — plus
+//! the incremental-scheduling section: the HDA trace is streamed under
+//! both the default incremental policy and the full-reschedule baseline,
+//! recording scheduler invocations, schedule-cache hit rate, placement
+//! evaluations (total and per simulated second) and events per second of
+//! wall clock.
 //!
 //! Pass `--json` to emit a machine-readable record (per-scenario streams,
-//! headline aggregates, wall-clock) for baseline tracking across PRs.
+//! headline aggregates, incremental-vs-full counters, wall-clock) for
+//! baseline tracking across PRs.
 
 use herald::prelude::*;
-use herald_bench::{fast_mode, stream_fixed, utilization_fps_scale};
+use herald_bench::{fast_mode, stream_fixed_timed, utilization_fps_scale};
 use herald_workloads::Scenario;
 use std::time::Instant;
 
@@ -24,6 +30,7 @@ fn main() -> Result<(), HeraldError> {
     let styles = [DataflowStyle::Nvdla, DataflowStyle::ShiDianNao];
 
     let mut scenarios_json = Vec::new();
+    let mut totals = Totals::default();
     let t0 = Instant::now();
 
     for &class in classes {
@@ -47,15 +54,31 @@ fn main() -> Result<(), HeraldError> {
             let horizon = frames_target / (unit_rate * scale);
             let scenario = build(kind, scale, horizon);
 
-            let hda = stream_fixed(&scenario, config, fast)?;
+            // The HDA trace under both policies: the incremental default
+            // and the schedule-every-arrival baseline it is measured
+            // against (bit-identical frames, different work).
+            let (hda, hda_wall_s) = stream_fixed_timed(
+                &scenario,
+                config.clone(),
+                fast,
+                ReschedulePolicy::Incremental,
+            )?;
+            let (hda_full, hda_full_wall_s) =
+                stream_fixed_timed(&scenario, config, fast, ReschedulePolicy::FullReschedule)?;
+            assert_eq!(
+                hda.report().frames(),
+                hda_full.report().frames(),
+                "incremental and full-reschedule streaming must be bit-identical"
+            );
             // Best FDA on the same trace: lowest streamed p95 frame
             // latency across all three styles.
             let mut best_fda: Option<StreamOutcome> = None;
             for style in DataflowStyle::ALL {
-                let fda = stream_fixed(
+                let (fda, _) = stream_fixed_timed(
                     &scenario,
                     AcceleratorConfig::fda(style, class.resources()),
                     fast,
+                    ReschedulePolicy::Incremental,
                 )?;
                 let better = match &best_fda {
                     Some(b) => {
@@ -115,6 +138,18 @@ fn main() -> Result<(), HeraldError> {
                         .collect();
                     println!("  utilization: {}", util.join(", "));
                 }
+                let (ri, rf) = (hda.report(), hda_full.report());
+                println!(
+                    "incremental scheduling: {} compiles + {} cache hits \
+                     ({:.0}% hit rate), {} vs {} placement evals \
+                     ({:.1}x less work than full reschedule)",
+                    ri.scheduler_invocations(),
+                    ri.schedule_cache_hits(),
+                    ri.schedule_cache_hit_rate() * 100.0,
+                    ri.placement_evaluations(),
+                    rf.placement_evaluations(),
+                    rf.placement_evaluations() as f64 / ri.placement_evaluations().max(1) as f64,
+                );
             }
 
             let row = |o: &StreamOutcome| {
@@ -132,6 +167,30 @@ fn main() -> Result<(), HeraldError> {
                     "scheduler_invocations": r.scheduler_invocations(),
                 })
             };
+            // The incremental-scheduling counters of one policy run:
+            // scheduling work in absolute terms, per simulated second,
+            // and per wall-clock second.
+            let sched_row = |o: &StreamOutcome, wall_s: f64| {
+                let r = o.report();
+                serde_json::json!({
+                    "scheduler_invocations": r.scheduler_invocations(),
+                    "schedule_cache_hits": r.schedule_cache_hits(),
+                    "cache_hit_rate": r.schedule_cache_hit_rate(),
+                    "placement_evaluations": r.placement_evaluations(),
+                    "placement_evals_per_sim_s":
+                        r.placement_evaluations() as f64 / r.makespan_s(),
+                    "events_processed": r.events_processed(),
+                    "events_per_second": r.events_processed() as f64 / wall_s.max(1e-9),
+                    "wall_clock_s": wall_s,
+                })
+            };
+            totals.incremental += hda.report().placement_evaluations();
+            totals.full += hda_full.report().placement_evaluations();
+            totals.invocations += hda.report().scheduler_invocations();
+            totals.hits += hda.report().schedule_cache_hits();
+            totals.events += hda.report().events_processed();
+            totals.wall_s += hda_wall_s;
+            totals.sim_s += hda.report().makespan_s();
             scenarios_json.push(serde_json::json!({
                 "scenario": kind,
                 "class": class.to_string(),
@@ -139,6 +198,11 @@ fn main() -> Result<(), HeraldError> {
                 "horizon_s": horizon,
                 "hda": row(&hda),
                 "best_fda": row(&fda),
+                "incremental": sched_row(&hda, hda_wall_s),
+                "full_reschedule": sched_row(&hda_full, hda_full_wall_s),
+                "placement_evals_ratio_full_over_incremental":
+                    hda_full.report().placement_evaluations() as f64
+                        / hda.report().placement_evaluations().max(1) as f64,
             }));
         }
     }
@@ -149,13 +213,48 @@ fn main() -> Result<(), HeraldError> {
             "bench": "stream_headline",
             "fast": fast,
             "wall_clock_s": wall_s,
+            // The headline incremental-scheduling aggregates across all
+            // HDA scenario runs (the acceptance metrics of the
+            // incremental pipeline).
+            "incremental_scheduling": serde_json::json!({
+                "scheduler_invocations": totals.invocations,
+                "schedule_cache_hits": totals.hits,
+                "cache_hit_rate":
+                    totals.hits as f64 / (totals.hits + totals.invocations).max(1) as f64,
+                "events_processed": totals.events,
+                "events_per_second": totals.events as f64 / totals.wall_s.max(1e-9),
+                "placement_evaluations": totals.incremental,
+                "placement_evals_per_sim_s": totals.incremental as f64 / totals.sim_s,
+                "full_reschedule_placement_evaluations": totals.full,
+                "full_reschedule_placement_evals_per_sim_s":
+                    totals.full as f64 / totals.sim_s,
+                "placement_evals_ratio_full_over_incremental":
+                    totals.full as f64 / totals.incremental.max(1) as f64,
+            }),
             "scenarios": serde_json::Value::Seq(scenarios_json),
         });
         println!("{}", record.to_json_pretty());
     } else {
-        println!("\n(wall clock: {wall_s:.1}s)");
+        println!(
+            "\ntotal: {:.1}x fewer placement evals than full reschedule, \
+             {:.0}% cache-hit rate\n(wall clock: {wall_s:.1}s)",
+            totals.full as f64 / totals.incremental.max(1) as f64,
+            totals.hits as f64 / (totals.hits + totals.invocations).max(1) as f64 * 100.0,
+        );
     }
     Ok(())
+}
+
+/// Accumulated incremental-scheduling counters across the HDA runs.
+#[derive(Default)]
+struct Totals {
+    incremental: u64,
+    full: u64,
+    invocations: usize,
+    hits: usize,
+    events: usize,
+    wall_s: f64,
+    sim_s: f64,
 }
 
 /// The rated AR/VR scenario of the given kind.

@@ -33,6 +33,7 @@ pub mod harness;
 use herald::{Experiment, ExperimentOutcome, HeraldError, StreamOutcome};
 use herald_arch::{AcceleratorClass, AcceleratorConfig, HardwareResources};
 use herald_core::exec::ExecutionReport;
+use herald_core::sim::ReschedulePolicy;
 use herald_dataflow::DataflowStyle;
 use herald_workloads::{MultiDnnWorkload, Scenario};
 
@@ -125,7 +126,8 @@ pub fn search_hda(
         .run()
 }
 
-/// Streams a scenario on one fixed accelerator through the facade.
+/// Streams a scenario on one fixed accelerator through the facade
+/// (incremental online scheduling, the default policy).
 ///
 /// # Errors
 ///
@@ -135,9 +137,30 @@ pub fn stream_fixed(
     config: AcceleratorConfig,
     fast: bool,
 ) -> Result<StreamOutcome, HeraldError> {
+    stream_fixed_timed(scenario, config, fast, ReschedulePolicy::Incremental).map(|(o, _)| o)
+}
+
+/// Streams a scenario on one fixed accelerator under an explicit
+/// [`ReschedulePolicy`], returning the outcome plus the simulation's
+/// wall-clock seconds (for events-per-second reporting).
+///
+/// # Errors
+///
+/// Propagates any [`HeraldError`] from [`Experiment::scenario`].
+pub fn stream_fixed_timed(
+    scenario: &Scenario,
+    config: AcceleratorConfig,
+    fast: bool,
+    policy: ReschedulePolicy,
+) -> Result<(StreamOutcome, f64), HeraldError> {
     let exp = Experiment::new(scenario.design_workload());
     let exp = if fast { exp.fast() } else { exp };
-    exp.on_accelerator(config).scenario(scenario)
+    let t0 = std::time::Instant::now();
+    let outcome = exp
+        .on_accelerator(config)
+        .reschedule_policy(policy)
+        .scenario(scenario)?;
+    Ok((outcome, t0.elapsed().as_secs_f64()))
 }
 
 /// The fps scale at which a unit-scale rated scenario loads `config` to

@@ -1,0 +1,532 @@
+//! The shared evaluation context: one [`CostModel`], one schedule memo
+//! and one set of evaluation counters threaded through the whole
+//! pipeline.
+//!
+//! Before this module existed every layer of the stack cold-started its
+//! own state: `DseEngine::co_optimize` built a fresh [`CostModel`] per
+//! sweep (and another per refinement pass), and the streaming engine
+//! re-ran the full scheduler at every frame arrival. An [`EvalContext`]
+//! makes that state *shared and persistent*:
+//!
+//! * the **cost model** memo survives across DSE candidates, refinement
+//!   rounds, facade `run()` / `scenario()` calls and streaming frames;
+//! * the **schedule memo** ([`ScheduleState`]) caches whole schedules
+//!   keyed by the *exact* inputs that determine them — the task graph's
+//!   layers and dependence edges, the accelerator's sub-array slices and
+//!   the scheduler configuration — so a cache hit is bit-identical to a
+//!   recomputation by construction;
+//! * the **counters** ([`EvalStats`]) make the reuse observable:
+//!   placement evaluations, full scheduler runs, schedule-cache hits and
+//!   deduplicated DSE candidates.
+//!
+//! `EvalContext` is a cheap clonable handle (`Arc` inside): clones share
+//! the same memos and counters, so the facade, the DSE engine and the
+//! streaming simulator can all record into one context. All state is
+//! thread-safe; DSE worker threads may use the context concurrently.
+
+use crate::exec::Schedule;
+use crate::sched::SchedulerConfig;
+use crate::task::TaskGraph;
+use herald_arch::AcceleratorConfig;
+use herald_cost::CostModel;
+use herald_dataflow::DataflowStyle;
+use herald_models::{LayerDims, LayerOp};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Monotonic evaluation counters shared by every pipeline stage that a
+/// context is threaded through.
+///
+/// All counters are relaxed atomics: they are metrics, not
+/// synchronization, and may be bumped concurrently from DSE workers.
+#[derive(Debug, Default)]
+pub struct EvalStats {
+    placement_evals: AtomicU64,
+    scheduler_runs: AtomicU64,
+    schedule_cache_hits: AtomicU64,
+    dedup_skips: AtomicU64,
+}
+
+impl EvalStats {
+    /// Records `n` per-(task, sub-accelerator) placement cost
+    /// evaluations made by the scheduler's assignment loop.
+    pub fn record_placement_evals(&self, n: u64) {
+        self.placement_evals.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one full run of the placement core (a schedule computed
+    /// from scratch).
+    pub fn record_scheduler_run(&self) {
+        self.scheduler_runs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one schedule served from a memo instead of a full run.
+    pub fn record_schedule_cache_hit(&self) {
+        self.schedule_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one DSE candidate skipped because it was already
+    /// evaluated in an earlier sweep or refinement round.
+    pub fn record_dedup_skip(&self) {
+        self.dedup_skips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Per-(task, sub-accelerator) placement cost evaluations so far.
+    pub fn placement_evals(&self) -> u64 {
+        self.placement_evals.load(Ordering::Relaxed)
+    }
+
+    /// Full placement-core runs so far.
+    pub fn scheduler_runs(&self) -> u64 {
+        self.scheduler_runs.load(Ordering::Relaxed)
+    }
+
+    /// Schedules served from a memo so far.
+    pub fn schedule_cache_hits(&self) -> u64 {
+        self.schedule_cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// DSE candidates skipped as already seen so far.
+    pub fn dedup_skips(&self) -> u64 {
+        self.dedup_skips.load(Ordering::Relaxed)
+    }
+
+    /// A consistent point-in-time copy of all counters.
+    pub fn snapshot(&self) -> EvalSnapshot {
+        EvalSnapshot {
+            placement_evals: self.placement_evals(),
+            scheduler_runs: self.scheduler_runs(),
+            schedule_cache_hits: self.schedule_cache_hits(),
+            dedup_skips: self.dedup_skips(),
+        }
+    }
+}
+
+/// A point-in-time copy of [`EvalStats`], for before/after deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvalSnapshot {
+    /// Per-(task, sub-accelerator) placement cost evaluations.
+    pub placement_evals: u64,
+    /// Full placement-core runs.
+    pub scheduler_runs: u64,
+    /// Schedules served from a memo.
+    pub schedule_cache_hits: u64,
+    /// DSE candidates skipped as already seen.
+    pub dedup_skips: u64,
+}
+
+/// The exact inputs that determine a schedule, usable as a memo key.
+///
+/// A [`crate::sched::HeraldScheduler`] is a pure function of the task
+/// graph (layer shapes and dependence edges), the accelerator
+/// configuration (per-sub-array style / PE / bandwidth slices plus the
+/// global buffer), the cost model's configuration and its own
+/// configuration. This key captures all of them structurally — two keys
+/// compare equal **iff** the scheduler would produce bit-identical
+/// schedules, so memo hits can never change results.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ScheduleKey {
+    /// One entry per task: the layer it executes.
+    layers: Vec<(LayerDims, LayerOp)>,
+    /// Flattened dependence edges `(consumer, producer)`.
+    edges: Vec<(u32, u32)>,
+    /// Task index of the first layer of each model instance.
+    offsets: Vec<u32>,
+    /// Per-sub-accelerator `(style, pes, bandwidth bits, reconfigurable)`.
+    slices: Vec<(DataflowStyle, u32, u64, bool)>,
+    /// Global buffer capacity, bytes.
+    global_buffer_bytes: u64,
+    /// Bit-exact fingerprint of the cost-model configuration.
+    cost: [u64; 11],
+    /// Scheduler configuration, with float knobs captured bit-exactly.
+    sched: (
+        herald_cost::Metric,
+        crate::sched::OrderingPolicy,
+        u64,
+        usize,
+        bool,
+    ),
+}
+
+impl ScheduleKey {
+    /// Builds the memo key for scheduling `graph` on `acc` under `cfg`
+    /// with costs from `cost`.
+    pub fn new(
+        graph: &TaskGraph,
+        acc: &AcceleratorConfig,
+        cfg: &SchedulerConfig,
+        cost: &CostModel,
+    ) -> Self {
+        let mut layers = Vec::with_capacity(graph.len());
+        let mut edges = Vec::new();
+        for t in graph.ids() {
+            let layer = graph.layer(t);
+            layers.push((*layer.dims(), layer.op()));
+            for d in graph.deps(t) {
+                edges.push((t.0 as u32, d.0 as u32));
+            }
+        }
+        let offsets = (0..graph.num_instances())
+            .map(|i| graph.instance_tasks(i)[0].0 as u32)
+            .collect();
+        let slices = acc
+            .sub_accelerators()
+            .iter()
+            .map(|s| {
+                (
+                    s.style(),
+                    s.pes(),
+                    s.bandwidth_gbps().to_bits(),
+                    s.is_reconfigurable(),
+                )
+            })
+            .collect();
+        Self {
+            layers,
+            edges,
+            offsets,
+            slices,
+            global_buffer_bytes: acc.global_buffer_bytes(),
+            cost: cost.config().fingerprint(),
+            sched: (
+                cfg.metric,
+                cfg.ordering,
+                cfg.load_balance_factor.to_bits(),
+                cfg.lookahead,
+                cfg.post_process,
+            ),
+        }
+    }
+}
+
+/// Default bound on memoized schedules per context. Schedules are
+/// O(tasks) small, so even the cap is only a few MiB — but a *bound*
+/// keeps a context that lives across many experiments (the facade's
+/// recommended pattern) from growing without limit.
+pub const DEFAULT_SCHEDULE_CAPACITY: usize = 1024;
+
+#[derive(Debug)]
+struct ScheduleMap {
+    schedules: HashMap<ScheduleKey, Schedule>,
+    /// Insertion order for FIFO eviction once `capacity` is reached.
+    order: VecDeque<ScheduleKey>,
+}
+
+/// The persistent schedule memo: computed schedules keyed by their exact
+/// inputs (see [`ScheduleKey`]), bounded to
+/// [`DEFAULT_SCHEDULE_CAPACITY`] entries with FIFO eviction.
+#[derive(Debug)]
+pub struct ScheduleState {
+    inner: RwLock<ScheduleMap>,
+    capacity: usize,
+}
+
+impl Default for ScheduleState {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_SCHEDULE_CAPACITY)
+    }
+}
+
+impl ScheduleState {
+    /// A memo bounded to `capacity` entries (oldest evicted first).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            inner: RwLock::new(ScheduleMap {
+                schedules: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The eviction bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up a memoized schedule.
+    pub fn get(&self, key: &ScheduleKey) -> Option<Schedule> {
+        self.inner
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .schedules
+            .get(key)
+            .cloned()
+    }
+
+    /// Stores a computed schedule under its key, evicting the oldest
+    /// entry when the memo is at capacity.
+    pub fn insert(&self, key: ScheduleKey, schedule: Schedule) {
+        let mut inner = self
+            .inner
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if inner.schedules.insert(key.clone(), schedule).is_none() {
+            inner.order.push_back(key);
+            while inner.order.len() > self.capacity {
+                if let Some(oldest) = inner.order.pop_front() {
+                    inner.schedules.remove(&oldest);
+                }
+            }
+        }
+    }
+
+    /// Drops the memo entry for one key (e.g. when a stream's workload
+    /// is swapped out and its old schedule can no longer be needed).
+    /// Returns whether an entry existed.
+    pub fn invalidate(&self, key: &ScheduleKey) -> bool {
+        let mut inner = self
+            .inner
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let existed = inner.schedules.remove(key).is_some();
+        if existed {
+            inner.order.retain(|k| k != key);
+        }
+        existed
+    }
+
+    /// Number of memoized schedules.
+    pub fn len(&self) -> usize {
+        self.inner
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .schedules
+            .len()
+    }
+
+    /// Whether the memo is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every memoized schedule.
+    pub fn clear(&self) {
+        let mut inner = self
+            .inner
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        inner.schedules.clear();
+        inner.order.clear();
+    }
+}
+
+#[derive(Debug, Default)]
+struct CtxInner {
+    cost: CostModel,
+    stats: EvalStats,
+    schedules: ScheduleState,
+}
+
+/// The shared evaluation context (see the [module docs](self)).
+///
+/// Cloning is cheap and clones share state: pass clones to the DSE
+/// engine, the incremental scheduler and the streaming simulator and
+/// they all reuse one cost model, one schedule memo and one counter set.
+///
+/// # Example
+///
+/// ```
+/// use herald_core::ctx::EvalContext;
+///
+/// let ctx = EvalContext::new();
+/// let handle = ctx.clone();
+/// handle.stats().record_scheduler_run();
+/// // Clones share the same counters.
+/// assert_eq!(ctx.stats().scheduler_runs(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EvalContext {
+    inner: Arc<CtxInner>,
+}
+
+impl EvalContext {
+    /// Creates a fresh context with an empty cost model, empty schedule
+    /// memo and zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a context around a specific cost-model configuration.
+    pub fn with_cost_model(cost: CostModel) -> Self {
+        Self {
+            inner: Arc::new(CtxInner {
+                cost,
+                stats: EvalStats::default(),
+                schedules: ScheduleState::default(),
+            }),
+        }
+    }
+
+    /// The shared cost model (memoized per layer/style/slice query).
+    pub fn cost_model(&self) -> &CostModel {
+        &self.inner.cost
+    }
+
+    /// The shared evaluation counters.
+    pub fn stats(&self) -> &EvalStats {
+        &self.inner.stats
+    }
+
+    /// The persistent schedule memo.
+    pub fn schedules(&self) -> &ScheduleState {
+        &self.inner.schedules
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{HeraldScheduler, Scheduler};
+    use herald_arch::{AcceleratorClass, Partition};
+    use herald_models::zoo;
+    use herald_workloads::single_model;
+
+    fn graph(replicas: usize) -> TaskGraph {
+        TaskGraph::new(&single_model(zoo::mobilenet_v1(), replicas))
+    }
+
+    fn acc() -> AcceleratorConfig {
+        AcceleratorConfig::maelstrom(
+            AcceleratorClass::Edge.resources(),
+            Partition::even(2, 1024, 16.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn keys_are_equal_for_equal_inputs_and_differ_otherwise() {
+        let cfg = SchedulerConfig::default();
+        let cost = CostModel::default();
+        let a = ScheduleKey::new(&graph(1), &acc(), &cfg, &cost);
+        let b = ScheduleKey::new(&graph(1), &acc(), &cfg, &cost);
+        assert_eq!(a, b);
+        // Different replica count -> different graph -> different key.
+        let c = ScheduleKey::new(&graph(2), &acc(), &cfg, &cost);
+        assert_ne!(a, c);
+        // Different scheduler knobs -> different key.
+        let other = SchedulerConfig {
+            lookahead: 3,
+            ..Default::default()
+        };
+        let d = ScheduleKey::new(&graph(1), &acc(), &other, &cost);
+        assert_ne!(a, d);
+        // Different accelerator -> different key.
+        let fda = AcceleratorConfig::fda(
+            herald_dataflow::DataflowStyle::Nvdla,
+            AcceleratorClass::Edge.resources(),
+        );
+        let e = ScheduleKey::new(&graph(1), &fda, &cfg, &cost);
+        assert_ne!(a, e);
+        // Different cost-model configuration -> different key: a memo
+        // warmed under one cost model must never serve another.
+        let faster = CostModel::new(herald_cost::CostModelConfig {
+            clock_ghz: 2.0,
+            ..Default::default()
+        });
+        let f = ScheduleKey::new(&graph(1), &acc(), &cfg, &faster);
+        assert_ne!(a, f);
+    }
+
+    #[test]
+    fn schedule_state_round_trips_and_invalidates() {
+        let ctx = EvalContext::new();
+        let g = graph(1);
+        let a = acc();
+        let cfg = SchedulerConfig::default();
+        let key = ScheduleKey::new(&g, &a, &cfg, ctx.cost_model());
+        assert!(ctx.schedules().get(&key).is_none());
+        assert!(ctx.schedules().is_empty());
+
+        let schedule = HeraldScheduler::new(cfg).schedule(&g, &a, ctx.cost_model());
+        ctx.schedules().insert(key.clone(), schedule.clone());
+        assert_eq!(ctx.schedules().len(), 1);
+        assert_eq!(ctx.schedules().get(&key), Some(schedule));
+
+        // Invalidation drops exactly this entry.
+        assert!(ctx.schedules().invalidate(&key));
+        assert!(!ctx.schedules().invalidate(&key));
+        assert!(ctx.schedules().get(&key).is_none());
+    }
+
+    #[test]
+    fn workload_swap_maps_to_a_distinct_key() {
+        // A swapped-in workload must never see the old workload's memo
+        // entry: the key is derived from the graph, so the two phases of
+        // a swapped stream look up disjoint entries.
+        let ctx = EvalContext::new();
+        let cfg = SchedulerConfig::default();
+        let a = acc();
+        let before = TaskGraph::new(&single_model(zoo::mobilenet_v1(), 1));
+        let after = TaskGraph::new(&single_model(zoo::mobilenet_v2(), 1));
+        let key_before = ScheduleKey::new(&before, &a, &cfg, ctx.cost_model());
+        let key_after = ScheduleKey::new(&after, &a, &cfg, ctx.cost_model());
+        assert_ne!(key_before, key_after);
+        let schedule = HeraldScheduler::new(cfg).schedule(&before, &a, ctx.cost_model());
+        ctx.schedules().insert(key_before, schedule);
+        assert!(ctx.schedules().get(&key_after).is_none());
+    }
+
+    #[test]
+    fn stats_snapshot_deltas() {
+        let stats = EvalStats::default();
+        let before = stats.snapshot();
+        stats.record_placement_evals(10);
+        stats.record_scheduler_run();
+        stats.record_schedule_cache_hit();
+        stats.record_schedule_cache_hit();
+        stats.record_dedup_skip();
+        let after = stats.snapshot();
+        assert_eq!(after.placement_evals - before.placement_evals, 10);
+        assert_eq!(after.scheduler_runs - before.scheduler_runs, 1);
+        assert_eq!(after.schedule_cache_hits - before.schedule_cache_hits, 2);
+        assert_eq!(after.dedup_skips - before.dedup_skips, 1);
+    }
+
+    #[test]
+    fn memo_is_bounded_with_fifo_eviction() {
+        // Distinct keys via distinct scheduler lookahead values: cheap
+        // to build, guaranteed unequal.
+        let state = ScheduleState::with_capacity(2);
+        let g = graph(1);
+        let a = acc();
+        let cost = CostModel::default();
+        let key_for = |lookahead: usize| {
+            let cfg = SchedulerConfig {
+                lookahead,
+                ..Default::default()
+            };
+            ScheduleKey::new(&g, &a, &cfg, &cost)
+        };
+        let schedule = HeraldScheduler::new(SchedulerConfig::default()).schedule(&g, &a, &cost);
+        state.insert(key_for(1), schedule.clone());
+        state.insert(key_for(2), schedule.clone());
+        assert_eq!(state.len(), 2);
+        // Re-inserting an existing key does not evict anything.
+        state.insert(key_for(2), schedule.clone());
+        assert_eq!(state.len(), 2);
+        assert!(state.get(&key_for(1)).is_some());
+        // A third distinct key evicts the oldest (lookahead 1).
+        state.insert(key_for(3), schedule);
+        assert_eq!(state.len(), 2);
+        assert!(state.get(&key_for(1)).is_none());
+        assert!(state.get(&key_for(2)).is_some());
+        assert!(state.get(&key_for(3)).is_some());
+        assert_eq!(state.capacity(), 2);
+    }
+
+    #[test]
+    fn clear_empties_the_memo() {
+        let ctx = EvalContext::new();
+        let g = graph(1);
+        let a = acc();
+        let cfg = SchedulerConfig::default();
+        let key = ScheduleKey::new(&g, &a, &cfg, ctx.cost_model());
+        let schedule = HeraldScheduler::new(cfg).schedule(&g, &a, ctx.cost_model());
+        ctx.schedules().insert(key, schedule);
+        assert!(!ctx.schedules().is_empty());
+        ctx.schedules().clear();
+        assert!(ctx.schedules().is_empty());
+    }
+}

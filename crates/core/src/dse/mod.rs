@@ -2,18 +2,43 @@
 
 mod partitions;
 
+use crate::ctx::EvalContext;
 use crate::error::HeraldError;
 use crate::exec::ExecutionReport;
 use crate::pareto::pareto_frontier;
-use crate::sched::{HeraldScheduler, Scheduler, SchedulerConfig};
+use crate::sched::{HeraldScheduler, IncrementalScheduler, Scheduler, SchedulerConfig};
 use crate::task::TaskGraph;
 use herald_arch::{AcceleratorConfig, HardwareResources, Partition};
-use herald_cost::{CostModel, Metric};
+use herald_cost::Metric;
 use herald_dataflow::DataflowStyle;
 use herald_workloads::MultiDnnWorkload;
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 
 pub use partitions::candidate_partitions;
+
+/// Maps a worker panic payload into the typed error the sweep returns.
+/// String payloads (from `panic!` / `assert!`) are preserved verbatim.
+fn worker_panic_error(payload: Box<dyn std::any::Any + Send>) -> HeraldError {
+    let payload = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    };
+    HeraldError::WorkerPanicked { payload }
+}
+
+/// A hashable identity for a candidate partition (bandwidth captured
+/// bit-exactly), used to deduplicate repeat candidates across the base
+/// sweep and refinement rounds.
+fn partition_key(p: &Partition) -> (Vec<u32>, Vec<u64>) {
+    (
+        p.pes().to_vec(),
+        p.bandwidth_gbps().iter().map(|b| b.to_bits()).collect(),
+    )
+}
 
 /// Partition-search strategy (Sec. IV-C: "the DSE algorithm, by default,
 /// performs an exhaustive search based on user-specified search
@@ -187,13 +212,37 @@ impl DseEngine {
     /// `resources` across one sub-accelerator per style is scheduled with
     /// Herald's scheduler and reported as a design point.
     ///
+    /// Builds a fresh [`EvalContext`] per call; use
+    /// [`DseEngine::co_optimize_in`] to share cost-model memos and
+    /// counters across sweeps.
+    ///
     /// # Errors
     ///
     /// Returns [`HeraldError::TooFewStyles`] if fewer than two styles are
     /// given (an HDA needs at least two sub-accelerators; evaluate FDAs
-    /// via [`DseEngine::evaluate_config`]).
+    /// via [`DseEngine::evaluate_config`]), or
+    /// [`HeraldError::WorkerPanicked`] if a parallel evaluation worker
+    /// panicked.
     pub fn co_optimize(
         &self,
+        workload: &MultiDnnWorkload,
+        resources: HardwareResources,
+        styles: &[DataflowStyle],
+    ) -> Result<DseOutcome, HeraldError> {
+        self.co_optimize_in(&EvalContext::new(), workload, resources, styles)
+    }
+
+    /// [`DseEngine::co_optimize`] against a shared [`EvalContext`]: the
+    /// context's cost model is reused across every candidate (and every
+    /// later sweep on the same context), and all scheduling work is
+    /// recorded in the context's counters.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DseEngine::co_optimize`].
+    pub fn co_optimize_in(
+        &self,
+        ctx: &EvalContext,
         workload: &MultiDnnWorkload,
         resources: HardwareResources,
         styles: &[DataflowStyle],
@@ -202,13 +251,14 @@ impl DseEngine {
             return Err(HeraldError::TooFewStyles { got: styles.len() });
         }
         let graph = TaskGraph::new(workload);
-        let cost = CostModel::default();
         let candidates = candidate_partitions(&self.config, resources, styles.len());
+        let scheduler =
+            IncrementalScheduler::new(HeraldScheduler::new(self.config.scheduler), ctx.clone());
 
         let evaluate = |partition: &Partition| -> Option<DesignPoint> {
             let config = AcceleratorConfig::hda(styles, resources, partition.clone()).ok()?;
-            let report = HeraldScheduler::new(self.config.scheduler)
-                .schedule_and_simulate(&graph, &config, &cost)
+            let report = scheduler
+                .schedule_and_simulate_with(&graph, &config, ctx.cost_model(), ctx.stats())
                 .ok()?;
             Some(DesignPoint {
                 partition: partition.clone(),
@@ -224,18 +274,33 @@ impl DseEngine {
                 .min(candidates.len().max(1));
             let chunk = candidates.len().div_ceil(threads.max(1)).max(1);
             let evaluate = &evaluate;
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = candidates
-                    .chunks(chunk)
-                    .map(|chunk| {
-                        scope.spawn(move || chunk.iter().filter_map(evaluate).collect::<Vec<_>>())
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("DSE worker panicked"))
-                    .collect()
-            })
+            // A panicking worker aborts the sweep with a typed error
+            // instead of poisoning the caller with a re-panic. Every
+            // handle is joined before the scope exits — leaving a
+            // panicked handle unjoined would make the scope itself
+            // re-panic on exit, bypassing the error path when several
+            // workers fail.
+            let gathered: Vec<Result<Vec<DesignPoint>, HeraldError>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = candidates
+                        .chunks(chunk)
+                        .map(|chunk| {
+                            scope.spawn(move || {
+                                chunk.iter().filter_map(evaluate).collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().map_err(worker_panic_error))
+                        .collect()
+                });
+            gathered
+                .into_iter()
+                .collect::<Result<Vec<_>, _>>()?
+                .into_iter()
+                .flatten()
+                .collect()
         } else {
             candidates.iter().filter_map(evaluate).collect()
         };
@@ -263,9 +328,40 @@ impl DseEngine {
         styles: &[DataflowStyle],
         rounds: usize,
     ) -> Result<DseOutcome, HeraldError> {
-        let mut outcome = self.co_optimize(workload, resources, styles)?;
+        self.co_optimize_refined_in(&EvalContext::new(), workload, resources, styles, rounds)
+    }
+
+    /// [`DseEngine::co_optimize_refined`] against a shared
+    /// [`EvalContext`].
+    ///
+    /// Candidates are deduplicated across the base sweep and all
+    /// refinement rounds: the incumbent and every already-seen neighbor
+    /// (including ones that previously failed to build or schedule) are
+    /// skipped without re-evaluation, and each skip is recorded as a
+    /// dedup hit in the context's counters.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DseEngine::co_optimize`].
+    pub fn co_optimize_refined_in(
+        &self,
+        ctx: &EvalContext,
+        workload: &MultiDnnWorkload,
+        resources: HardwareResources,
+        styles: &[DataflowStyle],
+        rounds: usize,
+    ) -> Result<DseOutcome, HeraldError> {
+        let mut outcome = self.co_optimize_in(ctx, workload, resources, styles)?;
+        // Everything the base sweep enumerated is already evaluated (or
+        // already known infeasible) — never revisit it.
+        let mut seen: HashSet<(Vec<u32>, Vec<u64>)> =
+            candidate_partitions(&self.config, resources, styles.len())
+                .iter()
+                .map(partition_key)
+                .collect();
         let graph = TaskGraph::new(workload);
-        let cost = CostModel::default();
+        let scheduler =
+            IncrementalScheduler::new(HeraldScheduler::new(self.config.scheduler), ctx.clone());
         let mut quantum = (resources.pes / self.config.pe_steps as u32).max(1);
         for _ in 0..rounds {
             quantum = (quantum / 2).max(1);
@@ -273,16 +369,20 @@ impl DseEngine {
             let candidates = partitions::neighbor_partitions(&best.partition, quantum, resources);
             let mut new_points = Vec::new();
             for partition in candidates {
-                if outcome.points.iter().any(|p| p.partition == partition) {
+                if !seen.insert(partition_key(&partition)) {
+                    ctx.stats().record_dedup_skip();
                     continue;
                 }
                 let Ok(config) = AcceleratorConfig::hda(styles, resources, partition.clone())
                 else {
                     continue;
                 };
-                if let Ok(report) = HeraldScheduler::new(self.config.scheduler)
-                    .schedule_and_simulate(&graph, &config, &cost)
-                {
+                if let Ok(report) = scheduler.schedule_and_simulate_with(
+                    &graph,
+                    &config,
+                    ctx.cost_model(),
+                    ctx.stats(),
+                ) {
                     new_points.push(DesignPoint {
                         partition,
                         config,
@@ -311,10 +411,26 @@ impl DseEngine {
         workload: &MultiDnnWorkload,
         config: &AcceleratorConfig,
     ) -> Result<ExecutionReport, HeraldError> {
+        self.evaluate_config_in(&EvalContext::new(), workload, config)
+    }
+
+    /// [`DseEngine::evaluate_config`] against a shared [`EvalContext`]:
+    /// repeat evaluations of the same workload on the same configuration
+    /// are served from the context's schedule memo.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DseEngine::evaluate_config`].
+    pub fn evaluate_config_in(
+        &self,
+        ctx: &EvalContext,
+        workload: &MultiDnnWorkload,
+        config: &AcceleratorConfig,
+    ) -> Result<ExecutionReport, HeraldError> {
         let graph = TaskGraph::new(workload);
-        let cost = CostModel::default();
-        Ok(HeraldScheduler::new(self.config.scheduler)
-            .schedule_and_simulate(&graph, config, &cost)?)
+        let scheduler =
+            IncrementalScheduler::new(HeraldScheduler::new(self.config.scheduler), ctx.clone());
+        Ok(scheduler.schedule_and_simulate_with(&graph, config, ctx.cost_model(), ctx.stats())?)
     }
 
     /// Re-schedules an existing design for a *different* workload (the
@@ -330,6 +446,20 @@ impl DseEngine {
         point: &DesignPoint,
     ) -> Result<ExecutionReport, HeraldError> {
         self.evaluate_config(workload, &point.config)
+    }
+
+    /// [`DseEngine::reschedule`] against a shared [`EvalContext`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DseEngine::evaluate_config`].
+    pub fn reschedule_in(
+        &self,
+        ctx: &EvalContext,
+        workload: &MultiDnnWorkload,
+        point: &DesignPoint,
+    ) -> Result<ExecutionReport, HeraldError> {
+        self.evaluate_config_in(ctx, workload, &point.config)
     }
 }
 
@@ -483,6 +613,96 @@ mod tests {
             .unwrap()
             .edp();
         assert!(refined <= base + 1e-18);
+    }
+
+    #[test]
+    fn worker_panics_map_to_typed_errors() {
+        // String payloads (the overwhelmingly common case) survive
+        // verbatim; exotic payloads get a placeholder.
+        let payload: Box<dyn std::any::Any + Send> = Box::new("boom");
+        assert_eq!(
+            worker_panic_error(payload),
+            HeraldError::WorkerPanicked {
+                payload: "boom".into()
+            }
+        );
+        let payload: Box<dyn std::any::Any + Send> = Box::new(String::from("owned boom"));
+        assert_eq!(
+            worker_panic_error(payload),
+            HeraldError::WorkerPanicked {
+                payload: "owned boom".into()
+            }
+        );
+        let payload: Box<dyn std::any::Any + Send> = Box::new(17usize);
+        assert!(matches!(
+            worker_panic_error(payload),
+            HeraldError::WorkerPanicked { payload } if payload.contains("non-string")
+        ));
+    }
+
+    #[test]
+    fn refinement_dedups_repeat_candidates() {
+        // Refinement rounds around a stable incumbent revisit the same
+        // neighborhood; every repeat must be skipped (recorded as a
+        // dedup hit) rather than re-evaluated. Scheduler runs and cache
+        // hits together bound the number of evaluations actually
+        // performed: every evaluated candidate is distinct.
+        let ctx = EvalContext::new();
+        let res = AcceleratorClass::Edge.resources();
+        let dse = DseEngine::new(DseConfig::fast());
+        let outcome = dse
+            .co_optimize_refined_in(&ctx, &small_workload(), res, &styles(), 3)
+            .unwrap();
+        assert!(
+            ctx.stats().dedup_skips() > 0,
+            "3 refinement rounds around one incumbent must revisit neighbors"
+        );
+        // Every design point came from exactly one full scheduler run:
+        // no partition was scheduled twice.
+        assert_eq!(ctx.stats().scheduler_runs(), outcome.points.len() as u64);
+        assert_eq!(ctx.stats().schedule_cache_hits(), 0);
+        // And the evaluated partitions really are pairwise distinct.
+        let mut keys: Vec<_> = outcome
+            .points
+            .iter()
+            .map(|p| partition_key(&p.partition))
+            .collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), outcome.points.len());
+    }
+
+    #[test]
+    fn shared_context_reuses_cost_memos_across_sweeps() {
+        let ctx = EvalContext::new();
+        let res = AcceleratorClass::Edge.resources();
+        let dse = DseEngine::new(DseConfig::fast());
+        let first = dse
+            .co_optimize_in(&ctx, &small_workload(), res, &styles())
+            .unwrap();
+        let distinct_after_first = ctx.cost_model().cached_queries();
+        let runs_after_first = ctx.stats().scheduler_runs();
+        // The identical sweep again: every schedule is served from the
+        // context memo and no new cost queries are computed.
+        let second = dse
+            .co_optimize_in(&ctx, &small_workload(), res, &styles())
+            .unwrap();
+        assert_eq!(first.points, second.points);
+        assert_eq!(ctx.cost_model().cached_queries(), distinct_after_first);
+        assert_eq!(ctx.stats().scheduler_runs(), runs_after_first);
+        assert!(ctx.stats().schedule_cache_hits() >= first.points.len() as u64);
+    }
+
+    #[test]
+    fn context_and_fresh_sweeps_agree() {
+        let ctx = EvalContext::new();
+        let res = AcceleratorClass::Edge.resources();
+        let dse = DseEngine::new(DseConfig::fast());
+        let fresh = dse.co_optimize(&small_workload(), res, &styles()).unwrap();
+        let shared = dse
+            .co_optimize_in(&ctx, &small_workload(), res, &styles())
+            .unwrap();
+        assert_eq!(fresh.points, shared.points);
     }
 
     #[test]

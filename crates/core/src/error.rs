@@ -40,6 +40,14 @@ pub enum HeraldError {
         /// Human-readable description of the violation.
         reason: String,
     },
+    /// A DSE worker thread panicked while evaluating candidates; the
+    /// sweep is aborted and the panic surfaces as a fallible error
+    /// through the facade instead of poisoning the caller.
+    WorkerPanicked {
+        /// The panic payload, when it was a string (the common case for
+        /// `panic!`/`assert!`), or a placeholder otherwise.
+        payload: String,
+    },
     /// Accelerator construction was rejected.
     Config(ConfigError),
     /// Schedule validation or simulation failed.
@@ -71,6 +79,9 @@ impl fmt::Display for HeraldError {
             }
             HeraldError::Scenario { reason } => {
                 write!(f, "invalid streaming scenario: {reason}")
+            }
+            HeraldError::WorkerPanicked { payload } => {
+                write!(f, "a DSE worker thread panicked: {payload}")
             }
             HeraldError::Config(e) => write!(f, "accelerator configuration rejected: {e}"),
             HeraldError::Simulation(e) => write!(f, "schedule simulation failed: {e}"),
@@ -154,6 +165,16 @@ mod tests {
         assert!(e.to_string().contains("arvr-a"));
         let e = HeraldError::TooFewStyles { got: 1 };
         assert!(e.to_string().contains("got 1"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn worker_panics_render_their_payload() {
+        let e = HeraldError::WorkerPanicked {
+            payload: "index out of bounds".into(),
+        };
+        assert!(e.to_string().contains("index out of bounds"));
+        assert!(e.to_string().contains("panicked"));
         assert!(e.source().is_none());
     }
 

@@ -1,12 +1,17 @@
 //! Herald's layer scheduler: the Fig. 8 assignment/ordering algorithm with
 //! load-balance feedback, followed by the Fig. 9 post-processing pass.
+//!
+//! The construction loop itself lives in the pure placement core
+//! ([`crate::sched::placement`]); this type binds it to a
+//! [`SchedulerConfig`] and the [`Scheduler`] trait, and records its
+//! placement work in the [`EvalStats`] it is given.
 
-use crate::exec::{earliest_memory_feasible, Schedule};
-use crate::sched::{post_process, OrderingPolicy, Scheduler, SchedulerConfig};
-use crate::task::{TaskGraph, TaskId};
+use crate::ctx::EvalStats;
+use crate::exec::Schedule;
+use crate::sched::{placement, post_process, Scheduler, SchedulerConfig};
+use crate::task::TaskGraph;
 use herald_arch::AcceleratorConfig;
-use herald_cost::{CostModel, LayerCost};
-use std::collections::VecDeque;
+use herald_cost::CostModel;
 
 /// The paper's scheduler (Sec. IV-D):
 ///
@@ -74,7 +79,18 @@ impl Default for HeraldScheduler {
 
 impl Scheduler for HeraldScheduler {
     fn schedule(&self, graph: &TaskGraph, acc: &AcceleratorConfig, cost: &CostModel) -> Schedule {
-        let schedule = self.initial_schedule(graph, acc, cost);
+        self.schedule_with(graph, acc, cost, &EvalStats::default())
+    }
+
+    fn schedule_with(
+        &self,
+        graph: &TaskGraph,
+        acc: &AcceleratorConfig,
+        cost: &CostModel,
+        stats: &EvalStats,
+    ) -> Schedule {
+        stats.record_scheduler_run();
+        let schedule = placement::construct_schedule(graph, acc, cost, &self.config, stats);
         if self.config.post_process {
             post_process(schedule, graph, acc, cost, &self.config)
         } else {
@@ -83,160 +99,11 @@ impl Scheduler for HeraldScheduler {
     }
 }
 
-impl HeraldScheduler {
-    /// The Fig. 8 construction loop.
-    fn initial_schedule(
-        &self,
-        graph: &TaskGraph,
-        acc: &AcceleratorConfig,
-        cost: &CostModel,
-    ) -> Schedule {
-        let cfg = &self.config;
-        let ways = acc.sub_accelerators().len();
-        let gb = acc.global_buffer_bytes();
-        let staging_cap = gb / 4;
-
-        // Per-instance pre-flattened task lists and head pointers.
-        let instance_tasks: Vec<Vec<TaskId>> = (0..graph.num_instances())
-            .map(|i| graph.instance_tasks(i))
-            .collect();
-        let mut heads = vec![0usize; graph.num_instances()];
-        // Model visit rotation (Fig. 8's `rearrange(MD)`).
-        let mut rotation: VecDeque<usize> = (0..graph.num_instances()).collect();
-
-        let mut now = 0.0f64;
-        let mut acc_free = vec![0.0f64; ways];
-        let mut tot_latency = vec![0.0f64; ways];
-        let mut finish: Vec<Option<f64>> = vec![None; graph.len()];
-        let mut intervals: Vec<(f64, f64, u64)> = Vec::with_capacity(graph.len());
-        let mut assignment = vec![0usize; graph.len()];
-        let mut order: Vec<Vec<TaskId>> = vec![Vec::new(); ways];
-        let mut remaining = graph.len();
-
-        while remaining > 0 {
-            let mut scheduled: Option<usize> = None; // instance that progressed
-
-            'models: for &inst in &rotation {
-                let tasks = &instance_tasks[inst];
-                if heads[inst] >= tasks.len() {
-                    continue;
-                }
-                let t = tasks[heads[inst]];
-
-                // Dependence condition: producers complete by the current
-                // cycle (they are always *scheduled* because layers of one
-                // instance are visited in order).
-                let dep_ok = graph
-                    .deps(t)
-                    .iter()
-                    .all(|d| finish[d.0].is_some_and(|f| f <= now + 1e-15));
-                if !dep_ok {
-                    continue;
-                }
-
-                // Rank sub-accelerators by the per-layer metric (dataflow
-                // preference).
-                let costs: Vec<LayerCost> = (0..ways)
-                    .map(|a| acc.sub_accelerators()[a].layer_cost(cost, graph.layer(t), cfg.metric))
-                    .collect();
-                let mut ranked: Vec<usize> = (0..ways).collect();
-                ranked.sort_by(|&a, &b| {
-                    costs[a]
-                        .score(cfg.metric)
-                        .total_cmp(&costs[b].score(cfg.metric))
-                });
-                let preferred = ranked[0];
-
-                // Load-balance feedback (Fig. 8): the layer goes to its
-                // preferred sub-accelerator *as long as possible*; only
-                // when that assignment would leave the preferred array
-                // loaded beyond `LbF x` the lightest projected load does
-                // the scheduler explore alternatives — and then it picks
-                // whichever sub-accelerator completes the layer earliest
-                // (queue wait plus layer latency), the "alternative layer
-                // assignment that reduces overall costs" of Sec. IV-D.
-                let min_projected = (0..ways)
-                    .map(|a| tot_latency[a] + costs[a].latency_s)
-                    .fold(f64::INFINITY, f64::min);
-                let unbalanced = tot_latency[preferred] + costs[preferred].latency_s
-                    > cfg.load_balance_factor * min_projected;
-                let mut candidates: Vec<usize> = ranked.clone();
-                if unbalanced {
-                    candidates.sort_by(|&a, &b| {
-                        let fa = now.max(acc_free[a]) + costs[a].latency_s;
-                        let fb = now.max(acc_free[b]) + costs[b].latency_s;
-                        fa.total_cmp(&fb)
-                    });
-                }
-
-                for &a in &candidates {
-                    let lat = costs[a].latency_s;
-                    // Memory condition at the actual start time.
-                    let occ = costs[a].buffer.occupancy_bytes(staging_cap);
-                    let ready = now.max(acc_free[a]);
-                    let start = earliest_memory_feasible(ready, occ, gb, &intervals);
-                    if start > ready + 1e-15 && intervals.iter().any(|(_, f, _)| *f > now) {
-                        // Memory-deferred while other layers are still
-                        // draining: try the next candidate instead.
-                        continue;
-                    }
-                    let fin = start + lat;
-                    intervals.push((start, fin, occ));
-                    finish[t.0] = Some(fin);
-                    acc_free[a] = fin;
-                    tot_latency[a] += lat;
-                    assignment[t.0] = a;
-                    order[a].push(t);
-                    heads[inst] += 1;
-                    remaining -= 1;
-                    scheduled = Some(inst);
-                    break 'models;
-                }
-            }
-
-            match scheduled {
-                Some(inst) => {
-                    // `rearrange(MD)`: keep draining the same model
-                    // (depth-first) or rotate to the next (breadth-first).
-                    let pos = rotation
-                        .iter()
-                        .position(|&i| i == inst)
-                        .expect("instance is in rotation");
-                    rotation.remove(pos);
-                    match cfg.ordering {
-                        OrderingPolicy::DepthFirst => rotation.push_front(inst),
-                        OrderingPolicy::BreadthFirst => rotation.push_back(inst),
-                    }
-                }
-                None => {
-                    // Defer: advance to the next completion event; if the
-                    // chip is fully drained, force the first pending head
-                    // onto its best sub-accelerator (safety net — cannot
-                    // recurse because an idle accelerator always accepts).
-                    let next = finish
-                        .iter()
-                        .flatten()
-                        .copied()
-                        .filter(|f| *f > now + 1e-15)
-                        .fold(f64::INFINITY, f64::min);
-                    if next.is_finite() {
-                        now = next;
-                    } else {
-                        now = acc_free.iter().copied().fold(now, f64::max) + 1e-12;
-                    }
-                }
-            }
-        }
-
-        Schedule::new(assignment, order).expect("herald schedules are structurally valid")
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::exec::ScheduleSimulator;
-    use crate::sched::GreedyScheduler;
+    use crate::sched::{GreedyScheduler, OrderingPolicy};
     use herald_arch::{AcceleratorClass, Partition};
     use herald_cost::Metric;
     use herald_models::zoo;

@@ -2,12 +2,16 @@
 
 mod greedy;
 mod herald;
+mod incremental;
+pub mod placement;
 mod postprocess;
 
 pub use greedy::GreedyScheduler;
 pub use herald::HeraldScheduler;
+pub use incremental::IncrementalScheduler;
 pub use postprocess::post_process;
 
+use crate::ctx::EvalStats;
 pub use crate::exec::Schedule;
 use crate::exec::{ExecutionReport, ScheduleSimulator, SimError};
 use crate::task::TaskGraph;
@@ -69,6 +73,44 @@ pub trait Scheduler {
     /// Produces a complete, dependence-legal schedule.
     fn schedule(&self, graph: &TaskGraph, acc: &AcceleratorConfig, cost: &CostModel) -> Schedule;
 
+    /// Like [`Scheduler::schedule`], recording the scheduling work
+    /// (placement evaluations, full runs, memo hits) into `stats`.
+    ///
+    /// The default implementation delegates to [`Scheduler::schedule`]
+    /// and records nothing; [`HeraldScheduler`] and
+    /// [`IncrementalScheduler`] override it with exact accounting. Both
+    /// entry points must return bit-identical schedules for equal
+    /// inputs.
+    fn schedule_with(
+        &self,
+        graph: &TaskGraph,
+        acc: &AcceleratorConfig,
+        cost: &CostModel,
+        stats: &EvalStats,
+    ) -> Schedule {
+        let _ = stats;
+        self.schedule(graph, acc, cost)
+    }
+
+    /// Like [`Scheduler::schedule_with`], additionally reporting whether
+    /// the schedule was served from a memo (`true`) or computed fresh
+    /// (`false`).
+    ///
+    /// The default implementation computes fresh and returns `false`;
+    /// memoizing schedulers ([`IncrementalScheduler`]) override it. The
+    /// flag is returned in-band so callers never have to infer it from
+    /// shared counters (which would misattribute under concurrent use of
+    /// one [`crate::ctx::EvalContext`] from several threads).
+    fn schedule_tracked(
+        &self,
+        graph: &TaskGraph,
+        acc: &AcceleratorConfig,
+        cost: &CostModel,
+        stats: &EvalStats,
+    ) -> (Schedule, bool) {
+        (self.schedule_with(graph, acc, cost, stats), false)
+    }
+
     /// Convenience: schedule and immediately replay, returning the report.
     ///
     /// # Errors
@@ -82,6 +124,22 @@ pub trait Scheduler {
         cost: &CostModel,
     ) -> Result<ExecutionReport, SimError> {
         let schedule = self.schedule(graph, acc, cost);
+        ScheduleSimulator::new(graph, acc, cost).simulate(&schedule)
+    }
+
+    /// Convenience: [`Scheduler::schedule_with`] followed by a replay.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Scheduler::schedule_and_simulate`].
+    fn schedule_and_simulate_with(
+        &self,
+        graph: &TaskGraph,
+        acc: &AcceleratorConfig,
+        cost: &CostModel,
+        stats: &EvalStats,
+    ) -> Result<ExecutionReport, SimError> {
+        let schedule = self.schedule_with(graph, acc, cost, stats);
         ScheduleSimulator::new(graph, acc, cost).simulate(&schedule)
     }
 }

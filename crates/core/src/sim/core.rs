@@ -47,15 +47,17 @@ impl GraphRef<'_> {
 pub(crate) enum ScheduleRef<'a> {
     /// Borrowed from the caller (single-frame replay).
     Borrowed(&'a Schedule),
-    /// Owned (computed online at frame arrival).
-    Owned(Schedule),
+    /// Shared ownership across frames of one stream (the streaming
+    /// engine admits the same compiled schedule for every frame without
+    /// cloning it).
+    Shared(Arc<Schedule>),
 }
 
 impl ScheduleRef<'_> {
     fn get(&self) -> &Schedule {
         match self {
             ScheduleRef::Borrowed(s) => s,
-            ScheduleRef::Owned(s) => s,
+            ScheduleRef::Shared(s) => s,
         }
     }
 }

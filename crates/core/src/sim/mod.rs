@@ -12,8 +12,12 @@
 //!   [`StreamSimulator`];
 //! * [`StreamSimulator`] — consumes a [`herald_workloads::Scenario`]
 //!   (arrival processes, per-stream deadlines, mid-stream workload
-//!   swaps), invoking the [`crate::sched::Scheduler`] online at frame
-//!   arrivals and workload-change events;
+//!   swaps), making an online scheduling decision at frame arrivals and
+//!   workload-change events. Decisions are incremental by default: each
+//!   stream's compiled schedule is dirty-tracked and reused until a
+//!   workload swap invalidates it (see [`ReschedulePolicy`]), which is
+//!   bit-identical to full rescheduling because the scheduler is a pure
+//!   function of its inputs;
 //! * [`StreamReport`] — streaming metrics: throughput, p50/p95/p99 frame
 //!   latency, deadline-miss rate (globally, per stream, and per time
 //!   window), and per-accelerator utilization over time.
@@ -25,5 +29,5 @@ pub(crate) mod core;
 mod engine;
 mod report;
 
-pub use engine::StreamSimulator;
+pub use engine::{ReschedulePolicy, StreamSimulator};
 pub use report::{BusySpan, FrameRecord, StreamReport, StreamStats, SwapRecord, UtilizationSample};

@@ -102,6 +102,9 @@ pub struct StreamReport {
     energy: EnergyBreakdown,
     peak_memory_bytes: u64,
     scheduler_invocations: usize,
+    schedule_cache_hits: usize,
+    placement_evaluations: u64,
+    events_processed: usize,
     busy_spans: Vec<BusySpan>,
 }
 
@@ -118,6 +121,9 @@ impl StreamReport {
         energy: EnergyBreakdown,
         peak_memory_bytes: u64,
         scheduler_invocations: usize,
+        schedule_cache_hits: usize,
+        placement_evaluations: u64,
+        events_processed: usize,
         busy_spans: Vec<BusySpan>,
     ) -> Self {
         Self {
@@ -131,6 +137,9 @@ impl StreamReport {
             energy,
             peak_memory_bytes,
             scheduler_invocations,
+            schedule_cache_hits,
+            placement_evaluations,
+            events_processed,
             busy_spans,
         }
     }
@@ -203,13 +212,53 @@ impl StreamReport {
         &self.busy_spans
     }
 
-    /// How many times the online scheduler actually ran: once per frame
-    /// arrival and once per workload swap (the eager recompile at a swap
-    /// event serves the first arrival of the new workload, which
-    /// therefore does not schedule again).
+    /// How many times the online scheduler actually compiled a schedule
+    /// from scratch during this simulation. Under the default
+    /// incremental policy this is at most once per distinct (stream,
+    /// workload version) pair — fewer when a shared
+    /// [`crate::ctx::EvalContext`] memo from an earlier run serves a
+    /// compile (those count as [`StreamReport::schedule_cache_hits`]);
+    /// under [`crate::sim::ReschedulePolicy::FullReschedule`] it is once
+    /// per frame arrival plus once per swap (the full baseline
+    /// behavior).
     #[must_use]
     pub fn scheduler_invocations(&self) -> usize {
         self.scheduler_invocations
+    }
+
+    /// Online scheduling decisions served from a cache instead of a
+    /// fresh compile: the stream's dirty-tracked schedule, or a shared
+    /// context's cross-call schedule memo.
+    #[must_use]
+    pub fn schedule_cache_hits(&self) -> usize {
+        self.schedule_cache_hits
+    }
+
+    /// Fraction of online scheduling decisions served from cache
+    /// (`hits / (hits + compiles)`; 0 when nothing was scheduled).
+    #[must_use]
+    pub fn schedule_cache_hit_rate(&self) -> f64 {
+        let total = self.schedule_cache_hits + self.scheduler_invocations;
+        if total == 0 {
+            0.0
+        } else {
+            self.schedule_cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Per-(task, sub-accelerator) placement cost evaluations the online
+    /// scheduler performed during this simulation (0 when the scheduler
+    /// does not report placement work).
+    #[must_use]
+    pub fn placement_evaluations(&self) -> u64 {
+        self.placement_evaluations
+    }
+
+    /// Trace events processed: every frame arrival plus every workload
+    /// swap.
+    #[must_use]
+    pub fn events_processed(&self) -> usize {
+        self.events_processed
     }
 
     /// Aggregate throughput: completed frames per second of makespan.
@@ -419,6 +468,9 @@ mod tests {
             EnergyBreakdown::default(),
             0,
             0,
+            0,
+            0,
+            0,
             vec![BusySpan {
                 acc: 0,
                 start_s: 0.0,
@@ -476,6 +528,16 @@ mod tests {
         assert!((timeline[1].per_acc[0] - 1.0).abs() < 1e-12);
         assert_eq!(timeline[3].per_acc[0], 0.0);
         assert!((r.acc_utilization(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_hit_rate_counts_hits_over_decisions() {
+        let mut r = report(Vec::new());
+        assert_eq!(r.schedule_cache_hit_rate(), 0.0);
+        r.scheduler_invocations = 2;
+        r.schedule_cache_hits = 6;
+        assert!((r.schedule_cache_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(r.schedule_cache_hits(), 6);
     }
 
     #[test]

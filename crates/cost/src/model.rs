@@ -6,6 +6,7 @@ use herald_dataflow::{DataflowStyle, Mapping, MappingBuilder};
 use herald_models::{Layer, LayerDims, LayerOp};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
 /// Tunable parameters of the cost model.
@@ -35,6 +36,30 @@ pub struct CostModelConfig {
     /// default: the evaluation picks dataflows with identical inner-loop
     /// order, eliminating layout conversion.
     pub context_change_cycles: u64,
+}
+
+impl CostModelConfig {
+    /// A bit-exact fingerprint of every knob of this configuration (all
+    /// float fields captured via `to_bits`). Two configurations with
+    /// equal fingerprints produce identical [`LayerCost`]s for every
+    /// query, so the fingerprint is usable in memo keys that must never
+    /// alias across cost models.
+    #[must_use]
+    pub fn fingerprint(&self) -> [u64; 11] {
+        [
+            self.energy.mac_pj.to_bits(),
+            self.energy.rf_pj.to_bits(),
+            self.energy.noc_pj.to_bits(),
+            self.energy.gb_pj.to_bits(),
+            self.energy.dram_pj.to_bits(),
+            self.clock_ghz.to_bits(),
+            self.bytes_per_elem,
+            self.rda_energy_overhead.to_bits(),
+            self.rda_reconfig_cycles,
+            self.rda_reconfig_pj_per_pe.to_bits(),
+            self.context_change_cycles,
+        ]
+    }
 }
 
 impl Default for CostModelConfig {
@@ -146,6 +171,8 @@ type CacheKey = (LayerDims, LayerOp, DataflowStyle, u32, u64, bool);
 pub struct CostModel {
     config: CostModelConfig,
     cache: RwLock<HashMap<CacheKey, LayerCost>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl CostModel {
@@ -154,6 +181,8 @@ impl CostModel {
         Self {
             config,
             cache: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
@@ -168,6 +197,16 @@ impl CostModel {
             .read()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .len()
+    }
+
+    /// Queries answered from the memo without recomputation.
+    pub fn cache_hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Queries that required a fresh analytical evaluation.
+    pub fn cache_misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
     }
 
     /// Evaluates a layer on a fixed-dataflow (sub-)accelerator.
@@ -197,8 +236,10 @@ impl CostModel {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(&key)
         {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return hit.clone();
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let cost = self.compute(layer, q);
         self.cache
             .write()
@@ -532,6 +573,25 @@ mod tests {
         let c = m.evaluate(&conv(256, 256, 28, 3), DataflowStyle::Nvdla, 1024, 1.0);
         assert!(c.traffic_cycles > c.compute_cycles);
         assert_eq!(c.total_cycles, c.traffic_cycles + c.overhead_cycles);
+    }
+
+    #[test]
+    fn fingerprints_separate_distinct_configs() {
+        let base = CostModelConfig::default();
+        assert_eq!(base.fingerprint(), CostModelConfig::default().fingerprint());
+        let tweaked = CostModelConfig {
+            clock_ghz: 2.0,
+            ..Default::default()
+        };
+        assert_ne!(base.fingerprint(), tweaked.fingerprint());
+        let energy = CostModelConfig {
+            energy: EnergyModel {
+                dram_pj: 500.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert_ne!(base.fingerprint(), energy.fingerprint());
     }
 
     #[test]

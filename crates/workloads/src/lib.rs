@@ -26,8 +26,8 @@
 mod scenario;
 
 pub use scenario::{
-    arvr_a_stream, arvr_b_stream, workload_change_trace, ArrivalProcess, Scenario, StreamSpec,
-    WorkloadSwap,
+    arvr_a_stream, arvr_b_stream, poisson_mix_stream, workload_change_trace, ArrivalProcess,
+    Scenario, StreamSpec, WorkloadSwap,
 };
 
 use herald_models::{zoo, DnnModel};

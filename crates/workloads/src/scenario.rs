@@ -305,6 +305,44 @@ pub fn arvr_b_stream(fps_scale: f64, horizon_s: f64) -> Scenario {
         ))
 }
 
+/// A bursty two-tenant scenario with seeded Poisson arrivals: a
+/// MobileNetV2 camera stream and a ResNet50 analytics stream, each with
+/// exponential inter-arrival gaps at `scale x` their base rates (30 and
+/// 10 fps), plus a mid-run swap of the camera stream to MobileNetV1 at
+/// `horizon_s / 2`. Deadlines equal each stream's mean frame period.
+///
+/// Arrival times are sampled deterministically from `seed`, so the
+/// scenario is reproducible bit for bit — the memoryless counterpart of
+/// the rated periodic AR/VR scenarios, used by the online-rescheduling
+/// equivalence suite.
+#[must_use]
+pub fn poisson_mix_stream(scale: f64, horizon_s: f64, seed: u64) -> Scenario {
+    let cam_fps = 30.0 * scale;
+    let analytics_fps = 10.0 * scale;
+    Scenario::new("poisson-mix", horizon_s)
+        .stream(
+            StreamSpec::poisson(
+                "camera",
+                single_model(zoo::mobilenet_v2(), 1),
+                cam_fps,
+                seed,
+            )
+            .with_deadline(1.0 / cam_fps)
+            .swap_at(horizon_s / 2.0, single_model(zoo::mobilenet_v1(), 1)),
+        )
+        .stream(
+            StreamSpec::poisson(
+                "analytics",
+                single_model(zoo::resnet50(), 1),
+                analytics_fps,
+                // Decorrelate the two streams while staying a pure
+                // function of the caller's seed.
+                seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1),
+            )
+            .with_deadline(1.0 / analytics_fps),
+        )
+}
+
 /// The Fig. 13 workload-change study as one continuous trace: a single
 /// periodic stream of full multi-DNN frames that starts as AR/VR-A and
 /// swaps to AR/VR-B at `horizon_s / 2`. The deadline applies to every
@@ -371,6 +409,23 @@ mod tests {
             change.design_workload().total_layers(),
             crate::arvr_a().total_layers()
         );
+    }
+
+    #[test]
+    fn poisson_mix_is_seeded_and_swaps_mid_run() {
+        let s = poisson_mix_stream(1.0, 4.0, 9);
+        assert_eq!(s.streams().len(), 2);
+        assert_eq!(s, poisson_mix_stream(1.0, 4.0, 9));
+        assert_ne!(s, poisson_mix_stream(1.0, 4.0, 10));
+        let cam = &s.streams()[0];
+        assert_eq!(cam.swaps().len(), 1);
+        assert!((cam.swaps()[0].at_s - 2.0).abs() < 1e-12);
+        assert!((cam.arrival().mean_fps() - 30.0).abs() < 1e-12);
+        for stream in s.streams() {
+            assert!(
+                (stream.deadline_s().unwrap() - 1.0 / stream.arrival().mean_fps()).abs() < 1e-12
+            );
+        }
     }
 
     #[test]

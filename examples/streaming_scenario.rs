@@ -46,9 +46,13 @@ fn main() -> Result<(), HeraldError> {
     let report = outcome.report();
     println!("{report}");
     println!(
-        "accelerator: {} ({} scheduler invocations)",
+        "accelerator: {} ({} schedule compiles, {} cache hits — {:.0}% of \
+         online decisions served incrementally, {} placement evals)",
         outcome.accelerator,
-        report.scheduler_invocations()
+        report.scheduler_invocations(),
+        report.schedule_cache_hits(),
+        report.schedule_cache_hit_rate() * 100.0,
+        report.placement_evaluations(),
     );
 
     println!("\nper-stream statistics:");

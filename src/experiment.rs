@@ -24,11 +24,12 @@
 //! ```
 
 use herald_arch::{AcceleratorClass, AcceleratorConfig, HardwareResources, Partition};
+use herald_core::ctx::EvalContext;
 use herald_core::dse::{DesignPoint, DseConfig, DseEngine, SearchStrategy};
 use herald_core::error::HeraldError;
-use herald_core::sched::{HeraldScheduler, SchedulerConfig};
-use herald_core::sim::{StreamReport, StreamSimulator};
-use herald_cost::{CostModel, Metric};
+use herald_core::sched::{HeraldScheduler, IncrementalScheduler, SchedulerConfig};
+use herald_core::sim::{ReschedulePolicy, StreamReport, StreamSimulator};
+use herald_cost::Metric;
 use herald_dataflow::DataflowStyle;
 use herald_workloads::{MultiDnnWorkload, Scenario};
 use serde::Serialize;
@@ -55,6 +56,8 @@ pub struct Experiment {
     fast: bool,
     scheduler_explicit: bool,
     refine_rounds: usize,
+    ctx: Option<EvalContext>,
+    reschedule: ReschedulePolicy,
 }
 
 impl Experiment {
@@ -70,7 +73,33 @@ impl Experiment {
             fast: false,
             scheduler_explicit: false,
             refine_rounds: 0,
+            ctx: None,
+            reschedule: ReschedulePolicy::default(),
         }
+    }
+
+    /// Attaches a shared [`EvalContext`]: cost-model memos, the schedule
+    /// memo and the evaluation counters persist across this experiment
+    /// and every other experiment holding a clone of the same context —
+    /// repeated [`Experiment::run`] / [`Experiment::scenario`] calls
+    /// reuse each other's work instead of cold-starting.
+    ///
+    /// Without an explicit context each `run`/`scenario` call builds a
+    /// private one.
+    #[must_use]
+    pub fn with_context(mut self, ctx: EvalContext) -> Self {
+        self.ctx = Some(ctx);
+        self
+    }
+
+    /// Overrides the streaming rescheduling policy (incremental by
+    /// default; [`ReschedulePolicy::FullReschedule`] forces the
+    /// schedule-every-arrival baseline, which is bit-identical but far
+    /// slower — useful for equivalence checks and benchmarks).
+    #[must_use]
+    pub fn reschedule_policy(mut self, policy: ReschedulePolicy) -> Self {
+        self.reschedule = policy;
+        self
     }
 
     /// Targets one of the paper's accelerator classes (edge / mobile /
@@ -202,9 +231,10 @@ impl Experiment {
             self.dse.metric = metric;
             self.dse.scheduler.metric = metric;
         }
+        let ctx = self.ctx.clone().unwrap_or_default();
         let engine = DseEngine::new(self.dse);
         if let Some(config) = self.fixed {
-            let report = engine.evaluate_config(&self.workload, &config)?;
+            let report = engine.evaluate_config_in(&ctx, &self.workload, &config)?;
             let partition = partition_of(&config)?;
             let point = DesignPoint {
                 partition,
@@ -228,14 +258,15 @@ impl Experiment {
             })?;
         validate_resources(resources)?;
         let outcome = if self.refine_rounds > 0 {
-            engine.co_optimize_refined(
+            engine.co_optimize_refined_in(
+                &ctx,
                 &self.workload,
                 resources,
                 &self.styles,
                 self.refine_rounds,
             )?
         } else {
-            engine.co_optimize(&self.workload, resources, &self.styles)?
+            engine.co_optimize_in(&ctx, &self.workload, resources, &self.styles)?
         };
         let best_index = best_index(&outcome.points, self.dse.metric).ok_or_else(|| {
             HeraldError::EmptySearch {
@@ -263,8 +294,13 @@ impl Experiment {
     /// [`Experiment::new`] is not used here; frames come from the
     /// scenario's streams.
     ///
-    /// The scheduler configured on the builder is invoked *online* at
-    /// every frame arrival and at every workload-change event.
+    /// The scheduler configured on the builder makes an *online*
+    /// decision at every frame arrival and at every workload-change
+    /// event; under the default [`ReschedulePolicy::Incremental`] most
+    /// decisions are served from the per-stream schedule memo (the
+    /// scheduler is deterministic, so this is bit-identical to
+    /// rescheduling every frame — see
+    /// [`StreamReport::schedule_cache_hit_rate`]).
     ///
     /// # Errors
     ///
@@ -281,13 +317,15 @@ impl Experiment {
             self.dse.metric = metric;
             self.dse.scheduler.metric = metric;
         }
+        let ctx = self.ctx.clone().unwrap_or_default();
         let config = match self.fixed.take() {
             Some(config) => config,
             None => {
                 // Delegate the search to the one-shot pipeline on the
                 // scenario's aggregate design workload, so every search
                 // knob (strategy, granularity, refinement rounds) behaves
-                // exactly as it does for `run`.
+                // exactly as it does for `run` — and share this call's
+                // context so the search warms the same memos.
                 let design = scenario.design_workload();
                 if design.total_layers() == 0 {
                     return Err(HeraldError::Scenario {
@@ -299,14 +337,24 @@ impl Experiment {
                 }
                 let mut search = self.clone();
                 search.workload = design;
+                search.ctx = Some(ctx.clone());
                 search.run()?.best().config.clone()
             }
         };
-        let cost = CostModel::default();
         let scheduler = HeraldScheduler::new(self.dse.scheduler);
-        let report = StreamSimulator::new(&config, &cost)
+        let sim = StreamSimulator::new(&config, ctx.cost_model())
             .with_metric(self.dse.metric)
-            .simulate(&scheduler, scenario)?;
+            .with_policy(self.reschedule)
+            .with_context(&ctx);
+        let report = match self.reschedule {
+            // The incremental wrapper adds the cross-call schedule memo;
+            // the full baseline deliberately bypasses every cache layer.
+            ReschedulePolicy::Incremental => {
+                let incremental = IncrementalScheduler::new(scheduler, ctx.clone());
+                sim.simulate(&incremental, scenario)?
+            }
+            ReschedulePolicy::FullReschedule => sim.simulate(&scheduler, scenario)?,
+        };
         Ok(StreamOutcome {
             scenario: scenario.name().to_string(),
             accelerator: config.name().to_string(),
@@ -521,6 +569,7 @@ impl ExperimentOutcome {
 mod tests {
     use super::*;
     use herald_models::zoo;
+    use herald_workloads::StreamSpec;
 
     fn workload() -> MultiDnnWorkload {
         herald_workloads::single_model(zoo::mobilenet_v1(), 2)
@@ -690,6 +739,51 @@ mod tests {
         for p in latency.points() {
             assert!(p.latency_s() >= latency.latency_s() - 1e-18);
         }
+    }
+
+    #[test]
+    fn shared_context_is_warm_across_runs() {
+        let ctx = EvalContext::new();
+        let run = || {
+            Experiment::new(workload())
+                .on(AcceleratorClass::Edge)
+                .with_styles(styles())
+                .fast()
+                .with_context(ctx.clone())
+                .run()
+                .unwrap()
+        };
+        let first = run();
+        let runs = ctx.stats().scheduler_runs();
+        assert!(runs > 0);
+        // The identical search again: every candidate's schedule comes
+        // from the context memo.
+        let second = run();
+        assert_eq!(first, second);
+        assert_eq!(ctx.stats().scheduler_runs(), runs);
+        assert!(ctx.stats().schedule_cache_hits() >= first.points().len() as u64);
+    }
+
+    #[test]
+    fn reschedule_policies_agree_on_stream_outcomes() {
+        let scenario = Scenario::new("policy", 0.05)
+            .stream(StreamSpec::periodic("s", workload(), 60.0).with_deadline(0.1));
+        let stream = |policy: ReschedulePolicy| {
+            Experiment::new(workload())
+                .on_accelerator(AcceleratorConfig::fda(
+                    DataflowStyle::Nvdla,
+                    AcceleratorClass::Edge.resources(),
+                ))
+                .reschedule_policy(policy)
+                .scenario(&scenario)
+                .unwrap()
+        };
+        let inc = stream(ReschedulePolicy::Incremental);
+        let full = stream(ReschedulePolicy::FullReschedule);
+        assert_eq!(inc.report().frames(), full.report().frames());
+        assert!(inc.report().scheduler_invocations() < full.report().scheduler_invocations());
+        assert!(inc.report().schedule_cache_hit_rate() > 0.5);
+        assert_eq!(full.report().schedule_cache_hit_rate(), 0.0);
     }
 
     #[test]

@@ -40,10 +40,17 @@
 //! on the event-driven simulation core instead of a one-shot frame: each
 //! [`Scenario`](herald_workloads::Scenario) stream has an arrival
 //! process, an optional per-frame deadline, and may swap workloads
-//! mid-run; the scheduler re-runs online at every arrival and swap. The
-//! resulting [`core::sim::StreamReport`] carries throughput, p50/p95/p99
-//! frame latency, deadline-miss rates (including windowed transient
-//! views) and per-accelerator utilization over time.
+//! mid-run; an online scheduling decision happens at every arrival and
+//! swap, served incrementally from per-stream schedule memos that a
+//! workload swap invalidates (bit-identical to rescheduling every frame,
+//! at a fraction of the work). The resulting
+//! [`core::sim::StreamReport`] carries throughput, p50/p95/p99 frame
+//! latency, deadline-miss rates (including windowed transient views),
+//! per-accelerator utilization over time, and the scheduling-work
+//! counters (compiles, cache-hit rate, placement evaluations). Attach a
+//! shared [`core::ctx::EvalContext`] via
+//! [`Experiment::with_context`] to reuse cost-model and schedule memos
+//! across experiments.
 //!
 //! ```
 //! use herald::prelude::*;
@@ -92,13 +99,17 @@ pub mod prelude {
         SubAccelerator,
     };
     pub use herald_core::{
+        ctx::{EvalContext, EvalSnapshot, EvalStats},
         dse::{DseConfig, DseEngine, DseOutcome, SearchStrategy},
         error::HeraldError,
         exec::{ExecutionReport, ScheduleSimulator},
         sched::{
-            GreedyScheduler, HeraldScheduler, OrderingPolicy, Schedule, Scheduler, SchedulerConfig,
+            GreedyScheduler, HeraldScheduler, IncrementalScheduler, OrderingPolicy, Schedule,
+            Scheduler, SchedulerConfig,
         },
-        sim::{FrameRecord, StreamReport, StreamSimulator, StreamStats, SwapRecord},
+        sim::{
+            FrameRecord, ReschedulePolicy, StreamReport, StreamSimulator, StreamStats, SwapRecord,
+        },
         Metric,
     };
     pub use herald_cost::{CostModel, CostQuery, EnergyModel, LayerCost};
