@@ -12,22 +12,30 @@
 //! Expected shape (paper): the fixed HDA absorbs the workload change with
 //! a modest latency penalty and keeps beating the best FDA, which shows a
 //! deeper and longer miss transient on the same trace.
+//!
+//! Pass `--json` to emit a machine-readable record (per-class HDA/FDA
+//! rows with windowed transients) — the golden-file regression suite
+//! diffs this output field by field across PRs.
 
 use herald::prelude::*;
 use herald_bench::{evaluate_fixed, fast_mode, search_hda, stream_fixed};
 
 fn main() -> Result<(), HeraldError> {
     let fast = fast_mode();
+    let json_mode = std::env::args().any(|a| a == "--json");
     let classes: &[AcceleratorClass] = if fast {
         &[AcceleratorClass::Edge]
     } else {
         &AcceleratorClass::ALL
     };
+    let mut classes_json = Vec::new();
 
-    println!(
-        "Fig. 13: workload-change study — one continuous stream, A -> B -> A\n\
-         (HDA partition optimized for AR/VR-A only; scheduler re-runs online)"
-    );
+    if !json_mode {
+        println!(
+            "Fig. 13: workload-change study — one continuous stream, A -> B -> A\n\
+             (HDA partition optimized for AR/VR-A only; scheduler re-runs online)"
+        );
+    }
 
     for &class in classes {
         // The deployed hardware: a Maelstrom HDA optimized for AR/VR-A.
@@ -71,11 +79,13 @@ fn main() -> Result<(), HeraldError> {
                 .swap_at(swap_back, light),
         );
 
-        println!(
-            "\n--- {class}: {light_name} -> {heavy_name} -> {light_name}, \
-             period {period:.4} s, deadline {deadline:.4} s \
-             (single-frame A {lat_a:.4} s, B {lat_b:.4} s) ---"
-        );
+        if !json_mode {
+            println!(
+                "\n--- {class}: {light_name} -> {heavy_name} -> {light_name}, \
+                 period {period:.4} s, deadline {deadline:.4} s \
+                 (single-frame A {lat_a:.4} s, B {lat_b:.4} s) ---"
+            );
+        }
 
         let hda_report = stream_fixed(&scenario, config, fast)?;
         // The best FDA on the same trace (lowest streamed p95 latency
@@ -99,22 +109,26 @@ fn main() -> Result<(), HeraldError> {
         };
 
         let fda_label = format!("best FDA ({})", fda_report.accelerator);
+        let mut rows_json = Vec::new();
         for (label, outcome) in [("HDA-A", &hda_report), (fda_label.as_str(), &fda_report)] {
             let r = outcome.report();
             assert_eq!(r.swaps().len(), 2, "both swap events simulated");
-            println!(
-                "{label}: {} frames, throughput {:.3} fps, p95 latency {:.4} s, \
-                 overall miss rate {:.1}%",
-                r.frames().len(),
-                r.throughput_fps(),
-                r.latency_percentile(0.95),
-                r.deadline_miss_rate() * 100.0
-            );
-            println!(
-                "  {:<24} {:>8} {:>14} {:>12}",
-                "window", "frames", "mean lat (s)", "miss rate"
-            );
+            if !json_mode {
+                println!(
+                    "{label}: {} frames, throughput {:.3} fps, p95 latency {:.4} s, \
+                     overall miss rate {:.1}%",
+                    r.frames().len(),
+                    r.throughput_fps(),
+                    r.latency_percentile(0.95),
+                    r.deadline_miss_rate() * 100.0
+                );
+                println!(
+                    "  {:<24} {:>8} {:>14} {:>12}",
+                    "window", "frames", "mean lat (s)", "miss rate"
+                );
+            }
             let window = 2.0 * period;
+            let mut windows_json = Vec::new();
             let mut t = 0.0;
             while t < horizon {
                 let t1 = (t + window).min(horizon);
@@ -130,38 +144,86 @@ fn main() -> Result<(), HeraldError> {
                 } else {
                     "heavy"
                 };
-                println!(
-                    "  [{:6.3}, {:6.3}) {:<8} {:>8} {:>14.4} {:>11.1}%",
-                    t,
-                    t1,
-                    phase,
-                    n,
-                    r.mean_latency_between(t, t1),
-                    r.miss_rate_between(t, t1) * 100.0
-                );
+                let mean_latency_s = r.mean_latency_between(t, t1);
+                let miss_rate = r.miss_rate_between(t, t1);
+                if !json_mode {
+                    println!(
+                        "  [{:6.3}, {:6.3}) {:<8} {:>8} {:>14.4} {:>11.1}%",
+                        t,
+                        t1,
+                        phase,
+                        n,
+                        mean_latency_s,
+                        miss_rate * 100.0
+                    );
+                }
+                windows_json.push(serde_json::json!({
+                    "t0_s": t,
+                    "t1_s": t1,
+                    "phase": phase,
+                    "frames": n,
+                    "mean_latency_s": mean_latency_s,
+                    "miss_rate": miss_rate,
+                }));
                 t = t1;
             }
             let pre = r.miss_rate_between(0.0, swap_to_heavy);
             let during = r.miss_rate_between(swap_to_heavy, swap_back);
             let post = r.miss_rate_between(swap_back, horizon);
-            println!(
-                "  transient: miss rate {:.1}% before swap -> {:.1}% during \
-                 {heavy_name} -> {:.1}% after return",
-                pre * 100.0,
-                during * 100.0,
-                post * 100.0
-            );
+            if !json_mode {
+                println!(
+                    "  transient: miss rate {:.1}% before swap -> {:.1}% during \
+                     {heavy_name} -> {:.1}% after return",
+                    pre * 100.0,
+                    during * 100.0,
+                    post * 100.0
+                );
+            }
+            rows_json.push(serde_json::json!({
+                "label": label,
+                "accelerator": outcome.accelerator.clone(),
+                "frames": r.frames().len(),
+                "throughput_fps": r.throughput_fps(),
+                "p95_latency_s": r.latency_percentile(0.95),
+                "deadline_miss_rate": r.deadline_miss_rate(),
+                "energy_j": r.total_energy_j(),
+                "miss_rate_pre_swap": pre,
+                "miss_rate_during_heavy": during,
+                "miss_rate_post_return": post,
+                "windows": serde_json::Value::Seq(windows_json),
+            }));
         }
 
         let hda_r = hda_report.report();
         let fda_r = fda_report.report();
-        println!(
-            "HDA vs FDA under the change: p95 latency {:+.1}%, miss rate {:+.1} pp, \
-             energy {:+.1}%",
-            (1.0 - hda_r.latency_percentile(0.95) / fda_r.latency_percentile(0.95)) * 100.0,
-            (hda_r.deadline_miss_rate() - fda_r.deadline_miss_rate()) * 100.0,
-            (1.0 - hda_r.total_energy_j() / fda_r.total_energy_j()) * 100.0
-        );
+        if !json_mode {
+            println!(
+                "HDA vs FDA under the change: p95 latency {:+.1}%, miss rate {:+.1} pp, \
+                 energy {:+.1}%",
+                (1.0 - hda_r.latency_percentile(0.95) / fda_r.latency_percentile(0.95)) * 100.0,
+                (hda_r.deadline_miss_rate() - fda_r.deadline_miss_rate()) * 100.0,
+                (1.0 - hda_r.total_energy_j() / fda_r.total_energy_j()) * 100.0
+            );
+        }
+        classes_json.push(serde_json::json!({
+            "class": class.to_string(),
+            "light": light_name,
+            "heavy": heavy_name,
+            "period_s": period,
+            "deadline_s": deadline,
+            "single_frame_a_s": lat_a,
+            "single_frame_b_s": lat_b,
+            "rows": serde_json::Value::Seq(rows_json),
+        }));
+    }
+
+    if json_mode {
+        let record = serde_json::json!({
+            "bench": "fig13_workload_change",
+            "fast": fast,
+            "classes": serde_json::Value::Seq(classes_json),
+        });
+        println!("{}", record.to_json_pretty());
     }
     Ok(())
 }

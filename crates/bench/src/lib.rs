@@ -21,6 +21,8 @@
 //! | `table07_sched_time` | Table VII (scheduling wall-clock time) |
 //! | `ablation_scheduler` | Sec. V-B scheduler-vs-greedy ablation |
 //! | `summary_headline` | Sec. V-B headline averages |
+//! | `stream_headline` | Streaming scenario suite (beyond-paper) |
+//! | `fleet_headline` | Multi-chip serving-layer scaling (beyond-paper) |
 //!
 //! Pass `--fast` to any binary for a coarse (seconds-scale) run; the
 //! default granularity reproduces the paper-scale sweeps.

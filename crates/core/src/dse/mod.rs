@@ -19,7 +19,7 @@ pub use partitions::candidate_partitions;
 
 /// Maps a worker panic payload into the typed error the sweep returns.
 /// String payloads (from `panic!` / `assert!`) are preserved verbatim.
-fn worker_panic_error(payload: Box<dyn std::any::Any + Send>) -> HeraldError {
+pub(crate) fn worker_panic_error(payload: Box<dyn std::any::Any + Send>) -> HeraldError {
     let payload = if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -40,6 +40,12 @@ pub enum HeraldError {
         /// Human-readable description of the violation.
         reason: String,
     },
+    /// A fleet simulation is degenerate (no chips, or a dispatcher
+    /// returned an out-of-range chip index).
+    Fleet {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
     /// A DSE worker thread panicked while evaluating candidates; the
     /// sweep is aborted and the panic surfaces as a fallible error
     /// through the facade instead of poisoning the caller.
@@ -79,6 +85,9 @@ impl fmt::Display for HeraldError {
             }
             HeraldError::Scenario { reason } => {
                 write!(f, "invalid streaming scenario: {reason}")
+            }
+            HeraldError::Fleet { reason } => {
+                write!(f, "invalid fleet simulation: {reason}")
             }
             HeraldError::WorkerPanicked { payload } => {
                 write!(f, "a DSE worker thread panicked: {payload}")
@@ -184,6 +193,15 @@ mod tests {
             reason: "no streams".into(),
         };
         assert!(e.to_string().contains("no streams"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn fleet_errors_render_their_reason() {
+        let e = HeraldError::Fleet {
+            reason: "fleet has no chips".into(),
+        };
+        assert!(e.to_string().contains("fleet has no chips"));
         assert!(e.source().is_none());
     }
 }

@@ -1,0 +1,143 @@
+//! The fleet description: which accelerator chips serve traffic.
+
+use herald_arch::AcceleratorConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A pool of (possibly heterogeneous) accelerator chips serving one
+/// incoming scenario. Chips are independent full accelerators — each
+/// runs its own [`crate::sim::StreamSimulator`] over the frames the
+/// dispatcher routes to it.
+///
+/// # Example
+///
+/// ```
+/// use herald_arch::{AcceleratorClass, AcceleratorConfig};
+/// use herald_core::fleet::FleetConfig;
+/// use herald_dataflow::DataflowStyle;
+///
+/// let res = AcceleratorClass::Edge.resources();
+/// let fda = AcceleratorConfig::fda(DataflowStyle::Nvdla, res);
+/// // Four identical chips...
+/// let fleet = FleetConfig::homogeneous(&fda, 4);
+/// assert_eq!(fleet.len(), 4);
+/// // ...or a mixed pool.
+/// let mixed = FleetConfig::new()
+///     .chip(fda)
+///     .chip(AcceleratorConfig::fda(DataflowStyle::Eyeriss, res));
+/// assert_eq!(mixed.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FleetConfig {
+    chips: Vec<AcceleratorConfig>,
+}
+
+impl FleetConfig {
+    /// An empty fleet (add chips with [`FleetConfig::chip`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A fleet of `n` identical chips.
+    #[must_use]
+    pub fn homogeneous(config: &AcceleratorConfig, n: usize) -> Self {
+        Self {
+            chips: vec![config.clone(); n],
+        }
+    }
+
+    /// Adds one chip (builder style).
+    #[must_use]
+    pub fn chip(mut self, config: AcceleratorConfig) -> Self {
+        self.chips.push(config);
+        self
+    }
+
+    /// The chips, in dispatch-index order.
+    #[must_use]
+    pub fn chips(&self) -> &[AcceleratorConfig] {
+        &self.chips
+    }
+
+    /// Number of chips.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.chips.len()
+    }
+
+    /// Whether the fleet has no chips (such a fleet cannot simulate).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.chips.is_empty()
+    }
+
+    /// A unique display name per chip (`"chip3:FDA-NVDLA"`).
+    #[must_use]
+    pub fn chip_names(&self) -> Vec<String> {
+        self.chips
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("chip{i}:{}", c.name()))
+            .collect()
+    }
+}
+
+impl fmt::Display for FleetConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fleet of {} chips [", self.chips.len())?;
+        for (i, c) in self.chips.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", c.name())?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use herald_arch::AcceleratorClass;
+    use herald_dataflow::DataflowStyle;
+
+    fn fda(style: DataflowStyle) -> AcceleratorConfig {
+        AcceleratorConfig::fda(style, AcceleratorClass::Edge.resources())
+    }
+
+    #[test]
+    fn homogeneous_replicates_one_config() {
+        let fleet = FleetConfig::homogeneous(&fda(DataflowStyle::Nvdla), 3);
+        assert_eq!(fleet.len(), 3);
+        assert!(!fleet.is_empty());
+        assert!(fleet.chips().iter().all(|c| c.name() == "FDA-NVDLA"));
+        let names = fleet.chip_names();
+        assert_eq!(names[0], "chip0:FDA-NVDLA");
+        assert_eq!(names[2], "chip2:FDA-NVDLA");
+    }
+
+    #[test]
+    fn builder_collects_heterogeneous_chips() {
+        let fleet = FleetConfig::new()
+            .chip(fda(DataflowStyle::Nvdla))
+            .chip(fda(DataflowStyle::Eyeriss));
+        assert_eq!(fleet.len(), 2);
+        assert_ne!(fleet.chips()[0], fleet.chips()[1]);
+        assert!(fleet.to_string().contains("FDA-Eyeriss"));
+    }
+
+    #[test]
+    fn empty_fleet_is_observable() {
+        assert!(FleetConfig::new().is_empty());
+        assert_eq!(FleetConfig::new().len(), 0);
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let fleet = FleetConfig::homogeneous(&fda(DataflowStyle::ShiDianNao), 2);
+        let json = serde_json::to_string(&fleet).unwrap();
+        let back: FleetConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, fleet);
+    }
+}

@@ -1,0 +1,320 @@
+//! Dispatch policies: which chip serves each arriving frame.
+//!
+//! The dispatcher runs on the (deterministic, single-threaded) dispatch
+//! walk of [`crate::fleet::FleetSimulator`]: frames are presented in
+//! global arrival order, and the dispatcher picks a chip index using the
+//! fleet's predicted load state. Predictions come from a simple
+//! backlog model — each chip drains its queue at the single-frame
+//! service rate measured for the frame's workload on that chip — which
+//! is an *estimate* used only for routing; the per-chip event simulation
+//! stays exact.
+
+use serde::{Deserialize, Serialize};
+
+/// Immutable facts about one frame at dispatch time.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameView<'a> {
+    /// Global stream index in the scenario.
+    pub stream: usize,
+    /// Global sequence number within the stream (0-based).
+    pub seq: usize,
+    /// Arrival time, seconds.
+    pub arrival_s: f64,
+    /// The stream's per-frame deadline, if any.
+    pub deadline_s: Option<f64>,
+    /// Estimated single-frame service time of this frame's workload on
+    /// each chip, seconds (all zeros when the active policy does not
+    /// request estimates).
+    pub est_service_s: &'a [f64],
+}
+
+impl FrameView<'_> {
+    /// Predicted completion time of this frame on `chip` given the
+    /// current `load`: the frame starts once the chip drains its
+    /// backlog, then runs for the estimated service time.
+    #[must_use]
+    pub fn predicted_finish_s(&self, chip: usize, load: &ChipLoad) -> f64 {
+        self.arrival_s.max(load.free_at_s) + self.est_service_s[chip]
+    }
+}
+
+/// Predicted load state of one chip during the dispatch walk.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChipLoad {
+    /// Predicted time the chip drains every frame dispatched to it so
+    /// far, seconds.
+    pub free_at_s: f64,
+    /// Frames dispatched to this chip so far.
+    pub dispatched: usize,
+}
+
+impl ChipLoad {
+    /// Predicted backlog (seconds of queued work) at time `now`.
+    #[must_use]
+    pub fn backlog_s(&self, now: f64) -> f64 {
+        (self.free_at_s - now).max(0.0)
+    }
+}
+
+/// A frame-routing policy. Implementations must be deterministic: the
+/// chip choice may depend only on the frame, the load state and the
+/// dispatcher's own (deterministically updated) state — that is what
+/// makes a [`crate::fleet::FleetReport`] bit-reproducible across runs.
+pub trait Dispatcher {
+    /// Display name recorded in the fleet report.
+    fn name(&self) -> &'static str;
+
+    /// Whether this policy reads per-chip service estimates. Estimating
+    /// costs one schedule per distinct (chip, workload version), so
+    /// load-oblivious policies opt out.
+    fn needs_estimates(&self) -> bool {
+        true
+    }
+
+    /// Picks the chip (index into `chips`) that serves `frame`.
+    fn dispatch(&mut self, frame: &FrameView<'_>, chips: &[ChipLoad]) -> usize;
+}
+
+/// Cycles through chips in index order, ignoring load entirely — the
+/// classic baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl Dispatcher for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn needs_estimates(&self) -> bool {
+        false
+    }
+
+    fn dispatch(&mut self, _frame: &FrameView<'_>, chips: &[ChipLoad]) -> usize {
+        let chip = self.next % chips.len();
+        self.next = (self.next + 1) % chips.len();
+        chip
+    }
+}
+
+/// Routes to the chip with the smallest predicted backlog (seconds of
+/// queued work), breaking ties by chip index. Load-aware but
+/// service-heterogeneity-oblivious: it does not ask how fast *this*
+/// frame would run on each chip.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastLoaded;
+
+impl Dispatcher for LeastLoaded {
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+
+    fn dispatch(&mut self, frame: &FrameView<'_>, chips: &[ChipLoad]) -> usize {
+        pick_min(chips.len(), |c| chips[c].backlog_s(frame.arrival_s))
+    }
+}
+
+/// Deadline-aware earliest-finish routing: predicts this frame's
+/// completion on every chip (backlog plus per-chip service estimate),
+/// prefers chips predicted to meet the frame's deadline, and among those
+/// picks the earliest predicted finish (ties by chip index). Frames
+/// without a deadline fall back to pure earliest-finish, which also
+/// exploits service-rate heterogeneity across a mixed fleet.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeadlineAware;
+
+impl Dispatcher for DeadlineAware {
+    fn name(&self) -> &'static str {
+        "deadline-aware"
+    }
+
+    fn dispatch(&mut self, frame: &FrameView<'_>, chips: &[ChipLoad]) -> usize {
+        let misses = |c: usize| {
+            let finish = frame.predicted_finish_s(c, &chips[c]);
+            match frame.deadline_s {
+                Some(d) if finish > frame.arrival_s + d => 1.0,
+                _ => 0.0,
+            }
+        };
+        pick_min2(chips.len(), |c| {
+            (misses(c), frame.predicted_finish_s(c, &chips[c]))
+        })
+    }
+}
+
+/// Index in `0..n` minimizing `key`, ties to the lowest index.
+fn pick_min(n: usize, key: impl Fn(usize) -> f64) -> usize {
+    pick_min2(n, |c| (0.0, key(c)))
+}
+
+/// Index in `0..n` minimizing the lexicographic `(a, b)` key, ties to
+/// the lowest index.
+fn pick_min2(n: usize, key: impl Fn(usize) -> (f64, f64)) -> usize {
+    (0..n)
+        .min_by(|&x, &y| {
+            let (ax, bx) = key(x);
+            let (ay, by) = key(y);
+            ax.total_cmp(&ay).then(bx.total_cmp(&by))
+        })
+        .expect("fleet has at least one chip")
+}
+
+/// The built-in dispatch policies, as plain data (serializable, usable
+/// from the `herald::Experiment` facade). [`DispatchPolicy::build`]
+/// instantiates the corresponding [`Dispatcher`]; custom dispatchers can
+/// be passed to [`crate::fleet::FleetSimulator::simulate_with`] directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DispatchPolicy {
+    /// [`RoundRobin`].
+    #[default]
+    RoundRobin,
+    /// [`LeastLoaded`].
+    LeastLoaded,
+    /// [`DeadlineAware`].
+    DeadlineAware,
+}
+
+impl DispatchPolicy {
+    /// All built-in policies, in comparison order.
+    pub const ALL: [DispatchPolicy; 3] = [
+        DispatchPolicy::RoundRobin,
+        DispatchPolicy::LeastLoaded,
+        DispatchPolicy::DeadlineAware,
+    ];
+
+    /// Instantiates the dispatcher for this policy.
+    #[must_use]
+    pub fn build(&self) -> Box<dyn Dispatcher> {
+        match self {
+            DispatchPolicy::RoundRobin => Box::new(RoundRobin::default()),
+            DispatchPolicy::LeastLoaded => Box::new(LeastLoaded),
+            DispatchPolicy::DeadlineAware => Box::new(DeadlineAware),
+        }
+    }
+
+    /// The policy's display name (matches [`Dispatcher::name`]).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            DispatchPolicy::RoundRobin => "round-robin",
+            DispatchPolicy::LeastLoaded => "least-loaded",
+            DispatchPolicy::DeadlineAware => "deadline-aware",
+        }
+    }
+}
+
+/// Optional admission control applied after the dispatcher picks a
+/// chip: a frame predicted to blow through its deadline can be dropped
+/// at the door instead of queued (protecting the latency of admitted
+/// frames under overload). Dropped frames are recorded in the
+/// [`crate::fleet::FleetReport`], never silently discarded.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum AdmissionPolicy {
+    /// Admit every frame (the default; conservation then guarantees
+    /// every generated frame reaches exactly one chip).
+    #[default]
+    AcceptAll,
+    /// Drop a deadline-carrying frame when its predicted completion on
+    /// the chosen chip exceeds `arrival + slack * deadline`. `slack = 1`
+    /// drops exactly the frames predicted to miss; larger values admit
+    /// increasingly hopeless frames. Frames without a deadline are
+    /// always admitted.
+    DeadlineSlack {
+        /// Multiplier on the deadline before a frame is turned away.
+        slack: f64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame<'a>(t: f64, deadline: Option<f64>, est: &'a [f64]) -> FrameView<'a> {
+        FrameView {
+            stream: 0,
+            seq: 0,
+            arrival_s: t,
+            deadline_s: deadline,
+            est_service_s: est,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_in_index_order() {
+        let mut rr = RoundRobin::default();
+        let loads = vec![ChipLoad::default(); 3];
+        let est = [0.0; 3];
+        let picks: Vec<usize> = (0..7)
+            .map(|_| rr.dispatch(&frame(0.0, None, &est), &loads))
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
+        assert!(!rr.needs_estimates());
+    }
+
+    #[test]
+    fn least_loaded_picks_smallest_backlog() {
+        let mut ll = LeastLoaded;
+        let loads = vec![
+            ChipLoad {
+                free_at_s: 5.0,
+                dispatched: 3,
+            },
+            ChipLoad {
+                free_at_s: 2.0,
+                dispatched: 1,
+            },
+            ChipLoad {
+                free_at_s: 9.0,
+                dispatched: 4,
+            },
+        ];
+        let est = [1.0; 3];
+        assert_eq!(ll.dispatch(&frame(1.0, None, &est), &loads), 1);
+        // Backlog is measured relative to *now*: chips already idle tie
+        // at zero and the lowest index wins.
+        assert_eq!(ll.dispatch(&frame(10.0, None, &est), &loads), 0);
+    }
+
+    #[test]
+    fn deadline_aware_prefers_feasible_chips() {
+        let mut da = DeadlineAware;
+        // Chip 0 is idle but slow for this workload; chip 1 is busy but
+        // fast enough to make the deadline.
+        let loads = vec![
+            ChipLoad {
+                free_at_s: 0.0,
+                dispatched: 0,
+            },
+            ChipLoad {
+                free_at_s: 0.3,
+                dispatched: 1,
+            },
+        ];
+        let est = [2.0, 0.2];
+        // Deadline 1.0: chip 0 finishes at 2.0 (miss), chip 1 at 0.5.
+        assert_eq!(da.dispatch(&frame(0.0, Some(1.0), &est), &loads), 1);
+        // No deadline: earliest finish still wins (0.5 < 2.0).
+        assert_eq!(da.dispatch(&frame(0.0, None, &est), &loads), 1);
+        // Both miss a hopeless deadline: earliest finish wins.
+        assert_eq!(da.dispatch(&frame(0.0, Some(0.01), &est), &loads), 1);
+    }
+
+    #[test]
+    fn policies_build_matching_dispatchers() {
+        for policy in DispatchPolicy::ALL {
+            assert_eq!(policy.build().name(), policy.label());
+        }
+        assert_eq!(DispatchPolicy::default(), DispatchPolicy::RoundRobin);
+    }
+
+    #[test]
+    fn backlog_never_goes_negative() {
+        let load = ChipLoad {
+            free_at_s: 1.0,
+            dispatched: 1,
+        };
+        assert_eq!(load.backlog_s(4.0), 0.0);
+        assert!((load.backlog_s(0.25) - 0.75).abs() < 1e-12);
+    }
+}

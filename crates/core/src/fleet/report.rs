@@ -1,0 +1,286 @@
+//! The merged outcome of a fleet simulation: per-chip stream reports
+//! plus fleet-level aggregates and the frame-routing audit trail.
+
+use crate::sim::report::{miss_rate, percentile};
+use crate::sim::{FrameRecord, StreamReport, StreamStats};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One routed frame: which chip the dispatcher sent it to. `seq` is the
+/// *global* per-stream sequence number (the per-chip reports renumber
+/// frames locally), so the assignment list is the join key between the
+/// generated traffic and the per-chip simulations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrameAssignment {
+    /// Global stream index in the scenario.
+    pub stream: usize,
+    /// Global sequence number within the stream (0-based).
+    pub seq: usize,
+    /// Arrival time, seconds.
+    pub arrival_s: f64,
+    /// Chip index the frame was dispatched to.
+    pub chip: usize,
+}
+
+/// A frame turned away by admission control (never dispatched).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DroppedFrame {
+    /// Global stream index in the scenario.
+    pub stream: usize,
+    /// Global sequence number within the stream (0-based).
+    pub seq: usize,
+    /// Arrival time, seconds.
+    pub arrival_s: f64,
+    /// Predicted completion on the chip the dispatcher chose — the
+    /// evidence the admission decision was based on, seconds.
+    pub predicted_finish_s: f64,
+}
+
+/// The outcome of a [`crate::fleet::FleetSimulator`] run: one
+/// [`StreamReport`] per chip (stream indices aligned with the original
+/// scenario), the dispatcher's routing decisions, any admission drops,
+/// and merged fleet-level metrics derived from them. Self-contained and
+/// serializable, like the per-chip reports it wraps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    scenario: String,
+    policy: String,
+    chip_names: Vec<String>,
+    stream_names: Vec<String>,
+    horizon_s: f64,
+    per_chip: Vec<StreamReport>,
+    assignments: Vec<FrameAssignment>,
+    dropped: Vec<DroppedFrame>,
+}
+
+impl FleetReport {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        scenario: String,
+        policy: String,
+        chip_names: Vec<String>,
+        stream_names: Vec<String>,
+        horizon_s: f64,
+        per_chip: Vec<StreamReport>,
+        assignments: Vec<FrameAssignment>,
+        dropped: Vec<DroppedFrame>,
+    ) -> Self {
+        Self {
+            scenario,
+            policy,
+            chip_names,
+            stream_names,
+            horizon_s,
+            per_chip,
+            assignments,
+            dropped,
+        }
+    }
+
+    /// Name of the simulated scenario.
+    #[must_use]
+    pub fn scenario(&self) -> &str {
+        &self.scenario
+    }
+
+    /// Name of the dispatch policy that routed the frames.
+    #[must_use]
+    pub fn policy(&self) -> &str {
+        &self.policy
+    }
+
+    /// Chip display names, indexed by chip index.
+    #[must_use]
+    pub fn chip_names(&self) -> &[String] {
+        &self.chip_names
+    }
+
+    /// Stream names, indexed by [`FrameRecord::stream`].
+    #[must_use]
+    pub fn stream_names(&self) -> &[String] {
+        &self.stream_names
+    }
+
+    /// The scenario's arrival horizon, seconds.
+    #[must_use]
+    pub fn horizon_s(&self) -> f64 {
+        self.horizon_s
+    }
+
+    /// One [`StreamReport`] per chip, in chip-index order. Stream
+    /// indices inside each report match the original scenario; frame
+    /// sequence numbers are chip-local (see [`FleetReport::assignments`]
+    /// for the global numbering).
+    #[must_use]
+    pub fn per_chip(&self) -> &[StreamReport] {
+        &self.per_chip
+    }
+
+    /// Every routing decision, in global arrival order.
+    #[must_use]
+    pub fn assignments(&self) -> &[FrameAssignment] {
+        &self.assignments
+    }
+
+    /// Frames turned away by admission control, in arrival order (empty
+    /// under [`crate::fleet::AdmissionPolicy::AcceptAll`]).
+    #[must_use]
+    pub fn dropped(&self) -> &[DroppedFrame] {
+        &self.dropped
+    }
+
+    /// Number of chips.
+    #[must_use]
+    pub fn chips(&self) -> usize {
+        self.per_chip.len()
+    }
+
+    /// Completed frames across the whole fleet.
+    #[must_use]
+    pub fn frames_total(&self) -> usize {
+        self.per_chip.iter().map(|r| r.frames().len()).sum()
+    }
+
+    /// Frames dispatched to one chip.
+    #[must_use]
+    pub fn frames_on_chip(&self, chip: usize) -> usize {
+        self.per_chip[chip].frames().len()
+    }
+
+    /// Fraction of generated frames dropped at admission.
+    #[must_use]
+    pub fn drop_rate(&self) -> f64 {
+        let generated = self.frames_total() + self.dropped.len();
+        if generated == 0 {
+            0.0
+        } else {
+            self.dropped.len() as f64 / generated as f64
+        }
+    }
+
+    /// Fleet makespan: the latest chip's completion time, seconds.
+    #[must_use]
+    pub fn makespan_s(&self) -> f64 {
+        self.per_chip
+            .iter()
+            .map(StreamReport::makespan_s)
+            .fold(self.horizon_s, f64::max)
+    }
+
+    /// Aggregate throughput: completed frames per second of fleet
+    /// makespan — the headline scaling metric.
+    #[must_use]
+    pub fn throughput_fps(&self) -> f64 {
+        let makespan = self.makespan_s();
+        if makespan <= 0.0 {
+            0.0
+        } else {
+            self.frames_total() as f64 / makespan
+        }
+    }
+
+    /// Total energy across all chips, joules.
+    #[must_use]
+    pub fn total_energy_j(&self) -> f64 {
+        self.per_chip.iter().map(StreamReport::total_energy_j).sum()
+    }
+
+    /// A latency percentile over every completed frame of every chip
+    /// (nearest-rank; `q` in `[0, 1]`; 0 for an empty report).
+    #[must_use]
+    pub fn latency_percentile(&self, q: f64) -> f64 {
+        percentile(self.all_frames().map(|f| f.latency_s), q)
+    }
+
+    /// Deadline-miss rate over every completed deadline-carrying frame
+    /// (admission drops are *not* counted here; see
+    /// [`FleetReport::drop_rate`]).
+    #[must_use]
+    pub fn deadline_miss_rate(&self) -> f64 {
+        miss_rate(self.all_frames())
+    }
+
+    /// Per-chip deadline-miss rates, indexed by chip.
+    #[must_use]
+    pub fn miss_rate_by_chip(&self) -> Vec<f64> {
+        self.per_chip
+            .iter()
+            .map(StreamReport::deadline_miss_rate)
+            .collect()
+    }
+
+    /// Temporal utilization of one chip over the *fleet* makespan:
+    /// busy seconds summed over its sub-accelerators, divided by
+    /// `sub-accelerators x makespan`. Comparable across chips because
+    /// every chip is normalized to the same clock.
+    #[must_use]
+    pub fn chip_utilization(&self, chip: usize) -> f64 {
+        let report = &self.per_chip[chip];
+        let ways = report.per_acc().len();
+        let makespan = self.makespan_s();
+        if ways == 0 || makespan <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = report.per_acc().iter().map(|a| a.busy_s).sum();
+        busy / (ways as f64 * makespan)
+    }
+
+    /// Per-stream statistics merged across all chips (the
+    /// fleet-level view of [`StreamReport::stream_stats`]): frame
+    /// counts, latency percentiles and deadline-miss rate per original
+    /// scenario stream, regardless of which chips served it.
+    #[must_use]
+    pub fn stream_stats(&self) -> Vec<StreamStats> {
+        let makespan = self.makespan_s();
+        (0..self.stream_names.len())
+            .map(|i| {
+                let frames: Vec<&FrameRecord> =
+                    self.all_frames().filter(|f| f.stream == i).collect();
+                let lats = || frames.iter().map(|f| f.latency_s);
+                let mean = if frames.is_empty() {
+                    0.0
+                } else {
+                    lats().sum::<f64>() / frames.len() as f64
+                };
+                StreamStats {
+                    name: self.stream_names[i].clone(),
+                    frames: frames.len(),
+                    throughput_fps: if makespan <= 0.0 {
+                        0.0
+                    } else {
+                        frames.len() as f64 / makespan
+                    },
+                    mean_latency_s: mean,
+                    p50_latency_s: percentile(lats(), 0.50),
+                    p95_latency_s: percentile(lats(), 0.95),
+                    p99_latency_s: percentile(lats(), 0.99),
+                    deadline_miss_rate: miss_rate(frames.iter().copied()),
+                }
+            })
+            .collect()
+    }
+
+    /// Every completed frame across all chips.
+    fn all_frames(&self) -> impl Iterator<Item = &FrameRecord> {
+        self.per_chip.iter().flat_map(|r| r.frames().iter())
+    }
+}
+
+impl fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {} chips ({}): {} frames ({} dropped) in {:.3} s \
+             ({:.1} fps), p95 latency {:.4} s, miss rate {:.1}%",
+            self.scenario,
+            self.per_chip.len(),
+            self.policy,
+            self.frames_total(),
+            self.dropped.len(),
+            self.makespan_s(),
+            self.throughput_fps(),
+            self.latency_percentile(0.95),
+            self.deadline_miss_rate() * 100.0
+        )
+    }
+}

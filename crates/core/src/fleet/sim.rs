@@ -1,0 +1,614 @@
+//! The fleet simulator: shards one scenario's frame stream across a
+//! pool of chips and runs every chip's event-driven simulation.
+//!
+//! The run has two deterministic phases:
+//!
+//! 1. **Dispatch walk** (single-threaded): the global arrival trace is
+//!    generated from the scenario's seeded arrival processes — the same
+//!    [`herald_workloads::seeded`] samplers the single-chip engine uses,
+//!    so the frames are bit-identical — and walked in time order. The
+//!    [`Dispatcher`] routes each frame to a chip using a predicted
+//!    backlog model (single-frame service estimates per chip x workload
+//!    version); optional [`AdmissionPolicy`] drops are recorded, never
+//!    silent.
+//! 2. **Per-chip simulation** (one `std::thread::scope` worker per
+//!    chip): each chip replays exactly the frames routed to it, as an
+//!    [`ArrivalProcess::Trace`] sub-scenario, on its own
+//!    [`StreamSimulator`] with its own private [`EvalContext`]. Chip
+//!    isolation makes the result independent of worker interleaving: a
+//!    [`FleetReport`] is a pure function of (fleet, policy, scenario).
+//!
+//! A 1-chip fleet routes every frame to its only chip, and its per-chip
+//! report is bit-identical to running [`StreamSimulator`] directly on
+//! the original scenario (the equivalence suite pins this).
+
+use crate::ctx::EvalContext;
+use crate::dse::worker_panic_error;
+use crate::error::HeraldError;
+use crate::fleet::dispatch::{AdmissionPolicy, ChipLoad, DispatchPolicy, Dispatcher, FrameView};
+use crate::fleet::report::{DroppedFrame, FleetReport, FrameAssignment};
+use crate::fleet::FleetConfig;
+use crate::sched::{HeraldScheduler, IncrementalScheduler, Scheduler, SchedulerConfig};
+use crate::sim::engine::{sorted_trace, validate_scenario, EventKind};
+use crate::sim::{ReschedulePolicy, StreamReport, StreamSimulator};
+use crate::task::TaskGraph;
+use herald_arch::AcceleratorConfig;
+use herald_cost::{CostModel, Metric};
+use herald_workloads::{ArrivalProcess, MultiDnnWorkload, Scenario, StreamSpec};
+
+/// Simulates a [`FleetConfig`] serving a [`Scenario`] under a dispatch
+/// policy (see the [`crate::fleet`] module docs).
+///
+/// # Example
+///
+/// ```
+/// use herald_arch::{AcceleratorClass, AcceleratorConfig};
+/// use herald_core::fleet::{DispatchPolicy, FleetConfig, FleetSimulator};
+/// use herald_dataflow::DataflowStyle;
+/// use herald_workloads::fleet_mix_stream;
+///
+/// let fda = AcceleratorConfig::fda(
+///     DataflowStyle::Nvdla, AcceleratorClass::Edge.resources());
+/// let fleet = FleetConfig::homogeneous(&fda, 2);
+/// let scenario = fleet_mix_stream(4, 40.0, 0.2, 0.25, 7);
+/// let report = FleetSimulator::new(&fleet)
+///     .with_dispatcher(DispatchPolicy::LeastLoaded)
+///     .simulate(&scenario)
+///     .unwrap();
+/// assert_eq!(report.chips(), 2);
+/// assert_eq!(
+///     report.frames_total(),
+///     report.frames_on_chip(0) + report.frames_on_chip(1),
+/// );
+/// ```
+#[derive(Debug)]
+pub struct FleetSimulator<'a> {
+    fleet: &'a FleetConfig,
+    scheduler: SchedulerConfig,
+    metric: Metric,
+    reschedule: ReschedulePolicy,
+    dispatcher: DispatchPolicy,
+    admission: AdmissionPolicy,
+}
+
+impl<'a> FleetSimulator<'a> {
+    /// Creates a fleet simulator with default knobs: the default
+    /// scheduler, EDP metric, incremental rescheduling, round-robin
+    /// dispatch and no admission control.
+    pub fn new(fleet: &'a FleetConfig) -> Self {
+        Self {
+            fleet,
+            scheduler: SchedulerConfig::default(),
+            metric: Metric::Edp,
+            reschedule: ReschedulePolicy::default(),
+            dispatcher: DispatchPolicy::default(),
+            admission: AdmissionPolicy::default(),
+        }
+    }
+
+    /// Overrides the per-chip online scheduler configuration.
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: SchedulerConfig) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Overrides the metric used when a reconfigurable sub-accelerator
+    /// picks its per-layer dataflow.
+    #[must_use]
+    pub fn with_metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Overrides the per-chip rescheduling policy (incremental by
+    /// default).
+    #[must_use]
+    pub fn with_policy(mut self, policy: ReschedulePolicy) -> Self {
+        self.reschedule = policy;
+        self
+    }
+
+    /// Sets the dispatch policy (round-robin by default).
+    #[must_use]
+    pub fn with_dispatcher(mut self, dispatcher: DispatchPolicy) -> Self {
+        self.dispatcher = dispatcher;
+        self
+    }
+
+    /// Sets the admission policy (accept-all by default).
+    #[must_use]
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Runs the scenario across the fleet under the configured
+    /// [`DispatchPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// * [`HeraldError::Fleet`] — the fleet has no chips;
+    /// * [`HeraldError::Scenario`] — degenerate scenario description;
+    /// * [`HeraldError::Simulation`] — a schedule failed to replay
+    ///   (indicates a scheduler bug);
+    /// * [`HeraldError::WorkerPanicked`] — a per-chip worker panicked.
+    pub fn simulate(&self, scenario: &Scenario) -> Result<FleetReport, HeraldError> {
+        let mut dispatcher = self.dispatcher.build();
+        self.simulate_with(dispatcher.as_mut(), scenario)
+    }
+
+    /// Like [`FleetSimulator::simulate`] with a caller-provided
+    /// (possibly custom) [`Dispatcher`]. The dispatcher must be
+    /// deterministic for the report to be reproducible.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FleetSimulator::simulate`], plus
+    /// [`HeraldError::Fleet`] when the dispatcher returns an
+    /// out-of-range chip index.
+    pub fn simulate_with(
+        &self,
+        dispatcher: &mut dyn Dispatcher,
+        scenario: &Scenario,
+    ) -> Result<FleetReport, HeraldError> {
+        if self.fleet.is_empty() {
+            return Err(HeraldError::Fleet {
+                reason: format!("fleet serving scenario {:?} has no chips", scenario.name()),
+            });
+        }
+        if let AdmissionPolicy::DeadlineSlack { slack } = self.admission {
+            if !(slack.is_finite() && slack > 0.0) {
+                return Err(HeraldError::Fleet {
+                    reason: format!("admission slack must be positive and finite, got {slack}"),
+                });
+            }
+        }
+        validate_scenario(scenario)?;
+        let n = self.fleet.len();
+        let horizon = scenario.horizon_s();
+        let num_streams = scenario.streams().len();
+
+        // The workload versions each stream steps through: its initial
+        // workload, then one version per swap inside the horizon (the
+        // same filter the single-chip engine applies to swap events).
+        let versions: Vec<Vec<&MultiDnnWorkload>> = scenario
+            .streams()
+            .iter()
+            .map(|s| {
+                let mut v = vec![s.workload()];
+                v.extend(
+                    s.swaps()
+                        .iter()
+                        .filter(|sw| sw.at_s < horizon)
+                        .map(|sw| &sw.workload),
+                );
+                v
+            })
+            .collect();
+
+        // Service estimates feed the dispatcher's backlog model; skip
+        // the (one schedule per chip x workload version) cost when the
+        // policy is load-oblivious and nothing can be dropped.
+        let needs_estimates =
+            dispatcher.needs_estimates() || !matches!(self.admission, AdmissionPolicy::AcceptAll);
+        let estimates = if needs_estimates {
+            Some(self.service_estimates(&versions)?)
+        } else {
+            None
+        };
+
+        // Phase 1: the deterministic dispatch walk over the exact event
+        // trace the single-chip engine would replay (same builder, same
+        // order — `sim::engine::sorted_trace` is the one definition).
+        let zeros = vec![0.0f64; n];
+        let mut version = vec![0usize; num_streams];
+        let mut loads = vec![ChipLoad::default(); n];
+        let mut assignments: Vec<FrameAssignment> = Vec::new();
+        let mut dropped: Vec<DroppedFrame> = Vec::new();
+        let mut chip_times: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); num_streams]; n];
+        for event in sorted_trace(scenario) {
+            let seq = match event.kind {
+                EventKind::Swap { .. } => {
+                    version[event.stream] += 1;
+                    continue;
+                }
+                EventKind::Arrival { seq } => seq,
+            };
+            let est_row: &[f64] = match &estimates {
+                Some(e) => &e[event.stream][version[event.stream]],
+                None => &zeros,
+            };
+            let frame = FrameView {
+                stream: event.stream,
+                seq,
+                arrival_s: event.t,
+                deadline_s: scenario.streams()[event.stream].deadline_s(),
+                est_service_s: est_row,
+            };
+            let chip = dispatcher.dispatch(&frame, &loads);
+            if chip >= n {
+                return Err(HeraldError::Fleet {
+                    reason: format!(
+                        "dispatcher {:?} chose chip {chip} of a {n}-chip fleet",
+                        dispatcher.name()
+                    ),
+                });
+            }
+            if let AdmissionPolicy::DeadlineSlack { slack } = self.admission {
+                if let Some(deadline) = frame.deadline_s {
+                    let finish = frame.predicted_finish_s(chip, &loads[chip]);
+                    if finish > event.t + slack * deadline {
+                        dropped.push(DroppedFrame {
+                            stream: event.stream,
+                            seq,
+                            arrival_s: event.t,
+                            predicted_finish_s: finish,
+                        });
+                        continue;
+                    }
+                }
+            }
+            if needs_estimates {
+                loads[chip].free_at_s = loads[chip].free_at_s.max(event.t) + est_row[chip];
+            }
+            loads[chip].dispatched += 1;
+            assignments.push(FrameAssignment {
+                stream: event.stream,
+                seq,
+                arrival_s: event.t,
+                chip,
+            });
+            chip_times[chip][event.stream].push(event.t);
+        }
+
+        // Phase 2: per-chip sub-scenarios (every stream kept, so stream
+        // indices align with the scenario; arrivals become the routed
+        // trace slice) simulated on one worker per chip.
+        let mut subs: Vec<Scenario> = Vec::with_capacity(n);
+        for times in &mut chip_times {
+            let mut sub = Scenario::new(scenario.name(), horizon);
+            for (si, stream) in scenario.streams().iter().enumerate() {
+                let mut spec = StreamSpec::new(
+                    stream.name(),
+                    stream.workload().clone(),
+                    ArrivalProcess::Trace {
+                        times_s: std::mem::take(&mut times[si]),
+                    },
+                );
+                if let Some(d) = stream.deadline_s() {
+                    spec = spec.with_deadline(d);
+                }
+                for swap in stream.swaps() {
+                    spec = spec.swap_at(swap.at_s, swap.workload.clone());
+                }
+                sub = sub.stream(spec);
+            }
+            subs.push(sub);
+        }
+
+        let gathered: Vec<Result<StreamReport, HeraldError>> = std::thread::scope(|scope| {
+            // Every handle is joined before the scope exits (see the DSE
+            // sweep for the same pattern): a panicking chip worker
+            // surfaces as a typed error, not a re-panic.
+            let handles: Vec<_> = subs
+                .iter()
+                .zip(self.fleet.chips())
+                .map(|(sub, chip)| scope.spawn(move || self.run_chip(chip, sub)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().map_err(worker_panic_error).and_then(|r| r))
+                .collect()
+        });
+        let per_chip: Vec<StreamReport> = gathered.into_iter().collect::<Result<_, _>>()?;
+
+        Ok(FleetReport::new(
+            scenario.name().to_string(),
+            dispatcher.name().to_string(),
+            self.fleet.chip_names(),
+            scenario
+                .streams()
+                .iter()
+                .map(|s| s.name().to_string())
+                .collect(),
+            horizon,
+            per_chip,
+            assignments,
+            dropped,
+        ))
+    }
+
+    /// Estimated single-frame service time of every (stream, workload
+    /// version) on every chip: one schedule-and-replay per distinct
+    /// (workload, chip configuration) pair — identical chips and
+    /// structurally equal workloads (e.g. tenants of the same model)
+    /// share their estimate. Indexed `[stream][version][chip]`.
+    fn service_estimates(
+        &self,
+        versions: &[Vec<&MultiDnnWorkload>],
+    ) -> Result<Vec<Vec<Vec<f64>>>, HeraldError> {
+        let chips = self.fleet.chips();
+        let chip_canon: Vec<usize> = chips
+            .iter()
+            .enumerate()
+            .map(|(i, c)| chips[..i].iter().position(|p| p == c).unwrap_or(i))
+            .collect();
+        let mut distinct: Vec<&MultiDnnWorkload> = Vec::new();
+        let workload_index: Vec<Vec<usize>> = versions
+            .iter()
+            .map(|stream_versions| {
+                stream_versions
+                    .iter()
+                    .map(|w| match distinct.iter().position(|d| d == w) {
+                        Some(i) => i,
+                        None => {
+                            distinct.push(w);
+                            distinct.len() - 1
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let scheduler = HeraldScheduler::new(self.scheduler);
+        let cost = CostModel::default();
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(distinct.len());
+        for workload in &distinct {
+            let graph = TaskGraph::new(workload);
+            let mut per_chip = vec![0.0f64; chips.len()];
+            for (ci, chip) in chips.iter().enumerate() {
+                per_chip[ci] = if chip_canon[ci] < ci {
+                    per_chip[chip_canon[ci]]
+                } else {
+                    scheduler
+                        .schedule_and_simulate(&graph, chip, &cost)
+                        .map_err(HeraldError::Simulation)?
+                        .total_latency_s()
+                };
+            }
+            rows.push(per_chip);
+        }
+        Ok(workload_index
+            .into_iter()
+            .map(|stream_rows| stream_rows.into_iter().map(|d| rows[d].clone()).collect())
+            .collect())
+    }
+
+    /// Simulates one chip's routed trace slice on a private context.
+    fn run_chip(
+        &self,
+        chip: &AcceleratorConfig,
+        sub: &Scenario,
+    ) -> Result<StreamReport, HeraldError> {
+        let ctx = EvalContext::new();
+        let sim = StreamSimulator::new(chip, ctx.cost_model())
+            .with_metric(self.metric)
+            .with_policy(self.reschedule)
+            .with_context(&ctx);
+        match self.reschedule {
+            ReschedulePolicy::Incremental => {
+                let inc =
+                    IncrementalScheduler::new(HeraldScheduler::new(self.scheduler), ctx.clone());
+                sim.simulate(&inc, sub)
+            }
+            ReschedulePolicy::FullReschedule => {
+                sim.simulate(&HeraldScheduler::new(self.scheduler), sub)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use herald_arch::AcceleratorClass;
+    use herald_dataflow::DataflowStyle;
+    use herald_models::zoo;
+    use herald_workloads::single_model;
+
+    fn fda(style: DataflowStyle) -> AcceleratorConfig {
+        AcceleratorConfig::fda(style, AcceleratorClass::Edge.resources())
+    }
+
+    fn bursty_scenario(seed: u64) -> Scenario {
+        Scenario::new("bursty", 0.08)
+            .stream(
+                StreamSpec::poisson("cam", single_model(zoo::mobilenet_v1(), 1), 120.0, seed)
+                    .with_deadline(0.02),
+            )
+            .stream(
+                StreamSpec::poisson(
+                    "aux",
+                    single_model(zoo::mobilenet_v2(), 1),
+                    60.0,
+                    herald_workloads::seeded::derive_seed(seed, 1),
+                )
+                .with_deadline(0.05),
+            )
+    }
+
+    #[test]
+    fn every_frame_lands_on_exactly_one_chip() {
+        let fleet = FleetConfig::homogeneous(&fda(DataflowStyle::Nvdla), 3);
+        let scenario = bursty_scenario(5);
+        for policy in DispatchPolicy::ALL {
+            let report = FleetSimulator::new(&fleet)
+                .with_dispatcher(policy)
+                .simulate(&scenario)
+                .unwrap();
+            let per_chip_sum: usize = (0..report.chips()).map(|c| report.frames_on_chip(c)).sum();
+            assert_eq!(report.frames_total(), per_chip_sum);
+            assert_eq!(report.assignments().len(), per_chip_sum, "{policy:?}");
+            assert!(report.dropped().is_empty());
+            // Assignment counts match what each chip actually simulated.
+            for c in 0..report.chips() {
+                let assigned = report.assignments().iter().filter(|a| a.chip == c).count();
+                assert_eq!(assigned, report.frames_on_chip(c), "{policy:?} chip {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_reports_are_bit_identical_across_runs() {
+        let fleet = FleetConfig::new()
+            .chip(fda(DataflowStyle::Nvdla))
+            .chip(fda(DataflowStyle::ShiDianNao));
+        let scenario = bursty_scenario(11);
+        for policy in DispatchPolicy::ALL {
+            let run = || {
+                FleetSimulator::new(&fleet)
+                    .with_dispatcher(policy)
+                    .simulate(&scenario)
+                    .unwrap()
+            };
+            let a = run();
+            let b = run();
+            assert_eq!(a, b, "{policy:?} must be reproducible");
+        }
+    }
+
+    #[test]
+    fn round_robin_alternates_chips() {
+        let fleet = FleetConfig::homogeneous(&fda(DataflowStyle::Nvdla), 2);
+        let scenario = Scenario::new("periodic", 0.05).stream(StreamSpec::periodic(
+            "s",
+            single_model(zoo::mobilenet_v1(), 1),
+            100.0,
+        ));
+        let report = FleetSimulator::new(&fleet).simulate(&scenario).unwrap();
+        assert_eq!(report.policy(), "round-robin");
+        let chips: Vec<usize> = report.assignments().iter().map(|a| a.chip).collect();
+        assert_eq!(chips, vec![0, 1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn least_loaded_beats_round_robin_p95_on_bursty_traffic() {
+        // Bursty Poisson arrivals on a small fleet: load-aware routing
+        // must not produce *worse* tails than blind alternation, and
+        // conservation holds for both.
+        let fleet = FleetConfig::homogeneous(&fda(DataflowStyle::Nvdla), 2);
+        let scenario = bursty_scenario(17);
+        let run = |policy| {
+            FleetSimulator::new(&fleet)
+                .with_dispatcher(policy)
+                .simulate(&scenario)
+                .unwrap()
+        };
+        let rr = run(DispatchPolicy::RoundRobin);
+        let ll = run(DispatchPolicy::LeastLoaded);
+        assert_eq!(rr.frames_total(), ll.frames_total());
+        assert!(
+            ll.latency_percentile(0.95) <= rr.latency_percentile(0.95) + 1e-12,
+            "least-loaded p95 {} vs round-robin p95 {}",
+            ll.latency_percentile(0.95),
+            rr.latency_percentile(0.95)
+        );
+    }
+
+    #[test]
+    fn admission_control_drops_hopeless_frames_under_overload() {
+        // One chip, a rate far beyond capacity and a tight deadline:
+        // with slack 1.0 the backlog model predicts misses almost
+        // immediately, so most frames are dropped and every drop is
+        // recorded with its evidence.
+        let fleet = FleetConfig::homogeneous(&fda(DataflowStyle::Nvdla), 1);
+        let scenario = Scenario::new("overload", 0.02).stream(
+            StreamSpec::periodic("s", single_model(zoo::mobilenet_v1(), 1), 400.0)
+                .with_deadline(0.004),
+        );
+        let accept_all = FleetSimulator::new(&fleet)
+            .with_dispatcher(DispatchPolicy::DeadlineAware)
+            .simulate(&scenario)
+            .unwrap();
+        let gated = FleetSimulator::new(&fleet)
+            .with_dispatcher(DispatchPolicy::DeadlineAware)
+            .with_admission(AdmissionPolicy::DeadlineSlack { slack: 1.0 })
+            .simulate(&scenario)
+            .unwrap();
+        assert!(accept_all.dropped().is_empty());
+        assert!(!gated.dropped().is_empty());
+        assert_eq!(
+            gated.frames_total() + gated.dropped().len(),
+            accept_all.frames_total(),
+            "drops + completions account for every generated frame"
+        );
+        assert!(gated.drop_rate() > 0.0);
+        for d in gated.dropped() {
+            assert!(d.predicted_finish_s > d.arrival_s + 0.004);
+        }
+        // Served frames miss less often than the un-gated queue.
+        assert!(gated.deadline_miss_rate() <= accept_all.deadline_miss_rate());
+    }
+
+    #[test]
+    fn degenerate_admission_slack_is_a_typed_error() {
+        let fleet = FleetConfig::homogeneous(&fda(DataflowStyle::Nvdla), 1);
+        for slack in [f64::NAN, 0.0, -1.0, f64::INFINITY] {
+            let err = FleetSimulator::new(&fleet)
+                .with_admission(AdmissionPolicy::DeadlineSlack { slack })
+                .simulate(&bursty_scenario(1))
+                .unwrap_err();
+            assert!(matches!(err, HeraldError::Fleet { .. }), "slack {slack}");
+        }
+    }
+
+    #[test]
+    fn empty_fleet_is_a_typed_error() {
+        let fleet = FleetConfig::new();
+        let err = FleetSimulator::new(&fleet)
+            .simulate(&bursty_scenario(1))
+            .unwrap_err();
+        assert!(matches!(err, HeraldError::Fleet { .. }));
+    }
+
+    #[test]
+    fn out_of_range_dispatcher_is_a_typed_error() {
+        struct Broken;
+        impl Dispatcher for Broken {
+            fn name(&self) -> &'static str {
+                "broken"
+            }
+            fn dispatch(&mut self, _: &FrameView<'_>, chips: &[ChipLoad]) -> usize {
+                chips.len() + 7
+            }
+        }
+        let fleet = FleetConfig::homogeneous(&fda(DataflowStyle::Nvdla), 1);
+        let err = FleetSimulator::new(&fleet)
+            .simulate_with(&mut Broken, &bursty_scenario(1))
+            .unwrap_err();
+        assert!(matches!(err, HeraldError::Fleet { .. }), "{err}");
+    }
+
+    #[test]
+    fn workload_swaps_propagate_to_every_chip() {
+        let fleet = FleetConfig::homogeneous(&fda(DataflowStyle::Nvdla), 2);
+        let scenario = Scenario::new("swap", 0.04).stream(
+            StreamSpec::periodic("s", single_model(zoo::mobilenet_v1(), 1), 200.0)
+                .swap_at(0.02, single_model(zoo::mobilenet_v2(), 1)),
+        );
+        let report = FleetSimulator::new(&fleet)
+            .with_dispatcher(DispatchPolicy::LeastLoaded)
+            .simulate(&scenario)
+            .unwrap();
+        // Both chips see the swap event and run post-swap frames on the
+        // new workload.
+        for chip in report.per_chip() {
+            assert_eq!(chip.swaps().len(), 1);
+            for f in chip.frames() {
+                let expect = if f.arrival_s < 0.02 {
+                    "MobileNetV1-b1"
+                } else {
+                    "MobileNetV2-b1"
+                };
+                assert_eq!(f.workload, expect);
+            }
+        }
+        let post_swap = report
+            .per_chip()
+            .iter()
+            .flat_map(|c| c.frames())
+            .filter(|f| f.arrival_s >= 0.02)
+            .count();
+        assert!(post_swap > 0);
+    }
+}

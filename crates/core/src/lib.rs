@@ -25,6 +25,11 @@
 //! 4. The [`dse::DseEngine`] sweeps hardware partitionings (Definition 1)
 //!    and co-optimizes them with the scheduler, yielding the design-space
 //!    clouds of the paper's Figs. 6 and 11; [`pareto`] extracts frontiers.
+//! 5. The [`fleet::FleetSimulator`] scales the streaming simulator out to
+//!    a pool of chips behind a dispatch policy (round-robin,
+//!    least-loaded, deadline-aware, optional admission control), merging
+//!    per-chip reports into a [`fleet::FleetReport`] — the serving-layer
+//!    view of a multi-accelerator deployment.
 //!
 //! Every fallible stage reports a typed [`error::HeraldError`]; the
 //! ergonomic entry point is the `herald::Experiment` facade in the
@@ -62,6 +67,7 @@ pub mod dse;
 pub mod error;
 pub mod exec;
 pub mod export;
+pub mod fleet;
 pub mod pareto;
 pub mod report;
 pub mod rng;

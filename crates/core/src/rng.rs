@@ -1,94 +1,9 @@
-//! A tiny deterministic PRNG for the random-search DSE strategy.
+//! Deterministic PRNG for the random-search DSE strategy.
 //!
-//! The build environment cannot fetch the `rand` crate, and the DSE only
-//! needs reproducible uniform sampling, so this SplitMix64 generator
-//! (Steele, Lea & Flood, OOPSLA 2014 — the seeding generator of
-//! `java.util.SplittableRandom` and of xoshiro) is vendored instead.
-//! Given the same seed it produces the same stream on every platform,
-//! which is what makes `SearchStrategy::Random { seed, .. }` and the
-//! paper-figure binaries reproducible.
+//! The generator itself lives in [`herald_workloads::seeded`] — one
+//! SplitMix64 implementation shared by the DSE, the streaming engine's
+//! arrival samplers and the multi-tenant scenario generators, so seeded
+//! streams are bit-identical wherever they are sampled. This module
+//! keeps the historical `herald_core::rng::SplitMix64` path working.
 
-/// SplitMix64: 64 bits of state, one multiply-xorshift output round.
-#[derive(Debug, Clone)]
-pub struct SplitMix64 {
-    state: u64,
-}
-
-impl SplitMix64 {
-    /// Creates a generator from a seed; equal seeds give equal streams.
-    pub fn seed_from_u64(seed: u64) -> Self {
-        Self { state: seed }
-    }
-
-    /// The next raw 64-bit output.
-    pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    /// A uniform sample from `lo..hi` (half-open; `hi > lo`).
-    ///
-    /// Uses rejection sampling over the smallest covering power of two,
-    /// so the distribution is exactly uniform.
-    pub fn gen_range(&mut self, lo: usize, hi: usize) -> usize {
-        assert!(hi > lo, "empty range {lo}..{hi}");
-        let span = (hi - lo) as u64;
-        let mask = span.next_power_of_two().wrapping_sub(1);
-        loop {
-            let candidate = self.next_u64() & mask;
-            if candidate < span {
-                return lo + candidate as usize;
-            }
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn equal_seeds_give_equal_streams() {
-        let mut a = SplitMix64::seed_from_u64(42);
-        let mut b = SplitMix64::seed_from_u64(42);
-        for _ in 0..100 {
-            assert_eq!(a.next_u64(), b.next_u64());
-        }
-    }
-
-    #[test]
-    fn different_seeds_diverge() {
-        let mut a = SplitMix64::seed_from_u64(1);
-        let mut b = SplitMix64::seed_from_u64(2);
-        assert_ne!(
-            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
-            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
-        );
-    }
-
-    #[test]
-    fn ranges_are_respected_and_covered() {
-        let mut rng = SplitMix64::seed_from_u64(7);
-        let mut seen = [false; 5];
-        for _ in 0..200 {
-            let x = rng.gen_range(10, 15);
-            assert!((10..15).contains(&x));
-            seen[x - 10] = true;
-        }
-        assert!(seen.iter().all(|&s| s), "all values hit: {seen:?}");
-    }
-
-    #[test]
-    fn known_vector_matches_reference() {
-        // First outputs of Vigna's reference splitmix64.c with seed 0 —
-        // these catch any mis-transcribed multiplier/shift constant,
-        // which seed-determinism tests alone cannot.
-        let mut rng = SplitMix64::seed_from_u64(0);
-        assert_eq!(rng.next_u64(), 0xE220_A839_7B1D_CDAF);
-        assert_eq!(rng.next_u64(), 0x6E78_9E6A_A1B9_65F4);
-        assert_eq!(rng.next_u64(), 0x06C4_5D18_8009_454F);
-    }
-}
+pub use herald_workloads::seeded::SplitMix64;

@@ -16,7 +16,6 @@
 
 use crate::ctx::{EvalContext, EvalStats};
 use crate::error::HeraldError;
-use crate::rng::SplitMix64;
 use crate::sched::Scheduler;
 use crate::sim::core::{EventCore, GraphRef, ScheduleRef};
 use crate::sim::report::{BusySpan, FrameRecord, StreamReport, SwapRecord};
@@ -88,21 +87,28 @@ pub struct StreamSimulator<'a> {
     ctx: Option<&'a EvalContext>,
 }
 
-/// One generated event of the trace.
+/// One generated event of the trace (shared with the fleet dispatch
+/// walk, which must see the exact events this engine replays).
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum EventKind {
+pub(crate) enum EventKind {
     /// A workload swap (processed before a same-instant arrival so the
     /// arrival already sees the new workload).
-    Swap { swap_index: usize },
+    Swap {
+        /// Index into the stream's swap list.
+        swap_index: usize,
+    },
     /// A frame arrival.
-    Arrival { seq: usize },
+    Arrival {
+        /// Sequence number within the stream (0-based).
+        seq: usize,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
-struct Event {
-    t: f64,
-    stream: usize,
-    kind: EventKind,
+pub(crate) struct Event {
+    pub(crate) t: f64,
+    pub(crate) stream: usize,
+    pub(crate) kind: EventKind,
 }
 
 impl Event {
@@ -223,13 +229,8 @@ impl<'a> StreamSimulator<'a> {
         scheduler: &S,
         scenario: &Scenario,
     ) -> Result<StreamReport, HeraldError> {
-        validate(scenario)?;
-        let mut events = build_trace(scenario);
-        events.sort_by(|a, b| {
-            let (ta, ka, sa) = a.key();
-            let (tb, kb, sb) = b.key();
-            ta.total_cmp(&tb).then(ka.cmp(&kb)).then(sa.cmp(&sb))
-        });
+        validate_scenario(scenario)?;
+        let events = sorted_trace(scenario);
 
         let mut streams: Vec<StreamState> = scenario
             .streams()
@@ -428,7 +429,9 @@ impl<'a> StreamSimulator<'a> {
     }
 }
 
-fn validate(scenario: &Scenario) -> Result<(), HeraldError> {
+/// Rejects degenerate scenarios with a typed error (shared with the
+/// fleet layer, which validates before sharding).
+pub(crate) fn validate_scenario(scenario: &Scenario) -> Result<(), HeraldError> {
     let fail = |reason: String| Err(HeraldError::Scenario { reason });
     if scenario.streams().is_empty() {
         return fail(format!("scenario {:?} has no streams", scenario.name()));
@@ -447,6 +450,23 @@ fn validate(scenario: &Scenario) -> Result<(), HeraldError> {
         let rate = s.arrival().mean_fps();
         match s.arrival() {
             ArrivalProcess::OneShot => {}
+            // An explicit trace may legally be empty (a fleet shard that
+            // received no frames); its times must be finite, non-negative
+            // and sorted.
+            ArrivalProcess::Trace { times_s } => {
+                if times_s.iter().any(|t| !(t.is_finite() && *t >= 0.0)) {
+                    return fail(format!(
+                        "stream {:?} trace times must be non-negative and finite",
+                        s.name()
+                    ));
+                }
+                if times_s.windows(2).any(|w| w[1] < w[0]) {
+                    return fail(format!(
+                        "stream {:?} trace times must be sorted non-decreasing",
+                        s.name()
+                    ));
+                }
+            }
             _ if rate > 0.0 && rate.is_finite() => {}
             _ => {
                 return fail(format!(
@@ -483,52 +503,37 @@ fn validate(scenario: &Scenario) -> Result<(), HeraldError> {
     Ok(())
 }
 
+/// The scenario's full event trace in deterministic simulation order —
+/// the single definition shared by this engine's replay loop and the
+/// fleet dispatch walk, so routing and per-chip replay can never see
+/// different events or a different order.
+pub(crate) fn sorted_trace(scenario: &Scenario) -> Vec<Event> {
+    let mut events = build_trace(scenario);
+    events.sort_by(|a, b| {
+        let (ta, ka, sa) = a.key();
+        let (tb, kb, sb) = b.key();
+        ta.total_cmp(&tb).then(ka.cmp(&kb)).then(sa.cmp(&sb))
+    });
+    events
+}
+
 /// Generates the full event trace: every arrival in `[0, horizon)` per
-/// stream plus every swap event.
+/// stream plus every swap event. Arrival times come from the shared
+/// [`herald_workloads::seeded`] samplers, so a fleet dispatcher slicing
+/// the same scenario sees bit-identical frames.
 fn build_trace(scenario: &Scenario) -> Vec<Event> {
     let horizon = scenario.horizon_s();
     let mut events = Vec::new();
     for (si, stream) in scenario.streams().iter().enumerate() {
-        match *stream.arrival() {
-            ArrivalProcess::Periodic { fps } => {
-                let mut seq = 0usize;
-                loop {
-                    let t = seq as f64 / fps;
-                    if t >= horizon {
-                        break;
-                    }
-                    events.push(Event {
-                        t,
-                        stream: si,
-                        kind: EventKind::Arrival { seq },
-                    });
-                    seq += 1;
-                }
-            }
-            ArrivalProcess::Poisson { mean_fps, seed } => {
-                let mut rng = SplitMix64::seed_from_u64(seed);
-                let mut t = 0.0f64;
-                let mut seq = 0usize;
-                loop {
-                    t += exponential_gap(&mut rng, mean_fps);
-                    if t >= horizon {
-                        break;
-                    }
-                    events.push(Event {
-                        t,
-                        stream: si,
-                        kind: EventKind::Arrival { seq },
-                    });
-                    seq += 1;
-                }
-            }
-            ArrivalProcess::OneShot => {
-                events.push(Event {
-                    t: 0.0,
-                    stream: si,
-                    kind: EventKind::Arrival { seq: 0 },
-                });
-            }
+        for (seq, t) in herald_workloads::seeded::arrival_times(stream.arrival(), horizon)
+            .into_iter()
+            .enumerate()
+        {
+            events.push(Event {
+                t,
+                stream: si,
+                kind: EventKind::Arrival { seq },
+            });
         }
         for (swap_index, swap) in stream.swaps().iter().enumerate() {
             if swap.at_s < horizon {
@@ -541,14 +546,6 @@ fn build_trace(scenario: &Scenario) -> Vec<Event> {
         }
     }
     events
-}
-
-/// A deterministic exponential inter-arrival gap with mean `1 / rate`.
-fn exponential_gap(rng: &mut SplitMix64, rate: f64) -> f64 {
-    // 53 uniform bits mapped into (0, 1]: ln is finite and the stream is
-    // identical for identical seeds.
-    let u = ((rng.next_u64() >> 11) as f64 + 1.0) / 9_007_199_254_740_992.0;
-    -u.ln() / rate
 }
 
 #[cfg(test)]

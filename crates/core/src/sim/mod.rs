@@ -26,8 +26,8 @@
 //! umbrella crate.
 
 pub(crate) mod core;
-mod engine;
-mod report;
+pub(crate) mod engine;
+pub(crate) mod report;
 
 pub use engine::{ReschedulePolicy, StreamSimulator};
 pub use report::{BusySpan, FrameRecord, StreamReport, StreamStats, SwapRecord, UtilizationSample};

@@ -402,8 +402,9 @@ impl fmt::Display for StreamReport {
 }
 
 /// Nearest-rank percentile of an iterator of samples (`q` clamped to
-/// `[0, 1]`; 0 for an empty iterator).
-fn percentile(samples: impl Iterator<Item = f64>, q: f64) -> f64 {
+/// `[0, 1]`; 0 for an empty iterator). Shared with the fleet layer's
+/// merged views.
+pub(crate) fn percentile(samples: impl Iterator<Item = f64>, q: f64) -> f64 {
     let mut v: Vec<f64> = samples.collect();
     if v.is_empty() {
         return 0.0;
@@ -415,7 +416,8 @@ fn percentile(samples: impl Iterator<Item = f64>, q: f64) -> f64 {
 }
 
 /// Miss rate over deadline-carrying frames (0 when none carry one).
-fn miss_rate<'a>(frames: impl Iterator<Item = &'a FrameRecord>) -> f64 {
+/// Shared with the fleet layer's merged views.
+pub(crate) fn miss_rate<'a>(frames: impl Iterator<Item = &'a FrameRecord>) -> f64 {
     let (mut with_deadline, mut missed) = (0usize, 0usize);
     for f in frames {
         if f.deadline_s.is_some() {

@@ -24,10 +24,11 @@
 #![warn(missing_docs)]
 
 mod scenario;
+pub mod seeded;
 
 pub use scenario::{
-    arvr_a_stream, arvr_b_stream, poisson_mix_stream, workload_change_trace, ArrivalProcess,
-    Scenario, StreamSpec, WorkloadSwap,
+    arvr_a_stream, arvr_b_stream, diurnal_ramp_trace, fleet_mix_stream, poisson_mix_stream,
+    workload_change_trace, ArrivalProcess, Scenario, StreamSpec, WorkloadSwap,
 };
 
 use herald_models::{zoo, DnnModel};

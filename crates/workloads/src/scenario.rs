@@ -54,16 +54,31 @@ pub enum ArrivalProcess {
     },
     /// A single frame at `t = 0` (the classic one-shot experiment).
     OneShot,
+    /// Explicit arrival times in seconds, non-decreasing. This is how
+    /// non-homogeneous traffic (the diurnal ramp) and fleet dispatchers
+    /// describe exactly which frames a stream carries: the times are
+    /// replayed verbatim, so a sharded stream is bit-identical to the
+    /// slice of the global stream it was cut from.
+    Trace {
+        /// The arrival times, seconds, sorted non-decreasing.
+        times_s: Vec<f64>,
+    },
 }
 
 impl ArrivalProcess {
-    /// The mean arrival rate in frames per second (0 for one-shot).
+    /// The mean arrival rate in frames per second (0 for one-shot; for a
+    /// trace, the frame count over the span to the last arrival, or 0
+    /// when that span is empty).
     #[must_use]
     pub fn mean_fps(&self) -> f64 {
         match self {
             ArrivalProcess::Periodic { fps } => *fps,
             ArrivalProcess::Poisson { mean_fps, .. } => *mean_fps,
             ArrivalProcess::OneShot => 0.0,
+            ArrivalProcess::Trace { times_s } => match times_s.last() {
+                Some(last) if *last > 0.0 => times_s.len() as f64 / last,
+                _ => 0.0,
+            },
         }
     }
 }
@@ -336,8 +351,9 @@ pub fn poisson_mix_stream(scale: f64, horizon_s: f64, seed: u64) -> Scenario {
                 single_model(zoo::resnet50(), 1),
                 analytics_fps,
                 // Decorrelate the two streams while staying a pure
-                // function of the caller's seed.
-                seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1),
+                // function of the caller's seed (the shared rule every
+                // multi-tenant generator uses).
+                crate::seeded::derive_seed(seed, 1),
             )
             .with_deadline(1.0 / analytics_fps),
         )
@@ -355,6 +371,120 @@ pub fn workload_change_trace(fps: f64, deadline_s: f64, horizon_s: f64) -> Scena
             .with_deadline(deadline_s)
             .swap_at(horizon_s / 2.0, crate::arvr_b()),
     )
+}
+
+/// The AR/VR model rotation the fleet-scale generators draw tenants
+/// from: the five Table I models, cycled in a fixed order so tenant `i`
+/// always serves the same model for a given generator call.
+fn tenant_model(i: usize) -> herald_models::DnnModel {
+    match i % 5 {
+        0 => zoo::mobilenet_v2(),
+        1 => zoo::resnet50(),
+        2 => zoo::unet(),
+        3 => zoo::brq_handpose(),
+        _ => zoo::focal_depthnet(),
+    }
+}
+
+/// A fleet-scale serving mix: `tenants` independent seeded Poisson
+/// streams (tenant `i` runs the `i`-th model of the AR/VR rotation) with
+/// an aggregate mean arrival rate of `aggregate_fps` split evenly across
+/// tenants, each frame carrying the same `deadline_s`. Tenant seeds are
+/// derived from `seed` via [`crate::seeded::derive_seed`], so the whole
+/// scenario is a pure function of its arguments — the high-traffic
+/// multi-tenant counterpart of [`arvr_a_stream`], sized for dispatch
+/// across a pool of accelerators rather than one chip.
+///
+/// # Panics
+///
+/// Panics if `tenants` is zero.
+#[must_use]
+pub fn fleet_mix_stream(
+    tenants: usize,
+    aggregate_fps: f64,
+    deadline_s: f64,
+    horizon_s: f64,
+    seed: u64,
+) -> Scenario {
+    assert!(tenants > 0, "a fleet mix needs at least one tenant");
+    let per_tenant_fps = aggregate_fps / tenants as f64;
+    let mut scenario = Scenario::new(format!("fleet-mix-{tenants}t"), horizon_s);
+    for i in 0..tenants {
+        let model = tenant_model(i);
+        let name = format!("t{i:03}-{}", model.name());
+        scenario = scenario.stream(
+            StreamSpec::poisson(
+                name,
+                single_model(model, 1),
+                per_tenant_fps,
+                crate::seeded::derive_seed(seed, i as u64),
+            )
+            .with_deadline(deadline_s),
+        );
+    }
+    scenario
+}
+
+/// A diurnal serving trace: `tenants` streams whose *aggregate* arrival
+/// rate ramps from `trough_fps` at the horizon's edges to `peak_fps` at
+/// its middle (one day compressed into the horizon, rate following
+/// `trough + (peak - trough) * sin^2(pi t / horizon)`). Arrivals are a
+/// non-homogeneous Poisson process sampled by thinning from per-tenant
+/// seeds derived from `seed`, materialized as explicit
+/// [`ArrivalProcess::Trace`] streams; each frame carries `deadline_s`.
+///
+/// # Panics
+///
+/// Panics if `tenants` is zero or `peak_fps < trough_fps`.
+#[must_use]
+pub fn diurnal_ramp_trace(
+    tenants: usize,
+    trough_fps: f64,
+    peak_fps: f64,
+    deadline_s: f64,
+    horizon_s: f64,
+    seed: u64,
+) -> Scenario {
+    assert!(tenants > 0, "a diurnal trace needs at least one tenant");
+    assert!(
+        peak_fps >= trough_fps,
+        "peak rate {peak_fps} must be at least the trough rate {trough_fps}"
+    );
+    let rate_at = |t: f64| {
+        let s = (std::f64::consts::PI * t / horizon_s).sin();
+        (trough_fps + (peak_fps - trough_fps) * s * s) / tenants as f64
+    };
+    let ceiling = peak_fps / tenants as f64;
+    let mut scenario = Scenario::new(format!("diurnal-{tenants}t"), horizon_s);
+    for i in 0..tenants {
+        let model = tenant_model(i);
+        let name = format!("t{i:03}-{}", model.name());
+        let mut rng =
+            crate::seeded::SplitMix64::seed_from_u64(crate::seeded::derive_seed(seed, i as u64));
+        // Lewis-Shedler thinning: sample a homogeneous candidate stream
+        // at the peak rate, keep each candidate with probability
+        // rate(t) / peak. Exactly reproducible from the tenant seed.
+        let mut times = Vec::new();
+        let mut t = 0.0f64;
+        loop {
+            t += crate::seeded::exponential_gap(&mut rng, ceiling);
+            if t >= horizon_s {
+                break;
+            }
+            if rng.gen_unit() <= rate_at(t) / ceiling {
+                times.push(t);
+            }
+        }
+        scenario = scenario.stream(
+            StreamSpec::new(
+                name,
+                single_model(model, 1),
+                ArrivalProcess::Trace { times_s: times },
+            )
+            .with_deadline(deadline_s),
+        );
+    }
+    scenario
 }
 
 #[cfg(test)]
@@ -431,6 +561,67 @@ mod tests {
     #[test]
     fn one_shot_has_zero_mean_rate() {
         assert_eq!(ArrivalProcess::OneShot.mean_fps(), 0.0);
+    }
+
+    #[test]
+    fn trace_mean_rate_spans_to_the_last_arrival() {
+        let trace = ArrivalProcess::Trace {
+            times_s: vec![0.0, 1.0, 2.0, 4.0],
+        };
+        assert!((trace.mean_fps() - 1.0).abs() < 1e-12);
+        assert_eq!(ArrivalProcess::Trace { times_s: vec![] }.mean_fps(), 0.0);
+        assert_eq!(ArrivalProcess::Trace { times_s: vec![0.0] }.mean_fps(), 0.0);
+    }
+
+    #[test]
+    fn fleet_mix_is_seeded_and_splits_the_aggregate_rate() {
+        let s = fleet_mix_stream(12, 120.0, 0.05, 2.0, 7);
+        assert_eq!(s.streams().len(), 12);
+        assert_eq!(s, fleet_mix_stream(12, 120.0, 0.05, 2.0, 7));
+        assert_ne!(s, fleet_mix_stream(12, 120.0, 0.05, 2.0, 8));
+        let total: f64 = s.streams().iter().map(|t| t.arrival().mean_fps()).sum();
+        assert!((total - 120.0).abs() < 1e-9);
+        // Tenants rotate through the five AR/VR models and carry the
+        // shared deadline; seeds are decorrelated per tenant.
+        assert!(s.streams()[0].name().contains("MobileNetV2"));
+        assert!(s.streams()[1].name().contains("Resnet50"));
+        assert!(s.streams()[5].name().contains("MobileNetV2"));
+        let mut seeds = Vec::new();
+        for t in s.streams() {
+            assert_eq!(t.deadline_s(), Some(0.05));
+            match t.arrival() {
+                ArrivalProcess::Poisson { seed, .. } => seeds.push(*seed),
+                other => panic!("expected Poisson arrivals, got {other:?}"),
+            }
+        }
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 12, "tenant seeds are pairwise distinct");
+    }
+
+    #[test]
+    fn diurnal_ramp_peaks_mid_horizon() {
+        let s = diurnal_ramp_trace(8, 20.0, 200.0, 0.1, 4.0, 11);
+        assert_eq!(s.streams().len(), 8);
+        assert_eq!(s, diurnal_ramp_trace(8, 20.0, 200.0, 0.1, 4.0, 11));
+        let mut edges = 0usize;
+        let mut middle = 0usize;
+        for t in s.streams() {
+            let ArrivalProcess::Trace { times_s } = t.arrival() else {
+                panic!("expected trace arrivals");
+            };
+            for w in times_s.windows(2) {
+                assert!(w[1] >= w[0], "trace times sorted");
+            }
+            edges += times_s.iter().filter(|t| **t < 1.0 || **t >= 3.0).count();
+            middle += times_s.iter().filter(|t| **t >= 1.0 && **t < 3.0).count();
+        }
+        // The middle half of the horizon runs near the peak rate, the
+        // edges near the trough: the ramp must be clearly visible.
+        assert!(
+            middle as f64 > 1.5 * edges as f64,
+            "middle {middle} vs edges {edges}"
+        );
     }
 
     #[test]

@@ -27,6 +27,9 @@ use herald_arch::{AcceleratorClass, AcceleratorConfig, HardwareResources, Partit
 use herald_core::ctx::EvalContext;
 use herald_core::dse::{DesignPoint, DseConfig, DseEngine, SearchStrategy};
 use herald_core::error::HeraldError;
+use herald_core::fleet::{
+    AdmissionPolicy, DispatchPolicy, FleetConfig, FleetReport, FleetSimulator,
+};
 use herald_core::sched::{HeraldScheduler, IncrementalScheduler, SchedulerConfig};
 use herald_core::sim::{ReschedulePolicy, StreamReport, StreamSimulator};
 use herald_cost::Metric;
@@ -58,6 +61,8 @@ pub struct Experiment {
     refine_rounds: usize,
     ctx: Option<EvalContext>,
     reschedule: ReschedulePolicy,
+    dispatcher: DispatchPolicy,
+    admission: AdmissionPolicy,
 }
 
 impl Experiment {
@@ -75,6 +80,8 @@ impl Experiment {
             refine_rounds: 0,
             ctx: None,
             reschedule: ReschedulePolicy::default(),
+            dispatcher: DispatchPolicy::default(),
+            admission: AdmissionPolicy::default(),
         }
     }
 
@@ -86,6 +93,11 @@ impl Experiment {
     ///
     /// Without an explicit context each `run`/`scenario` call builds a
     /// private one.
+    ///
+    /// [`Experiment::fleet`] is the exception: fleet runs deliberately
+    /// give every chip worker its own private context (chip isolation
+    /// is what makes a [`FleetReport`] independent of thread
+    /// interleaving), so an attached context is not consulted there.
     #[must_use]
     pub fn with_context(mut self, ctx: EvalContext) -> Self {
         self.ctx = Some(ctx);
@@ -99,6 +111,23 @@ impl Experiment {
     #[must_use]
     pub fn reschedule_policy(mut self, policy: ReschedulePolicy) -> Self {
         self.reschedule = policy;
+        self
+    }
+
+    /// Sets the fleet dispatch policy used by [`Experiment::fleet`]
+    /// (round-robin by default).
+    #[must_use]
+    pub fn dispatcher(mut self, policy: DispatchPolicy) -> Self {
+        self.dispatcher = policy;
+        self
+    }
+
+    /// Sets the fleet admission policy used by [`Experiment::fleet`]
+    /// (accept-all by default; [`AdmissionPolicy::DeadlineSlack`] sheds
+    /// frames predicted to blow through their deadline).
+    #[must_use]
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = policy;
         self
     }
 
@@ -362,6 +391,61 @@ impl Experiment {
             report,
         })
     }
+
+    /// Runs a streaming [`Scenario`] across a *fleet* of accelerators
+    /// behind the configured [`Experiment::dispatcher`] policy (and
+    /// optional [`Experiment::admission`] control), instead of a single
+    /// chip.
+    ///
+    /// The chips are taken verbatim from `fleet` — build one with
+    /// [`FleetConfig::homogeneous`] from a fixed design or from a search
+    /// winner (`outcome.best().config`). The scheduler, metric and
+    /// rescheduling policy configured on the builder apply to every
+    /// chip's online scheduling loop; each chip simulates on its own
+    /// worker thread with a private evaluation context, so the outcome
+    /// is bit-reproducible regardless of thread interleaving, and a
+    /// 1-chip fleet is bit-identical to [`Experiment::scenario`] on the
+    /// same chip.
+    ///
+    /// Because of that per-chip isolation, a context attached via
+    /// [`Experiment::with_context`] is *not* consulted by fleet runs —
+    /// its memos and counters neither feed nor observe the per-chip
+    /// simulations.
+    ///
+    /// # Errors
+    ///
+    /// * [`HeraldError::Fleet`] — the fleet has no chips;
+    /// * [`HeraldError::Scenario`] — degenerate scenario description;
+    /// * [`HeraldError::Simulation`] — a schedule failed to replay
+    ///   (indicates a scheduler bug);
+    /// * [`HeraldError::WorkerPanicked`] — a per-chip worker panicked.
+    pub fn fleet(
+        mut self,
+        fleet: &FleetConfig,
+        scenario: &Scenario,
+    ) -> Result<FleetOutcome, HeraldError> {
+        if self.fast && !self.scheduler_explicit {
+            self.dse.scheduler.post_process = DseConfig::fast().scheduler.post_process;
+        }
+        if let Some(metric) = self.metric {
+            self.dse.metric = metric;
+            self.dse.scheduler.metric = metric;
+        }
+        let report = FleetSimulator::new(fleet)
+            .with_scheduler(self.dse.scheduler)
+            .with_metric(self.dse.metric)
+            .with_policy(self.reschedule)
+            .with_dispatcher(self.dispatcher)
+            .with_admission(self.admission)
+            .simulate(scenario)?;
+        Ok(FleetOutcome {
+            scenario: scenario.name().to_string(),
+            policy: report.policy().to_string(),
+            chips: report.chip_names().to_vec(),
+            metric: self.dse.metric,
+            report,
+        })
+    }
 }
 
 fn validate_resources(res: HardwareResources) -> Result<(), HeraldError> {
@@ -433,6 +517,53 @@ impl StreamOutcome {
     }
 
     /// Deadline-miss rate over all deadline-carrying frames.
+    #[must_use]
+    pub fn deadline_miss_rate(&self) -> f64 {
+        self.report.deadline_miss_rate()
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HeraldError::Serialization`] (not expected for this
+    /// type).
+    pub fn to_json(&self) -> Result<String, HeraldError> {
+        Ok(serde_json::to_string_pretty(self)?)
+    }
+}
+
+/// The result of a fleet [`Experiment::fleet`] run: the dispatch policy
+/// and chip roster plus the merged [`FleetReport`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FleetOutcome {
+    /// Name of the scenario served.
+    pub scenario: String,
+    /// Name of the dispatch policy that routed the frames.
+    pub policy: String,
+    /// Chip display names, in dispatch-index order.
+    pub chips: Vec<String>,
+    /// Metric the per-chip schedulers optimized.
+    pub metric: Metric,
+    report: FleetReport,
+}
+
+impl FleetOutcome {
+    /// The merged fleet report: per-chip reports, aggregates, routing
+    /// and drop records.
+    #[must_use]
+    pub fn report(&self) -> &FleetReport {
+        &self.report
+    }
+
+    /// Aggregate throughput, completed frames per second of fleet
+    /// makespan.
+    #[must_use]
+    pub fn throughput_fps(&self) -> f64 {
+        self.report.throughput_fps()
+    }
+
+    /// Deadline-miss rate over all completed deadline-carrying frames.
     #[must_use]
     pub fn deadline_miss_rate(&self) -> f64 {
         self.report.deadline_miss_rate()
@@ -784,6 +915,55 @@ mod tests {
         assert!(inc.report().scheduler_invocations() < full.report().scheduler_invocations());
         assert!(inc.report().schedule_cache_hit_rate() > 0.5);
         assert_eq!(full.report().schedule_cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn fleet_outcome_scales_and_serializes() {
+        let scenario = herald_workloads::fleet_mix_stream(4, 160.0, 0.1, 0.05, 3);
+        let chip = AcceleratorConfig::fda(DataflowStyle::Nvdla, AcceleratorClass::Edge.resources());
+        let run = |n: usize| {
+            Experiment::new(scenario.design_workload())
+                .dispatcher(DispatchPolicy::LeastLoaded)
+                .fleet(&FleetConfig::homogeneous(&chip, n), &scenario)
+                .unwrap()
+        };
+        let one = run(1);
+        let two = run(2);
+        assert_eq!(one.policy, "least-loaded");
+        assert_eq!(two.chips.len(), 2);
+        // Same generated traffic, conserved across the shards.
+        assert_eq!(
+            one.report().frames_total(),
+            two.report().frames_total(),
+            "sharding must conserve frames"
+        );
+        let json = one.to_json().unwrap();
+        assert!(json.contains("least-loaded"));
+    }
+
+    #[test]
+    fn empty_fleet_is_rejected() {
+        let scenario = herald_workloads::fleet_mix_stream(2, 40.0, 0.1, 0.05, 3);
+        let err = Experiment::new(scenario.design_workload())
+            .fleet(&FleetConfig::new(), &scenario)
+            .unwrap_err();
+        assert!(matches!(err, HeraldError::Fleet { .. }));
+    }
+
+    #[test]
+    fn admission_policy_reaches_the_fleet() {
+        // Overload one chip with a tight deadline: the facade-configured
+        // admission gate must shed frames.
+        let chip = AcceleratorConfig::fda(DataflowStyle::Nvdla, AcceleratorClass::Edge.resources());
+        let scenario = Scenario::new("overload", 0.02)
+            .stream(StreamSpec::periodic("s", workload(), 400.0).with_deadline(0.003));
+        let outcome = Experiment::new(workload())
+            .dispatcher(DispatchPolicy::DeadlineAware)
+            .admission(AdmissionPolicy::DeadlineSlack { slack: 1.0 })
+            .fleet(&FleetConfig::homogeneous(&chip, 1), &scenario)
+            .unwrap();
+        assert!(!outcome.report().dropped().is_empty());
+        assert!(outcome.report().drop_rate() > 0.0);
     }
 
     #[test]

@@ -75,6 +75,38 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Fleet serving
+//!
+//! [`Experiment::fleet`] scales a scenario out to a *pool* of
+//! accelerators behind a dispatch policy — the serving-layer view of a
+//! multi-chip deployment. Frames are routed by a deterministic
+//! dispatcher ([`DispatchPolicy`](core::fleet::DispatchPolicy):
+//! round-robin, least-loaded, or deadline-aware, with optional
+//! admission control), each chip simulates its shard on its own worker
+//! thread, and the merged
+//! [`core::fleet::FleetReport`] carries aggregate throughput, latency
+//! percentiles, per-chip utilization and deadline-miss breakdowns. A
+//! 1-chip fleet is bit-identical to [`Experiment::scenario`].
+//!
+//! ```
+//! use herald::prelude::*;
+//!
+//! # fn main() -> Result<(), HeraldError> {
+//! // 200 frames/s aggregate from 4 Poisson tenants, served by 2 chips.
+//! let scenario = herald::workloads::fleet_mix_stream(4, 200.0, 0.1, 0.04, 42);
+//! let chip = AcceleratorConfig::fda(
+//!     DataflowStyle::Nvdla,
+//!     AcceleratorClass::Edge.resources(),
+//! );
+//! let outcome = Experiment::new(scenario.design_workload())
+//!     .dispatcher(DispatchPolicy::DeadlineAware)
+//!     .fleet(&FleetConfig::homogeneous(&chip, 2), &scenario)?;
+//! assert_eq!(outcome.chips.len(), 2);
+//! assert!(outcome.throughput_fps() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -88,12 +120,12 @@ pub use herald_workloads as workloads;
 
 mod experiment;
 
-pub use experiment::{Experiment, ExperimentOutcome, StreamOutcome};
+pub use experiment::{Experiment, ExperimentOutcome, FleetOutcome, StreamOutcome};
 pub use herald_core::error::HeraldError;
 
 /// Commonly used items, re-exported for ergonomic downstream use.
 pub mod prelude {
-    pub use crate::experiment::{Experiment, ExperimentOutcome, StreamOutcome};
+    pub use crate::experiment::{Experiment, ExperimentOutcome, FleetOutcome, StreamOutcome};
     pub use herald_arch::{
         AcceleratorClass, AcceleratorConfig, AcceleratorStyle, HardwareResources, Partition,
         SubAccelerator,
@@ -103,6 +135,9 @@ pub mod prelude {
         dse::{DseConfig, DseEngine, DseOutcome, SearchStrategy},
         error::HeraldError,
         exec::{ExecutionReport, ScheduleSimulator},
+        fleet::{
+            AdmissionPolicy, DispatchPolicy, Dispatcher, FleetConfig, FleetReport, FleetSimulator,
+        },
         sched::{
             GreedyScheduler, HeraldScheduler, IncrementalScheduler, OrderingPolicy, Schedule,
             Scheduler, SchedulerConfig,

@@ -156,6 +156,60 @@ fn shared_context_serves_repeat_scenarios_from_memo() {
 }
 
 #[test]
+fn one_chip_fleet_is_bit_identical_to_direct_streaming() {
+    // The fleet layer's correctness bar: a 1-chip fleet under *any*
+    // dispatcher routes the entire trace to its only chip and must
+    // reproduce the direct single-chip streaming run to the last bit —
+    // same frames, spans, energy, counters, everything the report
+    // carries. Covered on the steady-state AR/VR trace, the Fig. 13
+    // workload-change trace and the seeded Poisson mix.
+    let scenarios = [
+        herald::workloads::arvr_a_stream(1.0, 1.2),
+        herald::workloads::workload_change_trace(2.0, 0.6, 2.0),
+        herald::workloads::poisson_mix_stream(1.0, 0.5, 2024),
+    ];
+    let chip = edge_maelstrom();
+    let fleet = FleetConfig::homogeneous(&chip, 1);
+    for scenario in &scenarios {
+        let direct = Experiment::new(scenario.design_workload())
+            .on_accelerator(chip.clone())
+            .fast()
+            .scenario(scenario)
+            .unwrap();
+        for policy in DispatchPolicy::ALL {
+            let fleet_run = Experiment::new(scenario.design_workload())
+                .fast()
+                .dispatcher(policy)
+                .fleet(&fleet, scenario)
+                .unwrap();
+            let report = fleet_run.report();
+            assert_eq!(report.chips(), 1);
+            assert!(report.dropped().is_empty());
+            assert_eq!(
+                &report.per_chip()[0],
+                direct.report(),
+                "{}: 1-chip fleet under {policy:?} must equal the direct run",
+                scenario.name()
+            );
+            // The merged fleet view agrees with the single-chip report.
+            assert_eq!(report.frames_total(), direct.report().frames().len());
+            assert_eq!(
+                report.makespan_s().to_bits(),
+                direct.report().makespan_s().to_bits()
+            );
+            assert_eq!(
+                report.deadline_miss_rate().to_bits(),
+                direct.report().deadline_miss_rate().to_bits()
+            );
+            assert_eq!(
+                report.latency_percentile(0.95).to_bits(),
+                direct.report().latency_percentile(0.95).to_bits()
+            );
+        }
+    }
+}
+
+#[test]
 fn context_reuse_spans_run_and_scenario_calls() {
     // `.run()` warms the context; the `.scenario()` on the same design
     // workload then starts from a hot cost model. The observable
