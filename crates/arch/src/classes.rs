@@ -31,6 +31,39 @@ impl HardwareResources {
             global_buffer_bytes,
         }
     }
+
+    /// Estimated silicon area of a chip built on this budget, mm².
+    ///
+    /// A coarse analytical proxy in the spirit of the paper's Table IV
+    /// cost discussion, calibrated so an Eyeriss-scale array lands in
+    /// the right order of magnitude: PE array (MAC + local register
+    /// file), global scratchpad SRAM, and NoC/DRAM interface scaled by
+    /// peak bandwidth. The absolute numbers are not process-accurate;
+    /// what matters for fleet design-space exploration is that the
+    /// proxy is deterministic and monotone in every resource, so area
+    /// budgets order candidate chips consistently.
+    ///
+    /// ```
+    /// use herald_arch::AcceleratorClass;
+    ///
+    /// let edge = AcceleratorClass::Edge.resources();
+    /// let cloud = AcceleratorClass::Cloud.resources();
+    /// assert!(cloud.area_mm2() > edge.area_mm2());
+    /// ```
+    #[must_use]
+    pub fn area_mm2(&self) -> f64 {
+        /// mm² per processing element (MAC + pipeline registers + local
+        /// register file).
+        const PE_MM2: f64 = 0.002;
+        /// mm² per MiB of global scratchpad SRAM.
+        const SRAM_MM2_PER_MIB: f64 = 0.5;
+        /// mm² per GB/s of global NoC / DRAM interface bandwidth.
+        const NOC_MM2_PER_GBPS: f64 = 0.05;
+        let mib = self.global_buffer_bytes as f64 / (1u64 << 20) as f64;
+        f64::from(self.pes) * PE_MM2
+            + mib * SRAM_MM2_PER_MIB
+            + self.bandwidth_gbps * NOC_MM2_PER_GBPS
+    }
 }
 
 /// The three deployment scenarios of Table IV.
@@ -107,5 +140,27 @@ mod tests {
     #[test]
     fn display_names() {
         assert_eq!(AcceleratorClass::Mobile.to_string(), "mobile");
+    }
+
+    #[test]
+    fn area_proxy_is_positive_and_monotone() {
+        let mut last = 0.0;
+        for class in AcceleratorClass::ALL {
+            let area = class.resources().area_mm2();
+            assert!(area > last, "{class}: {area} vs {last}");
+            last = area;
+        }
+        // Monotone in each resource independently.
+        let base = HardwareResources::new(1024, 16.0, 4 << 20);
+        assert!(HardwareResources::new(2048, 16.0, 4 << 20).area_mm2() > base.area_mm2());
+        assert!(HardwareResources::new(1024, 32.0, 4 << 20).area_mm2() > base.area_mm2());
+        assert!(HardwareResources::new(1024, 16.0, 8 << 20).area_mm2() > base.area_mm2());
+    }
+
+    #[test]
+    fn edge_area_matches_the_documented_constants() {
+        // 1024 PEs * 0.002 + 4 MiB * 0.5 + 16 GB/s * 0.05.
+        let edge = AcceleratorClass::Edge.resources().area_mm2();
+        assert!((edge - (2.048 + 2.0 + 0.8)).abs() < 1e-12, "{edge}");
     }
 }

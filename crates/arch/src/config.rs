@@ -257,6 +257,24 @@ impl AcceleratorConfig {
     pub fn total_bandwidth_gbps(&self) -> f64 {
         self.subs.iter().map(SubAccelerator::bandwidth_gbps).sum()
     }
+
+    /// Estimated silicon area of this chip, mm²: the
+    /// [`HardwareResources::area_mm2`] proxy applied to its total PE,
+    /// bandwidth and global-buffer provisioning. Partitioning a budget
+    /// across sub-accelerators does not change the total, so every
+    /// design over the same class budget costs the same area — area
+    /// differences come from provisioning differently-sized chips,
+    /// which is exactly the axis fleet-composition search trades
+    /// against throughput and latency.
+    #[must_use]
+    pub fn area_mm2(&self) -> f64 {
+        HardwareResources {
+            pes: self.total_pes(),
+            bandwidth_gbps: self.total_bandwidth_gbps(),
+            global_buffer_bytes: self.global_buffer_bytes,
+        }
+        .area_mm2()
+    }
 }
 
 impl fmt::Display for AcceleratorConfig {
@@ -374,5 +392,22 @@ mod tests {
     fn errors_are_displayable() {
         let e = ConfigError::PartitionMismatch { styles: 2, ways: 3 };
         assert!(e.to_string().contains("2 dataflow styles"));
+    }
+
+    #[test]
+    fn area_is_partition_invariant_over_one_budget() {
+        // Every design over the same class budget costs the same area;
+        // a smaller chip costs less.
+        let fda = AcceleratorConfig::fda(DataflowStyle::Nvdla, res());
+        let hda = AcceleratorConfig::hda(
+            &[DataflowStyle::Nvdla, DataflowStyle::ShiDianNao],
+            res(),
+            Partition::even(2, 1024, 16.0),
+        )
+        .unwrap();
+        assert!((fda.area_mm2() - res().area_mm2()).abs() < 1e-12);
+        assert!((hda.area_mm2() - fda.area_mm2()).abs() < 1e-12);
+        let small = HardwareResources::new(512, 8.0, 2 << 20);
+        assert!(AcceleratorConfig::fda(DataflowStyle::Nvdla, small).area_mm2() < fda.area_mm2());
     }
 }

@@ -1,0 +1,228 @@
+//! **Fleet-DSE headline** — the fleet-composition design-space
+//! explorer: given a multi-tenant Poisson mix sized to saturate one
+//! chip, search compositions of a menu of chip designs (the searched
+//! HDA, two Edge-class FDA baselines, and a half-provisioned budget
+//! chip) × dispatch policies under an area budget, and report the
+//! {throughput, p99 latency, deadline-miss rate, area} Pareto frontier.
+//!
+//! The run pins the three headline claims of the search layer:
+//!
+//! * the frontier is **non-empty** and **bit-identical** across two
+//!   independent searches (fresh evaluation contexts);
+//! * **pruning works**: the equivalence memo plus predicted-vector
+//!   dominance skip at least 30% of candidate fleet simulations;
+//! * a **best-under-budget** composition exists for a budget of two
+//!   Edge-class chips.
+//!
+//! Pass `--json` for a machine-readable record (frontier rows, pruning
+//! stats, best-under-budget pick) for baseline tracking across PRs
+//! (`BENCH_pr5.json`).
+
+use herald::prelude::*;
+use herald_bench::{fast_mode, utilization_fps_scale};
+use herald_workloads::fleet_mix_stream;
+use std::time::Instant;
+
+fn main() -> Result<(), HeraldError> {
+    let fast = fast_mode();
+    let json_mode = std::env::args().any(|a| a == "--json");
+    let tenants: usize = if fast { 8 } else { 24 };
+    let frames_target: f64 = if fast { 120.0 } else { 480.0 };
+    let max_chips = if fast { 3 } else { 4 };
+    let seed = 2025u64;
+    let class = AcceleratorClass::Edge;
+    let t0 = Instant::now();
+
+    // The flagship chip: the paper's HDA searched for the tenant mix's
+    // aggregate design workload, sharing one EvalContext with the fleet
+    // search below so its schedules feed the service estimates.
+    let ctx = EvalContext::new();
+    let unit = fleet_mix_stream(tenants, 1.0, 1.0, 1.0, seed);
+    let exp = Experiment::new(unit.design_workload())
+        .on(class)
+        .with_styles([DataflowStyle::Nvdla, DataflowStyle::ShiDianNao])
+        .with_context(ctx.clone());
+    let exp = if fast { exp.fast() } else { exp };
+    let hda = exp.run()?.best().config.clone();
+
+    // The menu: the searched HDA, two monolithic Edge-class FDAs (one
+    // competitive, one slow for this mix), and a half-provisioned
+    // "small" chip — half the PEs/bandwidth/buffer, half-ish the area —
+    // so the area axis actually trades against service rate.
+    let small_res = HardwareResources::new(512, 8.0, 2 << 20);
+    let menu = [
+        hda.clone(),
+        AcceleratorConfig::fda(DataflowStyle::Nvdla, class.resources()),
+        AcceleratorConfig::fda(DataflowStyle::Eyeriss, class.resources()),
+        AcceleratorConfig::fda(DataflowStyle::Nvdla, small_res),
+    ];
+    let edge_area = class.resources().area_mm2();
+
+    // Traffic sized to ~120% of the flagship chip's serial capacity:
+    // one chip saturates, two or three serve comfortably — the regime
+    // where composition actually matters.
+    let chip_capacity_fps = utilization_fps_scale(&unit, &hda, 1.0, fast)?;
+    let aggregate_fps = 1.2 * chip_capacity_fps;
+    let deadline_s = 6.0 / chip_capacity_fps;
+    let horizon_s = frames_target / aggregate_fps;
+    let scenario = fleet_mix_stream(tenants, aggregate_fps, deadline_s, horizon_s, seed);
+
+    // Enumeration budget: 2.5 Edge-class chips of silicon — large
+    // fleets of full-size chips are filtered before evaluation.
+    let search = FleetDseConfig {
+        min_chips: 1,
+        max_chips,
+        max_area_mm2: Some(2.5 * edge_area),
+        ..FleetDseConfig::default()
+    };
+
+    if !json_mode {
+        println!(
+            "fleet-DSE headline: {} ({tenants} tenants, {aggregate_fps:.1} fps aggregate, \
+             deadline {deadline_s:.4} s, horizon {horizon_s:.3} s)\n\
+             menu: {} designs, fleets of 1..={max_chips} chips under {:.1} mm2",
+            scenario.name(),
+            menu.len(),
+            2.5 * edge_area
+        );
+    }
+
+    let run_search = |ctx: &EvalContext| -> Result<FleetSearchOutcome, HeraldError> {
+        let exp = Experiment::new(scenario.design_workload()).with_context(ctx.clone());
+        let exp = if fast { exp.fast() } else { exp };
+        exp.fleet_search(search.clone(), &menu, &scenario)
+    };
+    let outcome = run_search(&ctx)?;
+    // Determinism: an independent search from a cold context must be
+    // bit-identical.
+    let repeat = run_search(&EvalContext::new())?;
+    let repeat_identical = outcome == repeat;
+    assert!(
+        repeat_identical,
+        "fleet search must be bit-identical across independent runs"
+    );
+
+    let stats = *outcome.stats();
+    assert!(
+        !outcome.frontier().is_empty(),
+        "fleet search must produce a non-empty Pareto frontier"
+    );
+    assert!(
+        stats.skip_fraction() >= 0.30,
+        "memo + dominance pruning must skip >=30% of candidate simulations, got {:.1}%",
+        stats.skip_fraction() * 100.0
+    );
+
+    let budget_mm2 = 2.0 * edge_area;
+    let best = outcome
+        .best_under_budget(budget_mm2)
+        .expect("a composition fits under two Edge-class chips of area");
+
+    if !json_mode {
+        println!(
+            "\npruning: {} candidates -> {} simulated ({} memo, {} dominance, \
+             {} compositions over budget): {:.0}% skipped",
+            stats.candidates(),
+            stats.simulated,
+            stats.memo_skips,
+            stats.dominance_skips,
+            stats.budget_filtered,
+            stats.skip_fraction() * 100.0
+        );
+        println!("\nPareto frontier ({} designs):", outcome.frontier().len());
+        println!(
+            "  {:<44} {:<15} {:>9} {:>10} {:>9} {:>7}",
+            "composition", "policy", "area mm2", "fps", "p99 s", "miss"
+        );
+        for p in outcome.frontier() {
+            println!(
+                "  {:<44} {:<15} {:>9.2} {:>10.1} {:>9.4} {:>6.1}%",
+                p.composition,
+                p.policy.label(),
+                p.area_mm2,
+                p.throughput_fps,
+                p.p99_latency_s,
+                p.deadline_miss_rate * 100.0
+            );
+        }
+        println!(
+            "\nbest under {budget_mm2:.1} mm2: {} ({}) — {:.1} fps, p99 {:.4} s, miss {:.1}%",
+            best.composition,
+            best.policy.label(),
+            best.throughput_fps,
+            best.p99_latency_s,
+            best.deadline_miss_rate * 100.0
+        );
+    }
+
+    let wall_s = t0.elapsed().as_secs_f64();
+    if json_mode {
+        let frontier_rows: Vec<serde_json::Value> = outcome
+            .frontier()
+            .iter()
+            .map(|p| candidate_row(p))
+            .collect();
+        let record = serde_json::json!({
+            "bench": "fleet_dse_headline",
+            "fast": fast,
+            "wall_clock_s": wall_s,
+            "scenario": scenario.name(),
+            "tenants": tenants,
+            "aggregate_fps": aggregate_fps,
+            "deadline_s": deadline_s,
+            "horizon_s": horizon_s,
+            "menu": serde_json::Value::Seq(
+                menu.iter()
+                    .map(|c| {
+                        serde_json::json!({
+                            "name": c.name(),
+                            "area_mm2": c.area_mm2(),
+                        })
+                    })
+                    .collect(),
+            ),
+            "max_chips": max_chips,
+            "policies": search.policies.len(),
+            "enumeration_budget_mm2": 2.5 * edge_area,
+            "stats": serde_json::json!({
+                "candidates": stats.candidates(),
+                "budget_filtered_compositions": stats.budget_filtered,
+                "memo_skips": stats.memo_skips,
+                "dominance_skips": stats.dominance_skips,
+                "simulated": stats.simulated,
+                "skip_fraction": stats.skip_fraction(),
+            }),
+            "frontier_size": outcome.frontier().len(),
+            "frontier": serde_json::Value::Seq(frontier_rows),
+            "best_under_budget": serde_json::json!({
+                "budget_mm2": budget_mm2,
+                "candidate": candidate_row(best),
+            }),
+            "repeat_identical": repeat_identical,
+        });
+        println!("{}", record.to_json_pretty());
+    } else {
+        println!(
+            "\ntotal: frontier of {} from {} candidates, {:.0}% pruned without \
+             simulation, repeat bit-identical\n(wall clock: {wall_s:.1}s)",
+            outcome.frontier().len(),
+            stats.candidates(),
+            stats.skip_fraction() * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn candidate_row(p: &FleetCandidate) -> serde_json::Value {
+    serde_json::json!({
+        "composition": p.composition.as_str(),
+        "chips": p.chips.len(),
+        "policy": p.policy.label(),
+        "area_mm2": p.area_mm2,
+        "throughput_fps": p.throughput_fps,
+        "p99_latency_s": p.p99_latency_s,
+        "deadline_miss_rate": p.deadline_miss_rate,
+        "drop_rate": p.drop_rate,
+        "frames": p.frames,
+    })
+}

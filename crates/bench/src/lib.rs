@@ -23,6 +23,7 @@
 //! | `summary_headline` | Sec. V-B headline averages |
 //! | `stream_headline` | Streaming scenario suite (beyond-paper) |
 //! | `fleet_headline` | Multi-chip serving-layer scaling (beyond-paper) |
+//! | `fleet_dse_headline` | Fleet-composition Pareto search (beyond-paper) |
 //!
 //! Pass `--fast` to any binary for a coarse (seconds-scale) run; the
 //! default granularity reproduces the paper-scale sweeps.

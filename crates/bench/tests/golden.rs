@@ -1,11 +1,12 @@
 //! Golden-file regression suite for the paper-figure binaries.
 //!
-//! `stream_headline --fast --json` and `fig13_workload_change --fast
-//! --json` are fully deterministic apart from wall-clock timing fields:
+//! `stream_headline --fast --json`, `fig13_workload_change --fast
+//! --json` and `fleet_dse_headline --fast --json` are fully
+//! deterministic apart from wall-clock timing fields:
 //! arrival sampling is seeded, schedulers are pure functions, and
-//! aggregation orders are fixed. This suite re-runs both binaries and
-//! diffs their JSON records field by field against the committed
-//! canonical outputs under `golden/`, so a refactor that silently
+//! aggregation orders are fixed. This suite re-runs each binary and
+//! diffs its JSON record field by field against the committed
+//! canonical output under `golden/`, so a refactor that silently
 //! changes a paper-figure number fails CI with the exact JSON path that
 //! moved.
 //!
@@ -20,7 +21,9 @@
 //!
 //! To refresh after an *intentional* change:
 //! `cargo run --release -p herald-bench --bin stream_headline -- --fast --json \
-//!    > crates/bench/golden/stream_headline_fast.json` (same for fig13).
+//!    > crates/bench/golden/stream_headline_fast.json`
+//! (same for `fig13_workload_change` -> `fig13_workload_change_fast.json`
+//! and `fleet_dse_headline` -> `fleet_dse_headline_fast.json`).
 
 use serde_json::Value;
 use std::process::Command;
@@ -142,6 +145,14 @@ fn fig13_workload_change_fast_matches_golden() {
     assert_matches_golden(
         env!("CARGO_BIN_EXE_fig13_workload_change"),
         "fig13_workload_change_fast.json",
+    );
+}
+
+#[test]
+fn fleet_dse_headline_fast_matches_golden() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_fleet_dse_headline"),
+        "fleet_dse_headline_fast.json",
     );
 }
 

@@ -1,5 +1,27 @@
-//! Hardware/schedule co-design space exploration (paper Sec. IV-C).
+//! Hardware/schedule co-design space exploration (paper Sec. IV-C),
+//! from one chip up to whole fleets.
+//!
+//! Two engines live here:
+//!
+//! * [`DseEngine`] — the paper's single-chip search: sweep PE/bandwidth
+//!   partitions of one budget (Definition 1), co-optimize a layer
+//!   schedule for every candidate, and report the design-point cloud of
+//!   Figs. 6 and 11 ([`DseOutcome`], latency/energy frontier via
+//!   [`crate::pareto`]).
+//! * [`FleetDseEngine`] — the layer above: given a traffic scenario and
+//!   a *menu* of chip designs (typically single-chip winners plus
+//!   baselines), search over fleet **compositions** × dispatch policies
+//!   under an area budget, evaluating with the
+//!   [`crate::fleet::FleetSimulator`] and pruning by equivalence memo
+//!   and predicted-vector dominance ([`FleetSearchOutcome`], 4-objective
+//!   frontier over throughput / p99 / miss rate / area). See the
+//!   [`fleet`] submodule docs for the pruning pipeline.
+//!
+//! Both engines thread a shared [`EvalContext`] through every
+//! evaluation, so cost-model queries and whole schedules are memoized
+//! across candidates, refinement rounds and searches.
 
+pub mod fleet;
 mod partitions;
 
 use crate::ctx::EvalContext;
@@ -15,6 +37,9 @@ use herald_workloads::MultiDnnWorkload;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
+pub use fleet::{
+    FleetCandidate, FleetDseConfig, FleetDseEngine, FleetSearchOutcome, FleetSearchStats,
+};
 pub use partitions::candidate_partitions;
 
 /// Maps a worker panic payload into the typed error the sweep returns.

@@ -46,6 +46,13 @@ pub enum HeraldError {
         /// Human-readable description of the violation.
         reason: String,
     },
+    /// A fleet-composition search is degenerate (empty chip menu, empty
+    /// policy list, a zero or inverted chip-count range, or a budget no
+    /// menu chip fits under).
+    FleetSearch {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
     /// A DSE worker thread panicked while evaluating candidates; the
     /// sweep is aborted and the panic surfaces as a fallible error
     /// through the facade instead of poisoning the caller.
@@ -88,6 +95,9 @@ impl fmt::Display for HeraldError {
             }
             HeraldError::Fleet { reason } => {
                 write!(f, "invalid fleet simulation: {reason}")
+            }
+            HeraldError::FleetSearch { reason } => {
+                write!(f, "invalid fleet-composition search: {reason}")
             }
             HeraldError::WorkerPanicked { payload } => {
                 write!(f, "a DSE worker thread panicked: {payload}")
@@ -202,6 +212,16 @@ mod tests {
             reason: "fleet has no chips".into(),
         };
         assert!(e.to_string().contains("fleet has no chips"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn fleet_search_errors_render_their_reason() {
+        let e = HeraldError::FleetSearch {
+            reason: "chip menu is empty".into(),
+        };
+        assert!(e.to_string().contains("chip menu is empty"));
+        assert!(e.to_string().contains("fleet-composition search"));
         assert!(e.source().is_none());
     }
 }

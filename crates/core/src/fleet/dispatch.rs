@@ -7,7 +7,33 @@
 //! backlog model — each chip drains its queue at the single-frame
 //! service rate measured for the frame's workload on that chip — which
 //! is an *estimate* used only for routing; the per-chip event simulation
-//! stays exact.
+//! stays exact. The fleet-composition search
+//! ([`crate::dse::FleetDseEngine`]) pairs every candidate fleet with
+//! these policies and runs the same walk as its screening surrogate.
+//!
+//! Built-in policies are selected as plain-data [`DispatchPolicy`];
+//! custom ones implement [`Dispatcher`] and run through
+//! [`crate::fleet::FleetSimulator::simulate_with`]:
+//!
+//! ```
+//! use herald_core::fleet::{ChipLoad, DispatchPolicy, FrameView};
+//!
+//! let mut dispatcher = DispatchPolicy::LeastLoaded.build();
+//! let loads = [
+//!     ChipLoad { free_at_s: 0.50, dispatched: 3 },
+//!     ChipLoad { free_at_s: 0.10, dispatched: 1 },
+//! ];
+//! let est = [0.01, 0.01];
+//! let frame = FrameView {
+//!     stream: 0,
+//!     seq: 0,
+//!     arrival_s: 0.20,
+//!     deadline_s: Some(0.05),
+//!     est_service_s: &est,
+//! };
+//! // Chip 1 drains its backlog first, so the frame routes there.
+//! assert_eq!(dispatcher.dispatch(&frame, &loads), 1);
+//! ```
 
 use serde::{Deserialize, Serialize};
 

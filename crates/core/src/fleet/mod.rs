@@ -25,6 +25,14 @@
 //! workers interleave, and a 1-chip fleet reproduces the single-chip
 //! simulator exactly. The ergonomic entry point is
 //! `herald::Experiment::fleet` in the umbrella crate.
+//!
+//! One layer up, the fleet-composition search
+//! ([`crate::dse::FleetDseEngine`]) treats this whole module as its
+//! evaluation oracle: it enumerates *which* [`FleetConfig`]s to build
+//! (from a menu of chip designs, under an area budget) and pairs them
+//! with these dispatch policies, pruning candidates it can prove (or
+//! predict) redundant before handing the survivors to
+//! [`FleetSimulator`].
 
 mod config;
 mod dispatch;
@@ -37,4 +45,5 @@ pub use dispatch::{
     RoundRobin,
 };
 pub use report::{DroppedFrame, FleetReport, FrameAssignment};
+pub(crate) use sim::service_estimates_with;
 pub use sim::FleetSimulator;

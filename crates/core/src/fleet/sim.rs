@@ -169,31 +169,24 @@ impl<'a> FleetSimulator<'a> {
         let horizon = scenario.horizon_s();
         let num_streams = scenario.streams().len();
 
-        // The workload versions each stream steps through: its initial
-        // workload, then one version per swap inside the horizon (the
-        // same filter the single-chip engine applies to swap events).
-        let versions: Vec<Vec<&MultiDnnWorkload>> = scenario
-            .streams()
-            .iter()
-            .map(|s| {
-                let mut v = vec![s.workload()];
-                v.extend(
-                    s.swaps()
-                        .iter()
-                        .filter(|sw| sw.at_s < horizon)
-                        .map(|sw| &sw.workload),
-                );
-                v
-            })
-            .collect();
-
         // Service estimates feed the dispatcher's backlog model; skip
         // the (one schedule per chip x workload version) cost when the
         // policy is load-oblivious and nothing can be dropped.
         let needs_estimates =
             dispatcher.needs_estimates() || !matches!(self.admission, AdmissionPolicy::AcceptAll);
         let estimates = if needs_estimates {
-            Some(self.service_estimates(&versions)?)
+            let scheduler = HeraldScheduler::new(self.scheduler);
+            let cost = CostModel::default();
+            Some(service_estimates_with(
+                scenario,
+                self.fleet.chips(),
+                |graph, chip| {
+                    Ok(scheduler
+                        .schedule_and_simulate(graph, chip, &cost)
+                        .map_err(HeraldError::Simulation)?
+                        .total_latency_s())
+                },
+            )?)
         } else {
             None
         };
@@ -319,61 +312,6 @@ impl<'a> FleetSimulator<'a> {
         ))
     }
 
-    /// Estimated single-frame service time of every (stream, workload
-    /// version) on every chip: one schedule-and-replay per distinct
-    /// (workload, chip configuration) pair — identical chips and
-    /// structurally equal workloads (e.g. tenants of the same model)
-    /// share their estimate. Indexed `[stream][version][chip]`.
-    fn service_estimates(
-        &self,
-        versions: &[Vec<&MultiDnnWorkload>],
-    ) -> Result<Vec<Vec<Vec<f64>>>, HeraldError> {
-        let chips = self.fleet.chips();
-        let chip_canon: Vec<usize> = chips
-            .iter()
-            .enumerate()
-            .map(|(i, c)| chips[..i].iter().position(|p| p == c).unwrap_or(i))
-            .collect();
-        let mut distinct: Vec<&MultiDnnWorkload> = Vec::new();
-        let workload_index: Vec<Vec<usize>> = versions
-            .iter()
-            .map(|stream_versions| {
-                stream_versions
-                    .iter()
-                    .map(|w| match distinct.iter().position(|d| d == w) {
-                        Some(i) => i,
-                        None => {
-                            distinct.push(w);
-                            distinct.len() - 1
-                        }
-                    })
-                    .collect()
-            })
-            .collect();
-        let scheduler = HeraldScheduler::new(self.scheduler);
-        let cost = CostModel::default();
-        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(distinct.len());
-        for workload in &distinct {
-            let graph = TaskGraph::new(workload);
-            let mut per_chip = vec![0.0f64; chips.len()];
-            for (ci, chip) in chips.iter().enumerate() {
-                per_chip[ci] = if chip_canon[ci] < ci {
-                    per_chip[chip_canon[ci]]
-                } else {
-                    scheduler
-                        .schedule_and_simulate(&graph, chip, &cost)
-                        .map_err(HeraldError::Simulation)?
-                        .total_latency_s()
-                };
-            }
-            rows.push(per_chip);
-        }
-        Ok(workload_index
-            .into_iter()
-            .map(|stream_rows| stream_rows.into_iter().map(|d| rows[d].clone()).collect())
-            .collect())
-    }
-
     /// Simulates one chip's routed trace slice on a private context.
     fn run_chip(
         &self,
@@ -396,6 +334,76 @@ impl<'a> FleetSimulator<'a> {
             }
         }
     }
+}
+
+/// Estimated single-frame service time of every (stream, workload
+/// version) on every chip, indexed `[stream][version][chip]` — the one
+/// deduplication rule shared by the fleet simulator's dispatch walk and
+/// the fleet-DSE screening surrogate, so the two can never drift apart
+/// structurally. Versions are the stream's initial workload plus one
+/// entry per swap inside the horizon (the same filter the single-chip
+/// engine applies to swap events). Identical chips and structurally
+/// equal workloads (e.g. tenants of the same model) share a single call
+/// to `estimate`, which maps one (task graph, chip) pair to its
+/// single-frame latency.
+pub(crate) fn service_estimates_with(
+    scenario: &Scenario,
+    chips: &[AcceleratorConfig],
+    mut estimate: impl FnMut(&TaskGraph, &AcceleratorConfig) -> Result<f64, HeraldError>,
+) -> Result<Vec<Vec<Vec<f64>>>, HeraldError> {
+    let horizon = scenario.horizon_s();
+    let versions: Vec<Vec<&MultiDnnWorkload>> = scenario
+        .streams()
+        .iter()
+        .map(|s| {
+            let mut v = vec![s.workload()];
+            v.extend(
+                s.swaps()
+                    .iter()
+                    .filter(|sw| sw.at_s < horizon)
+                    .map(|sw| &sw.workload),
+            );
+            v
+        })
+        .collect();
+    let chip_canon: Vec<usize> = chips
+        .iter()
+        .enumerate()
+        .map(|(i, c)| chips[..i].iter().position(|p| p == c).unwrap_or(i))
+        .collect();
+    let mut distinct: Vec<&MultiDnnWorkload> = Vec::new();
+    let workload_index: Vec<Vec<usize>> = versions
+        .iter()
+        .map(|stream_versions| {
+            stream_versions
+                .iter()
+                .map(|w| match distinct.iter().position(|d| d == w) {
+                    Some(i) => i,
+                    None => {
+                        distinct.push(w);
+                        distinct.len() - 1
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(distinct.len());
+    for workload in &distinct {
+        let graph = TaskGraph::new(workload);
+        let mut per_chip = vec![0.0f64; chips.len()];
+        for (ci, chip) in chips.iter().enumerate() {
+            per_chip[ci] = if chip_canon[ci] < ci {
+                per_chip[chip_canon[ci]]
+            } else {
+                estimate(&graph, chip)?
+            };
+        }
+        rows.push(per_chip);
+    }
+    Ok(workload_index
+        .into_iter()
+        .map(|stream_rows| stream_rows.into_iter().map(|d| rows[d].clone()).collect())
+        .collect())
 }
 
 #[cfg(test)]

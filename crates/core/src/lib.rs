@@ -30,6 +30,12 @@
 //!    least-loaded, deadline-aware, optional admission control), merging
 //!    per-chip reports into a [`fleet::FleetReport`] — the serving-layer
 //!    view of a multi-accelerator deployment.
+//! 6. The [`dse::FleetDseEngine`] searches over fleet *compositions*:
+//!    multisets of chip designs × dispatch policies under an area
+//!    budget, evaluated with the fleet simulator (after equivalence-memo
+//!    and predicted-dominance pruning) and reduced to a Pareto frontier
+//!    over throughput, tail latency, deadline misses and silicon area
+//!    ([`dse::FleetSearchOutcome`]).
 //!
 //! Every fallible stage reports a typed [`error::HeraldError`]; the
 //! ergonomic entry point is the `herald::Experiment` facade in the

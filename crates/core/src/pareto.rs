@@ -1,9 +1,57 @@
-//! Pareto-frontier extraction over (latency, energy) design points.
+//! Pareto-frontier extraction: the classic (latency, energy) pairs of
+//! the single-chip DSE, plus the N-objective generalization the
+//! fleet-composition search minimizes over
+//! {-throughput, p99 latency, deadline-miss rate, area}.
 
 /// Whether point `p` is dominated by point `q` (both coordinates no worse,
 /// at least one strictly better; minimization in both dimensions).
 pub fn dominates(q: (f64, f64), p: (f64, f64)) -> bool {
     q.0 <= p.0 && q.1 <= p.1 && (q.0 < p.0 || q.1 < p.1)
+}
+
+/// Whether point `p` is dominated by point `q` in N dimensions (every
+/// coordinate no worse, at least one strictly better; minimization in
+/// all dimensions). Slices must have equal length.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dominates_nd(q: &[f64], p: &[f64]) -> bool {
+    assert_eq!(q.len(), p.len(), "dominance needs equal dimensionality");
+    q.iter().zip(p).all(|(a, b)| a <= b) && q.iter().zip(p).any(|(a, b)| a < b)
+}
+
+/// Indices of the non-dominated points among `points` (minimizing every
+/// coordinate), in input order — the deterministic tie-break: equal
+/// points do not dominate each other, so duplicates all survive, and
+/// the returned order is exactly the input order.
+///
+/// # Example
+///
+/// ```
+/// use herald_core::pareto::pareto_frontier_nd;
+///
+/// let pts = [
+///     vec![1.0, 5.0, 0.0],
+///     vec![2.0, 2.0, 0.0], // frontier
+///     vec![3.0, 3.0, 0.0], // dominated by the previous point
+///     vec![3.0, 3.0, -1.0],
+/// ];
+/// assert_eq!(pareto_frontier_nd(&pts), vec![0, 1, 3]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the points have differing dimensionality.
+pub fn pareto_frontier_nd(points: &[Vec<f64>]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| {
+            !points
+                .iter()
+                .enumerate()
+                .any(|(j, q)| j != i && dominates_nd(q, &points[i]))
+        })
+        .collect()
 }
 
 /// Indices of the non-dominated points among `points`
@@ -67,5 +115,47 @@ mod tests {
     #[test]
     fn empty_input_yields_empty_frontier() {
         assert!(pareto_frontier(&[]).is_empty());
+    }
+
+    #[test]
+    fn nd_frontier_agrees_with_2d_on_pairs() {
+        let pts_2d = [(1.0, 5.0), (2.0, 2.0), (3.0, 3.0), (5.0, 1.0)];
+        let pts_nd: Vec<Vec<f64>> = pts_2d.iter().map(|&(a, b)| vec![a, b]).collect();
+        assert_eq!(pareto_frontier_nd(&pts_nd), pareto_frontier(&pts_2d));
+    }
+
+    #[test]
+    fn nd_frontier_keeps_points_incomparable_in_any_dimension() {
+        // Third coordinate rescues an otherwise-dominated point.
+        let pts = [
+            vec![1.0, 1.0, 5.0],
+            vec![2.0, 2.0, 1.0],
+            vec![2.0, 2.0, 6.0],
+        ];
+        assert_eq!(pareto_frontier_nd(&pts), vec![0, 1]);
+    }
+
+    #[test]
+    fn nd_duplicates_survive_in_input_order() {
+        let pts = [vec![1.0, 1.0], vec![1.0, 1.0], vec![0.5, 2.0]];
+        assert_eq!(pareto_frontier_nd(&pts), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn nd_dominance_requires_strict_improvement() {
+        assert!(!dominates_nd(&[1.0, 1.0], &[1.0, 1.0]));
+        assert!(dominates_nd(&[1.0, 1.0], &[1.0, 2.0]));
+        assert!(!dominates_nd(&[0.5, 3.0], &[1.0, 2.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal dimensionality")]
+    fn nd_dimension_mismatch_is_rejected() {
+        let _ = dominates_nd(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn nd_empty_input_yields_empty_frontier() {
+        assert!(pareto_frontier_nd(&[]).is_empty());
     }
 }

@@ -25,7 +25,10 @@
 
 use herald_arch::{AcceleratorClass, AcceleratorConfig, HardwareResources, Partition};
 use herald_core::ctx::EvalContext;
-use herald_core::dse::{DesignPoint, DseConfig, DseEngine, SearchStrategy};
+use herald_core::dse::{
+    DesignPoint, DseConfig, DseEngine, FleetDseConfig, FleetDseEngine, FleetSearchOutcome,
+    SearchStrategy,
+};
 use herald_core::error::HeraldError;
 use herald_core::fleet::{
     AdmissionPolicy, DispatchPolicy, FleetConfig, FleetReport, FleetSimulator,
@@ -63,6 +66,7 @@ pub struct Experiment {
     reschedule: ReschedulePolicy,
     dispatcher: DispatchPolicy,
     admission: AdmissionPolicy,
+    admission_explicit: bool,
 }
 
 impl Experiment {
@@ -82,6 +86,7 @@ impl Experiment {
             reschedule: ReschedulePolicy::default(),
             dispatcher: DispatchPolicy::default(),
             admission: AdmissionPolicy::default(),
+            admission_explicit: false,
         }
     }
 
@@ -98,6 +103,11 @@ impl Experiment {
     /// give every chip worker its own private context (chip isolation
     /// is what makes a [`FleetReport`] independent of thread
     /// interleaving), so an attached context is not consulted there.
+    /// [`Experiment::fleet_search`] uses the context for its menu
+    /// derivation and screening estimates but inherits the same
+    /// per-chip isolation for the full simulations — so a context
+    /// carrying a non-default cost model skews screening (pruning
+    /// quality) without ever changing the reported simulated metrics.
     #[must_use]
     pub fn with_context(mut self, ctx: EvalContext) -> Self {
         self.ctx = Some(ctx);
@@ -128,6 +138,7 @@ impl Experiment {
     #[must_use]
     pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
         self.admission = policy;
+        self.admission_explicit = true;
         self
     }
 
@@ -253,13 +264,7 @@ impl Experiment {
                 workload: self.workload.name().to_string(),
             });
         }
-        if self.fast && !self.scheduler_explicit {
-            self.dse.scheduler.post_process = DseConfig::fast().scheduler.post_process;
-        }
-        if let Some(metric) = self.metric {
-            self.dse.metric = metric;
-            self.dse.scheduler.metric = metric;
-        }
+        self.normalize();
         let ctx = self.ctx.clone().unwrap_or_default();
         let engine = DseEngine::new(self.dse);
         if let Some(config) = self.fixed {
@@ -339,13 +344,7 @@ impl Experiment {
     /// * [`HeraldError::Simulation`] — a schedule failed to replay
     ///   (indicates a scheduler bug).
     pub fn scenario(mut self, scenario: &Scenario) -> Result<StreamOutcome, HeraldError> {
-        if self.fast && !self.scheduler_explicit {
-            self.dse.scheduler.post_process = DseConfig::fast().scheduler.post_process;
-        }
-        if let Some(metric) = self.metric {
-            self.dse.metric = metric;
-            self.dse.scheduler.metric = metric;
-        }
+        self.normalize();
         let ctx = self.ctx.clone().unwrap_or_default();
         let config = match self.fixed.take() {
             Some(config) => config,
@@ -424,13 +423,7 @@ impl Experiment {
         fleet: &FleetConfig,
         scenario: &Scenario,
     ) -> Result<FleetOutcome, HeraldError> {
-        if self.fast && !self.scheduler_explicit {
-            self.dse.scheduler.post_process = DseConfig::fast().scheduler.post_process;
-        }
-        if let Some(metric) = self.metric {
-            self.dse.metric = metric;
-            self.dse.scheduler.metric = metric;
-        }
+        self.normalize();
         let report = FleetSimulator::new(fleet)
             .with_scheduler(self.dse.scheduler)
             .with_metric(self.dse.metric)
@@ -445,6 +438,149 @@ impl Experiment {
             metric: self.dse.metric,
             report,
         })
+    }
+
+    /// Searches fleet *compositions* for a scenario: which chips to
+    /// build, how many, and which dispatch policy to run — the design
+    /// layer above [`Experiment::fleet`], which simulates one given
+    /// fleet.
+    ///
+    /// `menu` is the set of chip designs compositions draw from. Pass
+    /// an explicit menu to search over hand-picked designs, or an
+    /// *empty* menu to derive one from the builder: a fixed accelerator
+    /// ([`Experiment::on_accelerator`]) becomes a 1-entry menu, while a
+    /// class budget plus styles first runs the single-chip partition
+    /// search against the scenario's aggregate design workload (exactly
+    /// like [`Experiment::scenario`]) and uses the latency/energy
+    /// Pareto-frontier designs as the menu, capped at the eight best
+    /// under the search metric so a fine-granularity frontier cannot
+    /// explode the composition space. Either way the single-chip
+    /// search and the fleet search share this experiment's
+    /// [`EvalContext`], so service estimates reuse the schedules the
+    /// menu search already computed.
+    ///
+    /// Chip-count range, area budget, policy list, admission control —
+    /// and the search's own scheduler and metric — come from `search`;
+    /// knobs *explicitly* set on the builder override them
+    /// (`.scheduler(...)` wins verbatim, `.fast()` applies its
+    /// post-processing shortcut, `.metric(...)` wins over both, and a
+    /// non-default `.admission(...)` replaces the search's admission,
+    /// matching [`Experiment::fleet`]), exactly as those knobs behave
+    /// in [`Experiment::run`]. The one exception is
+    /// [`Experiment::dispatcher`]: it selects the *single* policy a
+    /// `fleet()` run uses, so it never narrows the search — the policy
+    /// list explored is always `search.policies`. A search config
+    /// passed untouched is never silently rewritten. The result is the
+    /// engine's [`FleetSearchOutcome`]: the simulated candidates, the
+    /// {throughput, p99, miss rate, area} Pareto frontier, and the
+    /// pruning statistics.
+    ///
+    /// # Errors
+    ///
+    /// * [`HeraldError::FleetSearch`] — degenerate search description
+    ///   (see [`FleetDseEngine::search_in`]);
+    /// * the same validation and search errors as [`Experiment::run`]
+    ///   when a menu must be derived;
+    /// * [`HeraldError::Scenario`] / [`HeraldError::Fleet`] /
+    ///   [`HeraldError::Simulation`] /
+    ///   [`HeraldError::WorkerPanicked`] — propagated from the fleet
+    ///   evaluations.
+    pub fn fleet_search(
+        mut self,
+        mut search: FleetDseConfig,
+        menu: &[AcceleratorConfig],
+        scenario: &Scenario,
+    ) -> Result<FleetSearchOutcome, HeraldError> {
+        self.normalize();
+        // Builder knobs override the search config only when the user
+        // explicitly set them; an untouched FleetDseConfig (e.g.
+        // FleetDseConfig::fast with its post_process shortcut) is
+        // respected verbatim.
+        if self.scheduler_explicit {
+            search.scheduler = self.dse.scheduler;
+        } else if self.fast {
+            search.scheduler.post_process = DseConfig::fast().scheduler.post_process;
+        }
+        if let Some(metric) = self.metric {
+            search.metric = metric;
+            search.scheduler.metric = metric;
+        }
+        // Admission has the same meaning in both places, so an
+        // explicitly set builder admission overrides the search config
+        // — matching `.fleet()`, and `.admission(AcceptAll)` really
+        // does disable a search config's gate. The single
+        // `.dispatcher()` knob does NOT narrow the search: the policy
+        // *list* to explore is the search's own `policies`.
+        if self.admission_explicit {
+            search.admission = self.admission;
+        }
+        let ctx = self.ctx.clone().unwrap_or_default();
+        let derived: Vec<AcceleratorConfig>;
+        let menu: &[AcceleratorConfig] = if menu.is_empty() {
+            derived = match self.fixed.take() {
+                Some(config) => vec![config],
+                None => {
+                    // The same delegation `scenario()` uses: search the
+                    // scenario's aggregate design workload, sharing this
+                    // call's context so the fleet search's service
+                    // estimates hit the schedules computed here.
+                    let design = scenario.design_workload();
+                    if design.total_layers() == 0 {
+                        return Err(HeraldError::Scenario {
+                            reason: format!(
+                                "scenario {:?} has no layers to design for",
+                                scenario.name()
+                            ),
+                        });
+                    }
+                    let mut single = self.clone();
+                    single.workload = design;
+                    single.ctx = Some(ctx.clone());
+                    let outcome = single.run()?;
+                    // A fine search granularity can put dozens of
+                    // designs on the latency/energy frontier, and the
+                    // composition space grows combinatorially in the
+                    // menu — cap the derived menu at the best designs
+                    // under the search metric (stable order, so the
+                    // selection is deterministic).
+                    let metric = search.metric;
+                    let mut pareto = outcome.pareto();
+                    pareto
+                        .sort_by(|a, b| a.report.score(metric).total_cmp(&b.report.score(metric)));
+                    const MENU_CAP: usize = 8;
+                    let mut configs: Vec<AcceleratorConfig> = Vec::new();
+                    for point in pareto {
+                        if !configs.contains(&point.config) {
+                            configs.push(point.config.clone());
+                            if configs.len() == MENU_CAP {
+                                break;
+                            }
+                        }
+                    }
+                    configs
+                }
+            };
+            &derived
+        } else {
+            menu
+        };
+        FleetDseEngine::new(search).search_in(&ctx, scenario, menu)
+    }
+
+    /// Applies the deferred builder knobs — the `fast` preset's
+    /// post-processing shortcut (which yields to an explicit
+    /// scheduler) and the `metric` override (which wins over metrics
+    /// embedded in scheduler/DSE configs regardless of call order) —
+    /// shared by every finishing method so `run`, `scenario`, `fleet`
+    /// and `fleet_search` can never diverge. Idempotent.
+    fn normalize(&mut self) {
+        if self.fast && !self.scheduler_explicit {
+            self.dse.scheduler.post_process = DseConfig::fast().scheduler.post_process;
+        }
+        if let Some(metric) = self.metric {
+            self.dse.metric = metric;
+            self.dse.scheduler.metric = metric;
+        }
     }
 }
 
@@ -939,6 +1075,94 @@ mod tests {
         );
         let json = one.to_json().unwrap();
         assert!(json.contains("least-loaded"));
+    }
+
+    #[test]
+    fn fleet_search_with_explicit_menu_finds_a_frontier() {
+        let scenario = herald_workloads::fleet_mix_stream(3, 90.0, 0.05, 0.06, 3);
+        let res = AcceleratorClass::Edge.resources();
+        let menu = [
+            AcceleratorConfig::fda(DataflowStyle::Nvdla, res),
+            AcceleratorConfig::fda(DataflowStyle::ShiDianNao, res),
+        ];
+        let outcome = Experiment::new(scenario.design_workload())
+            .fast()
+            .fleet_search(FleetDseConfig::fast(), &menu, &scenario)
+            .unwrap();
+        assert!(!outcome.frontier().is_empty());
+        assert_eq!(outcome.menu().len(), 2);
+        assert!(outcome.stats().skipped() > 0);
+    }
+
+    #[test]
+    fn fleet_search_derives_its_menu_from_the_single_chip_search() {
+        let scenario = herald_workloads::fleet_mix_stream(2, 60.0, 0.1, 0.05, 9);
+        let ctx = EvalContext::new();
+        let outcome = Experiment::new(scenario.design_workload())
+            .on(AcceleratorClass::Edge)
+            .with_styles(styles())
+            .fast()
+            .with_context(ctx.clone())
+            .fleet_search(FleetDseConfig::fast(), &[], &scenario)
+            .unwrap();
+        // The menu is the single-chip pareto: HDA designs only.
+        assert!(!outcome.menu().is_empty());
+        assert!(outcome.menu().iter().all(|n| n.contains("HDA")));
+        assert!(!outcome.frontier().is_empty());
+        // The single-chip search warmed the shared context.
+        assert!(ctx.stats().scheduler_runs() > 0);
+    }
+
+    #[test]
+    fn fleet_search_respects_the_search_configs_scheduler() {
+        // A FleetDseConfig passed untouched must reach the engine
+        // verbatim: the facade with no explicit builder knobs is
+        // bit-identical to driving FleetDseEngine directly.
+        let scenario = herald_workloads::fleet_mix_stream(2, 70.0, 0.08, 0.05, 21);
+        let res = AcceleratorClass::Edge.resources();
+        let menu = [
+            AcceleratorConfig::fda(DataflowStyle::Nvdla, res),
+            AcceleratorConfig::fda(DataflowStyle::Eyeriss, res),
+        ];
+        let direct = herald_core::dse::FleetDseEngine::new(FleetDseConfig::fast())
+            .search(&scenario, &menu)
+            .unwrap();
+        let via_facade = Experiment::new(scenario.design_workload())
+            .fleet_search(FleetDseConfig::fast(), &menu, &scenario)
+            .unwrap();
+        assert_eq!(direct, via_facade);
+    }
+
+    #[test]
+    fn fleet_search_honors_the_builders_admission_policy() {
+        // A non-default builder admission reaches every candidate
+        // evaluation, matching `.fleet()`: under overload with a tight
+        // deadline, the gated search reports drops.
+        let chip = AcceleratorConfig::fda(DataflowStyle::Nvdla, AcceleratorClass::Edge.resources());
+        let scenario = Scenario::new("overload", 0.02)
+            .stream(StreamSpec::periodic("s", workload(), 400.0).with_deadline(0.003));
+        let outcome = Experiment::new(workload())
+            .admission(AdmissionPolicy::DeadlineSlack { slack: 1.0 })
+            .fleet_search(FleetDseConfig::fast(), &[chip], &scenario)
+            .unwrap();
+        assert!(
+            outcome.points().iter().any(|p| p.drop_rate > 0.0),
+            "builder admission must gate the searched candidates"
+        );
+    }
+
+    #[test]
+    fn fleet_search_with_fixed_target_uses_a_one_chip_menu() {
+        let scenario = herald_workloads::fleet_mix_stream(2, 60.0, 0.1, 0.05, 4);
+        let outcome = Experiment::new(scenario.design_workload())
+            .on_accelerator(AcceleratorConfig::fda(
+                DataflowStyle::Nvdla,
+                AcceleratorClass::Edge.resources(),
+            ))
+            .fleet_search(FleetDseConfig::fast(), &[], &scenario)
+            .unwrap();
+        assert_eq!(outcome.menu(), ["FDA-NVDLA"]);
+        assert!(!outcome.frontier().is_empty());
     }
 
     #[test]

@@ -108,6 +108,35 @@
 //! # }
 //! ```
 
+//! # Fleet design-space exploration
+//!
+//! [`Experiment::fleet_search`] searches over fleet *compositions*:
+//! which chips (from a menu of designs), how many, and which dispatch
+//! policy, under a silicon-area budget. Candidates are pruned by an
+//! equivalence memo and predicted-vector dominance before the
+//! survivors are fully simulated, and the result is a deterministic
+//! Pareto frontier over {throughput, p99 latency, deadline-miss rate,
+//! area} ([`core::dse::FleetSearchOutcome`]).
+//!
+//! ```
+//! use herald::prelude::*;
+//!
+//! # fn main() -> Result<(), HeraldError> {
+//! let scenario = herald::workloads::fleet_mix_stream(2, 60.0, 0.1, 0.05, 7);
+//! let res = AcceleratorClass::Edge.resources();
+//! let menu = [
+//!     AcceleratorConfig::fda(DataflowStyle::Nvdla, res),
+//!     AcceleratorConfig::fda(DataflowStyle::ShiDianNao, res),
+//! ];
+//! let outcome = Experiment::new(scenario.design_workload())
+//!     .fast()
+//!     .fleet_search(FleetDseConfig::fast(), &menu, &scenario)?;
+//! assert!(!outcome.frontier().is_empty());
+//! assert!(outcome.stats().skipped() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -132,7 +161,10 @@ pub mod prelude {
     };
     pub use herald_core::{
         ctx::{EvalContext, EvalSnapshot, EvalStats},
-        dse::{DseConfig, DseEngine, DseOutcome, SearchStrategy},
+        dse::{
+            DseConfig, DseEngine, DseOutcome, FleetCandidate, FleetDseConfig, FleetDseEngine,
+            FleetSearchOutcome, FleetSearchStats, SearchStrategy,
+        },
         error::HeraldError,
         exec::{ExecutionReport, ScheduleSimulator},
         fleet::{

@@ -1,0 +1,195 @@
+//! Property-style tests over the fleet-composition search: for
+//! seeded-random scenarios and chip menus, the Pareto frontier is
+//! non-empty and mutually non-dominated, every non-frontier simulated
+//! candidate is dominated by some frontier point, the pruning counters
+//! account for every enumerated candidate, the budget filter is exact,
+//! and the whole outcome is bit-identical across repeated searches.
+//!
+//! The build environment cannot fetch `proptest`, so cases are generated
+//! deterministically from the same SplitMix64 PRNG the DSE uses — every
+//! run exercises the identical case set, which also makes failures
+//! trivially reproducible.
+
+use herald::prelude::*;
+use herald_core::pareto::dominates_nd;
+use herald_core::rng::SplitMix64;
+use herald_workloads::Scenario;
+
+const CASES: usize = 5;
+
+/// Seeded fleet-mix scenarios with varying tenancy, load and deadlines.
+fn gen_scenario(rng: &mut SplitMix64) -> Scenario {
+    let seed = rng.next_u64();
+    herald::workloads::fleet_mix_stream(
+        2 + rng.gen_range(0, 3),
+        50.0 + rng.gen_range(0, 4) as f64 * 25.0,
+        0.02 + rng.gen_range(0, 3) as f64 * 0.02,
+        0.06,
+        seed,
+    )
+}
+
+/// Seeded menus of 2-3 chip designs over two provisioning points.
+fn gen_menu(rng: &mut SplitMix64) -> Vec<AcceleratorConfig> {
+    let edge = AcceleratorClass::Edge.resources();
+    let small = HardwareResources::new(512, 8.0, 2 << 20);
+    let styles = [
+        DataflowStyle::Nvdla,
+        DataflowStyle::ShiDianNao,
+        DataflowStyle::Eyeriss,
+    ];
+    let mut menu = vec![
+        AcceleratorConfig::fda(styles[rng.gen_range(0, 3)], edge),
+        AcceleratorConfig::fda(styles[rng.gen_range(0, 3)], small),
+    ];
+    if rng.gen_range(0, 2) == 1 {
+        menu.push(AcceleratorConfig::rda(small));
+    }
+    menu
+}
+
+fn search(scenario: &Scenario, menu: &[AcceleratorConfig]) -> FleetSearchOutcome {
+    FleetDseEngine::new(FleetDseConfig::fast())
+        .search(scenario, menu)
+        .expect("fleet search succeeds on generated cases")
+}
+
+#[test]
+fn frontier_points_are_mutually_non_dominated_and_cover_the_rest() {
+    let mut rng = SplitMix64::seed_from_u64(0xF1EE7);
+    for case in 0..CASES {
+        let scenario = gen_scenario(&mut rng);
+        let menu = gen_menu(&mut rng);
+        let outcome = search(&scenario, &menu);
+        let frontier = outcome.frontier();
+        assert!(!frontier.is_empty(), "case {case}: empty frontier");
+        // No frontier point is dominated by any simulated point.
+        for f in &frontier {
+            for p in outcome.points() {
+                assert!(
+                    !dominates_nd(&p.objectives(), &f.objectives()),
+                    "case {case}: frontier point {} ({:?}) dominated by {} ({:?})",
+                    f.composition,
+                    f.policy,
+                    p.composition,
+                    p.policy
+                );
+            }
+        }
+        // Every non-frontier simulated candidate is dominated by some
+        // frontier point (dominance is a strict partial order, so every
+        // dominated point has a maximal dominator on the frontier).
+        for (i, p) in outcome.points().iter().enumerate() {
+            if outcome.frontier_indices().contains(&i) {
+                continue;
+            }
+            assert!(
+                frontier
+                    .iter()
+                    .any(|f| dominates_nd(&f.objectives(), &p.objectives())),
+                "case {case}: non-frontier point {} ({:?}) undominated",
+                p.composition,
+                p.policy
+            );
+        }
+    }
+}
+
+#[test]
+fn searches_are_bit_identical_across_runs() {
+    let mut rng = SplitMix64::seed_from_u64(0xDE7E12);
+    for case in 0..CASES {
+        let scenario = gen_scenario(&mut rng);
+        let menu = gen_menu(&mut rng);
+        let a = search(&scenario, &menu);
+        let b = search(&scenario, &menu);
+        assert_eq!(a, b, "case {case}: outcome drifted between runs");
+    }
+}
+
+#[test]
+fn pruning_counters_account_for_every_candidate() {
+    let mut rng = SplitMix64::seed_from_u64(0xACC0);
+    for case in 0..CASES {
+        let scenario = gen_scenario(&mut rng);
+        let menu = gen_menu(&mut rng);
+        let outcome = search(&scenario, &menu);
+        let stats = outcome.stats();
+        // Candidates = compositions-in-budget x policies, exactly
+        // partitioned into memo skips, dominance skips and simulations.
+        let m = menu.len();
+        let compositions = m + m * (m + 1) / 2; // sizes 1 and 2
+        assert_eq!(
+            stats.candidates(),
+            (compositions - stats.budget_filtered) * DispatchPolicy::ALL.len(),
+            "case {case}"
+        );
+        assert_eq!(stats.simulated, outcome.points().len(), "case {case}");
+        assert_eq!(
+            stats.skipped() + stats.simulated,
+            stats.candidates(),
+            "case {case}"
+        );
+        // No budget configured: nothing may be budget-filtered.
+        assert_eq!(stats.budget_filtered, 0, "case {case}");
+    }
+}
+
+#[test]
+fn budget_filter_and_best_under_budget_are_exact() {
+    let mut rng = SplitMix64::seed_from_u64(0xB0D6E7);
+    for case in 0..CASES {
+        let scenario = gen_scenario(&mut rng);
+        let menu = gen_menu(&mut rng);
+        let min_area = menu
+            .iter()
+            .map(AcceleratorConfig::area_mm2)
+            .fold(f64::INFINITY, f64::min);
+        let max_area = menu
+            .iter()
+            .map(AcceleratorConfig::area_mm2)
+            .fold(0.0, f64::max);
+        // Budget admitting every single chip but not every pair.
+        let budget = max_area + min_area / 2.0;
+        let mut cfg = FleetDseConfig::fast();
+        cfg.max_area_mm2 = Some(budget);
+        let outcome = FleetDseEngine::new(cfg)
+            .search(&scenario, &menu)
+            .expect("budgeted search succeeds");
+        // Exactness: every simulated point fits, and the filtered count
+        // matches a direct enumeration of over-budget compositions.
+        for p in outcome.points() {
+            assert!(p.area_mm2 <= budget, "case {case}: {}", p.composition);
+        }
+        let mut over = 0usize;
+        for i in 0..menu.len() {
+            for j in i..menu.len() {
+                if menu[i].area_mm2() + menu[j].area_mm2() > budget {
+                    over += 1;
+                }
+            }
+        }
+        assert_eq!(outcome.stats().budget_filtered, over, "case {case}");
+        // best_under_budget returns an in-budget point minimizing the
+        // documented (miss, p99, -throughput, area) key.
+        let best = outcome
+            .best_under_budget(budget)
+            .expect("every single chip fits");
+        for p in outcome.points() {
+            if p.area_mm2 > budget {
+                continue;
+            }
+            let beats = p.deadline_miss_rate < best.deadline_miss_rate
+                || (p.deadline_miss_rate == best.deadline_miss_rate
+                    && p.p99_latency_s < best.p99_latency_s)
+                || (p.deadline_miss_rate == best.deadline_miss_rate
+                    && p.p99_latency_s == best.p99_latency_s
+                    && p.throughput_fps > best.throughput_fps);
+            assert!(
+                !beats,
+                "case {case}: {} beats best_under_budget {}",
+                p.composition, best.composition
+            );
+        }
+    }
+}
