@@ -18,11 +18,11 @@
 //! diffs this output field by field across PRs.
 
 use herald::prelude::*;
-use herald_bench::{evaluate_fixed, fast_mode, search_hda, stream_fixed};
+use herald_bench::{bench_args, evaluate_fixed, search_hda, stream_fixed};
 
 fn main() -> Result<(), HeraldError> {
-    let fast = fast_mode();
-    let json_mode = std::env::args().any(|a| a == "--json");
+    let args = bench_args();
+    let (fast, json_mode) = (args.fast, args.json);
     let classes: &[AcceleratorClass] = if fast {
         &[AcceleratorClass::Edge]
     } else {

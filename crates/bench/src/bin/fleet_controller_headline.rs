@@ -1,0 +1,195 @@
+//! **Fleet controller headline** — closed-loop fleet control over a
+//! diurnal serving ramp: a 2-chip Maelstrom-HDA fleet rests at ~55% of
+//! its capacity but is driven to ~160% at the trace's midday peak. The
+//! static fleet (the PR-4 baseline, bit-identical to `FleetSimulator`)
+//! drowns in the transient; the threshold autoscaler grows the roster
+//! from a one-chip menu under a 4-chip area budget and must recover,
+//! and the predictive repartitioner reshapes/migrates under an explicit
+//! reconfiguration cost model. Reports transient depth (worst
+//! cadence-window miss rate), recovery time, reconfiguration cost and
+//! the applied-action audit trail for each policy, and pins the
+//! controlled run repeat-identical across two executions.
+//!
+//! Pass `--json` to emit a machine-readable record (per-policy
+//! transient/recovery rows, the comparison verdicts, the repeat flag)
+//! for baseline tracking across PRs (`BENCH_pr6.json`).
+
+use herald::prelude::*;
+use herald_bench::{bench_args, utilization_fps_scale};
+use herald_workloads::{diurnal_ramp_trace, fleet_mix_stream};
+use std::time::Instant;
+
+fn main() -> Result<(), HeraldError> {
+    let args = bench_args();
+    let (fast, json_mode) = (args.fast, args.json);
+    let tenants: usize = if fast { 4 } else { 8 };
+    let frames_target: f64 = if fast { 160.0 } else { 480.0 };
+    let epochs_target: f64 = if fast { 6.0 } else { 12.0 };
+    let seed = 2026u64;
+    let t0 = Instant::now();
+
+    // The serving chip: the paper's Maelstrom HDA (evenly partitioned
+    // NVDLA + Shi-diannao). The controller varies the *fleet* — and,
+    // for the repartitioner, the chip's internal split — not the menu.
+    let res = AcceleratorClass::Edge.resources();
+    let chip = AcceleratorConfig::maelstrom(res, Partition::even(2, res.pes, res.bandwidth_gbps))?;
+
+    // Calibration: one chip's serial capacity on the tenant mix.
+    let unit = fleet_mix_stream(tenants, 1.0, 1.0, 1.0, seed);
+    let chip_capacity_fps = utilization_fps_scale(&unit, &chip, 1.0, fast)?;
+    let service_s = 1.0 / chip_capacity_fps;
+
+    // The diurnal ramp, sized off the 2-chip static fleet: comfortable
+    // at the trough, ~1.6x capacity at the peak.
+    let base_chips = 2usize;
+    let trough_fps = 0.55 * base_chips as f64 * chip_capacity_fps;
+    let peak_fps = 1.6 * base_chips as f64 * chip_capacity_fps;
+    // sin^2 averages to 1/2 over the horizon.
+    let mean_fps = 0.5 * (trough_fps + peak_fps);
+    let deadline_s = 3.0 * service_s;
+    let horizon_s = frames_target / mean_fps;
+    let cadence_s = horizon_s / epochs_target;
+    let scenario = diurnal_ramp_trace(tenants, trough_fps, peak_fps, deadline_s, horizon_s, seed);
+    // Headline runs skip the per-frame routing/drop audit trail; every
+    // reported number is a scalar aggregate or a controller event.
+    let fleet = FleetConfig::homogeneous(&chip, base_chips).with_audit_trail(false);
+
+    let control_for = |policy: ControllerPolicy| {
+        ControllerConfig::new(cadence_s, policy)
+            .with_menu(vec![chip.clone()])
+            .with_area_budget(4.0 * chip.area_mm2())
+            .with_costs(2.0 * service_s, 0.5 * service_s, service_s)
+    };
+
+    if !json_mode {
+        println!(
+            "fleet controller headline: {} ({tenants} tenants, {trough_fps:.1}->{peak_fps:.1} \
+             fps diurnal, deadline {deadline_s:.4} s, horizon {horizon_s:.3} s, cadence \
+             {cadence_s:.3} s) on {base_chips}x {}",
+            scenario.name(),
+            chip.name()
+        );
+    }
+
+    let run = |policy: ControllerPolicy| -> Result<ControlledFleetOutcome, HeraldError> {
+        Experiment::new(scenario.design_workload())
+            .dispatcher(DispatchPolicy::LeastLoaded)
+            .controller(&fleet, &control_for(policy), &scenario)
+    };
+
+    // Transient threshold for "recovered": the autoscaler's own
+    // scale-up band — a window missing less than this needs no action.
+    let recovered_below = 0.10;
+    let mut policy_rows = Vec::new();
+    let mut row_of = |outcome: &ControlledFleetOutcome| {
+        let r = outcome.report();
+        let peak = r.peak_window(cadence_s);
+        let recovery = r.recovery_s(cadence_s, recovered_below);
+        let (peak_miss, peak_t0) = peak.map_or((0.0, 0.0), |w| (w.miss_rate, w.t0_s));
+        if !json_mode {
+            println!(
+                "  {:<26} miss {:>5.1}%, transient depth {:>5.1}% (window at {peak_t0:.3} s), \
+                 recovery {}, {} actions ({} proposed), reconfig cost {:.4} s, {} chips",
+                outcome.controller,
+                r.fleet().deadline_miss_rate() * 100.0,
+                peak_miss * 100.0,
+                recovery.map_or("never".to_string(), |s| format!("{s:.3} s")),
+                outcome.actions_applied(),
+                r.events().len(),
+                r.total_reconfiguration_cost_s(),
+                outcome.chips.len(),
+            );
+        }
+        policy_rows.push(serde_json::json!({
+            "controller": outcome.controller.clone(),
+            "deadline_miss_rate": r.fleet().deadline_miss_rate(),
+            "throughput_fps": r.fleet().throughput_fps(),
+            "transient_depth": peak_miss,
+            "transient_window_t0_s": peak_t0,
+            "recovery_s": recovery.map_or(serde_json::Value::Null, serde_json::Value::Float),
+            "epochs": r.epochs(),
+            "actions_proposed": r.events().len(),
+            "actions_applied": outcome.actions_applied(),
+            "reconfiguration_cost_s": r.total_reconfiguration_cost_s(),
+            "final_chips": outcome.chips.len(),
+            "frames": r.fleet().frames_total(),
+        }));
+        (r.fleet().deadline_miss_rate(), peak_miss)
+    };
+
+    let static_run = run(ControllerPolicy::Static)?;
+    let auto_run = run(ControllerPolicy::autoscaler())?;
+    let repart_run = run(ControllerPolicy::repartitioner())?;
+    let (static_miss, static_depth) = row_of(&static_run);
+    let (auto_miss, auto_depth) = row_of(&auto_run);
+    let (repart_miss, _) = row_of(&repart_run);
+
+    // The static run must really be the uncontrolled PR-4 fleet.
+    let plain = Experiment::new(scenario.design_workload())
+        .dispatcher(DispatchPolicy::LeastLoaded)
+        .fleet(&fleet, &scenario)?;
+    let static_is_fleet = *static_run.report().fleet() == *plain.report();
+    assert!(
+        static_is_fleet,
+        "the static controller must be bit-identical to FleetSimulator"
+    );
+
+    // The autoscaler's whole point: shallower transient, lower overall
+    // miss rate than riding out the peak statically.
+    assert!(
+        auto_miss < static_miss,
+        "autoscaling must beat the static fleet on overall miss rate: \
+         {auto_miss:.4} vs {static_miss:.4}"
+    );
+    assert!(
+        auto_depth < static_depth,
+        "autoscaling must shrink the transient depth: {auto_depth:.4} vs {static_depth:.4}"
+    );
+
+    // Determinism: the controlled run is repeat-identical, decisions
+    // and all.
+    let again = run(ControllerPolicy::autoscaler())?;
+    let repeat_identical = again == auto_run;
+    assert!(repeat_identical, "controlled runs must be repeat-identical");
+
+    let wall_s = t0.elapsed().as_secs_f64();
+    if json_mode {
+        let record = serde_json::json!({
+            "bench": "fleet_controller_headline",
+            "fast": fast,
+            "wall_clock_s": wall_s,
+            "chip": chip.name(),
+            "base_chips": base_chips,
+            "tenants": tenants,
+            "trough_fps": trough_fps,
+            "peak_fps": peak_fps,
+            "deadline_s": deadline_s,
+            "horizon_s": horizon_s,
+            "cadence_s": cadence_s,
+            "recovered_below": recovered_below,
+            "policies": serde_json::Value::Seq(policy_rows),
+            "comparison": serde_json::json!({
+                "static_miss_rate": static_miss,
+                "autoscaler_miss_rate": auto_miss,
+                "repartitioner_miss_rate": repart_miss,
+                "static_transient_depth": static_depth,
+                "autoscaler_transient_depth": auto_depth,
+                "autoscaler_beats_static": auto_miss < static_miss,
+                "autoscaler_shrinks_transient": auto_depth < static_depth,
+            }),
+            "static_is_fleet_simulator": static_is_fleet,
+            "repeat_identical": repeat_identical,
+        });
+        println!("{}", record.to_json_pretty());
+    } else {
+        println!(
+            "\ntotal: autoscaler miss {:.1}% vs static {:.1}% (transient depth {:.1}% vs \
+             {:.1}%), static bit-identical to FleetSimulator\n(wall clock: {wall_s:.1}s)",
+            auto_miss * 100.0,
+            static_miss * 100.0,
+            auto_depth * 100.0,
+            static_depth * 100.0
+        );
+    }
+    Ok(())
+}

@@ -19,13 +19,13 @@
 //! (`BENCH_pr5.json`).
 
 use herald::prelude::*;
-use herald_bench::{fast_mode, utilization_fps_scale};
+use herald_bench::{bench_args, utilization_fps_scale};
 use herald_workloads::fleet_mix_stream;
 use std::time::Instant;
 
 fn main() -> Result<(), HeraldError> {
-    let fast = fast_mode();
-    let json_mode = std::env::args().any(|a| a == "--json");
+    let args = bench_args();
+    let (fast, json_mode) = (args.fast, args.json);
     let tenants: usize = if fast { 8 } else { 24 };
     let frames_target: f64 = if fast { 120.0 } else { 480.0 };
     let max_chips = if fast { 3 } else { 4 };

@@ -12,13 +12,13 @@
 //! baseline tracking across PRs (`BENCH_pr4.json`).
 
 use herald::prelude::*;
-use herald_bench::{fast_mode, utilization_fps_scale};
+use herald_bench::{bench_args, utilization_fps_scale};
 use herald_workloads::fleet_mix_stream;
 use std::time::Instant;
 
 fn main() -> Result<(), HeraldError> {
-    let fast = fast_mode();
-    let json_mode = std::env::args().any(|a| a == "--json");
+    let args = bench_args();
+    let (fast, json_mode) = (args.fast, args.json);
     let tenants: usize = if fast { 12 } else { 48 };
     let frames_target: f64 = if fast { 240.0 } else { 960.0 };
     let seed = 2024u64;

@@ -14,13 +14,13 @@
 //! baseline tracking across PRs.
 
 use herald::prelude::*;
-use herald_bench::{fast_mode, stream_fixed_timed, utilization_fps_scale};
+use herald_bench::{bench_args, stream_fixed_timed, utilization_fps_scale};
 use herald_workloads::Scenario;
 use std::time::Instant;
 
 fn main() -> Result<(), HeraldError> {
-    let fast = fast_mode();
-    let json_mode = std::env::args().any(|a| a == "--json");
+    let args = bench_args();
+    let (fast, json_mode) = (args.fast, args.json);
     let classes: &[AcceleratorClass] = if fast {
         &[AcceleratorClass::Edge]
     } else {

@@ -24,9 +24,12 @@
 //! | `stream_headline` | Streaming scenario suite (beyond-paper) |
 //! | `fleet_headline` | Multi-chip serving-layer scaling (beyond-paper) |
 //! | `fleet_dse_headline` | Fleet-composition Pareto search (beyond-paper) |
+//! | `fleet_controller_headline` | Closed-loop fleet control transients (beyond-paper) |
 //!
 //! Pass `--fast` to any binary for a coarse (seconds-scale) run; the
-//! default granularity reproduces the paper-scale sweeps.
+//! default granularity reproduces the paper-scale sweeps. The headline
+//! binaries also accept `--json` for a machine-readable record; both
+//! flags parse through the shared [`bench_args`] helper.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -82,9 +85,44 @@ pub fn smfda_configs(res: HardwareResources) -> Result<Vec<AcceleratorConfig>, H
         .collect()
 }
 
+/// The command-line flags shared by every experiment binary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// `--fast`: coarse, seconds-scale run instead of the paper-scale
+    /// sweep.
+    pub fast: bool,
+    /// `--json`: emit a machine-readable record instead of (or in
+    /// addition to) the human-readable tables.
+    pub json: bool,
+}
+
+/// Parses the shared `--fast` / `--json` flags from the process
+/// command line. Unknown arguments are ignored — each binary stays
+/// tolerant of harness-injected extras (e.g. a bare `--`).
+pub fn bench_args() -> BenchArgs {
+    bench_args_from(std::env::args())
+}
+
+/// [`bench_args`] over an explicit argument iterator (testable form).
+pub fn bench_args_from<I, S>(args: I) -> BenchArgs
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut parsed = BenchArgs::default();
+    for arg in args {
+        match arg.as_ref() {
+            "--fast" => parsed.fast = true,
+            "--json" => parsed.json = true,
+            _ => {}
+        }
+    }
+    parsed
+}
+
 /// Whether `--fast` was passed on the command line.
 pub fn fast_mode() -> bool {
-    std::env::args().any(|a| a == "--fast")
+    bench_args().fast
 }
 
 /// A facade builder preconfigured for the experiment binaries:
@@ -326,6 +364,18 @@ mod tests {
             vec![DataflowStyle::Nvdla, DataflowStyle::ShiDianNao]
         );
         assert_eq!(sets[3].len(), 3);
+    }
+
+    #[test]
+    fn bench_args_parse_shared_flags_and_ignore_extras() {
+        assert_eq!(bench_args_from(Vec::<&str>::new()), BenchArgs::default());
+        let both = bench_args_from(["bin", "--fast", "--json"]);
+        assert!(both.fast && both.json);
+        let fast_only = bench_args_from(["bin", "--fast", "--", "ignored"]);
+        assert!(fast_only.fast && !fast_only.json);
+        // Flags don't match on prefixes or repeats-with-suffixes.
+        let none = bench_args_from(["--fastest", "--json=1"]);
+        assert_eq!(none, BenchArgs::default());
     }
 
     #[test]

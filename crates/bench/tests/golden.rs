@@ -1,7 +1,8 @@
 //! Golden-file regression suite for the paper-figure binaries.
 //!
 //! `stream_headline --fast --json`, `fig13_workload_change --fast
-//! --json` and `fleet_dse_headline --fast --json` are fully
+//! --json`, `fleet_dse_headline --fast --json` and
+//! `fleet_controller_headline --fast --json` are fully
 //! deterministic apart from wall-clock timing fields:
 //! arrival sampling is seeded, schedulers are pure functions, and
 //! aggregation orders are fixed. This suite re-runs each binary and
@@ -22,8 +23,9 @@
 //! To refresh after an *intentional* change:
 //! `cargo run --release -p herald-bench --bin stream_headline -- --fast --json \
 //!    > crates/bench/golden/stream_headline_fast.json`
-//! (same for `fig13_workload_change` -> `fig13_workload_change_fast.json`
-//! and `fleet_dse_headline` -> `fleet_dse_headline_fast.json`).
+//! (same for `fig13_workload_change` -> `fig13_workload_change_fast.json`,
+//! `fleet_dse_headline` -> `fleet_dse_headline_fast.json` and
+//! `fleet_controller_headline` -> `fleet_controller_headline_fast.json`).
 
 use serde_json::Value;
 use std::process::Command;
@@ -153,6 +155,14 @@ fn fleet_dse_headline_fast_matches_golden() {
     assert_matches_golden(
         env!("CARGO_BIN_EXE_fleet_dse_headline"),
         "fleet_dse_headline_fast.json",
+    );
+}
+
+#[test]
+fn fleet_controller_headline_fast_matches_golden() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_fleet_controller_headline"),
+        "fleet_controller_headline_fast.json",
     );
 }
 

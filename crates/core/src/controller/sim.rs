@@ -1,0 +1,1502 @@
+//! The controlled fleet simulator: the epoch-based generalization of
+//! the PR-4 dispatch walk, plus the lazy service-estimate surrogate and
+//! the controlled report with its transient/recovery metrics.
+//!
+//! [`simulate_controlled`] is the one walk both layers share:
+//! [`crate::fleet::FleetSimulator`] delegates to it with no controller
+//! (so the uncontrolled path and the [`StaticController`] path are the
+//! same code, bit-identical by construction), and
+//! [`ControlledFleetSimulator`] passes a [`ControllerConfig`] plus a
+//! live [`FleetController`].
+
+use crate::controller::{
+    ChipStatus, ChipTelemetry, ControlAction, ControlView, ControllerConfig, FleetController,
+    ReconfigurationEvent,
+};
+use crate::ctx::{EvalContext, ScheduleKey};
+use crate::dse::worker_panic_error;
+use crate::error::HeraldError;
+use crate::fleet::{
+    distinct_workloads, service_estimates_with, AdmissionPolicy, ChipLoad, DispatchPolicy,
+    Dispatcher, DroppedFrame, FleetConfig, FleetReport, FrameAssignment, FrameView,
+};
+use crate::sched::{HeraldScheduler, IncrementalScheduler, Scheduler, SchedulerConfig};
+use crate::sim::engine::{sorted_trace, validate_scenario, EventKind};
+use crate::sim::{ReschedulePolicy, StreamReport, StreamSimulator};
+use crate::task::TaskGraph;
+use herald_arch::{AcceleratorConfig, AcceleratorStyle, HardwareResources};
+use herald_cost::{CostModel, Metric};
+use herald_workloads::{ArrivalProcess, Scenario, StreamSpec};
+use serde::Serialize;
+use std::cell::RefCell;
+
+#[cfg(doc)]
+use crate::controller::StaticController;
+
+/// The per-chip simulation knobs the walk carries into phase 2 — the
+/// same four the uncontrolled [`crate::fleet::FleetSimulator`] holds.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WalkParams {
+    pub(crate) scheduler: SchedulerConfig,
+    pub(crate) metric: Metric,
+    pub(crate) reschedule: ReschedulePolicy,
+    pub(crate) admission: AdmissionPolicy,
+}
+
+/// Lazily-memoized single-frame service estimates over (configuration,
+/// distinct workload) pairs — the PR-5 surrogate, extended to
+/// configurations that only come into existence mid-run (scaled-up menu
+/// chips, repartition candidates). Rows are created on first sight of a
+/// configuration; cells are scheduled on first read through one shared
+/// [`IncrementalScheduler`], so a repeated query is a memo hit and the
+/// whole structure stays bit-deterministic.
+pub(crate) struct Estimator {
+    pub(crate) graphs: Vec<TaskGraph>,
+    widx: Vec<Vec<usize>>,
+    ctx: EvalContext,
+    scheduler: IncrementalScheduler,
+    #[allow(clippy::type_complexity)]
+    rows: RefCell<Vec<(AcceleratorConfig, Vec<Option<f64>>)>>,
+}
+
+impl Estimator {
+    pub(crate) fn new(scenario: &Scenario, cfg: SchedulerConfig) -> Self {
+        let (distinct, widx) = distinct_workloads(scenario);
+        let graphs = distinct.iter().map(|w| TaskGraph::new(w)).collect();
+        let ctx = EvalContext::new();
+        let scheduler = IncrementalScheduler::new(HeraldScheduler::new(cfg), ctx.clone());
+        Self {
+            graphs,
+            widx,
+            ctx,
+            scheduler,
+            rows: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Find-or-insert the estimate row for a configuration.
+    pub(crate) fn config_row(&self, config: &AcceleratorConfig) -> usize {
+        let mut rows = self.rows.borrow_mut();
+        if let Some(i) = rows.iter().position(|(c, _)| c == config) {
+            return i;
+        }
+        rows.push((config.clone(), vec![None; self.graphs.len()]));
+        rows.len() - 1
+    }
+
+    /// Distinct-workload index of a stream's workload version.
+    pub(crate) fn workload_index(&self, stream: usize, version: usize) -> usize {
+        self.widx[stream][version]
+    }
+
+    /// Estimated single-frame service time of distinct workload `widx`
+    /// on configuration row `row`, scheduling it on first use.
+    pub(crate) fn rate(&self, row: usize, widx: usize) -> Result<f64, HeraldError> {
+        if let Some(v) = self.rows.borrow()[row].1[widx] {
+            return Ok(v);
+        }
+        let config = self.rows.borrow()[row].0.clone();
+        let v = self
+            .scheduler
+            .schedule_and_simulate_with(
+                &self.graphs[widx],
+                &config,
+                self.ctx.cost_model(),
+                self.ctx.stats(),
+            )
+            .map_err(HeraldError::Simulation)?
+            .total_latency_s();
+        self.rows.borrow_mut()[row].1[widx] = Some(v);
+        Ok(v)
+    }
+}
+
+/// One contiguous run of a slot under one configuration. A slot starts
+/// with a single segment; every applied [`ControlAction::Repartition`]
+/// closes the current segment and opens a new one, so phase 2 can
+/// simulate each configuration's frames separately and invalidate the
+/// old configuration's schedule memos exactly at the seam.
+struct Segment {
+    config: AcceleratorConfig,
+    label: String,
+    /// Arrival times routed to this segment, per scenario stream.
+    times: Vec<Vec<f64>>,
+    /// Index into the event log of the repartition that opened this
+    /// segment (`None` for a slot's first segment), used to patch
+    /// `memos_invalidated` after phase 2.
+    repart_event: Option<usize>,
+}
+
+/// One stable chip identity across the run.
+struct Slot {
+    active: bool,
+    /// Estimate row of the current configuration (meaningful only when
+    /// the walk runs a lazy [`Estimator`]).
+    est_row: usize,
+    segments: Vec<Segment>,
+}
+
+impl Slot {
+    fn config(&self) -> &AcceleratorConfig {
+        &self
+            .segments
+            .last()
+            .expect("a slot always has at least one segment")
+            .config
+    }
+
+    fn label(&self) -> &str {
+        &self
+            .segments
+            .last()
+            .expect("a slot always has at least one segment")
+            .label
+    }
+}
+
+/// Telemetry accumulator for the current control window of one
+/// routable slot.
+#[derive(Clone)]
+struct WindowAcc {
+    service_s: f64,
+    frames: usize,
+    deadline_frames: usize,
+    predicted_misses: usize,
+    per_stream: Vec<usize>,
+}
+
+impl WindowAcc {
+    fn new(num_streams: usize) -> Self {
+        Self {
+            service_s: 0.0,
+            frames: 0,
+            deadline_frames: 0,
+            predicted_misses: 0,
+            per_stream: vec![0; num_streams],
+        }
+    }
+}
+
+/// Where per-chip service estimates come from during the walk.
+enum Estimates {
+    /// No policy consumes estimates: all zeros (static membership only).
+    None,
+    /// The uncontrolled fast path: everything computed up front with a
+    /// plain [`HeraldScheduler`] — exactly the PR-4 code path, kept
+    /// verbatim so the static fleet stays bit-identical.
+    Precomputed(Vec<Vec<Vec<f64>>>),
+    /// A live controller may add configurations mid-run, so estimates
+    /// are served lazily per (configuration, workload).
+    Lazy(Estimator),
+}
+
+fn rebuilt_slot_pos(route: &[usize], n_slots: usize) -> Vec<Option<usize>> {
+    let mut sp = vec![None; n_slots];
+    for (pos, &slot) in route.iter().enumerate() {
+        sp[slot] = Some(pos);
+    }
+    sp
+}
+
+/// Runs one controller decision round at boundary `t_k`: summarizes
+/// every routable slot's window, polls the controller, and validates and
+/// applies (or rejects and records) each returned action in order.
+#[allow(clippy::too_many_arguments)]
+fn process_boundary(
+    t_k: f64,
+    epoch: usize,
+    cfg: &ControllerConfig,
+    controller: &mut dyn FleetController,
+    estimator: &Estimator,
+    scenario: &Scenario,
+    slots: &mut Vec<Slot>,
+    route: &mut Vec<usize>,
+    slot_pos: &mut Vec<Option<usize>>,
+    loads: &mut Vec<ChipLoad>,
+    wins: &mut Vec<WindowAcc>,
+    pins: &mut [Option<usize>],
+    version: &[usize],
+    events: &mut Vec<ReconfigurationEvent>,
+) -> Result<(), HeraldError> {
+    let num_streams = scenario.streams().len();
+    let cadence = cfg.cadence_s;
+    let telemetry: Vec<ChipTelemetry> = route
+        .iter()
+        .enumerate()
+        .map(|(pos, &slot)| {
+            let win = std::mem::replace(&mut wins[pos], WindowAcc::new(num_streams));
+            ChipTelemetry {
+                slot,
+                chip: slots[slot].label().to_string(),
+                utilization: win.service_s / cadence,
+                backlog_s: loads[pos].backlog_s(t_k),
+                window_frames: win.frames,
+                window_deadline_frames: win.deadline_frames,
+                window_predicted_misses: win.predicted_misses,
+                stream_frames: win.per_stream,
+            }
+        })
+        .collect();
+    let statuses: Vec<ChipStatus> = slots
+        .iter()
+        .enumerate()
+        .map(|(slot, s)| ChipStatus {
+            slot,
+            name: s.label().to_string(),
+            active: s.active,
+            area_mm2: s.config().area_mm2(),
+            config: s.config().clone(),
+        })
+        .collect();
+    let active_area: f64 = statuses
+        .iter()
+        .filter(|s| s.active)
+        .map(|s| s.area_mm2)
+        .sum();
+    let view = ControlView {
+        now_s: t_k,
+        epoch,
+        cadence_s: cadence,
+        chips: statuses,
+        menu: &cfg.menu,
+        max_area_mm2: cfg.max_area_mm2,
+        active_area_mm2: active_area,
+        pins,
+        costs: cfg.costs(),
+        estimator,
+        versions: version,
+    };
+    let actions = controller.decide(&telemetry, &view)?;
+    drop(view);
+
+    let mut active_area = active_area;
+    for action in actions {
+        let record = |applied: bool, detail: String, cost_s: f64| ReconfigurationEvent {
+            epoch,
+            at_s: t_k,
+            action: action.clone(),
+            applied,
+            detail,
+            cost_s,
+            memos_invalidated: 0,
+        };
+        let event = match action {
+            ControlAction::ScaleUp { menu_chip } => {
+                if menu_chip >= cfg.menu.len() {
+                    record(
+                        false,
+                        format!(
+                            "menu index {menu_chip} out of range (menu has {} chips)",
+                            cfg.menu.len()
+                        ),
+                        0.0,
+                    )
+                } else {
+                    let chip = &cfg.menu[menu_chip];
+                    let area = chip.area_mm2();
+                    if active_area + area > cfg.max_area_mm2 {
+                        record(
+                            false,
+                            format!(
+                                "over area budget: {:.2} + {:.2} > {:.2} mm2",
+                                active_area, area, cfg.max_area_mm2
+                            ),
+                            0.0,
+                        )
+                    } else {
+                        let slot = slots.len();
+                        let label = format!("chip{slot}:{}@e{epoch}", chip.name());
+                        slots.push(Slot {
+                            active: true,
+                            est_row: estimator.config_row(chip),
+                            segments: vec![Segment {
+                                config: chip.clone(),
+                                label: label.clone(),
+                                times: vec![Vec::new(); num_streams],
+                                repart_event: None,
+                            }],
+                        });
+                        route.push(slot);
+                        loads.push(ChipLoad {
+                            free_at_s: t_k + cfg.scale_up_cost_s,
+                            dispatched: 0,
+                        });
+                        wins.push(WindowAcc::new(num_streams));
+                        *slot_pos = rebuilt_slot_pos(route, slots.len());
+                        active_area += area;
+                        record(
+                            true,
+                            format!("added {label} ({area:.2} mm2)"),
+                            cfg.scale_up_cost_s,
+                        )
+                    }
+                }
+            }
+            ControlAction::ScaleDown { slot } => {
+                if slot >= slots.len() || !slots[slot].active {
+                    record(false, format!("slot {slot} is not live"), 0.0)
+                } else if route.len() <= 1 {
+                    record(false, "cannot retire the last live chip".to_string(), 0.0)
+                } else {
+                    let pos = slot_pos[slot].expect("active slot is routable");
+                    let backlog = loads[pos].backlog_s(t_k);
+                    slots[slot].active = false;
+                    route.remove(pos);
+                    loads.remove(pos);
+                    wins.remove(pos);
+                    *slot_pos = rebuilt_slot_pos(route, slots.len());
+                    for pin in pins.iter_mut() {
+                        if *pin == Some(slot) {
+                            *pin = None;
+                        }
+                    }
+                    active_area -= slots[slot].config().area_mm2();
+                    record(
+                        true,
+                        format!(
+                            "retired slot {slot}; predicted backlog {backlog:.4} s drains in place"
+                        ),
+                        0.0,
+                    )
+                }
+            }
+            ControlAction::MigrateStream { stream, to_slot } => {
+                if stream >= num_streams {
+                    record(false, format!("stream {stream} out of range"), 0.0)
+                } else if to_slot >= slots.len() || !slots[to_slot].active {
+                    record(
+                        false,
+                        format!("destination slot {to_slot} is not live"),
+                        0.0,
+                    )
+                } else if pins[stream] == Some(to_slot) {
+                    record(
+                        false,
+                        format!("stream {stream} is already pinned to slot {to_slot}"),
+                        0.0,
+                    )
+                } else {
+                    pins[stream] = Some(to_slot);
+                    let pos = slot_pos[to_slot].expect("active slot is routable");
+                    loads[pos].free_at_s = loads[pos].free_at_s.max(t_k) + cfg.migrate_cost_s;
+                    record(
+                        true,
+                        format!(
+                            "pinned stream {stream} ({}) to slot {to_slot}",
+                            scenario.streams()[stream].name()
+                        ),
+                        cfg.migrate_cost_s,
+                    )
+                }
+            }
+            ControlAction::Repartition {
+                slot,
+                ref partition,
+            } => {
+                if slot >= slots.len() || !slots[slot].active {
+                    record(false, format!("slot {slot} is not live"), 0.0)
+                } else if !matches!(slots[slot].config().style(), AcceleratorStyle::Hda(_)) {
+                    record(false, format!("slot {slot} is not an HDA chip"), 0.0)
+                } else {
+                    let cur = slots[slot].config().clone();
+                    let res = HardwareResources::new(
+                        cur.total_pes(),
+                        cur.total_bandwidth_gbps(),
+                        cur.global_buffer_bytes(),
+                    );
+                    let built = if cur.name() == "Maelstrom" {
+                        AcceleratorConfig::maelstrom(res, partition.clone())
+                    } else if let AcceleratorStyle::Hda(styles) = cur.style() {
+                        AcceleratorConfig::hda(styles, res, partition.clone())
+                    } else {
+                        unreachable!("checked above")
+                    };
+                    match built {
+                        Err(e) => record(false, format!("rejected split: {e}"), 0.0),
+                        Ok(candidate) if candidate == cur => {
+                            record(false, "partition unchanged".to_string(), 0.0)
+                        }
+                        Ok(candidate) => {
+                            let pos = slot_pos[slot].expect("active slot is routable");
+                            let label = format!("chip{slot}:{}@e{epoch}", candidate.name());
+                            slots[slot].est_row = estimator.config_row(&candidate);
+                            slots[slot].segments.push(Segment {
+                                config: candidate,
+                                label: label.clone(),
+                                times: vec![Vec::new(); num_streams],
+                                repart_event: Some(events.len()),
+                            });
+                            loads[pos].free_at_s =
+                                loads[pos].free_at_s.max(t_k) + cfg.repartition_cost_s;
+                            record(
+                                true,
+                                format!("re-split slot {slot} as {label}"),
+                                cfg.repartition_cost_s,
+                            )
+                        }
+                    }
+                }
+            }
+        };
+        events.push(event);
+    }
+    Ok(())
+}
+
+/// The shared fleet walk (see the module docs): phase-1 epoch-based
+/// dispatch with optional controller decision rounds, then phase-2
+/// per-slot segment simulation.
+pub(crate) fn simulate_controlled(
+    chips: &[AcceleratorConfig],
+    audit: bool,
+    params: &WalkParams,
+    dispatcher: &mut dyn Dispatcher,
+    scenario: &Scenario,
+    control: Option<(&ControllerConfig, &mut dyn FleetController)>,
+) -> Result<ControlledFleetReport, HeraldError> {
+    if chips.is_empty() {
+        return Err(HeraldError::Fleet {
+            reason: format!("fleet serving scenario {:?} has no chips", scenario.name()),
+        });
+    }
+    if let AdmissionPolicy::DeadlineSlack { slack } = params.admission {
+        if !(slack.is_finite() && slack > 0.0) {
+            return Err(HeraldError::Fleet {
+                reason: format!("admission slack must be positive and finite, got {slack}"),
+            });
+        }
+    }
+    validate_scenario(scenario)?;
+    let (ctrl_cfg, mut controller) = match control {
+        Some((c, f)) => {
+            c.validate()?;
+            (Some(c), Some(f))
+        }
+        None => (None, None),
+    };
+    let controller_name = controller
+        .as_ref()
+        .map_or_else(|| "static".to_string(), |c| c.name().to_string());
+    let controller_active = controller.as_ref().is_some_and(|c| c.needs_telemetry());
+    let cadence = ctrl_cfg.map_or(0.0, |c| c.cadence_s);
+
+    let n = chips.len();
+    let horizon = scenario.horizon_s();
+    let num_streams = scenario.streams().len();
+    let needs_estimates = dispatcher.needs_estimates()
+        || !matches!(params.admission, AdmissionPolicy::AcceptAll)
+        || controller_active;
+
+    let est = if controller_active {
+        Estimates::Lazy(Estimator::new(scenario, params.scheduler))
+    } else if needs_estimates {
+        let scheduler = HeraldScheduler::new(params.scheduler);
+        let cost = CostModel::default();
+        Estimates::Precomputed(service_estimates_with(scenario, chips, |graph, chip| {
+            Ok(scheduler
+                .schedule_and_simulate(graph, chip, &cost)
+                .map_err(HeraldError::Simulation)?
+                .total_latency_s())
+        })?)
+    } else {
+        Estimates::None
+    };
+
+    // Phase 1: the epoch-based dispatch walk. With no active controller
+    // this is exactly the PR-4 walk (identity routing over a fixed
+    // membership); with one, epoch boundaries interleave with events in
+    // deterministic time order.
+    let mut slots: Vec<Slot> = chips
+        .iter()
+        .enumerate()
+        .map(|(i, c)| Slot {
+            active: true,
+            est_row: match &est {
+                Estimates::Lazy(e) => e.config_row(c),
+                _ => 0,
+            },
+            segments: vec![Segment {
+                config: c.clone(),
+                label: format!("chip{i}:{}", c.name()),
+                times: vec![Vec::new(); num_streams],
+                repart_event: None,
+            }],
+        })
+        .collect();
+    let mut route: Vec<usize> = (0..n).collect();
+    let mut slot_pos = rebuilt_slot_pos(&route, n);
+    let mut loads = vec![ChipLoad::default(); n];
+    let mut wins = vec![WindowAcc::new(num_streams); n];
+    let mut pins: Vec<Option<usize>> = vec![None; num_streams];
+    let mut version = vec![0usize; num_streams];
+    let zeros = vec![0.0f64; n];
+    let mut est_buf: Vec<f64> = Vec::new();
+    let mut tmp_assignments: Vec<(usize, usize, f64, usize, usize)> = Vec::new();
+    let mut dropped: Vec<DroppedFrame> = Vec::new();
+    let mut dropped_total = 0usize;
+    let mut events: Vec<ReconfigurationEvent> = Vec::new();
+    let mut epochs = 0usize;
+
+    let mut run_boundaries = |until: f64,
+                              slots: &mut Vec<Slot>,
+                              route: &mut Vec<usize>,
+                              slot_pos: &mut Vec<Option<usize>>,
+                              loads: &mut Vec<ChipLoad>,
+                              wins: &mut Vec<WindowAcc>,
+                              pins: &mut [Option<usize>],
+                              version: &[usize],
+                              events: &mut Vec<ReconfigurationEvent>,
+                              epochs: &mut usize|
+     -> Result<(), HeraldError> {
+        if !controller_active {
+            return Ok(());
+        }
+        let (Estimates::Lazy(estimator), Some(cfg), Some(ctl)) =
+            (&est, ctrl_cfg, controller.as_deref_mut())
+        else {
+            return Ok(());
+        };
+        while (*epochs + 1) as f64 * cfg.cadence_s <= until {
+            let epoch = *epochs + 1;
+            let t_k = epoch as f64 * cfg.cadence_s;
+            process_boundary(
+                t_k, epoch, cfg, ctl, estimator, scenario, slots, route, slot_pos, loads, wins,
+                pins, version, events,
+            )?;
+            *epochs = epoch;
+        }
+        Ok(())
+    };
+
+    for event in sorted_trace(scenario) {
+        run_boundaries(
+            event.t,
+            &mut slots,
+            &mut route,
+            &mut slot_pos,
+            &mut loads,
+            &mut wins,
+            &mut pins,
+            &version,
+            &mut events,
+            &mut epochs,
+        )?;
+        let seq = match event.kind {
+            EventKind::Swap { .. } => {
+                version[event.stream] += 1;
+                continue;
+            }
+            EventKind::Arrival { seq } => seq,
+        };
+        let est_slice: &[f64] = match &est {
+            Estimates::None => &zeros,
+            Estimates::Precomputed(e) => &e[event.stream][version[event.stream]],
+            Estimates::Lazy(e) => {
+                est_buf.clear();
+                let w = e.workload_index(event.stream, version[event.stream]);
+                for &slot in &route {
+                    est_buf.push(e.rate(slots[slot].est_row, w)?);
+                }
+                &est_buf
+            }
+        };
+        let frame = FrameView {
+            stream: event.stream,
+            seq,
+            arrival_s: event.t,
+            deadline_s: scenario.streams()[event.stream].deadline_s(),
+            est_service_s: est_slice,
+        };
+        // Pinned streams bypass the dispatcher entirely (its internal
+        // state does not advance for them); unpinned frames route
+        // normally.
+        let pos = match pins[event.stream].and_then(|slot| slot_pos[slot]) {
+            Some(pos) => pos,
+            None => {
+                let pos = dispatcher.dispatch(&frame, &loads);
+                if pos >= route.len() {
+                    return Err(HeraldError::Fleet {
+                        reason: format!(
+                            "dispatcher {:?} chose chip {pos} of a {}-chip fleet",
+                            dispatcher.name(),
+                            route.len()
+                        ),
+                    });
+                }
+                pos
+            }
+        };
+        if let AdmissionPolicy::DeadlineSlack { slack } = params.admission {
+            if let Some(deadline) = frame.deadline_s {
+                let finish = frame.predicted_finish_s(pos, &loads[pos]);
+                if finish > event.t + slack * deadline {
+                    dropped_total += 1;
+                    if audit {
+                        dropped.push(DroppedFrame {
+                            stream: event.stream,
+                            seq,
+                            arrival_s: event.t,
+                            predicted_finish_s: finish,
+                        });
+                    }
+                    continue;
+                }
+            }
+        }
+        if controller_active {
+            // Window telemetry reads the backlog model *before* this
+            // frame's own service time is queued.
+            let win = &mut wins[pos];
+            win.frames += 1;
+            win.service_s += est_slice[pos];
+            win.per_stream[event.stream] += 1;
+            if let Some(d) = frame.deadline_s {
+                win.deadline_frames += 1;
+                if frame.predicted_finish_s(pos, &loads[pos]) > event.t + d {
+                    win.predicted_misses += 1;
+                }
+            }
+        }
+        if needs_estimates {
+            loads[pos].free_at_s = loads[pos].free_at_s.max(event.t) + est_slice[pos];
+        }
+        loads[pos].dispatched += 1;
+        let slot = route[pos];
+        let seg = slots[slot].segments.len() - 1;
+        if audit {
+            tmp_assignments.push((event.stream, seq, event.t, slot, seg));
+        }
+        slots[slot]
+            .segments
+            .last_mut()
+            .expect("a slot always has at least one segment")
+            .times[event.stream]
+            .push(event.t);
+    }
+    // Trailing boundaries between the last event and the horizon still
+    // produce telemetry (empty windows are meaningful — an autoscaler
+    // uses them to scale back down) and keep the epoch count a pure
+    // function of (horizon, cadence).
+    run_boundaries(
+        horizon,
+        &mut slots,
+        &mut route,
+        &mut slot_pos,
+        &mut loads,
+        &mut wins,
+        &mut pins,
+        &version,
+        &mut events,
+        &mut epochs,
+    )?;
+
+    // Phase 2: per-slot workers; each slot replays its segments in
+    // order on one private context, invalidating the outgoing
+    // configuration's schedule memos at every repartition seam.
+    struct SegJob {
+        config: AcceleratorConfig,
+        sub: Scenario,
+        repart_event: Option<usize>,
+    }
+    let mut labels: Vec<String> = Vec::new();
+    let mut flat_of: Vec<Vec<usize>> = Vec::with_capacity(slots.len());
+    let mut jobs: Vec<Vec<SegJob>> = Vec::with_capacity(slots.len());
+    for slot in &mut slots {
+        let mut slot_flat = Vec::with_capacity(slot.segments.len());
+        let mut slot_jobs = Vec::with_capacity(slot.segments.len());
+        for seg in &mut slot.segments {
+            slot_flat.push(labels.len());
+            labels.push(seg.label.clone());
+            let mut sub = Scenario::new(scenario.name(), horizon);
+            for (si, stream) in scenario.streams().iter().enumerate() {
+                let mut spec = StreamSpec::new(
+                    stream.name(),
+                    stream.workload().clone(),
+                    ArrivalProcess::Trace {
+                        times_s: std::mem::take(&mut seg.times[si]),
+                    },
+                );
+                if let Some(d) = stream.deadline_s() {
+                    spec = spec.with_deadline(d);
+                }
+                for swap in stream.swaps() {
+                    spec = spec.swap_at(swap.at_s, swap.workload.clone());
+                }
+                sub = sub.stream(spec);
+            }
+            slot_jobs.push(SegJob {
+                config: seg.config.clone(),
+                sub,
+                repart_event: seg.repart_event,
+            });
+        }
+        flat_of.push(slot_flat);
+        jobs.push(slot_jobs);
+    }
+    let inval_graphs: &[TaskGraph] = match &est {
+        Estimates::Lazy(e) => &e.graphs,
+        _ => &[],
+    };
+
+    fn run_segment(
+        params: &WalkParams,
+        chip: &AcceleratorConfig,
+        sub: &Scenario,
+        ctx: &EvalContext,
+    ) -> Result<StreamReport, HeraldError> {
+        let sim = StreamSimulator::new(chip, ctx.cost_model())
+            .with_metric(params.metric)
+            .with_policy(params.reschedule)
+            .with_context(ctx);
+        match params.reschedule {
+            ReschedulePolicy::Incremental => {
+                let inc =
+                    IncrementalScheduler::new(HeraldScheduler::new(params.scheduler), ctx.clone());
+                sim.simulate(&inc, sub)
+            }
+            ReschedulePolicy::FullReschedule => {
+                sim.simulate(&HeraldScheduler::new(params.scheduler), sub)
+            }
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn run_slot(
+        params: &WalkParams,
+        graphs: &[TaskGraph],
+        jobs: &[SegJob],
+    ) -> Result<(Vec<StreamReport>, Vec<(usize, usize)>), HeraldError> {
+        let ctx = EvalContext::new();
+        let mut reports = Vec::with_capacity(jobs.len());
+        let mut patches = Vec::new();
+        for (k, job) in jobs.iter().enumerate() {
+            if k > 0 {
+                // Repartition seam: drop exactly this chip's memos for
+                // the outgoing configuration before the new one runs.
+                let old = &jobs[k - 1].config;
+                let mut invalidated = 0usize;
+                for graph in graphs {
+                    let key = ScheduleKey::new(graph, old, &params.scheduler, ctx.cost_model());
+                    if ctx.schedules().invalidate(&key) {
+                        invalidated += 1;
+                    }
+                }
+                if let Some(ev) = job.repart_event {
+                    patches.push((ev, invalidated));
+                }
+            }
+            reports.push(run_segment(params, &job.config, &job.sub, &ctx)?);
+        }
+        Ok((reports, patches))
+    }
+
+    type SlotResult = Result<(Vec<StreamReport>, Vec<(usize, usize)>), HeraldError>;
+    let gathered: Vec<SlotResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .iter()
+            .map(|slot_jobs| scope.spawn(move || run_slot(params, inval_graphs, slot_jobs)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().map_err(worker_panic_error).and_then(|r| r))
+            .collect()
+    });
+    let mut per_chip: Vec<StreamReport> = Vec::with_capacity(labels.len());
+    for slot_result in gathered {
+        let (reports, patches) = slot_result?;
+        per_chip.extend(reports);
+        for (ev, count) in patches {
+            events[ev].memos_invalidated = count;
+        }
+    }
+    let assignments: Vec<FrameAssignment> = tmp_assignments
+        .into_iter()
+        .map(|(stream, seq, arrival_s, slot, seg)| FrameAssignment {
+            stream,
+            seq,
+            arrival_s,
+            chip: flat_of[slot][seg],
+        })
+        .collect();
+
+    Ok(ControlledFleetReport {
+        controller: controller_name,
+        cadence_s: cadence,
+        epochs,
+        events,
+        fleet: FleetReport::new(
+            scenario.name().to_string(),
+            dispatcher.name().to_string(),
+            labels,
+            scenario
+                .streams()
+                .iter()
+                .map(|s| s.name().to_string())
+                .collect(),
+            horizon,
+            per_chip,
+            assignments,
+            dropped,
+            dropped_total,
+        ),
+    })
+}
+
+/// One window of the fleet-wide deadline-miss timeline (the transient
+/// view a controlled run is judged on).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct MissWindow {
+    /// Window start (inclusive), seconds.
+    pub t0_s: f64,
+    /// Window end (exclusive), seconds.
+    pub t1_s: f64,
+    /// Completed deadline-carrying frames that arrived in the window.
+    pub deadline_frames: usize,
+    /// Deadline-miss rate over those frames (0 for an empty window).
+    pub miss_rate: f64,
+}
+
+/// The outcome of a controlled fleet run: the merged [`FleetReport`]
+/// plus the controller's audit trail (every decision, applied or
+/// rejected) and windowed transient/recovery metrics.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ControlledFleetReport {
+    pub(crate) controller: String,
+    pub(crate) cadence_s: f64,
+    pub(crate) epochs: usize,
+    pub(crate) events: Vec<ReconfigurationEvent>,
+    pub(crate) fleet: FleetReport,
+}
+
+impl ControlledFleetReport {
+    /// Name of the controller policy that ran.
+    #[must_use]
+    pub fn controller(&self) -> &str {
+        &self.controller
+    }
+
+    /// Control-epoch length, seconds (0 for an uncontrolled run).
+    #[must_use]
+    pub fn cadence_s(&self) -> f64 {
+        self.cadence_s
+    }
+
+    /// Control epochs processed (boundaries at `k * cadence` up to the
+    /// horizon; 0 when the controller never needed telemetry).
+    #[must_use]
+    pub fn epochs(&self) -> usize {
+        self.epochs
+    }
+
+    /// Every controller decision, in decision order.
+    #[must_use]
+    pub fn events(&self) -> &[ReconfigurationEvent] {
+        &self.events
+    }
+
+    /// Decisions the simulator actually applied.
+    #[must_use]
+    pub fn actions_applied(&self) -> usize {
+        self.events.iter().filter(|e| e.applied).count()
+    }
+
+    /// Total reconfiguration cost charged to chips, seconds of busy
+    /// time (rejected actions cost nothing).
+    #[must_use]
+    pub fn total_reconfiguration_cost_s(&self) -> f64 {
+        // `Iterator::sum` over no elements yields -0.0; fold from +0.0
+        // so a cost-free run prints (and serializes) as plain zero.
+        self.events
+            .iter()
+            .filter(|e| e.applied)
+            .fold(0.0, |acc, e| acc + e.cost_s)
+    }
+
+    /// The merged fleet outcome (chip entries are per *segment*: a
+    /// repartitioned slot contributes one report per configuration it
+    /// ran, labeled `chip<slot>:<name>@e<epoch>`).
+    #[must_use]
+    pub fn fleet(&self) -> &FleetReport {
+        &self.fleet
+    }
+
+    /// Consumes the controlled wrapper, keeping the fleet outcome.
+    #[must_use]
+    pub fn into_fleet(self) -> FleetReport {
+        self.fleet
+    }
+
+    /// Fleet-wide deadline-miss rate per window of `window_s` seconds
+    /// across the scenario horizon, using the `[t0, t1)` arrival-window
+    /// convention of [`FleetReport::miss_rate_between`].
+    #[must_use]
+    pub fn miss_timeline(&self, window_s: f64) -> Vec<MissWindow> {
+        let horizon = self.fleet.horizon_s();
+        if !(window_s > 0.0 && window_s.is_finite()) || horizon <= 0.0 {
+            return Vec::new();
+        }
+        let n = (horizon / window_s).ceil() as usize;
+        (0..n)
+            .map(|k| {
+                let t0 = k as f64 * window_s;
+                let t1 = (k + 1) as f64 * window_s;
+                let deadline_frames = self
+                    .fleet
+                    .all_frames()
+                    .filter(|f| f.arrival_s >= t0 && f.arrival_s < t1 && f.deadline_s.is_some())
+                    .count();
+                MissWindow {
+                    t0_s: t0,
+                    t1_s: t1,
+                    deadline_frames,
+                    miss_rate: self.fleet.miss_rate_between(t0, t1),
+                }
+            })
+            .collect()
+    }
+
+    /// The worst window of [`ControlledFleetReport::miss_timeline`] —
+    /// the transient depth (ties resolve to the earliest window).
+    #[must_use]
+    pub fn peak_window(&self, window_s: f64) -> Option<MissWindow> {
+        self.miss_timeline(window_s).into_iter().max_by(|a, b| {
+            a.miss_rate
+                .total_cmp(&b.miss_rate)
+                .then(b.t0_s.total_cmp(&a.t0_s))
+        })
+    }
+
+    /// Recovery time after the transient peak: seconds from the start
+    /// of the worst window to the start of the first window from which
+    /// the miss rate stays at or below `threshold` for the rest of the
+    /// run. `Some(0)` when the peak itself is within threshold; `None`
+    /// when the fleet never recovers.
+    #[must_use]
+    pub fn recovery_s(&self, window_s: f64, threshold: f64) -> Option<f64> {
+        let timeline = self.miss_timeline(window_s);
+        let peak = timeline
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                a.miss_rate
+                    .total_cmp(&b.miss_rate)
+                    .then(b.t0_s.total_cmp(&a.t0_s))
+            })
+            .map(|(i, _)| i)?;
+        if timeline[peak].miss_rate <= threshold {
+            return Some(0.0);
+        }
+        let mut recovered_from = None;
+        for i in (peak..timeline.len()).rev() {
+            if timeline[i].miss_rate <= threshold {
+                recovered_from = Some(i);
+            } else {
+                break;
+            }
+        }
+        recovered_from.map(|i| timeline[i].t0_s - timeline[peak].t0_s)
+    }
+}
+
+/// Simulates a [`FleetConfig`] serving a [`Scenario`] under a closed
+/// control loop (see the [`crate::controller`] module docs). Mirrors
+/// [`crate::fleet::FleetSimulator`]'s builder surface, plus the
+/// [`ControllerConfig`] that drives the loop.
+///
+/// # Example
+///
+/// ```
+/// use herald_arch::{AcceleratorClass, AcceleratorConfig};
+/// use herald_core::controller::{ControlledFleetSimulator, ControllerConfig, ControllerPolicy};
+/// use herald_core::fleet::{DispatchPolicy, FleetConfig};
+/// use herald_dataflow::DataflowStyle;
+/// use herald_workloads::diurnal_ramp_trace;
+///
+/// let chip = AcceleratorConfig::fda(
+///     DataflowStyle::Nvdla, AcceleratorClass::Edge.resources());
+/// let fleet = FleetConfig::homogeneous(&chip, 2);
+/// let control = ControllerConfig::new(0.75, ControllerPolicy::autoscaler())
+///     .with_menu(vec![chip.clone()])
+///     .with_area_budget(4.0 * chip.area_mm2());
+/// let scenario = diurnal_ramp_trace(2, 4.0, 12.0, 0.4, 3.0, 7);
+/// let report = ControlledFleetSimulator::new(&fleet, &control)
+///     .with_dispatcher(DispatchPolicy::LeastLoaded)
+///     .simulate(&scenario)
+///     .unwrap();
+/// assert_eq!(report.controller(), "threshold-autoscaler");
+/// assert_eq!(report.epochs(), 4);
+/// ```
+#[derive(Debug)]
+pub struct ControlledFleetSimulator<'a> {
+    fleet: &'a FleetConfig,
+    control: &'a ControllerConfig,
+    scheduler: SchedulerConfig,
+    metric: Metric,
+    reschedule: ReschedulePolicy,
+    dispatcher: DispatchPolicy,
+    admission: AdmissionPolicy,
+}
+
+impl<'a> ControlledFleetSimulator<'a> {
+    /// Creates a controlled fleet simulator with the same default knobs
+    /// as [`crate::fleet::FleetSimulator`].
+    pub fn new(fleet: &'a FleetConfig, control: &'a ControllerConfig) -> Self {
+        Self {
+            fleet,
+            control,
+            scheduler: SchedulerConfig::default(),
+            metric: Metric::Edp,
+            reschedule: ReschedulePolicy::default(),
+            dispatcher: DispatchPolicy::default(),
+            admission: AdmissionPolicy::default(),
+        }
+    }
+
+    /// Overrides the per-chip online scheduler configuration.
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: SchedulerConfig) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Overrides the metric used when a reconfigurable sub-accelerator
+    /// picks its per-layer dataflow.
+    #[must_use]
+    pub fn with_metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Overrides the per-chip rescheduling policy (incremental by
+    /// default).
+    #[must_use]
+    pub fn with_policy(mut self, policy: ReschedulePolicy) -> Self {
+        self.reschedule = policy;
+        self
+    }
+
+    /// Sets the dispatch policy (round-robin by default).
+    #[must_use]
+    pub fn with_dispatcher(mut self, dispatcher: DispatchPolicy) -> Self {
+        self.dispatcher = dispatcher;
+        self
+    }
+
+    /// Sets the admission policy (accept-all by default).
+    #[must_use]
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Runs the scenario under the configured policy's controller.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`crate::fleet::FleetSimulator::simulate`] can
+    /// return, plus [`HeraldError::Controller`] for degenerate
+    /// controller knobs.
+    pub fn simulate(&self, scenario: &Scenario) -> Result<ControlledFleetReport, HeraldError> {
+        let mut dispatcher = self.dispatcher.build();
+        let mut controller = self.control.policy.build();
+        self.simulate_with(dispatcher.as_mut(), controller.as_mut(), scenario)
+    }
+
+    /// Like [`ControlledFleetSimulator::simulate`] with caller-provided
+    /// (possibly custom) dispatcher and controller. Both must be
+    /// deterministic for the report to be reproducible.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ControlledFleetSimulator::simulate`].
+    pub fn simulate_with(
+        &self,
+        dispatcher: &mut dyn Dispatcher,
+        controller: &mut dyn FleetController,
+        scenario: &Scenario,
+    ) -> Result<ControlledFleetReport, HeraldError> {
+        let params = WalkParams {
+            scheduler: self.scheduler,
+            metric: self.metric,
+            reschedule: self.reschedule,
+            admission: self.admission,
+        };
+        simulate_controlled(
+            self.fleet.chips(),
+            self.fleet.audit_trail(),
+            &params,
+            dispatcher,
+            scenario,
+            Some((self.control, controller)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::ControllerPolicy;
+    use crate::fleet::FleetSimulator;
+    use herald_arch::{AcceleratorClass, Partition};
+    use herald_dataflow::DataflowStyle;
+    use herald_models::zoo;
+    use herald_workloads::single_model;
+
+    /// Replays a predefined decision list, one entry per epoch — the
+    /// test harness for exercising each action path deterministically.
+    struct Scripted {
+        script: Vec<Vec<ControlAction>>,
+        next: usize,
+    }
+
+    impl Scripted {
+        fn new(script: Vec<Vec<ControlAction>>) -> Self {
+            Self { script, next: 0 }
+        }
+    }
+
+    impl FleetController for Scripted {
+        fn name(&self) -> &'static str {
+            "scripted"
+        }
+
+        fn decide(
+            &mut self,
+            _telemetry: &[ChipTelemetry],
+            _view: &ControlView<'_>,
+        ) -> Result<Vec<ControlAction>, HeraldError> {
+            let i = self.next;
+            self.next += 1;
+            Ok(self.script.get(i).cloned().unwrap_or_default())
+        }
+    }
+
+    fn fda() -> AcceleratorConfig {
+        AcceleratorConfig::fda(DataflowStyle::Nvdla, AcceleratorClass::Edge.resources())
+    }
+
+    /// Deterministic overload: periodic arrivals well past one chip's
+    /// capacity, so load-aware routing exercises every chip.
+    fn periodic_scenario() -> Scenario {
+        Scenario::new("ctl", 3.0)
+            .stream(
+                StreamSpec::periodic("cam", single_model(zoo::mobilenet_v1(), 1), 8.0)
+                    .with_deadline(0.4),
+            )
+            .stream(
+                StreamSpec::periodic("aux", single_model(zoo::mobilenet_v2(), 1), 4.0)
+                    .with_deadline(0.6),
+            )
+    }
+
+    fn run_scripted(
+        fleet: &FleetConfig,
+        cfg: &ControllerConfig,
+        script: Vec<Vec<ControlAction>>,
+        scenario: &Scenario,
+    ) -> ControlledFleetReport {
+        let mut dispatcher = DispatchPolicy::LeastLoaded.build();
+        let mut controller = Scripted::new(script);
+        ControlledFleetSimulator::new(fleet, cfg)
+            .simulate_with(dispatcher.as_mut(), &mut controller, scenario)
+            .unwrap()
+    }
+
+    #[test]
+    fn static_policy_is_bit_identical_to_the_uncontrolled_fleet() {
+        let fleet = FleetConfig::homogeneous(&fda(), 2);
+        let cfg = ControllerConfig::new(0.5, ControllerPolicy::Static);
+        let scenario = periodic_scenario();
+        for policy in DispatchPolicy::ALL {
+            let plain = FleetSimulator::new(&fleet)
+                .with_dispatcher(policy)
+                .simulate(&scenario)
+                .unwrap();
+            let controlled = ControlledFleetSimulator::new(&fleet, &cfg)
+                .with_dispatcher(policy)
+                .simulate(&scenario)
+                .unwrap();
+            assert_eq!(controlled.controller(), "static");
+            assert_eq!(
+                controlled.epochs(),
+                0,
+                "static controllers are never polled"
+            );
+            assert!(controlled.events().is_empty());
+            assert_eq!(controlled.fleet(), &plain, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_scale_ups_are_rejected_and_recorded() {
+        let chip = fda();
+        let fleet = FleetConfig::homogeneous(&chip, 2);
+        let cfg = ControllerConfig::new(1.0, ControllerPolicy::Static)
+            .with_menu(vec![chip.clone()])
+            .with_area_budget(2.0 * chip.area_mm2());
+        let report = run_scripted(
+            &fleet,
+            &cfg,
+            vec![
+                vec![ControlAction::ScaleUp { menu_chip: 0 }],
+                vec![ControlAction::ScaleUp { menu_chip: 9 }],
+            ],
+            &periodic_scenario(),
+        );
+        assert_eq!(report.events().len(), 2);
+        let over = &report.events()[0];
+        assert!(!over.applied);
+        assert!(over.detail.contains("over area budget"), "{}", over.detail);
+        assert_eq!(over.cost_s, 0.0);
+        let bad_menu = &report.events()[1];
+        assert!(!bad_menu.applied);
+        assert!(
+            bad_menu.detail.contains("menu index"),
+            "{}",
+            bad_menu.detail
+        );
+        assert_eq!(report.actions_applied(), 0);
+        assert_eq!(report.total_reconfiguration_cost_s(), 0.0);
+        assert_eq!(report.fleet().chips(), 2);
+    }
+
+    #[test]
+    fn applied_scale_up_adds_a_labeled_chip_that_serves_frames() {
+        let chip = fda();
+        let fleet = FleetConfig::homogeneous(&chip, 1);
+        let cfg = ControllerConfig::new(1.0, ControllerPolicy::Static)
+            .with_menu(vec![chip.clone()])
+            .with_costs(0.001, 0.0, 0.0);
+        let scenario = periodic_scenario();
+        let report = run_scripted(
+            &fleet,
+            &cfg,
+            vec![vec![ControlAction::ScaleUp { menu_chip: 0 }]],
+            &scenario,
+        );
+        let ev = &report.events()[0];
+        assert!(ev.applied, "{}", ev.detail);
+        assert_eq!(ev.cost_s, 0.001);
+        assert_eq!(report.actions_applied(), 1);
+        let names = report.fleet().chip_names();
+        assert_eq!(names.len(), 2);
+        assert_eq!(names[1], "chip1:FDA-NVDLA@e1");
+        // The scaled-up chip picks up post-boundary load...
+        assert!(report.fleet().frames_on_chip(1) > 0);
+        // ...and no frame is lost relative to the uncontrolled run.
+        let plain = FleetSimulator::new(&fleet).simulate(&scenario).unwrap();
+        assert_eq!(report.fleet().frames_total(), plain.frames_total());
+    }
+
+    #[test]
+    fn migration_pins_the_stream_and_charges_the_destination() {
+        let fleet = FleetConfig::homogeneous(&fda(), 2);
+        let cfg = ControllerConfig::new(1.0, ControllerPolicy::Static).with_costs(0.0, 0.002, 0.0);
+        let report = run_scripted(
+            &fleet,
+            &cfg,
+            vec![
+                vec![ControlAction::MigrateStream {
+                    stream: 0,
+                    to_slot: 1,
+                }],
+                vec![ControlAction::MigrateStream {
+                    stream: 0,
+                    to_slot: 1,
+                }],
+            ],
+            &periodic_scenario(),
+        );
+        let ev = &report.events()[0];
+        assert!(ev.applied, "{}", ev.detail);
+        assert_eq!(ev.cost_s, 0.002);
+        // Re-pinning to the same slot is a recorded no-op.
+        let again = &report.events()[1];
+        assert!(!again.applied);
+        assert!(again.detail.contains("already pinned"), "{}", again.detail);
+        // Every post-boundary frame of the pinned stream lands on the
+        // destination, bypassing the dispatcher.
+        let post: Vec<_> = report
+            .fleet()
+            .assignments()
+            .iter()
+            .filter(|a| a.stream == 0 && a.arrival_s >= 1.0)
+            .collect();
+        assert!(!post.is_empty());
+        assert!(post.iter().all(|a| a.chip == 1));
+    }
+
+    #[test]
+    fn scale_down_stops_routing_but_drains_in_place() {
+        let fleet = FleetConfig::homogeneous(&fda(), 2);
+        let cfg = ControllerConfig::new(1.0, ControllerPolicy::Static);
+        let scenario = periodic_scenario();
+        let report = run_scripted(
+            &fleet,
+            &cfg,
+            vec![
+                vec![ControlAction::ScaleDown { slot: 1 }],
+                vec![ControlAction::ScaleDown { slot: 0 }],
+            ],
+            &scenario,
+        );
+        let ev = &report.events()[0];
+        assert!(ev.applied, "{}", ev.detail);
+        // The last live chip is protected.
+        let last = &report.events()[1];
+        assert!(!last.applied);
+        assert!(last.detail.contains("last live chip"), "{}", last.detail);
+        // Post-boundary frames all route to the survivor; the retired
+        // chip keeps (drains) what it already had.
+        assert!(report
+            .fleet()
+            .assignments()
+            .iter()
+            .filter(|a| a.arrival_s >= 1.0)
+            .all(|a| a.chip == 0));
+        assert!(report.fleet().frames_on_chip(1) > 0);
+        let plain = FleetSimulator::new(&fleet).simulate(&scenario).unwrap();
+        assert_eq!(report.fleet().frames_total(), plain.frames_total());
+    }
+
+    #[test]
+    fn repartition_reshapes_the_chip_and_invalidates_its_memos() {
+        let probe = fda();
+        let (pes, bw) = (probe.total_pes(), probe.total_bandwidth_gbps());
+        let res = AcceleratorClass::Edge.resources();
+        let chip = AcceleratorConfig::maelstrom(res, Partition::even(2, pes, bw)).unwrap();
+        let fleet = FleetConfig::homogeneous(&chip, 1);
+        let cfg = ControllerConfig::new(1.0, ControllerPolicy::Static).with_costs(0.0, 0.0, 0.003);
+        let p0 = 3 * pes / 4;
+        let skew = Partition::new(
+            vec![p0, pes - p0],
+            vec![
+                bw * f64::from(p0) / f64::from(pes),
+                bw * f64::from(pes - p0) / f64::from(pes),
+            ],
+        )
+        .unwrap();
+        let report = run_scripted(
+            &fleet,
+            &cfg,
+            vec![
+                vec![ControlAction::Repartition {
+                    slot: 0,
+                    partition: skew.clone(),
+                }],
+                vec![ControlAction::Repartition {
+                    slot: 0,
+                    partition: skew,
+                }],
+            ],
+            &periodic_scenario(),
+        );
+        let ev = &report.events()[0];
+        assert!(ev.applied, "{}", ev.detail);
+        assert_eq!(ev.cost_s, 0.003);
+        assert!(
+            ev.memos_invalidated > 0,
+            "the outgoing configuration's schedule memos are dropped at the seam"
+        );
+        // Re-submitting the same split is a recorded no-op.
+        let again = &report.events()[1];
+        assert!(!again.applied);
+        assert!(again.detail.contains("unchanged"), "{}", again.detail);
+        // The slot contributes one report per configuration segment.
+        assert_eq!(report.fleet().chips(), 2);
+        assert_eq!(report.fleet().chip_names()[0], "chip0:Maelstrom");
+        assert_eq!(report.fleet().chip_names()[1], "chip0:Maelstrom@e1");
+        assert!(report.fleet().frames_on_chip(0) > 0);
+        assert!(report.fleet().frames_on_chip(1) > 0);
+    }
+
+    #[test]
+    fn repartition_of_a_single_dataflow_chip_is_rejected() {
+        let probe = fda();
+        let (pes, bw) = (probe.total_pes(), probe.total_bandwidth_gbps());
+        let fleet = FleetConfig::homogeneous(&probe, 1);
+        let cfg = ControllerConfig::new(1.0, ControllerPolicy::Static);
+        let report = run_scripted(
+            &fleet,
+            &cfg,
+            vec![vec![ControlAction::Repartition {
+                slot: 0,
+                partition: Partition::even(2, pes, bw),
+            }]],
+            &periodic_scenario(),
+        );
+        let ev = &report.events()[0];
+        assert!(!ev.applied);
+        assert!(ev.detail.contains("not an HDA chip"), "{}", ev.detail);
+        assert_eq!(report.fleet().chips(), 1);
+    }
+
+    #[test]
+    fn controlled_runs_are_repeat_identical() {
+        let chip = fda();
+        let fleet = FleetConfig::homogeneous(&chip, 1);
+        let cfg = ControllerConfig::new(0.5, ControllerPolicy::autoscaler())
+            .with_menu(vec![chip.clone()])
+            .with_area_budget(3.0 * chip.area_mm2())
+            .with_costs(0.001, 0.0005, 0.0005);
+        let scenario = periodic_scenario();
+        let run = || {
+            ControlledFleetSimulator::new(&fleet, &cfg)
+                .with_dispatcher(DispatchPolicy::LeastLoaded)
+                .simulate(&scenario)
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "a controlled run is a pure function of its inputs");
+        assert_eq!(a.controller(), "threshold-autoscaler");
+        assert!(a.epochs() > 0);
+    }
+
+    #[test]
+    fn miss_timeline_windows_tile_the_horizon() {
+        let fleet = FleetConfig::homogeneous(&fda(), 2);
+        let cfg = ControllerConfig::new(1.0, ControllerPolicy::Static);
+        let report = run_scripted(&fleet, &cfg, vec![], &periodic_scenario());
+        let timeline = report.miss_timeline(1.0);
+        assert_eq!(timeline.len(), 3);
+        assert_eq!((timeline[0].t0_s, timeline[0].t1_s), (0.0, 1.0));
+        // Every completed frame carries a deadline here, so the windows
+        // partition the full frame population.
+        let covered: usize = timeline.iter().map(|w| w.deadline_frames).sum();
+        assert_eq!(covered, report.fleet().frames_total());
+        let peak = report.peak_window(1.0).unwrap();
+        assert!(timeline.iter().all(|w| w.miss_rate <= peak.miss_rate));
+        // A threshold above the peak means "recovered from the start";
+        // an impossible one means "never recovered" (overloaded fleet).
+        assert_eq!(report.recovery_s(1.0, 1.0), Some(0.0));
+        assert!(report.miss_timeline(0.0).is_empty());
+        assert!(report.miss_timeline(f64::NAN).is_empty());
+    }
+
+    #[test]
+    fn audit_trail_off_keeps_scalars_but_drops_per_frame_lists() {
+        let chip = fda();
+        let loud_fleet = FleetConfig::homogeneous(&chip, 2);
+        let quiet_fleet = loud_fleet.clone().with_audit_trail(false);
+        let cfg = ControllerConfig::new(1.0, ControllerPolicy::Static);
+        let scenario = periodic_scenario();
+        let sim = |fleet| {
+            ControlledFleetSimulator::new(fleet, &cfg)
+                .with_dispatcher(DispatchPolicy::DeadlineAware)
+                .with_admission(AdmissionPolicy::DeadlineSlack { slack: 1.0 })
+                .simulate(&scenario)
+                .unwrap()
+        };
+        let loud = sim(&loud_fleet);
+        let quiet = sim(&quiet_fleet);
+        assert!(!loud.fleet().assignments().is_empty());
+        assert!(quiet.fleet().assignments().is_empty());
+        assert!(quiet.fleet().dropped().is_empty());
+        assert_eq!(quiet.fleet().frames_total(), loud.fleet().frames_total());
+        assert_eq!(quiet.fleet().dropped_total(), loud.fleet().dropped_total());
+        assert_eq!(quiet.fleet().drop_rate(), loud.fleet().drop_rate());
+        assert!(loud.fleet().dropped_total() > 0, "overload must shed load");
+        assert_eq!(loud.fleet().dropped().len(), loud.fleet().dropped_total());
+    }
+}

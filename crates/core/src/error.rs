@@ -53,6 +53,13 @@ pub enum HeraldError {
         /// Human-readable description of the violation.
         reason: String,
     },
+    /// A fleet-controller run is degenerate (non-positive control
+    /// cadence, a negative or non-finite action cost, or a degenerate
+    /// area budget).
+    Controller {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
     /// A DSE worker thread panicked while evaluating candidates; the
     /// sweep is aborted and the panic surfaces as a fallible error
     /// through the facade instead of poisoning the caller.
@@ -98,6 +105,9 @@ impl fmt::Display for HeraldError {
             }
             HeraldError::FleetSearch { reason } => {
                 write!(f, "invalid fleet-composition search: {reason}")
+            }
+            HeraldError::Controller { reason } => {
+                write!(f, "invalid fleet-controller run: {reason}")
             }
             HeraldError::WorkerPanicked { payload } => {
                 write!(f, "a DSE worker thread panicked: {payload}")
@@ -212,6 +222,16 @@ mod tests {
             reason: "fleet has no chips".into(),
         };
         assert!(e.to_string().contains("fleet has no chips"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn controller_errors_render_their_reason() {
+        let e = HeraldError::Controller {
+            reason: "control cadence must be positive".into(),
+        };
+        assert!(e.to_string().contains("control cadence"));
+        assert!(e.to_string().contains("fleet-controller"));
         assert!(e.source().is_none());
     }
 

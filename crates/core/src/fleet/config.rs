@@ -27,9 +27,23 @@ use std::fmt;
 ///     .chip(AcceleratorConfig::fda(DataflowStyle::Eyeriss, res));
 /// assert_eq!(mixed.len(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetConfig {
     chips: Vec<AcceleratorConfig>,
+    /// Whether simulations retain the full per-frame audit trail
+    /// ([`crate::fleet::FrameAssignment`] / [`crate::fleet::DroppedFrame`]
+    /// lists). On by default; headline bins turn it off so long
+    /// controller runs don't hold O(total frames) memory.
+    audit_trail: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            chips: Vec::new(),
+            audit_trail: true,
+        }
+    }
 }
 
 impl FleetConfig {
@@ -44,6 +58,7 @@ impl FleetConfig {
     pub fn homogeneous(config: &AcceleratorConfig, n: usize) -> Self {
         Self {
             chips: vec![config.clone(); n],
+            audit_trail: true,
         }
     }
 
@@ -52,6 +67,22 @@ impl FleetConfig {
     pub fn chip(mut self, config: AcceleratorConfig) -> Self {
         self.chips.push(config);
         self
+    }
+
+    /// Enables or disables the per-frame audit trail (on by default).
+    /// With the trail off, [`crate::fleet::FleetReport::assignments`]
+    /// and [`crate::fleet::FleetReport::dropped`] come back empty, but
+    /// scalar aggregates (frame counts, drop rate) are unaffected.
+    #[must_use]
+    pub fn with_audit_trail(mut self, audit_trail: bool) -> Self {
+        self.audit_trail = audit_trail;
+        self
+    }
+
+    /// Whether simulations retain the per-frame audit trail.
+    #[must_use]
+    pub fn audit_trail(&self) -> bool {
+        self.audit_trail
     }
 
     /// The chips, in dispatch-index order.
@@ -139,5 +170,16 @@ mod tests {
         let json = serde_json::to_string(&fleet).unwrap();
         let back: FleetConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, fleet);
+    }
+
+    #[test]
+    fn audit_trail_defaults_on_and_toggles() {
+        assert!(FleetConfig::new().audit_trail());
+        assert!(FleetConfig::homogeneous(&fda(DataflowStyle::Nvdla), 2).audit_trail());
+        let quiet = FleetConfig::homogeneous(&fda(DataflowStyle::Nvdla), 2).with_audit_trail(false);
+        assert!(!quiet.audit_trail());
+        let json = serde_json::to_string(&quiet).unwrap();
+        let back: FleetConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, quiet);
     }
 }

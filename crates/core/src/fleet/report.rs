@@ -51,6 +51,10 @@ pub struct FleetReport {
     per_chip: Vec<StreamReport>,
     assignments: Vec<FrameAssignment>,
     dropped: Vec<DroppedFrame>,
+    /// Admission drops as a scalar count, kept even when the per-frame
+    /// audit trail is disabled (see
+    /// [`crate::fleet::FleetConfig::with_audit_trail`]).
+    dropped_total: usize,
 }
 
 impl FleetReport {
@@ -64,7 +68,9 @@ impl FleetReport {
         per_chip: Vec<StreamReport>,
         assignments: Vec<FrameAssignment>,
         dropped: Vec<DroppedFrame>,
+        dropped_total: usize,
     ) -> Self {
+        debug_assert!(dropped.is_empty() || dropped.len() == dropped_total);
         Self {
             scenario,
             policy,
@@ -74,6 +80,7 @@ impl FleetReport {
             per_chip,
             assignments,
             dropped,
+            dropped_total,
         }
     }
 
@@ -116,17 +123,29 @@ impl FleetReport {
         &self.per_chip
     }
 
-    /// Every routing decision, in global arrival order.
+    /// Every routing decision, in global arrival order. Empty when the
+    /// fleet was configured with
+    /// [`crate::fleet::FleetConfig::with_audit_trail`] `(false)`.
     #[must_use]
     pub fn assignments(&self) -> &[FrameAssignment] {
         &self.assignments
     }
 
     /// Frames turned away by admission control, in arrival order (empty
-    /// under [`crate::fleet::AdmissionPolicy::AcceptAll`]).
+    /// under [`crate::fleet::AdmissionPolicy::AcceptAll`], and empty —
+    /// regardless of drops — when the audit trail is disabled; see
+    /// [`FleetReport::dropped_total`]).
     #[must_use]
     pub fn dropped(&self) -> &[DroppedFrame] {
         &self.dropped
+    }
+
+    /// Number of frames turned away by admission control. Unlike
+    /// [`FleetReport::dropped`], this count survives disabling the
+    /// audit trail.
+    #[must_use]
+    pub fn dropped_total(&self) -> usize {
+        self.dropped_total
     }
 
     /// Number of chips.
@@ -150,11 +169,11 @@ impl FleetReport {
     /// Fraction of generated frames dropped at admission.
     #[must_use]
     pub fn drop_rate(&self) -> f64 {
-        let generated = self.frames_total() + self.dropped.len();
+        let generated = self.frames_total() + self.dropped_total;
         if generated == 0 {
             0.0
         } else {
-            self.dropped.len() as f64 / generated as f64
+            self.dropped_total as f64 / generated as f64
         }
     }
 
@@ -198,6 +217,19 @@ impl FleetReport {
     #[must_use]
     pub fn deadline_miss_rate(&self) -> f64 {
         miss_rate(self.all_frames())
+    }
+
+    /// Deadline-miss rate over completed deadline-carrying frames whose
+    /// arrival fell in `[t0, t1)` — the fleet-level analogue of
+    /// [`StreamReport::miss_rate_between`], merged across every chip.
+    /// The controller's transient/recovery metrics are built on this
+    /// windowed view.
+    #[must_use]
+    pub fn miss_rate_between(&self, t0: f64, t1: f64) -> f64 {
+        miss_rate(
+            self.all_frames()
+                .filter(|f| f.arrival_s >= t0 && f.arrival_s < t1),
+        )
     }
 
     /// Per-chip deadline-miss rates, indexed by chip.
@@ -261,7 +293,7 @@ impl FleetReport {
     }
 
     /// Every completed frame across all chips.
-    fn all_frames(&self) -> impl Iterator<Item = &FrameRecord> {
+    pub(crate) fn all_frames(&self) -> impl Iterator<Item = &FrameRecord> {
         self.per_chip.iter().flat_map(|r| r.frames().iter())
     }
 }
@@ -276,7 +308,7 @@ impl fmt::Display for FleetReport {
             self.per_chip.len(),
             self.policy,
             self.frames_total(),
-            self.dropped.len(),
+            self.dropped_total,
             self.makespan_s(),
             self.throughput_fps(),
             self.latency_percentile(0.95),

@@ -13,28 +13,31 @@
 //!    silent.
 //! 2. **Per-chip simulation** (one `std::thread::scope` worker per
 //!    chip): each chip replays exactly the frames routed to it, as an
-//!    [`ArrivalProcess::Trace`] sub-scenario, on its own
-//!    [`StreamSimulator`] with its own private [`EvalContext`]. Chip
+//!    [`herald_workloads::ArrivalProcess::Trace`] sub-scenario, on its
+//!    own [`crate::sim::StreamSimulator`] with its own private
+//!    [`crate::ctx::EvalContext`]. Chip
 //!    isolation makes the result independent of worker interleaving: a
 //!    [`FleetReport`] is a pure function of (fleet, policy, scenario).
 //!
 //! A 1-chip fleet routes every frame to its only chip, and its per-chip
-//! report is bit-identical to running [`StreamSimulator`] directly on
-//! the original scenario (the equivalence suite pins this).
+//! report is bit-identical to running [`crate::sim::StreamSimulator`]
+//! directly on the original scenario (the equivalence suite pins this).
+//!
+//! Both phases live in [`crate::controller`]'s shared walk
+//! ([`simulate_controlled`]): this simulator delegates to it with no
+//! controller, which degenerates to exactly the two-phase run above.
 
-use crate::ctx::EvalContext;
-use crate::dse::worker_panic_error;
+use crate::controller::{simulate_controlled, ControlledFleetReport, WalkParams};
 use crate::error::HeraldError;
-use crate::fleet::dispatch::{AdmissionPolicy, ChipLoad, DispatchPolicy, Dispatcher, FrameView};
-use crate::fleet::report::{DroppedFrame, FleetReport, FrameAssignment};
+use crate::fleet::dispatch::{AdmissionPolicy, DispatchPolicy, Dispatcher};
+use crate::fleet::report::FleetReport;
 use crate::fleet::FleetConfig;
-use crate::sched::{HeraldScheduler, IncrementalScheduler, Scheduler, SchedulerConfig};
-use crate::sim::engine::{sorted_trace, validate_scenario, EventKind};
-use crate::sim::{ReschedulePolicy, StreamReport, StreamSimulator};
+use crate::sched::SchedulerConfig;
+use crate::sim::ReschedulePolicy;
 use crate::task::TaskGraph;
 use herald_arch::AcceleratorConfig;
-use herald_cost::{CostModel, Metric};
-use herald_workloads::{ArrivalProcess, MultiDnnWorkload, Scenario, StreamSpec};
+use herald_cost::Metric;
+use herald_workloads::{MultiDnnWorkload, Scenario};
 
 /// Simulates a [`FleetConfig`] serving a [`Scenario`] under a dispatch
 /// policy (see the [`crate::fleet`] module docs).
@@ -152,188 +155,57 @@ impl<'a> FleetSimulator<'a> {
         dispatcher: &mut dyn Dispatcher,
         scenario: &Scenario,
     ) -> Result<FleetReport, HeraldError> {
-        if self.fleet.is_empty() {
-            return Err(HeraldError::Fleet {
-                reason: format!("fleet serving scenario {:?} has no chips", scenario.name()),
-            });
-        }
-        if let AdmissionPolicy::DeadlineSlack { slack } = self.admission {
-            if !(slack.is_finite() && slack > 0.0) {
-                return Err(HeraldError::Fleet {
-                    reason: format!("admission slack must be positive and finite, got {slack}"),
-                });
-            }
-        }
-        validate_scenario(scenario)?;
-        let n = self.fleet.len();
-        let horizon = scenario.horizon_s();
-        let num_streams = scenario.streams().len();
-
-        // Service estimates feed the dispatcher's backlog model; skip
-        // the (one schedule per chip x workload version) cost when the
-        // policy is load-oblivious and nothing can be dropped.
-        let needs_estimates =
-            dispatcher.needs_estimates() || !matches!(self.admission, AdmissionPolicy::AcceptAll);
-        let estimates = if needs_estimates {
-            let scheduler = HeraldScheduler::new(self.scheduler);
-            let cost = CostModel::default();
-            Some(service_estimates_with(
-                scenario,
-                self.fleet.chips(),
-                |graph, chip| {
-                    Ok(scheduler
-                        .schedule_and_simulate(graph, chip, &cost)
-                        .map_err(HeraldError::Simulation)?
-                        .total_latency_s())
-                },
-            )?)
-        } else {
-            None
+        let params = WalkParams {
+            scheduler: self.scheduler,
+            metric: self.metric,
+            reschedule: self.reschedule,
+            admission: self.admission,
         };
+        simulate_controlled(
+            self.fleet.chips(),
+            self.fleet.audit_trail(),
+            &params,
+            dispatcher,
+            scenario,
+            None,
+        )
+        .map(ControlledFleetReport::into_fleet)
+    }
+}
 
-        // Phase 1: the deterministic dispatch walk over the exact event
-        // trace the single-chip engine would replay (same builder, same
-        // order — `sim::engine::sorted_trace` is the one definition).
-        let zeros = vec![0.0f64; n];
-        let mut version = vec![0usize; num_streams];
-        let mut loads = vec![ChipLoad::default(); n];
-        let mut assignments: Vec<FrameAssignment> = Vec::new();
-        let mut dropped: Vec<DroppedFrame> = Vec::new();
-        let mut chip_times: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); num_streams]; n];
-        for event in sorted_trace(scenario) {
-            let seq = match event.kind {
-                EventKind::Swap { .. } => {
-                    version[event.stream] += 1;
-                    continue;
-                }
-                EventKind::Arrival { seq } => seq,
-            };
-            let est_row: &[f64] = match &estimates {
-                Some(e) => &e[event.stream][version[event.stream]],
-                None => &zeros,
-            };
-            let frame = FrameView {
-                stream: event.stream,
-                seq,
-                arrival_s: event.t,
-                deadline_s: scenario.streams()[event.stream].deadline_s(),
-                est_service_s: est_row,
-            };
-            let chip = dispatcher.dispatch(&frame, &loads);
-            if chip >= n {
-                return Err(HeraldError::Fleet {
-                    reason: format!(
-                        "dispatcher {:?} chose chip {chip} of a {n}-chip fleet",
-                        dispatcher.name()
-                    ),
-                });
-            }
-            if let AdmissionPolicy::DeadlineSlack { slack } = self.admission {
-                if let Some(deadline) = frame.deadline_s {
-                    let finish = frame.predicted_finish_s(chip, &loads[chip]);
-                    if finish > event.t + slack * deadline {
-                        dropped.push(DroppedFrame {
-                            stream: event.stream,
-                            seq,
-                            arrival_s: event.t,
-                            predicted_finish_s: finish,
-                        });
-                        continue;
-                    }
-                }
-            }
-            if needs_estimates {
-                loads[chip].free_at_s = loads[chip].free_at_s.max(event.t) + est_row[chip];
-            }
-            loads[chip].dispatched += 1;
-            assignments.push(FrameAssignment {
-                stream: event.stream,
-                seq,
-                arrival_s: event.t,
-                chip,
-            });
-            chip_times[chip][event.stream].push(event.t);
-        }
-
-        // Phase 2: per-chip sub-scenarios (every stream kept, so stream
-        // indices align with the scenario; arrivals become the routed
-        // trace slice) simulated on one worker per chip.
-        let mut subs: Vec<Scenario> = Vec::with_capacity(n);
-        for times in &mut chip_times {
-            let mut sub = Scenario::new(scenario.name(), horizon);
-            for (si, stream) in scenario.streams().iter().enumerate() {
-                let mut spec = StreamSpec::new(
-                    stream.name(),
-                    stream.workload().clone(),
-                    ArrivalProcess::Trace {
-                        times_s: std::mem::take(&mut times[si]),
-                    },
-                );
-                if let Some(d) = stream.deadline_s() {
-                    spec = spec.with_deadline(d);
-                }
-                for swap in stream.swaps() {
-                    spec = spec.swap_at(swap.at_s, swap.workload.clone());
-                }
-                sub = sub.stream(spec);
-            }
-            subs.push(sub);
-        }
-
-        let gathered: Vec<Result<StreamReport, HeraldError>> = std::thread::scope(|scope| {
-            // Every handle is joined before the scope exits (see the DSE
-            // sweep for the same pattern): a panicking chip worker
-            // surfaces as a typed error, not a re-panic.
-            let handles: Vec<_> = subs
-                .iter()
-                .zip(self.fleet.chips())
-                .map(|(sub, chip)| scope.spawn(move || self.run_chip(chip, sub)))
-                .collect();
-            handles
+/// The one workload-deduplication rule every estimate surface shares:
+/// per stream, the workload versions are the initial workload plus one
+/// entry per swap inside the horizon (the same filter the single-chip
+/// engine applies to swap events); structurally equal workloads collapse
+/// to a single distinct entry. Returns the distinct workloads and, per
+/// `[stream][version]`, the index into them.
+pub(crate) fn distinct_workloads(scenario: &Scenario) -> (Vec<&MultiDnnWorkload>, Vec<Vec<usize>>) {
+    let horizon = scenario.horizon_s();
+    let mut distinct: Vec<&MultiDnnWorkload> = Vec::new();
+    let workload_index: Vec<Vec<usize>> = scenario
+        .streams()
+        .iter()
+        .map(|s| {
+            let mut versions = vec![s.workload()];
+            versions.extend(
+                s.swaps()
+                    .iter()
+                    .filter(|sw| sw.at_s < horizon)
+                    .map(|sw| &sw.workload),
+            );
+            versions
                 .into_iter()
-                .map(|h| h.join().map_err(worker_panic_error).and_then(|r| r))
+                .map(|w| match distinct.iter().position(|d| *d == w) {
+                    Some(i) => i,
+                    None => {
+                        distinct.push(w);
+                        distinct.len() - 1
+                    }
+                })
                 .collect()
-        });
-        let per_chip: Vec<StreamReport> = gathered.into_iter().collect::<Result<_, _>>()?;
-
-        Ok(FleetReport::new(
-            scenario.name().to_string(),
-            dispatcher.name().to_string(),
-            self.fleet.chip_names(),
-            scenario
-                .streams()
-                .iter()
-                .map(|s| s.name().to_string())
-                .collect(),
-            horizon,
-            per_chip,
-            assignments,
-            dropped,
-        ))
-    }
-
-    /// Simulates one chip's routed trace slice on a private context.
-    fn run_chip(
-        &self,
-        chip: &AcceleratorConfig,
-        sub: &Scenario,
-    ) -> Result<StreamReport, HeraldError> {
-        let ctx = EvalContext::new();
-        let sim = StreamSimulator::new(chip, ctx.cost_model())
-            .with_metric(self.metric)
-            .with_policy(self.reschedule)
-            .with_context(&ctx);
-        match self.reschedule {
-            ReschedulePolicy::Incremental => {
-                let inc =
-                    IncrementalScheduler::new(HeraldScheduler::new(self.scheduler), ctx.clone());
-                sim.simulate(&inc, sub)
-            }
-            ReschedulePolicy::FullReschedule => {
-                sim.simulate(&HeraldScheduler::new(self.scheduler), sub)
-            }
-        }
-    }
+        })
+        .collect();
+    (distinct, workload_index)
 }
 
 /// Estimated single-frame service time of every (stream, workload
@@ -351,41 +223,11 @@ pub(crate) fn service_estimates_with(
     chips: &[AcceleratorConfig],
     mut estimate: impl FnMut(&TaskGraph, &AcceleratorConfig) -> Result<f64, HeraldError>,
 ) -> Result<Vec<Vec<Vec<f64>>>, HeraldError> {
-    let horizon = scenario.horizon_s();
-    let versions: Vec<Vec<&MultiDnnWorkload>> = scenario
-        .streams()
-        .iter()
-        .map(|s| {
-            let mut v = vec![s.workload()];
-            v.extend(
-                s.swaps()
-                    .iter()
-                    .filter(|sw| sw.at_s < horizon)
-                    .map(|sw| &sw.workload),
-            );
-            v
-        })
-        .collect();
+    let (distinct, workload_index) = distinct_workloads(scenario);
     let chip_canon: Vec<usize> = chips
         .iter()
         .enumerate()
         .map(|(i, c)| chips[..i].iter().position(|p| p == c).unwrap_or(i))
-        .collect();
-    let mut distinct: Vec<&MultiDnnWorkload> = Vec::new();
-    let workload_index: Vec<Vec<usize>> = versions
-        .iter()
-        .map(|stream_versions| {
-            stream_versions
-                .iter()
-                .map(|w| match distinct.iter().position(|d| d == w) {
-                    Some(i) => i,
-                    None => {
-                        distinct.push(w);
-                        distinct.len() - 1
-                    }
-                })
-                .collect()
-        })
         .collect();
     let mut rows: Vec<Vec<f64>> = Vec::with_capacity(distinct.len());
     for workload in &distinct {
@@ -409,10 +251,11 @@ pub(crate) fn service_estimates_with(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fleet::dispatch::{ChipLoad, FrameView};
     use herald_arch::AcceleratorClass;
     use herald_dataflow::DataflowStyle;
     use herald_models::zoo;
-    use herald_workloads::single_model;
+    use herald_workloads::{single_model, StreamSpec};
 
     fn fda(style: DataflowStyle) -> AcceleratorConfig {
         AcceleratorConfig::fda(style, AcceleratorClass::Edge.resources())

@@ -30,7 +30,15 @@
 //!    least-loaded, deadline-aware, optional admission control), merging
 //!    per-chip reports into a [`fleet::FleetReport`] — the serving-layer
 //!    view of a multi-accelerator deployment.
-//! 6. The [`dse::FleetDseEngine`] searches over fleet *compositions*:
+//! 6. The [`controller::ControlledFleetSimulator`] closes the loop over
+//!    a fleet run: a [`controller::FleetController`] observes windowed
+//!    per-chip telemetry at a fixed cadence and may scale the fleet
+//!    up/down under an area budget, migrate streams, or repartition a
+//!    chip's sub-accelerators mid-run — with the static policy
+//!    bit-identical to the uncontrolled [`fleet::FleetSimulator`]
+//!    ([`controller::ControlledFleetReport`] adds the event log and
+//!    transient metrics).
+//! 7. The [`dse::FleetDseEngine`] searches over fleet *compositions*:
 //!    multisets of chip designs × dispatch policies under an area
 //!    budget, evaluated with the fleet simulator (after equivalence-memo
 //!    and predicted-dominance pruning) and reduced to a Pareto frontier
@@ -68,6 +76,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod controller;
 pub mod ctx;
 pub mod dse;
 pub mod error;

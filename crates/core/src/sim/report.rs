@@ -507,6 +507,55 @@ mod tests {
     }
 
     #[test]
+    fn windowed_miss_rate_is_inclusive_exclusive_on_arrivals() {
+        let r = report(vec![
+            frame(0, 0.0, 0.5, Some(0.4)), // missed, arrival exactly 0.0
+            frame(0, 1.0, 0.3, Some(0.4)), // met, arrival exactly 1.0
+        ]);
+        // t0 is inclusive: the frame arriving exactly at t0 counts.
+        assert!((r.miss_rate_between(0.0, 1.0) - 1.0).abs() < 1e-12);
+        assert!((r.miss_rate_between(1.0, 2.0) - 0.0).abs() < 1e-12);
+        // t1 is exclusive: the frame arriving exactly at t1 does not.
+        assert!((r.miss_rate_between(0.5, 1.0) - 0.0).abs() < 1e-12);
+        // Adjacent windows therefore partition the frames: each arrival
+        // lands in exactly one of [0,1) and [1,2).
+        let both = r.miss_rate_between(0.0, 2.0);
+        assert!((both - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn windowed_miss_rate_of_an_empty_window_is_zero() {
+        let r = report(vec![
+            frame(0, 0.0, 0.5, Some(0.4)),
+            frame(1, 0.7, 9.0, None), // deadline-free: never counted
+        ]);
+        // No arrivals at all in the window.
+        assert_eq!(r.miss_rate_between(2.0, 3.0), 0.0);
+        // Arrivals present but none carrying a deadline.
+        assert_eq!(r.miss_rate_between(0.5, 1.0), 0.0);
+        // A window entirely after the last event is empty, not an error.
+        assert_eq!(r.miss_rate_between(100.0, 200.0), 0.0);
+        // An inverted or zero-length window matches nothing, even at an
+        // exact arrival time.
+        assert_eq!(r.miss_rate_between(0.0, 0.0), 0.0);
+        assert_eq!(r.miss_rate_between(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn windowed_miss_rate_straddling_the_last_event_counts_it_once() {
+        let r = report(vec![
+            frame(0, 0.4, 0.5, Some(0.4)), // missed
+            frame(0, 0.9, 0.3, Some(0.4)), // met — the last arrival
+        ]);
+        // A window straddling the last arrival sees it exactly once,
+        // regardless of how far past it the window extends.
+        assert!((r.miss_rate_between(0.5, 50.0) - 0.0).abs() < 1e-12);
+        assert!((r.miss_rate_between(0.0, 50.0) - 0.5).abs() < 1e-12);
+        // Shrinking t1 onto the last arrival excludes it again.
+        assert!((r.miss_rate_between(0.0, 0.9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn stream_stats_split_by_stream() {
         let r = report(vec![
             frame(0, 0.0, 0.2, Some(1.0)),

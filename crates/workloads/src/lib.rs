@@ -27,8 +27,8 @@ mod scenario;
 pub mod seeded;
 
 pub use scenario::{
-    arvr_a_stream, arvr_b_stream, diurnal_ramp_trace, fleet_mix_stream, poisson_mix_stream,
-    workload_change_trace, ArrivalProcess, Scenario, StreamSpec, WorkloadSwap,
+    arvr_a_stream, arvr_b_stream, diurnal_ramp_trace, diurnal_rate_at, fleet_mix_stream,
+    poisson_mix_stream, workload_change_trace, ArrivalProcess, Scenario, StreamSpec, WorkloadSwap,
 };
 
 use herald_models::{zoo, DnnModel};

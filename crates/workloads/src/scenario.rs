@@ -425,6 +425,18 @@ pub fn fleet_mix_stream(
     scenario
 }
 
+/// The instantaneous *aggregate* arrival rate (frames per second) of a
+/// [`diurnal_ramp_trace`] at time `t_s`: `trough_fps` at the horizon's
+/// edges ramping to `peak_fps` at its middle along
+/// `trough + (peak - trough) * sin^2(pi t / horizon)`. Exposed so
+/// controllers and benches can compare observed load against the
+/// trace's ground-truth intensity without re-deriving the ramp shape.
+#[must_use]
+pub fn diurnal_rate_at(trough_fps: f64, peak_fps: f64, horizon_s: f64, t_s: f64) -> f64 {
+    let s = (std::f64::consts::PI * t_s / horizon_s).sin();
+    trough_fps + (peak_fps - trough_fps) * s * s
+}
+
 /// A diurnal serving trace: `tenants` streams whose *aggregate* arrival
 /// rate ramps from `trough_fps` at the horizon's edges to `peak_fps` at
 /// its middle (one day compressed into the horizon, rate following
@@ -450,10 +462,7 @@ pub fn diurnal_ramp_trace(
         peak_fps >= trough_fps,
         "peak rate {peak_fps} must be at least the trough rate {trough_fps}"
     );
-    let rate_at = |t: f64| {
-        let s = (std::f64::consts::PI * t / horizon_s).sin();
-        (trough_fps + (peak_fps - trough_fps) * s * s) / tenants as f64
-    };
+    let rate_at = |t: f64| diurnal_rate_at(trough_fps, peak_fps, horizon_s, t) / tenants as f64;
     let ceiling = peak_fps / tenants as f64;
     let mut scenario = Scenario::new(format!("diurnal-{tenants}t"), horizon_s);
     for i in 0..tenants {
@@ -622,6 +631,19 @@ mod tests {
             middle as f64 > 1.5 * edges as f64,
             "middle {middle} vs edges {edges}"
         );
+    }
+
+    #[test]
+    fn diurnal_rate_troughs_at_edges_and_peaks_mid_horizon() {
+        assert!((diurnal_rate_at(4.0, 12.0, 3.0, 0.0) - 4.0).abs() < 1e-12);
+        assert!((diurnal_rate_at(4.0, 12.0, 3.0, 3.0) - 4.0).abs() < 1e-9);
+        assert!((diurnal_rate_at(4.0, 12.0, 3.0, 1.5) - 12.0).abs() < 1e-12);
+        // sin^2 is symmetric about the midpoint and monotone up to it.
+        let quarter = diurnal_rate_at(4.0, 12.0, 3.0, 0.75);
+        assert!((quarter - diurnal_rate_at(4.0, 12.0, 3.0, 2.25)).abs() < 1e-9);
+        assert!((quarter - 8.0).abs() < 1e-9, "sin^2(pi/4) = 1/2: {quarter}");
+        // A flat trace never leaves its trough.
+        assert!((diurnal_rate_at(5.0, 5.0, 3.0, 1.2) - 5.0).abs() < 1e-12);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! ```
 
 use herald_arch::{AcceleratorClass, AcceleratorConfig, HardwareResources, Partition};
+use herald_core::controller::{ControlledFleetReport, ControlledFleetSimulator, ControllerConfig};
 use herald_core::ctx::EvalContext;
 use herald_core::dse::{
     DesignPoint, DseConfig, DseEngine, FleetDseConfig, FleetDseEngine, FleetSearchOutcome,
@@ -440,6 +441,58 @@ impl Experiment {
         })
     }
 
+    /// Runs a streaming [`Scenario`] across a fleet *under closed-loop
+    /// control*: a [`herald_core::controller::FleetController`] observes
+    /// windowed per-chip telemetry at the cadence configured in
+    /// `control` and may scale the fleet up or down, migrate streams, or
+    /// repartition a chip's sub-accelerators mid-run.
+    ///
+    /// The chips in `fleet` are the epoch-0 roster; `control` supplies
+    /// the decision cadence, the policy
+    /// ([`herald_core::controller::ControllerPolicy`]), the scale-up
+    /// menu and area budget, and the reconfiguration cost model. The
+    /// scheduler, metric, rescheduling policy, dispatcher and admission
+    /// gate configured on the builder apply exactly as in
+    /// [`Experiment::fleet`]; with the
+    /// [`herald_core::controller::StaticController`] policy the run is
+    /// bit-identical to [`Experiment::fleet`] on the same inputs. As
+    /// with fleet runs, a context attached via
+    /// [`Experiment::with_context`] is not consulted (per-chip isolation
+    /// keeps the outcome independent of thread interleaving).
+    ///
+    /// # Errors
+    ///
+    /// * [`HeraldError::Fleet`] — the fleet has no chips;
+    /// * [`HeraldError::Controller`] — degenerate controller description
+    ///   (non-positive or non-finite cadence, zero-chip menu entry);
+    /// * [`HeraldError::Scenario`] — degenerate scenario description;
+    /// * [`HeraldError::Simulation`] — a schedule failed to replay
+    ///   (indicates a scheduler bug);
+    /// * [`HeraldError::WorkerPanicked`] — a per-chip worker panicked.
+    pub fn controller(
+        mut self,
+        fleet: &FleetConfig,
+        control: &ControllerConfig,
+        scenario: &Scenario,
+    ) -> Result<ControlledFleetOutcome, HeraldError> {
+        self.normalize();
+        let report = ControlledFleetSimulator::new(fleet, control)
+            .with_scheduler(self.dse.scheduler)
+            .with_metric(self.dse.metric)
+            .with_policy(self.reschedule)
+            .with_dispatcher(self.dispatcher)
+            .with_admission(self.admission)
+            .simulate(scenario)?;
+        Ok(ControlledFleetOutcome {
+            scenario: scenario.name().to_string(),
+            policy: report.fleet().policy().to_string(),
+            controller: report.controller().to_string(),
+            chips: report.fleet().chip_names().to_vec(),
+            metric: self.dse.metric,
+            report,
+        })
+    }
+
     /// Searches fleet *compositions* for a scenario: which chips to
     /// build, how many, and which dispatch policy to run — the design
     /// layer above [`Experiment::fleet`], which simulates one given
@@ -703,6 +756,66 @@ impl FleetOutcome {
     #[must_use]
     pub fn deadline_miss_rate(&self) -> f64 {
         self.report.deadline_miss_rate()
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HeraldError::Serialization`] (not expected for this
+    /// type).
+    pub fn to_json(&self) -> Result<String, HeraldError> {
+        Ok(serde_json::to_string_pretty(self)?)
+    }
+}
+
+/// The result of a closed-loop [`Experiment::controller`] run: the
+/// dispatch policy, controller and final chip roster plus the full
+/// [`ControlledFleetReport`] (fleet outcome, reconfiguration-event log,
+/// transient miss/recovery metrics).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ControlledFleetOutcome {
+    /// Name of the scenario served.
+    pub scenario: String,
+    /// Name of the dispatch policy that routed the frames.
+    pub policy: String,
+    /// Name of the controller policy that made the reconfiguration
+    /// decisions.
+    pub controller: String,
+    /// Chip display names at the end of the run (initial roster plus
+    /// any controller-added or reshaped chips), in dispatch-index order.
+    pub chips: Vec<String>,
+    /// Metric the per-chip schedulers optimized.
+    pub metric: Metric,
+    report: ControlledFleetReport,
+}
+
+impl ControlledFleetOutcome {
+    /// The controlled-run report: the merged fleet outcome plus the
+    /// reconfiguration-event audit trail and transient metrics.
+    #[must_use]
+    pub fn report(&self) -> &ControlledFleetReport {
+        &self.report
+    }
+
+    /// Aggregate throughput, completed frames per second of fleet
+    /// makespan.
+    #[must_use]
+    pub fn throughput_fps(&self) -> f64 {
+        self.report.fleet().throughput_fps()
+    }
+
+    /// Deadline-miss rate over all completed deadline-carrying frames.
+    #[must_use]
+    pub fn deadline_miss_rate(&self) -> f64 {
+        self.report.fleet().deadline_miss_rate()
+    }
+
+    /// Number of control actions the run actually applied (rejected
+    /// proposals are logged in the event trail but not counted here).
+    #[must_use]
+    pub fn actions_applied(&self) -> usize {
+        self.report.actions_applied()
     }
 
     /// Serializes to pretty JSON.
@@ -1188,6 +1301,49 @@ mod tests {
             .unwrap();
         assert!(!outcome.report().dropped().is_empty());
         assert!(outcome.report().drop_rate() > 0.0);
+    }
+
+    #[test]
+    fn static_controller_outcome_matches_the_fleet_outcome() {
+        use herald_core::controller::{ControllerConfig, ControllerPolicy};
+        let scenario = herald_workloads::diurnal_ramp_trace(2, 4.0, 8.0, 0.4, 2.0, 5);
+        let chip = AcceleratorConfig::fda(DataflowStyle::Nvdla, AcceleratorClass::Edge.resources());
+        let fleet = FleetConfig::homogeneous(&chip, 2);
+        let control = ControllerConfig::new(0.5, ControllerPolicy::Static);
+        let run = |exp: Experiment| exp.dispatcher(DispatchPolicy::LeastLoaded);
+        let controlled = run(Experiment::new(scenario.design_workload()))
+            .controller(&fleet, &control, &scenario)
+            .unwrap();
+        let plain = run(Experiment::new(scenario.design_workload()))
+            .fleet(&fleet, &scenario)
+            .unwrap();
+        assert_eq!(controlled.report().fleet(), plain.report());
+        assert_eq!(controlled.controller, "static");
+        assert_eq!(controlled.policy, plain.policy);
+        assert_eq!(controlled.chips, plain.chips);
+        assert_eq!(controlled.actions_applied(), 0);
+        assert!(controlled.to_json().unwrap().contains("\"static\""));
+    }
+
+    #[test]
+    fn controller_outcome_surfaces_autoscaler_actions() {
+        use herald_core::controller::{ControllerConfig, ControllerPolicy};
+        let scenario = herald_workloads::diurnal_ramp_trace(2, 4.0, 12.0, 0.4, 3.0, 7);
+        let chip = AcceleratorConfig::fda(DataflowStyle::Nvdla, AcceleratorClass::Edge.resources());
+        let fleet = FleetConfig::homogeneous(&chip, 1);
+        let control = ControllerConfig::new(0.5, ControllerPolicy::autoscaler())
+            .with_menu(vec![chip.clone()])
+            .with_area_budget(3.0 * chip.area_mm2());
+        let outcome = Experiment::new(scenario.design_workload())
+            .dispatcher(DispatchPolicy::LeastLoaded)
+            .controller(&fleet, &control, &scenario)
+            .unwrap();
+        assert_eq!(outcome.controller, "threshold-autoscaler");
+        assert_eq!(outcome.report().epochs(), 6);
+        // The 1-chip fleet misses hard on the diurnal peak: the
+        // autoscaler must have grown the roster.
+        assert!(outcome.actions_applied() > 0);
+        assert!(outcome.chips.len() > 1);
     }
 
     #[test]

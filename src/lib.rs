@@ -108,6 +108,43 @@
 //! # }
 //! ```
 
+//! # Online fleet control
+//!
+//! [`Experiment::controller`] closes the loop over a fleet run: a
+//! [`core::controller::FleetController`] observes windowed per-chip
+//! telemetry at a fixed cadence and may scale the fleet up or down
+//! under an area budget, migrate a stream (with a handoff cost while
+//! in-flight frames drain in place), or repartition a chip's
+//! sub-accelerators mid-run. The
+//! [`core::controller::ControlledFleetReport`] carries the fleet
+//! outcome plus the reconfiguration-event log and transient
+//! miss/recovery metrics; the
+//! [`core::controller::StaticController`] policy is bit-identical to
+//! [`Experiment::fleet`].
+//!
+//! ```
+//! use herald::prelude::*;
+//!
+//! # fn main() -> Result<(), HeraldError> {
+//! // A diurnal ramp overwhelms one edge chip at its peak; the
+//! // autoscaler grows the fleet from a one-chip menu.
+//! let scenario = herald::workloads::diurnal_ramp_trace(2, 4.0, 12.0, 0.4, 3.0, 7);
+//! let chip = AcceleratorConfig::fda(
+//!     DataflowStyle::Nvdla,
+//!     AcceleratorClass::Edge.resources(),
+//! );
+//! let control = ControllerConfig::new(0.75, ControllerPolicy::autoscaler())
+//!     .with_menu(vec![chip.clone()])
+//!     .with_area_budget(4.0 * chip.area_mm2());
+//! let outcome = Experiment::new(scenario.design_workload())
+//!     .dispatcher(DispatchPolicy::LeastLoaded)
+//!     .controller(&FleetConfig::homogeneous(&chip, 1), &control, &scenario)?;
+//! assert_eq!(outcome.report().epochs(), 4);
+//! assert!(outcome.actions_applied() > 0);
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! # Fleet design-space exploration
 //!
 //! [`Experiment::fleet_search`] searches over fleet *compositions*:
@@ -149,17 +186,25 @@ pub use herald_workloads as workloads;
 
 mod experiment;
 
-pub use experiment::{Experiment, ExperimentOutcome, FleetOutcome, StreamOutcome};
+pub use experiment::{
+    ControlledFleetOutcome, Experiment, ExperimentOutcome, FleetOutcome, StreamOutcome,
+};
 pub use herald_core::error::HeraldError;
 
 /// Commonly used items, re-exported for ergonomic downstream use.
 pub mod prelude {
-    pub use crate::experiment::{Experiment, ExperimentOutcome, FleetOutcome, StreamOutcome};
+    pub use crate::experiment::{
+        ControlledFleetOutcome, Experiment, ExperimentOutcome, FleetOutcome, StreamOutcome,
+    };
     pub use herald_arch::{
         AcceleratorClass, AcceleratorConfig, AcceleratorStyle, HardwareResources, Partition,
         SubAccelerator,
     };
     pub use herald_core::{
+        controller::{
+            ControlAction, ControlledFleetReport, ControlledFleetSimulator, ControllerConfig,
+            ControllerPolicy, FleetController, MissWindow, ReconfigurationEvent,
+        },
         ctx::{EvalContext, EvalSnapshot, EvalStats},
         dse::{
             DseConfig, DseEngine, DseOutcome, FleetCandidate, FleetDseConfig, FleetDseEngine,

@@ -1,0 +1,125 @@
+//! End-to-end equivalence and transient-behavior tests for the online
+//! fleet controller.
+//!
+//! The controller's epoch walk replaces the plain `FleetSimulator`
+//! dispatch walk, so its most important property is *do-nothing
+//! neutrality*: with the static policy, a controlled run must be
+//! bit-identical to the uncontrolled fleet on the same scenario — for
+//! every dispatch policy, with and without admission control, and
+//! through the `Experiment` facade. On top of that, the threshold
+//! autoscaler must be repeat-identical (decisions and all) and must
+//! measurably beat the static fleet through a diurnal overload
+//! transient.
+
+use herald::prelude::*;
+use herald_workloads::diurnal_ramp_trace;
+
+/// Edge-class service times are ~0.27-0.33 s/frame, so scenario time
+/// scales are seconds, not milliseconds: few-fps rates, sub-second
+/// deadlines, second-scale horizons.
+fn chip() -> AcceleratorConfig {
+    AcceleratorConfig::fda(DataflowStyle::Nvdla, AcceleratorClass::Edge.resources())
+}
+
+fn ramp() -> Scenario {
+    diurnal_ramp_trace(2, 4.0, 10.0, 0.4, 3.0, 17)
+}
+
+#[test]
+fn static_controller_is_bit_identical_to_the_fleet_simulator() {
+    let scenario = ramp();
+    let fleet = FleetConfig::homogeneous(&chip(), 2);
+    let control = ControllerConfig::new(0.75, ControllerPolicy::Static);
+    for policy in DispatchPolicy::ALL {
+        for admission in [
+            AdmissionPolicy::AcceptAll,
+            AdmissionPolicy::DeadlineSlack { slack: 1.0 },
+        ] {
+            let controlled = ControlledFleetSimulator::new(&fleet, &control)
+                .with_dispatcher(policy)
+                .with_admission(admission)
+                .simulate(&scenario)
+                .expect("controlled run succeeds");
+            let plain = FleetSimulator::new(&fleet)
+                .with_dispatcher(policy)
+                .with_admission(admission)
+                .simulate(&scenario)
+                .expect("plain run succeeds");
+            assert_eq!(
+                *controlled.fleet(),
+                plain,
+                "static controller drifted from FleetSimulator under {policy:?}/{admission:?}"
+            );
+            assert_eq!(controlled.actions_applied(), 0);
+            assert!(controlled.events().is_empty());
+        }
+    }
+}
+
+#[test]
+fn facade_controller_matches_the_direct_simulator() {
+    let scenario = ramp();
+    let fleet = FleetConfig::homogeneous(&chip(), 2);
+    let control = ControllerConfig::new(0.5, ControllerPolicy::Static);
+    let via_facade = Experiment::new(scenario.design_workload())
+        .dispatcher(DispatchPolicy::LeastLoaded)
+        .controller(&fleet, &control, &scenario)
+        .expect("facade run succeeds");
+    let direct = ControlledFleetSimulator::new(&fleet, &control)
+        .with_dispatcher(DispatchPolicy::LeastLoaded)
+        .simulate(&scenario)
+        .expect("direct run succeeds");
+    assert_eq!(*via_facade.report(), direct);
+    let plain = Experiment::new(scenario.design_workload())
+        .dispatcher(DispatchPolicy::LeastLoaded)
+        .fleet(&fleet, &scenario)
+        .expect("plain facade run succeeds");
+    assert_eq!(*via_facade.report().fleet(), *plain.report());
+}
+
+#[test]
+fn autoscaler_is_repeat_identical_and_beats_static_through_the_peak() {
+    // One chip against a ramp that peaks well past its capacity: the
+    // static fleet drowns at midday, the autoscaler may grow to three
+    // chips from a one-chip menu.
+    let scenario = diurnal_ramp_trace(2, 4.0, 12.0, 0.4, 3.0, 7);
+    let chip = chip();
+    let fleet = FleetConfig::homogeneous(&chip, 1);
+    let control = ControllerConfig::new(0.5, ControllerPolicy::autoscaler())
+        .with_menu(vec![chip.clone()])
+        .with_area_budget(3.0 * chip.area_mm2())
+        .with_costs(0.01, 0.005, 0.005);
+    let run = || {
+        ControlledFleetSimulator::new(&fleet, &control)
+            .with_dispatcher(DispatchPolicy::LeastLoaded)
+            .simulate(&scenario)
+            .expect("autoscaled run succeeds")
+    };
+    let auto = run();
+    assert_eq!(auto, run(), "controlled runs must be repeat-identical");
+    assert!(auto.actions_applied() > 0, "the autoscaler must act");
+
+    let static_run = FleetSimulator::new(&fleet)
+        .with_dispatcher(DispatchPolicy::LeastLoaded)
+        .simulate(&scenario)
+        .expect("static run succeeds");
+    assert!(
+        auto.fleet().deadline_miss_rate() < static_run.deadline_miss_rate(),
+        "autoscaling must beat the static fleet: {} vs {}",
+        auto.fleet().deadline_miss_rate(),
+        static_run.deadline_miss_rate()
+    );
+
+    // The transient metrics see the same improvement: the worst
+    // cadence-window miss rate shrinks or the fleet recovers sooner.
+    let window = 0.5;
+    let auto_peak = auto.peak_window(window).expect("windows exist").miss_rate;
+    let n = (3.0f64 / window).ceil() as usize;
+    let static_peak = (0..n)
+        .map(|k| static_run.miss_rate_between(k as f64 * window, (k + 1) as f64 * window))
+        .fold(0.0f64, f64::max);
+    assert!(
+        auto_peak <= static_peak,
+        "autoscaling must not deepen the transient: {auto_peak} vs {static_peak}"
+    );
+}
