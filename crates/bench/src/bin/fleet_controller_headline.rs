@@ -12,10 +12,13 @@
 //!
 //! Pass `--json` to emit a machine-readable record (per-policy
 //! transient/recovery rows, the comparison verdicts, the repeat flag)
-//! for baseline tracking across PRs (`BENCH_pr6.json`).
+//! for baseline tracking across PRs (`BENCH_pr6.json`). Pass
+//! `--profile` to print the streaming engine's hot-path counters for
+//! one chip serving the full diurnal trace — the engine every
+//! controlled fleet worker runs per epoch shard.
 
 use herald::prelude::*;
-use herald_bench::{bench_args, utilization_fps_scale};
+use herald_bench::{bench_args, print_profile, utilization_fps_scale};
 use herald_workloads::{diurnal_ramp_trace, fleet_mix_stream};
 use std::time::Instant;
 
@@ -153,6 +156,15 @@ fn main() -> Result<(), HeraldError> {
     assert!(repeat_identical, "controlled runs must be repeat-identical");
 
     let wall_s = t0.elapsed().as_secs_f64();
+    if args.profile && !json_mode {
+        // The per-chip hot path: one chip streaming the whole diurnal
+        // trace — the engine every controlled fleet worker runs on its
+        // epoch shard. Runs outside the reported wall clock.
+        let (_, chip_profile) = Experiment::new(scenario.design_workload())
+            .on_accelerator(chip.clone())
+            .scenario_profiled(&scenario)?;
+        print_profile("single chip, full diurnal trace", &chip_profile);
+    }
     if json_mode {
         let record = serde_json::json!({
             "bench": "fleet_controller_headline",

@@ -16,10 +16,12 @@
 //!
 //! Pass `--json` for a machine-readable record (frontier rows, pruning
 //! stats, best-under-budget pick) for baseline tracking across PRs
-//! (`BENCH_pr5.json`).
+//! (`BENCH_pr5.json`). Pass `--profile` to print the shared search
+//! context's memo counters (placement evaluations, schedule cache hits,
+//! fingerprint probes).
 
 use herald::prelude::*;
-use herald_bench::{bench_args, utilization_fps_scale};
+use herald_bench::{bench_args, print_eval_snapshot, utilization_fps_scale};
 use herald_workloads::fleet_mix_stream;
 use std::time::Instant;
 
@@ -156,6 +158,11 @@ fn main() -> Result<(), HeraldError> {
     }
 
     let wall_s = t0.elapsed().as_secs_f64();
+    if args.profile && !json_mode {
+        // The chip search and every candidate's service estimates share
+        // this context — its memo counters are the search's hot path.
+        print_eval_snapshot("shared search context", &ctx.stats().snapshot());
+    }
     if json_mode {
         let frontier_rows: Vec<serde_json::Value> = outcome
             .frontier()

@@ -9,10 +9,13 @@
 //!
 //! Pass `--json` to emit a machine-readable record (per-fleet-size
 //! scaling rows, per-policy saturation rows, the equivalence flag) for
-//! baseline tracking across PRs (`BENCH_pr4.json`).
+//! baseline tracking across PRs (`BENCH_pr4.json`). Pass `--profile`
+//! to print the streaming engine's hot-path counters for the
+//! single-chip equivalence run — the same engine every fleet worker
+//! runs on its shard.
 
 use herald::prelude::*;
-use herald_bench::{bench_args, utilization_fps_scale};
+use herald_bench::{bench_args, print_profile, utilization_fps_scale};
 use herald_workloads::fleet_mix_stream;
 use std::time::Instant;
 
@@ -198,9 +201,14 @@ fn main() -> Result<(), HeraldError> {
         (frames_target / 4.0) / eq_fps,
         seed + 2,
     );
-    let direct = Experiment::new(eq.design_workload())
+    let (direct, direct_profile) = Experiment::new(eq.design_workload())
         .on_accelerator(chip.clone())
-        .scenario(&eq)?;
+        .scenario_profiled(&eq)?;
+    if args.profile && !json_mode {
+        // The per-chip hot path: every fleet worker runs this same
+        // engine on its shard.
+        print_profile("single-chip equivalence run", &direct_profile);
+    }
     let one_chip = FleetConfig::homogeneous(&chip, 1);
     let mut bit_identical = true;
     for policy in DispatchPolicy::ALL {

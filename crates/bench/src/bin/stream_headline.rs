@@ -10,13 +10,24 @@
 //! wall clock.
 //!
 //! Pass `--json` to emit a machine-readable record (per-scenario streams,
-//! headline aggregates, incremental-vs-full counters, wall-clock) for
-//! baseline tracking across PRs.
+//! headline aggregates, incremental-vs-full counters, hot-path profile,
+//! wall-clock) for baseline tracking across PRs. Pass `--profile` to
+//! print the streaming engine's hot-path counters (fingerprint memo
+//! probes, arena reuse, admission batching, per-phase wall-clock) in
+//! human-readable form.
 
 use herald::prelude::*;
-use herald_bench::{bench_args, stream_fixed_timed, utilization_fps_scale};
+use herald_bench::{
+    bench_args, print_profile, stream_fixed_best_of, stream_fixed_profiled, utilization_fps_scale,
+};
 use herald_workloads::Scenario;
+use serde::Serialize as _;
 use std::time::Instant;
+
+/// Each timed measurement keeps the fastest of this many bit-identical
+/// runs, so the events-per-second figures track simulator throughput
+/// rather than scheduler jitter on sub-millisecond walls.
+const TIMING_REPEATS: usize = 3;
 
 fn main() -> Result<(), HeraldError> {
     let args = bench_args();
@@ -31,6 +42,8 @@ fn main() -> Result<(), HeraldError> {
 
     let mut scenarios_json = Vec::new();
     let mut totals = Totals::default();
+    let mut aggregate = HotPathProfile::default();
+    let mut warm_case: Option<(Scenario, AcceleratorConfig)> = None;
     let t0 = Instant::now();
 
     for &class in classes {
@@ -57,14 +70,24 @@ fn main() -> Result<(), HeraldError> {
             // The HDA trace under both policies: the incremental default
             // and the schedule-every-arrival baseline it is measured
             // against (bit-identical frames, different work).
-            let (hda, hda_wall_s) = stream_fixed_timed(
+            let (hda, hda_wall_s, hda_profile) = stream_fixed_best_of(
                 &scenario,
                 config.clone(),
                 fast,
                 ReschedulePolicy::Incremental,
+                TIMING_REPEATS,
             )?;
-            let (hda_full, hda_full_wall_s) =
-                stream_fixed_timed(&scenario, config, fast, ReschedulePolicy::FullReschedule)?;
+            aggregate.merge(&hda_profile);
+            if warm_case.is_none() {
+                warm_case = Some((scenario.clone(), config.clone()));
+            }
+            let (hda_full, hda_full_wall_s, _) = stream_fixed_best_of(
+                &scenario,
+                config,
+                fast,
+                ReschedulePolicy::FullReschedule,
+                TIMING_REPEATS,
+            )?;
             assert_eq!(
                 hda.report().frames(),
                 hda_full.report().frames(),
@@ -74,7 +97,7 @@ fn main() -> Result<(), HeraldError> {
             // latency across all three styles.
             let mut best_fda: Option<StreamOutcome> = None;
             for style in DataflowStyle::ALL {
-                let (fda, _) = stream_fixed_timed(
+                let (fda, _, _) = stream_fixed_profiled(
                     &scenario,
                     AcceleratorConfig::fda(style, class.resources()),
                     fast,
@@ -208,6 +231,44 @@ fn main() -> Result<(), HeraldError> {
     }
     let wall_s = t0.elapsed().as_secs_f64();
 
+    // Warm-rerun record: stream the first HDA scenario twice against one
+    // shared evaluation context. The second run's online compile is
+    // served from the context's schedule memo through the 128-bit
+    // fingerprint fast path, so its profile demonstrates nonzero
+    // `fingerprint_hits` (fresh runs have none — every scenario uses
+    // distinct workload versions, so their probes all miss).
+    let (warm_scenario, warm_config) = warm_case.expect("at least one scenario ran");
+    let ctx = EvalContext::new();
+    let warm_run = |config: AcceleratorConfig| -> Result<_, HeraldError> {
+        let exp = Experiment::new(warm_scenario.design_workload())
+            .on_accelerator(config)
+            .with_context(ctx.clone());
+        let exp = if fast { exp.fast() } else { exp };
+        exp.scenario_profiled(&warm_scenario)
+    };
+    let (cold_outcome, _) = warm_run(warm_config.clone())?;
+    let (warm_outcome, warm_profile) = warm_run(warm_config)?;
+    // Bit-identical physics; only the bookkeeping counters (compiles vs
+    // memo hits) may differ between the cold and warm pass.
+    assert_eq!(
+        cold_outcome.report().frames(),
+        warm_outcome.report().frames(),
+        "fingerprint-served memo hits must be bit-identical to fresh compiles"
+    );
+    assert_eq!(
+        cold_outcome.report().busy_spans(),
+        warm_outcome.report().busy_spans()
+    );
+    assert_eq!(
+        cold_outcome.report().energy(),
+        warm_outcome.report().energy()
+    );
+
+    if args.profile && !json_mode {
+        print_profile("all HDA incremental runs", &aggregate);
+        print_profile("warm rerun (shared context)", &warm_profile);
+    }
+
     if json_mode {
         let record = serde_json::json!({
             "bench": "stream_headline",
@@ -232,6 +293,15 @@ fn main() -> Result<(), HeraldError> {
                     totals.full as f64 / totals.incremental.max(1) as f64,
             }),
             "scenarios": serde_json::Value::Seq(scenarios_json),
+            // The hot-path profile section (always emitted; the golden
+            // differ skips it wholesale like wall-clock keys):
+            // `aggregate` sums every HDA incremental run, `warm_rerun`
+            // is the shared-context second pass whose compiles are
+            // served via the fingerprint fast path.
+            "profile": serde_json::json!({
+                "aggregate": aggregate.to_value(),
+                "warm_rerun": warm_profile.to_value(),
+            }),
         });
         println!("{}", record.to_json_pretty());
     } else {

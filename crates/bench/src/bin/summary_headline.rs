@@ -9,14 +9,22 @@
 //!
 //! Pass `--json` to emit a machine-readable record (per-scenario bests,
 //! headline averages, wall-clock) for baseline tracking across PRs.
+//! Pass `--profile` to share one evaluation context across the whole
+//! sweep and print its memo counters (placement evaluations, schedule
+//! cache hits, fingerprint probes) — the one-shot bins' view of the
+//! hot-path profiling story.
 
 use herald::prelude::*;
-use herald_bench::{best_of, evaluate_suite, fast_mode};
+use herald_bench::{bench_args, best_of, evaluate_suite_with_context, print_eval_snapshot};
 use std::time::Instant;
 
 fn main() -> Result<(), HeraldError> {
-    let fast = fast_mode();
-    let json_mode = std::env::args().any(|a| a == "--json");
+    let args = bench_args();
+    let (fast, json_mode) = (args.fast, args.json);
+    // A shared context only under --profile, so the default run keeps
+    // every evaluation's counters independent (memo hits are
+    // bit-identical either way).
+    let ctx = args.profile.then(EvalContext::new);
     let classes: &[AcceleratorClass] = if fast {
         &[AcceleratorClass::Edge]
     } else {
@@ -36,7 +44,7 @@ fn main() -> Result<(), HeraldError> {
 
     for workload in &workloads {
         for &class in classes {
-            let (rows, _) = evaluate_suite(workload, class, fast)?;
+            let (rows, _) = evaluate_suite_with_context(workload, class, fast, ctx.as_ref())?;
             let Some(hda) = best_of(&rows, "HDA") else {
                 return Err(HeraldError::EmptySearch {
                     workload: workload.name().to_string(),
@@ -72,6 +80,11 @@ fn main() -> Result<(), HeraldError> {
     }
     let wall_s = t0.elapsed().as_secs_f64();
 
+    if let Some(ctx) = &ctx {
+        if !json_mode {
+            print_eval_snapshot("full evaluation sweep", &ctx.stats().snapshot());
+        }
+    }
     if json_mode {
         let record = serde_json::json!({
             "bench": "summary_headline",

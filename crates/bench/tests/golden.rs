@@ -31,8 +31,15 @@ use serde_json::Value;
 use std::process::Command;
 
 /// Fields whose values depend on wall-clock time, not on simulation
-/// results.
-const TIMING_KEYS: [&str; 3] = ["wall_clock_s", "events_per_second", "wall_clock_ms"];
+/// results — plus the hot-path `profile` section, which travels beside
+/// the simulation results (its per-phase timers are wall-clock, and its
+/// counters are already regression-gated by the engine's own tests).
+const TIMING_KEYS: [&str; 4] = [
+    "wall_clock_s",
+    "events_per_second",
+    "wall_clock_ms",
+    "profile",
+];
 
 /// Relative tolerance for float comparisons (see module docs).
 const REL_TOL: f64 = 1e-9;

@@ -46,6 +46,9 @@ pub struct EvalStats {
     scheduler_runs: AtomicU64,
     schedule_cache_hits: AtomicU64,
     dedup_skips: AtomicU64,
+    fingerprint_lookups: AtomicU64,
+    fingerprint_hits: AtomicU64,
+    fingerprint_collisions: AtomicU64,
 }
 
 impl EvalStats {
@@ -72,6 +75,24 @@ impl EvalStats {
         self.dedup_skips.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one fingerprint-first memo probe.
+    pub fn record_fingerprint_lookup(&self) {
+        self.fingerprint_lookups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one memo hit served via the fingerprint fast path (the
+    /// stored structural key verified the match).
+    pub fn record_fingerprint_hit(&self) {
+        self.fingerprint_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` fingerprint bucket entries whose structural key did
+    /// *not* match the live inputs (128-bit collisions, treated as
+    /// misses).
+    pub fn record_fingerprint_collisions(&self, n: u64) {
+        self.fingerprint_collisions.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Per-(task, sub-accelerator) placement cost evaluations so far.
     pub fn placement_evals(&self) -> u64 {
         self.placement_evals.load(Ordering::Relaxed)
@@ -92,6 +113,21 @@ impl EvalStats {
         self.dedup_skips.load(Ordering::Relaxed)
     }
 
+    /// Fingerprint-first memo probes so far.
+    pub fn fingerprint_lookups(&self) -> u64 {
+        self.fingerprint_lookups.load(Ordering::Relaxed)
+    }
+
+    /// Memo hits served via the fingerprint fast path so far.
+    pub fn fingerprint_hits(&self) -> u64 {
+        self.fingerprint_hits.load(Ordering::Relaxed)
+    }
+
+    /// Fingerprint collisions caught by key verification so far.
+    pub fn fingerprint_collisions(&self) -> u64 {
+        self.fingerprint_collisions.load(Ordering::Relaxed)
+    }
+
     /// A consistent point-in-time copy of all counters.
     pub fn snapshot(&self) -> EvalSnapshot {
         EvalSnapshot {
@@ -99,6 +135,9 @@ impl EvalStats {
             scheduler_runs: self.scheduler_runs(),
             schedule_cache_hits: self.schedule_cache_hits(),
             dedup_skips: self.dedup_skips(),
+            fingerprint_lookups: self.fingerprint_lookups(),
+            fingerprint_hits: self.fingerprint_hits(),
+            fingerprint_collisions: self.fingerprint_collisions(),
         }
     }
 }
@@ -114,6 +153,187 @@ pub struct EvalSnapshot {
     pub schedule_cache_hits: u64,
     /// DSE candidates skipped as already seen.
     pub dedup_skips: u64,
+    /// Fingerprint-first memo probes.
+    pub fingerprint_lookups: u64,
+    /// Memo hits served via the fingerprint fast path.
+    pub fingerprint_hits: u64,
+    /// Fingerprint collisions caught by key verification.
+    pub fingerprint_collisions: u64,
+}
+
+/// A deterministic 128-bit fingerprint of the exact inputs that
+/// determine a schedule — the memo's fast-path key.
+///
+/// Two structurally equal [`ScheduleKey`]s always produce equal
+/// fingerprints ([`ScheduleKey::fingerprint`] and
+/// [`ScheduleFingerprint::of_inputs`] hash the same canonical word
+/// stream), so a fingerprint probe can replace the deep structural
+/// compare on the hot path. The converse does *not* hold in theory —
+/// 128-bit collisions are possible — so every fingerprint hit is
+/// verified against the stored structural key before the memoized
+/// schedule is served ([`ScheduleState::lookup`]). Collisions are
+/// counted ([`EvalStats::fingerprint_collisions`]) and degrade to
+/// misses; they can never change results.
+///
+/// The hash is seed-free and platform-independent (two lanes of
+/// SplitMix64-style mixing over explicit `u64` words), so fingerprints
+/// are stable across runs — a requirement for deterministic replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ScheduleFingerprint([u64; 2]);
+
+impl ScheduleFingerprint {
+    /// The raw 128 bits, for diagnostics.
+    pub fn to_words(self) -> [u64; 2] {
+        self.0
+    }
+
+    /// Fingerprints the live scheduling inputs without building a
+    /// [`ScheduleKey`] (no allocation; the graph's structural section is
+    /// cached inside the [`TaskGraph`] after the first call).
+    pub fn of_inputs(
+        graph: &TaskGraph,
+        acc: &AcceleratorConfig,
+        cfg: &SchedulerConfig,
+        cost: &CostModel,
+    ) -> Self {
+        let mut st = FingerprintState::new();
+        st.absorb(graph.structural_fingerprint());
+        let slices = acc.sub_accelerators();
+        st.word(slices.len() as u64);
+        for s in slices {
+            st.word(style_code(s.style()));
+            st.word(u64::from(s.pes()));
+            st.word(s.bandwidth_gbps().to_bits());
+            st.word(u64::from(s.is_reconfigurable()));
+        }
+        st.word(acc.global_buffer_bytes());
+        for w in cost.config().fingerprint() {
+            st.word(w);
+        }
+        absorb_sched_config(&mut st, cfg);
+        Self(st.finish())
+    }
+}
+
+/// Computes the graph-structure section of a schedule fingerprint by
+/// traversing the live graph. Must emit the same word stream as the
+/// stored-key path in [`ScheduleKey::fingerprint`].
+pub(crate) fn graph_fingerprint(graph: &TaskGraph) -> [u64; 2] {
+    let mut st = FingerprintState::new();
+    st.word(graph.len() as u64);
+    for t in graph.ids() {
+        let layer = graph.layer(t);
+        absorb_layer(&mut st, layer.dims(), layer.op());
+    }
+    let mut edges = 0u64;
+    for t in graph.ids() {
+        for d in graph.deps(t) {
+            st.word(((t.0 as u64) << 32) | d.0 as u64);
+            edges += 1;
+        }
+    }
+    st.word(edges);
+    st.word(graph.num_instances() as u64);
+    for i in 0..graph.num_instances() {
+        st.word(graph.instance_first_task(i).0 as u64);
+    }
+    [st.a, st.b]
+}
+
+/// Two-lane deterministic streaming hasher over `u64` words.
+struct FingerprintState {
+    a: u64,
+    b: u64,
+}
+
+/// SplitMix64 finalizer: a full-avalanche 64-bit mix.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl FingerprintState {
+    const LANE_A_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+    const LANE_B_SEED: u64 = 0x2545_f491_4f6c_dd1d;
+
+    fn new() -> Self {
+        Self {
+            a: Self::LANE_A_SEED,
+            b: Self::LANE_B_SEED,
+        }
+    }
+
+    fn word(&mut self, w: u64) {
+        self.a = mix64(self.a ^ w);
+        self.b = mix64(self.b.rotate_left(23) ^ w.wrapping_mul(Self::LANE_A_SEED));
+    }
+
+    fn absorb(&mut self, pair: [u64; 2]) {
+        self.word(pair[0]);
+        self.word(pair[1]);
+    }
+
+    fn finish(self) -> [u64; 2] {
+        [
+            mix64(self.a ^ self.b.rotate_left(32)),
+            mix64(self.b ^ self.a.rotate_left(17)),
+        ]
+    }
+}
+
+fn absorb_layer(st: &mut FingerprintState, dims: &LayerDims, op: LayerOp) {
+    st.word((u64::from(dims.k) << 32) | u64::from(dims.c));
+    st.word((u64::from(dims.y) << 32) | u64::from(dims.x));
+    st.word((u64::from(dims.r) << 32) | u64::from(dims.s));
+    st.word((u64::from(dims.stride) << 32) | u64::from(dims.pad));
+    st.word(op_code(op));
+}
+
+fn absorb_sched_config(st: &mut FingerprintState, cfg: &SchedulerConfig) {
+    st.word(metric_code(cfg.metric));
+    st.word(ordering_code(cfg.ordering));
+    st.word(cfg.load_balance_factor.to_bits());
+    st.word(cfg.lookahead as u64);
+    st.word(u64::from(cfg.post_process));
+}
+
+/// Stable hash codes for the closed enum sets. Explicit (rather than
+/// `as u64` on the discriminant) so reordering a declaration can never
+/// silently change fingerprints.
+fn op_code(op: LayerOp) -> u64 {
+    match op {
+        LayerOp::Conv2d => 0,
+        LayerOp::PointwiseConv => 1,
+        LayerOp::DepthwiseConv => 2,
+        LayerOp::Fc => 3,
+        LayerOp::TransposedConv => 4,
+    }
+}
+
+fn style_code(style: DataflowStyle) -> u64 {
+    match style {
+        DataflowStyle::Nvdla => 0,
+        DataflowStyle::ShiDianNao => 1,
+        DataflowStyle::Eyeriss => 2,
+    }
+}
+
+fn metric_code(metric: herald_cost::Metric) -> u64 {
+    match metric {
+        herald_cost::Metric::Edp => 0,
+        herald_cost::Metric::Latency => 1,
+        herald_cost::Metric::Energy => 2,
+    }
+}
+
+fn ordering_code(ordering: crate::sched::OrderingPolicy) -> u64 {
+    match ordering {
+        crate::sched::OrderingPolicy::DepthFirst => 0,
+        crate::sched::OrderingPolicy::BreadthFirst => 1,
+    }
 }
 
 /// The exact inputs that determine a schedule, usable as a memo key.
@@ -125,6 +345,10 @@ pub struct EvalSnapshot {
 /// configuration. This key captures all of them structurally — two keys
 /// compare equal **iff** the scheduler would produce bit-identical
 /// schedules, so memo hits can never change results.
+///
+/// On the hot path the memo is probed by [`ScheduleFingerprint`]
+/// instead; the full structural key is retained behind the fingerprint
+/// for collision verification (see [`ScheduleState::lookup`]).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ScheduleKey {
     /// One entry per task: the layer it executes.
@@ -198,6 +422,108 @@ impl ScheduleKey {
             ),
         }
     }
+
+    /// The 128-bit fingerprint of this key. Hashes the same canonical
+    /// word stream as [`ScheduleFingerprint::of_inputs`], so
+    /// `key.fingerprint() == ScheduleFingerprint::of_inputs(..)` holds
+    /// for the inputs the key was built from (pinned by a unit test).
+    pub fn fingerprint(&self) -> ScheduleFingerprint {
+        let mut gst = FingerprintState::new();
+        gst.word(self.layers.len() as u64);
+        for (dims, op) in &self.layers {
+            absorb_layer(&mut gst, dims, *op);
+        }
+        for (t, d) in &self.edges {
+            gst.word((u64::from(*t) << 32) | u64::from(*d));
+        }
+        gst.word(self.edges.len() as u64);
+        gst.word(self.offsets.len() as u64);
+        for o in &self.offsets {
+            gst.word(u64::from(*o));
+        }
+
+        let mut st = FingerprintState::new();
+        st.absorb([gst.a, gst.b]);
+        st.word(self.slices.len() as u64);
+        for (style, pes, bw_bits, reconf) in &self.slices {
+            st.word(style_code(*style));
+            st.word(u64::from(*pes));
+            st.word(*bw_bits);
+            st.word(u64::from(*reconf));
+        }
+        st.word(self.global_buffer_bytes);
+        for w in self.cost {
+            st.word(w);
+        }
+        let (metric, ordering, lbf_bits, lookahead, post) = self.sched;
+        st.word(metric_code(metric));
+        st.word(ordering_code(ordering));
+        st.word(lbf_bits);
+        st.word(lookahead as u64);
+        st.word(u64::from(post));
+        ScheduleFingerprint(st.finish())
+    }
+
+    /// Whether this stored key matches the live scheduling inputs,
+    /// compared field by field **without allocating** (the verify step
+    /// behind every fingerprint hit). Equivalent to
+    /// `*self == ScheduleKey::new(graph, acc, cfg, cost)`.
+    pub fn matches_inputs(
+        &self,
+        graph: &TaskGraph,
+        acc: &AcceleratorConfig,
+        cfg: &SchedulerConfig,
+        cost: &CostModel,
+    ) -> bool {
+        if self.layers.len() != graph.len()
+            || self.global_buffer_bytes != acc.global_buffer_bytes()
+            || self.cost != cost.config().fingerprint()
+            || self.sched
+                != (
+                    cfg.metric,
+                    cfg.ordering,
+                    cfg.load_balance_factor.to_bits(),
+                    cfg.lookahead,
+                    cfg.post_process,
+                )
+        {
+            return false;
+        }
+        let slices = acc.sub_accelerators();
+        if self.slices.len() != slices.len()
+            || self.slices.iter().zip(slices).any(|(k, s)| {
+                *k != (
+                    s.style(),
+                    s.pes(),
+                    s.bandwidth_gbps().to_bits(),
+                    s.is_reconfigurable(),
+                )
+            })
+        {
+            return false;
+        }
+        if graph.ids().any(|t| {
+            let layer = graph.layer(t);
+            self.layers[t.0] != (*layer.dims(), layer.op())
+        }) {
+            return false;
+        }
+        let mut next_edge = 0usize;
+        for t in graph.ids() {
+            for d in graph.deps(t) {
+                if self.edges.get(next_edge) != Some(&(t.0 as u32, d.0 as u32)) {
+                    return false;
+                }
+                next_edge += 1;
+            }
+        }
+        if next_edge != self.edges.len() {
+            return false;
+        }
+        self.offsets.len() == graph.num_instances()
+            && (0..graph.num_instances())
+                .all(|i| self.offsets[i] as usize == graph.instance_first_task(i).0)
+    }
 }
 
 /// Default bound on memoized schedules per context. Schedules are
@@ -208,13 +534,36 @@ pub const DEFAULT_SCHEDULE_CAPACITY: usize = 1024;
 
 #[derive(Debug)]
 struct ScheduleMap {
-    schedules: HashMap<ScheduleKey, Schedule>,
+    /// Fingerprint-keyed buckets. Each bucket holds the full structural
+    /// keys sharing a fingerprint (in insertion order) so hits can be
+    /// verified; buckets are length 1 unless a 128-bit collision occurs.
+    buckets: HashMap<ScheduleFingerprint, Vec<(ScheduleKey, Schedule)>>,
     /// Insertion order for FIFO eviction once `capacity` is reached.
-    order: VecDeque<ScheduleKey>,
+    order: VecDeque<(ScheduleFingerprint, ScheduleKey)>,
+    /// Total entries across all buckets.
+    len: usize,
+}
+
+impl ScheduleMap {
+    fn remove_entry(&mut self, fp: ScheduleFingerprint, key: &ScheduleKey) -> bool {
+        let Some(bucket) = self.buckets.get_mut(&fp) else {
+            return false;
+        };
+        let Some(pos) = bucket.iter().position(|(k, _)| k == key) else {
+            return false;
+        };
+        bucket.remove(pos);
+        if bucket.is_empty() {
+            self.buckets.remove(&fp);
+        }
+        self.len -= 1;
+        true
+    }
 }
 
 /// The persistent schedule memo: computed schedules keyed by their exact
-/// inputs (see [`ScheduleKey`]), bounded to
+/// inputs (see [`ScheduleKey`]), probed by 128-bit
+/// [`ScheduleFingerprint`] with verify-on-hit, bounded to
 /// [`DEFAULT_SCHEDULE_CAPACITY`] entries with FIFO eviction.
 #[derive(Debug)]
 pub struct ScheduleState {
@@ -233,8 +582,9 @@ impl ScheduleState {
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
             inner: RwLock::new(ScheduleMap {
-                schedules: HashMap::new(),
+                buckets: HashMap::new(),
                 order: VecDeque::new(),
+                len: 0,
             }),
             capacity: capacity.max(1),
         }
@@ -245,30 +595,79 @@ impl ScheduleState {
         self.capacity
     }
 
-    /// Looks up a memoized schedule.
+    /// Looks up a memoized schedule by structural key (slow path:
+    /// fingerprints the key first; prefer [`ScheduleState::lookup`] on
+    /// hot paths).
     pub fn get(&self, key: &ScheduleKey) -> Option<Schedule> {
+        let fp = key.fingerprint();
         self.inner
             .read()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .schedules
-            .get(key)
-            .cloned()
+            .buckets
+            .get(&fp)?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, s)| s.clone())
+    }
+
+    /// The fingerprint-first memo probe: finds the bucket by `fp`, then
+    /// verifies each candidate's stored structural key against the live
+    /// inputs (alloc-free) before serving it. Returns the verified
+    /// schedule (if any) and the number of candidates that shared the
+    /// fingerprint but failed verification (collisions).
+    pub fn lookup(
+        &self,
+        fp: ScheduleFingerprint,
+        graph: &TaskGraph,
+        acc: &AcceleratorConfig,
+        cfg: &SchedulerConfig,
+        cost: &CostModel,
+    ) -> (Option<Schedule>, u64) {
+        let inner = self
+            .inner
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let Some(bucket) = inner.buckets.get(&fp) else {
+            return (None, 0);
+        };
+        let mut collisions = 0;
+        for (k, s) in bucket {
+            if k.matches_inputs(graph, acc, cfg, cost) {
+                return (Some(s.clone()), collisions);
+            }
+            collisions += 1;
+        }
+        (None, collisions)
     }
 
     /// Stores a computed schedule under its key, evicting the oldest
     /// entry when the memo is at capacity.
     pub fn insert(&self, key: ScheduleKey, schedule: Schedule) {
+        self.insert_under(key.fingerprint(), key, schedule);
+    }
+
+    /// Stores a schedule under an explicitly supplied fingerprint
+    /// (normally `key.fingerprint()`, precomputed by the caller; tests
+    /// may force a mismatched fingerprint to exercise the verify-on-hit
+    /// fallback).
+    pub fn insert_under(&self, fp: ScheduleFingerprint, key: ScheduleKey, schedule: Schedule) {
         let mut inner = self
             .inner
             .write()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        if inner.schedules.insert(key.clone(), schedule).is_none() {
-            inner.order.push_back(key);
-            while inner.order.len() > self.capacity {
-                if let Some(oldest) = inner.order.pop_front() {
-                    inner.schedules.remove(&oldest);
-                }
-            }
+        let bucket = inner.buckets.entry(fp).or_default();
+        if let Some(slot) = bucket.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = schedule;
+            return;
+        }
+        bucket.push((key.clone(), schedule));
+        inner.len += 1;
+        inner.order.push_back((fp, key));
+        while inner.len > self.capacity {
+            let Some((ofp, okey)) = inner.order.pop_front() else {
+                break;
+            };
+            inner.remove_entry(ofp, &okey);
         }
     }
 
@@ -276,13 +675,14 @@ impl ScheduleState {
     /// is swapped out and its old schedule can no longer be needed).
     /// Returns whether an entry existed.
     pub fn invalidate(&self, key: &ScheduleKey) -> bool {
+        let fp = key.fingerprint();
         let mut inner = self
             .inner
             .write()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        let existed = inner.schedules.remove(key).is_some();
+        let existed = inner.remove_entry(fp, key);
         if existed {
-            inner.order.retain(|k| k != key);
+            inner.order.retain(|(f, k)| !(*f == fp && k == key));
         }
         existed
     }
@@ -292,8 +692,7 @@ impl ScheduleState {
         self.inner
             .read()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .schedules
-            .len()
+            .len
     }
 
     /// Whether the memo is empty.
@@ -307,8 +706,9 @@ impl ScheduleState {
             .inner
             .write()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        inner.schedules.clear();
+        inner.buckets.clear();
         inner.order.clear();
+        inner.len = 0;
     }
 }
 
@@ -514,6 +914,98 @@ mod tests {
         assert!(state.get(&key_for(2)).is_some());
         assert!(state.get(&key_for(3)).is_some());
         assert_eq!(state.capacity(), 2);
+    }
+
+    #[test]
+    fn fingerprint_of_inputs_matches_stored_key_fingerprint() {
+        // The alloc-free live-input hash and the stored-key hash must
+        // walk the same canonical word stream: a divergence would turn
+        // every memo probe into a miss (correct but slow), so pin it.
+        let cost = CostModel::default();
+        let faster = CostModel::new(herald_cost::CostModelConfig {
+            clock_ghz: 2.0,
+            ..Default::default()
+        });
+        let fda = AcceleratorConfig::fda(
+            herald_dataflow::DataflowStyle::ShiDianNao,
+            AcceleratorClass::Edge.resources(),
+        );
+        let lookahead3 = SchedulerConfig {
+            lookahead: 3,
+            ..Default::default()
+        };
+        let cases: &[(&TaskGraph, &AcceleratorConfig, &SchedulerConfig, &CostModel)] = &[
+            (&graph(1), &acc(), &SchedulerConfig::default(), &cost),
+            (&graph(2), &acc(), &lookahead3, &cost),
+            (&graph(1), &fda, &SchedulerConfig::default(), &faster),
+        ];
+        for (g, a, cfg, c) in cases {
+            let key = ScheduleKey::new(g, a, cfg, c);
+            assert_eq!(
+                key.fingerprint(),
+                ScheduleFingerprint::of_inputs(g, a, cfg, c)
+            );
+            assert!(key.matches_inputs(g, a, cfg, c));
+        }
+        // Distinct inputs -> distinct fingerprints (the zoo's closed set
+        // must not collide) and failed structural verification.
+        let a =
+            ScheduleFingerprint::of_inputs(&graph(1), &acc(), &SchedulerConfig::default(), &cost);
+        let b =
+            ScheduleFingerprint::of_inputs(&graph(2), &acc(), &SchedulerConfig::default(), &cost);
+        let c = ScheduleFingerprint::of_inputs(&graph(1), &fda, &SchedulerConfig::default(), &cost);
+        let d = ScheduleFingerprint::of_inputs(&graph(1), &acc(), &lookahead3, &cost);
+        let e =
+            ScheduleFingerprint::of_inputs(&graph(1), &acc(), &SchedulerConfig::default(), &faster);
+        let fps = [a, b, c, d, e];
+        for i in 0..fps.len() {
+            for j in i + 1..fps.len() {
+                assert_ne!(fps[i], fps[j], "fingerprints {i} and {j} collide");
+            }
+        }
+        let key1 = ScheduleKey::new(&graph(1), &acc(), &SchedulerConfig::default(), &cost);
+        assert!(!key1.matches_inputs(&graph(2), &acc(), &SchedulerConfig::default(), &cost));
+        assert!(!key1.matches_inputs(&graph(1), &fda, &SchedulerConfig::default(), &cost));
+        assert!(!key1.matches_inputs(&graph(1), &acc(), &lookahead3, &cost));
+        assert!(!key1.matches_inputs(&graph(1), &acc(), &SchedulerConfig::default(), &faster));
+    }
+
+    #[test]
+    fn forced_fingerprint_collision_is_verified_and_counted() {
+        // Two structurally different keys inserted under ONE fingerprint
+        // simulate a 128-bit collision. The verify-on-hit step must
+        // serve each set of inputs its own schedule (never the
+        // colliding neighbour's) and report the mismatches scanned.
+        let state = ScheduleState::default();
+        let cost = CostModel::default();
+        let cfg = SchedulerConfig::default();
+        let a = acc();
+        let g1 = graph(1);
+        let g2 = graph(2);
+        let key1 = ScheduleKey::new(&g1, &a, &cfg, &cost);
+        let key2 = ScheduleKey::new(&g2, &a, &cfg, &cost);
+        let fp = key1.fingerprint();
+        let s1 = HeraldScheduler::new(cfg).schedule(&g1, &a, &cost);
+        let s2 = HeraldScheduler::new(cfg).schedule(&g2, &a, &cost);
+        state.insert_under(fp, key1, s1.clone());
+        state.insert_under(fp, key2, s2.clone());
+        assert_eq!(state.len(), 2);
+
+        // g1's inputs: first bucket entry verifies, no collisions seen.
+        let (hit, collisions) = state.lookup(fp, &g1, &a, &cfg, &cost);
+        assert_eq!(hit, Some(s1));
+        assert_eq!(collisions, 0);
+        // g2's inputs: key1 fails verification first (one collision),
+        // then key2 serves.
+        let (hit, collisions) = state.lookup(fp, &g2, &a, &cfg, &cost);
+        assert_eq!(hit, Some(s2));
+        assert_eq!(collisions, 1);
+        // A third set of inputs sharing the fingerprint: all entries
+        // fail verification -> miss with two collisions.
+        let g3 = graph(3);
+        let (hit, collisions) = state.lookup(fp, &g3, &a, &cfg, &cost);
+        assert_eq!(hit, None);
+        assert_eq!(collisions, 2);
     }
 
     #[test]

@@ -451,7 +451,7 @@ mod tests {
                 } else {
                     "MobileNetV2-b1"
                 };
-                assert_eq!(f.workload, expect);
+                assert_eq!(&*f.workload, expect);
             }
         }
         let post_swap = report

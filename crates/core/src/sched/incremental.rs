@@ -16,7 +16,7 @@
 //! same context, or a streaming engine compiling the same workload for
 //! a new stream all hit the memo.
 
-use crate::ctx::{EvalContext, EvalStats, ScheduleKey};
+use crate::ctx::{EvalContext, EvalStats, ScheduleFingerprint, ScheduleKey};
 use crate::exec::Schedule;
 use crate::sched::{HeraldScheduler, Scheduler};
 use crate::task::TaskGraph;
@@ -94,13 +94,26 @@ impl Scheduler for IncrementalScheduler {
         cost: &CostModel,
         stats: &EvalStats,
     ) -> (Schedule, bool) {
-        let key = ScheduleKey::new(graph, acc, self.inner.config(), cost);
-        if let Some(schedule) = self.ctx.schedules().get(&key) {
+        // Fingerprint-first probe: no allocation on the hot path. The
+        // full structural key is only materialised on a miss, to store
+        // behind the fingerprint for collision verification.
+        let fp = ScheduleFingerprint::of_inputs(graph, acc, self.inner.config(), cost);
+        stats.record_fingerprint_lookup();
+        let (hit, collisions) =
+            self.ctx
+                .schedules()
+                .lookup(fp, graph, acc, self.inner.config(), cost);
+        if collisions > 0 {
+            stats.record_fingerprint_collisions(collisions);
+        }
+        if let Some(schedule) = hit {
             stats.record_schedule_cache_hit();
+            stats.record_fingerprint_hit();
             return (schedule, true);
         }
         let schedule = self.inner.schedule_with(graph, acc, cost, stats);
-        self.ctx.schedules().insert(key, schedule.clone());
+        let key = ScheduleKey::new(graph, acc, self.inner.config(), cost);
+        self.ctx.schedules().insert_under(fp, key, schedule.clone());
         (schedule, false)
     }
 }

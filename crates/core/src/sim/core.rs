@@ -17,6 +17,8 @@ use crate::exec::{AccSummary, ExecutionReport, Schedule, ScheduleEntry, SimError
 use crate::task::{TaskGraph, TaskId};
 use herald_arch::AcceleratorConfig;
 use herald_cost::{CostModel, EnergyBreakdown, LayerCost, Metric};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 /// The fraction of the global buffer available for staging one layer's
@@ -62,10 +64,55 @@ impl ScheduleRef<'_> {
     }
 }
 
+/// A frame's per-task cost table: `costs[t]` is the cost of task `t` on
+/// its assigned sub-accelerator. Precomputed once per (graph, schedule)
+/// pair so the commit loop's candidate scan indexes a slice instead of
+/// re-querying (and re-cloning) [`LayerCost`]s through the cost model's
+/// lock on every probe. `layer_cost` is a pure function of
+/// (layer, slice, metric), so the table is bit-identical to on-demand
+/// queries by construction.
+pub(crate) enum CostTable {
+    /// Built for one frame (single-frame replay).
+    Owned(Vec<LayerCost>),
+    /// Shared across all frames compiled to one schedule (the streaming
+    /// engine builds one table per compile and reuses it per arrival).
+    Shared(Arc<Vec<LayerCost>>),
+}
+
+impl CostTable {
+    fn get(&self) -> &[LayerCost] {
+        match self {
+            CostTable::Owned(c) => c,
+            CostTable::Shared(c) => c,
+        }
+    }
+}
+
+/// Builds the per-task cost table for `schedule` on `acc`.
+///
+/// The `(task, assigned sub-accelerator)` query set is exactly the set
+/// the historical per-candidate path evaluated (every task is eventually
+/// a queue head on its assigned queue), so cost-model memo contents are
+/// unchanged too.
+pub(crate) fn build_cost_table(
+    graph: &TaskGraph,
+    schedule: &Schedule,
+    acc: &AcceleratorConfig,
+    cost: &CostModel,
+    metric: Metric,
+) -> Vec<LayerCost> {
+    let subs = acc.sub_accelerators();
+    graph
+        .ids()
+        .map(|t| subs[schedule.assignment()[t.0]].layer_cost(cost, graph.layer(t), metric))
+        .collect()
+}
+
 /// One frame in flight.
 struct FrameState<'a> {
     graph: GraphRef<'a>,
     schedule: ScheduleRef<'a>,
+    costs: CostTable,
     arrival_s: f64,
     /// Per-sub-accelerator queue positions.
     head: Vec<usize>,
@@ -99,7 +146,65 @@ pub(crate) struct EventCore<'a> {
     acc_free: Vec<f64>,
     /// Committed intervals: (start, finish, occupancy_bytes).
     intervals: Vec<(f64, f64, u64)>,
+    /// Sum of `occupancy_bytes` over `intervals` — an upper bound on the
+    /// buffer occupancy at *any* instant. While `bound + candidate_occ`
+    /// fits the buffer, every feasibility query trivially returns its
+    /// ready time, so the candidate scan skips the O(intervals) walk
+    /// (bit-identical: the walk's first probe would succeed).
+    live_occ_bound: u64,
+    /// Memoized [`EventCore::select_best`] result: `None` when stale,
+    /// `Some(result)` when no admit or commit has happened since it was
+    /// computed. Harvesting a completed frame and pruning intervals both
+    /// preserve the winner (a done frame offers no candidates; pruned
+    /// intervals end at or before every candidate's ready time), so
+    /// `run_until`'s stopping scan doubles as the batched-admission
+    /// window probe for free.
+    best_cache: Option<Option<(f64, usize, usize, TaskId)>>,
+    /// Pending finish events `(finish_bits, occupancy_bytes)` of
+    /// committed intervals, min-ordered on finish time (stored as
+    /// `f64::to_bits`, which orders like the non-negative times it
+    /// encodes). Because commits happen in non-decreasing start order,
+    /// draining events at or before each commit's start keeps
+    /// `current_occ` equal to `occupancy_at(start)` without rescanning
+    /// the interval list.
+    mem_events: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Occupancy at the last committed start (see `mem_events`).
+    current_occ: u64,
+    /// Per-frame best candidate `(ready, way, task)` ranked by *ready*
+    /// time (first way wins ties), parallel to `frames`. Outer `None` =
+    /// stale, `Some(None)` = every queue head blocked. Ready times never
+    /// depend on memory intervals, so an entry only goes stale when its
+    /// own frame commits (heads/deps change) or any frame commits on the
+    /// entry's way (`acc_free` moves); other commits leave it exact.
+    frame_best: Vec<Option<Option<(f64, usize, TaskId)>>>,
+    /// Max single-task occupancy over every admission so far (monotone,
+    /// conservative). While `live_occ_bound + occ_cap` fits the buffer,
+    /// every candidate's feasible start equals its ready time, so
+    /// ready-ranking equals start-ranking and the tournament over
+    /// `frame_best` reproduces the flat scan exactly.
+    occ_cap: u64,
+    /// Frame slab: slots are recycled through `free` once a frame is
+    /// taken, so a long stream reuses a bounded set of slots instead of
+    /// growing this vector per arrival.
     frames: Vec<Option<FrameState<'a>>>,
+    /// In-flight slots in **admission order** — the candidate scan walks
+    /// this list, which preserves the historical first-found tie-break
+    /// (admission order) exactly even when slab slots are reused out of
+    /// order.
+    active: Vec<usize>,
+    /// Recyclable slab slots.
+    free: Vec<usize>,
+    /// Running total of uncommitted tasks across in-flight frames
+    /// (replaces an O(frames) scan per commit-loop iteration).
+    remaining_total: usize,
+    /// Buffer pools recycled across frames (arena allocation: a steady
+    /// stream allocates its per-frame vectors once, not per arrival).
+    head_pool: Vec<Vec<usize>>,
+    finish_pool: Vec<Vec<Option<f64>>>,
+    entries_pool: Vec<Vec<ScheduleEntry>>,
+    /// Per-frame buffers served from a pool vs freshly allocated.
+    arena_reuses: u64,
+    arena_allocs: u64,
     per_acc: Vec<AccSummary>,
     energy: EnergyBreakdown,
     peak_mem: u64,
@@ -124,7 +229,21 @@ impl<'a> EventCore<'a> {
             metric,
             acc_free: vec![0.0; acc.sub_accelerators().len()],
             intervals: Vec::new(),
+            live_occ_bound: 0,
+            best_cache: None,
+            mem_events: BinaryHeap::new(),
+            current_occ: 0,
+            frame_best: Vec::new(),
+            occ_cap: 0,
             frames: Vec::new(),
+            active: Vec::new(),
+            free: Vec::new(),
+            remaining_total: 0,
+            head_pool: Vec::new(),
+            finish_pool: Vec::new(),
+            entries_pool: Vec::new(),
+            arena_reuses: 0,
+            arena_allocs: 0,
             per_acc,
             energy: EnergyBreakdown::default(),
             peak_mem: 0,
@@ -137,15 +256,121 @@ impl<'a> EventCore<'a> {
     }
 
     /// Admits a frame at `arrival_s`, validating that the schedule's shape
-    /// matches the graph and accelerator. Returns the frame handle.
+    /// matches the graph and accelerator; builds the frame's own cost
+    /// table. Returns the frame handle.
     pub(crate) fn admit(
         &mut self,
         graph: GraphRef<'a>,
         schedule: ScheduleRef<'a>,
         arrival_s: f64,
     ) -> Result<usize, SimError> {
-        let g = graph.get();
-        let s = schedule.get();
+        let costs = {
+            let g = graph.get();
+            let s = schedule.get();
+            self.validate_shape(g, s)?;
+            CostTable::Owned(build_cost_table(g, s, self.acc, self.cost, self.metric))
+        };
+        self.admit_with_costs(graph, schedule, costs, arrival_s)
+    }
+
+    /// [`EventCore::admit`] with a caller-supplied (typically shared)
+    /// cost table, which must have one entry per task of the graph.
+    pub(crate) fn admit_with_costs(
+        &mut self,
+        graph: GraphRef<'a>,
+        schedule: ScheduleRef<'a>,
+        costs: CostTable,
+        arrival_s: f64,
+    ) -> Result<usize, SimError> {
+        let (remaining, ways) = {
+            let g = graph.get();
+            let s = schedule.get();
+            self.validate_shape(g, s)?;
+            if costs.get().len() != g.len() {
+                return Err(SimError::InvalidSchedule(format!(
+                    "cost table covers {} tasks, graph has {}",
+                    costs.get().len(),
+                    g.len()
+                )));
+            }
+            (g.len(), s.ways())
+        };
+        let head = match self.head_pool.pop() {
+            Some(mut h) => {
+                self.arena_reuses += 1;
+                h.clear();
+                h.resize(ways, 0);
+                h
+            }
+            None => {
+                self.arena_allocs += 1;
+                vec![0; ways]
+            }
+        };
+        let finish = match self.finish_pool.pop() {
+            Some(mut f) => {
+                self.arena_reuses += 1;
+                f.clear();
+                f.resize(remaining, None);
+                f
+            }
+            None => {
+                self.arena_allocs += 1;
+                vec![None; remaining]
+            }
+        };
+        let entries = match self.entries_pool.pop() {
+            Some(mut e) => {
+                self.arena_reuses += 1;
+                e.clear();
+                e.reserve(remaining);
+                e
+            }
+            None => {
+                self.arena_allocs += 1;
+                Vec::with_capacity(remaining)
+            }
+        };
+        let state = FrameState {
+            graph,
+            schedule,
+            costs,
+            arrival_s,
+            head,
+            finish,
+            remaining,
+            entries,
+            energy: EnergyBreakdown::default(),
+        };
+        let staging_cap = self.staging_cap();
+        let frame_occ_cap = state
+            .costs
+            .get()
+            .iter()
+            .map(|c| c.buffer.occupancy_bytes(staging_cap))
+            .max()
+            .unwrap_or(0);
+        self.occ_cap = self.occ_cap.max(frame_occ_cap);
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.frames[slot].is_none(), "free slot still occupied");
+                self.frames[slot] = Some(state);
+                slot
+            }
+            None => {
+                self.frames.push(Some(state));
+                self.frame_best.push(None);
+                self.frames.len() - 1
+            }
+        };
+        self.frame_best[slot] = None;
+        self.active.push(slot);
+        self.remaining_total += remaining;
+        self.best_cache = None;
+        Ok(slot)
+    }
+
+    fn validate_shape(&self, g: &TaskGraph, s: &Schedule) -> Result<(), SimError> {
         if s.assignment().len() != g.len() {
             return Err(SimError::InvalidSchedule(format!(
                 "schedule covers {} tasks, graph has {}",
@@ -160,25 +385,25 @@ impl<'a> EventCore<'a> {
                 self.acc.sub_accelerators().len()
             )));
         }
-        let remaining = g.len();
-        let ways = s.ways();
-        let finish = vec![None; g.len()];
-        self.frames.push(Some(FrameState {
-            graph,
-            schedule,
-            arrival_s,
-            head: vec![0; ways],
-            finish,
-            remaining,
-            entries: Vec::with_capacity(remaining),
-            energy: EnergyBreakdown::default(),
-        }));
-        Ok(self.frames.len() - 1)
+        Ok(())
     }
 
     /// Tasks not yet committed across all in-flight frames.
     fn total_remaining(&self) -> usize {
-        self.frames.iter().flatten().map(|f| f.remaining).sum()
+        self.remaining_total
+    }
+
+    /// Returns a harvested frame's entry buffer to the arena so the next
+    /// admission reuses it instead of allocating.
+    pub(crate) fn recycle_entries(&mut self, mut entries: Vec<ScheduleEntry>) {
+        entries.clear();
+        self.entries_pool.push(entries);
+    }
+
+    /// `(reused, freshly allocated)` per-frame buffer counts — the
+    /// profiling story's "allocations avoided" evidence.
+    pub(crate) fn arena_counters(&self) -> (u64, u64) {
+        (self.arena_reuses, self.arena_allocs)
     }
 
     /// The best next commit: the ready queue head with the earliest
@@ -186,17 +411,87 @@ impl<'a> EventCore<'a> {
     /// sub-accelerators in index order (first-found wins ties, which keeps
     /// the loop deterministic and, for a single frame, byte-identical to
     /// the historical replay order).
-    fn select_best(&self) -> Option<(f64, usize, usize, TaskId, LayerCost)> {
+    ///
+    /// When `live_occ_bound + occ_cap` fits the global buffer, every
+    /// candidate's feasible start *is* its ready time, so the winner of a
+    /// tournament over the per-frame `frame_best` memos (ranked by ready)
+    /// is the flat scan's winner — including ties, because both resolve
+    /// them first-found in (admission order, way order). Only the frames
+    /// invalidated by the last commit are rescanned. Under memory
+    /// pressure the exact flat scan runs instead.
+    fn select_best(&mut self) -> Option<(f64, usize, usize, TaskId)> {
+        if self.live_occ_bound + self.occ_cap > self.acc.global_buffer_bytes() {
+            return self.select_best_scan();
+        }
+        let mut best: Option<(f64, usize, usize, TaskId)> = None;
+        for idx in 0..self.active.len() {
+            let fi = self.active[idx];
+            let cand = match self.frame_best[fi] {
+                Some(cand) => cand,
+                None => {
+                    let cand = self.frame_best_compute(fi);
+                    self.frame_best[fi] = Some(cand);
+                    cand
+                }
+            };
+            let Some((ready, a, t)) = cand else { continue };
+            match &best {
+                Some((s, _, _, _)) if *s <= ready => {}
+                _ => best = Some((ready, fi, a, t)),
+            }
+        }
+        debug_assert_eq!(best, self.select_best_scan());
+        best
+    }
+
+    /// Frame `fi`'s best unblocked queue head by ready time (first way
+    /// wins ties) — the memo behind the tournament in
+    /// [`EventCore::select_best`].
+    fn frame_best_compute(&self, fi: usize) -> Option<(f64, usize, TaskId)> {
+        let frame = self.frames[fi].as_ref()?;
+        if frame.remaining == 0 {
+            return None;
+        }
+        let graph = frame.graph.get();
+        let schedule = frame.schedule.get();
+        let mut best: Option<(f64, usize, TaskId)> = None;
+        'ways: for (a, queue) in schedule.order().iter().enumerate() {
+            if frame.head[a] >= queue.len() {
+                continue;
+            }
+            let t = queue[frame.head[a]];
+            let mut ready = frame.arrival_s.max(self.acc_free[a]);
+            for &d in graph.deps(t) {
+                match frame.finish[d.0] {
+                    Some(fin) => ready = ready.max(fin),
+                    None => continue 'ways,
+                }
+            }
+            match &best {
+                Some((r, _, _)) if *r <= ready => {}
+                _ => best = Some((ready, a, t)),
+            }
+        }
+        best
+    }
+
+    /// The exact flat candidate scan (reference path, and the fallback
+    /// under memory pressure). Costs come from each frame's precomputed
+    /// table — the scan clones nothing.
+    fn select_best_scan(&self) -> Option<(f64, usize, usize, TaskId)> {
         let gb = self.acc.global_buffer_bytes();
         let staging_cap = self.staging_cap();
-        let mut best: Option<(f64, usize, usize, TaskId, LayerCost)> = None;
-        for (fi, frame) in self.frames.iter().enumerate() {
-            let Some(frame) = frame else { continue };
+        let mut best: Option<(f64, usize, usize, TaskId)> = None;
+        for &fi in &self.active {
+            let Some(frame) = self.frames[fi].as_ref() else {
+                continue;
+            };
             if frame.remaining == 0 {
                 continue;
             }
             let graph = frame.graph.get();
             let schedule = frame.schedule.get();
+            let costs = frame.costs.get();
             for (a, queue) in schedule.order().iter().enumerate() {
                 if frame.head[a] >= queue.len() {
                     continue;
@@ -217,16 +512,24 @@ impl<'a> EventCore<'a> {
                 if blocked {
                     continue;
                 }
-                let cost = self.acc.sub_accelerators()[a].layer_cost(
-                    self.cost,
-                    graph.layer(t),
-                    self.metric,
-                );
-                let occ = cost.buffer.occupancy_bytes(staging_cap);
-                let start = earliest_memory_feasible(ready, occ, gb, &self.intervals);
+                // A candidate can never start before its ready time, so
+                // one at or past the incumbent best start can never win
+                // (the keep-rule keeps the incumbent on ties) — skip its
+                // memory query entirely.
+                if let Some((s, _, _, _)) = &best {
+                    if ready >= *s {
+                        continue;
+                    }
+                }
+                let occ = costs[t.0].buffer.occupancy_bytes(staging_cap);
+                let start = if self.live_occ_bound + occ <= gb {
+                    ready
+                } else {
+                    earliest_memory_feasible(ready, occ, gb, &self.intervals)
+                };
                 match &best {
-                    Some((s, _, _, _, _)) if *s <= start => {}
-                    _ => best = Some((start, fi, a, t, cost)),
+                    Some((s, _, _, _)) if *s <= start => {}
+                    _ => best = Some((start, fi, a, t)),
                 }
             }
         }
@@ -243,13 +546,25 @@ impl<'a> EventCore<'a> {
     /// queue head waits on a task queued behind another blocked head.
     /// Dependences never cross frames, so pending arrivals cannot resolve
     /// the cycle and the error is definitive.
+    /// [`EventCore::select_best`] through the memo: reuses the last scan
+    /// when nothing that can change its outcome happened since.
+    fn cached_select_best(&mut self) -> Option<(f64, usize, usize, TaskId)> {
+        if let Some(cached) = self.best_cache {
+            debug_assert_eq!(cached, self.select_best_scan());
+            return cached;
+        }
+        let best = self.select_best();
+        self.best_cache = Some(best);
+        best
+    }
+
     pub(crate) fn run_until(&mut self, limit: f64) -> Result<(), SimError> {
         while self.total_remaining() > 0 {
-            let Some((start, fi, a, t, cost)) = self.select_best() else {
+            let Some((start, fi, a, t)) = self.cached_select_best() else {
                 let stuck = self
-                    .frames
+                    .active
                     .iter()
-                    .flatten()
+                    .filter_map(|&fi| self.frames[fi].as_ref())
                     .find_map(|f| {
                         f.schedule
                             .get()
@@ -265,18 +580,63 @@ impl<'a> EventCore<'a> {
             if start > limit {
                 return Ok(());
             }
-            self.commit(start, fi, a, t, &cost);
+            self.commit(start, fi, a, t);
         }
         Ok(())
     }
 
-    fn commit(&mut self, start: f64, fi: usize, a: usize, t: TaskId, cost: &LayerCost) {
+    fn commit(&mut self, start: f64, fi: usize, a: usize, t: TaskId) {
+        self.best_cache = None;
+        // Tournament memo invalidation: this frame's heads/deps changed,
+        // and `acc_free[a]` moved — which can only *worsen* way-`a`
+        // candidates, so a frame whose memoized best sits on another way
+        // keeps its exact best (and an all-blocked frame stays blocked:
+        // only its own commits resolve deps).
+        self.frame_best[fi] = None;
+        for &other in &self.active {
+            if let Some(Some((_, way, _))) = self.frame_best[other] {
+                if way == a {
+                    self.frame_best[other] = None;
+                }
+            }
+        }
         let staging_cap = self.staging_cap();
-        let dur = cost.latency_s;
+        // Copy the committed task's cost scalars out first so the frame
+        // can be mutably borrowed below.
+        let (dur, occ, style, energy) = {
+            let cost = &self.frames[fi]
+                .as_ref()
+                .expect("commit targets an in-flight frame")
+                .costs
+                .get()[t.0];
+            (
+                cost.latency_s,
+                cost.buffer.occupancy_bytes(staging_cap),
+                cost.style,
+                cost.energy,
+            )
+        };
         let fin = start + dur;
-        let occ = cost.buffer.occupancy_bytes(staging_cap);
         self.intervals.push((start, fin, occ));
-        self.peak_mem = self.peak_mem.max(occupancy_at(start, &self.intervals));
+        self.live_occ_bound += occ;
+        // Incremental occupancy sweep: retire intervals finishing at or
+        // before this start (half-open semantics: an interval is free at
+        // its finish instant), then account the new one.
+        while let Some(&Reverse((fb, o))) = self.mem_events.peek() {
+            if f64::from_bits(fb) <= start {
+                self.current_occ -= o;
+                self.mem_events.pop();
+            } else {
+                break;
+            }
+        }
+        self.current_occ += occ;
+        self.mem_events.push(Reverse((fin.to_bits(), occ)));
+        // Pruned intervals may linger in the heap, but prune's cut never
+        // exceeds a future commit start, so they are always swept before
+        // the occupancy is read — the sweep matches the full scan.
+        debug_assert_eq!(self.current_occ, occupancy_at(start, &self.intervals));
+        self.peak_mem = self.peak_mem.max(self.current_occ);
         self.acc_free[a] = fin;
 
         let frame = self.frames[fi]
@@ -285,21 +645,32 @@ impl<'a> EventCore<'a> {
         frame.finish[t.0] = Some(fin);
         frame.head[a] += 1;
         frame.remaining -= 1;
-        frame.energy = frame.energy.plus(&cost.energy);
+        frame.energy = frame.energy.plus(&energy);
         frame.entries.push(ScheduleEntry {
             task: t,
             acc: a,
             start_s: start,
             finish_s: fin,
-            style: cost.style,
-            energy_j: cost.energy.total_j(),
+            style,
+            energy_j: energy.total_j(),
         });
+        self.remaining_total -= 1;
 
         self.per_acc[a].layers += 1;
         self.per_acc[a].busy_s += dur;
         self.per_acc[a].finish_s = fin;
-        self.per_acc[a].energy_j += cost.energy.total_j();
-        self.energy = self.energy.plus(&cost.energy);
+        self.per_acc[a].energy_j += energy.total_j();
+        self.energy = self.energy.plus(&energy);
+    }
+
+    /// The start time of the next pending commit, if any — the batched
+    /// admission window probe: while the next trace event lands at or
+    /// before this instant, admitting it without another `run_until` is
+    /// bit-identical to the event-at-a-time walk (no commit can
+    /// interleave, and same-instant ties break by admission order either
+    /// way).
+    pub(crate) fn next_commit_start(&mut self) -> Option<f64> {
+        self.cached_select_best().map(|(s, _, _, _)| s)
     }
 
     /// Whether a frame has committed all of its tasks.
@@ -315,6 +686,14 @@ impl<'a> EventCore<'a> {
     pub(crate) fn take_frame(&mut self, frame: usize) -> FrameResult {
         let f = self.frames[frame].take().expect("frame taken twice");
         assert_eq!(f.remaining, 0, "frame still has uncommitted tasks");
+        // Recycle the slot and the frame's scratch buffers; the entry
+        // buffer travels with the result (the caller may hand it back via
+        // `recycle_entries`).
+        self.active.retain(|&i| i != frame);
+        self.frame_best[frame] = None;
+        self.free.push(frame);
+        self.head_pool.push(f.head);
+        self.finish_pool.push(f.finish);
         let mut entries = f.entries;
         entries.sort_by(|a, b| a.start_s.total_cmp(&b.start_s));
         let finish_s = entries
@@ -340,13 +719,14 @@ impl<'a> EventCore<'a> {
     /// to be fully committed.
     pub(crate) fn prune_intervals(&mut self, now: f64) {
         let cut = self
-            .frames
+            .active
             .iter()
-            .flatten()
+            .filter_map(|&fi| self.frames[fi].as_ref())
             .filter(|f| f.remaining > 0)
             .map(|f| f.arrival_s)
             .fold(now, f64::min);
         self.intervals.retain(|(_, f, _)| *f > cut);
+        self.live_occ_bound = self.intervals.iter().map(|(_, _, o)| o).sum();
     }
 
     /// Global-buffer peak occupancy observed so far, bytes.

@@ -17,13 +17,19 @@
 use crate::ctx::{EvalContext, EvalStats};
 use crate::error::HeraldError;
 use crate::sched::Scheduler;
-use crate::sim::core::{EventCore, GraphRef, ScheduleRef};
+use crate::sim::core::{build_cost_table, CostTable, EventCore, GraphRef, ScheduleRef};
+use crate::sim::profile::HotPathProfile;
 use crate::sim::report::{BusySpan, FrameRecord, StreamReport, SwapRecord};
 use crate::task::TaskGraph;
 use herald_arch::AcceleratorConfig;
-use herald_cost::{CostModel, Metric};
+use herald_cost::{CostModel, LayerCost, Metric};
 use herald_workloads::{ArrivalProcess, Scenario};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Default cap on events admitted against one commit window (see
+/// [`StreamSimulator::with_admission_batch`]).
+pub const DEFAULT_ADMISSION_BATCH: usize = 32;
 
 /// How the streaming engine reacts to frame arrivals.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -85,6 +91,7 @@ pub struct StreamSimulator<'a> {
     metric: Metric,
     policy: ReschedulePolicy,
     ctx: Option<&'a EvalContext>,
+    admission_batch: usize,
 }
 
 /// One generated event of the trace (shared with the fleet dispatch
@@ -123,19 +130,31 @@ impl Event {
     }
 }
 
+/// A compiled (schedule, cost table) pair: everything a frame admission
+/// needs, shareable across every arrival of a stream's current workload
+/// version by two pointer bumps.
+#[derive(Clone)]
+struct CompiledSchedule {
+    schedule: Arc<crate::sched::Schedule>,
+    costs: Arc<Vec<LayerCost>>,
+}
+
 /// Per-stream mutable state while the trace plays out.
 struct StreamState {
     graph: Arc<TaskGraph>,
-    workload_name: String,
+    /// Interned workload name, shared with every frame/swap record of
+    /// this stream (an `Arc<str>` bump per event, not a `String` clone).
+    workload_name: Arc<str>,
     deadline_s: Option<f64>,
-    /// The schedule compiled for the stream's *current* workload — the
-    /// dirty-tracked memo of the incremental policy, shared with every
-    /// admitted frame (a cache hit is a pointer bump, not a clone). A
-    /// workload swap replaces it (invalidating exactly this stream);
-    /// under [`ReschedulePolicy::FullReschedule`] it only carries the
-    /// eager swap recompile to the first post-swap arrival, which
-    /// consumes it.
-    compiled: Option<Arc<crate::sched::Schedule>>,
+    /// The schedule (plus its per-task cost table) compiled for the
+    /// stream's *current* workload — the dirty-tracked memo of the
+    /// incremental policy, shared with every admitted frame (a cache
+    /// hit is a pointer bump, not a clone). A workload swap replaces it
+    /// (invalidating exactly this stream); under
+    /// [`ReschedulePolicy::FullReschedule`] it only carries the eager
+    /// swap recompile to the first post-swap arrival, which consumes
+    /// it.
+    compiled: Option<CompiledSchedule>,
 }
 
 /// Runs one online compile and classifies it for the report: a
@@ -144,23 +163,34 @@ struct StreamState {
 /// cache hit rather than a fresh compile. The scheduler reports the
 /// distinction in-band ([`Scheduler::schedule_tracked`]), so the
 /// classification stays correct even when several threads record into
-/// one shared [`EvalContext`] concurrently.
+/// one shared [`EvalContext`] concurrently. The compiled schedule's
+/// per-task cost table is built here, once, and shared by every frame
+/// admitted against it.
+#[allow(clippy::too_many_arguments)]
 fn compile<S: Scheduler>(
     scheduler: &S,
     graph: &TaskGraph,
     acc: &AcceleratorConfig,
     cost: &CostModel,
+    metric: Metric,
     stats: &EvalStats,
     invocations: &mut usize,
     cache_hits: &mut usize,
-) -> Arc<crate::sched::Schedule> {
+    profile: &mut HotPathProfile,
+) -> CompiledSchedule {
     let (schedule, memo_hit) = scheduler.schedule_tracked(graph, acc, cost, stats);
     if memo_hit {
         *cache_hits += 1;
     } else {
         *invocations += 1;
     }
-    Arc::new(schedule)
+    let costs = build_cost_table(graph, &schedule, acc, cost, metric);
+    profile.cost_tables_built += 1;
+    profile.cost_table_entries += costs.len() as u64;
+    CompiledSchedule {
+        schedule: Arc::new(schedule),
+        costs: Arc::new(costs),
+    }
 }
 
 /// Metadata of an admitted frame, joined with the core's timeline once
@@ -169,7 +199,7 @@ struct PendingFrame {
     handle: usize,
     stream: usize,
     seq: usize,
-    workload: String,
+    workload: Arc<str>,
     deadline_s: Option<f64>,
 }
 
@@ -183,7 +213,21 @@ impl<'a> StreamSimulator<'a> {
             metric: Metric::Edp,
             policy: ReschedulePolicy::default(),
             ctx: None,
+            admission_batch: DEFAULT_ADMISSION_BATCH,
         }
+    }
+
+    /// Caps how many trace events may be admitted against one commit
+    /// window of the core (default [`DEFAULT_ADMISSION_BATCH`]). A batch
+    /// only ever extends while the next event lands at or before the
+    /// core's next pending commit, so any cap — including `1`, which
+    /// reproduces the historical event-at-a-time walk — yields
+    /// bit-identical results; the cap only bounds how much admission
+    /// work a single window may accumulate.
+    #[must_use]
+    pub fn with_admission_batch(mut self, cap: usize) -> Self {
+        self.admission_batch = cap.max(1);
+        self
     }
 
     /// Overrides the metric used when a reconfigurable sub-accelerator
@@ -229,19 +273,57 @@ impl<'a> StreamSimulator<'a> {
         scheduler: &S,
         scenario: &Scenario,
     ) -> Result<StreamReport, HeraldError> {
+        self.run(scheduler, scenario, false)
+            .map(|(report, _)| report)
+    }
+
+    /// [`StreamSimulator::simulate`] plus the run's [`HotPathProfile`].
+    /// The report is bit-identical to the unprofiled entry point — the
+    /// profile travels beside it, never inside, so report equality is
+    /// unaffected by timing noise; profiling only adds the phase
+    /// timers' clock reads.
+    ///
+    /// # Errors
+    ///
+    /// As for [`StreamSimulator::simulate`].
+    pub fn simulate_profiled<S: Scheduler>(
+        &self,
+        scheduler: &S,
+        scenario: &Scenario,
+    ) -> Result<(StreamReport, HotPathProfile), HeraldError> {
+        self.run(scheduler, scenario, true)
+    }
+
+    fn run<S: Scheduler>(
+        &self,
+        scheduler: &S,
+        scenario: &Scenario,
+        timed: bool,
+    ) -> Result<(StreamReport, HotPathProfile), HeraldError> {
         validate_scenario(scenario)?;
         let events = sorted_trace(scenario);
+        let mut profile = HotPathProfile {
+            events: events.len() as u64,
+            ..Default::default()
+        };
 
         let mut streams: Vec<StreamState> = scenario
             .streams()
             .iter()
             .map(|s| StreamState {
                 graph: Arc::new(TaskGraph::new(s.workload())),
-                workload_name: s.workload().name().to_string(),
+                workload_name: Arc::from(s.workload().name()),
                 deadline_s: s.deadline_s(),
                 compiled: None,
             })
             .collect();
+        // The "precalculated" memo tier: fingerprint every stream graph
+        // up front so per-arrival memo probes only hash the short
+        // accelerator/scheduler/cost tail against the cached section.
+        for s in &streams {
+            s.graph.structural_fingerprint();
+            profile.precomputed_graph_fingerprints += 1;
+        }
 
         let mut core = EventCore::new(self.acc, self.cost, self.metric);
         let mut pending: Vec<PendingFrame> = Vec::new();
@@ -257,6 +339,7 @@ impl<'a> StreamSimulator<'a> {
             None => &local_stats,
         };
         let placement_before = stats.placement_evals();
+        let stats_before = stats.snapshot();
         let mut makespan = scenario.horizon_s();
 
         let harvest = |core: &mut EventCore<'_>,
@@ -264,17 +347,21 @@ impl<'a> StreamSimulator<'a> {
                        frames: &mut Vec<FrameRecord>,
                        busy_spans: &mut Vec<BusySpan>,
                        makespan: &mut f64| {
-            pending.retain(|p| {
+            let mut i = 0;
+            while i < pending.len() {
+                let p = &pending[i];
                 if !core.frame_done(p.handle) {
-                    return true;
+                    i += 1;
+                    continue;
                 }
+                let p = pending.remove(i);
                 let done = core.take_frame(p.handle);
                 *makespan = makespan.max(done.finish_s);
                 let latency_s = done.finish_s - done.arrival_s;
                 frames.push(FrameRecord {
                     stream: p.stream,
                     seq: p.seq,
-                    workload: p.workload.clone(),
+                    workload: p.workload,
                     arrival_s: done.arrival_s,
                     finish_s: done.finish_s,
                     latency_s,
@@ -287,12 +374,19 @@ impl<'a> StreamSimulator<'a> {
                     start_s: e.start_s,
                     finish_s: e.finish_s,
                 }));
-                false
-            });
+                core.recycle_entries(done.entries);
+            }
         };
 
-        for event in events {
-            core.run_until(event.t).map_err(HeraldError::Simulation)?;
+        let mut i = 0usize;
+        while i < events.len() {
+            let window_t = events[i].t;
+            let t0 = timed.then(Instant::now);
+            core.run_until(window_t).map_err(HeraldError::Simulation)?;
+            if let Some(t0) = t0 {
+                profile.run_ns += t0.elapsed().as_nanos() as u64;
+            }
+            let t0 = timed.then(Instant::now);
             harvest(
                 &mut core,
                 &mut pending,
@@ -300,95 +394,148 @@ impl<'a> StreamSimulator<'a> {
                 &mut busy_spans,
                 &mut makespan,
             );
-            core.prune_intervals(event.t);
-            let stream = &mut streams[event.stream];
-            match event.kind {
-                EventKind::Arrival { seq } => {
-                    // The online scheduling decision for this frame.
-                    // Incremental: serve the stream's dirty-tracked
-                    // compiled schedule (compiling it on first use) and
-                    // admit only the new frame's tasks against the
-                    // core's cached occupancy. Full-reschedule: compile
-                    // fresh at every arrival (a pending eager swap
-                    // recompile is consumed by the first post-swap
-                    // arrival, as the scheduler is deterministic).
-                    let schedule = match self.policy {
-                        ReschedulePolicy::Incremental => match &stream.compiled {
-                            Some(schedule) => {
-                                schedule_cache_hits += 1;
-                                Arc::clone(schedule)
-                            }
-                            None => {
-                                let schedule = compile(
+            core.prune_intervals(window_t);
+            if let Some(t0) = t0 {
+                profile.harvest_ns += t0.elapsed().as_nanos() as u64;
+            }
+            // Batched admission: admit this event, then keep admitting
+            // trace events while the next one lands at or before the
+            // core's next pending commit — every skipped `run_until`
+            // would have been a no-op, and same-instant ties break by
+            // admission order exactly as in the event-at-a-time walk,
+            // so any batch extent is bit-identical.
+            profile.admission_batches += 1;
+            let batch_start = i;
+            loop {
+                let event = events[i];
+                let stream = &mut streams[event.stream];
+                match event.kind {
+                    EventKind::Arrival { seq } => {
+                        // The online scheduling decision for this frame.
+                        // Incremental: serve the stream's dirty-tracked
+                        // compiled schedule (compiling it on first use)
+                        // and admit only the new frame's tasks against
+                        // the core's cached occupancy. Full-reschedule:
+                        // compile fresh at every arrival (a pending
+                        // eager swap recompile is consumed by the first
+                        // post-swap arrival, as the scheduler is
+                        // deterministic).
+                        let t0 = timed.then(Instant::now);
+                        let compiled = match self.policy {
+                            ReschedulePolicy::Incremental => match &stream.compiled {
+                                Some(compiled) => {
+                                    schedule_cache_hits += 1;
+                                    compiled.clone()
+                                }
+                                None => {
+                                    let compiled = compile(
+                                        scheduler,
+                                        &stream.graph,
+                                        self.acc,
+                                        self.cost,
+                                        self.metric,
+                                        stats,
+                                        &mut scheduler_invocations,
+                                        &mut schedule_cache_hits,
+                                        &mut profile,
+                                    );
+                                    stream.compiled = Some(compiled.clone());
+                                    compiled
+                                }
+                            },
+                            ReschedulePolicy::FullReschedule => match stream.compiled.take() {
+                                Some(compiled) => compiled,
+                                None => compile(
                                     scheduler,
                                     &stream.graph,
                                     self.acc,
                                     self.cost,
+                                    self.metric,
                                     stats,
                                     &mut scheduler_invocations,
                                     &mut schedule_cache_hits,
-                                );
-                                stream.compiled = Some(Arc::clone(&schedule));
-                                schedule
-                            }
-                        },
-                        ReschedulePolicy::FullReschedule => match stream.compiled.take() {
-                            Some(schedule) => schedule,
-                            None => compile(
-                                scheduler,
-                                &stream.graph,
-                                self.acc,
-                                self.cost,
-                                stats,
-                                &mut scheduler_invocations,
-                                &mut schedule_cache_hits,
-                            ),
-                        },
-                    };
-                    let handle = core
-                        .admit(
-                            GraphRef::Shared(Arc::clone(&stream.graph)),
-                            ScheduleRef::Shared(schedule),
-                            event.t,
-                        )
-                        .map_err(HeraldError::Simulation)?;
-                    pending.push(PendingFrame {
-                        handle,
-                        stream: event.stream,
-                        seq,
-                        workload: stream.workload_name.clone(),
-                        deadline_s: stream.deadline_s,
-                    });
+                                    &mut profile,
+                                ),
+                            },
+                        };
+                        if let Some(t0) = t0 {
+                            profile.compile_ns += t0.elapsed().as_nanos() as u64;
+                        }
+                        let t0 = timed.then(Instant::now);
+                        let handle = core
+                            .admit_with_costs(
+                                GraphRef::Shared(Arc::clone(&stream.graph)),
+                                ScheduleRef::Shared(compiled.schedule),
+                                CostTable::Shared(compiled.costs),
+                                event.t,
+                            )
+                            .map_err(HeraldError::Simulation)?;
+                        if let Some(t0) = t0 {
+                            profile.admit_ns += t0.elapsed().as_nanos() as u64;
+                        }
+                        profile.admissions += 1;
+                        pending.push(PendingFrame {
+                            handle,
+                            stream: event.stream,
+                            seq,
+                            workload: Arc::clone(&stream.workload_name),
+                            deadline_s: stream.deadline_s,
+                        });
+                    }
+                    EventKind::Swap { swap_index } => {
+                        let swap = &scenario.streams()[event.stream].swaps()[swap_index];
+                        let graph = Arc::new(TaskGraph::new(&swap.workload));
+                        graph.structural_fingerprint();
+                        profile.precomputed_graph_fingerprints += 1;
+                        // The swap dirties exactly this stream's
+                        // compiled schedule; recompile eagerly at the
+                        // change event (modeling the runtime recompiling
+                        // on deployment changes). Other streams' memos
+                        // are untouched.
+                        let t0 = timed.then(Instant::now);
+                        stream.compiled = Some(compile(
+                            scheduler,
+                            &graph,
+                            self.acc,
+                            self.cost,
+                            self.metric,
+                            stats,
+                            &mut scheduler_invocations,
+                            &mut schedule_cache_hits,
+                            &mut profile,
+                        ));
+                        if let Some(t0) = t0 {
+                            profile.compile_ns += t0.elapsed().as_nanos() as u64;
+                        }
+                        let to: Arc<str> = Arc::from(swap.workload.name());
+                        swaps.push(SwapRecord {
+                            stream: event.stream,
+                            at_s: event.t,
+                            from: Arc::clone(&stream.workload_name),
+                            to: Arc::clone(&to),
+                        });
+                        stream.graph = graph;
+                        stream.workload_name = to;
+                    }
                 }
-                EventKind::Swap { swap_index } => {
-                    let swap = &scenario.streams()[event.stream].swaps()[swap_index];
-                    let graph = Arc::new(TaskGraph::new(&swap.workload));
-                    // The swap dirties exactly this stream's compiled
-                    // schedule; recompile eagerly at the change event
-                    // (modeling the runtime recompiling on deployment
-                    // changes). Other streams' memos are untouched.
-                    stream.compiled = Some(compile(
-                        scheduler,
-                        &graph,
-                        self.acc,
-                        self.cost,
-                        stats,
-                        &mut scheduler_invocations,
-                        &mut schedule_cache_hits,
-                    ));
-                    swaps.push(SwapRecord {
-                        stream: event.stream,
-                        at_s: event.t,
-                        from: stream.workload_name.clone(),
-                        to: swap.workload.name().to_string(),
-                    });
-                    stream.graph = graph;
-                    stream.workload_name = swap.workload.name().to_string();
+                i += 1;
+                if i >= events.len() || i - batch_start >= self.admission_batch {
+                    break;
+                }
+                let next_commit = core.next_commit_start().unwrap_or(f64::INFINITY);
+                if events[i].t > next_commit {
+                    break;
                 }
             }
+            let batch_events = (i - batch_start) as u64;
+            profile.max_batch_events = profile.max_batch_events.max(batch_events);
         }
+        let t0 = timed.then(Instant::now);
         core.run_until(f64::INFINITY)
             .map_err(HeraldError::Simulation)?;
+        if let Some(t0) = t0 {
+            profile.run_ns += t0.elapsed().as_nanos() as u64;
+        }
         harvest(
             &mut core,
             &mut pending,
@@ -406,7 +553,19 @@ impl<'a> StreamSimulator<'a> {
         });
         busy_spans.sort_by(|a, b| a.start_s.total_cmp(&b.start_s).then(a.acc.cmp(&b.acc)));
 
-        Ok(StreamReport::new(
+        let stats_after = stats.snapshot();
+        profile.schedule_compiles = scheduler_invocations as u64;
+        profile.schedule_cache_hits = schedule_cache_hits as u64;
+        profile.fingerprint_lookups =
+            stats_after.fingerprint_lookups - stats_before.fingerprint_lookups;
+        profile.fingerprint_hits = stats_after.fingerprint_hits - stats_before.fingerprint_hits;
+        profile.fingerprint_collisions =
+            stats_after.fingerprint_collisions - stats_before.fingerprint_collisions;
+        let (arena_reuses, arena_allocs) = core.arena_counters();
+        profile.arena_reuses = arena_reuses;
+        profile.arena_allocs = arena_allocs;
+
+        let report = StreamReport::new(
             scenario.name().to_string(),
             scenario
                 .streams()
@@ -425,7 +584,8 @@ impl<'a> StreamSimulator<'a> {
             stats.placement_evals() - placement_before,
             events_processed,
             busy_spans,
-        ))
+        );
+        Ok((report, profile))
     }
 }
 
@@ -644,19 +804,19 @@ mod tests {
             .simulate(&HeraldScheduler::default(), &scenario)
             .unwrap();
         assert_eq!(report.swaps().len(), 1);
-        assert_eq!(report.swaps()[0].from, "MobileNetV1-b1");
-        assert_eq!(report.swaps()[0].to, "MobileNetV2-b1");
+        assert_eq!(&*report.swaps()[0].from, "MobileNetV1-b1");
+        assert_eq!(&*report.swaps()[0].to, "MobileNetV2-b1");
         let pre: Vec<&str> = report
             .frames()
             .iter()
             .filter(|f| f.arrival_s < 0.02)
-            .map(|f| f.workload.as_str())
+            .map(|f| &*f.workload)
             .collect();
         let post: Vec<&str> = report
             .frames()
             .iter()
             .filter(|f| f.arrival_s >= 0.02)
-            .map(|f| f.workload.as_str())
+            .map(|f| &*f.workload)
             .collect();
         assert!(pre.iter().all(|w| *w == "MobileNetV1-b1"));
         assert!(post.iter().all(|w| *w == "MobileNetV2-b1"));

@@ -27,7 +27,9 @@
 
 pub(crate) mod core;
 pub(crate) mod engine;
+pub mod profile;
 pub(crate) mod report;
 
-pub use engine::{ReschedulePolicy, StreamSimulator};
+pub use engine::{ReschedulePolicy, StreamSimulator, DEFAULT_ADMISSION_BATCH};
+pub use profile::HotPathProfile;
 pub use report::{BusySpan, FrameRecord, StreamReport, StreamStats, SwapRecord, UtilizationSample};

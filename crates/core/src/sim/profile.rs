@@ -1,0 +1,138 @@
+//! Hot-path counters for the streaming engine (the profiling story).
+//!
+//! [`HotPathProfile`] is the `EvalStats`-style counter set of the
+//! streaming hot path: how many allocations the arenas avoided, how
+//! often the fingerprint fast path served a memo hit, how arrivals
+//! batched into commit windows, and where wall-clock time went per
+//! phase. It is returned *beside* the [`crate::sim::StreamReport`] (see
+//! `StreamSimulator::simulate_profiled`), never inside it, so report
+//! equality — the backbone of the bit-identity test suite — is
+//! unaffected by timing noise.
+//!
+//! Counters are exact and deterministic; only the `*_ns` phase timers
+//! vary run to run (and are only collected on the profiled entry
+//! point).
+
+use serde::Serialize;
+
+/// Hot-path counters for one streaming run (see the [module
+/// docs](self)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct HotPathProfile {
+    /// Trace events replayed (arrivals + swaps).
+    pub events: u64,
+    /// Frames admitted to the event core.
+    pub admissions: u64,
+    /// Commit windows: groups of events admitted against one
+    /// `run_until` of the core instead of one per event.
+    pub admission_batches: u64,
+    /// Largest number of events admitted in one commit window.
+    pub max_batch_events: u64,
+    /// Full scheduler compiles.
+    pub schedule_compiles: u64,
+    /// Schedules served from a memo (stream-local or context).
+    pub schedule_cache_hits: u64,
+    /// Fingerprint-first memo probes (context-aware schedulers only).
+    pub fingerprint_lookups: u64,
+    /// Memo hits served via the 128-bit fingerprint fast path.
+    pub fingerprint_hits: u64,
+    /// Fingerprint collisions caught by structural verification.
+    pub fingerprint_collisions: u64,
+    /// Stream graphs whose structural fingerprint was precomputed at
+    /// init (the "precalculated" memo tier).
+    pub precomputed_graph_fingerprints: u64,
+    /// Per-(graph, schedule) cost tables built (each is then shared by
+    /// every frame compiled to that schedule).
+    pub cost_tables_built: u64,
+    /// Total entries across built cost tables (= cost-model queries the
+    /// commit loop no longer makes per candidate scan).
+    pub cost_table_entries: u64,
+    /// Per-frame buffers served from the arena pools.
+    pub arena_reuses: u64,
+    /// Per-frame buffers freshly allocated (pool empty).
+    pub arena_allocs: u64,
+    /// Wall-clock nanoseconds compiling schedules (zero unless
+    /// profiled).
+    pub compile_ns: u64,
+    /// Wall-clock nanoseconds admitting frames (zero unless profiled).
+    pub admit_ns: u64,
+    /// Wall-clock nanoseconds in the core's commit loop (zero unless
+    /// profiled).
+    pub run_ns: u64,
+    /// Wall-clock nanoseconds harvesting finished frames and pruning
+    /// memory intervals (zero unless profiled).
+    pub harvest_ns: u64,
+}
+
+impl HotPathProfile {
+    /// Accumulates another run's counters into this one (sums
+    /// everything; `max_batch_events` takes the maximum).
+    pub fn merge(&mut self, other: &HotPathProfile) {
+        self.events += other.events;
+        self.admissions += other.admissions;
+        self.admission_batches += other.admission_batches;
+        self.max_batch_events = self.max_batch_events.max(other.max_batch_events);
+        self.schedule_compiles += other.schedule_compiles;
+        self.schedule_cache_hits += other.schedule_cache_hits;
+        self.fingerprint_lookups += other.fingerprint_lookups;
+        self.fingerprint_hits += other.fingerprint_hits;
+        self.fingerprint_collisions += other.fingerprint_collisions;
+        self.precomputed_graph_fingerprints += other.precomputed_graph_fingerprints;
+        self.cost_tables_built += other.cost_tables_built;
+        self.cost_table_entries += other.cost_table_entries;
+        self.arena_reuses += other.arena_reuses;
+        self.arena_allocs += other.arena_allocs;
+        self.compile_ns += other.compile_ns;
+        self.admit_ns += other.admit_ns;
+        self.run_ns += other.run_ns;
+        self.harvest_ns += other.harvest_ns;
+    }
+
+    /// Fraction of per-frame buffer acquisitions served by the arenas.
+    pub fn arena_reuse_rate(&self) -> f64 {
+        let total = self.arena_reuses + self.arena_allocs;
+        if total == 0 {
+            return 0.0;
+        }
+        self.arena_reuses as f64 / total as f64
+    }
+
+    /// Mean admitted events per commit window.
+    pub fn mean_batch_events(&self) -> f64 {
+        if self.admission_batches == 0 {
+            return 0.0;
+        }
+        self.events as f64 / self.admission_batches as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_counters_and_maxes_batch() {
+        let mut a = HotPathProfile {
+            events: 10,
+            admission_batches: 4,
+            max_batch_events: 3,
+            arena_reuses: 6,
+            arena_allocs: 2,
+            ..Default::default()
+        };
+        let b = HotPathProfile {
+            events: 5,
+            admission_batches: 1,
+            max_batch_events: 5,
+            arena_reuses: 2,
+            arena_allocs: 0,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.events, 15);
+        assert_eq!(a.admission_batches, 5);
+        assert_eq!(a.max_batch_events, 5);
+        assert!((a.arena_reuse_rate() - 0.8).abs() < 1e-12);
+        assert!((a.mean_batch_events() - 3.0).abs() < 1e-12);
+    }
+}

@@ -5,6 +5,7 @@ use crate::exec::AccSummary;
 use herald_cost::EnergyBreakdown;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// One completed frame of a stream.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -14,8 +15,9 @@ pub struct FrameRecord {
     /// Frame sequence number within its stream (0-based).
     pub seq: usize,
     /// Name of the workload this frame instantiated (changes across
-    /// workload swaps).
-    pub workload: String,
+    /// workload swaps). Interned: every frame of a stream's workload
+    /// version shares one allocation with the engine's stream state.
+    pub workload: Arc<str>,
     /// Arrival time, seconds.
     pub arrival_s: f64,
     /// Completion time of the frame's last layer, seconds.
@@ -37,10 +39,11 @@ pub struct SwapRecord {
     pub stream: usize,
     /// Virtual time of the swap, seconds.
     pub at_s: f64,
-    /// Workload name before the swap.
-    pub from: String,
-    /// Workload name after the swap.
-    pub to: String,
+    /// Workload name before the swap (interned, see
+    /// [`FrameRecord::workload`]).
+    pub from: Arc<str>,
+    /// Workload name after the swap (interned).
+    pub to: Arc<str>,
 }
 
 /// One busy interval of one sub-accelerator (the raw material of the

@@ -43,6 +43,10 @@ pub struct TaskGraph {
     /// Per-task dependence lists (within-instance edges, remapped).
     deps: Vec<Vec<TaskId>>,
     total: usize,
+    /// Lazily computed structural-fingerprint section (layers, edges,
+    /// instance offsets), shared by clones made after the first
+    /// computation. See [`crate::ctx::ScheduleFingerprint`].
+    fingerprint: std::sync::OnceLock<[u64; 2]>,
 }
 
 impl TaskGraph {
@@ -69,6 +73,7 @@ impl TaskGraph {
             offsets,
             deps,
             total: next,
+            fingerprint: std::sync::OnceLock::new(),
         }
     }
 
@@ -98,6 +103,25 @@ impl TaskGraph {
             Ok(i) => i,
             Err(i) => i - 1,
         }
+    }
+
+    /// The first task of one instance (alloc-free companion to
+    /// [`TaskGraph::instance_tasks`]).
+    pub fn instance_first_task(&self, instance: usize) -> TaskId {
+        TaskId(self.offsets[instance])
+    }
+
+    /// The graph-structure section of this graph's schedule
+    /// fingerprint: a deterministic 128-bit digest of the layer shapes,
+    /// dependence edges and instance offsets. Computed on first use and
+    /// cached for the graph's lifetime (the "precalculated" memo tier:
+    /// the streaming engine warms it for every stream graph at init, so
+    /// per-arrival fingerprinting only hashes the accelerator /
+    /// scheduler / cost-model tail).
+    pub fn structural_fingerprint(&self) -> [u64; 2] {
+        *self
+            .fingerprint
+            .get_or_init(|| crate::ctx::graph_fingerprint(self))
     }
 
     /// The tasks of one instance, in layer order.

@@ -821,6 +821,23 @@ impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
     }
 }
 
+// The blanket `Arc<T>` impls require `T: Sized`; interned strings need
+// their own.
+impl Serialize for std::sync::Arc<str> {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for std::sync::Arc<str> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(std::sync::Arc::from(s.as_str())),
+            _ => Err(DeError::expected("string", "Arc<str>")),
+        }
+    }
+}
+
 impl<T: Serialize> Serialize for std::rc::Rc<T> {
     fn to_value(&self) -> Value {
         (**self).to_value()

@@ -35,7 +35,7 @@ use herald_core::fleet::{
     AdmissionPolicy, DispatchPolicy, FleetConfig, FleetReport, FleetSimulator,
 };
 use herald_core::sched::{HeraldScheduler, IncrementalScheduler, SchedulerConfig};
-use herald_core::sim::{ReschedulePolicy, StreamReport, StreamSimulator};
+use herald_core::sim::{HotPathProfile, ReschedulePolicy, StreamReport, StreamSimulator};
 use herald_cost::Metric;
 use herald_dataflow::DataflowStyle;
 use herald_workloads::{MultiDnnWorkload, Scenario};
@@ -344,7 +344,32 @@ impl Experiment {
     ///   when a partition search is requested;
     /// * [`HeraldError::Simulation`] — a schedule failed to replay
     ///   (indicates a scheduler bug).
-    pub fn scenario(mut self, scenario: &Scenario) -> Result<StreamOutcome, HeraldError> {
+    pub fn scenario(self, scenario: &Scenario) -> Result<StreamOutcome, HeraldError> {
+        self.scenario_inner(scenario, false)
+            .map(|(outcome, _)| outcome)
+    }
+
+    /// [`Experiment::scenario`] plus the streaming engine's
+    /// [`HotPathProfile`]: hot-path counters (fingerprint memo probes,
+    /// arena reuse, admission batching) and per-phase wall-clock timers.
+    /// The outcome is bit-identical to the unprofiled entry point — the
+    /// profile travels beside the report, never inside it.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Experiment::scenario`].
+    pub fn scenario_profiled(
+        self,
+        scenario: &Scenario,
+    ) -> Result<(StreamOutcome, HotPathProfile), HeraldError> {
+        self.scenario_inner(scenario, true)
+    }
+
+    fn scenario_inner(
+        mut self,
+        scenario: &Scenario,
+        profiled: bool,
+    ) -> Result<(StreamOutcome, HotPathProfile), HeraldError> {
         self.normalize();
         let ctx = self.ctx.clone().unwrap_or_default();
         let config = match self.fixed.take() {
@@ -375,21 +400,38 @@ impl Experiment {
             .with_metric(self.dse.metric)
             .with_policy(self.reschedule)
             .with_context(&ctx);
-        let report = match self.reschedule {
+        let (report, profile) = match self.reschedule {
             // The incremental wrapper adds the cross-call schedule memo;
             // the full baseline deliberately bypasses every cache layer.
             ReschedulePolicy::Incremental => {
                 let incremental = IncrementalScheduler::new(scheduler, ctx.clone());
-                sim.simulate(&incremental, scenario)?
+                if profiled {
+                    sim.simulate_profiled(&incremental, scenario)?
+                } else {
+                    (
+                        sim.simulate(&incremental, scenario)?,
+                        HotPathProfile::default(),
+                    )
+                }
             }
-            ReschedulePolicy::FullReschedule => sim.simulate(&scheduler, scenario)?,
+            ReschedulePolicy::FullReschedule => {
+                if profiled {
+                    sim.simulate_profiled(&scheduler, scenario)?
+                } else {
+                    (
+                        sim.simulate(&scheduler, scenario)?,
+                        HotPathProfile::default(),
+                    )
+                }
+            }
         };
-        Ok(StreamOutcome {
+        let outcome = StreamOutcome {
             scenario: scenario.name().to_string(),
             accelerator: config.name().to_string(),
             metric: self.dse.metric,
             report,
-        })
+        };
+        Ok((outcome, profile))
     }
 
     /// Runs a streaming [`Scenario`] across a *fleet* of accelerators

@@ -220,7 +220,8 @@ pub mod prelude {
             Scheduler, SchedulerConfig,
         },
         sim::{
-            FrameRecord, ReschedulePolicy, StreamReport, StreamSimulator, StreamStats, SwapRecord,
+            FrameRecord, HotPathProfile, ReschedulePolicy, StreamReport, StreamSimulator,
+            StreamStats, SwapRecord,
         },
         Metric,
     };

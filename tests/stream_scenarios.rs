@@ -133,11 +133,7 @@ fn swap_transient_is_observable_from_one_simulation() {
         .unwrap();
     let report = outcome.report();
     assert_eq!(report.swaps().len(), 1);
-    let names: Vec<&str> = report
-        .frames()
-        .iter()
-        .map(|f| f.workload.as_str())
-        .collect();
+    let names: Vec<&str> = report.frames().iter().map(|f| &*f.workload).collect();
     assert!(names.contains(&"Resnet50-b1"));
     assert!(names.contains(&"MobileNetV1-b1"));
     // The heavy phase misses more than the light phase.
