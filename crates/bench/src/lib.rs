@@ -25,6 +25,7 @@
 //! | `fleet_headline` | Multi-chip serving-layer scaling (beyond-paper) |
 //! | `fleet_dse_headline` | Fleet-composition Pareto search (beyond-paper) |
 //! | `fleet_controller_headline` | Closed-loop fleet control transients (beyond-paper) |
+//! | `megafleet_headline` | Million-stream serving in bounded memory (beyond-paper) |
 //!
 //! Pass `--fast` to any binary for a coarse (seconds-scale) run; the
 //! default granularity reproduces the paper-scale sweeps. The headline

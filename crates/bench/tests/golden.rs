@@ -1,8 +1,9 @@
 //! Golden-file regression suite for the paper-figure binaries.
 //!
 //! `stream_headline --fast --json`, `fig13_workload_change --fast
-//! --json`, `fleet_dse_headline --fast --json` and
-//! `fleet_controller_headline --fast --json` are fully
+//! --json`, `fleet_dse_headline --fast --json`,
+//! `fleet_controller_headline --fast --json` and
+//! `megafleet_headline --fast --json` are fully
 //! deterministic apart from wall-clock timing fields:
 //! arrival sampling is seeded, schedulers are pure functions, and
 //! aggregation orders are fixed. This suite re-runs each binary and
@@ -24,8 +25,9 @@
 //! `cargo run --release -p herald-bench --bin stream_headline -- --fast --json \
 //!    > crates/bench/golden/stream_headline_fast.json`
 //! (same for `fig13_workload_change` -> `fig13_workload_change_fast.json`,
-//! `fleet_dse_headline` -> `fleet_dse_headline_fast.json` and
-//! `fleet_controller_headline` -> `fleet_controller_headline_fast.json`).
+//! `fleet_dse_headline` -> `fleet_dse_headline_fast.json`,
+//! `fleet_controller_headline` -> `fleet_controller_headline_fast.json`
+//! and `megafleet_headline` -> `megafleet_headline_fast.json`).
 
 use serde_json::Value;
 use std::process::Command;
@@ -33,12 +35,16 @@ use std::process::Command;
 /// Fields whose values depend on wall-clock time, not on simulation
 /// results — plus the hot-path `profile` section, which travels beside
 /// the simulation results (its per-phase timers are wall-clock, and its
-/// counters are already regression-gated by the engine's own tests).
-const TIMING_KEYS: [&str; 4] = [
+/// counters are already regression-gated by the engine's own tests),
+/// and the `mem_profile` byte accounting, whose capacity sums track the
+/// allocator's growth policy rather than simulation results (the
+/// `megafleet_headline` bin gates the ratios that matter).
+const TIMING_KEYS: [&str; 5] = [
     "wall_clock_s",
     "events_per_second",
     "wall_clock_ms",
     "profile",
+    "mem_profile",
 ];
 
 /// Relative tolerance for float comparisons (see module docs).
@@ -170,6 +176,14 @@ fn fleet_controller_headline_fast_matches_golden() {
     assert_matches_golden(
         env!("CARGO_BIN_EXE_fleet_controller_headline"),
         "fleet_controller_headline_fast.json",
+    );
+}
+
+#[test]
+fn megafleet_headline_fast_matches_golden() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_megafleet_headline"),
+        "megafleet_headline_fast.json",
     );
 }
 

@@ -21,14 +21,15 @@ use crate::fleet::{
     Dispatcher, DroppedFrame, FleetConfig, FleetReport, FrameAssignment, FrameView,
 };
 use crate::sched::{HeraldScheduler, IncrementalScheduler, Scheduler, SchedulerConfig};
-use crate::sim::engine::{sorted_trace, validate_scenario, EventKind};
-use crate::sim::{ReschedulePolicy, StreamReport, StreamSimulator};
+use crate::sim::engine::{validate_scenario, EventKind, MergedTrace, RoutedScenario};
+use crate::sim::{HotPathProfile, ReportMode, ReschedulePolicy, StreamReport, StreamSimulator};
 use crate::task::TaskGraph;
 use herald_arch::{AcceleratorConfig, AcceleratorStyle, HardwareResources};
 use herald_cost::{CostModel, Metric};
-use herald_workloads::{ArrivalProcess, Scenario, StreamSpec};
+use herald_workloads::Scenario;
 use serde::Serialize;
 use std::cell::RefCell;
+use std::sync::Arc;
 
 #[cfg(doc)]
 use crate::controller::StaticController;
@@ -41,6 +42,7 @@ pub(crate) struct WalkParams {
     pub(crate) metric: Metric,
     pub(crate) reschedule: ReschedulePolicy,
     pub(crate) admission: AdmissionPolicy,
+    pub(crate) report: ReportMode,
 }
 
 /// Lazily-memoized single-frame service estimates over (configuration,
@@ -109,6 +111,17 @@ impl Estimator {
         self.rows.borrow_mut()[row].1[widx] = Some(v);
         Ok(v)
     }
+
+    /// Bytes retained by the estimate cells (the lazy analogue of the
+    /// precomputed `[stream][version][chip]` table), for the walk's
+    /// [`crate::sim::MemProfile`] accounting.
+    pub(crate) fn memory_bytes(&self) -> u64 {
+        self.rows
+            .borrow()
+            .iter()
+            .map(|(_, cells)| (cells.capacity() * std::mem::size_of::<Option<f64>>()) as u64)
+            .sum()
+    }
 }
 
 /// One contiguous run of a slot under one configuration. A slot starts
@@ -119,8 +132,11 @@ impl Estimator {
 struct Segment {
     config: AcceleratorConfig,
     label: String,
-    /// Arrival times routed to this segment, per scenario stream.
-    times: Vec<Vec<f64>>,
+    /// Arrivals routed to this segment as one flat `(time, stream)`
+    /// list in dispatch order — which is global event-key order
+    /// restricted to this segment, so phase 2 can replay it directly
+    /// (see [`RoutedScenario`]) without per-stream vectors.
+    arrivals: Vec<(f64, u32)>,
     /// Index into the event log of the repartition that opened this
     /// segment (`None` for a slot's first segment), used to patch
     /// `memos_invalidated` after phase 2.
@@ -312,7 +328,7 @@ fn process_boundary(
                             segments: vec![Segment {
                                 config: chip.clone(),
                                 label: label.clone(),
-                                times: vec![Vec::new(); num_streams],
+                                arrivals: Vec::new(),
                                 repart_event: None,
                             }],
                         });
@@ -423,7 +439,7 @@ fn process_boundary(
                             slots[slot].segments.push(Segment {
                                 config: candidate,
                                 label: label.clone(),
-                                times: vec![Vec::new(); num_streams],
+                                arrivals: Vec::new(),
                                 repart_event: Some(events.len()),
                             });
                             loads[pos].free_at_s =
@@ -445,7 +461,9 @@ fn process_boundary(
 
 /// The shared fleet walk (see the module docs): phase-1 epoch-based
 /// dispatch with optional controller decision rounds, then phase-2
-/// per-slot segment simulation.
+/// per-slot segment simulation. Returns the report beside the merged
+/// [`HotPathProfile`] of every per-chip run plus the walk's own byte
+/// accounting (`timed` additionally collects wall-clock phase timers).
 pub(crate) fn simulate_controlled(
     chips: &[AcceleratorConfig],
     audit: bool,
@@ -453,7 +471,8 @@ pub(crate) fn simulate_controlled(
     dispatcher: &mut dyn Dispatcher,
     scenario: &Scenario,
     control: Option<(&ControllerConfig, &mut dyn FleetController)>,
-) -> Result<ControlledFleetReport, HeraldError> {
+    timed: bool,
+) -> Result<(ControlledFleetReport, HotPathProfile), HeraldError> {
     if chips.is_empty() {
         return Err(HeraldError::Fleet {
             reason: format!("fleet serving scenario {:?} has no chips", scenario.name()),
@@ -518,7 +537,7 @@ pub(crate) fn simulate_controlled(
             segments: vec![Segment {
                 config: c.clone(),
                 label: format!("chip{i}:{}", c.name()),
-                times: vec![Vec::new(); num_streams],
+                arrivals: Vec::new(),
                 repart_event: None,
             }],
         })
@@ -526,7 +545,11 @@ pub(crate) fn simulate_controlled(
     let mut route: Vec<usize> = (0..n).collect();
     let mut slot_pos = rebuilt_slot_pos(&route, n);
     let mut loads = vec![ChipLoad::default(); n];
-    let mut wins = vec![WindowAcc::new(num_streams); n];
+    // Per-stream window counters only exist for a telemetry-driven
+    // controller; the uncontrolled walk never reads them, so it must
+    // not pay O(chips x streams) memory for them.
+    let win_streams = if controller_active { num_streams } else { 0 };
+    let mut wins = vec![WindowAcc::new(win_streams); n];
     let mut pins: Vec<Option<usize>> = vec![None; num_streams];
     let mut version = vec![0usize; num_streams];
     let zeros = vec![0.0f64; n];
@@ -568,7 +591,7 @@ pub(crate) fn simulate_controlled(
         Ok(())
     };
 
-    for event in sorted_trace(scenario) {
+    for event in MergedTrace::new(scenario) {
         run_boundaries(
             event.t,
             &mut slots,
@@ -670,8 +693,8 @@ pub(crate) fn simulate_controlled(
             .segments
             .last_mut()
             .expect("a slot always has at least one segment")
-            .times[event.stream]
-            .push(event.t);
+            .arrivals
+            .push((event.t, event.stream as u32));
     }
     // Trailing boundaries between the last event and the horizon still
     // produce telemetry (empty windows are meaningful — an autoscaler
@@ -692,12 +715,23 @@ pub(crate) fn simulate_controlled(
 
     // Phase 2: per-slot workers; each slot replays its segments in
     // order on one private context, invalidating the outgoing
-    // configuration's schedule memos at every repartition seam.
+    // configuration's schedule memos at every repartition seam. Each
+    // segment replays as a [`RoutedScenario`] — its flat routed arrival
+    // list over the *original* stream table — instead of materializing
+    // a per-stream `Trace` sub-`Scenario` per segment.
     struct SegJob {
         config: AcceleratorConfig,
-        sub: Scenario,
+        arrivals: Vec<(f64, u32)>,
         repart_event: Option<usize>,
     }
+    let stream_names: Arc<Vec<String>> = Arc::new(
+        scenario
+            .streams()
+            .iter()
+            .map(|s| s.name().to_string())
+            .collect(),
+    );
+    let mut walk_mem = crate::sim::MemProfile::default();
     let mut labels: Vec<String> = Vec::new();
     let mut flat_of: Vec<Vec<usize>> = Vec::with_capacity(slots.len());
     let mut jobs: Vec<Vec<SegJob>> = Vec::with_capacity(slots.len());
@@ -707,26 +741,12 @@ pub(crate) fn simulate_controlled(
         for seg in &mut slot.segments {
             slot_flat.push(labels.len());
             labels.push(seg.label.clone());
-            let mut sub = Scenario::new(scenario.name(), horizon);
-            for (si, stream) in scenario.streams().iter().enumerate() {
-                let mut spec = StreamSpec::new(
-                    stream.name(),
-                    stream.workload().clone(),
-                    ArrivalProcess::Trace {
-                        times_s: std::mem::take(&mut seg.times[si]),
-                    },
-                );
-                if let Some(d) = stream.deadline_s() {
-                    spec = spec.with_deadline(d);
-                }
-                for swap in stream.swaps() {
-                    spec = spec.swap_at(swap.at_s, swap.workload.clone());
-                }
-                sub = sub.stream(spec);
-            }
+            let arrivals = std::mem::take(&mut seg.arrivals);
+            walk_mem.trace_bytes +=
+                (arrivals.capacity() * std::mem::size_of::<(f64, u32)>()) as u64;
             slot_jobs.push(SegJob {
                 config: seg.config.clone(),
-                sub,
+                arrivals,
                 repart_event: seg.repart_event,
             });
         }
@@ -741,21 +761,23 @@ pub(crate) fn simulate_controlled(
     fn run_segment(
         params: &WalkParams,
         chip: &AcceleratorConfig,
-        sub: &Scenario,
+        routed: &RoutedScenario<'_>,
         ctx: &EvalContext,
-    ) -> Result<StreamReport, HeraldError> {
+        timed: bool,
+    ) -> Result<(StreamReport, HotPathProfile), HeraldError> {
         let sim = StreamSimulator::new(chip, ctx.cost_model())
             .with_metric(params.metric)
             .with_policy(params.reschedule)
+            .with_report_mode(params.report)
             .with_context(ctx);
         match params.reschedule {
             ReschedulePolicy::Incremental => {
                 let inc =
                     IncrementalScheduler::new(HeraldScheduler::new(params.scheduler), ctx.clone());
-                sim.simulate(&inc, sub)
+                sim.run_routed(&inc, routed, timed)
             }
             ReschedulePolicy::FullReschedule => {
-                sim.simulate(&HeraldScheduler::new(params.scheduler), sub)
+                sim.run_routed(&HeraldScheduler::new(params.scheduler), routed, timed)
             }
         }
     }
@@ -764,10 +786,14 @@ pub(crate) fn simulate_controlled(
     fn run_slot(
         params: &WalkParams,
         graphs: &[TaskGraph],
+        scenario: &Scenario,
+        stream_names: &Arc<Vec<String>>,
         jobs: &[SegJob],
-    ) -> Result<(Vec<StreamReport>, Vec<(usize, usize)>), HeraldError> {
+        timed: bool,
+    ) -> Result<(Vec<StreamReport>, HotPathProfile, Vec<(usize, usize)>), HeraldError> {
         let ctx = EvalContext::new();
         let mut reports = Vec::with_capacity(jobs.len());
+        let mut profile = HotPathProfile::default();
         let mut patches = Vec::new();
         for (k, job) in jobs.iter().enumerate() {
             if k > 0 {
@@ -785,16 +811,30 @@ pub(crate) fn simulate_controlled(
                     patches.push((ev, invalidated));
                 }
             }
-            reports.push(run_segment(params, &job.config, &job.sub, &ctx)?);
+            let routed = RoutedScenario {
+                name: scenario.name(),
+                horizon_s: scenario.horizon_s(),
+                streams: scenario.streams(),
+                stream_names: Arc::clone(stream_names),
+                arrivals: &job.arrivals,
+            };
+            let (report, seg_profile) = run_segment(params, &job.config, &routed, &ctx, timed)?;
+            profile.merge(&seg_profile);
+            reports.push(report);
         }
-        Ok((reports, patches))
+        Ok((reports, profile, patches))
     }
 
-    type SlotResult = Result<(Vec<StreamReport>, Vec<(usize, usize)>), HeraldError>;
+    type SlotResult = Result<(Vec<StreamReport>, HotPathProfile, Vec<(usize, usize)>), HeraldError>;
     let gathered: Vec<SlotResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = jobs
             .iter()
-            .map(|slot_jobs| scope.spawn(move || run_slot(params, inval_graphs, slot_jobs)))
+            .map(|slot_jobs| {
+                let names = &stream_names;
+                scope.spawn(move || {
+                    run_slot(params, inval_graphs, scenario, names, slot_jobs, timed)
+                })
+            })
             .collect();
         handles
             .into_iter()
@@ -802,9 +842,11 @@ pub(crate) fn simulate_controlled(
             .collect()
     });
     let mut per_chip: Vec<StreamReport> = Vec::with_capacity(labels.len());
+    let mut profile = HotPathProfile::default();
     for slot_result in gathered {
-        let (reports, patches) = slot_result?;
+        let (reports, slot_profile, patches) = slot_result?;
         per_chip.extend(reports);
+        profile.merge(&slot_profile);
         for (ev, count) in patches {
             events[ev].memos_invalidated = count;
         }
@@ -818,28 +860,40 @@ pub(crate) fn simulate_controlled(
             chip: flat_of[slot][seg],
         })
         .collect();
+    walk_mem.audit_bytes = (assignments.capacity() * std::mem::size_of::<FrameAssignment>()
+        + dropped.capacity() * std::mem::size_of::<DroppedFrame>())
+        as u64;
+    walk_mem.estimate_bytes = match &est {
+        Estimates::None => 0,
+        Estimates::Precomputed(e) => e
+            .iter()
+            .flat_map(|stream_rows| stream_rows.iter())
+            .map(|row| (row.capacity() * std::mem::size_of::<f64>()) as u64)
+            .sum(),
+        Estimates::Lazy(e) => e.memory_bytes(),
+    };
+    profile.mem.merge(&walk_mem);
 
-    Ok(ControlledFleetReport {
-        controller: controller_name,
-        cadence_s: cadence,
-        epochs,
-        events,
-        fleet: FleetReport::new(
-            scenario.name().to_string(),
-            dispatcher.name().to_string(),
-            labels,
-            scenario
-                .streams()
-                .iter()
-                .map(|s| s.name().to_string())
-                .collect(),
-            horizon,
-            per_chip,
-            assignments,
-            dropped,
-            dropped_total,
-        ),
-    })
+    Ok((
+        ControlledFleetReport {
+            controller: controller_name,
+            cadence_s: cadence,
+            epochs,
+            events,
+            fleet: FleetReport::new(
+                scenario.name().to_string(),
+                dispatcher.name().to_string(),
+                labels,
+                stream_names,
+                horizon,
+                per_chip,
+                assignments,
+                dropped,
+                dropped_total,
+            ),
+        },
+        profile,
+    ))
 }
 
 /// One window of the fleet-wide deadline-miss timeline (the transient
@@ -940,15 +994,10 @@ impl ControlledFleetReport {
             .map(|k| {
                 let t0 = k as f64 * window_s;
                 let t1 = (k + 1) as f64 * window_s;
-                let deadline_frames = self
-                    .fleet
-                    .all_frames()
-                    .filter(|f| f.arrival_s >= t0 && f.arrival_s < t1 && f.deadline_s.is_some())
-                    .count();
                 MissWindow {
                     t0_s: t0,
                     t1_s: t1,
-                    deadline_frames,
+                    deadline_frames: self.fleet.deadline_frames_between(t0, t1),
                     miss_rate: self.fleet.miss_rate_between(t0, t1),
                 }
             })
@@ -1035,6 +1084,7 @@ pub struct ControlledFleetSimulator<'a> {
     reschedule: ReschedulePolicy,
     dispatcher: DispatchPolicy,
     admission: AdmissionPolicy,
+    report: ReportMode,
 }
 
 impl<'a> ControlledFleetSimulator<'a> {
@@ -1049,7 +1099,17 @@ impl<'a> ControlledFleetSimulator<'a> {
             reschedule: ReschedulePolicy::default(),
             dispatcher: DispatchPolicy::default(),
             admission: AdmissionPolicy::default(),
+            report: ReportMode::Exact,
         }
+    }
+
+    /// Chooses how every per-chip report aggregates frames (see
+    /// [`crate::sim::StreamSimulator::with_report_mode`]); fleet-level
+    /// metrics merge per-chip sketches exactly.
+    #[must_use]
+    pub fn with_report_mode(mut self, report: ReportMode) -> Self {
+        self.report = report;
+        self
     }
 
     /// Overrides the per-chip online scheduler configuration.
@@ -1102,6 +1162,41 @@ impl<'a> ControlledFleetSimulator<'a> {
         self.simulate_with(dispatcher.as_mut(), controller.as_mut(), scenario)
     }
 
+    /// [`ControlledFleetSimulator::simulate`] plus the merged
+    /// [`HotPathProfile`] of every per-chip run and the walk's own byte
+    /// accounting (`profile.mem`). The report is bit-identical to the
+    /// unprofiled entry point.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ControlledFleetSimulator::simulate`].
+    pub fn simulate_profiled(
+        &self,
+        scenario: &Scenario,
+    ) -> Result<(ControlledFleetReport, HotPathProfile), HeraldError> {
+        let mut dispatcher = self.dispatcher.build();
+        let mut controller = self.control.policy.build();
+        simulate_controlled(
+            self.fleet.chips(),
+            self.fleet.audit_trail(),
+            &self.params(),
+            dispatcher.as_mut(),
+            scenario,
+            Some((self.control, controller.as_mut())),
+            true,
+        )
+    }
+
+    fn params(&self) -> WalkParams {
+        WalkParams {
+            scheduler: self.scheduler,
+            metric: self.metric,
+            reschedule: self.reschedule,
+            admission: self.admission,
+            report: self.report,
+        }
+    }
+
     /// Like [`ControlledFleetSimulator::simulate`] with caller-provided
     /// (possibly custom) dispatcher and controller. Both must be
     /// deterministic for the report to be reproducible.
@@ -1115,20 +1210,16 @@ impl<'a> ControlledFleetSimulator<'a> {
         controller: &mut dyn FleetController,
         scenario: &Scenario,
     ) -> Result<ControlledFleetReport, HeraldError> {
-        let params = WalkParams {
-            scheduler: self.scheduler,
-            metric: self.metric,
-            reschedule: self.reschedule,
-            admission: self.admission,
-        };
         simulate_controlled(
             self.fleet.chips(),
             self.fleet.audit_trail(),
-            &params,
+            &self.params(),
             dispatcher,
             scenario,
             Some((self.control, controller)),
+            false,
         )
+        .map(|(report, _)| report)
     }
 }
 
@@ -1140,7 +1231,7 @@ mod tests {
     use herald_arch::{AcceleratorClass, Partition};
     use herald_dataflow::DataflowStyle;
     use herald_models::zoo;
-    use herald_workloads::single_model;
+    use herald_workloads::{single_model, StreamSpec};
 
     /// Replays a predefined decision list, one entry per epoch — the
     /// test harness for exercising each action path deterministically.

@@ -1,10 +1,11 @@
 //! The merged outcome of a fleet simulation: per-chip stream reports
 //! plus fleet-level aggregates and the frame-routing audit trail.
 
-use crate::sim::report::{miss_rate, percentile};
-use crate::sim::{FrameRecord, StreamReport, StreamStats};
+use crate::sim::report::{miss_rate, percentile, percentile_of_sorted, window_sums, WindowSums};
+use crate::sim::{FrameRecord, QuantileSketch, StreamAgg, StreamReport, StreamStats};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// One routed frame: which chip the dispatcher sent it to. `seq` is the
 /// *global* per-stream sequence number (the per-chip reports renumber
@@ -46,7 +47,8 @@ pub struct FleetReport {
     scenario: String,
     policy: String,
     chip_names: Vec<String>,
-    stream_names: Vec<String>,
+    /// Shared with every per-chip report (one allocation fleet-wide).
+    stream_names: Arc<Vec<String>>,
     horizon_s: f64,
     per_chip: Vec<StreamReport>,
     assignments: Vec<FrameAssignment>,
@@ -63,7 +65,7 @@ impl FleetReport {
         scenario: String,
         policy: String,
         chip_names: Vec<String>,
-        stream_names: Vec<String>,
+        stream_names: Arc<Vec<String>>,
         horizon_s: f64,
         per_chip: Vec<StreamReport>,
         assignments: Vec<FrameAssignment>,
@@ -154,16 +156,18 @@ impl FleetReport {
         self.per_chip.len()
     }
 
-    /// Completed frames across the whole fleet.
+    /// Completed frames across the whole fleet (a scalar count in both
+    /// report modes: sketch-mode chips count completions without
+    /// retaining per-frame records).
     #[must_use]
     pub fn frames_total(&self) -> usize {
-        self.per_chip.iter().map(|r| r.frames().len()).sum()
+        self.per_chip.iter().map(|r| r.completed() as usize).sum()
     }
 
     /// Frames dispatched to one chip.
     #[must_use]
     pub fn frames_on_chip(&self, chip: usize) -> usize {
-        self.per_chip[chip].frames().len()
+        self.per_chip[chip].completed() as usize
     }
 
     /// Fraction of generated frames dropped at admission.
@@ -204,32 +208,108 @@ impl FleetReport {
         self.per_chip.iter().map(StreamReport::total_energy_j).sum()
     }
 
+    /// Every chip's sketch merged into one fleet-level sketch, or
+    /// `None` when the fleet ran in exact mode. The merge is exact
+    /// (bucket counts add), so fleet percentiles carry the same
+    /// relative-error bound as each chip's. One walk runs every chip in
+    /// one mode, so a report never mixes exact and sketch chips.
+    fn merged_sketch(&self) -> Option<QuantileSketch> {
+        let mut sketches = self.per_chip.iter().filter_map(StreamReport::sketch);
+        let mut merged = sketches.next()?.clone();
+        for s in sketches {
+            merged.merge(s);
+        }
+        Some(merged)
+    }
+
+    /// Proportional-overlap window sums of `[t0, t1)` accumulated over
+    /// every sketch-mode chip's fixed arrival windows.
+    fn window_sums_between(&self, t0: f64, t1: f64) -> WindowSums {
+        let mut total = WindowSums::default();
+        for r in &self.per_chip {
+            let (window_s, windows) = r.window_params();
+            let s = window_sums(windows, window_s, t0, t1);
+            total.frames += s.frames;
+            total.deadline_frames += s.deadline_frames;
+            total.missed += s.missed;
+            total.latency_sum_s += s.latency_sum_s;
+        }
+        total
+    }
+
     /// A latency percentile over every completed frame of every chip
-    /// (nearest-rank; `q` in `[0, 1]`; 0 for an empty report).
+    /// (nearest-rank; `q` in `[0, 1]`; 0 for an empty report). In
+    /// sketch mode the per-chip sketches merge exactly, so the value is
+    /// within the configured relative error of the all-frames quantile.
     #[must_use]
     pub fn latency_percentile(&self, q: f64) -> f64 {
-        percentile(self.all_frames().map(|f| f.latency_s), q)
+        match self.merged_sketch() {
+            Some(sketch) => sketch.quantile(q),
+            None => percentile(self.all_frames().map(|f| f.latency_s), q),
+        }
     }
 
     /// Deadline-miss rate over every completed deadline-carrying frame
     /// (admission drops are *not* counted here; see
-    /// [`FleetReport::drop_rate`]).
+    /// [`FleetReport::drop_rate`]). Exact in both report modes.
     #[must_use]
     pub fn deadline_miss_rate(&self) -> f64 {
-        miss_rate(self.all_frames())
+        if self.is_exact() {
+            return miss_rate(self.all_frames());
+        }
+        let (deadline, missed) = self
+            .per_chip
+            .iter()
+            .flat_map(|r| r.stream_aggs())
+            .fold((0u64, 0u64), |(d, m), a| {
+                (d + a.deadline_frames, m + a.missed)
+            });
+        if deadline == 0 {
+            0.0
+        } else {
+            missed as f64 / deadline as f64
+        }
     }
 
     /// Deadline-miss rate over completed deadline-carrying frames whose
     /// arrival fell in `[t0, t1)` — the fleet-level analogue of
     /// [`StreamReport::miss_rate_between`], merged across every chip.
     /// The controller's transient/recovery metrics are built on this
-    /// windowed view.
+    /// windowed view. Sketch mode estimates from the chips' fixed
+    /// arrival windows by proportional overlap.
     #[must_use]
     pub fn miss_rate_between(&self, t0: f64, t1: f64) -> f64 {
-        miss_rate(
-            self.all_frames()
-                .filter(|f| f.arrival_s >= t0 && f.arrival_s < t1),
-        )
+        if self.is_exact() {
+            return miss_rate(
+                self.all_frames()
+                    .filter(|f| f.arrival_s >= t0 && f.arrival_s < t1),
+            );
+        }
+        let s = self.window_sums_between(t0, t1);
+        if s.deadline_frames > 0.0 {
+            s.missed / s.deadline_frames
+        } else {
+            0.0
+        }
+    }
+
+    /// Completed deadline-carrying frames arriving in `[t0, t1)` across
+    /// every chip (exact count in exact mode; a rounded
+    /// proportional-overlap estimate in sketch mode).
+    #[must_use]
+    pub fn deadline_frames_between(&self, t0: f64, t1: f64) -> usize {
+        if self.is_exact() {
+            return self
+                .all_frames()
+                .filter(|f| f.deadline_s.is_some() && f.arrival_s >= t0 && f.arrival_s < t1)
+                .count();
+        }
+        self.window_sums_between(t0, t1).deadline_frames.round() as usize
+    }
+
+    /// Whether every chip report retains its full per-frame record set.
+    fn is_exact(&self) -> bool {
+        self.per_chip.iter().all(|r| r.mode().is_exact())
     }
 
     /// Per-chip deadline-miss rates, indexed by chip.
@@ -260,33 +340,93 @@ impl FleetReport {
     /// Per-stream statistics merged across all chips (the
     /// fleet-level view of [`StreamReport::stream_stats`]): frame
     /// counts, latency percentiles and deadline-miss rate per original
-    /// scenario stream, regardless of which chips served it.
+    /// scenario stream, regardless of which chips served it. Exact mode
+    /// groups every chip's records in one pass and sorts each stream's
+    /// latencies once; sketch mode merges the chips' per-stream
+    /// aggregates, where percentiles degrade to documented envelopes
+    /// (p50 = mean, p95 = p99 = max).
     #[must_use]
     pub fn stream_stats(&self) -> Vec<StreamStats> {
         let makespan = self.makespan_s();
-        (0..self.stream_names.len())
-            .map(|i| {
-                let frames: Vec<&FrameRecord> =
-                    self.all_frames().filter(|f| f.stream == i).collect();
-                let lats = || frames.iter().map(|f| f.latency_s);
-                let mean = if frames.is_empty() {
+        let streams = self.stream_names.len();
+        if !self.is_exact() {
+            let mut aggs = vec![StreamAgg::default(); streams];
+            for r in &self.per_chip {
+                for (i, a) in r.stream_aggs().iter().enumerate() {
+                    aggs[i].merge(a);
+                }
+            }
+            return self
+                .stream_names
+                .iter()
+                .zip(&aggs)
+                .map(|(name, a)| {
+                    let mean = if a.frames == 0 {
+                        0.0
+                    } else {
+                        a.latency_sum_s / a.frames as f64
+                    };
+                    StreamStats {
+                        name: name.clone(),
+                        frames: a.frames as usize,
+                        throughput_fps: if makespan <= 0.0 {
+                            0.0
+                        } else {
+                            a.frames as f64 / makespan
+                        },
+                        mean_latency_s: mean,
+                        p50_latency_s: mean,
+                        p95_latency_s: a.latency_max_s,
+                        p99_latency_s: a.latency_max_s,
+                        deadline_miss_rate: if a.deadline_frames == 0 {
+                            0.0
+                        } else {
+                            a.missed as f64 / a.deadline_frames as f64
+                        },
+                    }
+                })
+                .collect();
+        }
+        let mut lats: Vec<Vec<f64>> = vec![Vec::new(); streams];
+        let mut deadline = vec![0usize; streams];
+        let mut missed = vec![0usize; streams];
+        for f in self.all_frames() {
+            lats[f.stream].push(f.latency_s);
+            if f.deadline_s.is_some() {
+                deadline[f.stream] += 1;
+                if f.missed {
+                    missed[f.stream] += 1;
+                }
+            }
+        }
+        self.stream_names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let v = &mut lats[i];
+                v.sort_by(f64::total_cmp);
+                let mean = if v.is_empty() {
                     0.0
                 } else {
-                    lats().sum::<f64>() / frames.len() as f64
+                    v.iter().sum::<f64>() / v.len() as f64
                 };
                 StreamStats {
-                    name: self.stream_names[i].clone(),
-                    frames: frames.len(),
+                    name: name.clone(),
+                    frames: v.len(),
                     throughput_fps: if makespan <= 0.0 {
                         0.0
                     } else {
-                        frames.len() as f64 / makespan
+                        v.len() as f64 / makespan
                     },
                     mean_latency_s: mean,
-                    p50_latency_s: percentile(lats(), 0.50),
-                    p95_latency_s: percentile(lats(), 0.95),
-                    p99_latency_s: percentile(lats(), 0.99),
-                    deadline_miss_rate: miss_rate(frames.iter().copied()),
+                    p50_latency_s: percentile_of_sorted(v, 0.50),
+                    p95_latency_s: percentile_of_sorted(v, 0.95),
+                    p99_latency_s: percentile_of_sorted(v, 0.99),
+                    deadline_miss_rate: if deadline[i] == 0 {
+                        0.0
+                    } else {
+                        missed[i] as f64 / deadline[i] as f64
+                    },
                 }
             })
             .collect()

@@ -27,13 +27,13 @@
 //! ([`simulate_controlled`]): this simulator delegates to it with no
 //! controller, which degenerates to exactly the two-phase run above.
 
-use crate::controller::{simulate_controlled, ControlledFleetReport, WalkParams};
+use crate::controller::{simulate_controlled, WalkParams};
 use crate::error::HeraldError;
 use crate::fleet::dispatch::{AdmissionPolicy, DispatchPolicy, Dispatcher};
 use crate::fleet::report::FleetReport;
 use crate::fleet::FleetConfig;
 use crate::sched::SchedulerConfig;
-use crate::sim::ReschedulePolicy;
+use crate::sim::{HotPathProfile, ReportMode, ReschedulePolicy};
 use crate::task::TaskGraph;
 use herald_arch::AcceleratorConfig;
 use herald_cost::Metric;
@@ -72,6 +72,7 @@ pub struct FleetSimulator<'a> {
     reschedule: ReschedulePolicy,
     dispatcher: DispatchPolicy,
     admission: AdmissionPolicy,
+    report: ReportMode,
 }
 
 impl<'a> FleetSimulator<'a> {
@@ -86,7 +87,17 @@ impl<'a> FleetSimulator<'a> {
             reschedule: ReschedulePolicy::default(),
             dispatcher: DispatchPolicy::default(),
             admission: AdmissionPolicy::default(),
+            report: ReportMode::Exact,
         }
+    }
+
+    /// Chooses how every per-chip report aggregates frames (see
+    /// [`crate::sim::StreamSimulator::with_report_mode`]);
+    /// fleet-level percentiles merge the per-chip sketches exactly.
+    #[must_use]
+    pub fn with_report_mode(mut self, report: ReportMode) -> Self {
+        self.report = report;
+        self
     }
 
     /// Overrides the per-chip online scheduler configuration.
@@ -155,21 +166,52 @@ impl<'a> FleetSimulator<'a> {
         dispatcher: &mut dyn Dispatcher,
         scenario: &Scenario,
     ) -> Result<FleetReport, HeraldError> {
-        let params = WalkParams {
+        simulate_controlled(
+            self.fleet.chips(),
+            self.fleet.audit_trail(),
+            &self.params(),
+            dispatcher,
+            scenario,
+            None,
+            false,
+        )
+        .map(|(report, _)| report.into_fleet())
+    }
+
+    /// [`FleetSimulator::simulate`] plus the merged
+    /// [`HotPathProfile`] of every per-chip run and the dispatch walk's
+    /// own byte accounting (`profile.mem`: routed trace lists, audit
+    /// trails, service-estimate tables). The report is bit-identical to
+    /// the unprofiled entry point.
+    ///
+    /// # Errors
+    ///
+    /// As for [`FleetSimulator::simulate`].
+    pub fn simulate_profiled(
+        &self,
+        scenario: &Scenario,
+    ) -> Result<(FleetReport, HotPathProfile), HeraldError> {
+        let mut dispatcher = self.dispatcher.build();
+        simulate_controlled(
+            self.fleet.chips(),
+            self.fleet.audit_trail(),
+            &self.params(),
+            dispatcher.as_mut(),
+            scenario,
+            None,
+            true,
+        )
+        .map(|(report, profile)| (report.into_fleet(), profile))
+    }
+
+    fn params(&self) -> WalkParams {
+        WalkParams {
             scheduler: self.scheduler,
             metric: self.metric,
             reschedule: self.reschedule,
             admission: self.admission,
-        };
-        simulate_controlled(
-            self.fleet.chips(),
-            self.fleet.audit_trail(),
-            &params,
-            dispatcher,
-            scenario,
-            None,
-        )
-        .map(ControlledFleetReport::into_fleet)
+            report: self.report,
+        }
     }
 }
 
@@ -195,13 +237,19 @@ pub(crate) fn distinct_workloads(scenario: &Scenario) -> (Vec<&MultiDnnWorkload>
             );
             versions
                 .into_iter()
-                .map(|w| match distinct.iter().position(|d| *d == w) {
-                    Some(i) => i,
-                    None => {
-                        distinct.push(w);
-                        distinct.len() - 1
-                    }
-                })
+                // `same_structure` is the shared-`Arc` fast path of
+                // `==`: a million tenants instantiated from one cloned
+                // workload dedupe by pointer identity, not by deep
+                // model comparison.
+                .map(
+                    |w| match distinct.iter().position(|d| d.same_structure(w)) {
+                        Some(i) => i,
+                        None => {
+                            distinct.push(w);
+                            distinct.len() - 1
+                        }
+                    },
+                )
                 .collect()
         })
         .collect();
@@ -428,6 +476,68 @@ mod tests {
             .simulate_with(&mut Broken, &bursty_scenario(1))
             .unwrap_err();
         assert!(matches!(err, HeraldError::Fleet { .. }), "{err}");
+    }
+
+    #[test]
+    fn sketch_mode_memory_stays_flat_as_streams_grow_10x() {
+        // The million-stream contract: with the audit trail off and the
+        // sketch report mode on, the tracked footprint must not scale
+        // with the stream count — the O(frames) categories stay flat at
+        // a fixed aggregate arrival rate, and the only stream-scaled
+        // storage is the per-stream scalar aggregates.
+        use crate::sim::MemProfile;
+        let fleet = FleetConfig::homogeneous(&fda(DataflowStyle::Nvdla), 2).with_audit_trail(false);
+        let scenario_with = |streams: usize| {
+            let shared = single_model(zoo::mobilenet_v1(), 1);
+            let mut s = Scenario::new(format!("flat-{streams}"), 0.5);
+            for i in 0..streams {
+                s = s.stream(StreamSpec::poisson(
+                    format!("s{i}"),
+                    shared.clone(),
+                    400.0 / streams as f64,
+                    herald_workloads::seeded::derive_seed(7, i as u64),
+                ));
+            }
+            s
+        };
+        let run = |streams: usize| {
+            let (report, profile) = FleetSimulator::new(&fleet)
+                .with_report_mode(crate::sim::ReportMode::sketch())
+                .simulate_profiled(&scenario_with(streams))
+                .unwrap();
+            (report.frames_total(), profile.mem)
+        };
+        let (frames_1x, mem_1x) = run(20);
+        let (frames_10x, mem_10x) = run(200);
+        assert!(frames_1x > 0 && frames_10x > 0);
+        // The audit trail really is off.
+        assert_eq!(mem_1x.audit_bytes, 0);
+        assert_eq!(mem_10x.audit_bytes, 0);
+        assert_eq!(mem_1x.span_bytes, 0);
+        // O(frames) categories are flat: same aggregate rate, so 10x
+        // the streams must not move them beyond seed noise (2x covers
+        // a capacity-doubling boundary) plus a page of slack.
+        let flat = |m: &MemProfile| m.trace_bytes + m.frame_bytes + m.span_bytes + m.sketch_bytes;
+        assert!(
+            flat(&mem_10x) <= 2 * flat(&mem_1x) + 4096,
+            "O(frames) bytes scaled with streams: {} at 1x vs {} at 10x",
+            flat(&mem_1x),
+            flat(&mem_10x)
+        );
+        // Per-stream scalar aggregates grow at most linearly.
+        assert!(
+            mem_10x.agg_bytes <= 10 * mem_1x.agg_bytes,
+            "per-stream aggregates grew superlinearly: {} -> {}",
+            mem_1x.agg_bytes,
+            mem_10x.agg_bytes
+        );
+        // Headline: 10x the streams costs well under 10x the bytes.
+        assert!(
+            mem_10x.report_trace_bytes() < 3 * mem_1x.report_trace_bytes(),
+            "footprint must stay near-flat under 10x streams: {} -> {}",
+            mem_1x.report_trace_bytes(),
+            mem_10x.report_trace_bytes()
+        );
     }
 
     #[test]

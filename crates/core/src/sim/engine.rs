@@ -19,13 +19,24 @@ use crate::error::HeraldError;
 use crate::sched::Scheduler;
 use crate::sim::core::{build_cost_table, CostTable, EventCore, GraphRef, ScheduleRef};
 use crate::sim::profile::HotPathProfile;
-use crate::sim::report::{BusySpan, FrameRecord, StreamReport, SwapRecord};
+use crate::sim::report::{
+    ArrivalWindow, BusySpan, FrameRecord, QuantileSketch, ReportMode, StreamAgg, StreamReport,
+    SwapRecord,
+};
 use crate::task::TaskGraph;
 use herald_arch::AcceleratorConfig;
 use herald_cost::{CostModel, LayerCost, Metric};
-use herald_workloads::{ArrivalProcess, Scenario};
+use herald_workloads::{ArrivalProcess, MultiDnnWorkload, Scenario, StreamSpec};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Fixed number of arrival/utilization windows a sketch-mode report
+/// keeps over the scenario horizon (each window is `horizon / 128`
+/// seconds; utilization windows grow past the horizon to cover the
+/// makespan).
+pub(crate) const SKETCH_WINDOWS: usize = 128;
 
 /// Default cap on events admitted against one commit window (see
 /// [`StreamSimulator::with_admission_batch`]).
@@ -92,6 +103,7 @@ pub struct StreamSimulator<'a> {
     policy: ReschedulePolicy,
     ctx: Option<&'a EvalContext>,
     admission_batch: usize,
+    report: ReportMode,
 }
 
 /// One generated event of the trace (shared with the fleet dispatch
@@ -111,7 +123,7 @@ pub(crate) enum EventKind {
     },
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub(crate) struct Event {
     pub(crate) t: f64,
     pub(crate) stream: usize,
@@ -127,6 +139,230 @@ impl Event {
             EventKind::Arrival { .. } => 1,
         };
         (self.t, kind_rank, self.stream)
+    }
+}
+
+/// Heap entry ordering events by [`Event::key`] (`total_cmp` on time, so
+/// `-0.0`/`0.0` order exactly as the materialized sort did).
+struct ByKey(Event);
+
+impl PartialEq for ByKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for ByKey {}
+
+impl PartialOrd for ByKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ByKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        let (ta, ka, sa) = self.0.key();
+        let (tb, kb, sb) = other.0.key();
+        ta.total_cmp(&tb).then(ka.cmp(&kb)).then(sa.cmp(&sb))
+    }
+}
+
+/// One stream's lazy event source: a pull-based [`seeded::arrival_iter`]
+/// plus a cursor over the stream's swap list (indices with
+/// `at_s < horizon`, stably pre-sorted by time so they surface exactly
+/// where the materialized trace's stable sort placed them). Events are
+/// emitted in key order — a swap at or before the pending arrival goes
+/// first, matching the swaps-before-arrivals tiebreak.
+struct StreamCursor<'a> {
+    arrivals: herald_workloads::seeded::ArrivalIter<'a>,
+    pending_arrival: Option<f64>,
+    next_seq: usize,
+    swaps: &'a [herald_workloads::WorkloadSwap],
+    swap_order: Vec<usize>,
+    next_swap: usize,
+}
+
+impl<'a> StreamCursor<'a> {
+    fn new(spec: &'a StreamSpec, horizon_s: f64) -> Self {
+        let swaps = spec.swaps();
+        let mut swap_order: Vec<usize> = (0..swaps.len())
+            .filter(|&i| swaps[i].at_s < horizon_s)
+            .collect();
+        // Stable: equal-time swaps of one stream keep list order, as the
+        // stable global sort kept them.
+        swap_order.sort_by(|&a, &b| swaps[a].at_s.total_cmp(&swaps[b].at_s));
+        let mut arrivals = herald_workloads::seeded::arrival_iter(spec.arrival(), horizon_s);
+        let pending_arrival = arrivals.next();
+        Self {
+            arrivals,
+            pending_arrival,
+            next_seq: 0,
+            swaps,
+            swap_order,
+            next_swap: 0,
+        }
+    }
+
+    fn emit_swap(&mut self, stream: usize) -> Option<Event> {
+        let swap_index = self.swap_order[self.next_swap];
+        self.next_swap += 1;
+        Some(Event {
+            t: self.swaps[swap_index].at_s,
+            stream,
+            kind: EventKind::Swap { swap_index },
+        })
+    }
+
+    fn next_event(&mut self, stream: usize) -> Option<Event> {
+        let swap_t = self
+            .swap_order
+            .get(self.next_swap)
+            .map(|&i| self.swaps[i].at_s);
+        match (self.pending_arrival, swap_t) {
+            (Some(at), Some(st)) if st.total_cmp(&at).is_le() => self.emit_swap(stream),
+            (Some(at), _) => {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.pending_arrival = self.arrivals.next();
+                Some(Event {
+                    t: at,
+                    stream,
+                    kind: EventKind::Arrival { seq },
+                })
+            }
+            (None, Some(_)) => self.emit_swap(stream),
+            (None, None) => None,
+        }
+    }
+}
+
+/// The scenario's full event trace as a lazy k-way merge: one
+/// [`StreamCursor`] per stream, at most one candidate event each in a
+/// min-heap keyed by [`Event::key`]. Yields exactly the sequence the
+/// materialized `build_trace` + stable sort produced — each cursor emits
+/// its own events in key order, cross-stream ties differ in the stream
+/// component, and within-stream ties never coexist in the heap — while
+/// holding O(streams) memory instead of O(total events).
+pub(crate) struct MergedTrace<'a> {
+    cursors: Vec<StreamCursor<'a>>,
+    heap: BinaryHeap<Reverse<ByKey>>,
+}
+
+impl<'a> MergedTrace<'a> {
+    pub(crate) fn new(scenario: &'a Scenario) -> Self {
+        let horizon = scenario.horizon_s();
+        let mut cursors: Vec<StreamCursor<'a>> = scenario
+            .streams()
+            .iter()
+            .map(|s| StreamCursor::new(s, horizon))
+            .collect();
+        let mut heap = BinaryHeap::with_capacity(cursors.len());
+        for (si, cursor) in cursors.iter_mut().enumerate() {
+            if let Some(event) = cursor.next_event(si) {
+                heap.push(Reverse(ByKey(event)));
+            }
+        }
+        Self { cursors, heap }
+    }
+}
+
+impl Iterator for MergedTrace<'_> {
+    type Item = Event;
+
+    fn next(&mut self) -> Option<Event> {
+        let Reverse(ByKey(event)) = self.heap.pop()?;
+        if let Some(next) = self.cursors[event.stream].next_event(event.stream) {
+            self.heap.push(Reverse(ByKey(next)));
+        }
+        Some(event)
+    }
+}
+
+/// A fleet-routed slice of a scenario: the frames one chip received from
+/// the dispatch walk, as a flat `(arrival time, global stream)` list in
+/// dispatch order (which **is** global event-key order restricted to
+/// this chip), plus the full stream table for workloads, deadlines and
+/// swaps. Replaces the per-segment sub-`Scenario` with per-stream
+/// `Vec<f64>` traces — one flat allocation per chip instead of
+/// O(streams) vectors — while replaying bit-identically.
+pub(crate) struct RoutedScenario<'a> {
+    pub(crate) name: &'a str,
+    pub(crate) horizon_s: f64,
+    pub(crate) streams: &'a [StreamSpec],
+    pub(crate) stream_names: Arc<Vec<String>>,
+    pub(crate) arrivals: &'a [(f64, u32)],
+}
+
+/// Lazy event source over a [`RoutedScenario`]: two-pointer merge of the
+/// (already key-sorted) routed arrival list with the (pre-sorted) swap
+/// events, assigning per-stream local sequence numbers in emission order
+/// — exactly the numbering the old sub-`Scenario` trace replay produced.
+struct RoutedTraceIter<'a> {
+    arrivals: &'a [(f64, u32)],
+    next_arrival: usize,
+    seqs: Vec<usize>,
+    swaps: Vec<Event>,
+    next_swap: usize,
+}
+
+impl<'a> RoutedTraceIter<'a> {
+    fn new(routed: &RoutedScenario<'a>) -> Self {
+        let mut swaps = Vec::new();
+        for (si, spec) in routed.streams.iter().enumerate() {
+            for (swap_index, swap) in spec.swaps().iter().enumerate() {
+                if swap.at_s < routed.horizon_s {
+                    swaps.push(Event {
+                        t: swap.at_s,
+                        stream: si,
+                        kind: EventKind::Swap { swap_index },
+                    });
+                }
+            }
+        }
+        swaps.sort_by(|a, b| {
+            let (ta, ka, sa) = a.key();
+            let (tb, kb, sb) = b.key();
+            ta.total_cmp(&tb).then(ka.cmp(&kb)).then(sa.cmp(&sb))
+        });
+        Self {
+            arrivals: routed.arrivals,
+            next_arrival: 0,
+            seqs: vec![0; routed.streams.len()],
+            swaps,
+            next_swap: 0,
+        }
+    }
+}
+
+impl Iterator for RoutedTraceIter<'_> {
+    type Item = Event;
+
+    fn next(&mut self) -> Option<Event> {
+        let arrival = self.arrivals.get(self.next_arrival).copied();
+        let swap = self.swaps.get(self.next_swap).copied();
+        let take_swap = match (arrival, swap) {
+            (None, None) => return None,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            // A swap at the arrival's instant goes first (kind rank 0);
+            // at different instants, plain time order.
+            (Some((at, _)), Some(s)) => s.t.total_cmp(&at).is_le(),
+        };
+        if take_swap {
+            self.next_swap += 1;
+            return swap;
+        }
+        let (t, stream) = arrival.expect("checked above");
+        let stream = stream as usize;
+        self.next_arrival += 1;
+        let seq = self.seqs[stream];
+        self.seqs[stream] += 1;
+        Some(Event {
+            t,
+            stream,
+            kind: EventKind::Arrival { seq },
+        })
     }
 }
 
@@ -203,6 +439,125 @@ struct PendingFrame {
     deadline_s: Option<f64>,
 }
 
+/// Mode-dispatched frame accumulation: exact mode retains every record
+/// and busy span; sketch mode folds each completion into the quantile
+/// sketch, its stream's [`StreamAgg`], and the fixed arrival/utilization
+/// windows, keeping only sampled exemplar records.
+struct Collector {
+    mode: ReportMode,
+    completed: u64,
+    frames: Vec<FrameRecord>,
+    busy_spans: Vec<BusySpan>,
+    sketch: QuantileSketch,
+    aggs: Vec<StreamAgg>,
+    window_s: f64,
+    ways: usize,
+    util_windows: Vec<f64>,
+    miss_windows: Vec<ArrivalWindow>,
+    sample_every: usize,
+}
+
+impl Collector {
+    fn new(mode: ReportMode, streams: usize, ways: usize, horizon_s: f64) -> Self {
+        let (sketch, aggs, window_s, sample_every) = match mode {
+            ReportMode::Exact => (QuantileSketch::default(), Vec::new(), 0.0, 0),
+            ReportMode::Sketch {
+                relative_error,
+                sample_every,
+            } => (
+                QuantileSketch::new(relative_error),
+                vec![StreamAgg::default(); streams],
+                horizon_s / SKETCH_WINDOWS as f64,
+                sample_every,
+            ),
+        };
+        Self {
+            mode,
+            completed: 0,
+            frames: Vec::new(),
+            busy_spans: Vec::new(),
+            sketch,
+            aggs,
+            window_s,
+            ways,
+            util_windows: Vec::new(),
+            miss_windows: Vec::new(),
+            sample_every,
+        }
+    }
+
+    fn record(
+        &mut self,
+        p: &PendingFrame,
+        arrival_s: f64,
+        finish_s: f64,
+        energy_j: f64,
+        spans: impl Iterator<Item = (usize, f64, f64)>,
+    ) {
+        self.completed += 1;
+        let latency_s = finish_s - arrival_s;
+        let missed = p.deadline_s.is_some_and(|d| latency_s > d);
+        let record = |frames: &mut Vec<FrameRecord>| {
+            frames.push(FrameRecord {
+                stream: p.stream,
+                seq: p.seq,
+                workload: Arc::clone(&p.workload),
+                arrival_s,
+                finish_s,
+                latency_s,
+                deadline_s: p.deadline_s,
+                missed,
+                energy_j,
+            });
+        };
+        if self.mode.is_exact() {
+            record(&mut self.frames);
+            self.busy_spans
+                .extend(spans.map(|(acc, start_s, finish_s)| BusySpan {
+                    acc,
+                    start_s,
+                    finish_s,
+                }));
+            return;
+        }
+        self.sketch.insert(latency_s);
+        self.aggs[p.stream].record(latency_s, p.deadline_s.is_some(), missed);
+        if self.window_s > 0.0 {
+            let w = (arrival_s / self.window_s) as usize;
+            if w >= self.miss_windows.len() {
+                self.miss_windows.resize(w + 1, ArrivalWindow::default());
+            }
+            let win = &mut self.miss_windows[w];
+            win.frames += 1;
+            win.latency_sum_s += latency_s;
+            if p.deadline_s.is_some() {
+                win.deadline_frames += 1;
+                if missed {
+                    win.missed += 1;
+                }
+            }
+            for (acc, start_s, span_finish_s) in spans {
+                let first = (start_s / self.window_s) as usize;
+                let last = (span_finish_s / self.window_s) as usize;
+                if (last + 1) * self.ways > self.util_windows.len() {
+                    self.util_windows.resize((last + 1) * self.ways, 0.0);
+                }
+                for k in first..=last {
+                    let lo = k as f64 * self.window_s;
+                    let hi = lo + self.window_s;
+                    let overlap = (span_finish_s.min(hi) - start_s.max(lo)).max(0.0);
+                    if overlap > 0.0 {
+                        self.util_windows[k * self.ways + acc] += overlap;
+                    }
+                }
+            }
+        }
+        if self.sample_every > 0 && (self.completed - 1).is_multiple_of(self.sample_every as u64) {
+            record(&mut self.frames);
+        }
+    }
+}
+
 impl<'a> StreamSimulator<'a> {
     /// Creates a streaming simulator with the default (EDP) metric for
     /// reconfigurable-array style selection.
@@ -214,7 +569,21 @@ impl<'a> StreamSimulator<'a> {
             policy: ReschedulePolicy::default(),
             ctx: None,
             admission_batch: DEFAULT_ADMISSION_BATCH,
+            report: ReportMode::Exact,
         }
+    }
+
+    /// Chooses how the report aggregates frames:
+    /// [`ReportMode::Exact`] (default) keeps every frame record and busy
+    /// span; [`ReportMode::Sketch`] streams them through a quantile
+    /// sketch plus per-stream aggregates in O(buckets + streams) memory.
+    /// Scalar results (throughput, miss rates, makespan, energy) are
+    /// identical across modes; percentiles differ only within the
+    /// sketch's configured relative error.
+    #[must_use]
+    pub fn with_report_mode(mut self, mode: ReportMode) -> Self {
+        self.report = mode;
+        self
     }
 
     /// Caps how many trace events may be admitted against one commit
@@ -301,38 +670,103 @@ impl<'a> StreamSimulator<'a> {
         timed: bool,
     ) -> Result<(StreamReport, HotPathProfile), HeraldError> {
         validate_scenario(scenario)?;
-        let events = sorted_trace(scenario);
-        let mut profile = HotPathProfile {
-            events: events.len() as u64,
-            ..Default::default()
-        };
+        let stream_names = Arc::new(
+            scenario
+                .streams()
+                .iter()
+                .map(|s| s.name().to_string())
+                .collect::<Vec<String>>(),
+        );
+        self.run_inner(
+            scheduler,
+            scenario.name(),
+            scenario.horizon_s(),
+            scenario.streams(),
+            stream_names,
+            MergedTrace::new(scenario),
+            timed,
+        )
+    }
 
-        let mut streams: Vec<StreamState> = scenario
-            .streams()
+    /// Replays a fleet-routed arrival slice (already validated and
+    /// dispatched by the fleet walk) through this engine. Bit-identical
+    /// to building a per-stream `Trace` sub-scenario and calling
+    /// [`StreamSimulator::simulate`], without materializing it.
+    pub(crate) fn run_routed<S: Scheduler>(
+        &self,
+        scheduler: &S,
+        routed: &RoutedScenario<'_>,
+        timed: bool,
+    ) -> Result<(StreamReport, HotPathProfile), HeraldError> {
+        self.run_inner(
+            scheduler,
+            routed.name,
+            routed.horizon_s,
+            routed.streams,
+            Arc::clone(&routed.stream_names),
+            RoutedTraceIter::new(routed),
+            timed,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_inner<S: Scheduler>(
+        &self,
+        scheduler: &S,
+        name: &str,
+        horizon_s: f64,
+        specs: &[StreamSpec],
+        stream_names: Arc<Vec<String>>,
+        trace: impl Iterator<Item = Event>,
+        timed: bool,
+    ) -> Result<(StreamReport, HotPathProfile), HeraldError> {
+        let mut profile = HotPathProfile::default();
+
+        // Intern task graphs by workload structure: a million streams
+        // instantiated from a handful of shared workloads build (and
+        // fingerprint) one graph per distinct workload, not per stream.
+        // Interning only dedupes the immutable graph/name allocations;
+        // each stream still tracks its own compiled schedule, so
+        // compile/cache-hit counts are unchanged.
+        let mut interned: Vec<(&MultiDnnWorkload, Arc<TaskGraph>, Arc<str>)> = Vec::new();
+        let mut streams: Vec<StreamState> = specs
             .iter()
-            .map(|s| StreamState {
-                graph: Arc::new(TaskGraph::new(s.workload())),
-                workload_name: Arc::from(s.workload().name()),
-                deadline_s: s.deadline_s(),
-                compiled: None,
+            .map(|s| {
+                let w = s.workload();
+                let (graph, workload_name) =
+                    match interned.iter().find(|(iw, _, _)| iw.same_structure(w)) {
+                        Some((_, g, n)) => (Arc::clone(g), Arc::clone(n)),
+                        None => {
+                            let g = Arc::new(TaskGraph::new(w));
+                            // The "precalculated" memo tier: fingerprint
+                            // each distinct graph up front so per-arrival
+                            // memo probes only hash the short
+                            // accelerator/scheduler/cost tail.
+                            g.structural_fingerprint();
+                            profile.precomputed_graph_fingerprints += 1;
+                            let n: Arc<str> = Arc::from(w.name());
+                            interned.push((w, Arc::clone(&g), Arc::clone(&n)));
+                            (g, n)
+                        }
+                    };
+                StreamState {
+                    graph,
+                    workload_name,
+                    deadline_s: s.deadline_s(),
+                    compiled: None,
+                }
             })
             .collect();
-        // The "precalculated" memo tier: fingerprint every stream graph
-        // up front so per-arrival memo probes only hash the short
-        // accelerator/scheduler/cost tail against the cached section.
-        for s in &streams {
-            s.graph.structural_fingerprint();
-            profile.precomputed_graph_fingerprints += 1;
-        }
+        drop(interned);
 
         let mut core = EventCore::new(self.acc, self.cost, self.metric);
         let mut pending: Vec<PendingFrame> = Vec::new();
-        let mut frames: Vec<FrameRecord> = Vec::new();
-        let mut busy_spans: Vec<BusySpan> = Vec::new();
+        let ways = core.per_acc().len();
+        let mut col = Collector::new(self.report, specs.len(), ways, horizon_s);
         let mut swaps: Vec<SwapRecord> = Vec::new();
         let mut scheduler_invocations = 0usize;
         let mut schedule_cache_hits = 0usize;
-        let events_processed = events.len();
+        let mut events_processed = 0usize;
         let local_stats = EvalStats::default();
         let stats: &EvalStats = match self.ctx {
             Some(ctx) => ctx.stats(),
@@ -340,12 +774,11 @@ impl<'a> StreamSimulator<'a> {
         };
         let placement_before = stats.placement_evals();
         let stats_before = stats.snapshot();
-        let mut makespan = scenario.horizon_s();
+        let mut makespan = horizon_s;
 
         let harvest = |core: &mut EventCore<'_>,
                        pending: &mut Vec<PendingFrame>,
-                       frames: &mut Vec<FrameRecord>,
-                       busy_spans: &mut Vec<BusySpan>,
+                       col: &mut Collector,
                        makespan: &mut f64| {
             let mut i = 0;
             while i < pending.len() {
@@ -357,43 +790,27 @@ impl<'a> StreamSimulator<'a> {
                 let p = pending.remove(i);
                 let done = core.take_frame(p.handle);
                 *makespan = makespan.max(done.finish_s);
-                let latency_s = done.finish_s - done.arrival_s;
-                frames.push(FrameRecord {
-                    stream: p.stream,
-                    seq: p.seq,
-                    workload: p.workload,
-                    arrival_s: done.arrival_s,
-                    finish_s: done.finish_s,
-                    latency_s,
-                    deadline_s: p.deadline_s,
-                    missed: p.deadline_s.is_some_and(|d| latency_s > d),
-                    energy_j: done.energy.total_j(),
-                });
-                busy_spans.extend(done.entries.iter().map(|e| BusySpan {
-                    acc: e.acc,
-                    start_s: e.start_s,
-                    finish_s: e.finish_s,
-                }));
+                col.record(
+                    &p,
+                    done.arrival_s,
+                    done.finish_s,
+                    done.energy.total_j(),
+                    done.entries.iter().map(|e| (e.acc, e.start_s, e.finish_s)),
+                );
                 core.recycle_entries(done.entries);
             }
         };
 
-        let mut i = 0usize;
-        while i < events.len() {
-            let window_t = events[i].t;
+        let mut trace = trace.peekable();
+        while let Some(first) = trace.peek() {
+            let window_t = first.t;
             let t0 = timed.then(Instant::now);
             core.run_until(window_t).map_err(HeraldError::Simulation)?;
             if let Some(t0) = t0 {
                 profile.run_ns += t0.elapsed().as_nanos() as u64;
             }
             let t0 = timed.then(Instant::now);
-            harvest(
-                &mut core,
-                &mut pending,
-                &mut frames,
-                &mut busy_spans,
-                &mut makespan,
-            );
+            harvest(&mut core, &mut pending, &mut col, &mut makespan);
             core.prune_intervals(window_t);
             if let Some(t0) = t0 {
                 profile.harvest_ns += t0.elapsed().as_nanos() as u64;
@@ -405,9 +822,11 @@ impl<'a> StreamSimulator<'a> {
             // admission order exactly as in the event-at-a-time walk,
             // so any batch extent is bit-identical.
             profile.admission_batches += 1;
-            let batch_start = i;
+            let mut batch_events = 0usize;
             loop {
-                let event = events[i];
+                let event = trace.next().expect("peeked above");
+                events_processed += 1;
+                batch_events += 1;
                 let stream = &mut streams[event.stream];
                 match event.kind {
                     EventKind::Arrival { seq } => {
@@ -483,7 +902,7 @@ impl<'a> StreamSimulator<'a> {
                         });
                     }
                     EventKind::Swap { swap_index } => {
-                        let swap = &scenario.streams()[event.stream].swaps()[swap_index];
+                        let swap = &specs[event.stream].swaps()[swap_index];
                         let graph = Arc::new(TaskGraph::new(&swap.workload));
                         graph.structural_fingerprint();
                         profile.precomputed_graph_fingerprints += 1;
@@ -518,17 +937,20 @@ impl<'a> StreamSimulator<'a> {
                         stream.workload_name = to;
                     }
                 }
-                i += 1;
-                if i >= events.len() || i - batch_start >= self.admission_batch {
+                if batch_events >= self.admission_batch {
                     break;
                 }
-                let next_commit = core.next_commit_start().unwrap_or(f64::INFINITY);
-                if events[i].t > next_commit {
-                    break;
+                match trace.peek() {
+                    None => break,
+                    Some(next) => {
+                        let next_commit = core.next_commit_start().unwrap_or(f64::INFINITY);
+                        if next.t > next_commit {
+                            break;
+                        }
+                    }
                 }
             }
-            let batch_events = (i - batch_start) as u64;
-            profile.max_batch_events = profile.max_batch_events.max(batch_events);
+            profile.max_batch_events = profile.max_batch_events.max(batch_events as u64);
         }
         let t0 = timed.then(Instant::now);
         core.run_until(f64::INFINITY)
@@ -536,24 +958,20 @@ impl<'a> StreamSimulator<'a> {
         if let Some(t0) = t0 {
             profile.run_ns += t0.elapsed().as_nanos() as u64;
         }
-        harvest(
-            &mut core,
-            &mut pending,
-            &mut frames,
-            &mut busy_spans,
-            &mut makespan,
-        );
+        harvest(&mut core, &mut pending, &mut col, &mut makespan);
         debug_assert!(pending.is_empty(), "all frames complete after drain");
 
-        frames.sort_by(|a, b| {
+        col.frames.sort_by(|a, b| {
             a.arrival_s
                 .total_cmp(&b.arrival_s)
                 .then(a.stream.cmp(&b.stream))
                 .then(a.seq.cmp(&b.seq))
         });
-        busy_spans.sort_by(|a, b| a.start_s.total_cmp(&b.start_s).then(a.acc.cmp(&b.acc)));
+        col.busy_spans
+            .sort_by(|a, b| a.start_s.total_cmp(&b.start_s).then(a.acc.cmp(&b.acc)));
 
         let stats_after = stats.snapshot();
+        profile.events = events_processed as u64;
         profile.schedule_compiles = scheduler_invocations as u64;
         profile.schedule_cache_hits = schedule_cache_hits as u64;
         profile.fingerprint_lookups =
@@ -564,17 +982,24 @@ impl<'a> StreamSimulator<'a> {
         let (arena_reuses, arena_allocs) = core.arena_counters();
         profile.arena_reuses = arena_reuses;
         profile.arena_allocs = arena_allocs;
+        profile.mem.frame_bytes =
+            (col.frames.capacity() * std::mem::size_of::<FrameRecord>()) as u64;
+        profile.mem.span_bytes =
+            (col.busy_spans.capacity() * std::mem::size_of::<BusySpan>()) as u64;
+        if !self.report.is_exact() {
+            profile.mem.sketch_bytes = col.sketch.memory_bytes();
+            profile.mem.agg_bytes = (col.aggs.capacity() * std::mem::size_of::<StreamAgg>()
+                + col.util_windows.capacity() * std::mem::size_of::<f64>()
+                + col.miss_windows.capacity() * std::mem::size_of::<ArrivalWindow>())
+                as u64;
+        }
 
-        let report = StreamReport::new(
-            scenario.name().to_string(),
-            scenario
-                .streams()
-                .iter()
-                .map(|s| s.name().to_string())
-                .collect(),
-            scenario.horizon_s(),
+        let mut report = StreamReport::new(
+            name.to_string(),
+            stream_names,
+            horizon_s,
             makespan,
-            frames,
+            col.frames,
             swaps,
             core.per_acc().to_vec(),
             *core.energy(),
@@ -583,8 +1008,19 @@ impl<'a> StreamSimulator<'a> {
             schedule_cache_hits,
             stats.placement_evals() - placement_before,
             events_processed,
-            busy_spans,
+            col.busy_spans,
         );
+        if !self.report.is_exact() {
+            report.set_streaming(
+                self.report,
+                col.completed,
+                col.sketch,
+                col.aggs,
+                col.window_s,
+                col.util_windows,
+                col.miss_windows,
+            );
+        }
         Ok((report, profile))
     }
 }
@@ -663,24 +1099,20 @@ pub(crate) fn validate_scenario(scenario: &Scenario) -> Result<(), HeraldError> 
     Ok(())
 }
 
-/// The scenario's full event trace in deterministic simulation order —
-/// the single definition shared by this engine's replay loop and the
-/// fleet dispatch walk, so routing and per-chip replay can never see
-/// different events or a different order.
+/// The scenario's full event trace in deterministic simulation order,
+/// materialized — a [`MergedTrace`] collect, kept for callers that
+/// genuinely need random access (the DSE replay cache). The engine, the
+/// fleet dispatch walk, and the controller's epoch walk all consume
+/// [`MergedTrace`] lazily instead.
 pub(crate) fn sorted_trace(scenario: &Scenario) -> Vec<Event> {
-    let mut events = build_trace(scenario);
-    events.sort_by(|a, b| {
-        let (ta, ka, sa) = a.key();
-        let (tb, kb, sb) = b.key();
-        ta.total_cmp(&tb).then(ka.cmp(&kb)).then(sa.cmp(&sb))
-    });
-    events
+    MergedTrace::new(scenario).collect()
 }
 
-/// Generates the full event trace: every arrival in `[0, horizon)` per
-/// stream plus every swap event. Arrival times come from the shared
-/// [`herald_workloads::seeded`] samplers, so a fleet dispatcher slicing
-/// the same scenario sees bit-identical frames.
+/// The historical materialized trace generator: every arrival in
+/// `[0, horizon)` per stream plus every swap event, in generation order
+/// (a stable sort by [`Event::key`] turns it into simulation order).
+/// Kept as the reference the lazy [`MergedTrace`] is pinned against.
+#[cfg(test)]
 fn build_trace(scenario: &Scenario) -> Vec<Event> {
     let horizon = scenario.horizon_s();
     let mut events = Vec::new();
@@ -937,6 +1369,163 @@ mod tests {
             .stream(StreamSpec::periodic("s", tiny_workload(), 100.0).with_deadline(1e9));
         let r = sim.simulate(&sched, &loose).unwrap();
         assert_eq!(r.deadline_miss_rate(), 0.0);
+    }
+
+    /// The tentpole bit-identity pin: the lazy k-way merged trace must
+    /// yield exactly the sequence the materialized `build_trace` +
+    /// stable sort produced, on every arrival-process shape — periodic,
+    /// Poisson, one-shot, explicit traces with duplicate times, diurnal,
+    /// swaps (same-instant and out-of-order lists), and the fleet-scale
+    /// scenario generators.
+    #[test]
+    fn merged_trace_is_bit_identical_to_the_materialized_sort() {
+        let w = tiny_workload;
+        let trace_times = vec![0.0, 0.01, 0.01, 0.02, 0.02, 0.02, 0.09];
+        let scenarios = vec![
+            Scenario::new("periodic", 0.1).stream(StreamSpec::periodic("a", w(), 50.0)),
+            Scenario::new("mix", 0.2)
+                .stream(StreamSpec::periodic("a", w(), 30.0))
+                .stream(StreamSpec::poisson("b", w(), 40.0, 7))
+                .stream(StreamSpec::one_shot("c", w()))
+                .stream(StreamSpec::new(
+                    "d",
+                    w(),
+                    ArrivalProcess::Trace {
+                        times_s: trace_times,
+                    },
+                )),
+            // Swaps: one exactly at an arrival instant, plus an
+            // out-of-order swap list (later time listed first) and one
+            // past the horizon (dropped by both paths).
+            Scenario::new("swaps", 0.1).stream(
+                StreamSpec::periodic("s", w(), 50.0)
+                    .swap_at(0.06, single_model(zoo::mobilenet_v2(), 1))
+                    .swap_at(0.04, tiny_workload())
+                    .swap_at(0.5, tiny_workload()),
+            ),
+            herald_workloads::poisson_mix_stream(1.0, 0.2, 11),
+            herald_workloads::fleet_mix_stream(6, 120.0, 0.05, 0.2, 13),
+            herald_workloads::diurnal_fleet_stream(8, 40.0, 120.0, 0.05, 0.3, 17),
+            herald_workloads::diurnal_ramp_trace(4, 40.0, 120.0, 0.05, 0.2, 19),
+            herald_workloads::workload_change_trace(60.0, 0.02, 0.2),
+        ];
+        for scenario in &scenarios {
+            let mut reference = build_trace(scenario);
+            reference.sort_by(|a, b| {
+                let (ta, ka, sa) = a.key();
+                let (tb, kb, sb) = b.key();
+                ta.total_cmp(&tb).then(ka.cmp(&kb)).then(sa.cmp(&sb))
+            });
+            let lazy: Vec<Event> = MergedTrace::new(scenario).collect();
+            assert_eq!(lazy.len(), reference.len(), "{}", scenario.name());
+            for (i, (l, r)) in lazy.iter().zip(&reference).enumerate() {
+                assert!(
+                    l == r && l.t.to_bits() == r.t.to_bits(),
+                    "{}: event {i} diverged: {l:?} vs {r:?}",
+                    scenario.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn routed_trace_iter_matches_the_sub_scenario_replay_order() {
+        // Route a two-stream scenario's arrivals onto one "chip" (all of
+        // them) and check the routed iterator reproduces the full
+        // merged order with per-stream local sequence numbers.
+        let scenario = Scenario::new("routed", 0.1)
+            .stream(
+                StreamSpec::periodic("a", tiny_workload(), 50.0)
+                    .swap_at(0.04, single_model(zoo::mobilenet_v2(), 1)),
+            )
+            .stream(StreamSpec::poisson("b", tiny_workload(), 60.0, 3));
+        let merged: Vec<Event> = MergedTrace::new(&scenario).collect();
+        let arrivals: Vec<(f64, u32)> = merged
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Arrival { .. }))
+            .map(|e| (e.t, e.stream as u32))
+            .collect();
+        let names = Arc::new(vec!["a".to_string(), "b".to_string()]);
+        let routed = RoutedScenario {
+            name: "routed",
+            horizon_s: scenario.horizon_s(),
+            streams: scenario.streams(),
+            stream_names: names,
+            arrivals: &arrivals,
+        };
+        let replayed: Vec<Event> = RoutedTraceIter::new(&routed).collect();
+        assert_eq!(replayed, merged);
+    }
+
+    #[test]
+    fn sketch_mode_matches_exact_scalars_within_sketch_error() {
+        let scenario = Scenario::new("sk", 0.2)
+            .stream(StreamSpec::periodic("a", tiny_workload(), 60.0).with_deadline(0.008))
+            .stream(StreamSpec::poisson("b", tiny_workload(), 40.0, 5));
+        let cost = CostModel::default();
+        let acc = acc();
+        let sched = HeraldScheduler::default();
+        let exact = StreamSimulator::new(&acc, &cost)
+            .simulate(&sched, &scenario)
+            .unwrap();
+        let rel = 0.01;
+        let sketched = StreamSimulator::new(&acc, &cost)
+            .with_report_mode(ReportMode::Sketch {
+                relative_error: rel,
+                sample_every: 4,
+            })
+            .simulate(&sched, &scenario)
+            .unwrap();
+        // Scalars are identical: same frames completed, same makespan,
+        // same energy, same miss rate, same counters.
+        assert_eq!(sketched.completed() as usize, exact.frames().len());
+        assert_eq!(sketched.makespan_s(), exact.makespan_s());
+        assert_eq!(sketched.energy(), exact.energy());
+        assert_eq!(sketched.deadline_miss_rate(), exact.deadline_miss_rate());
+        assert_eq!(sketched.events_processed(), exact.events_processed());
+        assert_eq!(sketched.per_acc(), exact.per_acc());
+        // O(frames) trails are gone; exemplars are sampled.
+        assert!(sketched.busy_spans().is_empty());
+        assert!(sketched.frames().len() <= exact.frames().len().div_ceil(4));
+        // Percentiles agree within the sketch's error bound.
+        for q in [0.5, 0.95, 0.99] {
+            let e = exact.latency_percentile(q);
+            let s = sketched.latency_percentile(q);
+            assert!((s - e).abs() <= rel * e, "q={q}: sketch {s} vs exact {e}");
+        }
+        // Windowed views stay populated (window-aligned ones exact).
+        let w = scenario.horizon_s() / 128.0;
+        assert_eq!(
+            sketched.deadline_frames_between(0.0, 128.0 * w),
+            exact.deadline_frames_between(0.0, 128.0 * w)
+        );
+        assert!(!sketched.utilization_timeline(0.05).is_empty());
+        // Per-stream aggregates carry exact per-stream frame counts.
+        let (es, ss) = (exact.stream_stats(), sketched.stream_stats());
+        for (e, s) in es.iter().zip(&ss) {
+            assert_eq!(e.frames, s.frames);
+            assert!((e.mean_latency_s - s.mean_latency_s).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shared_workloads_intern_one_graph_and_name() {
+        // Two streams cloning one workload intern a single graph; the
+        // rebuilt (deep-equal) workload also dedupes via the fallback.
+        let shared = tiny_workload();
+        let scenario = Scenario::new("intern", 0.05)
+            .stream(StreamSpec::periodic("a", shared.clone(), 50.0))
+            .stream(StreamSpec::periodic("b", shared, 50.0))
+            .stream(StreamSpec::periodic("c", tiny_workload(), 50.0));
+        let cost = CostModel::default();
+        let (report, profile) = StreamSimulator::new(&acc(), &cost)
+            .simulate_profiled(&HeraldScheduler::default(), &scenario)
+            .unwrap();
+        assert_eq!(profile.precomputed_graph_fingerprints, 1);
+        // Interning shares graphs, not schedules: each stream still
+        // compiled its own.
+        assert_eq!(report.scheduler_invocations(), 3);
+        assert_eq!(profile.mem.frame_bytes > 0, !report.frames().is_empty());
     }
 
     #[test]

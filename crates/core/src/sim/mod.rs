@@ -31,5 +31,8 @@ pub mod profile;
 pub(crate) mod report;
 
 pub use engine::{ReschedulePolicy, StreamSimulator, DEFAULT_ADMISSION_BATCH};
-pub use profile::HotPathProfile;
-pub use report::{BusySpan, FrameRecord, StreamReport, StreamStats, SwapRecord, UtilizationSample};
+pub use profile::{HotPathProfile, MemProfile};
+pub use report::{
+    ArrivalWindow, BusySpan, FrameRecord, QuantileSketch, ReportMode, StreamAgg, StreamReport,
+    StreamStats, SwapRecord, UtilizationSample,
+};

@@ -15,6 +15,72 @@
 
 use serde::Serialize;
 
+/// Byte accounting for the O(frames) data a run keeps alive: the memory
+/// axis of the profiling story. Every counter is a deterministic
+/// capacity sum over the structures the engine, fleet walk, and report
+/// builders actually retained, so two runs of the same scenario report
+/// identical bytes — the numbers the `megafleet_headline` bench gates
+/// on. Because each tracked structure only grows during a run,
+/// end-of-run values equal the peaks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct MemProfile {
+    /// Materialized trace storage: routed per-chip arrival lists (the
+    /// only arrival storage left after the pull-based iterators).
+    pub trace_bytes: u64,
+    /// Retained [`crate::sim::FrameRecord`]s (all frames in exact mode,
+    /// sampled exemplars in sketch mode).
+    pub frame_bytes: u64,
+    /// Retained busy spans (exact mode only).
+    pub span_bytes: u64,
+    /// Fleet audit trails: frame assignments and dropped-frame records.
+    pub audit_bytes: u64,
+    /// Quantile-sketch buckets.
+    pub sketch_bytes: u64,
+    /// Per-stream scalar aggregates plus fixed arrival/utilization
+    /// windows (sketch mode only).
+    pub agg_bytes: u64,
+    /// Dispatcher service-estimate tables (stream x version x chip).
+    pub estimate_bytes: u64,
+}
+
+impl MemProfile {
+    /// Sum of every tracked category — the headline footprint number.
+    pub fn tracked_total(&self) -> u64 {
+        self.trace_bytes
+            + self.frame_bytes
+            + self.span_bytes
+            + self.audit_bytes
+            + self.sketch_bytes
+            + self.agg_bytes
+            + self.estimate_bytes
+    }
+
+    /// Report and trace storage only: [`MemProfile::tracked_total`]
+    /// minus the dispatcher's service-estimate tables, which are
+    /// O(streams) in *both* report modes. This is the quantity the
+    /// streaming report mode shrinks — the `megafleet_headline`
+    /// baseline-vs-streaming ratio is computed over it.
+    pub fn report_trace_bytes(&self) -> u64 {
+        self.trace_bytes
+            + self.frame_bytes
+            + self.span_bytes
+            + self.audit_bytes
+            + self.sketch_bytes
+            + self.agg_bytes
+    }
+
+    /// Accumulates another run's bytes into this one.
+    pub fn merge(&mut self, other: &MemProfile) {
+        self.trace_bytes += other.trace_bytes;
+        self.frame_bytes += other.frame_bytes;
+        self.span_bytes += other.span_bytes;
+        self.audit_bytes += other.audit_bytes;
+        self.sketch_bytes += other.sketch_bytes;
+        self.agg_bytes += other.agg_bytes;
+        self.estimate_bytes += other.estimate_bytes;
+    }
+}
+
 /// Hot-path counters for one streaming run (see the [module
 /// docs](self)).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
@@ -62,6 +128,8 @@ pub struct HotPathProfile {
     /// Wall-clock nanoseconds harvesting finished frames and pruning
     /// memory intervals (zero unless profiled).
     pub harvest_ns: u64,
+    /// Byte accounting of the run's retained O(frames) structures.
+    pub mem: MemProfile,
 }
 
 impl HotPathProfile {
@@ -86,6 +154,7 @@ impl HotPathProfile {
         self.admit_ns += other.admit_ns;
         self.run_ns += other.run_ns;
         self.harvest_ns += other.harvest_ns;
+        self.mem.merge(&other.mem);
     }
 
     /// Fraction of per-frame buffer acquisitions served by the arenas.
@@ -134,5 +203,32 @@ mod tests {
         assert_eq!(a.max_batch_events, 5);
         assert!((a.arena_reuse_rate() - 0.8).abs() < 1e-12);
         assert!((a.mean_batch_events() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mem_profile_totals_and_merges_by_category() {
+        let mut a = MemProfile {
+            trace_bytes: 100,
+            frame_bytes: 50,
+            sketch_bytes: 8,
+            ..Default::default()
+        };
+        let b = MemProfile {
+            trace_bytes: 1,
+            audit_bytes: 10,
+            agg_bytes: 5,
+            estimate_bytes: 2,
+            span_bytes: 3,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.trace_bytes, 101);
+        assert_eq!(a.tracked_total(), 101 + 50 + 8 + 10 + 5 + 2 + 3);
+        let mut p = HotPathProfile::default();
+        p.mem.frame_bytes = 7;
+        let mut q = HotPathProfile::default();
+        q.mem.frame_bytes = 5;
+        p.merge(&q);
+        assert_eq!(p.mem.frame_bytes, 12);
     }
 }

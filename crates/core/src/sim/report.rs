@@ -58,6 +58,363 @@ pub struct BusySpan {
     pub finish_s: f64,
 }
 
+/// How a [`StreamReport`] aggregates its per-frame observations.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ReportMode {
+    /// Keep every [`FrameRecord`] and busy span — exact percentiles and
+    /// audit-grade timelines at O(frames) memory (the historical
+    /// behavior, and the default).
+    #[default]
+    Exact,
+    /// Stream completions through a mergeable [`QuantileSketch`] plus
+    /// per-stream scalar aggregates ([`StreamAgg`]) and fixed
+    /// arrival/utilization windows, keeping only every
+    /// `sample_every`-th frame as an exemplar — O(buckets + streams)
+    /// memory regardless of frame count. Report-level percentiles come
+    /// from the sketch (within `relative_error`); per-stream
+    /// percentiles degrade to documented envelopes (p50 = mean,
+    /// p95/p99 = max).
+    Sketch {
+        /// Guaranteed relative-error bound on sketch quantiles (see
+        /// [`QuantileSketch::new`]).
+        relative_error: f64,
+        /// Keep one exemplar [`FrameRecord`] per this many completed
+        /// frames (0 keeps none).
+        sample_every: usize,
+    },
+}
+
+impl ReportMode {
+    /// Default relative-error bound of [`ReportMode::sketch`].
+    pub const DEFAULT_RELATIVE_ERROR: f64 = 0.01;
+
+    /// The default sketch configuration: 1% relative error, one
+    /// exemplar frame per 65 536 completions.
+    #[must_use]
+    pub fn sketch() -> Self {
+        ReportMode::Sketch {
+            relative_error: Self::DEFAULT_RELATIVE_ERROR,
+            sample_every: 65_536,
+        }
+    }
+
+    /// Whether this mode keeps the full per-frame record set.
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        matches!(self, ReportMode::Exact)
+    }
+}
+
+/// A deterministic, mergeable quantile sketch: a log-bucketed
+/// (HDR-style) histogram over the positive reals, keyed directly by the
+/// exponent and top mantissa bits of each sample's `f64` representation.
+/// Buckets within one power of two are `2^-bits` wide in relative terms,
+/// so any quantile's representative value (the bucket midpoint) is
+/// within `2^-(bits+1)` relative error of the exact nearest-rank sample.
+///
+/// Merging two sketches is exact: bucket counts add, so
+/// `merge(sketch(a), sketch(b))` is bit-identical to `sketch(a ++ b)` —
+/// the property that lets per-chip sketches combine into fleet-level
+/// percentiles without approximation loss.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantileSketch {
+    /// Sub-bucket mantissa bits per power of two.
+    bits: u32,
+    /// Sorted `(key, count)` pairs; only touched buckets are stored.
+    buckets: Vec<(u32, u64)>,
+    /// Total samples inserted (including non-positive ones).
+    count: u64,
+    /// Samples at or below zero (kept out of the log buckets).
+    zeros: u64,
+    /// Smallest sample seen (`+inf` when empty).
+    min: f64,
+    /// Largest sample seen (`-inf` when empty).
+    max: f64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        Self::new(ReportMode::DEFAULT_RELATIVE_ERROR)
+    }
+}
+
+impl QuantileSketch {
+    /// Creates an empty sketch whose quantiles are within
+    /// `relative_error` of exact (capped at 20 mantissa bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < relative_error < 1`.
+    #[must_use]
+    pub fn new(relative_error: f64) -> Self {
+        assert!(
+            relative_error > 0.0 && relative_error < 1.0,
+            "sketch relative error must be in (0, 1), got {relative_error}"
+        );
+        let mut bits = 0u32;
+        // Smallest `bits` with 2^-(bits+1) <= relative_error: the
+        // midpoint of a 2^-bits-wide sub-bucket is within 2^-(bits+1)
+        // of every member.
+        while bits < 20 && 0.5f64.powi(bits as i32 + 1) > relative_error {
+            bits += 1;
+        }
+        Self {
+            bits,
+            buckets: Vec::new(),
+            count: 0,
+            zeros: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn key(&self, x: f64) -> u32 {
+        // Positive finite floats order like their bit patterns; dropping
+        // the low mantissa bits yields a monotone log-bucketed key.
+        (x.to_bits() >> (52 - self.bits)) as u32
+    }
+
+    /// Inserts one sample.
+    pub fn insert(&mut self, x: f64) {
+        self.count += 1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        if !(x > 0.0 && x.is_finite()) {
+            self.zeros += 1;
+            return;
+        }
+        let key = self.key(x);
+        match self.buckets.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(i) => self.buckets[i].1 += 1,
+            Err(i) => self.buckets.insert(i, (key, 1)),
+        }
+    }
+
+    /// Merges another sketch into this one (exact; see the type docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the resolutions differ.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        assert_eq!(
+            self.bits, other.bits,
+            "sketches must share a resolution to merge"
+        );
+        let mut merged = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.buckets.len() || j < other.buckets.len() {
+            match (self.buckets.get(i), other.buckets.get(j)) {
+                (Some(&(ka, ca)), Some(&(kb, cb))) if ka == kb => {
+                    merged.push((ka, ca + cb));
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&(ka, ca)), Some(&(kb, _))) if ka < kb => {
+                    merged.push((ka, ca));
+                    i += 1;
+                }
+                (Some(_), Some(&(kb, cb))) => {
+                    merged.push((kb, cb));
+                    j += 1;
+                }
+                (Some(&(ka, ca)), None) => {
+                    merged.push((ka, ca));
+                    i += 1;
+                }
+                (None, Some(&(kb, cb))) => {
+                    merged.push((kb, cb));
+                    j += 1;
+                }
+                (None, None) => unreachable!("loop condition"),
+            }
+        }
+        self.buckets = merged;
+        self.count += other.count;
+        self.zeros += other.zeros;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Nearest-rank quantile (`q` clamped to `[0, 1]`; 0 when empty).
+    /// The result is a bucket midpoint clamped into `[min, max]`, so it
+    /// is within the configured relative error of the exact quantile.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank <= self.zeros {
+            return 0.0;
+        }
+        let mut cum = self.zeros;
+        for &(key, c) in &self.buckets {
+            cum += c;
+            if cum >= rank {
+                let lower = f64::from_bits(u64::from(key) << (52 - self.bits));
+                let upper = f64::from_bits((u64::from(key) + 1) << (52 - self.bits));
+                return ((lower + upper) * 0.5).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Total samples inserted.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether the sketch has seen no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Largest sample seen (0 when empty).
+    #[must_use]
+    pub fn max_value(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// The guaranteed relative-error bound of [`QuantileSketch::quantile`].
+    #[must_use]
+    pub fn relative_error_bound(&self) -> f64 {
+        0.5f64.powi(self.bits as i32 + 1)
+    }
+
+    /// Touched buckets (the O(buckets) memory term).
+    #[must_use]
+    pub fn buckets_len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Heap + inline bytes this sketch occupies.
+    #[must_use]
+    pub fn memory_bytes(&self) -> u64 {
+        (std::mem::size_of::<Self>() + self.buckets.capacity() * std::mem::size_of::<(u32, u64)>())
+            as u64
+    }
+}
+
+/// O(1)-memory per-stream aggregate kept in sketch mode in place of the
+/// per-frame records.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct StreamAgg {
+    /// Frames completed.
+    pub frames: u64,
+    /// Completed frames that carried a deadline.
+    pub deadline_frames: u64,
+    /// Deadline-carrying frames that missed.
+    pub missed: u64,
+    /// Sum of frame latencies, seconds.
+    pub latency_sum_s: f64,
+    /// Smallest frame latency, seconds (0 when no frames completed).
+    pub latency_min_s: f64,
+    /// Largest frame latency, seconds.
+    pub latency_max_s: f64,
+}
+
+impl StreamAgg {
+    /// Folds one completed frame into the aggregate.
+    pub fn record(&mut self, latency_s: f64, deadline: bool, missed: bool) {
+        if self.frames == 0 {
+            self.latency_min_s = latency_s;
+            self.latency_max_s = latency_s;
+        } else {
+            self.latency_min_s = self.latency_min_s.min(latency_s);
+            self.latency_max_s = self.latency_max_s.max(latency_s);
+        }
+        self.frames += 1;
+        self.latency_sum_s += latency_s;
+        if deadline {
+            self.deadline_frames += 1;
+            if missed {
+                self.missed += 1;
+            }
+        }
+    }
+
+    /// Merges another stream aggregate (same stream, different chip).
+    pub fn merge(&mut self, other: &StreamAgg) {
+        if other.frames == 0 {
+            return;
+        }
+        if self.frames == 0 {
+            *self = *other;
+            return;
+        }
+        self.frames += other.frames;
+        self.deadline_frames += other.deadline_frames;
+        self.missed += other.missed;
+        self.latency_sum_s += other.latency_sum_s;
+        self.latency_min_s = self.latency_min_s.min(other.latency_min_s);
+        self.latency_max_s = self.latency_max_s.max(other.latency_max_s);
+    }
+}
+
+/// One fixed arrival-time window of aggregate counts (sketch mode's
+/// replacement for filtering per-frame records by arrival time).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ArrivalWindow {
+    /// Frames completed whose arrival fell in the window.
+    pub frames: u64,
+    /// Of those, frames that carried a deadline.
+    pub deadline_frames: u64,
+    /// Of those, frames that missed it.
+    pub missed: u64,
+    /// Sum of their latencies, seconds.
+    pub latency_sum_s: f64,
+}
+
+/// Proportional-overlap sums of `[t0, t1)` against fixed windows of
+/// `window_s` seconds starting at 0 (window k spans
+/// `[k*window_s, (k+1)*window_s)`).
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct WindowSums {
+    pub(crate) frames: f64,
+    pub(crate) deadline_frames: f64,
+    pub(crate) missed: f64,
+    pub(crate) latency_sum_s: f64,
+}
+
+pub(crate) fn window_sums(
+    windows: &[ArrivalWindow],
+    window_s: f64,
+    t0: f64,
+    t1: f64,
+) -> WindowSums {
+    let mut s = WindowSums::default();
+    // NaN-safe: any non-finite or degenerate window yields empty sums.
+    let valid = window_s > 0.0 && t1 > t0;
+    if !valid {
+        return s;
+    }
+    let first = ((t0 / window_s) as usize).min(windows.len());
+    for (k, w) in windows.iter().enumerate().skip(first) {
+        let lo = k as f64 * window_s;
+        if lo >= t1 {
+            break;
+        }
+        let hi = lo + window_s;
+        let overlap = (t1.min(hi) - t0.max(lo)).max(0.0);
+        if overlap <= 0.0 {
+            continue;
+        }
+        let frac = overlap / window_s;
+        s.frames += frac * w.frames as f64;
+        s.deadline_frames += frac * w.deadline_frames as f64;
+        s.missed += frac * w.missed as f64;
+        s.latency_sum_s += frac * w.latency_sum_s;
+    }
+    s
+}
+
 /// Aggregated statistics of one stream.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StreamStats {
@@ -89,16 +446,21 @@ pub struct UtilizationSample {
     pub per_acc: Vec<f64>,
 }
 
-/// The outcome of an event-driven streaming simulation: every completed
-/// frame, the swap history, and chip-level aggregates. All derived
-/// metrics (percentiles, miss rates, utilization) are computed from the
-/// recorded frames, so the report is self-contained and serializable.
+/// The outcome of an event-driven streaming simulation: completed
+/// frames (all of them in [`ReportMode::Exact`], sampled exemplars in
+/// [`ReportMode::Sketch`]), the swap history, and chip-level aggregates.
+/// Derived metrics (percentiles, miss rates, utilization) come from the
+/// recorded frames in exact mode and from the sketch/aggregate fields in
+/// sketch mode, so the report is self-contained and serializable either
+/// way.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StreamReport {
     scenario: String,
-    stream_names: Vec<String>,
+    stream_names: Arc<Vec<String>>,
     horizon_s: f64,
     makespan_s: f64,
+    mode: ReportMode,
+    completed: u64,
     frames: Vec<FrameRecord>,
     swaps: Vec<SwapRecord>,
     per_acc: Vec<AccSummary>,
@@ -109,13 +471,18 @@ pub struct StreamReport {
     placement_evaluations: u64,
     events_processed: usize,
     busy_spans: Vec<BusySpan>,
+    sketch: Option<QuantileSketch>,
+    stream_aggs: Vec<StreamAgg>,
+    window_s: f64,
+    util_windows: Vec<f64>,
+    miss_windows: Vec<ArrivalWindow>,
 }
 
 impl StreamReport {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         scenario: String,
-        stream_names: Vec<String>,
+        stream_names: Arc<Vec<String>>,
         horizon_s: f64,
         makespan_s: f64,
         frames: Vec<FrameRecord>,
@@ -134,6 +501,8 @@ impl StreamReport {
             stream_names,
             horizon_s,
             makespan_s,
+            mode: ReportMode::Exact,
+            completed: frames.len() as u64,
             frames,
             swaps,
             per_acc,
@@ -144,7 +513,35 @@ impl StreamReport {
             placement_evaluations,
             events_processed,
             busy_spans,
+            sketch: None,
+            stream_aggs: Vec::new(),
+            window_s: 0.0,
+            util_windows: Vec::new(),
+            miss_windows: Vec::new(),
         }
+    }
+
+    /// Switches an exact-constructed report into sketch mode, attaching
+    /// the streaming aggregates the engine accumulated. `frames` then
+    /// holds sampled exemplars only and `completed` keeps the true count.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn set_streaming(
+        &mut self,
+        mode: ReportMode,
+        completed: u64,
+        sketch: QuantileSketch,
+        stream_aggs: Vec<StreamAgg>,
+        window_s: f64,
+        util_windows: Vec<f64>,
+        miss_windows: Vec<ArrivalWindow>,
+    ) {
+        self.mode = mode;
+        self.completed = completed;
+        self.sketch = Some(sketch);
+        self.stream_aggs = stream_aggs;
+        self.window_s = window_s;
+        self.util_windows = util_windows;
+        self.miss_windows = miss_windows;
     }
 
     /// Name of the simulated scenario.
@@ -157,6 +554,38 @@ impl StreamReport {
     #[must_use]
     pub fn stream_names(&self) -> &[String] {
         &self.stream_names
+    }
+
+    /// How this report aggregates frames ([`ReportMode::Exact`] unless
+    /// the simulator was built `with_report_mode`).
+    #[must_use]
+    pub fn mode(&self) -> ReportMode {
+        self.mode
+    }
+
+    /// Frames completed during the run. In exact mode this equals
+    /// `frames().len()`; in sketch mode `frames()` holds only sampled
+    /// exemplars and this is the true count.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// The latency sketch, when the report was built in sketch mode.
+    #[must_use]
+    pub fn sketch(&self) -> Option<&QuantileSketch> {
+        self.sketch.as_ref()
+    }
+
+    /// Per-stream scalar aggregates (sketch mode only; empty in exact
+    /// mode, where [`StreamReport::frames`] carries the full detail).
+    #[must_use]
+    pub fn stream_aggs(&self) -> &[StreamAgg] {
+        &self.stream_aggs
+    }
+
+    pub(crate) fn window_params(&self) -> (f64, &[ArrivalWindow]) {
+        (self.window_s, &self.miss_windows)
     }
 
     /// The scenario's arrival horizon, seconds.
@@ -270,7 +699,7 @@ impl StreamReport {
         if self.makespan_s <= 0.0 {
             0.0
         } else {
-            self.frames.len() as f64 / self.makespan_s
+            self.completed as f64 / self.makespan_s
         }
     }
 
@@ -285,73 +714,192 @@ impl StreamReport {
     }
 
     /// A latency percentile over all frames (nearest-rank; `q` in
-    /// `[0, 1]`). Returns 0 for an empty report.
+    /// `[0, 1]`). Returns 0 for an empty report. In sketch mode the
+    /// value comes from the sketch and is within its configured
+    /// relative error of exact.
     #[must_use]
     pub fn latency_percentile(&self, q: f64) -> f64 {
-        percentile(self.frames.iter().map(|f| f.latency_s), q)
+        match &self.sketch {
+            None => percentile(self.frames.iter().map(|f| f.latency_s), q),
+            Some(sketch) => sketch.quantile(q),
+        }
+    }
+
+    /// Several latency percentiles served from one sorted pass over the
+    /// samples (exact mode sorts once for all requested quantiles;
+    /// sketch mode reads the sketch). Bit-identical to calling
+    /// [`StreamReport::latency_percentile`] per quantile.
+    #[must_use]
+    pub fn latency_percentiles(&self, qs: &[f64]) -> Vec<f64> {
+        match &self.sketch {
+            None => {
+                let mut v: Vec<f64> = self.frames.iter().map(|f| f.latency_s).collect();
+                v.sort_by(f64::total_cmp);
+                qs.iter().map(|&q| percentile_of_sorted(&v, q)).collect()
+            }
+            Some(sketch) => qs.iter().map(|&q| sketch.quantile(q)).collect(),
+        }
     }
 
     /// Deadline-miss rate over all frames that carry a deadline (0 when
     /// none do).
     #[must_use]
     pub fn deadline_miss_rate(&self) -> f64 {
-        miss_rate(self.frames.iter())
-    }
-
-    /// Deadline-miss rate over frames arriving in `[t0, t1)` — the window
-    /// view that exposes transients around workload-change events.
-    #[must_use]
-    pub fn miss_rate_between(&self, t0: f64, t1: f64) -> f64 {
-        miss_rate(
-            self.frames
-                .iter()
-                .filter(|f| f.arrival_s >= t0 && f.arrival_s < t1),
-        )
-    }
-
-    /// Mean frame latency over frames arriving in `[t0, t1)` (0 when the
-    /// window is empty).
-    #[must_use]
-    pub fn mean_latency_between(&self, t0: f64, t1: f64) -> f64 {
-        let lats: Vec<f64> = self
-            .frames
-            .iter()
-            .filter(|f| f.arrival_s >= t0 && f.arrival_s < t1)
-            .map(|f| f.latency_s)
-            .collect();
-        if lats.is_empty() {
+        if self.mode.is_exact() {
+            return miss_rate(self.frames.iter());
+        }
+        let (deadline, missed) = self.stream_aggs.iter().fold((0u64, 0u64), |(d, m), a| {
+            (d + a.deadline_frames, m + a.missed)
+        });
+        if deadline == 0 {
             0.0
         } else {
-            lats.iter().sum::<f64>() / lats.len() as f64
+            missed as f64 / deadline as f64
         }
     }
 
-    /// Per-stream aggregate statistics.
+    /// Deadline-miss rate over frames arriving in `[t0, t1)` — the window
+    /// view that exposes transients around workload-change events. Exact
+    /// mode filters the per-frame records; sketch mode estimates from
+    /// the fixed arrival windows by proportional overlap.
+    #[must_use]
+    pub fn miss_rate_between(&self, t0: f64, t1: f64) -> f64 {
+        if self.mode.is_exact() {
+            return miss_rate(
+                self.frames
+                    .iter()
+                    .filter(|f| f.arrival_s >= t0 && f.arrival_s < t1),
+            );
+        }
+        let s = window_sums(&self.miss_windows, self.window_s, t0, t1);
+        if s.deadline_frames > 0.0 {
+            s.missed / s.deadline_frames
+        } else {
+            0.0
+        }
+    }
+
+    /// Completed deadline-carrying frames arriving in `[t0, t1)` (exact
+    /// count in exact mode; a rounded proportional-overlap estimate in
+    /// sketch mode).
+    #[must_use]
+    pub fn deadline_frames_between(&self, t0: f64, t1: f64) -> usize {
+        if self.mode.is_exact() {
+            return self
+                .frames
+                .iter()
+                .filter(|f| f.deadline_s.is_some() && f.arrival_s >= t0 && f.arrival_s < t1)
+                .count();
+        }
+        window_sums(&self.miss_windows, self.window_s, t0, t1)
+            .deadline_frames
+            .round() as usize
+    }
+
+    /// Mean frame latency over frames arriving in `[t0, t1)` (0 when the
+    /// window is empty). Sketch mode estimates from the fixed arrival
+    /// windows by proportional overlap.
+    #[must_use]
+    pub fn mean_latency_between(&self, t0: f64, t1: f64) -> f64 {
+        if self.mode.is_exact() {
+            let (mut sum, mut n) = (0.0f64, 0usize);
+            for f in &self.frames {
+                if f.arrival_s >= t0 && f.arrival_s < t1 {
+                    sum += f.latency_s;
+                    n += 1;
+                }
+            }
+            return if n == 0 { 0.0 } else { sum / n as f64 };
+        }
+        let s = window_sums(&self.miss_windows, self.window_s, t0, t1);
+        if s.frames > 0.0 {
+            s.latency_sum_s / s.frames
+        } else {
+            0.0
+        }
+    }
+
+    /// Per-stream aggregate statistics. Exact mode groups the per-frame
+    /// records in one pass and sorts each stream's latencies once,
+    /// serving p50/p95/p99 from the shared sorted slice; sketch mode
+    /// reads the per-stream aggregates, where percentiles degrade to
+    /// envelopes (p50 = mean, p95 = p99 = max).
     #[must_use]
     pub fn stream_stats(&self) -> Vec<StreamStats> {
-        (0..self.stream_names.len())
-            .map(|i| {
-                let frames: Vec<&FrameRecord> =
-                    self.frames.iter().filter(|f| f.stream == i).collect();
-                let lats = || frames.iter().map(|f| f.latency_s);
-                let mean = if frames.is_empty() {
+        if !self.mode.is_exact() {
+            return self
+                .stream_names
+                .iter()
+                .enumerate()
+                .map(|(i, name)| {
+                    let a = self.stream_aggs.get(i).copied().unwrap_or_default();
+                    let mean = if a.frames == 0 {
+                        0.0
+                    } else {
+                        a.latency_sum_s / a.frames as f64
+                    };
+                    StreamStats {
+                        name: name.clone(),
+                        frames: a.frames as usize,
+                        throughput_fps: if self.makespan_s <= 0.0 {
+                            0.0
+                        } else {
+                            a.frames as f64 / self.makespan_s
+                        },
+                        mean_latency_s: mean,
+                        p50_latency_s: mean,
+                        p95_latency_s: a.latency_max_s,
+                        p99_latency_s: a.latency_max_s,
+                        deadline_miss_rate: if a.deadline_frames == 0 {
+                            0.0
+                        } else {
+                            a.missed as f64 / a.deadline_frames as f64
+                        },
+                    }
+                })
+                .collect();
+        }
+        let streams = self.stream_names.len();
+        let mut lats: Vec<Vec<f64>> = vec![Vec::new(); streams];
+        let mut deadline = vec![0usize; streams];
+        let mut missed = vec![0usize; streams];
+        for f in &self.frames {
+            lats[f.stream].push(f.latency_s);
+            if f.deadline_s.is_some() {
+                deadline[f.stream] += 1;
+                if f.missed {
+                    missed[f.stream] += 1;
+                }
+            }
+        }
+        self.stream_names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let v = &mut lats[i];
+                v.sort_by(f64::total_cmp);
+                let mean = if v.is_empty() {
                     0.0
                 } else {
-                    lats().sum::<f64>() / frames.len() as f64
+                    v.iter().sum::<f64>() / v.len() as f64
                 };
                 StreamStats {
-                    name: self.stream_names[i].clone(),
-                    frames: frames.len(),
+                    name: name.clone(),
+                    frames: v.len(),
                     throughput_fps: if self.makespan_s <= 0.0 {
                         0.0
                     } else {
-                        frames.len() as f64 / self.makespan_s
+                        v.len() as f64 / self.makespan_s
                     },
                     mean_latency_s: mean,
-                    p50_latency_s: percentile(lats(), 0.50),
-                    p95_latency_s: percentile(lats(), 0.95),
-                    p99_latency_s: percentile(lats(), 0.99),
-                    deadline_miss_rate: miss_rate(frames.iter().copied()),
+                    p50_latency_s: percentile_of_sorted(v, 0.50),
+                    p95_latency_s: percentile_of_sorted(v, 0.95),
+                    p99_latency_s: percentile_of_sorted(v, 0.99),
+                    deadline_miss_rate: if deadline[i] == 0 {
+                        0.0
+                    } else {
+                        missed[i] as f64 / deadline[i] as f64
+                    },
                 }
             })
             .collect()
@@ -359,13 +907,44 @@ impl StreamReport {
 
     /// Per-accelerator busy fraction per time window of `window_s`
     /// seconds, from 0 to the makespan — the utilization-over-time view.
+    /// Exact mode distributes the recorded busy spans; sketch mode
+    /// re-bins its fixed utilization windows by proportional overlap.
     #[must_use]
     pub fn utilization_timeline(&self, window_s: f64) -> Vec<UtilizationSample> {
         let ways = self.per_acc.len();
-        if window_s <= 0.0 || self.makespan_s <= 0.0 {
+        if window_s <= 0.0 || self.makespan_s <= 0.0 || ways == 0 {
             return Vec::new();
         }
         let windows = (self.makespan_s / window_s).ceil() as usize;
+        if !self.mode.is_exact() {
+            let stored = self.util_windows.len() / ways;
+            return (0..windows)
+                .map(|w| {
+                    let lo = w as f64 * window_s;
+                    let hi = lo + window_s;
+                    let mut row = vec![0.0f64; ways];
+                    if self.window_s > 0.0 {
+                        let first = ((lo / self.window_s) as usize).min(stored);
+                        for k in first..stored {
+                            let slo = k as f64 * self.window_s;
+                            if slo >= hi {
+                                break;
+                            }
+                            let shi = slo + self.window_s;
+                            let overlap = (hi.min(shi) - lo.max(slo)).max(0.0);
+                            let frac = overlap / self.window_s;
+                            for (a, cell) in row.iter_mut().enumerate() {
+                                *cell += frac * self.util_windows[k * ways + a];
+                            }
+                        }
+                    }
+                    UtilizationSample {
+                        t_s: lo,
+                        per_acc: row.into_iter().map(|b| b / window_s).collect(),
+                    }
+                })
+                .collect();
+        }
         let mut busy = vec![vec![0.0f64; ways]; windows];
         for span in &self.busy_spans {
             let first = ((span.start_s / window_s) as usize).min(windows - 1);
@@ -394,7 +973,7 @@ impl fmt::Display for StreamReport {
             "{}: {} frames in {:.3} s ({:.1} fps), p95 latency {:.4} s, \
              miss rate {:.1}%, energy {:.4} J",
             self.scenario,
-            self.frames.len(),
+            self.completed,
             self.makespan_s,
             self.throughput_fps(),
             self.latency_percentile(0.95),
@@ -404,18 +983,25 @@ impl fmt::Display for StreamReport {
     }
 }
 
+/// Nearest-rank percentile of an already-sorted slice (`q` clamped to
+/// `[0, 1]`; 0 for an empty slice). The shared kernel behind every
+/// exact-mode percentile: sort once, serve all quantiles from the slice.
+pub(crate) fn percentile_of_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
 /// Nearest-rank percentile of an iterator of samples (`q` clamped to
 /// `[0, 1]`; 0 for an empty iterator). Shared with the fleet layer's
 /// merged views.
 pub(crate) fn percentile(samples: impl Iterator<Item = f64>, q: f64) -> f64 {
     let mut v: Vec<f64> = samples.collect();
-    if v.is_empty() {
-        return 0.0;
-    }
     v.sort_by(f64::total_cmp);
-    let q = q.clamp(0.0, 1.0);
-    let rank = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len());
-    v[rank - 1]
+    percentile_of_sorted(&v, q)
 }
 
 /// Miss rate over deadline-carrying frames (0 when none carry one).
@@ -458,7 +1044,7 @@ mod tests {
     fn report(frames: Vec<FrameRecord>) -> StreamReport {
         StreamReport::new(
             "test".into(),
-            vec!["s0".into(), "s1".into()],
+            Arc::new(vec!["s0".into(), "s1".into()]),
             1.0,
             2.0,
             frames,
@@ -601,5 +1187,178 @@ mod tests {
         assert_eq!(r.deadline_miss_rate(), 0.0);
         assert_eq!(r.mean_latency_between(0.0, 1.0), 0.0);
         assert!(r.throughput_fps() > 0.0 || r.frames().is_empty());
+    }
+
+    #[test]
+    fn batched_percentiles_match_single_calls_bit_for_bit() {
+        let frames: Vec<FrameRecord> = (1..=97)
+            .map(|i| frame(i % 2, i as f64, (i as f64).sin().abs() + 0.01, None))
+            .collect();
+        let r = report(frames);
+        let qs = [0.0, 0.5, 0.95, 0.99, 1.0];
+        let batched = r.latency_percentiles(&qs);
+        for (q, b) in qs.iter().zip(&batched) {
+            assert_eq!(b.to_bits(), r.latency_percentile(*q).to_bits());
+        }
+    }
+
+    /// Seeded pseudo-random samples without pulling in an RNG dep: a
+    /// SplitMix64-style scramble mapped into (0, 1].
+    fn scrambled(seed: u64, n: usize) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^= z >> 31;
+                // Spread across several orders of magnitude like a
+                // latency distribution with a long tail.
+                let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+                1e-4 + u * u * u * 10.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sketch_quantiles_are_within_the_relative_error_bound() {
+        for &rel in &[0.05, 0.01, 0.001] {
+            let samples = scrambled(0xfeed_beef, 5000);
+            let mut sketch = QuantileSketch::new(rel);
+            for &x in &samples {
+                sketch.insert(x);
+            }
+            assert!(sketch.relative_error_bound() <= rel);
+            let mut sorted = samples.clone();
+            sorted.sort_by(f64::total_cmp);
+            for &q in &[0.0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+                let exact = percentile_of_sorted(&sorted, q);
+                let approx = sketch.quantile(q);
+                assert!(
+                    (approx - exact).abs() <= rel * exact + 1e-300,
+                    "q={q} rel={rel}: sketch {approx} vs exact {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sketch_merge_is_bit_identical_to_inserting_the_concatenation() {
+        let a = scrambled(1, 700);
+        let b = scrambled(2, 1300);
+        let mut left = QuantileSketch::new(0.01);
+        let mut right = QuantileSketch::new(0.01);
+        let mut whole = QuantileSketch::new(0.01);
+        for &x in &a {
+            left.insert(x);
+            whole.insert(x);
+        }
+        for &x in &b {
+            right.insert(x);
+            whole.insert(x);
+        }
+        left.merge(&right);
+        assert_eq!(left, whole);
+        for &q in &[0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(left.quantile(q).to_bits(), whole.quantile(q).to_bits());
+        }
+    }
+
+    #[test]
+    fn sketch_handles_zeros_and_empty() {
+        let mut s = QuantileSketch::new(0.01);
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.max_value(), 0.0);
+        s.insert(0.0);
+        s.insert(0.0);
+        s.insert(4.0);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.quantile(0.5), 0.0); // rank 2 of 3 is a zero
+        assert!((s.quantile(1.0) - 4.0).abs() <= 0.01 * 4.0);
+        assert!(s.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn sketch_mode_report_serves_metrics_from_aggregates() {
+        // Build an exact report, then re-express the same three frames
+        // as streaming aggregates and check the derived metrics agree.
+        let frames = vec![
+            frame(0, 0.1, 0.2, Some(1.0)),
+            frame(0, 0.6, 0.4, Some(0.3)), // missed
+            frame(1, 1.2, 0.9, None),
+        ];
+        let exact = report(frames.clone());
+        let mut sk = report(Vec::new());
+        let mut sketch = QuantileSketch::new(0.01);
+        let mut aggs = vec![StreamAgg::default(); 2];
+        let window_s = 0.5;
+        let mut miss = vec![ArrivalWindow::default(); 4];
+        for f in &frames {
+            sketch.insert(f.latency_s);
+            aggs[f.stream].record(f.latency_s, f.deadline_s.is_some(), f.missed);
+            let w = &mut miss[(f.arrival_s / window_s) as usize];
+            w.frames += 1;
+            w.latency_sum_s += f.latency_s;
+            if f.deadline_s.is_some() {
+                w.deadline_frames += 1;
+                if f.missed {
+                    w.missed += 1;
+                }
+            }
+        }
+        sk.set_streaming(
+            ReportMode::sketch(),
+            3,
+            sketch,
+            aggs,
+            window_s,
+            Vec::new(),
+            miss,
+        );
+        assert_eq!(sk.completed(), 3);
+        assert_eq!(sk.frames().len(), 0);
+        assert_eq!(sk.throughput_fps(), exact.throughput_fps());
+        assert_eq!(sk.deadline_miss_rate(), exact.deadline_miss_rate());
+        // Window-aligned queries are exact even through the aggregates.
+        assert_eq!(
+            sk.miss_rate_between(0.5, 1.0),
+            exact.miss_rate_between(0.5, 1.0)
+        );
+        assert_eq!(sk.deadline_frames_between(0.0, 2.0), 2);
+        assert!(
+            (sk.mean_latency_between(0.0, 2.0) - exact.mean_latency_between(0.0, 2.0)).abs()
+                < 1e-12
+        );
+        let p99 = sk.latency_percentile(0.99);
+        assert!((p99 - 0.9).abs() <= 0.01 * 0.9, "{p99}");
+        let stats = sk.stream_stats();
+        assert_eq!(stats[0].frames, 2);
+        assert!((stats[0].mean_latency_s - 0.3).abs() < 1e-12);
+        assert_eq!(stats[1].p99_latency_s, 0.9); // envelope: max
+    }
+
+    #[test]
+    fn sketch_utilization_timeline_rebins_stored_windows() {
+        let mut r = report(Vec::new());
+        // One accelerator, stored windows of 1 s: busy 1.0 s then 0.5 s.
+        r.set_streaming(
+            ReportMode::sketch(),
+            0,
+            QuantileSketch::new(0.01),
+            vec![StreamAgg::default(); 2],
+            1.0,
+            vec![1.0, 0.5],
+            Vec::new(),
+        );
+        let timeline = r.utilization_timeline(0.5); // makespan 2.0
+        assert_eq!(timeline.len(), 4);
+        for w in &timeline[..2] {
+            assert!((w.per_acc[0] - 1.0).abs() < 1e-12, "{:?}", w);
+        }
+        for w in &timeline[2..] {
+            assert!((w.per_acc[0] - 0.5).abs() < 1e-12, "{:?}", w);
+        }
     }
 }

@@ -27,8 +27,9 @@ mod scenario;
 pub mod seeded;
 
 pub use scenario::{
-    arvr_a_stream, arvr_b_stream, diurnal_ramp_trace, diurnal_rate_at, fleet_mix_stream,
-    poisson_mix_stream, workload_change_trace, ArrivalProcess, Scenario, StreamSpec, WorkloadSwap,
+    arvr_a_stream, arvr_b_stream, diurnal_fleet_stream, diurnal_ramp_trace, diurnal_rate_at,
+    fleet_mix_stream, poisson_mix_stream, workload_change_trace, ArrivalProcess, Scenario,
+    StreamSpec, WorkloadSwap,
 };
 
 use herald_models::{zoo, DnnModel};
@@ -136,6 +137,27 @@ impl MultiDnnWorkload {
     /// Total MAC operations across all replicas.
     pub fn total_macs(&self) -> u64 {
         self.instances.iter().map(|i| i.model.total_macs()).sum()
+    }
+
+    /// Structural equality with an `Arc` pointer fast path: clones of a
+    /// shared workload (e.g. a million fleet tenants instantiated from
+    /// one rotation) share their [`DnnModel`] allocations, so they
+    /// compare by pointer instead of walking every layer. Falls back to
+    /// the full `PartialEq` when the pointers differ, so the result is
+    /// always exactly `self == other`.
+    pub fn same_structure(&self, other: &MultiDnnWorkload) -> bool {
+        if self.name != other.name || self.instances.len() != other.instances.len() {
+            return false;
+        }
+        if self
+            .instances
+            .iter()
+            .zip(&other.instances)
+            .all(|(a, b)| a.replica == b.replica && Arc::ptr_eq(&a.model, &b.model))
+        {
+            return true;
+        }
+        self == other
     }
 
     /// The distinct models in this workload with their batch counts,
@@ -288,6 +310,19 @@ mod tests {
         let text = arvr_a().to_string();
         assert!(text.contains("Resnet50 x2"), "{text}");
         assert!(text.contains("layers"), "{text}");
+    }
+
+    #[test]
+    fn same_structure_matches_partial_eq() {
+        let a = arvr_a();
+        let clone = a.clone(); // shares model Arcs: pointer fast path
+        assert!(a.same_structure(&clone));
+        let rebuilt = arvr_a(); // fresh Arcs: deep-equality fallback
+        assert!(a.same_structure(&rebuilt));
+        assert_eq!(a == rebuilt, a.same_structure(&rebuilt));
+        let b = arvr_b();
+        assert!(!a.same_structure(&b));
+        assert_eq!(a == b, a.same_structure(&b));
     }
 
     #[test]

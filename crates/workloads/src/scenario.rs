@@ -63,6 +63,23 @@ pub enum ArrivalProcess {
         /// The arrival times, seconds, sorted non-decreasing.
         times_s: Vec<f64>,
     },
+    /// A non-homogeneous Poisson stream whose rate ramps from
+    /// `trough_fps` at the horizon's edges to `peak_fps` at its middle
+    /// along [`diurnal_rate_at`]'s `sin^2` curve, sampled lazily by
+    /// Lewis–Shedler thinning from `seed`. The *lazy* counterpart of the
+    /// materialized [`diurnal_ramp_trace`] streams: a million-stream
+    /// diurnal scenario stores three scalars per stream instead of a
+    /// `Vec<f64>` trace per stream. (The two samplers are seed-compatible
+    /// in shape but not bit-identical, because the trace generator
+    /// divides the *aggregate* ramp by the tenant count at each instant.)
+    Diurnal {
+        /// Trough (edge-of-horizon) rate of this stream, frames per second.
+        trough_fps: f64,
+        /// Peak (mid-horizon) rate of this stream, frames per second.
+        peak_fps: f64,
+        /// Seed of the deterministic thinning sampler.
+        seed: u64,
+    },
 }
 
 impl ArrivalProcess {
@@ -79,6 +96,12 @@ impl ArrivalProcess {
                 Some(last) if *last > 0.0 => times_s.len() as f64 / last,
                 _ => 0.0,
             },
+            // sin^2 averages to 1/2 over the horizon.
+            ArrivalProcess::Diurnal {
+                trough_fps,
+                peak_fps,
+                ..
+            } => trough_fps + (peak_fps - trough_fps) / 2.0,
         }
     }
 }
@@ -496,6 +519,62 @@ pub fn diurnal_ramp_trace(
     scenario
 }
 
+/// The million-stream diurnal serving mix: `tenants` independent
+/// [`ArrivalProcess::Diurnal`] streams (tenant `i` runs the `i`-th model
+/// of the AR/VR rotation) whose *aggregate* rate ramps from `trough_fps`
+/// to `peak_fps` and back across the horizon, split evenly across
+/// tenants; each frame carries `deadline_s`. The lazy counterpart of
+/// [`diurnal_ramp_trace`]: per stream it stores three scalars instead of
+/// a materialized arrival trace, and the five rotation workloads are
+/// built once and reference-shared by every tenant — so scenario memory
+/// is O(tenants), never O(frames), and a 1M-tenant scenario builds in
+/// well under a gigabyte.
+///
+/// # Panics
+///
+/// Panics if `tenants` is zero or `peak_fps < trough_fps`.
+#[must_use]
+pub fn diurnal_fleet_stream(
+    tenants: usize,
+    trough_fps: f64,
+    peak_fps: f64,
+    deadline_s: f64,
+    horizon_s: f64,
+    seed: u64,
+) -> Scenario {
+    assert!(tenants > 0, "a diurnal fleet needs at least one tenant");
+    assert!(
+        peak_fps >= trough_fps,
+        "peak rate {peak_fps} must be at least the trough rate {trough_fps}"
+    );
+    // One workload per rotation slot, shared (via `Arc`ed model storage)
+    // by every tenant on that slot — a million tenants intern five
+    // workloads instead of instantiating a million.
+    let rotation: Vec<MultiDnnWorkload> = (0..5.min(tenants))
+        .map(|i| single_model(tenant_model(i), 1))
+        .collect();
+    let per_trough = trough_fps / tenants as f64;
+    let per_peak = peak_fps / tenants as f64;
+    let mut scenario = Scenario::new(format!("diurnal-fleet-{tenants}t"), horizon_s);
+    for i in 0..tenants {
+        let workload = rotation[i % rotation.len()].clone();
+        let name = format!("t{i}-{}", workload.instances()[0].model().name());
+        scenario = scenario.stream(
+            StreamSpec::new(
+                name,
+                workload,
+                ArrivalProcess::Diurnal {
+                    trough_fps: per_trough,
+                    peak_fps: per_peak,
+                    seed: crate::seeded::derive_seed(seed, i as u64),
+                },
+            )
+            .with_deadline(deadline_s),
+        );
+    }
+    scenario
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -644,6 +723,39 @@ mod tests {
         assert!((quarter - 8.0).abs() < 1e-9, "sin^2(pi/4) = 1/2: {quarter}");
         // A flat trace never leaves its trough.
         assert!((diurnal_rate_at(5.0, 5.0, 3.0, 1.2) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diurnal_fleet_is_lazy_seeded_and_splits_the_aggregate_rate() {
+        let s = diurnal_fleet_stream(10, 20.0, 100.0, 0.1, 2.0, 13);
+        assert_eq!(s.streams().len(), 10);
+        assert_eq!(s, diurnal_fleet_stream(10, 20.0, 100.0, 0.1, 2.0, 13));
+        assert_ne!(s, diurnal_fleet_stream(10, 20.0, 100.0, 0.1, 2.0, 14));
+        // Mean aggregate rate: sin^2 averages to 1/2.
+        let total: f64 = s.streams().iter().map(|t| t.arrival().mean_fps()).sum();
+        assert!((total - 60.0).abs() < 1e-9, "{total}");
+        let mut seeds = Vec::new();
+        for t in s.streams() {
+            assert_eq!(t.deadline_s(), Some(0.1));
+            let ArrivalProcess::Diurnal {
+                trough_fps,
+                peak_fps,
+                seed,
+            } = t.arrival()
+            else {
+                panic!("expected lazy diurnal arrivals, got {:?}", t.arrival());
+            };
+            assert!((trough_fps - 2.0).abs() < 1e-12);
+            assert!((peak_fps - 10.0).abs() < 1e-12);
+            seeds.push(*seed);
+        }
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 10, "tenant seeds are pairwise distinct");
+        // Interning: tenants on the same rotation slot share model storage.
+        let m0 = s.streams()[0].workload().instances()[0].model() as *const _;
+        let m5 = s.streams()[5].workload().instances()[0].model() as *const _;
+        assert_eq!(m0, m5, "rotation workloads must be reference-shared");
     }
 
     #[test]

@@ -103,46 +103,173 @@ pub fn exponential_gap(rng: &mut SplitMix64, rate: f64) -> f64 {
 /// engine has always used, so seeds keep producing the same traces.
 #[must_use]
 pub fn poisson_arrival_times(mean_fps: f64, seed: u64, horizon_s: f64) -> Vec<f64> {
-    let mut rng = SplitMix64::seed_from_u64(seed);
-    let mut times = Vec::new();
-    let mut t = 0.0f64;
-    loop {
-        t += exponential_gap(&mut rng, mean_fps);
-        if t >= horizon_s {
-            break;
+    arrival_iter(&ArrivalProcess::Poisson { mean_fps, seed }, horizon_s).collect()
+}
+
+/// A pull-based iterator over one stream's arrival times in
+/// `[0, horizon_s)`, in increasing order — the lazy form of
+/// [`arrival_times`], and since PR 8 the *single source of truth* for
+/// which frames exist: [`arrival_times`] is literally
+/// `arrival_iter(...).collect()`, so the two can never drift.
+///
+/// Seeded variants carry their own [`SplitMix64`] state and sample the
+/// next gap only when polled, so a million-stream scenario holds one
+/// small iterator per stream instead of one materialized `Vec<f64>`
+/// trace per stream. Trace streams borrow their times from the
+/// [`ArrivalProcess`] they were built from.
+#[derive(Debug, Clone)]
+pub enum ArrivalIter<'a> {
+    /// Exact quotients `seq / fps` (bit-identical to the historical
+    /// materialized loop).
+    Periodic {
+        /// Frame rate, frames per second.
+        fps: f64,
+        /// Arrival horizon, seconds (exclusive).
+        horizon_s: f64,
+        /// Next frame index.
+        seq: usize,
+    },
+    /// Seeded exponential gaps with mean `1 / rate`.
+    Poisson {
+        /// The gap sampler state.
+        rng: SplitMix64,
+        /// Mean frame rate, frames per second.
+        rate: f64,
+        /// Arrival horizon, seconds (exclusive).
+        horizon_s: f64,
+        /// Running arrival clock, seconds.
+        t: f64,
+    },
+    /// A single frame at `t = 0`.
+    OneShot {
+        /// Whether the frame was already yielded.
+        done: bool,
+    },
+    /// Explicit times replayed verbatim (clipped to the horizon).
+    Trace {
+        /// The remaining times, borrowed from the arrival process.
+        times: &'a [f64],
+        /// Arrival horizon, seconds (exclusive).
+        horizon_s: f64,
+    },
+    /// Lewis–Shedler thinning of a homogeneous candidate stream at the
+    /// peak rate against the diurnal `sin^2` intensity ramp.
+    Diurnal {
+        /// The candidate/thinning sampler state.
+        rng: SplitMix64,
+        /// Trough (edge-of-horizon) rate, frames per second.
+        trough_fps: f64,
+        /// Peak (mid-horizon) rate, frames per second.
+        peak_fps: f64,
+        /// Arrival horizon, seconds (exclusive).
+        horizon_s: f64,
+        /// Running candidate clock, seconds.
+        t: f64,
+    },
+}
+
+impl Iterator for ArrivalIter<'_> {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        match self {
+            ArrivalIter::Periodic {
+                fps,
+                horizon_s,
+                seq,
+            } => {
+                let t = *seq as f64 / *fps;
+                if t >= *horizon_s {
+                    return None;
+                }
+                *seq += 1;
+                Some(t)
+            }
+            ArrivalIter::Poisson {
+                rng,
+                rate,
+                horizon_s,
+                t,
+            } => {
+                *t += exponential_gap(rng, *rate);
+                (*t < *horizon_s).then_some(*t)
+            }
+            ArrivalIter::OneShot { done } => {
+                if *done {
+                    return None;
+                }
+                *done = true;
+                Some(0.0)
+            }
+            ArrivalIter::Trace { times, horizon_s } => loop {
+                let (&t, rest) = times.split_first()?;
+                *times = rest;
+                if t < *horizon_s {
+                    return Some(t);
+                }
+            },
+            ArrivalIter::Diurnal {
+                rng,
+                trough_fps,
+                peak_fps,
+                horizon_s,
+                t,
+            } => loop {
+                *t += exponential_gap(rng, *peak_fps);
+                if *t >= *horizon_s {
+                    return None;
+                }
+                let rate = crate::scenario::diurnal_rate_at(*trough_fps, *peak_fps, *horizon_s, *t);
+                if rng.gen_unit() <= rate / *peak_fps {
+                    return Some(*t);
+                }
+            },
         }
-        times.push(t);
     }
-    times
+}
+
+/// The lazy arrival-time iterator of one stream over `[0, horizon_s)`:
+/// yields exactly the times [`arrival_times`] would collect, in the same
+/// order, bit for bit — without materializing them.
+#[must_use]
+pub fn arrival_iter(arrival: &ArrivalProcess, horizon_s: f64) -> ArrivalIter<'_> {
+    match *arrival {
+        ArrivalProcess::Periodic { fps } => ArrivalIter::Periodic {
+            fps,
+            horizon_s,
+            seq: 0,
+        },
+        ArrivalProcess::Poisson { mean_fps, seed } => ArrivalIter::Poisson {
+            rng: SplitMix64::seed_from_u64(seed),
+            rate: mean_fps,
+            horizon_s,
+            t: 0.0,
+        },
+        ArrivalProcess::OneShot => ArrivalIter::OneShot { done: false },
+        ArrivalProcess::Trace { ref times_s } => ArrivalIter::Trace {
+            times: times_s,
+            horizon_s,
+        },
+        ArrivalProcess::Diurnal {
+            trough_fps,
+            peak_fps,
+            seed,
+        } => ArrivalIter::Diurnal {
+            rng: SplitMix64::seed_from_u64(seed),
+            trough_fps,
+            peak_fps,
+            horizon_s,
+            t: 0.0,
+        },
+    }
 }
 
 /// Every arrival time of one stream in `[0, horizon_s)`, in increasing
-/// order: the single definition of "which frames exist" shared by the
-/// single-chip streaming engine and the fleet dispatcher.
+/// order: the materialized form of [`arrival_iter`], kept for callers
+/// that genuinely need the whole trace at once.
 #[must_use]
 pub fn arrival_times(arrival: &ArrivalProcess, horizon_s: f64) -> Vec<f64> {
-    match *arrival {
-        ArrivalProcess::Periodic { fps } => {
-            let mut times = Vec::new();
-            let mut seq = 0usize;
-            loop {
-                let t = seq as f64 / fps;
-                if t >= horizon_s {
-                    break;
-                }
-                times.push(t);
-                seq += 1;
-            }
-            times
-        }
-        ArrivalProcess::Poisson { mean_fps, seed } => {
-            poisson_arrival_times(mean_fps, seed, horizon_s)
-        }
-        ArrivalProcess::OneShot => vec![0.0],
-        ArrivalProcess::Trace { ref times_s } => {
-            times_s.iter().copied().filter(|t| *t < horizon_s).collect()
-        }
-    }
+    arrival_iter(arrival, horizon_s).collect()
 }
 
 #[cfg(test)]
@@ -248,6 +375,69 @@ mod tests {
             assert!(w[1] > w[0]);
         }
         assert_ne!(a, poisson_arrival_times(40.0, 2, 0.5));
+    }
+
+    #[test]
+    fn arrival_iter_is_the_single_source_of_truth() {
+        // `arrival_times` is `arrival_iter(...).collect()`; this pins
+        // the lazy iterator against each variant's semantics (exact
+        // quotients, seeded gaps, horizon clipping) bit for bit.
+        let cases = [
+            ArrivalProcess::Periodic { fps: 50.0 },
+            ArrivalProcess::Poisson {
+                mean_fps: 30.0,
+                seed: 9,
+            },
+            ArrivalProcess::OneShot,
+            ArrivalProcess::Trace {
+                times_s: vec![0.0, 0.5, 0.5, 1.0, 2.5],
+            },
+            ArrivalProcess::Diurnal {
+                trough_fps: 10.0,
+                peak_fps: 80.0,
+                seed: 11,
+            },
+        ];
+        for arrival in &cases {
+            for horizon in [0.4, 1.0, 1.5] {
+                let eager = arrival_times(arrival, horizon);
+                let lazy: Vec<f64> = arrival_iter(arrival, horizon).collect();
+                let eb: Vec<u64> = eager.iter().map(|t| t.to_bits()).collect();
+                let lb: Vec<u64> = lazy.iter().map(|t| t.to_bits()).collect();
+                assert_eq!(eb, lb, "{arrival:?} over {horizon}");
+                for w in eager.windows(2) {
+                    assert!(w[1] >= w[0], "{arrival:?} times sorted");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diurnal_iter_is_seeded_and_ramps_mid_horizon() {
+        let arrival = ArrivalProcess::Diurnal {
+            trough_fps: 20.0,
+            peak_fps: 400.0,
+            seed: 5,
+        };
+        let a = arrival_times(&arrival, 4.0);
+        assert_eq!(a, arrival_times(&arrival, 4.0));
+        assert_ne!(
+            a,
+            arrival_times(
+                &ArrivalProcess::Diurnal {
+                    trough_fps: 20.0,
+                    peak_fps: 400.0,
+                    seed: 6,
+                },
+                4.0
+            )
+        );
+        let edges = a.iter().filter(|t| **t < 1.0 || **t >= 3.0).count();
+        let middle = a.iter().filter(|t| **t >= 1.0 && **t < 3.0).count();
+        assert!(
+            middle as f64 > 1.5 * edges as f64,
+            "middle {middle} vs edges {edges}"
+        );
     }
 
     #[test]

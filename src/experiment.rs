@@ -35,7 +35,9 @@ use herald_core::fleet::{
     AdmissionPolicy, DispatchPolicy, FleetConfig, FleetReport, FleetSimulator,
 };
 use herald_core::sched::{HeraldScheduler, IncrementalScheduler, SchedulerConfig};
-use herald_core::sim::{HotPathProfile, ReschedulePolicy, StreamReport, StreamSimulator};
+use herald_core::sim::{
+    HotPathProfile, ReportMode, ReschedulePolicy, StreamReport, StreamSimulator,
+};
 use herald_cost::Metric;
 use herald_dataflow::DataflowStyle;
 use herald_workloads::{MultiDnnWorkload, Scenario};
@@ -68,6 +70,7 @@ pub struct Experiment {
     dispatcher: DispatchPolicy,
     admission: AdmissionPolicy,
     admission_explicit: bool,
+    report: ReportMode,
 }
 
 impl Experiment {
@@ -88,7 +91,23 @@ impl Experiment {
             dispatcher: DispatchPolicy::default(),
             admission: AdmissionPolicy::default(),
             admission_explicit: false,
+            report: ReportMode::Exact,
         }
+    }
+
+    /// Chooses how streaming reports aggregate frames, for
+    /// [`Experiment::scenario`], [`Experiment::fleet`] and
+    /// [`Experiment::controller`] alike: [`ReportMode::Exact`]
+    /// (default) retains every frame record, while
+    /// [`ReportMode::Sketch`] streams them through a mergeable quantile
+    /// sketch plus per-stream aggregates in O(buckets + streams) memory
+    /// — the knob that makes million-stream scenarios fit. Scalar
+    /// metrics are identical across modes; percentiles stay within the
+    /// sketch's configured relative error.
+    #[must_use]
+    pub fn report_mode(mut self, mode: ReportMode) -> Self {
+        self.report = mode;
+        self
     }
 
     /// Attaches a shared [`EvalContext`]: cost-model memos, the schedule
@@ -399,6 +418,7 @@ impl Experiment {
         let sim = StreamSimulator::new(&config, ctx.cost_model())
             .with_metric(self.dse.metric)
             .with_policy(self.reschedule)
+            .with_report_mode(self.report)
             .with_context(&ctx);
         let (report, profile) = match self.reschedule {
             // The incremental wrapper adds the cross-call schedule memo;
@@ -473,6 +493,7 @@ impl Experiment {
             .with_policy(self.reschedule)
             .with_dispatcher(self.dispatcher)
             .with_admission(self.admission)
+            .with_report_mode(self.report)
             .simulate(scenario)?;
         Ok(FleetOutcome {
             scenario: scenario.name().to_string(),
@@ -481,6 +502,42 @@ impl Experiment {
             metric: self.dse.metric,
             report,
         })
+    }
+
+    /// [`Experiment::fleet`] plus the merged [`HotPathProfile`] of every
+    /// per-chip engine and the dispatch walk's own byte accounting
+    /// (`profile.mem`) — the fleet analogue of
+    /// [`Experiment::scenario_profiled`]. The outcome is bit-identical
+    /// to the unprofiled entry point; only the wall-clock phase timers
+    /// vary run to run.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Experiment::fleet`].
+    pub fn fleet_profiled(
+        mut self,
+        fleet: &FleetConfig,
+        scenario: &Scenario,
+    ) -> Result<(FleetOutcome, HotPathProfile), HeraldError> {
+        self.normalize();
+        let (report, profile) = FleetSimulator::new(fleet)
+            .with_scheduler(self.dse.scheduler)
+            .with_metric(self.dse.metric)
+            .with_policy(self.reschedule)
+            .with_dispatcher(self.dispatcher)
+            .with_admission(self.admission)
+            .with_report_mode(self.report)
+            .simulate_profiled(scenario)?;
+        Ok((
+            FleetOutcome {
+                scenario: scenario.name().to_string(),
+                policy: report.policy().to_string(),
+                chips: report.chip_names().to_vec(),
+                metric: self.dse.metric,
+                report,
+            },
+            profile,
+        ))
     }
 
     /// Runs a streaming [`Scenario`] across a fleet *under closed-loop
@@ -524,6 +581,7 @@ impl Experiment {
             .with_policy(self.reschedule)
             .with_dispatcher(self.dispatcher)
             .with_admission(self.admission)
+            .with_report_mode(self.report)
             .simulate(scenario)?;
         Ok(ControlledFleetOutcome {
             scenario: scenario.name().to_string(),

@@ -220,8 +220,8 @@ pub mod prelude {
             Scheduler, SchedulerConfig,
         },
         sim::{
-            FrameRecord, HotPathProfile, ReschedulePolicy, StreamReport, StreamSimulator,
-            StreamStats, SwapRecord,
+            FrameRecord, HotPathProfile, MemProfile, QuantileSketch, ReportMode, ReschedulePolicy,
+            StreamReport, StreamSimulator, StreamStats, SwapRecord,
         },
         Metric,
     };
