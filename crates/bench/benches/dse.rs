@@ -33,7 +33,7 @@ fn main() {
             Experiment::new(workload.clone())
                 .on(AcceleratorClass::Edge)
                 .with_styles(styles)
-                .dse_config(cfg)
+                .dse_config(cfg.clone())
                 .run()
                 .expect("bench sweep succeeds")
         });
@@ -58,7 +58,7 @@ fn main() {
             Experiment::new(workload.clone())
                 .on(AcceleratorClass::Edge)
                 .with_styles(styles)
-                .dse_config(cfg)
+                .dse_config(cfg.clone())
                 .run()
                 .expect("bench sweep succeeds")
         });

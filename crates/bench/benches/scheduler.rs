@@ -31,7 +31,9 @@ fn main() {
             let _ = HeraldScheduler::default().schedule(&graph, &acc, &cost);
             let id = format!("{}_{}way", workload.name().replace('/', "-"), ways);
             group.bench(&id, || {
-                HeraldScheduler::default().schedule(&graph, &acc, &cost)
+                HeraldScheduler::default()
+                    .schedule(&graph, &acc, &cost)
+                    .expect("legal schedule")
             });
         }
     }
@@ -44,7 +46,9 @@ fn main() {
     let cost = CostModel::default();
     let _ = GreedyScheduler::default().schedule(&graph, &acc, &cost);
     group.bench("mlperf_2way", || {
-        GreedyScheduler::default().schedule(&graph, &acc, &cost)
+        GreedyScheduler::default()
+            .schedule(&graph, &acc, &cost)
+            .expect("legal schedule")
     });
     group.finish();
 
@@ -57,7 +61,8 @@ fn main() {
         post_process: false,
         ..Default::default()
     })
-    .schedule(&graph, &acc, &cost);
+    .schedule(&graph, &acc, &cost)
+    .expect("legal schedule");
     group.bench("arvra_2way", || {
         ScheduleSimulator::new(&graph, &acc, &cost)
             .simulate(&schedule)

@@ -111,5 +111,47 @@ fn main() -> Result<(), HeraldError> {
          {:+.1}% of it at a fraction of the evaluations",
         (best / reference_best - 1.0) * 100.0
     );
+
+    // The fusion dimension: the same coarse partition grid swept at
+    // several tile-group granularities in one DSE call. The cloud grows
+    // by the number of levels; the best point may now sit at a fused
+    // granularity (its `fusion` tag says which).
+    println!("\nfusion-granularity dimension (coarse grid x levels):");
+    println!(
+        "{:<28} {:>8} {:>14} {:>12}",
+        "fusion levels", "points", "best EDP", "time (s)"
+    );
+    for levels in [vec![1], vec![1, 2, 4], vec![1, 2, 3, 4, 6, 8]] {
+        let label = format!("{levels:?}");
+        let t0 = Instant::now();
+        let outcome = Experiment::new(if fast {
+            herald_workloads::mlperf(1)
+        } else {
+            herald_workloads::arvr_a()
+        })
+        .on(AcceleratorClass::Mobile)
+        .with_styles(styles)
+        .dse_config(DseConfig {
+            pe_steps: 4,
+            ..DseConfig::default()
+        })
+        .fusion_levels(levels)
+        .run()?;
+        let dt = t0.elapsed().as_secs_f64();
+        println!(
+            "{:<28} {:>8} {:>14.6} {:>12.3}",
+            label,
+            outcome.points().len(),
+            outcome.edp(),
+            dt
+        );
+        let best_point = outcome.best();
+        if best_point.fusion > 1 {
+            println!(
+                "  -> best point is fused (granularity {})",
+                best_point.fusion
+            );
+        }
+    }
     Ok(())
 }

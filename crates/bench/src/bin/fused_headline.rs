@@ -1,0 +1,230 @@
+//! **Fused-scheduling headline** — quantifies the Stream-style
+//! layer-fusion generalization of Herald's placement unit on the
+//! existing serving traces. For each trace (the rated AR/VR-A stream
+//! and a seeded diurnal ramp), the same fixed HDA streams the same
+//! arrivals at every fusion granularity in the sweep; the record keeps
+//! per-granularity latency percentiles, deadline-miss rate, makespan
+//! and energy, pins granularity 1 bit-identical to the default
+//! (pre-fusion) scheduler, and reports the best fused improvement in
+//! latency or miss rate over layer placement.
+//!
+//! Pass `--fast --json` for the machine-readable regression record
+//! (BENCH_pr9.json / the `fused_headline_fast.json` golden).
+
+use herald::prelude::*;
+use herald_bench::bench_args;
+use herald_workloads::Scenario;
+use std::time::Instant;
+
+/// Fusion granularities swept per trace (1 = layer placement).
+const GRANULARITIES: [usize; 6] = [1, 2, 3, 4, 6, 8];
+
+/// Per-granularity streamed metrics of one trace.
+struct Row {
+    granularity: usize,
+    frames: usize,
+    p50_s: f64,
+    p95_s: f64,
+    p99_s: f64,
+    mean_s: f64,
+    miss_rate: f64,
+    makespan_s: f64,
+    energy_j: f64,
+}
+
+fn main() -> Result<(), HeraldError> {
+    let args = bench_args();
+    let (fast, json_mode) = (args.fast, args.json);
+
+    let chip = AcceleratorConfig::maelstrom(
+        AcceleratorClass::Edge.resources(),
+        Partition::even(2, 1024, 16.0),
+    )
+    .expect("even Edge partition is valid");
+
+    let traces: Vec<Scenario> = if fast {
+        vec![
+            herald_workloads::arvr_a_stream(1.0, 1.2),
+            herald_workloads::diurnal_ramp_trace(2, 2.0, 6.0, 0.5, 4.0, 11),
+        ]
+    } else {
+        vec![
+            herald_workloads::arvr_a_stream(2.0, 3.0),
+            herald_workloads::diurnal_ramp_trace(4, 2.0, 10.0, 0.5, 12.0, 11),
+        ]
+    };
+
+    let t0 = Instant::now();
+    let mut traces_json = Vec::new();
+    let mut any_improvement = false;
+
+    for scenario in &traces {
+        // Shared context across the sweep: every granularity gets its own
+        // memo slot, so reuse never crosses fusion levels (pinned by the
+        // equivalence suite); repeat layers still share the cost model.
+        let ctx = EvalContext::new();
+        let stream = |fusion: Option<usize>| -> Result<StreamOutcome, HeraldError> {
+            let mut e = Experiment::new(scenario.design_workload())
+                .on_accelerator(chip.clone())
+                .with_context(ctx.clone());
+            if fast {
+                e = e.fast();
+            }
+            if let Some(f) = fusion {
+                e = e.fusion(f);
+            }
+            e.scenario(scenario)
+        };
+
+        // Identity pin: an explicit granularity-1 run must reproduce the
+        // default (pre-fusion) scheduler to the last bit.
+        let default_run = stream(None)?;
+        let rows: Vec<(Row, StreamOutcome)> = GRANULARITIES
+            .iter()
+            .map(|&g| {
+                let outcome = stream(Some(g))?;
+                let r = outcome.report();
+                let mean_s = if r.frames().is_empty() {
+                    0.0
+                } else {
+                    r.frames().iter().map(|f| f.latency_s).sum::<f64>() / r.frames().len() as f64
+                };
+                Ok((
+                    Row {
+                        granularity: g,
+                        frames: r.frames().len(),
+                        p50_s: r.latency_percentile(0.50),
+                        p95_s: r.latency_percentile(0.95),
+                        p99_s: r.latency_percentile(0.99),
+                        mean_s,
+                        miss_rate: r.deadline_miss_rate(),
+                        makespan_s: r.makespan_s(),
+                        energy_j: r.total_energy_j(),
+                    },
+                    outcome,
+                ))
+            })
+            .collect::<Result<_, HeraldError>>()?;
+        let (base, base_outcome) = &rows[0];
+        assert_eq!(base.granularity, 1);
+        let identical = {
+            let (a, b) = (base_outcome.report(), default_run.report());
+            a.frames() == b.frames()
+                && a.busy_spans() == b.busy_spans()
+                && a.energy() == b.energy()
+                && a.makespan_s().to_bits() == b.makespan_s().to_bits()
+        };
+        assert!(
+            identical,
+            "{}: granularity 1 drifted from the default scheduler",
+            scenario.name()
+        );
+
+        // Best fused improvement over layer placement, per metric. A
+        // positive delta is a win (lower latency / miss rate).
+        let best_by = |f: &dyn Fn(&Row) -> f64| -> (usize, f64) {
+            rows.iter()
+                .skip(1)
+                .map(|(r, _)| (r.granularity, f(base) - f(r)))
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .unwrap_or((1, 0.0))
+        };
+        let (p99_g, p99_gain) = best_by(&|r: &Row| r.p99_s);
+        let (mean_g, mean_gain) = best_by(&|r: &Row| r.mean_s);
+        let (miss_g, miss_gain) = best_by(&|r: &Row| r.miss_rate);
+        let improved = p99_gain > 0.0 || mean_gain > 0.0 || miss_gain > 0.0;
+        any_improvement |= improved;
+
+        if !json_mode {
+            println!(
+                "\n--- {} on {}: {} frames, sweep {:?} ---",
+                scenario.name(),
+                chip.name(),
+                base.frames,
+                GRANULARITIES
+            );
+            println!(
+                "{:>5} {:>8} {:>10} {:>10} {:>10} {:>10} {:>7} {:>10}",
+                "fuse", "frames", "p50 (s)", "p95 (s)", "p99 (s)", "mean (s)", "miss", "energy (J)"
+            );
+            for (r, _) in &rows {
+                println!(
+                    "{:>5} {:>8} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>6.1}% {:>10.3}",
+                    r.granularity,
+                    r.frames,
+                    r.p50_s,
+                    r.p95_s,
+                    r.p99_s,
+                    r.mean_s,
+                    r.miss_rate * 100.0,
+                    r.energy_j
+                );
+            }
+            println!(
+                "best fused: p99 {:+.2}% @g={p99_g}, mean {:+.2}% @g={mean_g}, \
+                 miss {:+.2}pp @g={miss_g}",
+                p99_gain / base.p99_s.max(1e-12) * 100.0,
+                mean_gain / base.mean_s.max(1e-12) * 100.0,
+                miss_gain * 100.0
+            );
+        }
+
+        let row_json = |r: &Row| {
+            serde_json::json!({
+                "granularity": r.granularity,
+                "frames": r.frames,
+                "p50_latency_s": r.p50_s,
+                "p95_latency_s": r.p95_s,
+                "p99_latency_s": r.p99_s,
+                "mean_latency_s": r.mean_s,
+                "deadline_miss_rate": r.miss_rate,
+                "makespan_s": r.makespan_s,
+                "energy_j": r.energy_j,
+            })
+        };
+        traces_json.push(serde_json::json!({
+            "trace": scenario.name(),
+            "accelerator": chip.name(),
+            "granularity_one_identical": identical,
+            "granularities": serde_json::Value::Seq(
+                rows.iter().map(|(r, _)| row_json(r)).collect()
+            ),
+            "best_fused": serde_json::json!({
+                "improved": improved,
+                "p99_gain_s": p99_gain,
+                "p99_granularity": p99_g,
+                "mean_gain_s": mean_gain,
+                "mean_granularity": mean_g,
+                "miss_rate_gain": miss_gain,
+                "miss_granularity": miss_g,
+            }),
+        }));
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    if json_mode {
+        let record = serde_json::json!({
+            "bench": "fused_headline",
+            "fast": fast,
+            "wall_clock_s": wall_s,
+            "granularity_sweep": serde_json::Value::Seq(
+                GRANULARITIES.iter().map(|&g| serde_json::json!(g)).collect()
+            ),
+            "granularity_one_identical": true,
+            "any_fused_improvement": any_improvement,
+            "traces": serde_json::Value::Seq(traces_json),
+        });
+        println!("{}", record.to_json_pretty());
+    } else {
+        println!(
+            "\nfused placement {} layer placement on at least one trace \
+             (wall clock: {wall_s:.1}s)",
+            if any_improvement {
+                "beats"
+            } else {
+                "never beat"
+            }
+        );
+    }
+    Ok(())
+}

@@ -32,7 +32,9 @@ fn main() {
             let cost = CostModel::default();
             let scheduler = HeraldScheduler::new(SchedulerConfig::default());
             let t0 = Instant::now();
-            let schedule = scheduler.schedule(&graph, &acc, &cost);
+            let schedule = scheduler
+                .schedule(&graph, &acc, &cost)
+                .expect("herald schedules the workload");
             let dt = t0.elapsed().as_secs_f64();
             assert_eq!(
                 schedule.assignment().len(),

@@ -105,8 +105,7 @@ impl Estimator {
                 &config,
                 self.ctx.cost_model(),
                 self.ctx.stats(),
-            )
-            .map_err(HeraldError::Simulation)?
+            )?
             .total_latency_s();
         self.rows.borrow_mut()[row].1[widx] = Some(v);
         Ok(v)
@@ -513,8 +512,7 @@ pub(crate) fn simulate_controlled(
         let cost = CostModel::default();
         Estimates::Precomputed(service_estimates_with(scenario, chips, |graph, chip| {
             Ok(scheduler
-                .schedule_and_simulate(graph, chip, &cost)
-                .map_err(HeraldError::Simulation)?
+                .schedule_and_simulate(graph, chip, &cost)?
                 .total_latency_s())
         })?)
     } else {

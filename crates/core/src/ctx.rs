@@ -298,6 +298,9 @@ fn absorb_sched_config(st: &mut FingerprintState, cfg: &SchedulerConfig) {
     st.word(cfg.load_balance_factor.to_bits());
     st.word(cfg.lookahead as u64);
     st.word(u64::from(cfg.post_process));
+    // Fusion granularity changes the placement unit, so fused and
+    // unfused schedules of the same graph must never share a memo slot.
+    st.word(cfg.fusion as u64);
 }
 
 /// Stable hash codes for the closed enum sets. Explicit (rather than
@@ -363,13 +366,15 @@ pub struct ScheduleKey {
     global_buffer_bytes: u64,
     /// Bit-exact fingerprint of the cost-model configuration.
     cost: [u64; 11],
-    /// Scheduler configuration, with float knobs captured bit-exactly.
+    /// Scheduler configuration, with float knobs captured bit-exactly:
+    /// `(metric, ordering, lbf bits, lookahead, post_process, fusion)`.
     sched: (
         herald_cost::Metric,
         crate::sched::OrderingPolicy,
         u64,
         usize,
         bool,
+        usize,
     ),
 }
 
@@ -419,6 +424,7 @@ impl ScheduleKey {
                 cfg.load_balance_factor.to_bits(),
                 cfg.lookahead,
                 cfg.post_process,
+                cfg.fusion,
             ),
         }
     }
@@ -455,12 +461,13 @@ impl ScheduleKey {
         for w in self.cost {
             st.word(w);
         }
-        let (metric, ordering, lbf_bits, lookahead, post) = self.sched;
+        let (metric, ordering, lbf_bits, lookahead, post, fusion) = self.sched;
         st.word(metric_code(metric));
         st.word(ordering_code(ordering));
         st.word(lbf_bits);
         st.word(lookahead as u64);
         st.word(u64::from(post));
+        st.word(fusion as u64);
         ScheduleFingerprint(st.finish())
     }
 
@@ -485,6 +492,7 @@ impl ScheduleKey {
                     cfg.load_balance_factor.to_bits(),
                     cfg.lookahead,
                     cfg.post_process,
+                    cfg.fusion,
                 )
         {
             return false;
@@ -839,7 +847,9 @@ mod tests {
         assert!(ctx.schedules().get(&key).is_none());
         assert!(ctx.schedules().is_empty());
 
-        let schedule = HeraldScheduler::new(cfg).schedule(&g, &a, ctx.cost_model());
+        let schedule = HeraldScheduler::new(cfg)
+            .schedule(&g, &a, ctx.cost_model())
+            .unwrap();
         ctx.schedules().insert(key.clone(), schedule.clone());
         assert_eq!(ctx.schedules().len(), 1);
         assert_eq!(ctx.schedules().get(&key), Some(schedule));
@@ -863,7 +873,9 @@ mod tests {
         let key_before = ScheduleKey::new(&before, &a, &cfg, ctx.cost_model());
         let key_after = ScheduleKey::new(&after, &a, &cfg, ctx.cost_model());
         assert_ne!(key_before, key_after);
-        let schedule = HeraldScheduler::new(cfg).schedule(&before, &a, ctx.cost_model());
+        let schedule = HeraldScheduler::new(cfg)
+            .schedule(&before, &a, ctx.cost_model())
+            .unwrap();
         ctx.schedules().insert(key_before, schedule);
         assert!(ctx.schedules().get(&key_after).is_none());
     }
@@ -899,7 +911,9 @@ mod tests {
             };
             ScheduleKey::new(&g, &a, &cfg, &cost)
         };
-        let schedule = HeraldScheduler::new(SchedulerConfig::default()).schedule(&g, &a, &cost);
+        let schedule = HeraldScheduler::new(SchedulerConfig::default())
+            .schedule(&g, &a, &cost)
+            .unwrap();
         state.insert(key_for(1), schedule.clone());
         state.insert(key_for(2), schedule.clone());
         assert_eq!(state.len(), 2);
@@ -934,10 +948,15 @@ mod tests {
             lookahead: 3,
             ..Default::default()
         };
+        let fused4 = SchedulerConfig {
+            fusion: 4,
+            ..Default::default()
+        };
         let cases: &[(&TaskGraph, &AcceleratorConfig, &SchedulerConfig, &CostModel)] = &[
             (&graph(1), &acc(), &SchedulerConfig::default(), &cost),
             (&graph(2), &acc(), &lookahead3, &cost),
             (&graph(1), &fda, &SchedulerConfig::default(), &faster),
+            (&graph(1), &acc(), &fused4, &cost),
         ];
         for (g, a, cfg, c) in cases {
             let key = ScheduleKey::new(g, a, cfg, c);
@@ -968,6 +987,50 @@ mod tests {
         assert!(!key1.matches_inputs(&graph(1), &fda, &SchedulerConfig::default(), &cost));
         assert!(!key1.matches_inputs(&graph(1), &acc(), &lookahead3, &cost));
         assert!(!key1.matches_inputs(&graph(1), &acc(), &SchedulerConfig::default(), &faster));
+        assert!(!key1.matches_inputs(&graph(1), &acc(), &fused4, &cost));
+    }
+
+    #[test]
+    fn fused_and_unfused_schedules_never_share_a_memo_slot() {
+        // The fusion granularity changes the placement unit, so two
+        // configs differing only in `fusion` must map to distinct keys
+        // AND distinct fingerprints — a collision would let a fused
+        // schedule serve an unfused request bit-for-bit wrongly.
+        let cost = CostModel::default();
+        let g = graph(2);
+        let a = acc();
+        let cfgs: Vec<SchedulerConfig> = [1usize, 2, 3, 4, 8, 64]
+            .iter()
+            .map(|&fusion| SchedulerConfig {
+                fusion,
+                ..Default::default()
+            })
+            .collect();
+        let keys: Vec<ScheduleKey> = cfgs
+            .iter()
+            .map(|cfg| ScheduleKey::new(&g, &a, cfg, &cost))
+            .collect();
+        for i in 0..cfgs.len() {
+            // Stored-key and live-input hashing stay in lockstep for
+            // every granularity.
+            assert_eq!(
+                keys[i].fingerprint(),
+                ScheduleFingerprint::of_inputs(&g, &a, &cfgs[i], &cost),
+                "fusion {}",
+                cfgs[i].fusion
+            );
+            for j in i + 1..cfgs.len() {
+                assert_ne!(keys[i], keys[j]);
+                assert_ne!(
+                    keys[i].fingerprint(),
+                    keys[j].fingerprint(),
+                    "fusion {} and {} collide",
+                    cfgs[i].fusion,
+                    cfgs[j].fusion
+                );
+                assert!(!keys[i].matches_inputs(&g, &a, &cfgs[j], &cost));
+            }
+        }
     }
 
     #[test]
@@ -985,8 +1048,8 @@ mod tests {
         let key1 = ScheduleKey::new(&g1, &a, &cfg, &cost);
         let key2 = ScheduleKey::new(&g2, &a, &cfg, &cost);
         let fp = key1.fingerprint();
-        let s1 = HeraldScheduler::new(cfg).schedule(&g1, &a, &cost);
-        let s2 = HeraldScheduler::new(cfg).schedule(&g2, &a, &cost);
+        let s1 = HeraldScheduler::new(cfg).schedule(&g1, &a, &cost).unwrap();
+        let s2 = HeraldScheduler::new(cfg).schedule(&g2, &a, &cost).unwrap();
         state.insert_under(fp, key1, s1.clone());
         state.insert_under(fp, key2, s2.clone());
         assert_eq!(state.len(), 2);
@@ -1015,7 +1078,9 @@ mod tests {
         let a = acc();
         let cfg = SchedulerConfig::default();
         let key = ScheduleKey::new(&g, &a, &cfg, ctx.cost_model());
-        let schedule = HeraldScheduler::new(cfg).schedule(&g, &a, ctx.cost_model());
+        let schedule = HeraldScheduler::new(cfg)
+            .schedule(&g, &a, ctx.cost_model())
+            .unwrap();
         ctx.schedules().insert(key, schedule);
         assert!(!ctx.schedules().is_empty());
         ctx.schedules().clear();

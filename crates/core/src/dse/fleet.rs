@@ -76,7 +76,7 @@ use crate::fleet::{
 use crate::pareto::pareto_frontier_nd;
 use crate::sched::{HeraldScheduler, IncrementalScheduler, Scheduler, SchedulerConfig};
 use crate::sim::engine::{sorted_trace, validate_scenario, Event, EventKind};
-use crate::sim::report::percentile;
+use crate::sim::report::{percentile, QuantileSketch, ReportMode};
 use herald_arch::AcceleratorConfig;
 use herald_cost::Metric;
 use herald_workloads::Scenario;
@@ -101,10 +101,33 @@ pub struct FleetDseConfig {
     pub admission: AdmissionPolicy,
     /// Per-chip online scheduler configuration.
     pub scheduler: SchedulerConfig,
+    /// Fusion granularities swept as a design dimension: every
+    /// in-budget composition × policy pair is evaluated once per level
+    /// (the per-chip scheduler's `fusion` overridden per candidate).
+    /// The default `[1]` is whole-layer placement — the historical
+    /// search, bit-identical by construction. Levels are clamped to at
+    /// least 1 and deduplicated; an empty list means `[1]`.
+    #[serde(default = "default_fleet_fusion_levels")]
+    pub fusion_levels: Vec<usize>,
     /// Metric a reconfigurable sub-accelerator optimizes per layer.
     pub metric: Metric,
+    /// How evaluations aggregate per-frame observations. `Exact` (the
+    /// default) keeps every frame latency; `Sketch` streams them
+    /// through a [`QuantileSketch`] — both the surrogate screening walk
+    /// and the full fleet simulations then run at O(1) memory per
+    /// candidate, with report-level percentiles within the sketch's
+    /// relative-error bound.
+    #[serde(default)]
+    pub report: ReportMode,
     /// Simulate surviving candidates on worker threads.
     pub parallel: bool,
+}
+
+/// Serde default for [`FleetDseConfig::fusion_levels`]: searches
+/// recorded before the fusion dimension existed deserialize as the
+/// layer-placement search.
+fn default_fleet_fusion_levels() -> Vec<usize> {
+    vec![1]
 }
 
 impl Default for FleetDseConfig {
@@ -116,7 +139,9 @@ impl Default for FleetDseConfig {
             policies: DispatchPolicy::ALL.to_vec(),
             admission: AdmissionPolicy::AcceptAll,
             scheduler: SchedulerConfig::default(),
+            fusion_levels: vec![1],
             metric: Metric::Edp,
+            report: ReportMode::Exact,
             parallel: true,
         }
     }
@@ -136,6 +161,12 @@ impl FleetDseConfig {
             ..Default::default()
         }
     }
+
+    /// The effective fusion sweep (see [`FleetDseConfig::fusion_levels`]).
+    #[must_use]
+    pub fn fusion_sweep(&self) -> Vec<usize> {
+        crate::dse::effective_fusion_sweep(&self.fusion_levels)
+    }
 }
 
 /// One fully simulated fleet design: a chip composition, a dispatch
@@ -149,6 +180,11 @@ pub struct FleetCandidate {
     pub composition: String,
     /// The dispatch policy evaluated with this composition.
     pub policy: DispatchPolicy,
+    /// Fusion granularity every chip's scheduler placed at (1 = layer
+    /// placement; candidates recorded before the fusion dimension
+    /// existed deserialize as 1).
+    #[serde(default = "default_candidate_fusion")]
+    pub fusion: usize,
     /// Total silicon area of the composition, mm².
     pub area_mm2: f64,
     /// Aggregate completed frames per second of fleet makespan.
@@ -296,11 +332,17 @@ impl FleetSearchOutcome {
     }
 }
 
-/// One (composition, policy) pair awaiting evaluation.
+/// Serde default for [`FleetCandidate::fusion`].
+fn default_candidate_fusion() -> usize {
+    1
+}
+
+/// One (composition, policy, fusion level) triple awaiting evaluation.
 #[derive(Debug, Clone)]
 struct CandidateSpec {
     chips: Vec<usize>,
     policy: DispatchPolicy,
+    fusion: usize,
     area_mm2: f64,
 }
 
@@ -363,10 +405,18 @@ impl FleetDseEngine {
     ) -> Result<FleetSearchOutcome, HeraldError> {
         self.validate(menu)?;
         validate_scenario(scenario)?;
-        let estimates = self.menu_estimates(ctx, scenario, menu)?;
+        // Service estimates are per fusion level: the same chip serves a
+        // frame at a different latency when its scheduler fuses layers.
+        let levels = self.config.fusion_sweep();
+        let mut estimates_by_level: Vec<Vec<Vec<Vec<f64>>>> = Vec::with_capacity(levels.len());
+        for &fusion in &levels {
+            estimates_by_level.push(self.menu_estimates(ctx, scenario, menu, fusion)?);
+        }
 
         // Stage 1+2: enumerate compositions within the budget, pair with
-        // policies, and drop equivalence-memo twins.
+        // fusion levels and policies, and drop equivalence-memo twins
+        // (policy twins are bit-identical at every fusion level, so the
+        // memo applies per level).
         let mut stats = FleetSearchStats::default();
         let mut specs: Vec<CandidateSpec> = Vec::new();
         for chips in compositions(menu.len(), self.config.min_chips, self.config.max_chips) {
@@ -377,16 +427,19 @@ impl FleetDseEngine {
                     continue;
                 }
             }
-            for &policy in &self.config.policies {
-                if self.canonical_policy(&chips, menu, policy) != policy {
-                    stats.memo_skips += 1;
-                    continue;
+            for &fusion in &levels {
+                for &policy in &self.config.policies {
+                    if self.canonical_policy(&chips, menu, policy) != policy {
+                        stats.memo_skips += 1;
+                        continue;
+                    }
+                    specs.push(CandidateSpec {
+                        chips: chips.clone(),
+                        policy,
+                        fusion,
+                        area_mm2: area,
+                    });
                 }
-                specs.push(CandidateSpec {
-                    chips: chips.clone(),
-                    policy,
-                    area_mm2: area,
-                });
             }
         }
 
@@ -396,7 +449,14 @@ impl FleetDseEngine {
         let trace = sorted_trace(scenario);
         let mut predicted: Vec<Vec<f64>> = Vec::with_capacity(specs.len());
         for spec in &specs {
-            predicted.push(self.predict(scenario, &trace, spec, &estimates)?.to_vec());
+            // The spec's fusion level always comes from `levels`, so the
+            // lookup cannot miss; the fallback keeps this non-panicking.
+            let li = levels
+                .iter()
+                .position(|&f| f == spec.fusion)
+                .unwrap_or_default();
+            let estimates = &estimates_by_level[li];
+            predicted.push(self.predict(scenario, &trace, spec, estimates)?.to_vec());
         }
         let survivor_idx = pareto_frontier_nd(&predicted);
         stats.dominance_skips = specs.len() - survivor_idx.len();
@@ -467,6 +527,15 @@ impl FleetDseEngine {
                 ));
             }
         }
+        if let ReportMode::Sketch { relative_error, .. } = self.config.report {
+            // Checked here so a bad bound is a typed error instead of a
+            // `QuantileSketch::new` panic deep inside the surrogate walk.
+            if !(relative_error > 0.0 && relative_error < 1.0) {
+                return fail(format!(
+                    "sketch relative error must be in (0, 1), got {relative_error}"
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -528,9 +597,13 @@ impl FleetDseEngine {
         ctx: &EvalContext,
         scenario: &Scenario,
         menu: &[AcceleratorConfig],
+        fusion: usize,
     ) -> Result<Vec<Vec<Vec<f64>>>, HeraldError> {
-        let scheduler =
-            IncrementalScheduler::new(HeraldScheduler::new(self.config.scheduler), ctx.clone());
+        let cfg = SchedulerConfig {
+            fusion,
+            ..self.config.scheduler
+        };
+        let scheduler = IncrementalScheduler::new(HeraldScheduler::new(cfg), ctx.clone());
         service_estimates_with(scenario, menu, |graph, chip| {
             Ok(scheduler
                 .schedule_and_simulate_with(graph, chip, ctx.cost_model(), ctx.stats())?
@@ -566,7 +639,17 @@ impl FleetDseEngine {
         let mut dispatcher = spec.policy.build();
         let mut version = vec![0usize; scenario.streams().len()];
         let mut loads = vec![ChipLoad::default(); n];
+        // Under `Sketch` reporting the surrogate must match the full
+        // simulations' memory story: latencies stream through a
+        // mergeable sketch instead of materializing one f64 per frame
+        // (which at million-frame scale is exactly the O(frames) buffer
+        // sketch mode exists to avoid).
         let mut latencies: Vec<f64> = Vec::new();
+        let mut sketch = match self.config.report {
+            ReportMode::Sketch { relative_error, .. } => Some(QuantileSketch::new(relative_error)),
+            ReportMode::Exact => None,
+        };
+        let mut completed = 0usize;
         let (mut with_deadline, mut missed) = (0usize, 0usize);
         let mut last_finish = horizon;
         for event in trace {
@@ -606,7 +689,11 @@ impl FleetDseEngine {
             loads[chip].free_at_s = loads[chip].free_at_s.max(event.t) + est_row[chip];
             loads[chip].dispatched += 1;
             let latency = finish - event.t;
-            latencies.push(latency);
+            completed += 1;
+            match &mut sketch {
+                Some(sketch) => sketch.insert(latency),
+                None => latencies.push(latency),
+            }
             if let Some(d) = deadline_s {
                 with_deadline += 1;
                 if latency > d {
@@ -616,11 +703,14 @@ impl FleetDseEngine {
             last_finish = last_finish.max(finish);
         }
         let throughput = if last_finish > 0.0 {
-            latencies.len() as f64 / last_finish
+            completed as f64 / last_finish
         } else {
             0.0
         };
-        let p99 = percentile(latencies.iter().copied(), 0.99);
+        let p99 = match &sketch {
+            Some(sketch) => sketch.quantile(0.99),
+            None => percentile(latencies.iter().copied(), 0.99),
+        };
         let miss = if with_deadline == 0 {
             0.0
         } else {
@@ -645,15 +735,20 @@ impl FleetDseEngine {
                 fleet = fleet.chip(menu[mi].clone());
             }
             let report = FleetSimulator::new(&fleet)
-                .with_scheduler(self.config.scheduler)
+                .with_scheduler(SchedulerConfig {
+                    fusion: spec.fusion,
+                    ..self.config.scheduler
+                })
                 .with_metric(self.config.metric)
                 .with_dispatcher(spec.policy)
                 .with_admission(self.config.admission)
+                .with_report_mode(self.config.report)
                 .simulate(scenario)?;
             Ok(FleetCandidate {
                 chips: spec.chips.clone(),
                 composition: composition_label(&spec.chips, menu),
                 policy: spec.policy,
+                fusion: spec.fusion,
                 area_mm2: spec.area_mm2,
                 throughput_fps: report.throughput_fps(),
                 p99_latency_s: report.latency_percentile(0.99),
@@ -928,6 +1023,129 @@ mod tests {
         assert_eq!(stats.simulated, outcome.points().len());
         assert!(stats.skipped() >= stats.memo_skips);
         assert!(stats.skip_fraction() > 0.0);
+    }
+
+    #[test]
+    fn fusion_dimension_multiplies_fleet_candidates() {
+        let mut cfg = FleetDseConfig::fast();
+        cfg.fusion_levels = vec![1, 2];
+        let outcome = FleetDseEngine::new(cfg)
+            .search(&scenario(9), &menu())
+            .unwrap();
+        // 15 (composition, policy) pairs per fusion level (see
+        // `stats_account_for_every_candidate`), and the memo skips
+        // double with them: policy twins are twins at every level.
+        assert_eq!(outcome.stats().candidates(), 30);
+        assert_eq!(outcome.stats().memo_skips, 2 * (2 * 2 + 2));
+        assert!(outcome
+            .points()
+            .iter()
+            .all(|p| p.fusion == 1 || p.fusion == 2));
+        // Layer-placement survivors carry exactly the plain search's
+        // metrics: the fusion dimension only widens the candidate set,
+        // it never perturbs how a granularity-1 candidate simulates.
+        let plain = FleetDseEngine::new(FleetDseConfig::fast())
+            .search(&scenario(9), &menu())
+            .unwrap();
+        for p in outcome.points().iter().filter(|p| p.fusion == 1) {
+            if let Some(q) = plain
+                .points()
+                .iter()
+                .find(|q| q.chips == p.chips && q.policy == p.policy)
+            {
+                assert_eq!(p.p99_latency_s, q.p99_latency_s, "{}", p.composition);
+                assert_eq!(p.throughput_fps, q.throughput_fps, "{}", p.composition);
+                assert_eq!(p.deadline_miss_rate, q.deadline_miss_rate);
+                assert_eq!(p.frames, q.frames);
+            }
+        }
+    }
+
+    #[test]
+    fn surrogate_p99_is_sketch_aware_and_agrees_in_exact_mode() {
+        let s = scenario(23);
+        let m = menu();
+        let ctx = EvalContext::new();
+        let exact = FleetDseEngine::new(FleetDseConfig::fast());
+        let mut cfg = FleetDseConfig::fast();
+        cfg.report = ReportMode::sketch();
+        let sketchy = FleetDseEngine::new(cfg);
+        let estimates = exact.menu_estimates(&ctx, &s, &m, 1).unwrap();
+        let trace = sorted_trace(&s);
+        let spec = CandidateSpec {
+            chips: vec![0, 1],
+            policy: DispatchPolicy::LeastLoaded,
+            fusion: 1,
+            area_mm2: m[0].area_mm2() + m[1].area_mm2(),
+        };
+        let e = exact.predict(&s, &trace, &spec, &estimates).unwrap();
+        let k = sketchy.predict(&s, &trace, &spec, &estimates).unwrap();
+        // Throughput, miss rate and area are computed identically in
+        // both modes...
+        assert_eq!(e[0], k[0]);
+        assert_eq!(e[2], k[2]);
+        assert_eq!(e[3], k[3]);
+        // ...and the sketched p99 lands within the sketch's documented
+        // relative-error envelope of the exact nearest-rank percentile.
+        assert!(e[1] > 0.0);
+        let rel = (k[1] - e[1]).abs() / e[1];
+        assert!(
+            rel <= 2.0 * ReportMode::DEFAULT_RELATIVE_ERROR,
+            "sketched p99 {} vs exact {} (rel err {rel})",
+            k[1],
+            e[1]
+        );
+    }
+
+    #[test]
+    fn sketch_report_mode_searches_end_to_end() {
+        let mut cfg = FleetDseConfig::fast();
+        cfg.report = ReportMode::sketch();
+        let outcome = FleetDseEngine::new(cfg)
+            .search(&scenario(5), &menu())
+            .unwrap();
+        assert!(!outcome.frontier().is_empty());
+        for p in outcome.points() {
+            assert!(p.p99_latency_s.is_finite() && p.p99_latency_s >= 0.0);
+            assert!(p.frames > 0, "{}", p.composition);
+        }
+        // A degenerate sketch bound is a typed error, not a
+        // QuantileSketch panic mid-search.
+        let mut bad = FleetDseConfig::fast();
+        bad.report = ReportMode::Sketch {
+            relative_error: 0.0,
+            sample_every: 0,
+        };
+        let err = FleetDseEngine::new(bad)
+            .search(&scenario(5), &menu())
+            .unwrap_err();
+        assert!(matches!(err, HeraldError::FleetSearch { .. }), "{err}");
+    }
+
+    #[test]
+    fn pre_fusion_fleet_configs_deserialize_as_layer_search() {
+        // A FleetDseConfig serialized before the fusion dimension and
+        // report-mode knob existed has neither field; it must
+        // deserialize to the layer-placement, exact-report search those
+        // records were produced under.
+        let legacy = r#"{
+            "min_chips": 1,
+            "max_chips": 4,
+            "max_area_mm2": null,
+            "policies": ["RoundRobin", "LeastLoaded", "DeadlineAware"],
+            "admission": "AcceptAll",
+            "scheduler": {
+                "metric": "Edp",
+                "ordering": "BreadthFirst",
+                "load_balance_factor": 1.5,
+                "lookahead": 8,
+                "post_process": true
+            },
+            "metric": "Edp",
+            "parallel": true
+        }"#;
+        let cfg: FleetDseConfig = serde_json::from_str(legacy).unwrap();
+        assert_eq!(cfg, FleetDseConfig::default());
     }
 
     #[test]

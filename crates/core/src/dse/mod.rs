@@ -58,12 +58,19 @@ pub(crate) fn worker_panic_error(payload: Box<dyn std::any::Any + Send>) -> Hera
 /// A hashable identity for a candidate partition (bandwidth captured
 /// bit-exactly), used to deduplicate repeat candidates across the base
 /// sweep and refinement rounds.
-fn partition_key(p: &Partition) -> (Vec<u32>, Vec<u64>) {
+fn partition_key(p: &Partition) -> PartitionKey {
     (
         p.pes().to_vec(),
         p.bandwidth_gbps().iter().map(|b| b.to_bits()).collect(),
     )
 }
+
+/// The hashable identity produced by [`partition_key`].
+type PartitionKey = (Vec<u32>, Vec<u64>);
+
+/// A deduplication identity for one candidate: the same partition at
+/// another fusion level is a genuinely different design.
+type FusedCandidateKey = (usize, PartitionKey);
 
 /// Partition-search strategy (Sec. IV-C: "the DSE algorithm, by default,
 /// performs an exhaustive search based on user-specified search
@@ -84,7 +91,7 @@ pub enum SearchStrategy {
 }
 
 /// DSE tuning knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DseConfig {
     /// Partition-search strategy.
     pub strategy: SearchStrategy,
@@ -96,8 +103,25 @@ pub struct DseConfig {
     pub metric: Metric,
     /// Scheduler used to evaluate every candidate partition.
     pub scheduler: SchedulerConfig,
+    /// Fusion granularities swept as a DSE dimension alongside the
+    /// partition grid: every candidate partition is co-optimized once
+    /// per level (`SchedulerConfig::fusion` overridden per candidate),
+    /// so the design cloud covers partition × fusion. The default
+    /// `[1]` is Herald's whole-layer placement — the historical sweep,
+    /// bit-identical by construction. Duplicate levels are evaluated
+    /// once (the schedule memo already dedups them); an empty list is
+    /// treated as `[1]`.
+    #[serde(default = "default_fusion_levels")]
+    pub fusion_levels: Vec<usize>,
     /// Evaluate candidates on worker threads.
     pub parallel: bool,
+}
+
+/// Serde default for [`DseConfig::fusion_levels`]: sweeps recorded
+/// before the fusion dimension existed deserialize as the layer-placement
+/// sweep.
+fn default_fusion_levels() -> Vec<usize> {
+    vec![1]
 }
 
 impl Default for DseConfig {
@@ -108,6 +132,7 @@ impl Default for DseConfig {
             bw_steps: 4,
             metric: Metric::Edp,
             scheduler: SchedulerConfig::default(),
+            fusion_levels: vec![1],
             parallel: true,
         }
     }
@@ -127,6 +152,31 @@ impl DseConfig {
             ..Default::default()
         }
     }
+
+    /// The effective fusion sweep: every level clamped to at least 1
+    /// (0 means layer placement, matching `SchedulerConfig::fusion`),
+    /// deduplicated in first-seen order, and never empty.
+    pub fn fusion_sweep(&self) -> Vec<usize> {
+        effective_fusion_sweep(&self.fusion_levels)
+    }
+}
+
+/// Normalizes a fusion-level list into the sweep actually run: every
+/// level clamped to at least 1, deduplicated in first-seen order, and
+/// never empty (an empty list means plain layer placement). Shared by
+/// [`DseConfig`] and [`FleetDseConfig`].
+pub(crate) fn effective_fusion_sweep(levels: &[usize]) -> Vec<usize> {
+    let mut out: Vec<usize> = Vec::new();
+    for &f in levels {
+        let f = f.max(1);
+        if !out.contains(&f) {
+            out.push(f);
+        }
+    }
+    if out.is_empty() {
+        out.push(1);
+    }
+    out
 }
 
 /// One explored design: a partition and its scheduled execution.
@@ -136,8 +186,18 @@ pub struct DesignPoint {
     pub partition: Partition,
     /// The accelerator configuration built from it.
     pub config: AcceleratorConfig,
+    /// Fusion granularity the schedule was constructed under (1 =
+    /// layer placement; points recorded before the fusion dimension
+    /// existed deserialize as 1).
+    #[serde(default = "default_point_fusion")]
+    pub fusion: usize,
     /// The scheduled execution report.
     pub report: ExecutionReport,
+}
+
+/// Serde default for [`DesignPoint::fusion`].
+fn default_point_fusion() -> usize {
+    1
 }
 
 impl DesignPoint {
@@ -277,10 +337,34 @@ impl DseEngine {
         }
         let graph = TaskGraph::new(workload);
         let candidates = candidate_partitions(&self.config, resources, styles.len());
-        let scheduler =
-            IncrementalScheduler::new(HeraldScheduler::new(self.config.scheduler), ctx.clone());
+        // One incremental scheduler per fusion level: each carries the
+        // level in its config (and thus in the memo identity), so fused
+        // and unfused evaluations of the same partition never collide.
+        let schedulers: Vec<(usize, IncrementalScheduler)> = self
+            .config
+            .fusion_sweep()
+            .into_iter()
+            .map(|fusion| {
+                let cfg = SchedulerConfig {
+                    fusion,
+                    ..self.config.scheduler
+                };
+                (
+                    fusion,
+                    IncrementalScheduler::new(HeraldScheduler::new(cfg), ctx.clone()),
+                )
+            })
+            .collect();
+        // The job grid is fusion levels × partitions.
+        let jobs: Vec<(usize, &Partition)> = schedulers
+            .iter()
+            .enumerate()
+            .flat_map(|(si, _)| candidates.iter().map(move |p| (si, p)))
+            .collect();
 
-        let evaluate = |partition: &Partition| -> Option<DesignPoint> {
+        let evaluate = |job: &(usize, &Partition)| -> Option<DesignPoint> {
+            let (si, partition) = *job;
+            let (fusion, scheduler) = &schedulers[si];
             let config = AcceleratorConfig::hda(styles, resources, partition.clone()).ok()?;
             let report = scheduler
                 .schedule_and_simulate_with(&graph, &config, ctx.cost_model(), ctx.stats())
@@ -288,6 +372,7 @@ impl DseEngine {
             Some(DesignPoint {
                 partition: partition.clone(),
                 config,
+                fusion: *fusion,
                 report,
             })
         };
@@ -296,8 +381,8 @@ impl DseEngine {
             let threads = std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(4)
-                .min(candidates.len().max(1));
-            let chunk = candidates.len().div_ceil(threads.max(1)).max(1);
+                .min(jobs.len().max(1));
+            let chunk = jobs.len().div_ceil(threads.max(1)).max(1);
             let evaluate = &evaluate;
             // A panicking worker aborts the sweep with a typed error
             // instead of poisoning the caller with a re-panic. Every
@@ -307,7 +392,7 @@ impl DseEngine {
             // workers fail.
             let gathered: Vec<Result<Vec<DesignPoint>, HeraldError>> =
                 std::thread::scope(|scope| {
-                    let handles: Vec<_> = candidates
+                    let handles: Vec<_> = jobs
                         .chunks(chunk)
                         .map(|chunk| {
                             scope.spawn(move || {
@@ -327,7 +412,7 @@ impl DseEngine {
                 .flatten()
                 .collect()
         } else {
-            candidates.iter().filter_map(evaluate).collect()
+            jobs.iter().filter_map(evaluate).collect()
         };
 
         Ok(DseOutcome {
@@ -378,23 +463,44 @@ impl DseEngine {
     ) -> Result<DseOutcome, HeraldError> {
         let mut outcome = self.co_optimize_in(ctx, workload, resources, styles)?;
         // Everything the base sweep enumerated is already evaluated (or
-        // already known infeasible) — never revisit it.
-        let mut seen: HashSet<(Vec<u32>, Vec<u64>)> =
-            candidate_partitions(&self.config, resources, styles.len())
-                .iter()
-                .map(partition_key)
-                .collect();
+        // already known infeasible) — never revisit it. A candidate is a
+        // (fusion level, partition) pair: the same partition at another
+        // fusion level is a genuinely different design.
+        let levels = self.config.fusion_sweep();
+        let base = candidate_partitions(&self.config, resources, styles.len());
+        let mut seen: HashSet<FusedCandidateKey> = levels
+            .iter()
+            .flat_map(|&fusion| base.iter().map(move |p| (fusion, partition_key(p))))
+            .collect();
         let graph = TaskGraph::new(workload);
-        let scheduler =
-            IncrementalScheduler::new(HeraldScheduler::new(self.config.scheduler), ctx.clone());
+        // Refinement homes in on the incumbent, so it reschedules at the
+        // incumbent's fusion level; one scheduler per level keeps the
+        // memo identities separate.
+        let schedulers: Vec<(usize, IncrementalScheduler)> = levels
+            .iter()
+            .map(|&fusion| {
+                let cfg = SchedulerConfig {
+                    fusion,
+                    ..self.config.scheduler
+                };
+                (
+                    fusion,
+                    IncrementalScheduler::new(HeraldScheduler::new(cfg), ctx.clone()),
+                )
+            })
+            .collect();
         let mut quantum = (resources.pes / self.config.pe_steps as u32).max(1);
         for _ in 0..rounds {
             quantum = (quantum / 2).max(1);
             let Some(best) = outcome.best() else { break };
+            let fusion = best.fusion;
             let candidates = partitions::neighbor_partitions(&best.partition, quantum, resources);
+            let Some((_, scheduler)) = schedulers.iter().find(|(f, _)| *f == fusion) else {
+                break;
+            };
             let mut new_points = Vec::new();
             for partition in candidates {
-                if !seen.insert(partition_key(&partition)) {
+                if !seen.insert((fusion, partition_key(&partition))) {
                     ctx.stats().record_dedup_skip();
                     continue;
                 }
@@ -411,6 +517,7 @@ impl DseEngine {
                     new_points.push(DesignPoint {
                         partition,
                         config,
+                        fusion,
                         report,
                     });
                 }
@@ -455,7 +562,7 @@ impl DseEngine {
         let graph = TaskGraph::new(workload);
         let scheduler =
             IncrementalScheduler::new(HeraldScheduler::new(self.config.scheduler), ctx.clone());
-        Ok(scheduler.schedule_and_simulate_with(&graph, config, ctx.cost_model(), ctx.stats())?)
+        scheduler.schedule_and_simulate_with(&graph, config, ctx.cost_model(), ctx.stats())
     }
 
     /// Re-schedules an existing design for a *different* workload (the
@@ -518,6 +625,75 @@ mod tests {
         // 4 PE steps -> 3 splits, 2 BW steps -> 1 split.
         assert_eq!(outcome.points.len(), 3);
         assert!(outcome.best().is_some());
+    }
+
+    #[test]
+    fn fusion_sweep_clamps_dedups_and_defaults() {
+        let mut cfg = DseConfig::fast();
+        cfg.fusion_levels = vec![0, 2, 2, 1, 4];
+        assert_eq!(cfg.fusion_sweep(), vec![1, 2, 4]);
+        cfg.fusion_levels = Vec::new();
+        assert_eq!(
+            cfg.fusion_sweep(),
+            vec![1],
+            "empty sweep is layer placement"
+        );
+    }
+
+    #[test]
+    fn fusion_dimension_multiplies_the_design_cloud() {
+        let mut cfg = DseConfig::fast();
+        cfg.fusion_levels = vec![1, 3];
+        let outcome = DseEngine::new(cfg)
+            .co_optimize(
+                &small_workload(),
+                AcceleratorClass::Edge.resources(),
+                &styles(),
+            )
+            .unwrap();
+        // 3 candidate partitions × 2 fusion levels.
+        assert_eq!(outcome.points.len(), 6);
+        for fusion in [1, 3] {
+            assert!(outcome.points.iter().any(|p| p.fusion == fusion));
+        }
+        // The layer-placement slice of the cloud is exactly the plain
+        // sweep: adding the fusion dimension never perturbs granularity 1.
+        let plain = DseEngine::new(DseConfig::fast())
+            .co_optimize(
+                &small_workload(),
+                AcceleratorClass::Edge.resources(),
+                &styles(),
+            )
+            .unwrap();
+        let unfused: Vec<_> = outcome.points.iter().filter(|p| p.fusion == 1).collect();
+        assert_eq!(unfused.len(), plain.points.len());
+        for (a, b) in unfused.iter().zip(&plain.points) {
+            assert_eq!(a.partition, b.partition);
+            assert_eq!(a.report, b.report);
+        }
+    }
+
+    #[test]
+    fn pre_fusion_dse_configs_deserialize_as_layer_sweep() {
+        // A DseConfig serialized before the fusion dimension existed has
+        // no `fusion_levels` field; it must deserialize to the layer-
+        // placement sweep those records were produced under.
+        let legacy = r#"{
+            "strategy": "Exhaustive",
+            "pe_steps": 8,
+            "bw_steps": 4,
+            "metric": "Edp",
+            "scheduler": {
+                "metric": "Edp",
+                "ordering": "BreadthFirst",
+                "load_balance_factor": 1.5,
+                "lookahead": 8,
+                "post_process": true
+            },
+            "parallel": true
+        }"#;
+        let cfg: DseConfig = serde_json::from_str(legacy).unwrap();
+        assert_eq!(cfg, DseConfig::default());
     }
 
     #[test]

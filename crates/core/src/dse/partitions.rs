@@ -173,6 +173,7 @@ mod tests {
             bw_steps,
             metric: Metric::Edp,
             scheduler: SchedulerConfig::default(),
+            fusion_levels: vec![1],
             parallel: false,
         }
     }

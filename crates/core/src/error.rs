@@ -60,6 +60,14 @@ pub enum HeraldError {
         /// Human-readable description of the violation.
         reason: String,
     },
+    /// Schedule construction failed: the placement core detected an
+    /// internal inconsistency (a rotation entry vanished, a dependence
+    /// finish time was missing, or the constructed assignment failed
+    /// structural validation) instead of panicking mid-search.
+    Scheduling {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
     /// A DSE worker thread panicked while evaluating candidates; the
     /// sweep is aborted and the panic surfaces as a fallible error
     /// through the facade instead of poisoning the caller.
@@ -108,6 +116,9 @@ impl fmt::Display for HeraldError {
             }
             HeraldError::Controller { reason } => {
                 write!(f, "invalid fleet-controller run: {reason}")
+            }
+            HeraldError::Scheduling { reason } => {
+                write!(f, "schedule construction failed: {reason}")
             }
             HeraldError::WorkerPanicked { payload } => {
                 write!(f, "a DSE worker thread panicked: {payload}")
@@ -204,6 +215,16 @@ mod tests {
         };
         assert!(e.to_string().contains("index out of bounds"));
         assert!(e.to_string().contains("panicked"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn scheduling_errors_render_their_reason() {
+        let e = HeraldError::Scheduling {
+            reason: "instance 3 missing from rotation".into(),
+        };
+        assert!(e.to_string().contains("instance 3"));
+        assert!(e.to_string().contains("schedule construction"));
         assert!(e.source().is_none());
     }
 

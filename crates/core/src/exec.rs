@@ -264,7 +264,8 @@ impl fmt::Display for ExecutionReport {
 ///     DataflowStyle::Nvdla, AcceleratorClass::Edge.resources());
 /// let cost = CostModel::default();
 /// let schedule = HeraldScheduler::new(SchedulerConfig::default())
-///     .schedule(&graph, &acc, &cost);
+///     .schedule(&graph, &acc, &cost)
+///     .unwrap();
 /// let report = ScheduleSimulator::new(&graph, &acc, &cost)
 ///     .simulate(&schedule)
 ///     .unwrap();

@@ -120,7 +120,9 @@ mod tests {
         )
         .unwrap();
         let cost = CostModel::default();
-        let schedule = HeraldScheduler::default().schedule(&graph, &acc, &cost);
+        let schedule = HeraldScheduler::default()
+            .schedule(&graph, &acc, &cost)
+            .unwrap();
         let report = crate::exec::ScheduleSimulator::new(&graph, &acc, &cost)
             .simulate(&schedule)
             .unwrap();

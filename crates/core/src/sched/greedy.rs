@@ -1,6 +1,7 @@
 //! The baseline greedy scheduler the paper compares Herald against
 //! (Sec. V-B, "Efficacy of Scheduling Algorithm").
 
+use crate::error::HeraldError;
 use crate::exec::Schedule;
 use crate::sched::Scheduler;
 use crate::task::TaskGraph;
@@ -56,7 +57,12 @@ impl Default for GreedyScheduler {
 }
 
 impl Scheduler for GreedyScheduler {
-    fn schedule(&self, graph: &TaskGraph, acc: &AcceleratorConfig, cost: &CostModel) -> Schedule {
+    fn schedule(
+        &self,
+        graph: &TaskGraph,
+        acc: &AcceleratorConfig,
+        cost: &CostModel,
+    ) -> Result<Schedule, HeraldError> {
         let ways = acc.sub_accelerators().len();
         let mut assignment = vec![0usize; graph.len()];
         let mut order: Vec<Vec<crate::task::TaskId>> = vec![Vec::new(); ways];
@@ -72,11 +78,15 @@ impl Scheduler for GreedyScheduler {
                         .score(self.metric);
                     ca.total_cmp(&cb)
                 })
-                .expect("at least one sub-accelerator");
+                .ok_or_else(|| HeraldError::Scheduling {
+                    reason: "accelerator has no sub-accelerators".into(),
+                })?;
             assignment[t.0] = best;
             order[best].push(t);
         }
-        Schedule::new(assignment, order).expect("greedy schedules are structurally valid")
+        Schedule::new(assignment, order).map_err(|e| HeraldError::Scheduling {
+            reason: format!("greedy assignment failed structural validation: {e}"),
+        })
     }
 }
 
@@ -102,7 +112,9 @@ mod tests {
         let graph = TaskGraph::new(&single_model(zoo::resnet50(), 1));
         let acc = maelstrom();
         let cost = CostModel::default();
-        let schedule = GreedyScheduler::default().schedule(&graph, &acc, &cost);
+        let schedule = GreedyScheduler::default()
+            .schedule(&graph, &acc, &cost)
+            .unwrap();
         let report = ScheduleSimulator::new(&graph, &acc, &cost)
             .simulate(&schedule)
             .unwrap();
@@ -114,7 +126,9 @@ mod tests {
         let graph = TaskGraph::new(&single_model(zoo::resnet50(), 1));
         let acc = maelstrom();
         let cost = CostModel::default();
-        let schedule = GreedyScheduler::default().schedule(&graph, &acc, &cost);
+        let schedule = GreedyScheduler::default()
+            .schedule(&graph, &acc, &cost)
+            .unwrap();
         // conv1 (shallow channels) must land on the Shi-diannao sub (idx 1),
         // the late res5c_pw2 (deep channels, 7x7) on the NVDLA sub (idx 0).
         let conv1 = graph
@@ -137,7 +151,9 @@ mod tests {
         let graph = TaskGraph::new(&single_model(zoo::gnmt(), 1));
         let acc = maelstrom();
         let cost = CostModel::default();
-        let schedule = GreedyScheduler::default().schedule(&graph, &acc, &cost);
+        let schedule = GreedyScheduler::default()
+            .schedule(&graph, &acc, &cost)
+            .unwrap();
         let on_zero = schedule.assignment().iter().filter(|&&a| a == 0).count();
         assert_eq!(on_zero, graph.len());
     }

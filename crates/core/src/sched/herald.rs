@@ -7,6 +7,7 @@
 //! placement work in the [`EvalStats`] it is given.
 
 use crate::ctx::EvalStats;
+use crate::error::HeraldError;
 use crate::exec::Schedule;
 use crate::sched::{placement, post_process, Scheduler, SchedulerConfig};
 use crate::task::TaskGraph;
@@ -78,7 +79,12 @@ impl Default for HeraldScheduler {
 }
 
 impl Scheduler for HeraldScheduler {
-    fn schedule(&self, graph: &TaskGraph, acc: &AcceleratorConfig, cost: &CostModel) -> Schedule {
+    fn schedule(
+        &self,
+        graph: &TaskGraph,
+        acc: &AcceleratorConfig,
+        cost: &CostModel,
+    ) -> Result<Schedule, HeraldError> {
         self.schedule_with(graph, acc, cost, &EvalStats::default())
     }
 
@@ -88,14 +94,14 @@ impl Scheduler for HeraldScheduler {
         acc: &AcceleratorConfig,
         cost: &CostModel,
         stats: &EvalStats,
-    ) -> Schedule {
+    ) -> Result<Schedule, HeraldError> {
         stats.record_scheduler_run();
-        let schedule = placement::construct_schedule(graph, acc, cost, &self.config, stats);
-        if self.config.post_process {
+        let schedule = placement::construct_schedule(graph, acc, cost, &self.config, stats)?;
+        Ok(if self.config.post_process {
             post_process(schedule, graph, acc, cost, &self.config)
         } else {
             schedule
-        }
+        })
     }
 }
 
@@ -128,7 +134,9 @@ mod tests {
         let graph = TaskGraph::new(&mixed_workload());
         let acc = maelstrom();
         let cost = CostModel::default();
-        let schedule = HeraldScheduler::default().schedule(&graph, &acc, &cost);
+        let schedule = HeraldScheduler::default()
+            .schedule(&graph, &acc, &cost)
+            .unwrap();
         let report = ScheduleSimulator::new(&graph, &acc, &cost)
             .simulate(&schedule)
             .unwrap();
@@ -143,7 +151,9 @@ mod tests {
         let graph = TaskGraph::new(&single_model(zoo::gnmt(), 1));
         let acc = maelstrom();
         let cost = CostModel::default();
-        let schedule = HeraldScheduler::default().schedule(&graph, &acc, &cost);
+        let schedule = HeraldScheduler::default()
+            .schedule(&graph, &acc, &cost)
+            .unwrap();
         let on_nvdla = schedule.assignment().iter().filter(|&&a| a == 0).count();
         assert!(
             on_nvdla * 10 >= graph.len() * 9,

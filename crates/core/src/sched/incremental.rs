@@ -17,6 +17,7 @@
 //! a new stream all hit the memo.
 
 use crate::ctx::{EvalContext, EvalStats, ScheduleFingerprint, ScheduleKey};
+use crate::error::HeraldError;
 use crate::exec::Schedule;
 use crate::sched::{HeraldScheduler, Scheduler};
 use crate::task::TaskGraph;
@@ -43,8 +44,8 @@ use herald_cost::CostModel;
 ///     herald_models::zoo::mobilenet_v1(), 1));
 /// let acc = AcceleratorConfig::fda(
 ///     DataflowStyle::Nvdla, AcceleratorClass::Edge.resources());
-/// let a = sched.schedule_with(&graph, &acc, ctx.cost_model(), ctx.stats());
-/// let b = sched.schedule_with(&graph, &acc, ctx.cost_model(), ctx.stats());
+/// let a = sched.schedule_with(&graph, &acc, ctx.cost_model(), ctx.stats()).unwrap();
+/// let b = sched.schedule_with(&graph, &acc, ctx.cost_model(), ctx.stats()).unwrap();
 /// assert_eq!(a, b); // bit-identical, and the second call was a memo hit
 /// assert_eq!(ctx.stats().schedule_cache_hits(), 1);
 /// assert_eq!(ctx.stats().scheduler_runs(), 1);
@@ -73,7 +74,12 @@ impl IncrementalScheduler {
 }
 
 impl Scheduler for IncrementalScheduler {
-    fn schedule(&self, graph: &TaskGraph, acc: &AcceleratorConfig, cost: &CostModel) -> Schedule {
+    fn schedule(
+        &self,
+        graph: &TaskGraph,
+        acc: &AcceleratorConfig,
+        cost: &CostModel,
+    ) -> Result<Schedule, HeraldError> {
         self.schedule_with(graph, acc, cost, self.ctx.stats())
     }
 
@@ -83,8 +89,8 @@ impl Scheduler for IncrementalScheduler {
         acc: &AcceleratorConfig,
         cost: &CostModel,
         stats: &EvalStats,
-    ) -> Schedule {
-        self.schedule_tracked(graph, acc, cost, stats).0
+    ) -> Result<Schedule, HeraldError> {
+        Ok(self.schedule_tracked(graph, acc, cost, stats)?.0)
     }
 
     fn schedule_tracked(
@@ -93,7 +99,7 @@ impl Scheduler for IncrementalScheduler {
         acc: &AcceleratorConfig,
         cost: &CostModel,
         stats: &EvalStats,
-    ) -> (Schedule, bool) {
+    ) -> Result<(Schedule, bool), HeraldError> {
         // Fingerprint-first probe: no allocation on the hot path. The
         // full structural key is only materialised on a miss, to store
         // behind the fingerprint for collision verification.
@@ -109,12 +115,12 @@ impl Scheduler for IncrementalScheduler {
         if let Some(schedule) = hit {
             stats.record_schedule_cache_hit();
             stats.record_fingerprint_hit();
-            return (schedule, true);
+            return Ok((schedule, true));
         }
-        let schedule = self.inner.schedule_with(graph, acc, cost, stats);
+        let schedule = self.inner.schedule_with(graph, acc, cost, stats)?;
         let key = ScheduleKey::new(graph, acc, self.inner.config(), cost);
         self.ctx.schedules().insert_under(fp, key, schedule.clone());
-        (schedule, false)
+        Ok((schedule, false))
     }
 }
 
@@ -140,9 +146,11 @@ mod tests {
         let (graph, acc) = setup();
         let ctx = EvalContext::new();
         let inc = IncrementalScheduler::new(HeraldScheduler::default(), ctx.clone());
-        let fresh = HeraldScheduler::default().schedule(&graph, &acc, ctx.cost_model());
-        let first = inc.schedule(&graph, &acc, ctx.cost_model());
-        let second = inc.schedule(&graph, &acc, ctx.cost_model());
+        let fresh = HeraldScheduler::default()
+            .schedule(&graph, &acc, ctx.cost_model())
+            .unwrap();
+        let first = inc.schedule(&graph, &acc, ctx.cost_model()).unwrap();
+        let second = inc.schedule(&graph, &acc, ctx.cost_model()).unwrap();
         assert_eq!(first, fresh);
         assert_eq!(second, fresh);
         assert_eq!(ctx.stats().scheduler_runs(), 1);
@@ -156,8 +164,8 @@ mod tests {
         let other = TaskGraph::new(&single_model(zoo::mobilenet_v2(), 1));
         let ctx = EvalContext::new();
         let inc = IncrementalScheduler::new(HeraldScheduler::default(), ctx.clone());
-        let a = inc.schedule(&graph, &acc, ctx.cost_model());
-        let b = inc.schedule(&other, &acc, ctx.cost_model());
+        let a = inc.schedule(&graph, &acc, ctx.cost_model()).unwrap();
+        let b = inc.schedule(&other, &acc, ctx.cost_model()).unwrap();
         assert_ne!(a.assignment().len(), b.assignment().len());
         assert_eq!(ctx.stats().scheduler_runs(), 2);
         assert_eq!(ctx.stats().schedule_cache_hits(), 0);
@@ -172,12 +180,12 @@ mod tests {
         let (graph, acc) = setup();
         let ctx = EvalContext::new();
         let inc = IncrementalScheduler::new(HeraldScheduler::default(), ctx.clone());
-        inc.schedule(&graph, &acc, ctx.cost_model());
+        inc.schedule(&graph, &acc, ctx.cost_model()).unwrap();
         let slow_dram = herald_cost::CostModel::new(herald_cost::CostModelConfig {
             clock_ghz: 2.0,
             ..Default::default()
         });
-        inc.schedule(&graph, &acc, &slow_dram);
+        inc.schedule(&graph, &acc, &slow_dram).unwrap();
         assert_eq!(ctx.stats().scheduler_runs(), 2, "no cross-model hit");
         assert_eq!(ctx.stats().schedule_cache_hits(), 0);
         assert_eq!(ctx.schedules().len(), 2);
@@ -188,10 +196,10 @@ mod tests {
         let (graph, acc) = setup();
         let ctx = EvalContext::new();
         let inc = IncrementalScheduler::new(HeraldScheduler::default(), ctx.clone());
-        inc.schedule(&graph, &acc, ctx.cost_model());
+        inc.schedule(&graph, &acc, ctx.cost_model()).unwrap();
         let after_first = ctx.stats().placement_evals();
         assert!(after_first > 0);
-        inc.schedule(&graph, &acc, ctx.cost_model());
+        inc.schedule(&graph, &acc, ctx.cost_model()).unwrap();
         assert_eq!(ctx.stats().placement_evals(), after_first);
     }
 }

@@ -12,8 +12,9 @@ pub use incremental::IncrementalScheduler;
 pub use postprocess::post_process;
 
 use crate::ctx::EvalStats;
+use crate::error::HeraldError;
 pub use crate::exec::Schedule;
-use crate::exec::{ExecutionReport, ScheduleSimulator, SimError};
+use crate::exec::{ExecutionReport, ScheduleSimulator};
 use crate::task::TaskGraph;
 use herald_arch::AcceleratorConfig;
 use herald_cost::{CostModel, Metric};
@@ -53,6 +54,24 @@ pub struct SchedulerConfig {
     pub lookahead: usize,
     /// Whether to run the Fig. 9 post-processing pass at all.
     pub post_process: bool,
+    /// Fusion granularity: how many consecutive layers of one model
+    /// instance form one *fused tile group*, the unit the placement
+    /// core assigns to a sub-accelerator (the Stream-style
+    /// generalization of Herald's layer placement). `1` is Herald's
+    /// whole-layer placement — bit-identical to the pre-fusion
+    /// scheduler by construction; larger values commit up to that many
+    /// depth-wise consecutive layers to one sub-accelerator per
+    /// placement decision, trading per-layer dataflow preference for
+    /// fewer cross-array handoffs. Groups never span model-instance
+    /// boundaries. `0` is treated as `1`.
+    #[serde(default = "default_fusion")]
+    pub fusion: usize,
+}
+
+/// Serde default for [`SchedulerConfig::fusion`]: records serialized
+/// before the fusion knob existed deserialize as layer placement.
+fn default_fusion() -> usize {
+    1
 }
 
 impl Default for SchedulerConfig {
@@ -63,6 +82,7 @@ impl Default for SchedulerConfig {
             load_balance_factor: 1.5,
             lookahead: 8,
             post_process: true,
+            fusion: 1,
         }
     }
 }
@@ -71,7 +91,20 @@ impl Default for SchedulerConfig {
 /// configuration's sub-accelerators.
 pub trait Scheduler {
     /// Produces a complete, dependence-legal schedule.
-    fn schedule(&self, graph: &TaskGraph, acc: &AcceleratorConfig, cost: &CostModel) -> Schedule;
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeraldError::Scheduling`] when the placement core
+    /// detects an internal inconsistency (schedulers in this crate
+    /// construct legal schedules, so an error indicates a scheduler
+    /// bug — but it surfaces as a typed error instead of a panic
+    /// mid-search).
+    fn schedule(
+        &self,
+        graph: &TaskGraph,
+        acc: &AcceleratorConfig,
+        cost: &CostModel,
+    ) -> Result<Schedule, HeraldError>;
 
     /// Like [`Scheduler::schedule`], recording the scheduling work
     /// (placement evaluations, full runs, memo hits) into `stats`.
@@ -81,13 +114,17 @@ pub trait Scheduler {
     /// [`IncrementalScheduler`] override it with exact accounting. Both
     /// entry points must return bit-identical schedules for equal
     /// inputs.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Scheduler::schedule`].
     fn schedule_with(
         &self,
         graph: &TaskGraph,
         acc: &AcceleratorConfig,
         cost: &CostModel,
         stats: &EvalStats,
-    ) -> Schedule {
+    ) -> Result<Schedule, HeraldError> {
         let _ = stats;
         self.schedule(graph, acc, cost)
     }
@@ -101,30 +138,36 @@ pub trait Scheduler {
     /// flag is returned in-band so callers never have to infer it from
     /// shared counters (which would misattribute under concurrent use of
     /// one [`crate::ctx::EvalContext`] from several threads).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Scheduler::schedule`].
     fn schedule_tracked(
         &self,
         graph: &TaskGraph,
         acc: &AcceleratorConfig,
         cost: &CostModel,
         stats: &EvalStats,
-    ) -> (Schedule, bool) {
-        (self.schedule_with(graph, acc, cost, stats), false)
+    ) -> Result<(Schedule, bool), HeraldError> {
+        Ok((self.schedule_with(graph, acc, cost, stats)?, false))
     }
 
     /// Convenience: schedule and immediately replay, returning the report.
     ///
     /// # Errors
     ///
-    /// Propagates [`SimError`] from the simulator; schedulers in this crate
-    /// construct legal schedules, so an error indicates a scheduler bug.
+    /// Propagates scheduling failures ([`HeraldError::Scheduling`]) and
+    /// simulator rejections ([`HeraldError::Simulation`]); schedulers in
+    /// this crate construct legal schedules, so an error indicates a
+    /// scheduler bug.
     fn schedule_and_simulate(
         &self,
         graph: &TaskGraph,
         acc: &AcceleratorConfig,
         cost: &CostModel,
-    ) -> Result<ExecutionReport, SimError> {
-        let schedule = self.schedule(graph, acc, cost);
-        ScheduleSimulator::new(graph, acc, cost).simulate(&schedule)
+    ) -> Result<ExecutionReport, HeraldError> {
+        let schedule = self.schedule(graph, acc, cost)?;
+        Ok(ScheduleSimulator::new(graph, acc, cost).simulate(&schedule)?)
     }
 
     /// Convenience: [`Scheduler::schedule_with`] followed by a replay.
@@ -138,9 +181,9 @@ pub trait Scheduler {
         acc: &AcceleratorConfig,
         cost: &CostModel,
         stats: &EvalStats,
-    ) -> Result<ExecutionReport, SimError> {
-        let schedule = self.schedule_with(graph, acc, cost, stats);
-        ScheduleSimulator::new(graph, acc, cost).simulate(&schedule)
+    ) -> Result<ExecutionReport, HeraldError> {
+        let schedule = self.schedule_with(graph, acc, cost, stats)?;
+        Ok(ScheduleSimulator::new(graph, acc, cost).simulate(&schedule)?)
     }
 }
 
@@ -155,5 +198,22 @@ mod tests {
         assert_eq!(c.ordering, OrderingPolicy::BreadthFirst);
         assert!(c.post_process);
         assert!(c.load_balance_factor > 1.0);
+        assert_eq!(c.fusion, 1, "layer placement is the default");
+    }
+
+    #[test]
+    fn pre_fusion_configs_deserialize_as_layer_placement() {
+        // A SchedulerConfig serialized before the fusion knob existed
+        // has no `fusion` field; it must deserialize to granularity 1
+        // (the placement unit those records were produced under).
+        let legacy = r#"{
+            "metric": "Edp",
+            "ordering": "BreadthFirst",
+            "load_balance_factor": 1.5,
+            "lookahead": 8,
+            "post_process": true
+        }"#;
+        let cfg: SchedulerConfig = serde_json::from_str(legacy).unwrap();
+        assert_eq!(cfg, SchedulerConfig::default());
     }
 }

@@ -119,7 +119,9 @@ mod tests {
     /// material to work with.
     fn blocky_schedule(graph: &TaskGraph, acc: &AcceleratorConfig, cost: &CostModel) -> Schedule {
         use crate::sched::{GreedyScheduler, Scheduler};
-        GreedyScheduler::default().schedule(graph, acc, cost)
+        GreedyScheduler::default()
+            .schedule(graph, acc, cost)
+            .unwrap()
     }
 
     #[test]

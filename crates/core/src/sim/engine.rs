@@ -413,8 +413,8 @@ fn compile<S: Scheduler>(
     invocations: &mut usize,
     cache_hits: &mut usize,
     profile: &mut HotPathProfile,
-) -> CompiledSchedule {
-    let (schedule, memo_hit) = scheduler.schedule_tracked(graph, acc, cost, stats);
+) -> Result<CompiledSchedule, HeraldError> {
+    let (schedule, memo_hit) = scheduler.schedule_tracked(graph, acc, cost, stats)?;
     if memo_hit {
         *cache_hits += 1;
     } else {
@@ -423,10 +423,10 @@ fn compile<S: Scheduler>(
     let costs = build_cost_table(graph, &schedule, acc, cost, metric);
     profile.cost_tables_built += 1;
     profile.cost_table_entries += costs.len() as u64;
-    CompiledSchedule {
+    Ok(CompiledSchedule {
         schedule: Arc::new(schedule),
         costs: Arc::new(costs),
-    }
+    })
 }
 
 /// Metadata of an admitted frame, joined with the core's timeline once
@@ -857,7 +857,7 @@ impl<'a> StreamSimulator<'a> {
                                         &mut scheduler_invocations,
                                         &mut schedule_cache_hits,
                                         &mut profile,
-                                    );
+                                    )?;
                                     stream.compiled = Some(compiled.clone());
                                     compiled
                                 }
@@ -874,7 +874,7 @@ impl<'a> StreamSimulator<'a> {
                                     &mut scheduler_invocations,
                                     &mut schedule_cache_hits,
                                     &mut profile,
-                                ),
+                                )?,
                             },
                         };
                         if let Some(t0) = t0 {
@@ -922,7 +922,7 @@ impl<'a> StreamSimulator<'a> {
                             &mut scheduler_invocations,
                             &mut schedule_cache_hits,
                             &mut profile,
-                        ));
+                        )?);
                         if let Some(t0) = t0 {
                             profile.compile_ns += t0.elapsed().as_nanos() as u64;
                         }

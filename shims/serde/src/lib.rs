@@ -604,6 +604,13 @@ pub mod shim {
             .ok_or_else(|| DeError::missing_field(name, ty))
     }
 
+    /// Looks up a struct field by name, returning `None` when absent —
+    /// the `#[serde(default)]` path, where a missing field falls back
+    /// to a caller-supplied default instead of erroring.
+    pub fn opt_field<'a>(entries: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+        entries.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
     /// Indexes a tuple element.
     pub fn elem<'a>(items: &'a [Value], i: usize, ty: &str) -> Result<&'a Value, DeError> {
         items

@@ -14,8 +14,12 @@
 //! * enums with unit, tuple and struct variants (externally tagged, like
 //!   real serde's default representation).
 //!
-//! Generics and `#[serde(...)]` attributes are intentionally unsupported;
-//! using them produces a compile error rather than silently wrong code.
+//! Generics are intentionally unsupported; using them produces a compile
+//! error rather than silently wrong code. The only `#[serde(...)]`
+//! attributes understood are the field-level `#[serde(default)]` and
+//! `#[serde(default = "path")]` (a missing field deserializes via
+//! `Default::default()` / `path()`, exactly like real serde); any other
+//! serde attribute is a compile error.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -33,9 +37,17 @@ enum Item {
 
 /// Field layout of a struct or enum variant.
 enum Fields {
-    Named(Vec<String>),
+    Named(Vec<FieldDef>),
     Tuple(usize),
     Unit,
+}
+
+/// One named field: its identifier plus the `#[serde(default)]` shape —
+/// `None` (required), `Some("")` (`Default::default()`), or
+/// `Some(path)` (call `path()`).
+struct FieldDef {
+    name: String,
+    default: Option<String>,
 }
 
 struct Variant {
@@ -43,7 +55,7 @@ struct Variant {
     fields: Fields,
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     match parse_item(input) {
         Ok(item) => gen_serialize(&item)
@@ -53,7 +65,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     }
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     match parse_item(input) {
         Ok(item) => gen_deserialize(&item)
@@ -178,18 +190,95 @@ fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
     out
 }
 
-fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
-    let mut names = Vec::new();
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<FieldDef>, String> {
+    let mut fields = Vec::new();
     for chunk in split_top_level(stream) {
         let mut i = 0;
-        skip_attrs_and_vis(&chunk, &mut i);
+        let default = parse_field_attrs(&chunk, &mut i)?;
         match chunk.get(i) {
-            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            Some(TokenTree::Ident(id)) => fields.push(FieldDef {
+                name: id.to_string(),
+                default,
+            }),
             None => continue,
             other => return Err(format!("expected field name, found {other:?}")),
         }
     }
-    Ok(names)
+    Ok(fields)
+}
+
+/// Advances `i` past a field's outer attributes and visibility, returning
+/// the `#[serde(default...)]` shape if one was present (see [`FieldDef`]).
+fn parse_field_attrs(chunk: &[TokenTree], i: &mut usize) -> Result<Option<String>, String> {
+    let mut default = None;
+    loop {
+        match chunk.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if let Some(TokenTree::Group(g)) = chunk.get(*i) {
+                    if g.delimiter() == Delimiter::Bracket {
+                        if let Some(d) = parse_serde_default(g.stream())? {
+                            default = Some(d);
+                        }
+                        *i += 1;
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(chunk.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return Ok(default),
+        }
+    }
+}
+
+/// Parses the contents of one `#[...]` attribute. Non-serde attributes
+/// (doc comments etc.) yield `Ok(None)`; a serde attribute must be
+/// `default` or `default = "path"` — anything else is an error so
+/// unsupported serde attributes cannot be silently dropped.
+fn parse_serde_default(stream: TokenStream) -> Result<Option<String>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let (head, group) = match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if g.delimiter() == Delimiter::Parenthesis =>
+        {
+            (id.to_string(), g)
+        }
+        _ => return Ok(None),
+    };
+    if head != "serde" {
+        return Ok(None);
+    }
+    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+    match inner.first() {
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "default" => {
+            if inner.len() == 1 {
+                return Ok(Some(String::new()));
+            }
+            if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)), None) =
+                (inner.get(1), inner.get(2), inner.get(3))
+            {
+                if eq.as_char() == '=' {
+                    let path = lit.to_string();
+                    let path = path.trim_matches('"');
+                    if !path.is_empty() {
+                        return Ok(Some(path.to_string()));
+                    }
+                }
+            }
+            Err(format!(
+                "serde shim derive: unsupported #[serde(default ...)] shape: {inner:?}"
+            ))
+        }
+        _ => Err(format!(
+            "serde shim derive supports only #[serde(default)] / \
+             #[serde(default = \"path\")], found #[serde({inner:?})]"
+        )),
+    }
 }
 
 fn count_tuple_fields(stream: TokenStream) -> usize {
@@ -229,10 +318,11 @@ fn gen_serialize(item: &Item) -> String {
     match item {
         Item::Struct { name, fields } => {
             let body = match fields {
-                Fields::Named(names) => {
-                    let entries: Vec<String> = names
+                Fields::Named(fields) => {
+                    let entries: Vec<String> = fields
                         .iter()
                         .map(|f| {
+                            let f = &f.name;
                             format!(
                                 "(::std::string::String::from({f:?}), \
                                  ::serde::Serialize::to_value(&self.{f}))"
@@ -285,10 +375,15 @@ fn gen_serialize(item: &Item) -> String {
                             )
                         }
                         Fields::Named(fields) => {
-                            let binds = fields.join(", ");
+                            let binds = fields
+                                .iter()
+                                .map(|f| f.name.clone())
+                                .collect::<Vec<_>>()
+                                .join(", ");
                             let entries: Vec<String> = fields
                                 .iter()
                                 .map(|f| {
+                                    let f = &f.name;
                                     format!(
                                         "(::std::string::String::from({f:?}), \
                                          ::serde::Serialize::to_value({f}))"
@@ -322,20 +417,39 @@ fn gen_serialize(item: &Item) -> String {
 // Codegen: Deserialize
 // ---------------------------------------------------------------------------
 
+/// The deserialization initializer of one named field: a required field
+/// errors when missing; a `#[serde(default...)]` field falls back to its
+/// default expression.
+fn named_field_init(f: &FieldDef, ty: &str) -> String {
+    let fname = &f.name;
+    match &f.default {
+        None => format!(
+            "{fname}: ::serde::Deserialize::from_value(\
+             ::serde::shim::field(entries, {fname:?}, {ty:?})?)?,"
+        ),
+        Some(path) => {
+            let fallback = if path.is_empty() {
+                "::std::default::Default::default()".to_string()
+            } else {
+                format!("{path}()")
+            };
+            format!(
+                "{fname}: match ::serde::shim::opt_field(entries, {fname:?}) {{\n\
+                     ::std::option::Option::Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+                     ::std::option::Option::None => {fallback},\n\
+                 }},"
+            )
+        }
+    }
+}
+
 fn gen_deserialize(item: &Item) -> String {
     match item {
         Item::Struct { name, fields } => {
             let body = match fields {
-                Fields::Named(names) => {
-                    let inits: Vec<String> = names
-                        .iter()
-                        .map(|f| {
-                            format!(
-                                "{f}: ::serde::Deserialize::from_value(\
-                                 ::serde::shim::field(entries, {f:?}, {name:?})?)?,"
-                            )
-                        })
-                        .collect();
+                Fields::Named(fields) => {
+                    let inits: Vec<String> =
+                        fields.iter().map(|f| named_field_init(f, name)).collect();
                     format!(
                         "let entries = ::serde::shim::entries(v, {name:?})?;\n\
                          ::std::result::Result::Ok({name} {{ {} }})",
@@ -408,15 +522,8 @@ fn gen_deserialize(item: &Item) -> String {
                             )
                         }
                         Fields::Named(fields) => {
-                            let inits: Vec<String> = fields
-                                .iter()
-                                .map(|f| {
-                                    format!(
-                                        "{f}: ::serde::Deserialize::from_value(\
-                                         ::serde::shim::field(entries, {f:?}, {name:?})?)?,"
-                                    )
-                                })
-                                .collect();
+                            let inits: Vec<String> =
+                                fields.iter().map(|f| named_field_init(f, name)).collect();
                             format!(
                                 "{vname:?} => {{\n\
                                      let entries = ::serde::shim::entries(payload, {name:?})?;\n\

@@ -234,6 +234,30 @@ impl Experiment {
         self
     }
 
+    /// Sets the fusion granularity the scheduler places at: how many
+    /// depth-wise consecutive layers of one model instance form one
+    /// fused tile group (1 = Herald's whole-layer placement, the
+    /// default; 0 is treated as 1). Orthogonal to
+    /// [`Experiment::scheduler`] — setting only the granularity keeps
+    /// the preset scheduler behavior (e.g. [`Experiment::fast`]'s
+    /// post-processing shortcut) intact.
+    #[must_use]
+    pub fn fusion(mut self, granularity: usize) -> Self {
+        self.dse.scheduler.fusion = granularity.max(1);
+        self
+    }
+
+    /// Sets the fusion granularities the DSE sweeps as a design
+    /// dimension alongside partitioning: every candidate partition is
+    /// evaluated once per level. Levels are clamped to at least 1 and
+    /// deduplicated; an empty list means the plain layer-placement
+    /// sweep.
+    #[must_use]
+    pub fn fusion_levels(mut self, levels: impl IntoIterator<Item = usize>) -> Self {
+        self.dse.fusion_levels = levels.into_iter().collect();
+        self
+    }
+
     /// Sets the PE / bandwidth split granularity of the sweep.
     #[must_use]
     pub fn granularity(mut self, pe_steps: usize, bw_steps: usize) -> Self {
@@ -286,13 +310,14 @@ impl Experiment {
         }
         self.normalize();
         let ctx = self.ctx.clone().unwrap_or_default();
-        let engine = DseEngine::new(self.dse);
+        let engine = DseEngine::new(self.dse.clone());
         if let Some(config) = self.fixed {
             let report = engine.evaluate_config_in(&ctx, &self.workload, &config)?;
             let partition = partition_of(&config)?;
             let point = DesignPoint {
                 partition,
                 config,
+                fusion: engine.config().scheduler.fusion.max(1),
                 report,
             };
             return Ok(ExperimentOutcome {

@@ -234,7 +234,9 @@ fn prelude_supports_readme_flow() -> Result<(), HeraldError> {
     // The facade's fixed-target path is exactly the scheduler + simulator.
     let cost = CostModel::default();
     let raw = ScheduleSimulator::new(&graph, &acc, &cost).simulate(
-        &HeraldScheduler::new(SchedulerConfig::default()).schedule(&graph, &acc, &cost),
+        &HeraldScheduler::new(SchedulerConfig::default())
+            .schedule(&graph, &acc, &cost)
+            .unwrap(),
     )?;
     assert_eq!(raw.total_latency_s(), outcome.latency_s());
     Ok(())

@@ -1,0 +1,172 @@
+//! The fused-scheduling equivalence suite: fusion granularity 1 (the
+//! default, and Herald's whole-layer placement) must be **bit-identical**
+//! to an explicit `fusion(1)` run across the streaming, one-shot, and
+//! fleet paths — while fused and unfused schedules of the same graph
+//! must never share a memo slot, and some granularity above 1 must
+//! actually change the constructed schedule (otherwise the knob is
+//! dead).
+
+use herald::prelude::*;
+
+fn edge_maelstrom() -> AcceleratorConfig {
+    AcceleratorConfig::maelstrom(
+        AcceleratorClass::Edge.resources(),
+        Partition::even(2, 1024, 16.0),
+    )
+    .unwrap()
+}
+
+/// Streams `scenario` with the default scheduler and with fusion pinned
+/// to 1, and asserts the two simulations agree to the last bit.
+fn assert_fusion1_streams_identically(scenario: &Scenario) {
+    let run = |fusion: Option<usize>| {
+        let mut e = Experiment::new(scenario.design_workload())
+            .on_accelerator(edge_maelstrom())
+            .fast();
+        if let Some(f) = fusion {
+            e = e.fusion(f);
+        }
+        e.scenario(scenario).unwrap()
+    };
+    let default = run(None);
+    let explicit = run(Some(1));
+    let (a, b) = (default.report(), explicit.report());
+    assert_eq!(a.frames(), b.frames(), "{}: frame records", scenario.name());
+    assert_eq!(a.swaps(), b.swaps(), "{}: swap records", scenario.name());
+    assert_eq!(a.busy_spans(), b.busy_spans(), "{}: spans", scenario.name());
+    assert_eq!(a.energy(), b.energy(), "{}: energy", scenario.name());
+    assert_eq!(
+        a.makespan_s().to_bits(),
+        b.makespan_s().to_bits(),
+        "{}: makespan",
+        scenario.name()
+    );
+    assert_eq!(a.peak_memory_bytes(), b.peak_memory_bytes());
+    assert_eq!(a.events_processed(), b.events_processed());
+}
+
+#[test]
+fn fusion_one_is_bit_identical_on_the_arvr_stream() {
+    assert_fusion1_streams_identically(&herald::workloads::arvr_a_stream(1.0, 1.2));
+}
+
+#[test]
+fn fusion_one_is_bit_identical_on_the_workload_change_trace() {
+    assert_fusion1_streams_identically(&herald::workloads::workload_change_trace(2.0, 0.6, 2.0));
+}
+
+#[test]
+fn fusion_one_is_bit_identical_on_a_fleet_run() {
+    // The fleet path compiles per-chip schedules through the same
+    // placement core; pinning granularity 1 must not move a single bit
+    // of the fleet report either.
+    let scenario = herald::workloads::fleet_mix_stream(2, 60.0, 0.1, 0.1, 7);
+    let chip = edge_maelstrom();
+    let fleet = FleetConfig::homogeneous(&chip, 2);
+    let run = |fusion: Option<usize>| {
+        let mut e = Experiment::new(scenario.design_workload()).fast();
+        if let Some(f) = fusion {
+            e = e.fusion(f);
+        }
+        e.fleet(&fleet, &scenario).unwrap()
+    };
+    let default = run(None);
+    let explicit = run(Some(1));
+    let (a, b) = (default.report(), explicit.report());
+    assert_eq!(a.per_chip(), b.per_chip());
+    assert_eq!(a.assignments(), b.assignments());
+    assert_eq!(a.dropped(), b.dropped());
+    assert_eq!(a.makespan_s().to_bits(), b.makespan_s().to_bits());
+    assert_eq!(
+        a.latency_percentile(0.99).to_bits(),
+        b.latency_percentile(0.99).to_bits()
+    );
+}
+
+#[test]
+fn fused_and_unfused_runs_never_share_memo_slots() {
+    // Same workload, same accelerator, same cost model — only the fusion
+    // granularity differs. The second run must be a full scheduler run
+    // (zero cache hits against the first run's memo); re-running the
+    // first granularity afterwards must hit its own slot.
+    let ctx = EvalContext::new();
+    let workload = herald::workloads::arvr_a_stream(1.0, 1.2).design_workload();
+    let run = |fusion: usize| {
+        Experiment::new(workload.clone())
+            .on_accelerator(edge_maelstrom())
+            .fast()
+            .with_context(ctx.clone())
+            .fusion(fusion)
+            .run()
+            .unwrap()
+    };
+    run(1);
+    let runs_after_unfused = ctx.stats().scheduler_runs();
+    let hits_after_unfused = ctx.stats().schedule_cache_hits();
+    assert!(runs_after_unfused > 0);
+
+    run(3);
+    assert_eq!(
+        ctx.stats().schedule_cache_hits(),
+        hits_after_unfused,
+        "a fused run must never be served from the unfused memo slot"
+    );
+    assert!(
+        ctx.stats().scheduler_runs() > runs_after_unfused,
+        "the fused schedule must be constructed from scratch"
+    );
+
+    let runs_after_fused = ctx.stats().scheduler_runs();
+    run(1);
+    assert_eq!(
+        ctx.stats().scheduler_runs(),
+        runs_after_fused,
+        "repeating granularity 1 must be a pure memo hit"
+    );
+    assert!(ctx.stats().schedule_cache_hits() > hits_after_unfused);
+}
+
+#[test]
+fn some_fused_granularity_changes_the_schedule() {
+    // The knob must be live: on the AR/VR design workload at least one
+    // granularity above 1 commits groups differently enough to move the
+    // simulated latency or energy.
+    let workload = herald::workloads::arvr_a_stream(1.0, 1.2).design_workload();
+    let run = |fusion: usize| {
+        Experiment::new(workload.clone())
+            .on_accelerator(edge_maelstrom())
+            .fast()
+            .fusion(fusion)
+            .run()
+            .unwrap()
+    };
+    let base = run(1);
+    let changed = (2..=6).any(|g| {
+        let fused = run(g);
+        fused.latency_s().to_bits() != base.latency_s().to_bits()
+            || fused.energy_j().to_bits() != base.energy_j().to_bits()
+    });
+    assert!(
+        changed,
+        "granularities 2..=6 all produced bit-identical executions"
+    );
+}
+
+#[test]
+fn dse_fusion_sweep_carries_both_granularities() {
+    // End-to-end through the facade: a fusion-levels sweep doubles the
+    // design cloud and tags every point with the granularity it was
+    // scheduled under.
+    let workload = herald::workloads::arvr_a_stream(1.0, 1.2).design_workload();
+    let outcome = Experiment::new(workload)
+        .on(AcceleratorClass::Edge)
+        .with_styles([DataflowStyle::Nvdla, DataflowStyle::ShiDianNao])
+        .fast()
+        .fusion_levels([1, 3])
+        .run()
+        .unwrap();
+    assert!(outcome.points().iter().any(|p| p.fusion == 1));
+    assert!(outcome.points().iter().any(|p| p.fusion == 3));
+    let unfused = outcome.points().iter().filter(|p| p.fusion == 1).count();
+    assert_eq!(outcome.points().len(), unfused * 2);
+}

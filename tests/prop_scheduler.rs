@@ -50,6 +50,9 @@ fn gen_scheduler_config(rng: &mut SplitMix64) -> SchedulerConfig {
         load_balance_factor: lbf,
         lookahead: rng.gen_range(0, 16),
         post_process: rng.gen_range(0, 2) == 1,
+        // Exercise fused tile groups too: legality must hold at any
+        // granularity, not just the layer-placement default.
+        fusion: rng.gen_range(1, 5),
     }
 }
 
@@ -137,7 +140,9 @@ fn simulation_is_deterministic() {
         let res = AcceleratorClass::Edge.resources();
         let acc = AcceleratorConfig::maelstrom(res, partition).expect("legal partition");
         let cost = CostModel::default();
-        let schedule = HeraldScheduler::default().schedule(&graph, &acc, &cost);
+        let schedule = HeraldScheduler::default()
+            .schedule(&graph, &acc, &cost)
+            .unwrap();
         let sim = ScheduleSimulator::new(&graph, &acc, &cost);
         let a = sim.simulate(&schedule).expect("legal");
         let b = sim.simulate(&schedule).expect("legal");

@@ -83,7 +83,9 @@ fn schedules_and_reports_roundtrip() {
     )
     .unwrap();
     let cost = CostModel::default();
-    let schedule = HeraldScheduler::default().schedule(&graph, &acc, &cost);
+    let schedule = HeraldScheduler::default()
+        .schedule(&graph, &acc, &cost)
+        .unwrap();
     assert_eq!(roundtrip(&schedule), schedule);
     let report = ScheduleSimulator::new(&graph, &acc, &cost)
         .simulate(&schedule)
