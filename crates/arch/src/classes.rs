@@ -3,6 +3,12 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// mm² per processing element (MAC + pipeline registers + local register
+/// file) in the [`HardwareResources::area_mm2`] proxy. Public so config
+/// transforms (e.g. sparsity gating) can price per-PE hardware additions
+/// consistently with the base proxy.
+pub const PE_MM2: f64 = 0.002;
+
 /// A total hardware budget: the resources Definition 1 partitions across
 /// sub-accelerators.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -52,9 +58,6 @@ impl HardwareResources {
     /// ```
     #[must_use]
     pub fn area_mm2(&self) -> f64 {
-        /// mm² per processing element (MAC + pipeline registers + local
-        /// register file).
-        const PE_MM2: f64 = 0.002;
         /// mm² per MiB of global scratchpad SRAM.
         const SRAM_MM2_PER_MIB: f64 = 0.5;
         /// mm² per GB/s of global NoC / DRAM interface bandwidth.

@@ -1,6 +1,6 @@
 //! Full accelerator configurations: FDA, SM-FDA, RDA and HDA.
 
-use crate::{HardwareResources, Partition, SubAccelerator};
+use crate::{classes::PE_MM2, HardwareResources, Partition, SubAccelerator};
 use herald_dataflow::DataflowStyle;
 use serde::{Deserialize, Serialize};
 use std::error::Error;
@@ -228,6 +228,42 @@ impl AcceleratorConfig {
         Ok(cfg)
     }
 
+    /// Equips every sub-accelerator with sparsity-gating hardware and
+    /// prefixes the name with `Sparse-`. Gated arrays skip a
+    /// dataflow-class-dependent share of a sparse layer's zero work at a
+    /// [`SPARSE_GATING_AREA_OVERHEAD`] area premium on their PE arrays;
+    /// dense layers cost exactly the same as on the ungated design.
+    #[must_use]
+    pub fn with_sparse_gating(mut self) -> Self {
+        self.subs = self
+            .subs
+            .into_iter()
+            .map(SubAccelerator::with_sparse_gating)
+            .collect();
+        self.name = format!("Sparse-{}", self.name);
+        self
+    }
+
+    /// [`AcceleratorConfig::maelstrom`] with sparsity gating on both
+    /// sub-accelerators — the sparse-friendly flagship of the menu.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AcceleratorConfig::hda`].
+    pub fn sparse_maelstrom(
+        res: HardwareResources,
+        partition: Partition,
+    ) -> Result<Self, ConfigError> {
+        Ok(Self::maelstrom(res, partition)?.with_sparse_gating())
+    }
+
+    /// A monolithic reconfigurable array with sparsity gating: the
+    /// flexible fabric that recovers the most zero work (MAERI-class
+    /// sparse accelerator).
+    pub fn sparse_rda(res: HardwareResources) -> Self {
+        Self::rda(res).with_sparse_gating()
+    }
+
     /// The configuration's name.
     pub fn name(&self) -> &str {
         &self.name
@@ -268,14 +304,32 @@ impl AcceleratorConfig {
     /// against throughput and latency.
     #[must_use]
     pub fn area_mm2(&self) -> f64 {
-        HardwareResources {
+        let base = HardwareResources {
             pes: self.total_pes(),
             bandwidth_gbps: self.total_bandwidth_gbps(),
             global_buffer_bytes: self.global_buffer_bytes,
         }
-        .area_mm2()
+        .area_mm2();
+        // Sparsity-gating hardware (zero-detect logic, compressed-operand
+        // decoders) grows each gated PE array; ungated designs are
+        // untouched, keeping all pre-sparsity areas bit-identical.
+        let gated_pes: u32 = self
+            .subs
+            .iter()
+            .filter(|s| s.has_sparse_gating())
+            .map(SubAccelerator::pes)
+            .sum();
+        if gated_pes == 0 {
+            base
+        } else {
+            base + f64::from(gated_pes) * PE_MM2 * SPARSE_GATING_AREA_OVERHEAD
+        }
     }
 }
+
+/// Relative area premium of sparsity-gating hardware per gated PE, applied
+/// on top of [`PE_MM2`] in [`AcceleratorConfig::area_mm2`].
+pub const SPARSE_GATING_AREA_OVERHEAD: f64 = 0.25;
 
 impl fmt::Display for AcceleratorConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -392,6 +446,30 @@ mod tests {
     fn errors_are_displayable() {
         let e = ConfigError::PartitionMismatch { styles: 2, ways: 3 };
         assert!(e.to_string().contains("2 dataflow styles"));
+    }
+
+    #[test]
+    fn sparse_gating_gates_every_sub_and_renames() {
+        let p = Partition::new(vec![128, 896], vec![4.0, 12.0]).unwrap();
+        let cfg = AcceleratorConfig::sparse_maelstrom(res(), p).unwrap();
+        assert_eq!(cfg.name(), "Sparse-Maelstrom");
+        assert!(cfg
+            .sub_accelerators()
+            .iter()
+            .all(SubAccelerator::has_sparse_gating));
+        let rda = AcceleratorConfig::sparse_rda(res());
+        assert!(rda.name().starts_with("Sparse-"));
+        assert!(rda.sub_accelerators()[0].has_sparse_gating());
+    }
+
+    #[test]
+    fn sparse_gating_pays_an_area_premium() {
+        let dense = AcceleratorConfig::fda(DataflowStyle::Nvdla, res());
+        let sparse = dense.clone().with_sparse_gating();
+        let expected = dense.area_mm2()
+            + f64::from(dense.total_pes()) * crate::PE_MM2 * SPARSE_GATING_AREA_OVERHEAD;
+        assert!((sparse.area_mm2() - expected).abs() < 1e-12);
+        assert!(sparse.area_mm2() > dense.area_mm2());
     }
 
     #[test]

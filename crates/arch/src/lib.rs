@@ -42,7 +42,7 @@ mod config;
 mod partition;
 mod subacc;
 
-pub use classes::{AcceleratorClass, HardwareResources};
-pub use config::{AcceleratorConfig, AcceleratorStyle, ConfigError};
+pub use classes::{AcceleratorClass, HardwareResources, PE_MM2};
+pub use config::{AcceleratorConfig, AcceleratorStyle, ConfigError, SPARSE_GATING_AREA_OVERHEAD};
 pub use partition::Partition;
 pub use subacc::SubAccelerator;

@@ -18,6 +18,8 @@ pub struct SubAccelerator {
     pes: u32,
     bandwidth_gbps: f64,
     reconfigurable: bool,
+    #[serde(default)]
+    sparse_gating: bool,
 }
 
 impl SubAccelerator {
@@ -40,6 +42,7 @@ impl SubAccelerator {
             pes,
             bandwidth_gbps,
             reconfigurable: false,
+            sparse_gating: false,
         }
     }
 
@@ -49,6 +52,16 @@ impl SubAccelerator {
         let mut s = Self::fixed(name, DataflowStyle::Nvdla, pes, bandwidth_gbps);
         s.reconfigurable = true;
         s
+    }
+
+    /// Equips this array with sparsity-gating hardware (zero-skip logic
+    /// and compressed weight delivery), letting sparse layers skip a
+    /// dataflow-class-dependent fraction of their zero work. Dense layers
+    /// cost exactly the same with or without gating.
+    #[must_use]
+    pub fn with_sparse_gating(mut self) -> Self {
+        self.sparse_gating = true;
+        self
     }
 
     /// The sub-accelerator's name (unique within its configuration).
@@ -77,14 +90,32 @@ impl SubAccelerator {
         self.reconfigurable
     }
 
+    /// Whether this array has sparsity-gating hardware.
+    pub fn has_sparse_gating(&self) -> bool {
+        self.sparse_gating
+    }
+
     /// The cost of running `layer` on this sub-accelerator: the fixed
     /// style's cost, or the best style with reconfiguration taxes for
-    /// reconfigurable arrays.
+    /// reconfigurable arrays. Sparsity-gated arrays skip part of a sparse
+    /// layer's zero work.
     pub fn layer_cost(&self, cost: &CostModel, layer: &Layer, metric: Metric) -> LayerCost {
         if self.reconfigurable {
-            cost.evaluate_rda(layer, self.pes, self.bandwidth_gbps, metric)
+            cost.evaluate_rda_gated(
+                layer,
+                self.pes,
+                self.bandwidth_gbps,
+                metric,
+                self.sparse_gating,
+            )
         } else {
-            cost.evaluate(layer, self.style, self.pes, self.bandwidth_gbps)
+            cost.evaluate_gated(
+                layer,
+                self.style,
+                self.pes,
+                self.bandwidth_gbps,
+                self.sparse_gating,
+            )
         }
     }
 }
@@ -93,10 +124,11 @@ impl fmt::Display for SubAccelerator {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} [{}{}] {} PEs, {:.0} GB/s",
+            "{} [{}{}{}] {} PEs, {:.0} GB/s",
             self.name,
             if self.reconfigurable { "RDA:" } else { "" },
             self.style,
+            if self.sparse_gating { "+SP" } else { "" },
             self.pes,
             self.bandwidth_gbps
         )
@@ -145,5 +177,47 @@ mod tests {
     fn display_marks_reconfigurable_arrays() {
         let sub = SubAccelerator::reconfigurable("rda", 64, 1.0);
         assert!(sub.to_string().contains("RDA:"));
+    }
+
+    #[test]
+    fn gated_sub_discounts_sparse_layers_only() {
+        let cost = CostModel::default();
+        let plain = SubAccelerator::fixed("acc", DataflowStyle::Nvdla, 1024, 16.0);
+        let gated = plain.clone().with_sparse_gating();
+        assert!(gated.has_sparse_gating() && !plain.has_sparse_gating());
+        // Dense layer: identical cost.
+        let dense = layer();
+        assert_eq!(
+            plain.layer_cost(&cost, &dense, Metric::Edp),
+            gated.layer_cost(&cost, &dense, Metric::Edp)
+        );
+        // Sparse layer: the gated array wins.
+        let sparse = dense.with_density(0.3);
+        let cp = plain.layer_cost(&cost, &sparse, Metric::Edp);
+        let cg = gated.layer_cost(&cost, &sparse, Metric::Edp);
+        assert!(cg.energy_j() < cp.energy_j());
+        assert!(cg.total_cycles <= cp.total_cycles);
+    }
+
+    #[test]
+    fn display_marks_gated_arrays() {
+        let sub = SubAccelerator::fixed("s", DataflowStyle::Nvdla, 64, 1.0).with_sparse_gating();
+        assert!(sub.to_string().contains("+SP"));
+    }
+
+    #[test]
+    fn gated_flag_survives_serde_and_defaults_off() {
+        let sub = SubAccelerator::reconfigurable("rda", 64, 1.0).with_sparse_gating();
+        let json = serde_json::to_string(&sub).unwrap();
+        let back: SubAccelerator = serde_json::from_str(&json).unwrap();
+        assert_eq!(sub, back);
+        // Pre-gating serialized forms (no `sparse_gating` field)
+        // deserialize to ungated.
+        let plain = SubAccelerator::fixed("a", DataflowStyle::Nvdla, 64, 1.0);
+        let full = serde_json::to_string(&plain).unwrap();
+        let legacy = full.replace(",\"sparse_gating\":false", "");
+        assert_ne!(legacy, full, "expected the field to be serialized");
+        let old: SubAccelerator = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(old, plain);
     }
 }

@@ -1,0 +1,447 @@
+//! **Sparse + transformer headline** — the density-aware cost model and
+//! the autoregressive decoder stream on one record:
+//!
+//! * **Decode**: a chained [`transformer_decode_stream`] on the sparse
+//!   flagship — token `k+1` arrives exactly at token `k`'s finish plus
+//!   the sampling gap, per-token latency grows with the KV bucket, and
+//!   the whole session is served from one compiled schedule per bucket.
+//! * **Density sweep**: one probe workload swept over a density grid on
+//!   gated and ungated chips — density 1.0 is bit-identical to the
+//!   ungated design, every sparse point is a strict win on a gated
+//!   chip, and the flexible fabric (RDA) recovers more zero work than
+//!   the rigid ShiDianNao array.
+//! * **Fleet shift**: the same fleet-composition search run under the
+//!   dense tenant mix and under [`sparse_mix_stream`] (identical
+//!   arrival traces, pruned weights): the sparse-gated chip never
+//!   reaches the dense frontier (pure area overhead) but joins the
+//!   frontier — and changes the best-under-budget composition — once
+//!   the tenants are sparse.
+//!
+//! Pass `--fast --json` for the machine-readable regression record
+//! (BENCH_pr10.json / the `sparse_transformer_headline_fast.json`
+//! golden).
+
+use herald::prelude::*;
+use herald_bench::{bench_args, utilization_fps_scale};
+use herald_models::zoo;
+use herald_workloads::{
+    fleet_mix_stream, sparse_mix_stream, transformer_decode_stream, DECODE_KV_BUCKET,
+};
+use std::time::Instant;
+
+/// Density grid of the one-shot sweep (1.0 first: the identity pin).
+const DENSITIES: [f64; 5] = [1.0, 0.75, 0.5, 0.3, 0.2];
+
+fn main() -> Result<(), HeraldError> {
+    let args = bench_args();
+    let (fast, json_mode) = (args.fast, args.json);
+    let t0 = Instant::now();
+
+    let class = AcceleratorClass::Edge;
+    let partition = Partition::even(2, 1024, 16.0);
+    let dense_chip = AcceleratorConfig::maelstrom(class.resources(), partition.clone())
+        .expect("even Edge partition is valid");
+    let sparse_chip = AcceleratorConfig::sparse_maelstrom(class.resources(), partition)
+        .expect("even Edge partition is valid");
+
+    // --- Part A: the autoregressive decode stream ----------------------
+    let (sessions, tokens, gap_s) = if fast {
+        (2, 96, 0.004)
+    } else {
+        (4, 192, 0.004)
+    };
+    let decode = transformer_decode_stream(sessions, tokens, gap_s, 0.05, 11);
+    let decode_exp = |e: Experiment| if fast { e.fast() } else { e };
+    let decode_run =
+        decode_exp(Experiment::new(decode.design_workload()).on_accelerator(sparse_chip.clone()))
+            .scenario(&decode)?;
+    let r = decode_run.report();
+    let frames = r.frames();
+    assert_eq!(frames.len(), sessions * tokens, "every token must complete");
+
+    // Chaining pin: within each session, token k+1 arrives exactly at
+    // token k's finish plus the sampling gap, to the last bit.
+    let mut per_stream: Vec<Vec<(usize, f64, f64)>> = vec![Vec::new(); sessions];
+    for f in frames {
+        per_stream[f.stream].push((f.seq, f.arrival_s, f.finish_s));
+    }
+    let mut chained_exact = true;
+    for stream in &mut per_stream {
+        stream.sort_by_key(|&(seq, _, _)| seq);
+        for pair in stream.windows(2) {
+            let (_, _, prev_finish) = pair[0];
+            let (_, arrival, _) = pair[1];
+            chained_exact &= arrival.to_bits() == (prev_finish + gap_s).to_bits();
+        }
+    }
+    assert!(chained_exact, "token arrivals must chain on completions");
+
+    // KV growth: mean per-token latency is non-decreasing across the
+    // KV buckets (longer context, more score/context GEMM work).
+    let buckets = tokens.div_ceil(DECODE_KV_BUCKET);
+    let mut bucket_sum = vec![0.0f64; buckets];
+    let mut bucket_n = vec![0usize; buckets];
+    for f in frames {
+        let b = f.seq / DECODE_KV_BUCKET;
+        bucket_sum[b] += f.latency_s;
+        bucket_n[b] += 1;
+    }
+    let bucket_mean: Vec<f64> = bucket_sum
+        .iter()
+        .zip(&bucket_n)
+        .map(|(s, &n)| s / n.max(1) as f64)
+        .collect();
+    let kv_monotone = bucket_mean.windows(2).all(|w| w[1] >= w[0]);
+    assert!(
+        kv_monotone,
+        "per-token latency must grow with the KV bucket"
+    );
+
+    // One compiled schedule per KV bucket serves every session.
+    assert_eq!(
+        r.scheduler_invocations(),
+        buckets,
+        "token buckets must be served from one schedule each"
+    );
+
+    if !json_mode {
+        println!(
+            "--- decode: {} on {} ---\n\
+             {} sessions x {} tokens (gap {:.3} s), {} KV buckets\n\
+             chained arrivals exact: {chained_exact}, \
+             {} scheduler runs ({:.1}% cache hits), p99 {:.4} s",
+            decode.name(),
+            sparse_chip.name(),
+            sessions,
+            tokens,
+            gap_s,
+            buckets,
+            r.scheduler_invocations(),
+            r.schedule_cache_hit_rate() * 100.0,
+            r.latency_percentile(0.99),
+        );
+        for (b, mean) in bucket_mean.iter().enumerate() {
+            println!(
+                "  kv<={:>4}: mean token latency {:.5} s",
+                (b + 1) * DECODE_KV_BUCKET,
+                mean
+            );
+        }
+    }
+
+    // --- Part B: the density sweep -------------------------------------
+    let probe = |density: f64| {
+        MultiDnnWorkload::new(format!("SparseProbe-d{:02.0}", density * 100.0))
+            .with_model(zoo::resnet50().with_uniform_density(density), 1)
+            .with_model(zoo::mobilenet_v2().with_uniform_density(density), 2)
+    };
+    let rigid_base = AcceleratorConfig::fda(DataflowStyle::ShiDianNao, class.resources());
+    let rigid_gated = rigid_base.clone().with_sparse_gating();
+    let flex_base = AcceleratorConfig::rda(class.resources());
+    let flex_gated = AcceleratorConfig::sparse_rda(class.resources());
+    let chips = [
+        &dense_chip,
+        &sparse_chip,
+        &rigid_base,
+        &rigid_gated,
+        &flex_base,
+        &flex_gated,
+    ];
+
+    let eval =
+        |w: &MultiDnnWorkload, chip: &AcceleratorConfig| -> Result<(f64, f64), HeraldError> {
+            let e = Experiment::new(w.clone()).on_accelerator(chip.clone());
+            let out = if fast { e.fast() } else { e }.run()?;
+            Ok((out.latency_s(), out.energy_j()))
+        };
+    // rows[chip][density] = (latency_s, energy_j)
+    let mut rows: Vec<Vec<(f64, f64)>> = Vec::new();
+    for chip in chips {
+        let mut per_density = Vec::new();
+        for &d in &DENSITIES {
+            per_density.push(eval(&probe(d), chip)?);
+        }
+        rows.push(per_density);
+    }
+
+    // Identity pin: at density 1.0 every gated chip is bit-identical to
+    // its ungated base (the dense path never touches the sparse branch).
+    let identical = |a: (f64, f64), b: (f64, f64)| {
+        a.0.to_bits() == b.0.to_bits() && a.1.to_bits() == b.1.to_bits()
+    };
+    let dense_identity = identical(rows[0][0], rows[1][0])
+        && identical(rows[2][0], rows[3][0])
+        && identical(rows[4][0], rows[5][0]);
+    assert!(
+        dense_identity,
+        "density 1.0 must cost exactly the same on gated and ungated chips"
+    );
+
+    // Sparse win: every sub-1.0 density is a strict latency win on the
+    // gated flagship, and latency is monotone in density on gated chips.
+    let sparse_win = (1..DENSITIES.len()).all(|i| rows[1][i].0 < rows[0][i].0);
+    assert!(sparse_win, "gated chips must win on every sparse density");
+    let gated_monotone = [1usize, 3, 5].iter().all(|&c| {
+        rows[c]
+            .windows(2)
+            .all(|w| w[1].0 <= w[0].0 && w[1].1 <= w[0].1)
+    });
+    assert!(
+        gated_monotone,
+        "gated latency/energy must be non-increasing as density falls"
+    );
+
+    // Class contrast: at the sparsest point, the flexible fabric
+    // recovers far more zero work than the rigid ShiDianNao array.
+    let last = DENSITIES.len() - 1;
+    let gain = |base: usize, gated: usize| 1.0 - rows[gated][last].0 / rows[base][last].0;
+    let rigid_gain = gain(2, 3);
+    let flex_gain = gain(4, 5);
+    assert!(
+        flex_gain > rigid_gain && rigid_gain > 0.0,
+        "flexible sparse gain ({flex_gain:.3}) must exceed the rigid array's ({rigid_gain:.3})"
+    );
+
+    if !json_mode {
+        println!(
+            "\n--- density sweep: {} / {} / {} ---",
+            dense_chip.name(),
+            rigid_base.name(),
+            flex_base.name()
+        );
+        println!(
+            "{:>8} {:>24} {:>24} {:>24}",
+            "density", "Maelstrom (s)", "SDN FDA (s)", "RDA (s)"
+        );
+        for (i, &d) in DENSITIES.iter().enumerate() {
+            println!(
+                "{:>8.2} {:>11.5} vs {:>9.5} {:>11.5} vs {:>9.5} {:>11.5} vs {:>9.5}",
+                d,
+                rows[0][i].0,
+                rows[1][i].0,
+                rows[2][i].0,
+                rows[3][i].0,
+                rows[4][i].0,
+                rows[5][i].0
+            );
+        }
+        println!(
+            "dense identity: {dense_identity}; sparse gain at d={:.2}: \
+             flexible {:.1}% vs rigid {:.1}%",
+            DENSITIES[last],
+            flex_gain * 100.0,
+            rigid_gain * 100.0
+        );
+    }
+
+    // --- Part C: the fleet-composition shift ---------------------------
+    let tenants = if fast { 6 } else { 16 };
+    let frames_target: f64 = if fast { 90.0 } else { 360.0 };
+    let seed = 2026u64;
+    let unit = fleet_mix_stream(tenants, 1.0, 1.0, 1.0, seed);
+    let capacity_fps = utilization_fps_scale(&unit, &dense_chip, 1.0, fast)?;
+    let aggregate_fps = 1.2 * capacity_fps;
+    let deadline_s = 6.0 / capacity_fps;
+    let horizon_s = frames_target / aggregate_fps;
+    // The two mixes share every arrival trace bit for bit; only the
+    // tenants' weight densities differ.
+    let dense_mix = fleet_mix_stream(tenants, aggregate_fps, deadline_s, horizon_s, seed);
+    let sparse_mix = sparse_mix_stream(tenants, aggregate_fps, deadline_s, horizon_s, seed);
+    let menu = [dense_chip.clone(), sparse_chip.clone()];
+    let search_cfg = if fast {
+        FleetDseConfig::fast()
+    } else {
+        FleetDseConfig {
+            max_chips: 3,
+            ..FleetDseConfig::default()
+        }
+    };
+    let run_search = |scenario: &herald_workloads::Scenario| {
+        let e = Experiment::new(scenario.design_workload());
+        let e = if fast { e.fast() } else { e };
+        e.fleet_search(search_cfg.clone(), &menu, scenario)
+    };
+    let dense_out = run_search(&dense_mix)?;
+    let sparse_out = run_search(&sparse_mix)?;
+    let repeat_identical = run_search(&sparse_mix)? == sparse_out;
+    assert!(
+        repeat_identical,
+        "the sparse fleet search must be bit-identical across runs"
+    );
+
+    let has_sparse_chip = |out: &FleetSearchOutcome| {
+        out.frontier()
+            .iter()
+            .any(|p| p.composition.contains("Sparse-"))
+    };
+    let sparse_on_dense_frontier = has_sparse_chip(&dense_out);
+    let sparse_on_sparse_frontier = has_sparse_chip(&sparse_out);
+    assert!(
+        !sparse_on_dense_frontier,
+        "under the dense mix, gating is pure area overhead and must never reach the frontier"
+    );
+    assert!(
+        sparse_on_sparse_frontier,
+        "under the sparse mix, the gated chip must reach the frontier"
+    );
+
+    let budget_mm2 = 2.0 * sparse_chip.area_mm2();
+    let best_dense = dense_out
+        .best_under_budget(budget_mm2)
+        .expect("dense mix has a composition under budget");
+    let best_sparse = sparse_out
+        .best_under_budget(budget_mm2)
+        .expect("sparse mix has a composition under budget");
+    let best_shifted = best_dense.composition != best_sparse.composition;
+    assert!(
+        best_shifted,
+        "the sparse mix must shift the best composition (dense pick: {})",
+        best_dense.composition
+    );
+
+    if !json_mode {
+        println!(
+            "\n--- fleet shift: {tenants} tenants, {aggregate_fps:.1} fps, \
+             menu [{}, {}] ---",
+            dense_chip.name(),
+            sparse_chip.name()
+        );
+        for (label, out) in [("dense", &dense_out), ("sparse", &sparse_out)] {
+            println!("{label} frontier:");
+            for p in out.frontier() {
+                println!(
+                    "  {:<40} {:<15} {:>8.2} mm2 {:>8.1} fps p99 {:.4} s miss {:>5.1}%",
+                    p.composition,
+                    p.policy.label(),
+                    p.area_mm2,
+                    p.throughput_fps,
+                    p.p99_latency_s,
+                    p.deadline_miss_rate * 100.0
+                );
+            }
+        }
+        println!(
+            "best under {budget_mm2:.1} mm2: dense mix -> {}, sparse mix -> {}",
+            best_dense.composition, best_sparse.composition
+        );
+    }
+
+    let wall_s = t0.elapsed().as_secs_f64();
+    if json_mode {
+        let frontier_rows = |out: &FleetSearchOutcome| {
+            serde_json::Value::Seq(
+                out.frontier()
+                    .iter()
+                    .map(|p| {
+                        serde_json::json!({
+                            "composition": p.composition.as_str(),
+                            "chips": p.chips.len(),
+                            "policy": p.policy.label(),
+                            "area_mm2": p.area_mm2,
+                            "throughput_fps": p.throughput_fps,
+                            "p99_latency_s": p.p99_latency_s,
+                            "deadline_miss_rate": p.deadline_miss_rate,
+                        })
+                    })
+                    .collect(),
+            )
+        };
+        let chip_rows: Vec<serde_json::Value> = chips
+            .iter()
+            .zip(&rows)
+            .map(|(chip, per_density)| {
+                serde_json::json!({
+                    "chip": chip.name(),
+                    "area_mm2": chip.area_mm2(),
+                    "rows": serde_json::Value::Seq(
+                        DENSITIES
+                            .iter()
+                            .zip(per_density)
+                            .map(|(&d, &(lat, en))| {
+                                serde_json::json!({
+                                    "density": d,
+                                    "latency_s": lat,
+                                    "energy_j": en,
+                                })
+                            })
+                            .collect(),
+                    ),
+                })
+            })
+            .collect();
+        let record = serde_json::json!({
+            "bench": "sparse_transformer_headline",
+            "fast": fast,
+            "wall_clock_s": wall_s,
+            "decode": serde_json::json!({
+                "scenario": decode.name(),
+                "accelerator": sparse_chip.name(),
+                "sessions": sessions,
+                "tokens_per_session": tokens,
+                "gap_s": gap_s,
+                "kv_bucket": DECODE_KV_BUCKET,
+                "buckets": buckets,
+                "frames": frames.len(),
+                "chained_arrivals_exact": chained_exact,
+                "per_bucket_mean_latency_s": serde_json::Value::Seq(
+                    bucket_mean.iter().map(|&m| serde_json::json!(m)).collect(),
+                ),
+                "latency_monotone_in_kv": kv_monotone,
+                "scheduler_invocations": r.scheduler_invocations(),
+                "schedule_cache_hit_rate": r.schedule_cache_hit_rate(),
+                "p99_latency_s": r.latency_percentile(0.99),
+                "makespan_s": r.makespan_s(),
+            }),
+            "density_sweep": serde_json::json!({
+                "densities": serde_json::Value::Seq(
+                    DENSITIES.iter().map(|&d| serde_json::json!(d)).collect(),
+                ),
+                "chips": serde_json::Value::Seq(chip_rows),
+                "dense_identity": dense_identity,
+                "sparse_win": sparse_win,
+                "gated_monotone": gated_monotone,
+                "rigid_gain_at_sparsest": rigid_gain,
+                "flexible_gain_at_sparsest": flex_gain,
+            }),
+            "fleet_shift": serde_json::json!({
+                "tenants": tenants,
+                "aggregate_fps": aggregate_fps,
+                "deadline_s": deadline_s,
+                "horizon_s": horizon_s,
+                "menu": serde_json::Value::Seq(
+                    menu.iter()
+                        .map(|c| {
+                            serde_json::json!({
+                                "name": c.name(),
+                                "area_mm2": c.area_mm2(),
+                            })
+                        })
+                        .collect(),
+                ),
+                "dense_scenario": dense_mix.name(),
+                "sparse_scenario": sparse_mix.name(),
+                "dense_frontier": frontier_rows(&dense_out),
+                "sparse_frontier": frontier_rows(&sparse_out),
+                "sparse_chip_on_dense_frontier": sparse_on_dense_frontier,
+                "sparse_chip_on_sparse_frontier": sparse_on_sparse_frontier,
+                "budget_mm2": budget_mm2,
+                "best_dense_composition": best_dense.composition.as_str(),
+                "best_sparse_composition": best_sparse.composition.as_str(),
+                "best_composition_shifted": best_shifted,
+                "repeat_identical": repeat_identical,
+            }),
+            "dense_identity": dense_identity,
+            "sparse_win": sparse_win,
+            "repeat_identical": repeat_identical,
+        });
+        println!("{}", record.to_json_pretty());
+    } else {
+        println!(
+            "\nsparse+transformer headline: decode chained exactly, dense identity holds, \
+             sparse tenants shift the fleet composition \
+             ({} -> {})\n(wall clock: {wall_s:.1}s)",
+            best_dense.composition, best_sparse.composition
+        );
+    }
+    Ok(())
+}

@@ -3,8 +3,9 @@
 //! `stream_headline --fast --json`, `fig13_workload_change --fast
 //! --json`, `fleet_dse_headline --fast --json`,
 //! `fleet_controller_headline --fast --json`,
-//! `megafleet_headline --fast --json` and
-//! `fused_headline --fast --json` are fully
+//! `megafleet_headline --fast --json`,
+//! `fused_headline --fast --json` and
+//! `sparse_transformer_headline --fast --json` are fully
 //! deterministic apart from wall-clock timing fields:
 //! arrival sampling is seeded, schedulers are pure functions, and
 //! aggregation orders are fixed. This suite re-runs each binary and
@@ -28,8 +29,9 @@
 //! (same for `fig13_workload_change` -> `fig13_workload_change_fast.json`,
 //! `fleet_dse_headline` -> `fleet_dse_headline_fast.json`,
 //! `fleet_controller_headline` -> `fleet_controller_headline_fast.json`,
-//! `megafleet_headline` -> `megafleet_headline_fast.json`
-//! and `fused_headline` -> `fused_headline_fast.json`).
+//! `megafleet_headline` -> `megafleet_headline_fast.json`,
+//! `fused_headline` -> `fused_headline_fast.json`
+//! and `sparse_transformer_headline` -> `sparse_transformer_headline_fast.json`).
 
 use serde_json::Value;
 use std::process::Command;
@@ -194,6 +196,14 @@ fn fused_headline_fast_matches_golden() {
     assert_matches_golden(
         env!("CARGO_BIN_EXE_fused_headline"),
         "fused_headline_fast.json",
+    );
+}
+
+#[test]
+fn sparse_transformer_headline_fast_matches_golden() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_sparse_transformer_headline"),
+        "sparse_transformer_headline_fast.json",
     );
 }
 

@@ -21,7 +21,9 @@ use crate::fleet::{
     Dispatcher, DroppedFrame, FleetConfig, FleetReport, FrameAssignment, FrameView,
 };
 use crate::sched::{HeraldScheduler, IncrementalScheduler, Scheduler, SchedulerConfig};
-use crate::sim::engine::{validate_scenario, EventKind, MergedTrace, RoutedScenario};
+use crate::sim::engine::{
+    reject_chained, validate_scenario, EventKind, MergedTrace, RoutedScenario,
+};
 use crate::sim::{HotPathProfile, ReportMode, ReschedulePolicy, StreamReport, StreamSimulator};
 use crate::task::TaskGraph;
 use herald_arch::{AcceleratorConfig, AcceleratorStyle, HardwareResources};
@@ -485,6 +487,7 @@ pub(crate) fn simulate_controlled(
         }
     }
     validate_scenario(scenario)?;
+    reject_chained(scenario, "the fleet controller's epoch walk")?;
     let (ctrl_cfg, mut controller) = match control {
         Some((c, f)) => {
             c.validate()?;

@@ -205,6 +205,7 @@ impl ScheduleFingerprint {
             st.word(u64::from(s.pes()));
             st.word(s.bandwidth_gbps().to_bits());
             st.word(u64::from(s.is_reconfigurable()));
+            st.word(u64::from(s.has_sparse_gating()));
         }
         st.word(acc.global_buffer_bytes());
         for w in cost.config().fingerprint() {
@@ -223,7 +224,13 @@ pub(crate) fn graph_fingerprint(graph: &TaskGraph) -> [u64; 2] {
     st.word(graph.len() as u64);
     for t in graph.ids() {
         let layer = graph.layer(t);
-        absorb_layer(&mut st, layer.dims(), layer.op());
+        absorb_layer(
+            &mut st,
+            layer.dims(),
+            layer.op(),
+            layer.density().to_bits(),
+            layer.seq_position(),
+        );
     }
     let mut edges = 0u64;
     for t in graph.ids() {
@@ -284,12 +291,23 @@ impl FingerprintState {
     }
 }
 
-fn absorb_layer(st: &mut FingerprintState, dims: &LayerDims, op: LayerOp) {
+fn absorb_layer(
+    st: &mut FingerprintState,
+    dims: &LayerDims,
+    op: LayerOp,
+    density_bits: u64,
+    seq_position: u32,
+) {
     st.word((u64::from(dims.k) << 32) | u64::from(dims.c));
     st.word((u64::from(dims.y) << 32) | u64::from(dims.x));
     st.word((u64::from(dims.r) << 32) | u64::from(dims.s));
     st.word((u64::from(dims.stride) << 32) | u64::from(dims.pad));
     st.word(op_code(op));
+    // Density changes per-layer costs and sequence position marks
+    // autoregressive variants, so sparse/dense and different-position
+    // graphs must never share a memo slot.
+    st.word(density_bits);
+    st.word(u64::from(seq_position));
 }
 
 fn absorb_sched_config(st: &mut FingerprintState, cfg: &SchedulerConfig) {
@@ -354,14 +372,16 @@ fn ordering_code(ordering: crate::sched::OrderingPolicy) -> u64 {
 /// for collision verification (see [`ScheduleState::lookup`]).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ScheduleKey {
-    /// One entry per task: the layer it executes.
-    layers: Vec<(LayerDims, LayerOp)>,
+    /// One entry per task: the layer it executes, its bit-exact density
+    /// and its sequence position (autoregressive variant marker).
+    layers: Vec<(LayerDims, LayerOp, u64, u32)>,
     /// Flattened dependence edges `(consumer, producer)`.
     edges: Vec<(u32, u32)>,
     /// Task index of the first layer of each model instance.
     offsets: Vec<u32>,
-    /// Per-sub-accelerator `(style, pes, bandwidth bits, reconfigurable)`.
-    slices: Vec<(DataflowStyle, u32, u64, bool)>,
+    /// Per-sub-accelerator
+    /// `(style, pes, bandwidth bits, reconfigurable, sparse gating)`.
+    slices: Vec<(DataflowStyle, u32, u64, bool, bool)>,
     /// Global buffer capacity, bytes.
     global_buffer_bytes: u64,
     /// Bit-exact fingerprint of the cost-model configuration.
@@ -391,7 +411,12 @@ impl ScheduleKey {
         let mut edges = Vec::new();
         for t in graph.ids() {
             let layer = graph.layer(t);
-            layers.push((*layer.dims(), layer.op()));
+            layers.push((
+                *layer.dims(),
+                layer.op(),
+                layer.density().to_bits(),
+                layer.seq_position(),
+            ));
             for d in graph.deps(t) {
                 edges.push((t.0 as u32, d.0 as u32));
             }
@@ -408,6 +433,7 @@ impl ScheduleKey {
                     s.pes(),
                     s.bandwidth_gbps().to_bits(),
                     s.is_reconfigurable(),
+                    s.has_sparse_gating(),
                 )
             })
             .collect();
@@ -436,8 +462,8 @@ impl ScheduleKey {
     pub fn fingerprint(&self) -> ScheduleFingerprint {
         let mut gst = FingerprintState::new();
         gst.word(self.layers.len() as u64);
-        for (dims, op) in &self.layers {
-            absorb_layer(&mut gst, dims, *op);
+        for (dims, op, density_bits, seq) in &self.layers {
+            absorb_layer(&mut gst, dims, *op, *density_bits, *seq);
         }
         for (t, d) in &self.edges {
             gst.word((u64::from(*t) << 32) | u64::from(*d));
@@ -451,11 +477,12 @@ impl ScheduleKey {
         let mut st = FingerprintState::new();
         st.absorb([gst.a, gst.b]);
         st.word(self.slices.len() as u64);
-        for (style, pes, bw_bits, reconf) in &self.slices {
+        for (style, pes, bw_bits, reconf, gating) in &self.slices {
             st.word(style_code(*style));
             st.word(u64::from(*pes));
             st.word(*bw_bits);
             st.word(u64::from(*reconf));
+            st.word(u64::from(*gating));
         }
         st.word(self.global_buffer_bytes);
         for w in self.cost {
@@ -505,6 +532,7 @@ impl ScheduleKey {
                     s.pes(),
                     s.bandwidth_gbps().to_bits(),
                     s.is_reconfigurable(),
+                    s.has_sparse_gating(),
                 )
             })
         {
@@ -512,7 +540,13 @@ impl ScheduleKey {
         }
         if graph.ids().any(|t| {
             let layer = graph.layer(t);
-            self.layers[t.0] != (*layer.dims(), layer.op())
+            self.layers[t.0]
+                != (
+                    *layer.dims(),
+                    layer.op(),
+                    layer.density().to_bits(),
+                    layer.seq_position(),
+                )
         }) {
             return false;
         }
@@ -1031,6 +1065,58 @@ mod tests {
                 assert!(!keys[i].matches_inputs(&g, &a, &cfgs[j], &cost));
             }
         }
+    }
+
+    #[test]
+    fn sparse_and_dense_variants_never_share_a_memo_slot() {
+        // Density changes per-layer costs and sequence position marks
+        // autoregressive variants of an identically-shaped graph; memo
+        // aliasing across either axis would serve a dense schedule to a
+        // sparse request (or token k's schedule to token j). Mirror of
+        // the fusion-slot regression test for the new knobs.
+        let cost = CostModel::default();
+        let cfg = SchedulerConfig::default();
+        let a = acc();
+        let variants: Vec<TaskGraph> = [
+            zoo::mobilenet_v1(),
+            zoo::mobilenet_v1().with_uniform_density(0.5),
+            zoo::mobilenet_v1().with_uniform_density(0.25),
+            zoo::mobilenet_v1().map_layers(|l| l.with_seq_position(7)),
+            zoo::mobilenet_v1().map_layers(|l| l.with_seq_position(8)),
+        ]
+        .into_iter()
+        .map(|m| TaskGraph::new(&single_model(m, 1)))
+        .collect();
+        let keys: Vec<ScheduleKey> = variants
+            .iter()
+            .map(|g| ScheduleKey::new(g, &a, &cfg, &cost))
+            .collect();
+        for i in 0..variants.len() {
+            // Stored-key and live-input hashing stay in lockstep for
+            // every density/sequence variant.
+            assert_eq!(
+                keys[i].fingerprint(),
+                ScheduleFingerprint::of_inputs(&variants[i], &a, &cfg, &cost),
+                "variant {i}"
+            );
+            for j in i + 1..variants.len() {
+                assert_ne!(keys[i], keys[j], "variants {i} and {j} share a key");
+                assert_ne!(
+                    keys[i].fingerprint(),
+                    keys[j].fingerprint(),
+                    "variants {i} and {j} collide"
+                );
+                assert!(!keys[i].matches_inputs(&variants[j], &a, &cfg, &cost));
+            }
+        }
+        // Gated and ungated hardware must also key separately: the same
+        // sparse graph schedules differently on each.
+        let gated = acc().with_sparse_gating();
+        let key_plain = ScheduleKey::new(&variants[1], &a, &cfg, &cost);
+        let key_gated = ScheduleKey::new(&variants[1], &gated, &cfg, &cost);
+        assert_ne!(key_plain, key_gated);
+        assert_ne!(key_plain.fingerprint(), key_gated.fingerprint());
+        assert!(!key_plain.matches_inputs(&variants[1], &gated, &cfg, &cost));
     }
 
     #[test]

@@ -75,7 +75,7 @@ use crate::fleet::{
 };
 use crate::pareto::pareto_frontier_nd;
 use crate::sched::{HeraldScheduler, IncrementalScheduler, Scheduler, SchedulerConfig};
-use crate::sim::engine::{sorted_trace, validate_scenario, Event, EventKind};
+use crate::sim::engine::{reject_chained, sorted_trace, validate_scenario, Event, EventKind};
 use crate::sim::report::{percentile, QuantileSketch, ReportMode};
 use herald_arch::AcceleratorConfig;
 use herald_cost::Metric;
@@ -405,6 +405,7 @@ impl FleetDseEngine {
     ) -> Result<FleetSearchOutcome, HeraldError> {
         self.validate(menu)?;
         validate_scenario(scenario)?;
+        reject_chained(scenario, "the fleet dispatch walk")?;
         // Service estimates are per fusion level: the same chip serves a
         // frame at a different latency when its scheduler fuses layers.
         let levels = self.config.fusion_sweep();

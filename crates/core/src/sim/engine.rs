@@ -375,6 +375,15 @@ struct CompiledSchedule {
     costs: Arc<Vec<LayerCost>>,
 }
 
+/// One compiled-schedule slot of a chained stream's per-token workload
+/// table: tokens sharing a KV bucket share the slot (and its
+/// dirty-tracked schedule); distinct buckets compile independently.
+struct TokenSlot {
+    graph: Arc<TaskGraph>,
+    workload_name: Arc<str>,
+    compiled: Option<CompiledSchedule>,
+}
+
 /// Per-stream mutable state while the trace plays out.
 struct StreamState {
     graph: Arc<TaskGraph>,
@@ -391,6 +400,37 @@ struct StreamState {
     /// swap recompile to the first post-swap arrival, which consumes
     /// it.
     compiled: Option<CompiledSchedule>,
+    /// Distinct per-token workloads of a chained stream (empty for
+    /// every other stream): token `seq` resolves its slot through
+    /// `token_map`, so same-bucket tokens share one compiled schedule.
+    token_slots: Vec<TokenSlot>,
+    /// `token_map[seq]` indexes into `token_slots`; empty when the
+    /// stream carries no per-token workloads.
+    token_map: Vec<usize>,
+}
+
+/// Interns one workload's task graph by structure: streams (and token
+/// buckets) instantiated from a shared workload build and fingerprint a
+/// single graph, not one per user.
+fn intern_workload<'w>(
+    w: &'w MultiDnnWorkload,
+    interned: &mut Vec<(&'w MultiDnnWorkload, Arc<TaskGraph>, Arc<str>)>,
+    profile: &mut HotPathProfile,
+) -> (Arc<TaskGraph>, Arc<str>) {
+    match interned.iter().find(|(iw, _, _)| iw.same_structure(w)) {
+        Some((_, g, n)) => (Arc::clone(g), Arc::clone(n)),
+        None => {
+            let g = Arc::new(TaskGraph::new(w));
+            // The "precalculated" memo tier: fingerprint each distinct
+            // graph up front so per-arrival memo probes only hash the
+            // short accelerator/scheduler/cost tail.
+            g.structural_fingerprint();
+            profile.precomputed_graph_fingerprints += 1;
+            let n: Arc<str> = Arc::from(w.name());
+            interned.push((w, Arc::clone(&g), Arc::clone(&n)));
+            (g, n)
+        }
+    }
 }
 
 /// Runs one online compile and classifies it for the report: a
@@ -427,6 +467,32 @@ fn compile<S: Scheduler>(
         schedule: Arc::new(schedule),
         costs: Arc::new(costs),
     })
+}
+
+/// Which source holds the globally next event: the lazy spec-derived
+/// trace or the heap of engine-injected chained arrivals. `None` when
+/// both are exhausted; ties break by the full [`Event::key`] order with
+/// injected events first on exact key equality (which cannot occur —
+/// a chained stream's trace carries only its seq-0 start).
+fn next_is_injected<I: Iterator<Item = Event>>(
+    trace: &mut std::iter::Peekable<I>,
+    injected: &BinaryHeap<Reverse<ByKey>>,
+) -> Option<bool> {
+    match (trace.peek(), injected.peek()) {
+        (None, None) => None,
+        (None, Some(_)) => Some(true),
+        (Some(_), None) => Some(false),
+        (Some(e), Some(Reverse(ByKey(i)))) => {
+            let (ti, ki, si) = i.key();
+            let (te, ke, se) = e.key();
+            Some(
+                ti.total_cmp(&te)
+                    .then(ki.cmp(&ke))
+                    .then(si.cmp(&se))
+                    .is_le(),
+            )
+        }
+    }
 }
 
 /// Metadata of an admitted frame, joined with the core's timeline once
@@ -729,34 +795,37 @@ impl<'a> StreamSimulator<'a> {
         // each stream still tracks its own compiled schedule, so
         // compile/cache-hit counts are unchanged.
         let mut interned: Vec<(&MultiDnnWorkload, Arc<TaskGraph>, Arc<str>)> = Vec::new();
-        let mut streams: Vec<StreamState> = specs
-            .iter()
-            .map(|s| {
-                let w = s.workload();
-                let (graph, workload_name) =
-                    match interned.iter().find(|(iw, _, _)| iw.same_structure(w)) {
-                        Some((_, g, n)) => (Arc::clone(g), Arc::clone(n)),
-                        None => {
-                            let g = Arc::new(TaskGraph::new(w));
-                            // The "precalculated" memo tier: fingerprint
-                            // each distinct graph up front so per-arrival
-                            // memo probes only hash the short
-                            // accelerator/scheduler/cost tail.
-                            g.structural_fingerprint();
-                            profile.precomputed_graph_fingerprints += 1;
-                            let n: Arc<str> = Arc::from(w.name());
-                            interned.push((w, Arc::clone(&g), Arc::clone(&n)));
-                            (g, n)
-                        }
-                    };
-                StreamState {
-                    graph,
-                    workload_name,
-                    deadline_s: s.deadline_s(),
-                    compiled: None,
-                }
-            })
-            .collect();
+        let mut streams: Vec<StreamState> = Vec::with_capacity(specs.len());
+        for s in specs {
+            let (graph, workload_name) = intern_workload(s.workload(), &mut interned, &mut profile);
+            let mut token_slots: Vec<TokenSlot> = Vec::new();
+            let mut slot_workloads: Vec<&MultiDnnWorkload> = Vec::new();
+            let mut token_map: Vec<usize> = Vec::with_capacity(s.token_workloads().len());
+            for tw in s.token_workloads() {
+                let slot = match slot_workloads.iter().position(|w| w.same_structure(tw)) {
+                    Some(i) => i,
+                    None => {
+                        let (g, n) = intern_workload(tw, &mut interned, &mut profile);
+                        slot_workloads.push(tw);
+                        token_slots.push(TokenSlot {
+                            graph: g,
+                            workload_name: n,
+                            compiled: None,
+                        });
+                        token_slots.len() - 1
+                    }
+                };
+                token_map.push(slot);
+            }
+            streams.push(StreamState {
+                graph,
+                workload_name,
+                deadline_s: s.deadline_s(),
+                compiled: None,
+                token_slots,
+                token_map,
+            });
+        }
         drop(interned);
 
         let mut core = EventCore::new(self.acc, self.cost, self.metric);
@@ -776,10 +845,27 @@ impl<'a> StreamSimulator<'a> {
         let stats_before = stats.snapshot();
         let mut makespan = horizon_s;
 
+        // Autoregressive chains: token `seq + 1` of a chained stream is
+        // *injected* by the engine `gap_s` after token `seq` completes —
+        // its arrival time is a function of the schedule, so no
+        // spec-derived trace can carry it. Chain-free scenarios leave
+        // the heap empty and every chain check false, taking exactly
+        // the historical code path.
+        let chained: Vec<Option<(f64, usize)>> = specs
+            .iter()
+            .map(|s| match *s.arrival() {
+                ArrivalProcess::Chained { gap_s, tokens, .. } => Some((gap_s, tokens)),
+                _ => None,
+            })
+            .collect();
+        let has_chained = chained.iter().any(Option::is_some);
+        let mut injected: BinaryHeap<Reverse<ByKey>> = BinaryHeap::new();
+
         let harvest = |core: &mut EventCore<'_>,
                        pending: &mut Vec<PendingFrame>,
                        col: &mut Collector,
-                       makespan: &mut f64| {
+                       makespan: &mut f64,
+                       injected: &mut BinaryHeap<Reverse<ByKey>>| {
             let mut i = 0;
             while i < pending.len() {
                 let p = &pending[i];
@@ -790,6 +876,15 @@ impl<'a> StreamSimulator<'a> {
                 let p = pending.remove(i);
                 let done = core.take_frame(p.handle);
                 *makespan = makespan.max(done.finish_s);
+                if let Some((gap_s, tokens)) = chained[p.stream] {
+                    if p.seq + 1 < tokens {
+                        injected.push(Reverse(ByKey(Event {
+                            t: done.finish_s + gap_s,
+                            stream: p.stream,
+                            kind: EventKind::Arrival { seq: p.seq + 1 },
+                        })));
+                    }
+                }
                 col.record(
                     &p,
                     done.arrival_s,
@@ -802,15 +897,71 @@ impl<'a> StreamSimulator<'a> {
         };
 
         let mut trace = trace.peekable();
-        while let Some(first) = trace.peek() {
-            let window_t = first.t;
+        loop {
+            // Chain-safe stepping: while the core's next commit precedes
+            // every known future event, advance commit by commit and
+            // harvest, so a chained completion injects its successor
+            // arrival before the core runs past it. Each commit made
+            // here starts at or before `ncs <= bound`, and an injection
+            // lands at `finish + gap > finish >= the committing start`,
+            // so no injected arrival is ever discovered in the core's
+            // past. Chain-free scenarios skip this entirely.
+            if has_chained {
+                loop {
+                    let bound = match (trace.peek(), injected.peek()) {
+                        (Some(e), Some(Reverse(ByKey(i)))) => e.t.min(i.t),
+                        (Some(e), None) => e.t,
+                        (None, Some(Reverse(ByKey(i)))) => i.t,
+                        (None, None) => f64::INFINITY,
+                    };
+                    let Some(ncs) = core.next_commit_start() else {
+                        break;
+                    };
+                    if ncs > bound {
+                        break;
+                    }
+                    let t0 = timed.then(Instant::now);
+                    core.run_until(ncs).map_err(HeraldError::Simulation)?;
+                    if let Some(t0) = t0 {
+                        profile.run_ns += t0.elapsed().as_nanos() as u64;
+                    }
+                    let t0 = timed.then(Instant::now);
+                    harvest(
+                        &mut core,
+                        &mut pending,
+                        &mut col,
+                        &mut makespan,
+                        &mut injected,
+                    );
+                    if let Some(t0) = t0 {
+                        profile.harvest_ns += t0.elapsed().as_nanos() as u64;
+                    }
+                }
+            }
+            let Some(mut take_injected) = next_is_injected(&mut trace, &injected) else {
+                break;
+            };
+            let window_t = if take_injected {
+                let Some(Reverse(ByKey(e))) = injected.peek() else {
+                    unreachable!("peeked above");
+                };
+                e.t
+            } else {
+                trace.peek().expect("peeked above").t
+            };
             let t0 = timed.then(Instant::now);
             core.run_until(window_t).map_err(HeraldError::Simulation)?;
             if let Some(t0) = t0 {
                 profile.run_ns += t0.elapsed().as_nanos() as u64;
             }
             let t0 = timed.then(Instant::now);
-            harvest(&mut core, &mut pending, &mut col, &mut makespan);
+            harvest(
+                &mut core,
+                &mut pending,
+                &mut col,
+                &mut makespan,
+                &mut injected,
+            );
             core.prune_intervals(window_t);
             if let Some(t0) = t0 {
                 profile.harvest_ns += t0.elapsed().as_nanos() as u64;
@@ -824,7 +975,12 @@ impl<'a> StreamSimulator<'a> {
             profile.admission_batches += 1;
             let mut batch_events = 0usize;
             loop {
-                let event = trace.next().expect("peeked above");
+                let event = if take_injected {
+                    let Reverse(ByKey(event)) = injected.pop().expect("peeked above");
+                    event
+                } else {
+                    trace.next().expect("peeked above")
+                };
                 events_processed += 1;
                 batch_events += 1;
                 let stream = &mut streams[event.stream];
@@ -840,8 +996,18 @@ impl<'a> StreamSimulator<'a> {
                         // post-swap arrival, as the scheduler is
                         // deterministic).
                         let t0 = timed.then(Instant::now);
+                        // A chained stream with per-token workloads
+                        // resolves this token's slot (same-bucket tokens
+                        // share the compiled schedule); every other
+                        // stream uses its single dirty-tracked slot.
+                        let (graph, workload_name, compiled_slot) = if stream.token_map.is_empty() {
+                            (&stream.graph, &stream.workload_name, &mut stream.compiled)
+                        } else {
+                            let slot = &mut stream.token_slots[stream.token_map[seq]];
+                            (&slot.graph, &slot.workload_name, &mut slot.compiled)
+                        };
                         let compiled = match self.policy {
-                            ReschedulePolicy::Incremental => match &stream.compiled {
+                            ReschedulePolicy::Incremental => match &*compiled_slot {
                                 Some(compiled) => {
                                     schedule_cache_hits += 1;
                                     compiled.clone()
@@ -849,7 +1015,7 @@ impl<'a> StreamSimulator<'a> {
                                 None => {
                                     let compiled = compile(
                                         scheduler,
-                                        &stream.graph,
+                                        graph,
                                         self.acc,
                                         self.cost,
                                         self.metric,
@@ -858,15 +1024,15 @@ impl<'a> StreamSimulator<'a> {
                                         &mut schedule_cache_hits,
                                         &mut profile,
                                     )?;
-                                    stream.compiled = Some(compiled.clone());
+                                    *compiled_slot = Some(compiled.clone());
                                     compiled
                                 }
                             },
-                            ReschedulePolicy::FullReschedule => match stream.compiled.take() {
+                            ReschedulePolicy::FullReschedule => match compiled_slot.take() {
                                 Some(compiled) => compiled,
                                 None => compile(
                                     scheduler,
-                                    &stream.graph,
+                                    graph,
                                     self.acc,
                                     self.cost,
                                     self.metric,
@@ -883,7 +1049,7 @@ impl<'a> StreamSimulator<'a> {
                         let t0 = timed.then(Instant::now);
                         let handle = core
                             .admit_with_costs(
-                                GraphRef::Shared(Arc::clone(&stream.graph)),
+                                GraphRef::Shared(Arc::clone(graph)),
                                 ScheduleRef::Shared(compiled.schedule),
                                 CostTable::Shared(compiled.costs),
                                 event.t,
@@ -897,7 +1063,7 @@ impl<'a> StreamSimulator<'a> {
                             handle,
                             stream: event.stream,
                             seq,
-                            workload: Arc::clone(&stream.workload_name),
+                            workload: Arc::clone(workload_name),
                             deadline_s: stream.deadline_s,
                         });
                     }
@@ -940,13 +1106,22 @@ impl<'a> StreamSimulator<'a> {
                 if batch_events >= self.admission_batch {
                     break;
                 }
-                match trace.peek() {
+                match next_is_injected(&mut trace, &injected) {
                     None => break,
-                    Some(next) => {
+                    Some(next_inj) => {
+                        let next_t = if next_inj {
+                            let Some(Reverse(ByKey(e))) = injected.peek() else {
+                                unreachable!("peeked above");
+                            };
+                            e.t
+                        } else {
+                            trace.peek().expect("peeked above").t
+                        };
                         let next_commit = core.next_commit_start().unwrap_or(f64::INFINITY);
-                        if next.t > next_commit {
+                        if next_t > next_commit {
                             break;
                         }
+                        take_injected = next_inj;
                     }
                 }
             }
@@ -958,8 +1133,15 @@ impl<'a> StreamSimulator<'a> {
         if let Some(t0) = t0 {
             profile.run_ns += t0.elapsed().as_nanos() as u64;
         }
-        harvest(&mut core, &mut pending, &mut col, &mut makespan);
+        harvest(
+            &mut core,
+            &mut pending,
+            &mut col,
+            &mut makespan,
+            &mut injected,
+        );
         debug_assert!(pending.is_empty(), "all frames complete after drain");
+        debug_assert!(injected.is_empty(), "all chained tokens admitted");
 
         col.frames.sort_by(|a, b| {
             a.arrival_s
@@ -1063,6 +1245,50 @@ pub(crate) fn validate_scenario(scenario: &Scenario) -> Result<(), HeraldError> 
                     ));
                 }
             }
+            // Chained decode sessions: the only arrival shape whose
+            // later events depend on the schedule. Swaps are rejected
+            // (a token's workload is fixed by its sequence position) and
+            // per-token workloads, when given, must cover every token.
+            ArrivalProcess::Chained {
+                start_s,
+                gap_s,
+                tokens,
+            } => {
+                if !(*start_s >= 0.0 && start_s.is_finite()) {
+                    return fail(format!(
+                        "stream {:?} chain start must be non-negative and finite, got {start_s}",
+                        s.name()
+                    ));
+                }
+                if !(*gap_s > 0.0 && gap_s.is_finite()) {
+                    return fail(format!(
+                        "stream {:?} chain gap must be positive and finite, got {gap_s}",
+                        s.name()
+                    ));
+                }
+                if *tokens == 0 {
+                    return fail(format!(
+                        "stream {:?} chain must emit at least one token",
+                        s.name()
+                    ));
+                }
+                if !s.swaps().is_empty() {
+                    return fail(format!(
+                        "stream {:?} is chained and cannot swap workloads mid-session",
+                        s.name()
+                    ));
+                }
+                if !s.token_workloads().is_empty() && s.token_workloads().len() != *tokens {
+                    return fail(format!(
+                        "stream {:?} has {} token workloads for {tokens} tokens",
+                        s.name(),
+                        s.token_workloads().len()
+                    ));
+                }
+                if s.token_workloads().iter().any(|w| w.total_layers() == 0) {
+                    return fail(format!("stream {:?} has an empty token workload", s.name()));
+                }
+            }
             _ if rate > 0.0 && rate.is_finite() => {}
             _ => {
                 return fail(format!(
@@ -1070,6 +1296,13 @@ pub(crate) fn validate_scenario(scenario: &Scenario) -> Result<(), HeraldError> 
                     s.name()
                 ))
             }
+        }
+        if !matches!(s.arrival(), ArrivalProcess::Chained { .. }) && !s.token_workloads().is_empty()
+        {
+            return fail(format!(
+                "stream {:?} carries token workloads but is not chained",
+                s.name()
+            ));
         }
         if let Some(d) = s.deadline_s() {
             if !(d > 0.0 && d.is_finite()) {
@@ -1095,6 +1328,29 @@ pub(crate) fn validate_scenario(scenario: &Scenario) -> Result<(), HeraldError> 
                 ));
             }
         }
+    }
+    Ok(())
+}
+
+/// Rejects scenarios containing chained (completion-dependent) streams,
+/// for consumers that replay spec-derived arrival traces — the fleet
+/// dispatch walk and the controller's epoch walk. A chained stream's
+/// later arrivals depend on per-chip completions, which no precomputed
+/// trace can carry; routing them would silently drop every token after
+/// the first.
+pub(crate) fn reject_chained(scenario: &Scenario, consumer: &str) -> Result<(), HeraldError> {
+    if let Some(s) = scenario
+        .streams()
+        .iter()
+        .find(|s| matches!(s.arrival(), ArrivalProcess::Chained { .. }))
+    {
+        return Err(HeraldError::Scenario {
+            reason: format!(
+                "stream {:?} has completion-chained arrivals, which {consumer} cannot \
+                 replay from a precomputed trace; simulate chained streams on a single chip",
+                s.name()
+            ),
+        });
     }
     Ok(())
 }
@@ -1526,6 +1782,154 @@ mod tests {
         // compiled its own.
         assert_eq!(report.scheduler_invocations(), 3);
         assert_eq!(profile.mem.frame_bytes > 0, !report.frames().is_empty());
+    }
+
+    #[test]
+    fn chained_stream_serializes_tokens_with_the_sampling_gap() {
+        // Token k + 1 arrives exactly gap after token k completes: the
+        // decode loop's data dependence, which no precomputed trace can
+        // express. Bit-exact: arrival = previous finish + gap.
+        let gap = 0.01;
+        let scenario = Scenario::new("decode", 1.0).stream(StreamSpec::chained(
+            "s",
+            tiny_workload(),
+            0.0,
+            gap,
+            4,
+        ));
+        let cost = CostModel::default();
+        let report = StreamSimulator::new(&acc(), &cost)
+            .simulate(&HeraldScheduler::default(), &scenario)
+            .unwrap();
+        assert_eq!(report.frames().len(), 4);
+        for (k, f) in report.frames().iter().enumerate() {
+            assert_eq!(f.seq, k);
+        }
+        for w in report.frames().windows(2) {
+            assert_eq!(w[1].arrival_s.to_bits(), (w[0].finish_s + gap).to_bits());
+            assert!(w[1].arrival_s > w[0].finish_s, "no overlap between tokens");
+        }
+        // One workload version: a single compile, the rest cache hits.
+        assert_eq!(report.scheduler_invocations(), 1);
+        assert_eq!(report.schedule_cache_hits(), 3);
+        // Determinism: completion-chained arrivals replay bit-for-bit.
+        let again = StreamSimulator::new(&acc(), &cost)
+            .simulate(&HeraldScheduler::default(), &scenario)
+            .unwrap();
+        assert_eq!(report, again);
+    }
+
+    #[test]
+    fn chained_tokens_resolve_per_token_workloads() {
+        // Two KV "buckets": tokens 0-1 run MobileNetV1, tokens 2-3 run
+        // MobileNetV2. Each bucket compiles once; frames are labeled
+        // with their token's workload.
+        let small = tiny_workload();
+        let big = single_model(zoo::mobilenet_v2(), 1);
+        let token_workloads = vec![small.clone(), small, big.clone(), big.clone()];
+        let scenario = Scenario::new("decode-buckets", 1.0).stream(
+            StreamSpec::chained("s", big, 0.0, 0.005, 4).with_token_workloads(token_workloads),
+        );
+        let cost = CostModel::default();
+        let report = StreamSimulator::new(&acc(), &cost)
+            .simulate(&HeraldScheduler::default(), &scenario)
+            .unwrap();
+        assert_eq!(report.frames().len(), 4);
+        let names: Vec<&str> = report.frames().iter().map(|f| &*f.workload).collect();
+        assert_eq!(
+            names,
+            vec![
+                "MobileNetV1-b1",
+                "MobileNetV1-b1",
+                "MobileNetV2-b1",
+                "MobileNetV2-b1"
+            ]
+        );
+        assert_eq!(report.scheduler_invocations(), 2);
+        assert_eq!(report.schedule_cache_hits(), 2);
+    }
+
+    #[test]
+    fn chained_streams_coexist_with_trace_driven_streams() {
+        let scenario = Scenario::new("mix", 0.1)
+            .stream(StreamSpec::chained(
+                "decode",
+                tiny_workload(),
+                0.005,
+                0.01,
+                3,
+            ))
+            .stream(StreamSpec::periodic("cam", tiny_workload(), 50.0).with_deadline(0.5));
+        let cost = CostModel::default();
+        let acc = acc();
+        let sched = HeraldScheduler::default();
+        let a = StreamSimulator::new(&acc, &cost)
+            .simulate(&sched, &scenario)
+            .unwrap();
+        assert_eq!(
+            a,
+            StreamSimulator::new(&acc, &cost)
+                .simulate(&sched, &scenario)
+                .unwrap()
+        );
+        let decode_frames: Vec<_> = a.frames().iter().filter(|f| f.stream == 0).collect();
+        let cam_frames: Vec<_> = a.frames().iter().filter(|f| f.stream == 1).collect();
+        assert_eq!(decode_frames.len(), 3);
+        assert_eq!(cam_frames.len(), 5);
+        for w in decode_frames.windows(2) {
+            assert!(w[1].arrival_s > w[0].finish_s);
+        }
+        // Incremental == full reschedule holds with injection active.
+        let full = StreamSimulator::new(&acc, &cost)
+            .with_policy(ReschedulePolicy::FullReschedule)
+            .simulate(&sched, &scenario)
+            .unwrap();
+        assert_eq!(a.frames(), full.frames());
+        assert_eq!(a.busy_spans(), full.busy_spans());
+        assert_eq!(a.energy(), full.energy());
+    }
+
+    #[test]
+    fn degenerate_chained_streams_are_typed_errors() {
+        let cost = CostModel::default();
+        let acc = acc();
+        let sim = StreamSimulator::new(&acc, &cost);
+        let sched = HeraldScheduler::default();
+        let reject = |scenario: &Scenario, what: &str| {
+            let err = sim.simulate(&sched, scenario).unwrap_err();
+            assert!(
+                matches!(err, HeraldError::Scenario { .. }),
+                "{what}: {err:?}"
+            );
+        };
+        let w = tiny_workload;
+        reject(
+            &Scenario::new("zero-gap", 1.0).stream(StreamSpec::chained("s", w(), 0.0, 0.0, 3)),
+            "zero gap",
+        );
+        reject(
+            &Scenario::new("zero-tokens", 1.0).stream(StreamSpec::chained("s", w(), 0.0, 0.1, 0)),
+            "zero tokens",
+        );
+        reject(
+            &Scenario::new("neg-start", 1.0).stream(StreamSpec::chained("s", w(), -0.5, 0.1, 3)),
+            "negative start",
+        );
+        reject(
+            &Scenario::new("swapped", 1.0)
+                .stream(StreamSpec::chained("s", w(), 0.0, 0.1, 3).swap_at(0.5, w())),
+            "swap on chained stream",
+        );
+        reject(
+            &Scenario::new("short-map", 1.0)
+                .stream(StreamSpec::chained("s", w(), 0.0, 0.1, 3).with_token_workloads(vec![w()])),
+            "token workload count mismatch",
+        );
+        reject(
+            &Scenario::new("tokens-on-periodic", 1.0)
+                .stream(StreamSpec::periodic("s", w(), 10.0).with_token_workloads(vec![w()])),
+            "token workloads on a non-chained stream",
+        );
     }
 
     #[test]

@@ -87,6 +87,10 @@ pub struct CostQuery {
     pub bandwidth_gbps: f64,
     /// Whether the array pays reconfigurable-hardware taxes (RDA).
     pub reconfigurable: bool,
+    /// Whether the array has sparsity-gating hardware (zero-skip logic and
+    /// compressed weight delivery). Without it, a sparse layer is charged
+    /// its dense cost.
+    pub sparse_gating: bool,
 }
 
 impl CostQuery {
@@ -97,8 +101,38 @@ impl CostQuery {
             pes,
             bandwidth_gbps,
             reconfigurable: false,
+            sparse_gating: false,
         }
     }
+}
+
+/// Fraction of the zero-operand work a sparsity-gated array actually
+/// elides, per dataflow class.
+///
+/// This encodes the PAPERS.md heterogeneity argument for sparse tensor
+/// acceleration: *flexible* fabrics (reconfigurable, MAERI-class) can
+/// re-form their distribution/reduction trees around nonzeros and skip
+/// nearly all gated work, while *rigid* arrays recover progressively less
+/// of the idle cycles — Shi-diannao's lock-step output-stationary grid
+/// barely benefits because its systolic schedule cannot compress holes.
+/// The cost model turns this into a multiplier
+/// `eff = 1 - skip * (1 - density)` on compute cycles, compute energy and
+/// local-NoC traffic.
+pub(crate) fn sparsity_skip_fraction(style: DataflowStyle, reconfigurable: bool) -> f64 {
+    if reconfigurable {
+        return 0.95;
+    }
+    match style {
+        DataflowStyle::Nvdla => 0.60,
+        DataflowStyle::Eyeriss => 0.75,
+        DataflowStyle::ShiDianNao => 0.20,
+    }
+}
+
+/// `ceil(count * factor)` — the monotone integer scaling used for all
+/// density-derived traffic and cycle reductions.
+fn scale_count(count: u64, factor: f64) -> u64 {
+    (count as f64 * factor).ceil() as u64
 }
 
 /// The modeled cost of running one layer on one (sub-)accelerator.
@@ -147,7 +181,7 @@ impl LayerCost {
     }
 }
 
-type CacheKey = (LayerDims, LayerOp, DataflowStyle, u32, u64, bool);
+type CacheKey = (LayerDims, LayerOp, DataflowStyle, u32, u64, bool, u64, bool);
 
 /// The analytical cost model, with internal memoization.
 ///
@@ -220,6 +254,26 @@ impl CostModel {
         self.query(layer, CostQuery::fixed(style, pes, bandwidth_gbps))
     }
 
+    /// Evaluates a layer on a fixed-dataflow (sub-)accelerator with or
+    /// without sparsity-gating hardware. With `sparse_gating = false`
+    /// (or a fully dense layer) this is exactly [`CostModel::evaluate`].
+    pub fn evaluate_gated(
+        &self,
+        layer: &Layer,
+        style: DataflowStyle,
+        pes: u32,
+        bandwidth_gbps: f64,
+        sparse_gating: bool,
+    ) -> LayerCost {
+        self.query(
+            layer,
+            CostQuery {
+                sparse_gating,
+                ..CostQuery::fixed(style, pes, bandwidth_gbps)
+            },
+        )
+    }
+
     /// Evaluates a layer under an arbitrary [`CostQuery`].
     pub fn query(&self, layer: &Layer, q: CostQuery) -> LayerCost {
         let key: CacheKey = (
@@ -229,6 +283,8 @@ impl CostModel {
             q.pes,
             q.bandwidth_gbps.to_bits(),
             q.reconfigurable,
+            layer.density().to_bits(),
+            q.sparse_gating,
         );
         if let Some(hit) = self
             .cache
@@ -269,6 +325,20 @@ impl CostModel {
         bandwidth_gbps: f64,
         metric: Metric,
     ) -> LayerCost {
+        self.evaluate_rda_gated(layer, pes, bandwidth_gbps, metric, false)
+    }
+
+    /// [`CostModel::evaluate_rda`] with optional sparsity-gating hardware.
+    /// With `sparse_gating = false` (or a fully dense layer) this is
+    /// exactly `evaluate_rda`.
+    pub fn evaluate_rda_gated(
+        &self,
+        layer: &Layer,
+        pes: u32,
+        bandwidth_gbps: f64,
+        metric: Metric,
+        sparse_gating: bool,
+    ) -> LayerCost {
         DataflowStyle::ALL
             .into_iter()
             .map(|style| {
@@ -279,6 +349,7 @@ impl CostModel {
                         pes,
                         bandwidth_gbps,
                         reconfigurable: true,
+                        sparse_gating,
                     },
                 )
             })
@@ -304,7 +375,13 @@ impl CostModel {
 
     fn compute(&self, layer: &Layer, q: CostQuery) -> LayerCost {
         let mapping = MappingBuilder::new(q.style, q.pes).best(layer);
-        self.assemble(layer, &mapping, q.bandwidth_gbps, q.reconfigurable)
+        self.assemble_gated(
+            layer,
+            &mapping,
+            q.bandwidth_gbps,
+            q.reconfigurable,
+            q.sparse_gating,
+        )
     }
 
     fn assemble(
@@ -314,16 +391,45 @@ impl CostModel {
         bandwidth_gbps: f64,
         reconfigurable: bool,
     ) -> LayerCost {
+        self.assemble_gated(layer, mapping, bandwidth_gbps, reconfigurable, false)
+    }
+
+    fn assemble_gated(
+        &self,
+        layer: &Layer,
+        mapping: &Mapping,
+        bandwidth_gbps: f64,
+        reconfigurable: bool,
+        sparse_gating: bool,
+    ) -> LayerCost {
         let cfg = &self.config;
-        let traffic = TrafficCounts::for_mapping(layer, mapping);
+        let mut traffic = TrafficCounts::for_mapping(layer, mapping);
         let buffer = BufferRequirement::for_mapping(layer, mapping, cfg.bytes_per_elem);
+        // Sparsity: a gated array skips a class-dependent fraction of the
+        // zero work. Dense layers (density = 1.0) and ungated hardware take
+        // none of this branch, so those costs are bit-identical to the
+        // pre-density model.
+        let density = layer.density();
+        let sparse = sparse_gating && density < 1.0;
+        let eff = 1.0 - sparsity_skip_fraction(mapping.style(), reconfigurable) * (1.0 - density);
+        if sparse {
+            // Compressed weights shrink both global-buffer and DRAM weight
+            // streams by the density; activations stay dense (no activation
+            // sparsity is modeled). Local-NoC deliveries track the elided
+            // MACs.
+            let dense_weights = layer.weight_elems();
+            let sparse_weights = scale_count(dense_weights, density);
+            traffic.gb_weight_reads = scale_count(traffic.gb_weight_reads, density);
+            traffic.local_noc_words = scale_count(traffic.local_noc_words, eff);
+            traffic.dram_words = traffic.dram_words - dense_weights + sparse_weights;
+        }
         let extra_cycles = cfg.context_change_cycles
             + if reconfigurable {
                 cfg.rda_reconfig_cycles
             } else {
                 0
             };
-        let parts: LatencyParts = latency_parts(
+        let mut parts: LatencyParts = latency_parts(
             layer,
             mapping,
             &traffic,
@@ -332,6 +438,9 @@ impl CostModel {
             cfg.bytes_per_elem,
             extra_cycles,
         );
+        if sparse {
+            parts.compute_cycles = scale_count(parts.compute_cycles, eff).max(1);
+        }
         let total_cycles = parts.total_cycles();
         let latency_s = total_cycles as f64 / (cfg.clock_ghz * 1e9);
 
@@ -342,8 +451,13 @@ impl CostModel {
         } else {
             1.0
         };
+        let effective_macs = if sparse {
+            layer.macs() as f64 * eff
+        } else {
+            layer.macs() as f64
+        };
         let energy = EnergyBreakdown {
-            compute_j: layer.macs() as f64 * e.mac_with_rf_pj() * PJ * tax,
+            compute_j: effective_macs * e.mac_with_rf_pj() * PJ * tax,
             noc_j: traffic.local_noc_words as f64 * e.noc_pj * PJ * tax,
             gb_j: traffic.gb_total() as f64 * e.gb_pj * PJ,
             dram_j: traffic.dram_words as f64 * e.dram_pj * PJ,
@@ -456,6 +570,7 @@ mod tests {
                 pes: 1024,
                 bandwidth_gbps: 32.0,
                 reconfigurable: true,
+                sparse_gating: false,
             },
         );
         assert!(rda.energy_j() > fda.energy_j());
@@ -592,6 +707,90 @@ mod tests {
             ..Default::default()
         };
         assert_ne!(base.fingerprint(), energy.fingerprint());
+    }
+
+    #[test]
+    fn gating_is_a_noop_on_dense_layers() {
+        // The sparse branch must be untaken at density = 1.0: gated and
+        // ungated costs are bit-identical, preserving every golden result.
+        let m = model();
+        let layer = conv(256, 256, 28, 3);
+        for style in DataflowStyle::ALL {
+            let dense = m.evaluate(&layer, style, 1024, 32.0);
+            let gated = m.evaluate_gated(&layer, style, 1024, 32.0, true);
+            assert_eq!(dense, gated, "{style}");
+        }
+        let rda = m.evaluate_rda(&layer, 1024, 32.0, Metric::Edp);
+        let rda_gated = m.evaluate_rda_gated(&layer, 1024, 32.0, Metric::Edp, true);
+        assert_eq!(rda, rda_gated);
+    }
+
+    #[test]
+    fn ungated_hardware_charges_dense_cost_for_sparse_layers() {
+        let m = model();
+        let dense = conv(256, 256, 28, 3);
+        let sparse = dense.clone().with_density(0.3);
+        let cd = m.evaluate(&dense, DataflowStyle::Nvdla, 1024, 32.0);
+        let cs = m.evaluate(&sparse, DataflowStyle::Nvdla, 1024, 32.0);
+        assert_eq!(cd.total_cycles, cs.total_cycles);
+        assert_eq!(cd.energy, cs.energy);
+        assert_eq!(cd.traffic, cs.traffic);
+    }
+
+    #[test]
+    fn gated_sparse_layers_are_cheaper_everywhere() {
+        let m = model();
+        let sparse = conv(256, 256, 28, 3).with_density(0.3);
+        for style in DataflowStyle::ALL {
+            let dense_cost = m.evaluate(&sparse, style, 1024, 32.0);
+            let gated = m.evaluate_gated(&sparse, style, 1024, 32.0, true);
+            assert!(gated.total_cycles <= dense_cost.total_cycles, "{style}");
+            assert!(gated.energy_j() < dense_cost.energy_j(), "{style}");
+            assert!(
+                gated.traffic.gb_total() < dense_cost.traffic.gb_total(),
+                "{style}"
+            );
+            // Activations stay dense.
+            assert_eq!(
+                gated.traffic.gb_input_reads,
+                dense_cost.traffic.gb_input_reads
+            );
+        }
+    }
+
+    #[test]
+    fn flexible_classes_skip_more_zero_work_than_rigid_arrays() {
+        // The heterogeneity argument: reconfigurable fabrics recover ~95%
+        // of the gated work, Shi-diannao's rigid grid only 20%.
+        let m = model();
+        let sparse = conv(256, 256, 28, 3).with_density(0.3);
+        let shi_dense = m.evaluate(&sparse, DataflowStyle::ShiDianNao, 1024, 1e6);
+        let shi_gated = m.evaluate_gated(&sparse, DataflowStyle::ShiDianNao, 1024, 1e6, true);
+        let rda_dense = m.evaluate_rda(&sparse, 1024, 1e6, Metric::Latency);
+        let rda_gated = m.evaluate_rda_gated(&sparse, 1024, 1e6, Metric::Latency, true);
+        let shi_speedup = shi_dense.latency_s / shi_gated.latency_s;
+        let rda_speedup = rda_dense.latency_s / rda_gated.latency_s;
+        assert!(
+            rda_speedup > 1.5 * shi_speedup,
+            "rda {rda_speedup} vs shi {shi_speedup}"
+        );
+    }
+
+    #[test]
+    fn density_variants_do_not_share_the_cost_memo() {
+        let m = model();
+        let dense = conv(64, 64, 28, 3);
+        let sparse = dense.clone().with_density(0.5);
+        let _ = m.evaluate_gated(&dense, DataflowStyle::Nvdla, 1024, 32.0, true);
+        assert_eq!(m.cached_queries(), 1);
+        let _ = m.evaluate_gated(&sparse, DataflowStyle::Nvdla, 1024, 32.0, true);
+        assert_eq!(
+            m.cached_queries(),
+            2,
+            "sparse variant must be a fresh entry"
+        );
+        let _ = m.evaluate(&sparse, DataflowStyle::Nvdla, 1024, 32.0);
+        assert_eq!(m.cached_queries(), 3, "gating flag must be keyed");
     }
 
     #[test]

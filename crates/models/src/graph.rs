@@ -137,6 +137,37 @@ impl DnnModel {
             .position(|l| l.name() == name)
             .map(LayerId)
     }
+
+    /// A copy of this model with every layer transformed (dependence
+    /// edges and the model name are kept). The transform must preserve
+    /// layer-name uniqueness; it is intended for identity-adjacent
+    /// rewrites such as density or sequence-position stamping.
+    #[must_use]
+    pub fn map_layers(&self, mut f: impl FnMut(Layer) -> Layer) -> DnnModel {
+        DnnModel {
+            name: self.name.clone(),
+            layers: self.layers.iter().cloned().map(&mut f).collect(),
+            preds: self.preds.clone(),
+        }
+    }
+
+    /// A copy of this model with every layer's weight density set to
+    /// `density`, renamed `"{name}@d{percent}"` so sparse variants are
+    /// distinguishable in schedules and reports. `with_uniform_density(1.0)`
+    /// keeps the name and is layer-for-layer equal to the original.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < density <= 1` and finite (see
+    /// [`Layer::with_density`]).
+    #[must_use]
+    pub fn with_uniform_density(&self, density: f64) -> DnnModel {
+        let mut model = self.map_layers(|l| l.with_density(density));
+        if density < 1.0 {
+            model.name = format!("{}@d{:.0}", self.name, density * 100.0);
+        }
+        model
+    }
 }
 
 impl fmt::Display for DnnModel {
@@ -338,6 +369,38 @@ mod tests {
             m.layer(LayerId(0)).macs() + m.layer(LayerId(1)).macs()
         );
         assert!(m.total_weight_elems() > 0);
+    }
+
+    #[test]
+    fn uniform_density_stamps_every_layer_and_renames() {
+        let m = ModelBuilder::new("m")
+            .chain("a", LayerOp::Conv2d, entry_dims())
+            .chain("b", LayerOp::Conv2d, dims())
+            .build()
+            .unwrap();
+        let sparse = m.with_uniform_density(0.4);
+        assert_eq!(sparse.name(), "m@d40");
+        assert_eq!(sparse.num_layers(), m.num_layers());
+        for (id, layer) in sparse.iter() {
+            assert_eq!(layer.density(), 0.4);
+            assert_eq!(layer.dims(), m.layer(id).dims());
+            assert_eq!(sparse.predecessors(id), m.predecessors(id));
+        }
+        // Density 1.0 is the identity transform, name included.
+        assert_eq!(m.with_uniform_density(1.0), m);
+    }
+
+    #[test]
+    fn map_layers_preserves_structure() {
+        let m = ModelBuilder::new("m")
+            .chain("a", LayerOp::Conv2d, entry_dims())
+            .chain("b", LayerOp::Conv2d, dims())
+            .build()
+            .unwrap();
+        let stamped = m.map_layers(|l| l.with_seq_position(9));
+        assert_eq!(stamped.name(), "m");
+        assert!(stamped.layers().iter().all(|l| l.seq_position() == 9));
+        assert_eq!(stamped.predecessors(LayerId(1)), &[LayerId(0)]);
     }
 
     #[test]

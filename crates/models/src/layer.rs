@@ -66,11 +66,48 @@ impl fmt::Display for LayerOp {
 ///                    LayerDims::conv(64, 3, 224, 224, 7, 7).with_stride(2).with_pad(3));
 /// assert_eq!(l.macs(), 64 * 3 * 112 * 112 * 7 * 7);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Layer {
     name: String,
     op: LayerOp,
     dims: LayerDims,
+    /// Fraction of non-zero filter weights in `(0, 1]`; 1.0 means dense.
+    #[serde(default = "default_density")]
+    density: f64,
+    /// Position of this layer's frame in an autoregressive sequence
+    /// (0 outside decode streams). Cost-neutral, but part of the layer's
+    /// identity so per-token schedule variants never alias.
+    #[serde(default)]
+    seq_position: u32,
+}
+
+fn default_density() -> f64 {
+    1.0
+}
+
+// Manual equality/hash: `density` is an `f64` knob compared bit-exactly
+// (it is always written from finite literals, never computed), which
+// keeps `Layer: Eq + Hash` for the cost-model and schedule memo keys.
+impl PartialEq for Layer {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.op == other.op
+            && self.dims == other.dims
+            && self.density.to_bits() == other.density.to_bits()
+            && self.seq_position == other.seq_position
+    }
+}
+
+impl Eq for Layer {}
+
+impl std::hash::Hash for Layer {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.name.hash(state);
+        self.op.hash(state);
+        self.dims.hash(state);
+        self.density.to_bits().hash(state);
+        self.seq_position.hash(state);
+    }
 }
 
 impl Layer {
@@ -103,7 +140,45 @@ impl Layer {
             name: name.into(),
             op,
             dims,
+            density: 1.0,
+            seq_position: 0,
         }
+    }
+
+    /// Sets the fraction of non-zero filter weights (builder style).
+    ///
+    /// Density is a *weight* sparsity knob: 1.0 (the default) is the
+    /// dense layer every pre-existing model uses, smaller values mark
+    /// pruned layers whose zero work sparsity-gated hardware can skip.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < density <= 1` and finite.
+    #[must_use]
+    pub fn with_density(mut self, density: f64) -> Self {
+        assert!(
+            density.is_finite() && density > 0.0 && density <= 1.0,
+            "density must be in (0, 1], got {density}"
+        );
+        self.density = density;
+        self
+    }
+
+    /// Sets the autoregressive sequence position (builder style).
+    #[must_use]
+    pub fn with_seq_position(mut self, seq_position: u32) -> Self {
+        self.seq_position = seq_position;
+        self
+    }
+
+    /// Fraction of non-zero filter weights in `(0, 1]`; 1.0 = dense.
+    pub fn density(&self) -> f64 {
+        self.density
+    }
+
+    /// Position in an autoregressive sequence (0 outside decode streams).
+    pub fn seq_position(&self) -> u32 {
+        self.seq_position
     }
 
     /// The layer's name (unique within its model by construction via
@@ -271,5 +346,52 @@ mod tests {
     fn accumulation_flag() {
         assert!(LayerOp::Conv2d.accumulates_across_channels());
         assert!(!LayerOp::DepthwiseConv.accumulates_across_channels());
+    }
+
+    #[test]
+    fn density_defaults_dense_and_distinguishes_variants() {
+        let dense = Layer::new("c", LayerOp::Conv2d, conv(16, 8, 10, 3));
+        assert_eq!(dense.density(), 1.0);
+        assert_eq!(dense.seq_position(), 0);
+        // An explicit 1.0 is the same layer: the knob's identity value.
+        assert_eq!(dense, dense.clone().with_density(1.0));
+        // Sparse and positioned variants are distinct layers.
+        let sparse = dense.clone().with_density(0.25);
+        assert_eq!(sparse.density(), 0.25);
+        assert_ne!(dense, sparse);
+        let tok7 = dense.clone().with_seq_position(7);
+        assert_eq!(tok7.seq_position(), 7);
+        assert_ne!(dense, tok7);
+        // MACs and shapes are density-independent (density scales *cost*,
+        // not the nominal loop nest).
+        assert_eq!(dense.macs(), sparse.macs());
+        assert_eq!(dense.weight_elems(), sparse.weight_elems());
+    }
+
+    #[test]
+    fn density_round_trips_through_hash_identity() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |l: &Layer| {
+            let mut s = DefaultHasher::new();
+            l.hash(&mut s);
+            s.finish()
+        };
+        let dense = Layer::new("c", LayerOp::Conv2d, conv(16, 8, 10, 3));
+        assert_eq!(h(&dense), h(&dense.clone().with_density(1.0)));
+        assert_ne!(h(&dense), h(&dense.clone().with_density(0.5)));
+        assert_ne!(h(&dense), h(&dense.clone().with_seq_position(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "density must be in (0, 1]")]
+    fn zero_density_rejected() {
+        let _ = Layer::new("c", LayerOp::Conv2d, conv(16, 8, 10, 3)).with_density(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "density must be in (0, 1]")]
+    fn overdense_rejected() {
+        let _ = Layer::new("c", LayerOp::Conv2d, conv(16, 8, 10, 3)).with_density(1.5);
     }
 }

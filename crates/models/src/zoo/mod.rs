@@ -18,6 +18,7 @@
 //! | [`ssd_resnet34`] | SSD-ResNet34 (1200x1200) | MLPerf detection (large) |
 //! | [`ssd_mobilenet_v1`] | SSD-MobileNetV1 (300x300) | MLPerf detection (small) |
 //! | [`gnmt`] | GNMT (8-layer LSTM seq2seq) | MLPerf translation |
+//! | [`transformer_decoder`] | decoder-only transformer (per-token, KV-parameterized) | transformer-era extension |
 
 mod depthnet;
 mod gnmt;
@@ -25,6 +26,7 @@ mod handpose;
 mod mobilenet;
 mod resnet;
 mod ssd;
+mod transformer;
 mod unet;
 
 pub use depthnet::focal_depthnet;
@@ -33,9 +35,12 @@ pub use handpose::brq_handpose;
 pub use mobilenet::{mobilenet_v1, mobilenet_v2};
 pub use resnet::{resnet34_backbone, resnet50};
 pub use ssd::{ssd_mobilenet_v1, ssd_resnet34};
+pub use transformer::{transformer_decoder, TRANSFORMER_BLOCKS, TRANSFORMER_HIDDEN};
 pub use unet::unet;
 
 /// All zoo models, for exhaustive tests and the Table I reproduction.
+/// [`transformer_decoder`] is parameterized by KV length and therefore
+/// not included here.
 pub fn all_models() -> Vec<crate::DnnModel> {
     vec![
         resnet50(),

@@ -28,8 +28,9 @@ pub mod seeded;
 
 pub use scenario::{
     arvr_a_stream, arvr_b_stream, diurnal_fleet_stream, diurnal_ramp_trace, diurnal_rate_at,
-    fleet_mix_stream, poisson_mix_stream, workload_change_trace, ArrivalProcess, Scenario,
-    StreamSpec, WorkloadSwap,
+    fleet_mix_stream, poisson_mix_stream, sparse_mix_stream, transformer_decode_stream,
+    workload_change_trace, ArrivalProcess, Scenario, StreamSpec, WorkloadSwap, DECODE_KV_BUCKET,
+    SPARSE_DENSITY_GRID,
 };
 
 use herald_models::{zoo, DnnModel};

@@ -80,6 +80,24 @@ pub enum ArrivalProcess {
         /// Seed of the deterministic thinning sampler.
         seed: u64,
     },
+    /// Autoregressive decode: a session of `tokens` frames where frame 0
+    /// arrives at `start_s` and frame `k + 1` arrives `gap_s` seconds
+    /// after frame `k` **completes**. Unlike every other variant, later
+    /// arrival times are not known up front — they depend on the
+    /// schedule — so [`crate::seeded::arrival_iter`] yields only the
+    /// session start and the streaming engine injects each successor
+    /// arrival when its predecessor finishes. A chained stream may carry
+    /// per-token workloads ([`StreamSpec::token_workloads`]) so frame
+    /// `k`'s cost can grow with the KV-cache position.
+    Chained {
+        /// Arrival time of the first token, seconds.
+        start_s: f64,
+        /// Think/sampling gap between a token's completion and the next
+        /// token's arrival, seconds (must be positive).
+        gap_s: f64,
+        /// Number of tokens in the session (at least 1).
+        tokens: usize,
+    },
 }
 
 impl ArrivalProcess {
@@ -102,6 +120,10 @@ impl ArrivalProcess {
                 peak_fps,
                 ..
             } => trough_fps + (peak_fps - trough_fps) / 2.0,
+            // The steady-state token rate if compute were free; actual
+            // throughput is 1 / (gap + latency) because arrivals chain on
+            // completions, so this is an optimistic summary rate.
+            ArrivalProcess::Chained { gap_s, .. } => 1.0 / gap_s,
         }
     }
 }
@@ -125,6 +147,12 @@ pub struct StreamSpec {
     arrival: ArrivalProcess,
     deadline_s: Option<f64>,
     swaps: Vec<WorkloadSwap>,
+    /// Per-token workloads for [`ArrivalProcess::Chained`] streams: token
+    /// `k` instantiates `token_workloads[k]` (empty = every token runs
+    /// `workload`). Lets decode streams grow per-token cost with the
+    /// KV-cache position while sharing bucketed workloads by reference.
+    #[serde(default)]
+    token_workloads: Vec<MultiDnnWorkload>,
 }
 
 impl StreamSpec {
@@ -140,6 +168,7 @@ impl StreamSpec {
             arrival,
             deadline_s: None,
             swaps: Vec::new(),
+            token_workloads: Vec::new(),
         }
     }
 
@@ -161,6 +190,30 @@ impl StreamSpec {
     /// A single frame at `t = 0`.
     pub fn one_shot(name: impl Into<String>, workload: MultiDnnWorkload) -> Self {
         Self::new(name, workload, ArrivalProcess::OneShot)
+    }
+
+    /// An autoregressive decode session: `tokens` frames where the first
+    /// arrives at `start_s` and each successor arrives `gap_s` seconds
+    /// after its predecessor completes. `workload` is the representative
+    /// (largest-position) token workload used for design-space searches;
+    /// per-token workloads can be attached with
+    /// [`StreamSpec::with_token_workloads`].
+    pub fn chained(
+        name: impl Into<String>,
+        workload: MultiDnnWorkload,
+        start_s: f64,
+        gap_s: f64,
+        tokens: usize,
+    ) -> Self {
+        Self::new(
+            name,
+            workload,
+            ArrivalProcess::Chained {
+                start_s,
+                gap_s,
+                tokens,
+            },
+        )
     }
 
     /// Sets the per-frame deadline: a frame misses if its completion lags
@@ -207,6 +260,21 @@ impl StreamSpec {
     #[must_use]
     pub fn swaps(&self) -> &[WorkloadSwap] {
         &self.swaps
+    }
+
+    /// Sets the per-token workloads of a chained stream: token `k`
+    /// instantiates `token_workloads[k]`. The simulator requires the
+    /// length to match the chain's `tokens` count.
+    #[must_use]
+    pub fn with_token_workloads(mut self, token_workloads: Vec<MultiDnnWorkload>) -> Self {
+        self.token_workloads = token_workloads;
+        self
+    }
+
+    /// The per-token workloads (empty unless set on a chained stream).
+    #[must_use]
+    pub fn token_workloads(&self) -> &[MultiDnnWorkload] {
+        &self.token_workloads
     }
 }
 
@@ -575,6 +643,127 @@ pub fn diurnal_fleet_stream(
     scenario
 }
 
+/// KV-cache bucket width of [`transformer_decode_stream`]: token `k`
+/// runs the decoder built for KV length `(k / 64 + 1) * 64`, so tokens
+/// in the same bucket share one workload (and one memo slot) while
+/// per-token cost still grows stepwise with sequence position.
+pub const DECODE_KV_BUCKET: usize = 64;
+
+/// An autoregressive serving scenario: `sessions` independent
+/// [`ArrivalProcess::Chained`] decode streams of `tokens` tokens each.
+/// Token `k + 1` of a session arrives `gap_s` seconds after token `k`
+/// completes (the decode loop's sampling gap); every token carries
+/// `deadline_s`. Token `k` instantiates the
+/// [`zoo::transformer_decoder`] built for its KV bucket
+/// (`(k / DECODE_KV_BUCKET + 1) * DECODE_KV_BUCKET`), so attention
+/// score/context GEMMs grow with sequence position; bucket workloads
+/// are built once and reference-shared across tokens and sessions.
+/// Session start times are drawn deterministically from `seed` over
+/// `[0, sessions x gap_s)`, and the stream's representative workload
+/// (what design-space searches see) is the largest bucket.
+///
+/// # Panics
+///
+/// Panics if `sessions` or `tokens` is zero, or `gap_s` is not positive.
+#[must_use]
+pub fn transformer_decode_stream(
+    sessions: usize,
+    tokens: usize,
+    gap_s: f64,
+    deadline_s: f64,
+    seed: u64,
+) -> Scenario {
+    assert!(sessions > 0, "a decode scenario needs at least one session");
+    assert!(tokens > 0, "a decode session emits at least one token");
+    assert!(gap_s > 0.0, "the decode sampling gap must be positive");
+    let buckets: Vec<MultiDnnWorkload> = (0..tokens.div_ceil(DECODE_KV_BUCKET))
+        .map(|b| {
+            single_model(
+                zoo::transformer_decoder(((b + 1) * DECODE_KV_BUCKET) as u32),
+                1,
+            )
+        })
+        .collect();
+    let token_workloads: Vec<MultiDnnWorkload> = (0..tokens)
+        .map(|k| buckets[k / DECODE_KV_BUCKET].clone())
+        .collect();
+    let representative = buckets[buckets.len() - 1].clone();
+    // Stagger sessions across one "chain period" so they do not all hit
+    // the accelerator in lockstep; the spread is seeded per session.
+    let spread_s = sessions as f64 * gap_s;
+    let horizon_s = spread_s + gap_s;
+    let mut scenario = Scenario::new(format!("decode-{sessions}s-{tokens}t"), horizon_s);
+    for i in 0..sessions {
+        let mut rng =
+            crate::seeded::SplitMix64::seed_from_u64(crate::seeded::derive_seed(seed, i as u64));
+        let start_s = rng.gen_unit() * spread_s;
+        scenario = scenario.stream(
+            StreamSpec::chained(
+                format!("s{i:03}-decode"),
+                representative.clone(),
+                start_s,
+                gap_s,
+                tokens,
+            )
+            .with_token_workloads(token_workloads.clone())
+            .with_deadline(deadline_s),
+        );
+    }
+    scenario
+}
+
+/// The weight-density grid [`sparse_mix_stream`] draws from: pruned
+/// vision models typically retain 20-80% of their weights, and a share
+/// of tenants stay dense.
+pub const SPARSE_DENSITY_GRID: [f64; 5] = [0.2, 0.3, 0.5, 0.75, 1.0];
+
+/// A sparse serving mix: the same shape as [`fleet_mix_stream`]
+/// (`tenants` seeded Poisson streams over the AR/VR model rotation,
+/// aggregate rate split evenly) except each tenant's model is pruned to
+/// a per-tenant weight density drawn deterministically from `seed` over
+/// [`SPARSE_DENSITY_GRID`]. Density draws use a disjoint seed index
+/// space from arrival draws, so a tenant's arrival trace is bit-identical
+/// to its [`fleet_mix_stream`] counterpart — the two generators differ
+/// *only* in model density, which is exactly what a density-aware
+/// fleet-composition comparison needs.
+///
+/// # Panics
+///
+/// Panics if `tenants` is zero.
+#[must_use]
+pub fn sparse_mix_stream(
+    tenants: usize,
+    aggregate_fps: f64,
+    deadline_s: f64,
+    horizon_s: f64,
+    seed: u64,
+) -> Scenario {
+    assert!(tenants > 0, "a sparse mix needs at least one tenant");
+    let per_tenant_fps = aggregate_fps / tenants as f64;
+    let mut scenario = Scenario::new(format!("sparse-mix-{tenants}t"), horizon_s);
+    for i in 0..tenants {
+        // Arrival seeds use indices [0, tenants); density seeds use
+        // [tenants, 2 x tenants) so the two draws never alias.
+        let mut density_rng = crate::seeded::SplitMix64::seed_from_u64(crate::seeded::derive_seed(
+            seed,
+            (tenants + i) as u64,
+        ));
+        let density = SPARSE_DENSITY_GRID[density_rng.gen_range(0, SPARSE_DENSITY_GRID.len())];
+        let model = tenant_model(i).with_uniform_density(density);
+        let name = format!("t{i:03}-{}", model.name());
+        scenario = scenario.stream(
+            StreamSpec::poisson(
+                name,
+                single_model(model, 1),
+                per_tenant_fps,
+                crate::seeded::derive_seed(seed, i as u64),
+            )
+            .with_deadline(deadline_s),
+        );
+    }
+    scenario
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -764,6 +953,85 @@ mod tests {
         let json = serde_json::to_string(&s).unwrap();
         let back: Scenario = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn chained_scenario_round_trips_through_json_and_legacy_json_defaults_empty() {
+        let s = transformer_decode_stream(2, 3, 0.05, 0.2, 21);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        // Pre-decode JSON has no token_workloads field; it must
+        // deserialize to an empty list, not an error.
+        let current = serde_json::to_string(&arvr_a_stream(1.0, 0.5)).unwrap();
+        let legacy = current.replace(",\"token_workloads\":[]", "");
+        assert_ne!(legacy, current, "strip must remove the new field");
+        let old: Scenario = serde_json::from_str(&legacy).unwrap();
+        assert!(old.streams().iter().all(|t| t.token_workloads().is_empty()));
+    }
+
+    #[test]
+    fn decode_stream_buckets_kv_and_shares_workloads() {
+        let tokens = 2 * DECODE_KV_BUCKET + 5;
+        let s = transformer_decode_stream(3, tokens, 0.01, 0.5, 17);
+        assert_eq!(s.streams().len(), 3);
+        assert_eq!(s, transformer_decode_stream(3, tokens, 0.01, 0.5, 17));
+        assert_ne!(s, transformer_decode_stream(3, tokens, 0.01, 0.5, 18));
+        let mut starts = Vec::new();
+        for t in s.streams() {
+            let ArrivalProcess::Chained {
+                start_s,
+                gap_s,
+                tokens: n,
+            } = t.arrival()
+            else {
+                panic!("expected chained arrivals, got {:?}", t.arrival());
+            };
+            assert!((gap_s - 0.01).abs() < 1e-15);
+            assert_eq!(*n, tokens);
+            assert!(*start_s >= 0.0 && *start_s < s.horizon_s());
+            starts.push(*start_s);
+            assert_eq!(t.token_workloads().len(), tokens);
+            // Token 0 attends over one bucket, the last token over three.
+            assert!(t.token_workloads()[0].name().contains("kv64"));
+            assert!(t.token_workloads()[tokens - 1].name().contains("kv192"));
+            // The representative workload is the largest bucket.
+            assert_eq!(t.workload().name(), t.token_workloads()[tokens - 1].name());
+            // Same-bucket tokens share model storage by reference.
+            let m0 = t.token_workloads()[0].instances()[0].model() as *const _;
+            let m1 = t.token_workloads()[1].instances()[0].model() as *const _;
+            let last = t.token_workloads()[tokens - 1].instances()[0].model() as *const _;
+            assert_eq!(m0, m1, "bucket workloads must be reference-shared");
+            assert_ne!(m0, last, "distinct buckets are distinct models");
+        }
+        starts.sort_by(f64::total_cmp);
+        starts.dedup();
+        assert_eq!(starts.len(), 3, "session starts are staggered");
+    }
+
+    #[test]
+    fn sparse_mix_prunes_tenants_but_keeps_fleet_mix_arrivals() {
+        let sparse = sparse_mix_stream(10, 100.0, 0.05, 2.0, 7);
+        let dense = fleet_mix_stream(10, 100.0, 0.05, 2.0, 7);
+        assert_eq!(sparse.streams().len(), 10);
+        assert_eq!(sparse, sparse_mix_stream(10, 100.0, 0.05, 2.0, 7));
+        assert_ne!(sparse, sparse_mix_stream(10, 100.0, 0.05, 2.0, 8));
+        let mut pruned = 0usize;
+        for (s, d) in sparse.streams().iter().zip(dense.streams()) {
+            // Arrival processes are bit-identical to the dense fleet mix.
+            assert_eq!(s.arrival(), d.arrival());
+            let model = s.workload().instances()[0].model();
+            let density = model.layer(herald_models::LayerId(0)).density();
+            assert!(
+                SPARSE_DENSITY_GRID.contains(&density),
+                "density {density} off the grid"
+            );
+            if density < 1.0 {
+                pruned += 1;
+                assert!(model.name().contains("@d"), "{}", model.name());
+            }
+        }
+        assert!(pruned >= 3, "only {pruned}/10 tenants drew sparse models");
     }
 
     #[test]

@@ -166,6 +166,20 @@ pub enum ArrivalIter<'a> {
         /// Running candidate clock, seconds.
         t: f64,
     },
+    /// An autoregressive chain: only the session start is known up
+    /// front. Successor tokens arrive a fixed gap after their
+    /// predecessor *completes*, which no arrival-time iterator can know —
+    /// the streaming engine injects those events as completions happen,
+    /// so the iterator contract ("every arrival knowable from the spec
+    /// alone") holds by yielding exactly the first token.
+    Chained {
+        /// Arrival time of the first token, seconds.
+        start_s: f64,
+        /// Arrival horizon, seconds (exclusive).
+        horizon_s: f64,
+        /// Whether the session start was already yielded.
+        done: bool,
+    },
 }
 
 impl Iterator for ArrivalIter<'_> {
@@ -224,6 +238,17 @@ impl Iterator for ArrivalIter<'_> {
                     return Some(*t);
                 }
             },
+            ArrivalIter::Chained {
+                start_s,
+                horizon_s,
+                done,
+            } => {
+                if *done || *start_s >= *horizon_s {
+                    return None;
+                }
+                *done = true;
+                Some(*start_s)
+            }
         }
     }
 }
@@ -260,6 +285,13 @@ pub fn arrival_iter(arrival: &ArrivalProcess, horizon_s: f64) -> ArrivalIter<'_>
             peak_fps,
             horizon_s,
             t: 0.0,
+        },
+        // Only the session start is knowable from the spec; the engine
+        // injects each successor arrival at its predecessor's completion.
+        ArrivalProcess::Chained { start_s, .. } => ArrivalIter::Chained {
+            start_s,
+            horizon_s,
+            done: false,
         },
     }
 }
@@ -397,6 +429,11 @@ mod tests {
                 peak_fps: 80.0,
                 seed: 11,
             },
+            ArrivalProcess::Chained {
+                start_s: 0.7,
+                gap_s: 0.05,
+                tokens: 40,
+            },
         ];
         for arrival in &cases {
             for horizon in [0.4, 1.0, 1.5] {
@@ -438,6 +475,20 @@ mod tests {
             middle as f64 > 1.5 * edges as f64,
             "middle {middle} vs edges {edges}"
         );
+    }
+
+    #[test]
+    fn chained_iter_yields_exactly_the_session_start() {
+        // Later tokens depend on completions the iterator cannot know;
+        // it must advertise only the first token, clipped to the horizon.
+        let arrival = ArrivalProcess::Chained {
+            start_s: 0.25,
+            gap_s: 0.1,
+            tokens: 1000,
+        };
+        assert_eq!(arrival_times(&arrival, 1.0), vec![0.25]);
+        assert_eq!(arrival_times(&arrival, 0.25), Vec::<f64>::new());
+        assert!((arrival.mean_fps() - 10.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Pins on the autoregressive decoder stream: a chained session is
+//! strictly serial — token `k+1` is admitted exactly at token `k`'s
+//! completion plus the sampling gap, never before — and under a fixed
+//! schedule the per-token cost is monotone in the KV-cache length.
+
+use herald::prelude::*;
+use herald_workloads::{transformer_decode_stream, DECODE_KV_BUCKET};
+
+fn edge_maelstrom() -> AcceleratorConfig {
+    AcceleratorConfig::maelstrom(
+        AcceleratorClass::Edge.resources(),
+        Partition::even(2, 1024, 16.0),
+    )
+    .unwrap()
+}
+
+fn run_decode(scenario: &Scenario) -> StreamOutcome {
+    Experiment::new(scenario.design_workload())
+        .on_accelerator(edge_maelstrom())
+        .fast()
+        .scenario(scenario)
+        .unwrap()
+}
+
+/// Frames of one stream ordered by token index.
+fn tokens_of(report: &StreamReport, stream: usize) -> Vec<FrameRecord> {
+    let mut tokens: Vec<FrameRecord> = report
+        .frames()
+        .iter()
+        .filter(|f| f.stream == stream)
+        .cloned()
+        .collect();
+    tokens.sort_by_key(|f| f.seq);
+    tokens
+}
+
+#[test]
+fn tokens_are_never_admitted_before_the_previous_completes() {
+    let (sessions, tokens, gap_s) = (3, 40, 0.002);
+    let scenario = transformer_decode_stream(sessions, tokens, gap_s, 0.05, 13);
+    let outcome = run_decode(&scenario);
+    let report = outcome.report();
+    assert_eq!(report.frames().len(), sessions * tokens);
+    for stream in 0..sessions {
+        let toks = tokens_of(report, stream);
+        assert_eq!(toks.len(), tokens, "stream {stream} must serve every token");
+        for (k, pair) in toks.windows(2).enumerate() {
+            assert!(
+                pair[1].arrival_s > pair[0].finish_s,
+                "stream {stream}: token {} admitted before token {k} completed",
+                k + 1
+            );
+            assert_eq!(
+                pair[1].arrival_s.to_bits(),
+                (pair[0].finish_s + gap_s).to_bits(),
+                "stream {stream}: token {} must arrive exactly one gap after token {k}",
+                k + 1
+            );
+        }
+    }
+}
+
+#[test]
+fn per_token_latency_is_monotone_in_kv_length_under_a_fixed_schedule() {
+    // Three KV buckets: the score/context GEMMs grow with the cache, so
+    // under a fixed schedule per bucket the mean token latency must be
+    // non-decreasing — and strictly increasing bucket to bucket.
+    let tokens = 3 * DECODE_KV_BUCKET;
+    let scenario = transformer_decode_stream(1, tokens, 0.002, 0.05, 13);
+    let outcome = run_decode(&scenario);
+    let report = outcome.report();
+    let toks = tokens_of(report, 0);
+    let buckets = tokens / DECODE_KV_BUCKET;
+    let mut mean = vec![0.0f64; buckets];
+    for f in &toks {
+        mean[f.seq / DECODE_KV_BUCKET] += f.latency_s / DECODE_KV_BUCKET as f64;
+    }
+    for pair in mean.windows(2) {
+        assert!(
+            pair[1] > pair[0],
+            "a longer KV cache must cost more per token: {mean:?}"
+        );
+    }
+    // Within a bucket the schedule is fixed and the scheduler is served
+    // from the memo: one invocation per bucket.
+    assert_eq!(report.scheduler_invocations(), buckets);
+}
+
+#[test]
+fn decode_streams_are_deterministic_across_policies() {
+    // The chained engine path must agree with the schedule-every-arrival
+    // baseline to the last bit, exactly like trace-driven streams.
+    let scenario = transformer_decode_stream(2, 48, 0.003, 0.05, 29);
+    let run = |policy: ReschedulePolicy| {
+        Experiment::new(scenario.design_workload())
+            .on_accelerator(edge_maelstrom())
+            .fast()
+            .reschedule_policy(policy)
+            .scenario(&scenario)
+            .unwrap()
+    };
+    let inc = run(ReschedulePolicy::Incremental);
+    let full = run(ReschedulePolicy::FullReschedule);
+    assert_eq!(inc.report().frames(), full.report().frames());
+    assert_eq!(inc.report().busy_spans(), full.report().busy_spans());
+    assert_eq!(
+        inc.report().makespan_s().to_bits(),
+        full.report().makespan_s().to_bits()
+    );
+    assert!(inc.report().scheduler_invocations() < full.report().scheduler_invocations());
+}

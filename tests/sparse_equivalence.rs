@@ -1,0 +1,241 @@
+//! The sparse differential layer: density 1.0 (and ungated hardware)
+//! must be **bit-identical** to the pre-density model on the existing
+//! golden scenarios, and the density knob must only ever make layers
+//! cheaper — latency, energy and traffic are non-increasing as density
+//! falls, on every dataflow class and on the reconfigurable array.
+//!
+//! The build environment cannot fetch `proptest`, so cases are
+//! generated deterministically from the same SplitMix64 PRNG the DSE
+//! uses.
+
+use herald::prelude::*;
+use herald_core::rng::SplitMix64;
+use herald_models::LayerDims;
+use herald_workloads::{sparse_mix_stream, transformer_decode_stream};
+
+fn edge_maelstrom() -> AcceleratorConfig {
+    AcceleratorConfig::maelstrom(
+        AcceleratorClass::Edge.resources(),
+        Partition::even(2, 1024, 16.0),
+    )
+    .unwrap()
+}
+
+/// Streams `scenario` on the ungated flagship and its sparse-gated twin
+/// and asserts the timelines agree to the last bit — every model in the
+/// goldens is dense, so the gating hardware must be invisible.
+fn assert_gating_invisible_on(scenario: &Scenario) {
+    let run = |chip: AcceleratorConfig| {
+        Experiment::new(scenario.design_workload())
+            .on_accelerator(chip)
+            .fast()
+            .scenario(scenario)
+            .unwrap()
+    };
+    let ungated = run(edge_maelstrom());
+    let gated = run(edge_maelstrom().with_sparse_gating());
+    let (a, b) = (ungated.report(), gated.report());
+    assert_eq!(a.frames(), b.frames(), "{}: frame records", scenario.name());
+    assert_eq!(a.swaps(), b.swaps(), "{}: swap records", scenario.name());
+    assert_eq!(
+        a.busy_spans(),
+        b.busy_spans(),
+        "{}: busy spans",
+        scenario.name()
+    );
+    assert_eq!(a.energy(), b.energy(), "{}: energy", scenario.name());
+    assert_eq!(
+        a.makespan_s().to_bits(),
+        b.makespan_s().to_bits(),
+        "{}: makespan",
+        scenario.name()
+    );
+}
+
+#[test]
+fn dense_golden_scenarios_are_bit_identical_under_gating() {
+    assert_gating_invisible_on(&herald_workloads::arvr_a_stream(1.0, 1.2));
+    assert_gating_invisible_on(&herald_workloads::workload_change_trace(30.0, 0.1, 0.4));
+    assert_gating_invisible_on(&herald_workloads::diurnal_ramp_trace(
+        2, 2.0, 6.0, 0.5, 4.0, 11,
+    ));
+}
+
+#[test]
+fn uniform_density_one_is_the_identity() {
+    let model = herald_models::zoo::resnet50();
+    let same = model.clone().with_uniform_density(1.0);
+    assert_eq!(same, model, "density 1.0 must not touch the model");
+    assert_eq!(same.name(), "Resnet50", "the identity must keep the name");
+}
+
+#[test]
+fn ungated_hardware_ignores_density_bit_for_bit() {
+    // A sparse workload on an ungated chip costs exactly what the dense
+    // workload costs: the sparse branch requires gating hardware.
+    let dense = herald_workloads::single_model(herald_models::zoo::mobilenet_v2(), 2);
+    let sparse = MultiDnnWorkload::new("sparse-probe").with_model(
+        herald_models::zoo::mobilenet_v2().with_uniform_density(0.3),
+        2,
+    );
+    let run = |w: MultiDnnWorkload| {
+        Experiment::new(w)
+            .on_accelerator(edge_maelstrom())
+            .fast()
+            .run()
+            .unwrap()
+    };
+    let (d, s) = (run(dense), run(sparse));
+    assert_eq!(d.latency_s().to_bits(), s.latency_s().to_bits());
+    assert_eq!(d.energy_j().to_bits(), s.energy_j().to_bits());
+}
+
+/// Random-but-plausible layers spanning the shapes the zoo uses:
+/// convolutions, depth-wise convolutions, and GEMM/FC layers.
+fn gen_layer(rng: &mut SplitMix64) -> Layer {
+    match rng.gen_range(0, 3) {
+        0 => {
+            let k = rng.gen_range(8, 513) as u32;
+            let c = rng.gen_range(3, 513) as u32;
+            let y = rng.gen_range(7, 129) as u32;
+            let r = [1u32, 3, 5][rng.gen_range(0, 3)];
+            Layer::new(
+                "conv",
+                LayerOp::Conv2d,
+                LayerDims::conv(k, c, y, y, r, r).with_pad(r / 2),
+            )
+        }
+        1 => {
+            let c = rng.gen_range(8, 513) as u32;
+            let y = rng.gen_range(7, 129) as u32;
+            Layer::new(
+                "dw",
+                LayerOp::DepthwiseConv,
+                LayerDims::conv(c, c, y, y, 3, 3).with_pad(1),
+            )
+        }
+        _ => {
+            let k = rng.gen_range(32, 4097) as u32;
+            let c = rng.gen_range(32, 4097) as u32;
+            let m = [1u32, 16, 64, 256][rng.gen_range(0, 4)];
+            Layer::new("gemm", LayerOp::Fc, LayerDims::gemm(k, c, m))
+        }
+    }
+}
+
+const DENSITY_LADDER: [f64; 6] = [1.0, 0.9, 0.75, 0.5, 0.3, 0.1];
+
+#[test]
+fn gated_costs_are_monotone_in_density_for_every_class() {
+    let model = CostModel::default();
+    let mut rng = SplitMix64::seed_from_u64(0xDE_0010);
+    for case in 0..64 {
+        let layer = gen_layer(&mut rng);
+        let pes = [256u32, 1024, 4096][rng.gen_range(0, 3)];
+        let bw = [8.0f64, 16.0, 64.0][rng.gen_range(0, 3)];
+        for style in DataflowStyle::ALL {
+            let mut prev: Option<LayerCost> = None;
+            for &d in &DENSITY_LADDER {
+                let cost =
+                    model.evaluate_gated(&layer.clone().with_density(d), style, pes, bw, true);
+                if let Some(p) = &prev {
+                    assert!(
+                        cost.latency_s <= p.latency_s
+                            && cost.energy.total_j() <= p.energy.total_j()
+                            && cost.traffic_cycles <= p.traffic_cycles
+                            && cost.total_cycles <= p.total_cycles,
+                        "case {case} {style:?} d={d}: sparser must never cost more"
+                    );
+                }
+                prev = Some(cost);
+            }
+        }
+        // The reconfigurable array picks the best style per layer, and
+        // the winning style may switch as density falls — so only the
+        // *selected* metric is guaranteed monotone (a min over
+        // per-style monotone curves), not every scalar of the winner.
+        for metric in [Metric::Latency, Metric::Energy, Metric::Edp] {
+            let mut prev: Option<f64> = None;
+            for &d in &DENSITY_LADDER {
+                let score = model
+                    .evaluate_rda_gated(&layer.clone().with_density(d), pes, bw, metric, true)
+                    .score(metric);
+                if let Some(p) = prev {
+                    assert!(
+                        score <= p,
+                        "case {case} RDA {metric:?} d={d}: sparser must never cost more"
+                    );
+                }
+                prev = Some(score);
+            }
+        }
+    }
+}
+
+#[test]
+fn gating_never_changes_dense_layer_costs() {
+    // Gated vs ungated on a dense layer: bit-identical, every class.
+    let model = CostModel::default();
+    let mut rng = SplitMix64::seed_from_u64(0xDE_0020);
+    for _ in 0..64 {
+        let layer = gen_layer(&mut rng);
+        for style in DataflowStyle::ALL {
+            let gated = model.evaluate_gated(&layer, style, 1024, 16.0, true);
+            let plain = model.evaluate(&layer, style, 1024, 16.0);
+            assert_eq!(
+                gated, plain,
+                "{style:?}: dense layers must not see the gate"
+            );
+        }
+    }
+}
+
+#[test]
+fn generators_are_deterministic_and_pull_matches_materialized() {
+    // Bit-identical repeats (the Scenario JSON captures every f64 bit).
+    let decode = || transformer_decode_stream(3, 80, 0.004, 0.05, 7);
+    let sparse = || sparse_mix_stream(8, 120.0, 0.05, 0.3, 41);
+    assert_eq!(
+        serde_json::to_string(&decode()).unwrap(),
+        serde_json::to_string(&decode()).unwrap(),
+        "decode generation must be bit-identical across repeats"
+    );
+    assert_eq!(
+        serde_json::to_string(&sparse()).unwrap(),
+        serde_json::to_string(&sparse()).unwrap(),
+        "sparse-mix generation must be bit-identical across repeats"
+    );
+    // The pull iterator and the materialized walk agree on every stream.
+    for scenario in [decode(), sparse()] {
+        for stream in scenario.streams() {
+            let pulled: Vec<f64> =
+                herald_workloads::seeded::arrival_iter(stream.arrival(), scenario.horizon_s())
+                    .collect();
+            let materialized =
+                herald_workloads::seeded::arrival_times(stream.arrival(), scenario.horizon_s());
+            assert_eq!(
+                pulled,
+                materialized,
+                "{}: pull != materialized",
+                stream.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn sparse_mix_densities_come_from_the_published_grid() {
+    let scenario = sparse_mix_stream(12, 120.0, 0.05, 0.3, 41);
+    for stream in scenario.streams() {
+        for inst in stream.workload().instances() {
+            for layer in inst.model().layers() {
+                assert!(
+                    herald_workloads::SPARSE_DENSITY_GRID.contains(&layer.density()),
+                    "{}: density {} off the grid",
+                    stream.name(),
+                    layer.density()
+                );
+            }
+        }
+    }
+}
